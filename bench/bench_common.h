@@ -1,0 +1,62 @@
+#ifndef MBR_BENCH_BENCH_COMMON_H_
+#define MBR_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the per-table / per-figure benchmark binaries.
+//
+// Every binary runs standalone with laptop-scale defaults and prints the
+// paper's rows/series next to our measured values. Environment variables
+// scale the workloads:
+//   MBR_SCALE   — multiplies the default node counts (default 1.0)
+//   MBR_TRIALS  — link-prediction trials (default per bench)
+//   MBR_SEED    — dataset seed override
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/dblp_generator.h"
+#include "datagen/twitter_generator.h"
+
+namespace mbr::bench {
+
+inline double EnvScale() {
+  const char* s = std::getenv("MBR_SCALE");
+  return s == nullptr ? 1.0 : std::atof(s);
+}
+
+inline uint32_t EnvTrials(uint32_t def) {
+  const char* s = std::getenv("MBR_TRIALS");
+  return s == nullptr ? def : static_cast<uint32_t>(std::atoi(s));
+}
+
+inline uint64_t EnvSeed(uint64_t def) {
+  const char* s = std::getenv("MBR_SEED");
+  return s == nullptr ? def : static_cast<uint64_t>(std::atoll(s));
+}
+
+// The default benchmark datasets: scaled-down analogues of the paper's
+// Twitter crawl and DBLP dump (see DESIGN.md).
+inline datagen::TwitterConfig BenchTwitterConfig(uint32_t base_nodes = 20000) {
+  datagen::TwitterConfig c;
+  c.num_nodes = static_cast<uint32_t>(base_nodes * EnvScale());
+  c.seed = EnvSeed(c.seed);
+  return c;
+}
+
+inline datagen::DblpConfig BenchDblpConfig(uint32_t base_nodes = 10000) {
+  datagen::DblpConfig c;
+  c.num_nodes = static_cast<uint32_t>(base_nodes * EnvScale());
+  c.seed = EnvSeed(c.seed);
+  return c;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace mbr::bench
+
+#endif  // MBR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,120 @@
+// EXTENSION (ablation): the landmark-pruning design choice of §5.4.
+//
+// "we perform pruning when we encounter a landmark during the BFS, to avoid
+//  considering twice paths from the BFS which pass through a landmark.
+//  Since the recommendation computation is dominated by the BFS exploration
+//  and computation, this pruning largely reduces the whole processing time."
+//
+// This bench isolates that choice: with pruning the approximate score is a
+// clean lower bound and the BFS is smaller; without it, walks through
+// landmarks are both re-explored (slower) and double-counted (scores
+// inflated above the exact value). Rows per landmark-heavy strategy.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/authority.h"
+#include "core/recommender.h"
+#include "landmark/approx.h"
+#include "landmark/index.h"
+#include "landmark/selection.h"
+#include "topics/similarity_matrix.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace mbr;
+  bench::PrintHeader("EXT — Ablation: landmark pruning on/off",
+                     "EDBT'16 §5.4 pruning remark");
+
+  datagen::GeneratedDataset ds =
+      datagen::GenerateTwitter(bench::BenchTwitterConfig(10000));
+  const auto& sim = topics::TwitterSimilarity();
+  core::AuthorityIndex auth(ds.graph);
+  core::TrRecommender exact(ds.graph, sim);
+
+  util::TablePrinter tp({"strategy", "pruned ms", "unpruned ms",
+                         "nodes pruned/unpruned", "overcount rate",
+                         "max overshoot"});
+  for (auto strategy : {landmark::SelectionStrategy::kInDeg,
+                        landmark::SelectionStrategy::kFollow,
+                        landmark::SelectionStrategy::kRandom}) {
+    landmark::SelectionConfig scfg;
+    scfg.num_landmarks = 100;
+    auto sel = SelectLandmarks(ds.graph, strategy, scfg);
+    landmark::LandmarkIndexConfig icfg;
+    icfg.top_n = 100;
+    landmark::LandmarkIndex index(ds.graph, auth, sim, sel.landmarks, icfg);
+
+    landmark::ApproxConfig pruned_cfg;
+    landmark::ApproxConfig unpruned_cfg;
+    unpruned_cfg.prune_at_landmarks = false;
+    landmark::ApproxRecommender pruned(ds.graph, auth, sim, index,
+                                       pruned_cfg);
+    landmark::ApproxRecommender unpruned(ds.graph, auth, sim, index,
+                                         unpruned_cfg);
+
+    double ms_p = 0, ms_u = 0, nodes_p = 0, nodes_u = 0;
+    uint64_t overcounted = 0, compared = 0;
+    double max_overshoot = 0.0;
+    util::Rng rng(bench::EnvSeed(4));
+    const uint32_t queries = bench::EnvTrials(15);
+    // Warm both recommenders (scratch allocation happens on first use).
+    pruned.ApproximateScores(0, 0);
+    unpruned.ApproximateScores(0, 0);
+    for (uint32_t q = 0; q < queries; ++q) {
+      graph::NodeId u =
+          static_cast<graph::NodeId>(rng.UniformU64(ds.graph.num_nodes()));
+      topics::TopicId t =
+          static_cast<topics::TopicId>(rng.UniformU64(ds.graph.num_topics()));
+      landmark::QueryStats sp, su;
+      util::WallTimer tm;
+      auto scores_p = pruned.ApproximateScores(u, t, &sp);
+      ms_p += tm.ElapsedMillis();
+      tm.Restart();
+      auto scores_u = unpruned.ApproximateScores(u, t, &su);
+      ms_u += tm.ElapsedMillis();
+      nodes_p += sp.nodes_reached;
+      nodes_u += su.nodes_reached;
+
+      // Overcounting: unpruned scores exceeding the exact σ.
+      std::vector<graph::NodeId> nodes;
+      nodes.reserve(scores_u.size());
+      for (const auto& [v, s] : scores_u) nodes.push_back(v);
+      auto exact_scores = exact.ScoreCandidates(u, t, nodes);
+      size_t i = 0;
+      for (const auto& [v, s] : scores_u) {
+        if (exact_scores[i] > 0.0) {
+          ++compared;
+          if (s > exact_scores[i] * (1 + 1e-9)) {
+            ++overcounted;
+            max_overshoot =
+                std::max(max_overshoot, s / exact_scores[i] - 1.0);
+          }
+        }
+        ++i;
+      }
+    }
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.0f / %.0f", nodes_p / queries,
+                  nodes_u / queries);
+    tp.AddRow({landmark::StrategyName(strategy),
+               util::TablePrinter::Num(ms_p / queries, 3),
+               util::TablePrinter::Num(ms_u / queries, 3), ratio,
+               util::TablePrinter::Num(
+                   compared ? static_cast<double>(overcounted) / compared
+                            : 0.0,
+                   3),
+               util::TablePrinter::Num(max_overshoot, 3)});
+  }
+  tp.Print("Pruning ablation (100 landmarks, depth-2 queries)");
+
+  std::printf(
+      "\nexpected shape: without pruning a share of scores exceed the exact "
+      "value (up to ~2x: the same walk counted by the BFS and by a landmark "
+      "composition) — pruning keeps every score a lower bound, which is its "
+      "main value at laptop scale. The exploration savings the paper "
+      "reports kick in when hub landmarks gate a 100-odd-degree graph; our "
+      "small vicinities shrink only slightly\n");
+  return 0;
+}

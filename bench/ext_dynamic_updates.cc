@@ -1,0 +1,273 @@
+// EXTENSION (paper §6 future work): graph dynamicity and landmark
+// staleness.
+//
+// "As future work we intend to study updating strategies since many
+//  following links have a short lifespan. This graph dynamicity may impact
+//  the scores stored by the landmarks."
+//
+// We churn the follow graph (x% unfollows + x% new follows per round) and
+// measure, per cumulative churn level, the Kendall-tau distance between the
+// exact ranking on the *current* graph and (a) a stale landmark index built
+// before any churn vs (b) a freshly rebuilt index — quantifying how fast
+// stored landmark recommendations rot and what a rebuild buys back.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/authority.h"
+#include "core/scorer.h"
+#include "dynamic/churn.h"
+#include "dynamic/delta_graph.h"
+#include "dynamic/incremental_authority.h"
+#include "dynamic/refresh.h"
+#include "landmark/approx.h"
+#include "landmark/index.h"
+#include "landmark/selection.h"
+#include "topics/similarity_matrix.h"
+#include "util/kendall.h"
+#include "util/table_printer.h"
+#include "util/top_k.h"
+
+namespace {
+
+using namespace mbr;
+
+std::vector<uint32_t> TopIds(const std::unordered_map<graph::NodeId, double>& scores,
+                             graph::NodeId self, uint32_t k) {
+  util::TopK topk(k);
+  for (const auto& [v, s] : scores) {
+    if (v != self && s > 0.0) topk.Offer(v, s);
+  }
+  std::vector<uint32_t> ids;
+  for (const auto& r : topk.Take()) ids.push_back(r.id);
+  return ids;
+}
+
+std::vector<uint32_t> ExactTop(const core::Scorer& scorer, graph::NodeId u,
+                               topics::TopicId t, uint32_t k) {
+  core::ExplorationResult res =
+      scorer.Explore(u, topics::TopicSet::Single(t));
+  util::TopK topk(k);
+  for (graph::NodeId v : res.reached()) {
+    if (v != u && res.Sigma(v, t) > 0.0) topk.Offer(v, res.Sigma(v, t));
+  }
+  std::vector<uint32_t> ids;
+  for (const auto& r : topk.Take()) ids.push_back(r.id);
+  return ids;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "EXT — Landmark staleness under follow-graph churn",
+      "EDBT'16 §6 future work (updating strategies for dynamic graphs)");
+
+  datagen::GeneratedDataset ds =
+      datagen::GenerateTwitter(bench::BenchTwitterConfig(10000));
+  const auto& sim = topics::TwitterSimilarity();
+  std::printf("dataset: %u nodes, %llu edges; 100 landmarks (Follow), "
+              "top-100 stored\n",
+              ds.graph.num_nodes(),
+              static_cast<unsigned long long>(ds.graph.num_edges()));
+
+  // Landmarks + index built at time zero.
+  core::AuthorityIndex auth0(ds.graph);
+  landmark::SelectionConfig scfg;
+  scfg.num_landmarks = 100;
+  auto sel = SelectLandmarks(ds.graph, landmark::SelectionStrategy::kFollow,
+                             scfg);
+  landmark::LandmarkIndexConfig icfg;
+  icfg.top_n = 100;
+  landmark::LandmarkIndex stale_index(ds.graph, auth0, sim, sel.landmarks,
+                                      icfg);
+
+  dynamic::DeltaGraph overlay(&ds.graph);
+  dynamic::IncrementalAuthority inc_auth(ds.graph);
+  util::Rng rng(bench::EnvSeed(77));
+  dynamic::ChurnConfig churn;  // 5% + 5% per round
+
+  const uint32_t queries = bench::EnvTrials(12);
+  const uint32_t compare_k = 20;
+  util::TablePrinter tp({"cumulative churn", "tau stale index",
+                         "tau rebuilt index", "max-staleness err"});
+  util::TablePrinter stored_drift(
+      {"cumulative churn", "stored-list tau (stale vs fresh)"});
+
+  double cumulative = 0.0;
+  for (int round = 0; round <= 4; ++round) {
+    if (round > 0) {
+      ApplyChurnRound(&overlay, &inc_auth, churn, &rng);
+      cumulative += churn.unfollow_fraction + churn.follow_fraction;
+    }
+    graph::LabeledGraph current = overlay.Materialize();
+    core::AuthorityIndex fresh_auth(current);
+    core::ScoreParams params;
+    core::Scorer exact(current, fresh_auth, sim, params);
+
+    // Rebuilt index on the current graph (same landmark set).
+    landmark::LandmarkIndex fresh_index(current, fresh_auth, sim,
+                                        sel.landmarks, icfg);
+    landmark::ApproxConfig acfg;
+    landmark::ApproxRecommender stale(current, fresh_auth, sim, stale_index,
+                                      acfg);
+    landmark::ApproxRecommender rebuilt(current, fresh_auth, sim,
+                                        fresh_index, acfg);
+
+    double tau_stale = 0, tau_fresh = 0;
+    uint32_t done = 0;
+    util::Rng qrng(1234);
+    for (uint32_t q = 0; q < queries; ++q) {
+      graph::NodeId u =
+          static_cast<graph::NodeId>(qrng.UniformU64(current.num_nodes()));
+      if (current.OutDegree(u) == 0) continue;
+      topics::TopicId t =
+          static_cast<topics::TopicId>(qrng.UniformU64(current.num_topics()));
+      auto exact_ids = ExactTop(exact, u, t, compare_k);
+      tau_stale += util::KendallTauTopK(
+          TopIds(stale.ApproximateScores(u, t), u, compare_k), exact_ids);
+      tau_fresh += util::KendallTauTopK(
+          TopIds(rebuilt.ApproximateScores(u, t), u, compare_k), exact_ids);
+      ++done;
+    }
+    if (done > 0) {
+      tau_stale /= done;
+      tau_fresh /= done;
+    }
+
+    // Incremental-authority drift caused by the stale per-topic maxima
+    // (exact until RefreshMax is called): max relative error over topics.
+    double max_err = 0;
+    for (int t = 0; t < current.num_topics(); ++t) {
+      double stale_max = inc_auth.MaxFollowersOnTopic(
+          static_cast<topics::TopicId>(t));
+      double true_max = fresh_auth.MaxFollowersOnTopic(
+          static_cast<topics::TopicId>(t));
+      if (true_max > 0) {
+        max_err = std::max(max_err, (stale_max - true_max) / true_max);
+      }
+    }
+
+    // Landmark-level staleness: how far the stale stored top-100 lists
+    // have drifted from freshly recomputed ones ("the scores stored by the
+    // landmarks" the paper worries about).
+    double list_tau = 0;
+    uint32_t lists = 0;
+    for (size_t li = 0; li < sel.landmarks.size(); li += 7) {
+      graph::NodeId lm = sel.landmarks[li];
+      for (int t = 0; t < current.num_topics(); t += 5) {
+        auto ids_of = [](const std::vector<landmark::StoredRec>& recs) {
+          std::vector<uint32_t> ids;
+          for (const auto& r : recs) ids.push_back(r.node);
+          return ids;
+        };
+        list_tau += util::KendallTauTopK(
+            ids_of(stale_index.Recommendations(
+                lm, static_cast<topics::TopicId>(t))),
+            ids_of(fresh_index.Recommendations(
+                lm, static_cast<topics::TopicId>(t))));
+        ++lists;
+      }
+    }
+    if (lists > 0) list_tau /= lists;
+
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%.0f%%", cumulative * 100);
+    tp.AddRow({pct, util::TablePrinter::Num(tau_stale, 3),
+               util::TablePrinter::Num(tau_fresh, 3),
+               util::TablePrinter::Num(max_err, 3)});
+    stored_drift.AddRow({pct, util::TablePrinter::Num(list_tau, 3)});
+  }
+  tp.Print("Approximation quality vs cumulative churn");
+  stored_drift.Print("Stored landmark-list drift vs cumulative churn");
+
+  std::printf(
+      "\nexpected shape: the stale index degrades as churn accumulates "
+      "while a rebuilt index stays at its time-zero quality; the paper's "
+      "periodic-refresh argument for max_v|Γv(t)| shows up as a small "
+      "max-staleness error that a RefreshMax() would clear\n");
+
+  // ---- Refresh policies: with a fixed budget of 10 landmark recomputes
+  // per round (10% of the index), which selection rule keeps the stored
+  // lists freshest?
+  {
+    const uint32_t budget = 10;
+    auto make_index = [&]() {
+      return landmark::LandmarkIndex(ds.graph, auth0, sim, sel.landmarks,
+                                     icfg);
+    };
+    std::vector<dynamic::LandmarkRefresher> refreshers;
+    refreshers.emplace_back(make_index(), dynamic::RefreshPolicy::kNone,
+                            budget);
+    refreshers.emplace_back(make_index(),
+                            dynamic::RefreshPolicy::kRoundRobin, budget);
+    refreshers.emplace_back(make_index(),
+                            dynamic::RefreshPolicy::kMostChurned, budget);
+
+    util::TablePrinter rp({"cumulative churn", "None", "RoundRobin-10",
+                           "MostChurned-10"});
+    dynamic::DeltaGraph overlay2(&ds.graph);
+    util::Rng rng2(bench::EnvSeed(78));
+    double cum = 0.0;
+    size_t add_cursor = 0, rem_cursor = 0;
+    for (int round = 1; round <= 4; ++round) {
+      ApplyChurnRound(&overlay2, nullptr, churn, &rng2);
+      cum += churn.unfollow_fraction + churn.follow_fraction;
+      graph::LabeledGraph current = overlay2.Materialize();
+      core::AuthorityIndex fresh_auth(current);
+
+      // Changes applied this round (the logs are cumulative).
+      std::vector<dynamic::EdgeChange> round_changes;
+      {
+        const auto& adds = overlay2.additions();
+        const auto& rems = overlay2.removals();
+        for (size_t i = add_cursor; i < adds.size(); ++i) {
+          round_changes.push_back(adds[i]);
+        }
+        for (size_t i = rem_cursor; i < rems.size(); ++i) {
+          round_changes.push_back(rems[i]);
+        }
+        add_cursor = adds.size();
+        rem_cursor = rems.size();
+      }
+
+      landmark::LandmarkIndex fresh_index(current, fresh_auth, sim,
+                                          sel.landmarks, icfg);
+      std::vector<std::string> row = {
+          util::TablePrinter::Num(cum * 100, 0) + "%"};
+      for (auto& refresher : refreshers) {
+        refresher.RefreshRound(current, fresh_auth, sim, round_changes);
+        // Stored-list drift vs the fresh index (sampled).
+        double drift = 0;
+        uint32_t lists = 0;
+        for (size_t li = 0; li < sel.landmarks.size(); li += 7) {
+          graph::NodeId lm = sel.landmarks[li];
+          for (int t = 0; t < current.num_topics(); t += 5) {
+            auto ids_of = [](const std::vector<landmark::StoredRec>& recs) {
+              std::vector<uint32_t> ids;
+              for (const auto& r : recs) ids.push_back(r.node);
+              return ids;
+            };
+            drift += util::KendallTauTopK(
+                ids_of(refresher.index().Recommendations(
+                    lm, static_cast<topics::TopicId>(t))),
+                ids_of(fresh_index.Recommendations(
+                    lm, static_cast<topics::TopicId>(t))));
+            ++lists;
+          }
+        }
+        row.push_back(util::TablePrinter::Num(drift / lists, 3));
+      }
+      rp.AddRow(std::move(row));
+    }
+    rp.Print(
+        "Stored-list drift under a 10-landmark/round refresh budget "
+        "(lower = fresher)");
+    std::printf(
+        "\nexpected shape: MostChurned spends the same budget as RoundRobin "
+        "but targets the landmarks the churn actually touched, keeping "
+        "drift lowest; None degrades steadily — the §6 'updating "
+        "strategies' question, answered\n");
+  }
+  return 0;
+}

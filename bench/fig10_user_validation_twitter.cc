@@ -1,0 +1,72 @@
+// Figure 10: relevance scores from the (simulated) Twitter user-validation
+// task — 54 raters mark the top-3 recommendations of Katz, Tr and
+// TwitterRank for the topics technology, social and leisure on a 1-5 scale.
+//
+// Paper anchors: social is ambiguous and compresses to 2.7 (TWR) / 2.8
+// (Katz) / 2.9 (Tr); on the clearer topics Tr and TwitterRank beat Katz;
+// TwitterRank is slightly better on the most popular topic (technology),
+// Tr better on medium-popularity leisure.
+
+#include <cstdio>
+
+#include "baselines/katz.h"
+#include "baselines/twitterrank.h"
+#include "bench_common.h"
+#include "core/recommender.h"
+#include "eval/user_study.h"
+#include "topics/similarity_matrix.h"
+#include "topics/vocabulary.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace mbr;
+  bench::PrintHeader(
+      "Figure 10 — Relevance scores (user validation, Twitter, simulated "
+      "raters)",
+      "EDBT'16 Fig. 10, §5.3 — see DESIGN.md for the rater-simulation "
+      "substitution");
+
+  datagen::GeneratedDataset ds =
+      datagen::GenerateTwitter(bench::BenchTwitterConfig(8000));
+  const auto& vocab = topics::TwitterVocabulary();
+
+  core::ScoreParams params;
+  core::TrRecommender tr(ds.graph, topics::TwitterSimilarity(), params);
+  baselines::KatzRecommender katz(ds.graph, topics::TwitterSimilarity(),
+                                  params);
+  baselines::TwitterRank twr(ds.graph);
+  std::vector<core::Recommender*> algos = {&katz, &tr, &twr};
+
+  eval::UserStudyConfig cfg;
+  cfg.num_raters = 54;  // the paper's panel size
+  cfg.num_queries = bench::EnvTrials(30);
+  cfg.seed = bench::EnvSeed(54);
+  // Ambiguity per topic: the paper's raters found social hard to judge
+  // (mixed with health / politics), technology and leisure clear.
+  cfg.topic_ambiguity.assign(vocab.size(), 0.35);
+  cfg.topic_ambiguity[vocab.Id("social")] = 0.70;
+  cfg.topic_ambiguity[vocab.Id("technology")] = 0.15;
+  cfg.topic_ambiguity[vocab.Id("leisure")] = 0.20;
+
+  util::TablePrinter tp(
+      {"topic", "Katz", "Tr", "TwitterRank", "paper (Katz/Tr/TWR)"});
+  struct Probe {
+    const char* topic;
+    const char* paper;
+  };
+  for (const Probe& p : {Probe{"technology", "Tr ~ TWR > Katz; TWR best"},
+                         Probe{"social", "2.8 / 2.9 / 2.7 (all mid-scale)"},
+                         Probe{"leisure", "Tr best, TWR close, Katz behind"}}) {
+    auto outcomes = RunUserStudy(ds, algos, vocab.Id(p.topic), cfg);
+    tp.AddRow({p.topic, util::TablePrinter::Num(outcomes[0].avg_mark, 2),
+               util::TablePrinter::Num(outcomes[1].avg_mark, 2),
+               util::TablePrinter::Num(outcomes[2].avg_mark, 2), p.paper});
+  }
+  tp.Print("Average relevance mark (1-5 scale, 54 simulated raters)");
+
+  std::printf(
+      "\nexpected shape: social compressed to the 2-3 midpoint for all "
+      "algorithms; on clear topics the content-aware scores (Tr, TWR) beat "
+      "the purely topological Katz\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 7: precision vs recall on the DBLP-like dataset.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/algorithms.h"
+#include "eval/linkpred.h"
+#include "topics/similarity_matrix.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace mbr;
+  bench::PrintHeader("Figure 7 — Precision vs recall (DBLP)",
+                     "EDBT'16 Fig. 7, §5.3");
+
+  datagen::GeneratedDataset ds = datagen::GenerateDblp(bench::BenchDblpConfig());
+  core::ScoreParams params;
+  auto algos = eval::StandardAlgorithms(topics::DblpSimilarity(), params,
+                                        /*include_ablations=*/false);
+  eval::LinkPredConfig cfg;
+  cfg.test_edges = 100;
+  cfg.trials = bench::EnvTrials(3);
+  cfg.seed = bench::EnvSeed(2016);
+  auto curves = eval::RunLinkPrediction(ds.graph, algos, cfg);
+
+  util::TablePrinter tp({"N", "recall Tr", "prec Tr", "recall Katz",
+                         "prec Katz", "recall TWR", "prec TWR"});
+  for (uint32_t n = 1; n <= cfg.max_top_n; ++n) {
+    tp.AddRow({std::to_string(n),
+               util::TablePrinter::Num(curves[0].recall_at[n - 1], 3),
+               util::TablePrinter::Num(curves[0].precision_at[n - 1], 4),
+               util::TablePrinter::Num(curves[1].recall_at[n - 1], 3),
+               util::TablePrinter::Num(curves[1].precision_at[n - 1], 4),
+               util::TablePrinter::Num(curves[2].recall_at[n - 1], 3),
+               util::TablePrinter::Num(curves[2].precision_at[n - 1], 4)});
+  }
+  tp.Print("Precision/recall sweep over N (one point per N)");
+  std::printf("\nexpected shape: Tr above Katz above TwitterRank across the "
+              "whole precision-recall trade-off\n");
+  return 0;
+}

@@ -1,0 +1,220 @@
+// google-benchmark micro benchmarks for the core primitives: graph
+// construction, authority indexing, score exploration (exact and pruned),
+// TwitterRank power iteration, landmark index build and approximate
+// queries, Wu-Palmer similarity lookups.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/twitterrank.h"
+#include "core/authority.h"
+#include "core/recommender.h"
+#include "core/scorer.h"
+#include "datagen/twitter_generator.h"
+#include "landmark/approx.h"
+#include "landmark/index.h"
+#include "landmark/selection.h"
+#include "topics/similarity_matrix.h"
+#include "distributed/partition.h"
+#include "dynamic/churn.h"
+#include "graph/edgelist.h"
+#include "text/naive_bayes.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mbr;
+
+const datagen::GeneratedDataset& Dataset(uint32_t nodes) {
+  static std::map<uint32_t, datagen::GeneratedDataset>& cache =
+      *new std::map<uint32_t, datagen::GeneratedDataset>();
+  auto it = cache.find(nodes);
+  if (it == cache.end()) {
+    datagen::TwitterConfig c;
+    c.num_nodes = nodes;
+    it = cache.emplace(nodes, datagen::GenerateTwitter(c)).first;
+  }
+  return it->second;
+}
+
+void BM_GenerateTwitter(benchmark::State& state) {
+  datagen::TwitterConfig c;
+  c.num_nodes = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto ds = datagen::GenerateTwitter(c);
+    benchmark::DoNotOptimize(ds.graph.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * c.num_nodes);
+}
+BENCHMARK(BM_GenerateTwitter)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_BuildAuthorityIndex(benchmark::State& state) {
+  const auto& ds = Dataset(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    core::AuthorityIndex idx(ds.graph);
+    benchmark::DoNotOptimize(idx.Authority(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.graph.num_edges());
+}
+BENCHMARK(BM_BuildAuthorityIndex)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_ExactExploreSingleTopic(benchmark::State& state) {
+  const auto& ds = Dataset(static_cast<uint32_t>(state.range(0)));
+  core::AuthorityIndex auth(ds.graph);
+  core::ScoreParams params;
+  core::Scorer scorer(ds.graph, auth, topics::TwitterSimilarity(), params);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    graph::NodeId u =
+        static_cast<graph::NodeId>(rng.UniformU64(ds.graph.num_nodes()));
+    auto res = scorer.Explore(u, topics::TopicSet::Single(0));
+    benchmark::DoNotOptimize(res.reached().size());
+  }
+}
+BENCHMARK(BM_ExactExploreSingleTopic)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_ExactExploreAllTopics(benchmark::State& state) {
+  const auto& ds = Dataset(static_cast<uint32_t>(state.range(0)));
+  core::AuthorityIndex auth(ds.graph);
+  core::ScoreParams params;
+  core::Scorer scorer(ds.graph, auth, topics::TwitterSimilarity(), params);
+  topics::TopicSet all;
+  for (int t = 0; t < ds.graph.num_topics(); ++t) {
+    all.Add(static_cast<topics::TopicId>(t));
+  }
+  util::Rng rng(1);
+  for (auto _ : state) {
+    graph::NodeId u =
+        static_cast<graph::NodeId>(rng.UniformU64(ds.graph.num_nodes()));
+    auto res = scorer.Explore(u, all);
+    benchmark::DoNotOptimize(res.reached().size());
+  }
+}
+BENCHMARK(BM_ExactExploreAllTopics)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_ApproxQuery(benchmark::State& state) {
+  const auto& ds = Dataset(8000);
+  core::AuthorityIndex auth(ds.graph);
+  landmark::SelectionConfig scfg;
+  scfg.num_landmarks = static_cast<uint32_t>(state.range(0));
+  auto sel = SelectLandmarks(ds.graph, landmark::SelectionStrategy::kFollow,
+                             scfg);
+  landmark::LandmarkIndexConfig icfg;
+  icfg.top_n = 100;
+  landmark::LandmarkIndex index(ds.graph, auth, topics::TwitterSimilarity(),
+                                sel.landmarks, icfg);
+  landmark::ApproxConfig acfg;
+  landmark::ApproxRecommender approx(ds.graph, auth,
+                                     topics::TwitterSimilarity(), index,
+                                     acfg);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    graph::NodeId u =
+        static_cast<graph::NodeId>(rng.UniformU64(ds.graph.num_nodes()));
+    auto recs = approx.RecommendTopN(u, 0, 10);
+    benchmark::DoNotOptimize(recs.size());
+  }
+}
+BENCHMARK(BM_ApproxQuery)->Arg(20)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_LandmarkIndexBuild(benchmark::State& state) {
+  const auto& ds = Dataset(2000);
+  core::AuthorityIndex auth(ds.graph);
+  landmark::SelectionConfig scfg;
+  scfg.num_landmarks = 10;
+  auto sel = SelectLandmarks(ds.graph, landmark::SelectionStrategy::kRandom,
+                             scfg);
+  landmark::LandmarkIndexConfig icfg;
+  icfg.top_n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    landmark::LandmarkIndex index(ds.graph, auth,
+                                  topics::TwitterSimilarity(),
+                                  sel.landmarks, icfg);
+    benchmark::DoNotOptimize(index.StorageBytes());
+  }
+}
+BENCHMARK(BM_LandmarkIndexBuild)->Arg(10)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_TwitterRankBuild(benchmark::State& state) {
+  const auto& ds = Dataset(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    baselines::TwitterRank twr(ds.graph);
+    benchmark::DoNotOptimize(twr.Score(0, 0));
+  }
+}
+BENCHMARK(BM_TwitterRankBuild)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_WuPalmerMatrixLookup(benchmark::State& state) {
+  const auto& sim = topics::TwitterSimilarity();
+  util::Rng rng(1);
+  for (auto _ : state) {
+    topics::TopicId a = static_cast<topics::TopicId>(rng.UniformU64(18));
+    topics::TopicId b = static_cast<topics::TopicId>(rng.UniformU64(18));
+    benchmark::DoNotOptimize(sim.Sim(a, b));
+  }
+}
+BENCHMARK(BM_WuPalmerMatrixLookup);
+
+
+void BM_PartitionGraph(benchmark::State& state) {
+  const auto& ds = Dataset(8000);
+  distributed::PartitionConfig c;
+  c.num_partitions = 4;
+  auto strategy = static_cast<distributed::PartitionStrategy>(state.range(0));
+  for (auto _ : state) {
+    auto part = PartitionGraph(ds.graph, strategy, c);
+    benchmark::DoNotOptimize(part.edge_cut);
+  }
+}
+BENCHMARK(BM_PartitionGraph)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaGraphChurnRound(benchmark::State& state) {
+  const auto& ds = Dataset(8000);
+  for (auto _ : state) {
+    dynamic::DeltaGraph overlay(&ds.graph);
+    util::Rng rng(7);
+    dynamic::ChurnConfig churn;
+    auto stats = ApplyChurnRound(&overlay, nullptr, churn, &rng);
+    benchmark::DoNotOptimize(stats.edges_added);
+  }
+}
+BENCHMARK(BM_DeltaGraphChurnRound)->Unit(benchmark::kMillisecond);
+
+void BM_EdgeListRoundTrip(benchmark::State& state) {
+  const auto& ds = Dataset(2000);
+  std::string path = "/tmp/mbr_bench_edges.txt";
+  for (auto _ : state) {
+    (void)graph::WriteEdgeList(ds.graph, topics::TwitterVocabulary(), path);
+    auto r = graph::ReadEdgeList(path, topics::TwitterVocabulary());
+    benchmark::DoNotOptimize(r.ok());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_EdgeListRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_NaiveBayesTrain(benchmark::State& state) {
+  text::TopicLanguageModel lm = text::MakeTwitterLanguageModel(3);
+  util::Rng rng(4);
+  std::vector<text::LabeledDocument> docs;
+  for (int t = 0; t < 18; ++t) {
+    for (int d = 0; d < 20; ++d) {
+      topics::TopicSet labels =
+          topics::TopicSet::Single(static_cast<topics::TopicId>(t));
+      std::string txt;
+      for (const auto& tw : lm.GenerateUserTweets(labels, 10, &rng)) {
+        txt += tw;
+        txt.push_back(' ');
+      }
+      docs.push_back({std::move(txt), labels});
+    }
+  }
+  for (auto _ : state) {
+    text::NaiveBayesClassifier nb(18);
+    nb.Train(docs);
+    benchmark::DoNotOptimize(nb.trained());
+  }
+}
+BENCHMARK(BM_NaiveBayesTrain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

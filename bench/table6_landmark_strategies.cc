@@ -1,0 +1,102 @@
+// Table 6: quality/efficiency comparison of the 11 landmark selection
+// strategies — average number of landmarks met by the depth-2 exploration,
+// approximate query time with its gain over the exact computation, and the
+// Kendall tau distance to the exact top-100 when landmarks store the
+// top-10 / top-100 / top-1000 per topic.
+//
+// Paper anchors (100 landmarks): #lnd ranges from 2.9 (Random/Btw-Pub) to
+// 58.9 (In-Deg); queries run in 0.54-0.93 s — a gain of 338x-585x (2-3
+// orders of magnitude); tau between 0.06 (Btw-Fol) and 0.52 (In-Deg@L10),
+// improving with larger stored lists for the degree-based strategies.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/authority.h"
+#include "eval/approx_eval.h"
+#include "topics/similarity_matrix.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace mbr;
+  bench::PrintHeader(
+      "Table 6 — Comparison of the landmark selection strategies",
+      "EDBT'16 Table 6, §5.4");
+
+  datagen::GeneratedDataset ds =
+      datagen::GenerateTwitter(bench::BenchTwitterConfig());
+  core::AuthorityIndex auth(ds.graph);
+
+  eval::ApproxEvalConfig cfg;
+  cfg.selection.num_landmarks = 100;
+  cfg.selection.band_min = 5;
+  cfg.selection.band_max = 500;
+  cfg.stored_top_ns = {10, 100, 1000};
+  cfg.num_queries = bench::EnvTrials(15);
+  // Comparison depth scaled to the laptop-size graph (the paper compares
+  // top-100 at 2.2M nodes; at 20k nodes the strong-signal region is the
+  // first few dozen ranks, deeper ranks are near-ties).
+  cfg.compare_top_n = 20;
+  cfg.seed = bench::EnvSeed(5);
+
+  util::TablePrinter tp({"Strategy", "#lnd", "time in ms (gain)", "L10",
+                         "L100", "L1000"});
+  size_t l1000_bytes_per_landmark = 0;
+  for (auto strategy : landmark::AllStrategies()) {
+    eval::StrategyEvaluation ev = EvaluateStrategy(
+        ds.graph, auth, topics::TwitterSimilarity(), strategy, cfg);
+    l1000_bytes_per_landmark = ev.index_bytes_largest / 100;
+    char timing[64];
+    std::snprintf(timing, sizeof(timing), "%.3f (%.0f)",
+                  ev.avg_query_seconds * 1e3, ev.gain);
+    tp.AddRow({landmark::StrategyName(strategy),
+               util::TablePrinter::Num(ev.avg_landmarks_met, 1), timing,
+               util::TablePrinter::Num(ev.kendall_tau[0], 3),
+               util::TablePrinter::Num(ev.kendall_tau[1], 3),
+               util::TablePrinter::Num(ev.kendall_tau[2], 3)});
+  }
+  tp.Print("Landmark strategy comparison (100 landmarks)");
+  std::printf(
+      "\nstored top-1000 lists: %.2f MB per landmark (paper §5.4: ~1.4 MB "
+      "per landmark, 'can easily fit in memory')\n",
+      static_cast<double>(l1000_bytes_per_landmark) / (1024.0 * 1024.0));
+
+  // ---- Gain scaling: the approximate query cost is bounded by the depth-2
+  // vicinity while the exact computation explores the whole graph, so the
+  // speed-up grows with |N| — the paper's 2-3 orders of magnitude hold at
+  // 2.2M nodes; we show the trend toward it.
+  {
+    util::TablePrinter sp({"graph nodes", "exact (ms)", "approx (ms)",
+                           "gain"});
+    for (uint32_t nodes : {5000u, 15000u, 40000u}) {
+      datagen::TwitterConfig gc = bench::BenchTwitterConfig(nodes);
+      gc.num_nodes = nodes;  // sweep ignores MBR_SCALE
+      datagen::GeneratedDataset d = datagen::GenerateTwitter(gc);
+      core::AuthorityIndex a(d.graph);
+      eval::ApproxEvalConfig c;
+      c.selection.num_landmarks = 100;
+      c.stored_top_ns = {100};
+      c.num_queries = 10;
+      c.compare_top_n = 20;
+      eval::StrategyEvaluation e =
+          EvaluateStrategy(d.graph, a, topics::TwitterSimilarity(),
+                           landmark::SelectionStrategy::kRandom, c);
+      sp.AddRow({util::TablePrinter::Int(nodes),
+                 util::TablePrinter::Num(e.avg_exact_seconds * 1e3, 3),
+                 util::TablePrinter::Num(e.avg_query_seconds * 1e3, 3),
+                 util::TablePrinter::Num(e.gain, 0)});
+    }
+    sp.Print("Exact-vs-approximate gain as the graph grows (Random)");
+  }
+
+  std::printf(
+      "\npaper row examples — Random: 2.9 lnd, gain 338, tau 0.130/0.124/"
+      "0.125; In-Deg: 58.9 lnd, gain 373, tau 0.523/0.149/0.066; Btw-Fol: "
+      "3.5 lnd, gain 577, tau ~0.06\n");
+  std::printf(
+      "expected shape: degree-heavy strategies meet many landmarks; all "
+      "strategies gain 2-3 orders of magnitude over the exact computation; "
+      "storing more recommendations never hurts tau for the degree-based "
+      "strategies\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Landmark tuning explorer: how the number of landmarks, the stored-list
+// size, and the exploration depth trade pre-processing cost and index size
+// against approximation quality — the §4/§5.4 design space, interactively.
+//
+//   ./build/examples/landmark_tuning [num_nodes]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/authority.h"
+#include "core/scorer.h"
+#include "datagen/twitter_generator.h"
+#include "eval/approx_eval.h"
+#include "landmark/selection.h"
+#include "topics/similarity_matrix.h"
+#include "util/table_printer.h"
+
+using namespace mbr;
+
+int main(int argc, char** argv) {
+  uint32_t num_nodes = argc > 1 ? std::atoi(argv[1]) : 10000;
+
+  datagen::TwitterConfig config;
+  config.num_nodes = num_nodes;
+  datagen::GeneratedDataset ds = datagen::GenerateTwitter(config);
+  core::AuthorityIndex auth(ds.graph);
+  std::printf("graph: %u users, %llu edges\n", ds.graph.num_nodes(),
+              static_cast<unsigned long long>(ds.graph.num_edges()));
+
+  // ---- Sweep 1: number of landmarks (Follow strategy, top-100 stored).
+  {
+    util::TablePrinter tp({"#landmarks", "build s/landmark", "index KB",
+                           "#lnd met", "tau@20", "query ms"});
+    for (uint32_t count : {10u, 50u, 200u}) {
+      eval::ApproxEvalConfig cfg;
+      cfg.selection.num_landmarks = count;
+      cfg.stored_top_ns = {100};
+      cfg.num_queries = 10;
+      cfg.compare_top_n = 20;
+      eval::StrategyEvaluation ev =
+          EvaluateStrategy(ds.graph, auth, topics::TwitterSimilarity(),
+                           landmark::SelectionStrategy::kFollow, cfg);
+      tp.AddRow({util::TablePrinter::Int(count),
+                 util::TablePrinter::Num(ev.build_seconds_per_landmark, 4),
+                 util::TablePrinter::Num(ev.index_bytes_largest / 1024.0, 1),
+                 util::TablePrinter::Num(ev.avg_landmarks_met, 1),
+                 util::TablePrinter::Num(ev.kendall_tau[0], 3),
+                 util::TablePrinter::Num(ev.avg_query_seconds * 1e3, 3)});
+    }
+    tp.Print("More landmarks: better coverage, linearly costlier offline");
+  }
+
+  // ---- Sweep 2: stored top-n (100 landmarks).
+  {
+    util::TablePrinter tp({"stored top-n", "index KB", "tau@20"});
+    eval::ApproxEvalConfig cfg;
+    cfg.selection.num_landmarks = 100;
+    cfg.stored_top_ns = {10, 100, 1000};
+    cfg.num_queries = 10;
+    cfg.compare_top_n = 20;
+    eval::StrategyEvaluation ev =
+        EvaluateStrategy(ds.graph, auth, topics::TwitterSimilarity(),
+                         landmark::SelectionStrategy::kFollow, cfg);
+    // Index size scales linearly with the stored list length.
+    for (size_t i = 0; i < cfg.stored_top_ns.size(); ++i) {
+      double kb = ev.index_bytes_largest / 1024.0 *
+                  (static_cast<double>(cfg.stored_top_ns[i]) /
+                   cfg.stored_top_ns.back());
+      tp.AddRow({util::TablePrinter::Int(cfg.stored_top_ns[i]),
+                 util::TablePrinter::Num(kb, 1),
+                 util::TablePrinter::Num(ev.kendall_tau[i], 3)});
+    }
+    tp.Print("Stored list size: memory vs approximation quality (Table 6)");
+  }
+
+  // ---- Sweep 3: exploration depth of the online query (Algorithm 2).
+  {
+    util::TablePrinter tp({"query depth", "#lnd met", "tau@20", "query ms"});
+    for (uint32_t depth : {1u, 2u, 3u}) {
+      eval::ApproxEvalConfig cfg;
+      cfg.selection.num_landmarks = 100;
+      cfg.stored_top_ns = {100};
+      cfg.num_queries = 10;
+      cfg.compare_top_n = 20;
+      cfg.query_depth = depth;
+      eval::StrategyEvaluation ev =
+          EvaluateStrategy(ds.graph, auth, topics::TwitterSimilarity(),
+                           landmark::SelectionStrategy::kFollow, cfg);
+      tp.AddRow({util::TablePrinter::Int(depth),
+                 util::TablePrinter::Num(ev.avg_landmarks_met, 1),
+                 util::TablePrinter::Num(ev.kendall_tau[0], 3),
+                 util::TablePrinter::Num(ev.avg_query_seconds * 1e3, 3)});
+    }
+    tp.Print("Query depth: deeper BFS finds more landmarks but costs time");
+  }
+  return 0;
+}

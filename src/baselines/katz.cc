@@ -1,0 +1,34 @@
+#include "baselines/katz.h"
+
+#include "util/top_k.h"
+
+namespace mbr::baselines {
+
+KatzRecommender::KatzRecommender(const graph::LabeledGraph& g,
+                                 const topics::SimilarityMatrix& sim,
+                                 const core::ScoreParams& params)
+    : g_(g), authority_(g), scorer_(g, authority_, sim, params) {}
+
+std::vector<double> KatzRecommender::ScoreCandidates(
+    graph::NodeId u, topics::TopicId /*t*/,
+    const std::vector<graph::NodeId>& candidates) const {
+  core::ExplorationResult res = scorer_.Explore(u, topics::TopicSet());
+  std::vector<double> out;
+  out.reserve(candidates.size());
+  for (graph::NodeId v : candidates) out.push_back(res.TopoBeta(v));
+  return out;
+}
+
+std::vector<util::ScoredId> KatzRecommender::RecommendTopN(
+    graph::NodeId u, topics::TopicId /*t*/, size_t n) const {
+  core::ExplorationResult res = scorer_.Explore(u, topics::TopicSet());
+  util::TopK topk(n);
+  for (graph::NodeId v : res.reached()) {
+    if (v == u) continue;
+    double s = res.TopoBeta(v);
+    if (s > 0.0) topk.Offer(v, s);
+  }
+  return topk.Take();
+}
+
+}  // namespace mbr::baselines

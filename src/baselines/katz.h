@@ -1,0 +1,45 @@
+#ifndef MBR_BASELINES_KATZ_H_
+#define MBR_BASELINES_KATZ_H_
+
+// Katz score baseline (Liben-Nowell & Kleinberg [16], Equation 2 of the
+// paper): topo_β(u, v) = Σ_{p: u ❀ v} β^|p| — the Tr score with the topical
+// relevance fixed to 1. Purely topological; the topic argument of the
+// Recommender interface is ignored.
+
+#include <string>
+#include <vector>
+
+#include "core/authority.h"
+#include "core/params.h"
+#include "core/recommender_iface.h"
+#include "core/scorer.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::baselines {
+
+class KatzRecommender : public core::Recommender {
+ public:
+  KatzRecommender(const graph::LabeledGraph& g,
+                  const topics::SimilarityMatrix& sim,
+                  const core::ScoreParams& params = {});
+
+  std::string name() const override { return "Katz"; }
+
+  std::vector<double> ScoreCandidates(
+      graph::NodeId u, topics::TopicId t,
+      const std::vector<graph::NodeId>& candidates) const override;
+
+  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
+                                            topics::TopicId t,
+                                            size_t n) const override;
+
+ private:
+  const graph::LabeledGraph& g_;
+  core::AuthorityIndex authority_;  // unused by the score; Scorer needs it
+  core::Scorer scorer_;
+};
+
+}  // namespace mbr::baselines
+
+#endif  // MBR_BASELINES_KATZ_H_

@@ -1,0 +1,106 @@
+#include "baselines/neighborhood.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/top_k.h"
+
+namespace mbr::baselines {
+
+namespace {
+using graph::NodeId;
+}  // namespace
+
+const char* NeighborhoodScoreName(NeighborhoodScore score) {
+  switch (score) {
+    case NeighborhoodScore::kCommonNeighbors:
+      return "CommonNeighbors";
+    case NeighborhoodScore::kAdamicAdar:
+      return "AdamicAdar";
+    case NeighborhoodScore::kJaccard:
+      return "Jaccard";
+    case NeighborhoodScore::kPreferentialAttachment:
+      return "PrefAttachment";
+  }
+  return "?";
+}
+
+NeighborhoodRecommender::NeighborhoodRecommender(const graph::LabeledGraph& g,
+                                                 NeighborhoodScore score)
+    : g_(g), score_(score) {}
+
+double NeighborhoodRecommender::Score(NodeId u, NodeId v) const {
+  if (score_ == NeighborhoodScore::kPreferentialAttachment) {
+    return static_cast<double>(g_.OutDegree(u)) *
+           static_cast<double>(g_.InDegree(v));
+  }
+  // Intersection of Out(u) and In(v): both are sorted id lists.
+  auto out = g_.OutNeighbors(u);
+  auto in = g_.InNeighbors(v);
+  double acc = 0.0;
+  uint32_t common = 0;
+  size_t i = 0, j = 0;
+  while (i < out.size() && j < in.size()) {
+    if (out[i] < in[j]) {
+      ++i;
+    } else if (out[i] > in[j]) {
+      ++j;
+    } else {
+      ++common;
+      if (score_ == NeighborhoodScore::kAdamicAdar) {
+        acc += 1.0 / std::log(2.0 + g_.OutDegree(out[i]));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  switch (score_) {
+    case NeighborhoodScore::kCommonNeighbors:
+      return common;
+    case NeighborhoodScore::kAdamicAdar:
+      return acc;
+    case NeighborhoodScore::kJaccard: {
+      double uni = static_cast<double>(out.size()) +
+                   static_cast<double>(in.size()) - common;
+      return uni > 0 ? common / uni : 0.0;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+std::vector<double> NeighborhoodRecommender::ScoreCandidates(
+    NodeId u, topics::TopicId /*t*/,
+    const std::vector<NodeId>& candidates) const {
+  std::vector<double> out;
+  out.reserve(candidates.size());
+  for (NodeId v : candidates) out.push_back(Score(u, v));
+  return out;
+}
+
+std::vector<util::ScoredId> NeighborhoodRecommender::RecommendTopN(
+    NodeId u, topics::TopicId /*t*/, size_t n) const {
+  util::TopK topk(n);
+  if (score_ == NeighborhoodScore::kPreferentialAttachment) {
+    // Global candidate set; score is monotone in in-degree.
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      if (v == u) continue;
+      topk.Offer(v, Score(u, v));
+    }
+    return topk.Take();
+  }
+  // Only the 2-hop out-neighbourhood can score > 0.
+  std::unordered_map<NodeId, bool> seen;
+  for (NodeId x : g_.OutNeighbors(u)) {
+    for (NodeId v : g_.OutNeighbors(x)) {
+      if (v == u || seen.count(v)) continue;
+      seen.emplace(v, true);
+      double s = Score(u, v);
+      if (s > 0) topk.Offer(v, s);
+    }
+  }
+  return topk.Take();
+}
+
+}  // namespace mbr::baselines

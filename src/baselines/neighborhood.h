@@ -1,0 +1,61 @@
+#ifndef MBR_BASELINES_NEIGHBORHOOD_H_
+#define MBR_BASELINES_NEIGHBORHOOD_H_
+
+// Neighborhood-based link-prediction baselines from Liben-Nowell &
+// Kleinberg [16] (the paper the Katz baseline and the evaluation protocol
+// come from), adapted to the directed follow graph: a candidate v is scored
+// from the 2-hop evidence "u follows x and x follows v":
+//
+//   common-neighbors   |Out(u) ∩ In(v)|
+//   adamic-adar        Σ_{x ∈ Out(u) ∩ In(v)} 1 / log(1 + |Out(x)|)
+//   jaccard            |Out(u) ∩ In(v)| / |Out(u) ∪ In(v)|
+//   pref-attachment    |Out(u)| · |In(v)|
+//
+// All purely topological (the topic argument is ignored); they slot into
+// the same evaluation harness for extended comparisons.
+
+#include <string>
+#include <vector>
+
+#include "core/recommender_iface.h"
+#include "graph/labeled_graph.h"
+
+namespace mbr::baselines {
+
+enum class NeighborhoodScore {
+  kCommonNeighbors,
+  kAdamicAdar,
+  kJaccard,
+  kPreferentialAttachment,
+};
+
+const char* NeighborhoodScoreName(NeighborhoodScore score);
+
+class NeighborhoodRecommender : public core::Recommender {
+ public:
+  NeighborhoodRecommender(const graph::LabeledGraph& g,
+                          NeighborhoodScore score);
+
+  std::string name() const override {
+    return NeighborhoodScoreName(score_);
+  }
+
+  // Score of a single (u, v) pair.
+  double Score(graph::NodeId u, graph::NodeId v) const;
+
+  std::vector<double> ScoreCandidates(
+      graph::NodeId u, topics::TopicId t,
+      const std::vector<graph::NodeId>& candidates) const override;
+
+  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
+                                            topics::TopicId t,
+                                            size_t n) const override;
+
+ private:
+  const graph::LabeledGraph& g_;
+  NeighborhoodScore score_;
+};
+
+}  // namespace mbr::baselines
+
+#endif  // MBR_BASELINES_NEIGHBORHOOD_H_

@@ -1,0 +1,130 @@
+#include "baselines/twitterrank.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/top_k.h"
+
+namespace mbr::baselines {
+
+TwitterRank::TwitterRank(const graph::LabeledGraph& g,
+                         const TwitterRankConfig& config)
+    : num_nodes_(g.num_nodes()),
+      num_topics_(g.num_topics()),
+      config_(config) {
+  MBR_CHECK(config.teleport > 0.0 && config.teleport < 1.0);
+  rank_.assign(static_cast<size_t>(num_topics_) * num_nodes_, 0.0);
+  iterations_.assign(num_topics_, 0);
+
+  // DT'[u][t]: row-normalised topic distribution of u from node labels.
+  std::vector<double> dt_norm(static_cast<size_t>(num_nodes_) * num_topics_,
+                              0.0);
+  for (graph::NodeId u = 0; u < num_nodes_; ++u) {
+    topics::TopicSet labels = g.NodeLabels(u);
+    if (labels.empty()) continue;
+    double mass = 1.0 / labels.size();
+    for (topics::TopicId t : labels) {
+      dt_norm[static_cast<size_t>(u) * num_topics_ + t] = mass;
+    }
+  }
+
+  // Publication-volume proxy |τ_v|.
+  std::vector<double> volume(num_nodes_);
+  for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+    volume[v] = 1.0 + static_cast<double>(g.InDegree(v));
+  }
+
+  for (int t = 0; t < num_topics_; ++t) {
+    ComputeTopic(g, static_cast<topics::TopicId>(t), dt_norm, volume);
+  }
+}
+
+void TwitterRank::ComputeTopic(const graph::LabeledGraph& g,
+                               topics::TopicId t,
+                               const std::vector<double>& dt_norm,
+                               const std::vector<double>& volume) {
+  const graph::NodeId n = num_nodes_;
+  const double gamma = config_.teleport;
+
+  // Topic-specific teleport distribution E_t ∝ DT[.][t].
+  std::vector<double> et(n, 0.0);
+  double et_total = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    et[v] = dt_norm[static_cast<size_t>(v) * num_topics_ + t];
+    et_total += et[v];
+  }
+  if (et_total == 0.0) {
+    // Nobody publishes on t: uniform teleport.
+    for (graph::NodeId v = 0; v < n; ++v) et[v] = 1.0 / n;
+  } else {
+    for (graph::NodeId v = 0; v < n; ++v) et[v] /= et_total;
+  }
+
+  // Per-source normalisers: Σ_{a ∈ out(s)} sim_t(s,a)·|τ_a|.
+  std::vector<double> norm(n, 0.0);
+  auto sim_t = [&](graph::NodeId s, graph::NodeId v) {
+    double ds = dt_norm[static_cast<size_t>(s) * num_topics_ + t];
+    double dv = dt_norm[static_cast<size_t>(v) * num_topics_ + t];
+    return 1.0 - std::fabs(ds - dv);
+  };
+  for (graph::NodeId s = 0; s < n; ++s) {
+    for (graph::NodeId v : g.OutNeighbors(s)) {
+      norm[s] += sim_t(s, v) * volume[v];
+    }
+  }
+
+  std::vector<double> x(n, 1.0 / n), y(n);
+  uint32_t it = 0;
+  for (; it < config_.max_iterations; ++it) {
+    std::fill(y.begin(), y.end(), 0.0);
+    double dangling = 0.0;
+    for (graph::NodeId s = 0; s < n; ++s) {
+      if (norm[s] <= 0.0) {
+        dangling += x[s];
+        continue;
+      }
+      double xs = x[s] / norm[s];
+      if (xs == 0.0) continue;
+      for (graph::NodeId v : g.OutNeighbors(s)) {
+        y[v] += xs * sim_t(s, v) * volume[v];
+      }
+    }
+    // Walk mass + dangling mass redistributed to E_t, plus teleport.
+    double l1 = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      double nv = gamma * et[v] + (1.0 - gamma) * (y[v] + dangling * et[v]);
+      l1 += std::fabs(nv - x[v]);
+      y[v] = nv;
+    }
+    x.swap(y);
+    if (l1 < config_.tolerance) {
+      ++it;
+      break;
+    }
+  }
+  iterations_[t] = it;
+  double* out = &rank_[static_cast<size_t>(t) * n];
+  for (graph::NodeId v = 0; v < n; ++v) out[v] = x[v];
+}
+
+std::vector<double> TwitterRank::ScoreCandidates(
+    graph::NodeId /*u*/, topics::TopicId t,
+    const std::vector<graph::NodeId>& candidates) const {
+  std::vector<double> out;
+  out.reserve(candidates.size());
+  for (graph::NodeId v : candidates) out.push_back(Score(v, t));
+  return out;
+}
+
+std::vector<util::ScoredId> TwitterRank::RecommendTopN(
+    graph::NodeId u, topics::TopicId t, size_t n) const {
+  util::TopK topk(n);
+  for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+    if (v == u) continue;
+    topk.Offer(v, Score(v, t));
+  }
+  return topk.Take();
+}
+
+}  // namespace mbr::baselines

@@ -1,0 +1,119 @@
+#include "baselines/wtf_salsa.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/top_k.h"
+
+namespace mbr::baselines {
+
+namespace {
+using graph::NodeId;
+}  // namespace
+
+WtfSalsa::WtfSalsa(const graph::LabeledGraph& g, const WtfConfig& config)
+    : g_(g), config_(config) {
+  MBR_CHECK(config.circle_size > 0);
+  MBR_CHECK(config.ppr_teleport > 0.0 && config.ppr_teleport < 1.0);
+}
+
+std::vector<util::ScoredId> WtfSalsa::CircleOfTrust(NodeId u) const {
+  // Sparse personalised PageRank: the walk mass stays in u's neighbourhood,
+  // so we iterate over hash maps instead of dense vectors.
+  std::unordered_map<NodeId, double> rank;
+  rank[u] = 1.0;
+  const double gamma = config_.ppr_teleport;
+  for (uint32_t it = 0; it < config_.ppr_iterations; ++it) {
+    std::unordered_map<NodeId, double> next;
+    next.reserve(rank.size() * 4);
+    double restart = 0.0;  // teleports + dangling mass return to the ego
+    for (const auto& [node, mass] : rank) {
+      auto nbrs = g_.OutNeighbors(node);
+      if (nbrs.empty()) {
+        restart += mass;
+        continue;
+      }
+      restart += gamma * mass;
+      double share = (1.0 - gamma) * mass / static_cast<double>(nbrs.size());
+      for (NodeId v : nbrs) next[v] += share;
+    }
+    next[u] += restart;
+    rank = std::move(next);
+  }
+
+  util::TopK topk(config_.circle_size);
+  for (const auto& [node, mass] : rank) {
+    if (node != u && mass > 0.0) topk.Offer(node, mass);
+  }
+  return topk.Take();
+}
+
+std::unordered_map<NodeId, double> WtfSalsa::AuthorityScores(NodeId u) const {
+  std::vector<util::ScoredId> circle = CircleOfTrust(u);
+  std::unordered_map<NodeId, double> authority;
+  if (circle.empty()) return authority;
+
+  // Bipartite graph: hubs (circle) -> authorities (their followees).
+  std::vector<NodeId> hubs;
+  hubs.reserve(circle.size());
+  for (const util::ScoredId& c : circle) {
+    if (g_.OutDegree(c.id) > 0) hubs.push_back(c.id);
+  }
+  if (hubs.empty()) return authority;
+
+  std::unordered_map<NodeId, uint32_t> authority_in_degree;
+  for (NodeId h : hubs) {
+    for (NodeId a : g_.OutNeighbors(h)) ++authority_in_degree[a];
+  }
+
+  // SALSA: authority score a(v) and hub score h(x), alternately pushed
+  // across the bipartite edges with degree normalisation.
+  std::unordered_map<NodeId, double> hub;
+  double init = 1.0 / static_cast<double>(hubs.size());
+  for (NodeId h : hubs) hub[h] = init;
+
+  for (uint32_t it = 0; it < config_.salsa_iterations; ++it) {
+    // Hub -> authority: each hub splits its score across its followees.
+    for (auto& [a, score] : authority) score = 0.0;
+    for (NodeId h : hubs) {
+      double share = hub[h] / static_cast<double>(g_.OutDegree(h));
+      for (NodeId a : g_.OutNeighbors(h)) authority[a] += share;
+    }
+    // Authority -> hub: each authority splits its score across the hubs
+    // following it (its bipartite in-degree). Walked via the forward
+    // adjacency, which only touches the small hub set.
+    for (NodeId h : hubs) {
+      double acc = 0.0;
+      for (NodeId a : g_.OutNeighbors(h)) {
+        acc += authority[a] / static_cast<double>(authority_in_degree[a]);
+      }
+      hub[h] = acc;
+    }
+  }
+  return authority;
+}
+
+std::vector<double> WtfSalsa::ScoreCandidates(
+    NodeId u, topics::TopicId /*t*/,
+    const std::vector<NodeId>& candidates) const {
+  auto authority = AuthorityScores(u);
+  std::vector<double> out;
+  out.reserve(candidates.size());
+  for (NodeId v : candidates) {
+    auto it = authority.find(v);
+    out.push_back(it == authority.end() ? 0.0 : it->second);
+  }
+  return out;
+}
+
+std::vector<util::ScoredId> WtfSalsa::RecommendTopN(
+    NodeId u, topics::TopicId /*t*/, size_t n) const {
+  auto authority = AuthorityScores(u);
+  util::TopK topk(n);
+  for (const auto& [v, score] : authority) {
+    if (v != u && score > 0.0) topk.Offer(v, score);
+  }
+  return topk.Take();
+}
+
+}  // namespace mbr::baselines

@@ -1,0 +1,66 @@
+#ifndef MBR_BASELINES_WTF_SALSA_H_
+#define MBR_BASELINES_WTF_SALSA_H_
+
+// "Who to Follow" baseline (Gupta et al., WWW 2013 [10]) — Twitter's
+// production recommender the paper discusses in related work:
+//
+//   1. Circle of trust: the top-k nodes of an egocentric random walk
+//      (personalised PageRank with teleport to the query user) over the
+//      follow graph.
+//   2. A bipartite hub/authority graph: hubs = the circle of trust,
+//      authorities = everyone the hubs follow; SALSA iterations
+//      (Lempel & Moran [15]) alternately distribute hub and authority
+//      scores across its edges.
+//   3. Recommendations = authorities ranked by SALSA authority score.
+//
+// Personalised by construction (unlike TwitterRank) but content-blind
+// (unlike Tr): the topic argument is ignored, which is exactly the
+// contrast the paper draws with its labeled-graph approach.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recommender_iface.h"
+#include "graph/labeled_graph.h"
+
+namespace mbr::baselines {
+
+struct WtfConfig {
+  uint32_t circle_size = 50;      // |circle of trust|
+  double ppr_teleport = 0.15;     // restart probability of the ego walk
+  uint32_t ppr_iterations = 20;
+  uint32_t salsa_iterations = 10;
+};
+
+class WtfSalsa : public core::Recommender {
+ public:
+  explicit WtfSalsa(const graph::LabeledGraph& g, const WtfConfig& config = {});
+
+  std::string name() const override { return "WTF-SALSA"; }
+
+  // Authority scores of all candidates reachable through the circle of
+  // trust of `u` (empty if u follows nobody).
+  std::unordered_map<graph::NodeId, double> AuthorityScores(
+      graph::NodeId u) const;
+
+  // The circle of trust itself, ranked by personalised PageRank (u
+  // excluded). Exposed for tests.
+  std::vector<util::ScoredId> CircleOfTrust(graph::NodeId u) const;
+
+  std::vector<double> ScoreCandidates(
+      graph::NodeId u, topics::TopicId t,
+      const std::vector<graph::NodeId>& candidates) const override;
+
+  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
+                                            topics::TopicId t,
+                                            size_t n) const override;
+
+ private:
+  const graph::LabeledGraph& g_;
+  WtfConfig config_;
+};
+
+}  // namespace mbr::baselines
+
+#endif  // MBR_BASELINES_WTF_SALSA_H_

@@ -1,0 +1,50 @@
+#include "core/authority.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mbr::core {
+
+AuthorityIndex::AuthorityIndex(const graph::LabeledGraph& g) {
+  num_topics_ = g.num_topics();
+  const graph::NodeId n = g.num_nodes();
+  const int nt = num_topics_;
+  total_followers_.resize(n);
+  followers_on_topic_.assign(static_cast<size_t>(n) * nt, 0);
+  max_followers_on_topic_.assign(nt, 0);
+
+  for (graph::NodeId u = 0; u < n; ++u) {
+    total_followers_[u] = g.InDegree(u);
+    uint32_t* row = &followers_on_topic_[static_cast<size_t>(u) * nt];
+    for (topics::TopicSet labels : g.InEdgeLabels(u)) {
+      for (topics::TopicId t : labels) ++row[t];
+    }
+    for (int t = 0; t < nt; ++t) {
+      max_followers_on_topic_[t] =
+          std::max(max_followers_on_topic_[t], row[t]);
+    }
+  }
+
+  authority_.assign(static_cast<size_t>(n) * nt, 0.0);
+  std::vector<double> log_max(nt);
+  for (int t = 0; t < nt; ++t) {
+    log_max[t] = std::log(1.0 + max_followers_on_topic_[t]);
+  }
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const uint32_t* row = &followers_on_topic_[static_cast<size_t>(u) * nt];
+    // Example 1 semantics: the denominator is the count of topic labelings
+    // over all in-edges of u.
+    uint64_t label_mass = 0;
+    for (int t = 0; t < nt; ++t) label_mass += row[t];
+    if (label_mass == 0) continue;  // auth(u, .) = 0
+    double* out = &authority_[static_cast<size_t>(u) * nt];
+    for (int t = 0; t < nt; ++t) {
+      if (row[t] == 0 || log_max[t] == 0.0) continue;
+      double local = static_cast<double>(row[t]) / static_cast<double>(label_mass);
+      double global = std::log(1.0 + row[t]) / log_max[t];
+      out[t] = local * global;
+    }
+  }
+}
+
+}  // namespace mbr::core

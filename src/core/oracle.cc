@@ -1,0 +1,69 @@
+#include "core/oracle.h"
+
+#include <cmath>
+
+namespace mbr::core {
+
+namespace {
+
+struct WalkState {
+  const graph::LabeledGraph& g;
+  const AuthorityIndex& authority;
+  const topics::SimilarityMatrix& sim;
+  const ScoreParams& params;
+  topics::TopicId topic;
+  uint32_t max_len;
+  OracleScores* out;
+};
+
+// Extends the walk currently ending at `u` with length `len` and topical
+// sum `relevance` = Σ_{j<=len} α^j s_j auth_j.
+void Extend(WalkState& st, graph::NodeId u, uint32_t len, double relevance) {
+  if (len == st.max_len) return;
+  auto nbrs = st.g.OutNeighbors(u);
+  auto labs = st.g.OutEdgeLabels(u);
+  const uint32_t next_len = len + 1;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    graph::NodeId v = nbrs[i];
+    double s, a;
+    switch (st.params.variant) {
+      case ScoreVariant::kFull:
+        s = st.sim.MaxSim(labs[i], st.topic);
+        a = st.authority.Authority(v, st.topic);
+        break;
+      case ScoreVariant::kNoAuth:
+        s = st.sim.MaxSim(labs[i], st.topic);
+        a = 1.0;
+        break;
+      case ScoreVariant::kNoSim:
+        s = 1.0;
+        a = st.authority.Authority(v, st.topic);
+        break;
+      default:
+        s = a = 0.0;
+    }
+    double rel = relevance + std::pow(st.params.alpha, next_len) * s * a;
+    double beta_k = std::pow(st.params.beta, next_len);
+    st.out->sigma[v] += beta_k * rel;
+    st.out->topo_beta[v] += beta_k;
+    st.out->topo_alphabeta[v] +=
+        std::pow(st.params.alpha * st.params.beta, next_len);
+    Extend(st, v, next_len, rel);
+  }
+}
+
+}  // namespace
+
+OracleScores BruteForceScores(const graph::LabeledGraph& g,
+                              const AuthorityIndex& authority,
+                              const topics::SimilarityMatrix& sim,
+                              const ScoreParams& params,
+                              graph::NodeId source, topics::TopicId topic,
+                              uint32_t max_len) {
+  OracleScores out;
+  WalkState st{g, authority, sim, params, topic, max_len, &out};
+  Extend(st, source, 0, 0.0);
+  return out;
+}
+
+}  // namespace mbr::core

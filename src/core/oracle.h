@@ -1,0 +1,53 @@
+#ifndef MBR_CORE_ORACLE_H_
+#define MBR_CORE_ORACLE_H_
+
+// Brute-force walk enumeration implementing Definition 1 literally.
+//
+// For testing only: enumerates every walk p : source ❀ v of length <= max_len
+// and accumulates
+//
+//   σ(source, v, t) = Σ_p β^|p| Σ_{j=1..|p|} α^j · maxsim(label(e_j), t) ·
+//                                             auth(end(e_j), t)
+//   topo_β  = Σ_p β^|p|,  topo_αβ = Σ_p (αβ)^|p|
+//
+// independently of the iterative engine, so the two implementations check
+// each other. Exponential in max_len — tiny graphs only.
+
+#include <unordered_map>
+
+#include "core/authority.h"
+#include "core/params.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::core {
+
+struct OracleScores {
+  std::unordered_map<graph::NodeId, double> sigma;
+  std::unordered_map<graph::NodeId, double> topo_beta;
+  std::unordered_map<graph::NodeId, double> topo_alphabeta;
+
+  double Sigma(graph::NodeId v) const {
+    auto it = sigma.find(v);
+    return it == sigma.end() ? 0.0 : it->second;
+  }
+  double TopoBeta(graph::NodeId v) const {
+    auto it = topo_beta.find(v);
+    return it == topo_beta.end() ? 0.0 : it->second;
+  }
+  double TopoAlphaBeta(graph::NodeId v) const {
+    auto it = topo_alphabeta.find(v);
+    return it == topo_alphabeta.end() ? 0.0 : it->second;
+  }
+};
+
+OracleScores BruteForceScores(const graph::LabeledGraph& g,
+                              const AuthorityIndex& authority,
+                              const topics::SimilarityMatrix& sim,
+                              const ScoreParams& params,
+                              graph::NodeId source, topics::TopicId topic,
+                              uint32_t max_len);
+
+}  // namespace mbr::core
+
+#endif  // MBR_CORE_ORACLE_H_

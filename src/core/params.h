@@ -1,0 +1,38 @@
+#ifndef MBR_CORE_PARAMS_H_
+#define MBR_CORE_PARAMS_H_
+
+// Scoring parameters shared by the exact and landmark-based computations.
+
+#include <cstdint>
+
+namespace mbr::core {
+
+// Ablation variants evaluated in Figure 4.
+enum class ScoreVariant {
+  kFull,    // Tr: edge similarity x authority (Equations 3 + 4)
+  kNoAuth,  // Tr-auth: edge similarity only (auth term = 1)
+  kNoSim,   // Tr-sim: authority only (similarity term = 1)
+};
+
+struct ScoreParams {
+  // Path decay factor β of Equation 1 and edge decay factor α of
+  // Equation 3; §5.2 uses β = 0.0005 (as for Katz in [16]) and α = 0.85
+  // (as for TwitterRank in [26]).
+  double beta = 0.0005;
+  double alpha = 0.85;
+
+  // Iterations stop when the per-topic average of the newly added score
+  // mass drops below this (Algorithm 1, line 15) or when max_depth is hit.
+  double tolerance = 1e-12;
+  uint32_t max_depth = 8;
+
+  // Frontier entries whose pending deltas are all below this are pruned;
+  // 0 disables pruning (needed when comparing against the oracle exactly).
+  double frontier_epsilon = 1e-15;
+
+  ScoreVariant variant = ScoreVariant::kFull;
+};
+
+}  // namespace mbr::core
+
+#endif  // MBR_CORE_PARAMS_H_

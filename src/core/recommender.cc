@@ -1,0 +1,61 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+
+namespace mbr::core {
+
+TrRecommender::TrRecommender(const graph::LabeledGraph& g,
+                             const topics::SimilarityMatrix& sim,
+                             const ScoreParams& params)
+    : g_(g), params_(params), authority_(g), scorer_(g, authority_, sim, params) {}
+
+std::string TrRecommender::name() const {
+  switch (params_.variant) {
+    case ScoreVariant::kFull:
+      return "Tr";
+    case ScoreVariant::kNoAuth:
+      return "Tr-auth";
+    case ScoreVariant::kNoSim:
+      return "Tr-sim";
+  }
+  return "Tr?";
+}
+
+std::vector<util::ScoredId> TrRecommender::Recommend(
+    graph::NodeId u, topics::TopicId t, size_t n,
+    bool exclude_followees) const {
+  return RecommendQuery(u, {{t, 1.0}}, n, exclude_followees);
+}
+
+std::vector<util::ScoredId> TrRecommender::RecommendQuery(
+    graph::NodeId u, const std::vector<WeightedTopic>& query, size_t n,
+    bool exclude_followees) const {
+  MBR_CHECK(!query.empty());
+  topics::TopicSet topics_needed;
+  for (const WeightedTopic& wt : query) topics_needed.Add(wt.topic);
+  ExplorationResult res = scorer_.Explore(u, topics_needed);
+
+  util::TopK topk(n);
+  for (graph::NodeId v : res.reached()) {
+    if (v == u) continue;
+    if (exclude_followees && g_.HasEdge(u, v)) continue;
+    double score = 0.0;
+    for (const WeightedTopic& wt : query) {
+      score += wt.weight * res.Sigma(v, wt.topic);
+    }
+    if (score > 0.0) topk.Offer(v, score);
+  }
+  return topk.Take();
+}
+
+std::vector<double> TrRecommender::ScoreCandidates(
+    graph::NodeId u, topics::TopicId t,
+    const std::vector<graph::NodeId>& candidates) const {
+  ExplorationResult res = scorer_.Explore(u, topics::TopicSet::Single(t));
+  std::vector<double> out;
+  out.reserve(candidates.size());
+  for (graph::NodeId v : candidates) out.push_back(res.Sigma(v, t));
+  return out;
+}
+
+}  // namespace mbr::core

@@ -1,0 +1,81 @@
+#ifndef MBR_CORE_RECOMMENDER_H_
+#define MBR_CORE_RECOMMENDER_H_
+
+// Exact Tr recommendation (§3): converged iterative scoring from the query
+// user. This is the reference computation the landmark approximation of §4
+// is benchmarked against.
+
+#include <vector>
+
+#include "core/authority.h"
+#include "core/params.h"
+#include "core/recommender_iface.h"
+#include "core/scorer.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+#include "util/top_k.h"
+
+namespace mbr::core {
+
+// One topic of a multi-topic query Q = {t1..tn} with its weight (§3.2: the
+// final score is a weighted linear combination over the query topics).
+struct WeightedTopic {
+  topics::TopicId topic = 0;
+  double weight = 1.0;
+};
+
+class TrRecommender : public Recommender {
+ public:
+  // Builds the authority index for `g`. Both references must outlive the
+  // recommender.
+  TrRecommender(const graph::LabeledGraph& g,
+                const topics::SimilarityMatrix& sim,
+                const ScoreParams& params = {});
+
+  // Top-n users for `u` on a single topic, ranked by σ(u, v, t). The query
+  // user and (optionally) the accounts he already follows are excluded.
+  std::vector<util::ScoredId> Recommend(graph::NodeId u, topics::TopicId t,
+                                        size_t n,
+                                        bool exclude_followees = false) const;
+
+  // Weighted multi-topic query: Σ_i weight_i · σ(u, v, t_i).
+  std::vector<util::ScoredId> RecommendQuery(
+      graph::NodeId u, const std::vector<WeightedTopic>& query, size_t n,
+      bool exclude_followees = false) const;
+
+  // ---- core::Recommender interface.
+  // "Tr", "Tr-auth" or "Tr-sim" depending on the configured variant.
+  std::string name() const override;
+  // σ(u, v, t) for an explicit candidate list (the evaluation protocol
+  // ranks 1 true endpoint + 1000 sampled accounts). One exploration, then
+  // lookups; candidates never reached score 0.
+  std::vector<double> ScoreCandidates(
+      graph::NodeId u, topics::TopicId t,
+      const std::vector<graph::NodeId>& candidates) const override;
+  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
+                                            topics::TopicId t,
+                                            size_t n) const override {
+    return Recommend(u, t, n);
+  }
+
+  // Full exploration from u (all topics of `query_topics`), exposed for
+  // the landmark pre-processing and tests.
+  ExplorationResult Explore(graph::NodeId u,
+                            topics::TopicSet query_topics) const {
+    return scorer_.Explore(u, query_topics);
+  }
+
+  const AuthorityIndex& authority() const { return authority_; }
+  const Scorer& scorer() const { return scorer_; }
+  const ScoreParams& params() const { return params_; }
+
+ private:
+  const graph::LabeledGraph& g_;
+  ScoreParams params_;
+  AuthorityIndex authority_;
+  Scorer scorer_;
+};
+
+}  // namespace mbr::core
+
+#endif  // MBR_CORE_RECOMMENDER_H_

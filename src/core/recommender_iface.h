@@ -1,0 +1,38 @@
+#ifndef MBR_CORE_RECOMMENDER_IFACE_H_
+#define MBR_CORE_RECOMMENDER_IFACE_H_
+
+// Common interface all recommenders implement (Tr and its ablations, Katz,
+// TwitterRank, and the landmark-based approximation), so the evaluation
+// harness and the benchmark binaries can treat them uniformly.
+
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "topics/topic.h"
+#include "util/top_k.h"
+
+namespace mbr::core {
+
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  // Display name ("Tr", "Katz", "TwitterRank", ...).
+  virtual std::string name() const = 0;
+
+  // Scores of each candidate for recommending to `u` on topic `t`
+  // (same order as `candidates`; unreachable/unknown candidates score 0).
+  virtual std::vector<double> ScoreCandidates(
+      graph::NodeId u, topics::TopicId t,
+      const std::vector<graph::NodeId>& candidates) const = 0;
+
+  // Top-n ranked recommendations for `u` on topic `t` (excluding u).
+  virtual std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
+                                                    topics::TopicId t,
+                                                    size_t n) const = 0;
+};
+
+}  // namespace mbr::core
+
+#endif  // MBR_CORE_RECOMMENDER_IFACE_H_

@@ -1,0 +1,182 @@
+#include "core/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mbr::core {
+
+Scorer::Scorer(const graph::LabeledGraph& g, const AuthorityIndex& authority,
+               const topics::SimilarityMatrix& sim, const ScoreParams& params)
+    : g_(g), authority_(authority), sim_(sim), params_(params) {
+  MBR_CHECK(sim.num_topics() >= g.num_topics());
+  MBR_CHECK(authority.num_topics() == g.num_topics());
+  MBR_CHECK(params.beta > 0.0 && params.beta < 1.0);
+  MBR_CHECK(params.alpha > 0.0 && params.alpha <= 1.0);
+}
+
+double Scorer::EdgeTopicWeight(topics::TopicSet labels, graph::NodeId v,
+                               topics::TopicId t) const {
+  double s;
+  switch (params_.variant) {
+    case ScoreVariant::kFull:
+      s = sim_.MaxSim(labels, t);
+      break;
+    case ScoreVariant::kNoAuth:
+      s = sim_.MaxSim(labels, t);
+      return params_.beta * params_.alpha * s;
+    case ScoreVariant::kNoSim:
+      s = 1.0;
+      break;
+    default:
+      s = 0.0;
+  }
+  return params_.beta * params_.alpha * s * authority_.Authority(v, t);
+}
+
+ExplorationResult Scorer::Explore(graph::NodeId source,
+                                  topics::TopicSet query_topics,
+                                  const std::vector<bool>* pruned) const {
+  MBR_CHECK(source < g_.num_nodes());
+  const int nt = g_.num_topics();
+  const double beta = params_.beta;
+  const double alphabeta = params_.alpha * params_.beta;
+
+  // Dense query-topic list (usually 1 topic at query time, all topics in
+  // landmark pre-processing). Sigma scratch rows are packed with stride
+  // qt.size().
+  std::vector<topics::TopicId> qt;
+  for (topics::TopicId t : query_topics) {
+    MBR_CHECK(t < nt);
+    qt.push_back(t);
+  }
+  const size_t qn = qt.size();
+
+  ExplorationResult result(g_.num_nodes(), nt);
+
+  // Grow scratch lazily; all entries are zero between calls (touched
+  // entries are restored below), so queries cost O(vicinity) not O(n).
+  const graph::NodeId n = g_.num_nodes();
+  Scratch& s = scratch_;
+  if (s.delta_b.size() < n) {
+    s.delta_b.assign(n, 0.0);
+    s.delta_ab.assign(n, 0.0);
+    s.next_b.assign(n, 0.0);
+    s.next_ab.assign(n, 0.0);
+    s.in_next.assign(n, false);
+  }
+  if (s.delta_sigma.size() < static_cast<size_t>(n) * qn) {
+    s.delta_sigma.assign(static_cast<size_t>(n) * qn, 0.0);
+    s.next_sigma.assign(static_cast<size_t>(n) * qn, 0.0);
+  }
+
+  std::vector<graph::NodeId> frontier = {source};
+  s.delta_b[source] = 1.0;
+  s.delta_ab[source] = 1.0;
+  // delta_sigma[source] stays 0: σ(u,u)=0 initially (walks of length 0
+  // carry no topical mass).
+
+  uint32_t depth = 0;
+  while (depth < params_.max_depth && !frontier.empty()) {
+    std::vector<graph::NodeId> next_frontier;
+    double added_mass = 0.0;
+
+    for (graph::NodeId u : frontier) {
+      const double db = s.delta_b[u];
+      const double dab = s.delta_ab[u];
+      const double* dsig = s.delta_sigma.data() + static_cast<size_t>(u) * qn;
+
+      auto nbrs = g_.OutNeighbors(u);
+      auto labs = g_.OutEdgeLabels(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const graph::NodeId v = nbrs[i];
+        if (!s.in_next[v]) {
+          s.in_next[v] = true;
+          next_frontier.push_back(v);
+        }
+        s.next_b[v] += beta * db;
+        s.next_ab[v] += alphabeta * dab;
+        double* nsig = s.next_sigma.data() + static_cast<size_t>(v) * qn;
+        for (size_t qi = 0; qi < qn; ++qi) {
+          double w = EdgeTopicWeight(labs[i], v, qt[qi]);
+          nsig[qi] += beta * dsig[qi] + dab * w;
+        }
+      }
+    }
+
+    // Clear the consumed deltas.
+    for (graph::NodeId u : frontier) {
+      s.delta_b[u] = 0.0;
+      s.delta_ab[u] = 0.0;
+      double* dsig = s.delta_sigma.data() + static_cast<size_t>(u) * qn;
+      for (size_t qi = 0; qi < qn; ++qi) dsig[qi] = 0.0;
+    }
+
+    // Commit the new walk length: accumulate totals, move next -> delta,
+    // prune below-epsilon frontier entries and landmark-pruned nodes.
+    std::vector<graph::NodeId> new_frontier;
+    new_frontier.reserve(next_frontier.size());
+    for (graph::NodeId v : next_frontier) {
+      s.in_next[v] = false;
+      uint32_t slot = result.SlotFor(v);
+      result.topo_beta_[slot] += s.next_b[v];
+      result.topo_alphabeta_[slot] += s.next_ab[v];
+      double* rsig = &result.sigma_[static_cast<size_t>(slot) * nt];
+      double* nsig = s.next_sigma.data() + static_cast<size_t>(v) * qn;
+      double node_mass = 0.0;
+      for (size_t qi = 0; qi < qn; ++qi) {
+        rsig[qt[qi]] += nsig[qi];
+        node_mass += nsig[qi];
+      }
+      added_mass += node_mass;
+
+      bool expand = true;
+      if (pruned != nullptr && (*pruned)[v]) expand = false;
+      if (params_.frontier_epsilon > 0.0 &&
+          s.next_b[v] < params_.frontier_epsilon &&
+          s.next_ab[v] < params_.frontier_epsilon &&
+          node_mass < params_.frontier_epsilon) {
+        expand = false;
+      }
+      if (expand) {
+        s.delta_b[v] = s.next_b[v];
+        s.delta_ab[v] = s.next_ab[v];
+        double* dsig = s.delta_sigma.data() + static_cast<size_t>(v) * qn;
+        for (size_t qi = 0; qi < qn; ++qi) dsig[qi] = nsig[qi];
+        new_frontier.push_back(v);
+      }
+      s.next_b[v] = 0.0;
+      s.next_ab[v] = 0.0;
+      for (size_t qi = 0; qi < qn; ++qi) nsig[qi] = 0.0;
+    }
+
+    frontier = std::move(new_frontier);
+    ++depth;
+    result.iterations_run_ = depth;
+
+    // Algorithm 1 line 15: stop when the newly added average score mass is
+    // negligible.
+    if (qn > 0) {
+      double denom = static_cast<double>(result.reached_.size()) *
+                     static_cast<double>(qn);
+      if (denom > 0.0 && added_mass / denom < params_.tolerance &&
+          depth >= 2) {
+        result.converged_ = true;
+        break;
+      }
+    }
+  }
+  if (frontier.empty()) {
+    result.converged_ = true;
+  } else {
+    // Restore the invariant: zero the deltas the aborted frontier left.
+    for (graph::NodeId u : frontier) {
+      s.delta_b[u] = 0.0;
+      s.delta_ab[u] = 0.0;
+      double* dsig = s.delta_sigma.data() + static_cast<size_t>(u) * qn;
+      for (size_t qi = 0; qi < qn; ++qi) dsig[qi] = 0.0;
+    }
+  }
+  return result;
+}
+
+}  // namespace mbr::core

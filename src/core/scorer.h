@@ -1,0 +1,142 @@
+#ifndef MBR_CORE_SCORER_H_
+#define MBR_CORE_SCORER_H_
+
+// The iterative score computation of §3.3 / Algorithm 1.
+//
+// Starting from a source node s, one frontier propagation step extends every
+// walk by one hop. For walks p: s ❀ v of length k (1-indexed edge positions
+// j with edge similarity s_j and end-node authority auth_j):
+//
+//   total path score   ω_p(t)  = β^k Σ_j α^j s_j(t) auth_j(t)
+//   topological scores topo_β  = Σ_p β^|p|,  topo_αβ = Σ_p (αβ)^|p|
+//   recommendation     σ(s,v,t) = Σ_p ω_p(t)                 (Equation 1)
+//
+// maintained incrementally via Proposition 1:
+//
+//   σ^(k+1)[v][t] += β σ^(k)[u][t] + topo_αβ^(k)[u] · (βα · s(u→v,t) · auth(v,t))
+//   topo_β^(k+1)[v]  += β  topo_β^(k)[u]
+//   topo_αβ^(k+1)[v] += αβ topo_αβ^(k)[u]
+//
+// The engine serves all three uses in the paper: exact recommendation
+// (converged exploration), landmark pre-processing (Algorithm 1 proper),
+// and the query-side shallow BFS of Algorithm 2 (with optional pruning at
+// landmark nodes so paths through a landmark are not double-counted, §5.4).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/authority.h"
+#include "core/params.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+#include "topics/topic.h"
+
+namespace mbr::core {
+
+// Scores of every node reached from the source. Node u's scores live at
+// index `slot[u]`; nodes not reached have slot kNoSlot.
+class ExplorationResult {
+ public:
+  static constexpr uint32_t kNoSlot = 0xffffffff;
+
+  ExplorationResult(graph::NodeId num_nodes, int num_topics)
+      : num_topics_(num_topics), slot_(num_nodes, kNoSlot) {}
+
+  bool Reached(graph::NodeId v) const { return slot_[v] != kNoSlot; }
+
+  // σ(source, v, t); 0 if unreached.
+  double Sigma(graph::NodeId v, topics::TopicId t) const {
+    uint32_t s = slot_[v];
+    if (s == kNoSlot) return 0.0;
+    return sigma_[static_cast<size_t>(s) * num_topics_ + t];
+  }
+  // topo_β(source, v); 0 if unreached.
+  double TopoBeta(graph::NodeId v) const {
+    uint32_t s = slot_[v];
+    return s == kNoSlot ? 0.0 : topo_beta_[s];
+  }
+  // topo_αβ(source, v); 0 if unreached.
+  double TopoAlphaBeta(graph::NodeId v) const {
+    uint32_t s = slot_[v];
+    return s == kNoSlot ? 0.0 : topo_alphabeta_[s];
+  }
+
+  // All reached nodes, in first-reached order (source excluded: a node's
+  // score counts walks of length >= 1, so the source appears only if it
+  // lies on a cycle).
+  const std::vector<graph::NodeId>& reached() const { return reached_; }
+
+  int num_topics() const { return num_topics_; }
+  uint32_t iterations_run() const { return iterations_run_; }
+  bool converged() const { return converged_; }
+
+ private:
+  friend class Scorer;
+
+  uint32_t SlotFor(graph::NodeId v) {
+    if (slot_[v] == kNoSlot) {
+      slot_[v] = static_cast<uint32_t>(reached_.size());
+      reached_.push_back(v);
+      sigma_.resize(sigma_.size() + num_topics_, 0.0);
+      topo_beta_.push_back(0.0);
+      topo_alphabeta_.push_back(0.0);
+    }
+    return slot_[v];
+  }
+
+  int num_topics_;
+  std::vector<uint32_t> slot_;
+  std::vector<graph::NodeId> reached_;
+  std::vector<double> sigma_;  // reached x num_topics
+  std::vector<double> topo_beta_;
+  std::vector<double> topo_alphabeta_;
+  uint32_t iterations_run_ = 0;
+  bool converged_ = false;
+};
+
+// NOT thread-safe: Explore() reuses internal scratch buffers so repeated
+// queries cost O(|vicinity|), not O(|graph|). Create one Scorer per thread.
+class Scorer {
+ public:
+  // All references must outlive the scorer. The similarity matrix must
+  // cover the graph's topic vocabulary.
+  Scorer(const graph::LabeledGraph& g, const AuthorityIndex& authority,
+         const topics::SimilarityMatrix& sim, const ScoreParams& params);
+
+  // Runs Algorithm 1 from `source` for all topics in `query_topics`,
+  // exploring at most params.max_depth hops or until the added score mass
+  // falls below params.tolerance. If `pruned` is non-null, nodes for which
+  // (*pruned)[v] is true have their scores computed but are not expanded
+  // (Algorithm 2's landmark pruning).
+  ExplorationResult Explore(graph::NodeId source,
+                            topics::TopicSet query_topics,
+                            const std::vector<bool>* pruned = nullptr) const;
+
+  const ScoreParams& params() const { return params_; }
+
+  // The per-edge topical weight ω_{u→v}(t) = βα · s(u→v,t) · auth(v,t),
+  // honouring the configured ablation variant. `labels` are the edge's
+  // labels. Exposed for tests.
+  double EdgeTopicWeight(topics::TopicSet labels, graph::NodeId v,
+                         topics::TopicId t) const;
+
+ private:
+  // Reusable per-query buffers; every touched entry is restored to zero
+  // before Explore returns, so a fresh call never sees stale state.
+  struct Scratch {
+    std::vector<double> delta_sigma;  // >= n * |query topics|, stride packed
+    std::vector<double> next_sigma;
+    std::vector<double> delta_b, delta_ab, next_b, next_ab;  // n each
+    std::vector<bool> in_next;                               // n
+  };
+
+  const graph::LabeledGraph& g_;
+  const AuthorityIndex& authority_;
+  const topics::SimilarityMatrix& sim_;
+  ScoreParams params_;
+  mutable Scratch scratch_;
+};
+
+}  // namespace mbr::core
+
+#endif  // MBR_CORE_SCORER_H_

@@ -1,0 +1,34 @@
+#include "core/spectral.h"
+
+#include <cmath>
+#include <vector>
+
+namespace mbr::core {
+
+double EstimateSpectralRadius(const graph::LabeledGraph& g,
+                              uint32_t iterations) {
+  const graph::NodeId n = g.num_nodes();
+  if (n == 0 || g.num_edges() == 0) return 0.0;
+
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> y(n, 0.0);
+  double lambda = 0.0;
+  for (uint32_t it = 0; it < iterations; ++it) {
+    std::fill(y.begin(), y.end(), 0.0);
+    // y = A x with A[v][u] = 1 iff u follows v (mass flows along edges).
+    for (graph::NodeId u = 0; u < n; ++u) {
+      double xu = x[u];
+      if (xu == 0.0) continue;
+      for (graph::NodeId v : g.OutNeighbors(u)) y[v] += xu;
+    }
+    double norm = 0.0;
+    for (double v : y) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return 0.0;  // start vector in the nilpotent part
+    lambda = norm;
+    for (graph::NodeId i = 0; i < n; ++i) x[i] = y[i] / norm;
+  }
+  return lambda;
+}
+
+}  // namespace mbr::core

@@ -1,0 +1,28 @@
+#ifndef MBR_CORE_SPECTRAL_H_
+#define MBR_CORE_SPECTRAL_H_
+
+// Spectral-radius estimation for the convergence bound of Proposition 3:
+// the iterative score computation converges when β < 1 / σ_max(A).
+
+#include <cstdint>
+
+#include "graph/labeled_graph.h"
+
+namespace mbr::core {
+
+// Largest-magnitude eigenvalue of the adjacency matrix, estimated with
+// `iterations` rounds of power iteration (deterministic start vector).
+// Returns 0 for edgeless graphs.
+double EstimateSpectralRadius(const graph::LabeledGraph& g,
+                              uint32_t iterations = 50);
+
+// The Proposition 3 bound: the largest provably-convergent β.
+inline double MaxConvergentBeta(const graph::LabeledGraph& g,
+                                uint32_t iterations = 50) {
+  double radius = EstimateSpectralRadius(g, iterations);
+  return radius > 0.0 ? 1.0 / radius : 1.0;
+}
+
+}  // namespace mbr::core
+
+#endif  // MBR_CORE_SPECTRAL_H_

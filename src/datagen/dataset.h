@@ -1,0 +1,39 @@
+#ifndef MBR_DATAGEN_DATASET_H_
+#define MBR_DATAGEN_DATASET_H_
+
+// A generated dataset: the labeled graph all algorithms consume, plus the
+// generator's ground truth (true topical affinities and per-topic account
+// quality) which only the tests and the user-study simulator may read —
+// the recommenders never see it.
+
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "text/classifier.h"
+#include "topics/topic.h"
+
+namespace mbr::datagen {
+
+struct GeneratedDataset {
+  graph::LabeledGraph graph;
+
+  // Ground truth: the topics each account truly publishes about.
+  std::vector<topics::TopicSet> true_topics;
+
+  // Ground truth: quality[u * num_topics + t] in [0, 1] — how good u's
+  // content on topic t really is. Used by eval::UserStudySimulator.
+  std::vector<float> quality;
+  int num_topics = 0;
+
+  // Metrics of the topic-extraction pipeline if it was used to label the
+  // graph (zeroed for direct labeling).
+  text::MultiLabelMetrics pipeline_metrics;
+
+  float QualityOf(graph::NodeId u, topics::TopicId t) const {
+    return quality[static_cast<size_t>(u) * num_topics + t];
+  }
+};
+
+}  // namespace mbr::datagen
+
+#endif  // MBR_DATAGEN_DATASET_H_

@@ -1,0 +1,270 @@
+#include "datagen/twitter_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "topics/vocabulary.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace mbr::datagen {
+
+namespace {
+
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+// Picks one member topic of `s` uniformly. Preconditions: !s.empty().
+TopicId RandomTopicOf(TopicSet s, util::Rng* rng) {
+  int pick = static_cast<int>(rng->UniformU64(s.size()));
+  for (TopicId t : s) {
+    if (pick-- == 0) return t;
+  }
+  MBR_CHECK(false);
+  return 0;
+}
+
+}  // namespace
+
+GeneratedDataset GenerateTwitter(const TwitterConfig& config) {
+  const topics::Vocabulary& vocab = topics::TwitterVocabulary();
+  const int nt = vocab.size();
+  const uint32_t n = config.num_nodes;
+  MBR_CHECK(n >= 10);
+  util::Rng rng(config.seed);
+
+  GeneratedDataset ds;
+  ds.num_topics = nt;
+
+  // ---- 1. Communities (social circles) and ground-truth topical
+  //         affinities. A node's primary topic is its community's topic;
+  //         community topics follow the Zipf popularity bias (Fig. 3).
+  util::ZipfDistribution topic_pop(static_cast<uint32_t>(nt),
+                                   config.topic_zipf_exponent);
+  const uint32_t num_communities =
+      std::max<uint32_t>(1, n / std::max<uint32_t>(2, config.community_size));
+  std::vector<TopicId> community_topic(num_communities);
+  std::vector<uint32_t> community_of(n);
+  std::vector<std::vector<NodeId>> community_members(num_communities);
+  ds.true_topics.resize(n);
+  {
+    util::Rng trng = rng.Fork(1);
+    for (uint32_t c = 0; c < num_communities; ++c) {
+      community_topic[c] = static_cast<TopicId>(topic_pop.Sample(&trng));
+    }
+    for (uint32_t u = 0; u < n; ++u) {
+      uint32_t c = static_cast<uint32_t>(trng.UniformU64(num_communities));
+      community_of[u] = c;
+      community_members[c].push_back(u);
+      TopicSet s;
+      s.Add(community_topic[c]);
+      if (trng.Bernoulli(config.second_topic_prob)) {
+        s.Add(static_cast<TopicId>(topic_pop.Sample(&trng)));
+      }
+      if (trng.Bernoulli(config.third_topic_prob)) {
+        s.Add(static_cast<TopicId>(topic_pop.Sample(&trng)));
+      }
+      ds.true_topics[u] = s;
+    }
+  }
+
+  // ---- 3. Topology: Pareto out-degrees; targets by topical homophily
+  //         (popularity-weighted within a topic) or global preferential
+  //         attachment.
+  util::Rng grng = rng.Fork(3);
+
+  // Per-topic and global PA lists: a node appears once per "attractiveness
+  // unit" (one base entry + one entry per received follow).
+  std::vector<std::vector<NodeId>> topic_pa(nt);
+  std::vector<NodeId> global_pa;
+  global_pa.reserve(n * 8);
+  for (uint32_t u = 0; u < n; ++u) {
+    // Fitness: intrinsic attractiveness with a heavy tail, so a handful of
+    // accounts become celebrities regardless of arrival order.
+    double fitness =
+        std::min(config.fitness_cap,
+                 std::pow(1.0 - grng.UniformDouble(),
+                          -1.0 / config.fitness_alpha));
+    uint32_t entries = static_cast<uint32_t>(std::max(1.0, fitness));
+    for (uint32_t e = 0; e < entries; ++e) {
+      global_pa.push_back(u);
+      topic_pa[RandomTopicOf(ds.true_topics[u], &grng)].push_back(u);
+    }
+  }
+
+  graph::GraphBuilder builder(n, nt);
+  std::vector<NodeId> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  grng.Shuffle(&order);
+
+  std::unordered_set<uint64_t> edge_set;
+  auto edge_key = [](NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+
+  // Followees chosen so far, per node, for triadic closure; running
+  // in-degree for the intra-community popularity weighting.
+  std::vector<std::vector<NodeId>> follows(n);
+  std::vector<uint32_t> in_degree(n, 0);
+
+  // Sub-linear popularity pick inside a community: sample two members,
+  // keep the more-followed one probabilistically.
+  auto pick_in_community = [&](uint32_t c, util::Rng* r) -> NodeId {
+    const auto& pool = community_members[c];
+    NodeId a = pool[r->UniformU64(pool.size())];
+    NodeId b = pool[r->UniformU64(pool.size())];
+    double wa = std::sqrt(static_cast<double>(in_degree[a])) + 1.0;
+    double wb = std::sqrt(static_cast<double>(in_degree[b])) + 1.0;
+    return r->UniformDouble() < wa / (wa + wb) ? a : b;
+  };
+
+  // Remember which topic motivated each homophily edge so direct labeling
+  // can reflect the follower's actual interest.
+  std::vector<std::pair<uint64_t, TopicId>> homophily_topic;
+
+  for (NodeId u : order) {
+    double pareto = std::pow(1.0 - grng.UniformDouble(),
+                             -1.0 / config.out_degree_alpha);
+    uint32_t degree = static_cast<uint32_t>(
+        std::min<double>(config.out_degree_cap,
+                         std::max(1.0, config.out_degree_min * pareto)));
+    degree = std::min(degree, n - 1);
+
+    for (uint32_t k = 0; k < degree; ++k) {
+      NodeId v = graph::kInvalidNode;
+      TopicId motive = topics::kInvalidTopic;
+      bool homophily = grng.Bernoulli(config.homophily_fraction);
+      for (int attempt = 0; attempt < 8 && v == graph::kInvalidNode;
+           ++attempt) {
+        NodeId cand = graph::kInvalidNode;
+        motive = topics::kInvalidTopic;
+        // Triadic closure first: follow someone a current followee follows.
+        if (!follows[u].empty() &&
+            grng.Bernoulli(config.triadic_closure_prob)) {
+          NodeId w = follows[u][grng.UniformU64(follows[u].size())];
+          if (!follows[w].empty()) {
+            cand = follows[w][grng.UniformU64(follows[w].size())];
+          }
+        }
+        // Then the social circle: follow a (locally popular) member of
+        // one's own community.
+        if (cand == graph::kInvalidNode &&
+            grng.Bernoulli(config.community_fraction) &&
+            community_members[community_of[u]].size() > 1) {
+          cand = pick_in_community(community_of[u], &grng);
+          motive = community_topic[community_of[u]];
+        }
+        if (cand == graph::kInvalidNode) {
+          if (homophily) {
+            TopicId t = RandomTopicOf(ds.true_topics[u], &grng);
+            const auto& pool = topic_pa[t];
+            cand = pool[grng.UniformU64(pool.size())];
+            motive = t;
+          } else {
+            motive = topics::kInvalidTopic;
+            cand = global_pa[grng.UniformU64(global_pa.size())];
+          }
+        }
+        if (cand == u || edge_set.count(edge_key(u, cand))) continue;
+        v = cand;
+      }
+      if (v == graph::kInvalidNode) continue;
+      edge_set.insert(edge_key(u, v));
+      builder.AddEdge(u, v, TopicSet());  // labels assigned below
+      follows[u].push_back(v);
+      ++in_degree[v];
+      if (motive != topics::kInvalidTopic) {
+        homophily_topic.push_back({edge_key(u, v), motive});
+      }
+      // Rich get richer: v becomes more attractive globally and on one of
+      // its topics.
+      global_pa.push_back(v);
+      topic_pa[RandomTopicOf(ds.true_topics[v], &grng)].push_back(v);
+
+      // Follow-back (Myers et al. reciprocity).
+      if (grng.Bernoulli(config.reciprocation_prob) &&
+          !edge_set.count(edge_key(v, u))) {
+        edge_set.insert(edge_key(v, u));
+        builder.AddEdge(v, u, TopicSet());
+        follows[v].push_back(u);
+        ++in_degree[u];
+        global_pa.push_back(u);
+        topic_pa[RandomTopicOf(ds.true_topics[u], &grng)].push_back(u);
+      }
+    }
+  }
+
+  graph::LabeledGraph topology = std::move(builder).Build();
+
+  // ---- 2 (deferred). Ground-truth content quality, used only by the
+  // simulated user study: strong on the account's true topics, weak
+  // elsewhere, with a broad-appeal bonus for popular accounts — human
+  // raters judge a celebrity's off-topic content as watchable, which is
+  // why TwitterRank's popularity-driven picks score decently in the
+  // paper's Twitter study while failing link prediction.
+  ds.quality.assign(static_cast<size_t>(n) * nt, 0.0f);
+  {
+    util::Rng qrng = rng.Fork(2);
+    uint32_t max_in = 1;
+    for (uint32_t u = 0; u < n; ++u) {
+      max_in = std::max(max_in, topology.InDegree(u));
+    }
+    const double log_max = std::log(1.0 + max_in);
+    for (uint32_t u = 0; u < n; ++u) {
+      double pop = std::log(1.0 + topology.InDegree(u)) / log_max;
+      for (int t = 0; t < nt; ++t) {
+        double q =
+            ds.true_topics[u].Contains(static_cast<TopicId>(t))
+                ? 0.35 + 0.5 * qrng.UniformDouble() + 0.15 * pop
+                : 0.1 * qrng.UniformDouble() + 0.35 * pop;
+        ds.quality[static_cast<size_t>(u) * nt + t] =
+            static_cast<float>(std::min(1.0, q));
+      }
+    }
+  }
+
+  // ---- 4. Labels.
+  if (config.label_mode == LabelMode::kTextPipeline) {
+    text::TopicLanguageModel lm =
+        text::MakeTwitterLanguageModel(config.seed ^ 0xfeedULL);
+    text::PipelineResult res = text::RunTopicExtraction(
+        topology, ds.true_topics, lm, config.pipeline);
+    ds.graph = std::move(res.labeled_graph);
+    ds.pipeline_metrics = res.classifier_metrics;
+    return ds;
+  }
+
+  // Direct labeling from ground truth: publisher profile = true topics;
+  // edge label = shared topics, plus the homophily motive, or (if nothing
+  // is shared) one topic of the publisher — a follow always expresses
+  // interest in *something* the publisher posts (§3.1 assumption).
+  std::unordered_map<uint64_t, TopicId> motives;
+  motives.reserve(homophily_topic.size() * 2);
+  for (const auto& [key, t] : homophily_topic) motives.emplace(key, t);
+
+  util::Rng lrng = rng.Fork(4);
+  graph::GraphBuilder labeled(n, nt);
+  for (NodeId u = 0; u < n; ++u) {
+    labeled.SetNodeLabels(u, ds.true_topics[u]);
+    for (NodeId v : topology.OutNeighbors(u)) {
+      TopicSet label = ds.true_topics[u].Intersect(ds.true_topics[v]);
+      auto it = motives.find(edge_key(u, v));
+      if (it != motives.end() &&
+          ds.true_topics[v].Contains(it->second)) {
+        label.Add(it->second);
+      }
+      if (label.empty()) {
+        label.Add(RandomTopicOf(ds.true_topics[v], &lrng));
+      }
+      labeled.AddEdge(u, v, label);
+    }
+  }
+  ds.graph = std::move(labeled).Build();
+  return ds;
+}
+
+}  // namespace mbr::datagen

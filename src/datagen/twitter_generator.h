@@ -1,0 +1,81 @@
+#ifndef MBR_DATAGEN_TWITTER_GENERATOR_H_
+#define MBR_DATAGEN_TWITTER_GENERATOR_H_
+
+// Synthetic Twitter-like follow graph (substitute for the paper's 2015
+// crawl, §5.1 / Table 2 / Figure 3).
+//
+// Shape targets, at reduced scale:
+//   * heavy-tailed in-degree (few celebrity accounts) with
+//     max_in ≫ avg_in — preferential attachment;
+//   * heavy-tailed out-degree (a few compulsive followers) — Pareto
+//     out-degree draws;
+//   * Zipf-biased topic popularity (Figure 3: edges-per-topic distribution
+//     "similar to the one observed for Web sites in Yahoo! Directory");
+//   * topical homophily: most follow edges point at accounts publishing a
+//     topic the follower cares about (that assumption — a link expresses
+//     topical interest — is the premise of the paper's model).
+//
+// Labels are produced either by the full §5.1 text pipeline (OpenCalais +
+// SVM substitute) or directly from ground truth (fast path for the large
+// efficiency benches).
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+#include "text/pipeline.h"
+
+namespace mbr::datagen {
+
+enum class LabelMode {
+  kTextPipeline,  // run the §5.1 tweet -> classifier -> profiles pipeline
+  kDirect,        // label from ground truth (fast; tests & big benches)
+};
+
+struct TwitterConfig {
+  uint32_t num_nodes = 20000;
+  // Out-degree = min(cap, out_min * Pareto(alpha)); mean lands near the
+  // Table 2 avg out-degree when scaled.
+  double out_degree_min = 12.0;
+  double out_degree_alpha = 2.2;
+  uint32_t out_degree_cap = 2000;
+  // Fine-grained social circles: each node belongs to one community of
+  // roughly `community_size` members sharing a primary topic, and
+  // `community_fraction` of its follows stay inside it. This produces the
+  // dense co-follow clustering of real follow graphs — removing one follow
+  // edge leaves several 2-hop paths via fellow community members, which is
+  // what makes the removed edge recoverable for path-based scores (§5.3).
+  uint32_t community_size = 40;
+  double community_fraction = 0.5;
+  // Fraction of follow edges chosen by topical homophily (the rest by pure
+  // preferential attachment — celebrity following).
+  double homophily_fraction = 0.7;
+  // Probability that an edge closes a triangle instead: u follows someone
+  // his existing followees follow. Real follow graphs are strongly
+  // clustered ("who to follow" suggestions, communities); without this,
+  // removing a follow edge leaves no short alternative paths and every
+  // path-based recommender (Katz, Tr) is artificially blinded.
+  double triadic_closure_prob = 0.55;
+  // Probability a new follow is reciprocated (v follows back). Myers et
+  // al. [18] measure ~44% reciprocity on the real follow graph.
+  double reciprocation_prob = 0.30;
+  // Intrinsic-attractiveness (fitness) tail: initial attachment weight of a
+  // node is a Pareto(alpha) draw, capped. Small alpha -> few accounts start
+  // out far more attractive -> celebrity in-degrees (Table 2's
+  // max_in/avg_in ratio of several thousand at full scale).
+  double fitness_alpha = 1.5;
+  double fitness_cap = 400.0;
+  // Zipf exponent of topic popularity across accounts (Fig. 3 bias).
+  double topic_zipf_exponent = 1.0;
+  // Probability that an account truly publishes on 2 / 3 topics.
+  double second_topic_prob = 0.45;
+  double third_topic_prob = 0.15;
+  LabelMode label_mode = LabelMode::kDirect;
+  text::PipelineConfig pipeline;  // used when label_mode == kTextPipeline
+  uint64_t seed = 20160315;       // EDBT 2016 opening day
+};
+
+GeneratedDataset GenerateTwitter(const TwitterConfig& config);
+
+}  // namespace mbr::datagen
+
+#endif  // MBR_DATAGEN_TWITTER_GENERATOR_H_

@@ -1,0 +1,119 @@
+#include "distributed/cluster.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace mbr::distributed {
+
+namespace {
+using graph::NodeId;
+}  // namespace
+
+SimulatedCluster::SimulatedCluster(const graph::LabeledGraph& g,
+                                   const core::AuthorityIndex& authority,
+                                   const topics::SimilarityMatrix& sim,
+                                   const landmark::LandmarkIndex& index,
+                                   const Partitioning& partitioning,
+                                   const landmark::ApproxConfig& config)
+    : g_(g),
+      index_(index),
+      partitioning_(partitioning),
+      config_(config),
+      landmarks_by_partition_(partitioning.num_partitions) {
+  MBR_CHECK(partitioning.part_of.size() == g.num_nodes());
+  for (NodeId lm : index.landmarks()) {
+    landmarks_by_partition_[partitioning.part_of[lm]].push_back(lm);
+  }
+
+  global_approx_ = std::make_unique<landmark::ApproxRecommender>(
+      g, authority, sim, index, config);
+
+  // Build one shard per partition: intra-partition subgraph, its own
+  // authority index, and a landmark index restricted to local landmarks
+  // (pre-processed on the *subgraph* — a worker cannot explore beyond its
+  // shard either).
+  shards_.resize(partitioning.num_partitions);
+  for (uint32_t part = 0; part < partitioning.num_partitions; ++part) {
+    auto shard = std::make_unique<LocalShard>();
+    graph::GraphBuilder builder(g.num_nodes(), g.num_topics());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      builder.SetNodeLabels(u, g.NodeLabels(u));
+      if (partitioning.part_of[u] != part) continue;
+      auto nbrs = g.OutNeighbors(u);
+      auto labs = g.OutEdgeLabels(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (partitioning.part_of[nbrs[i]] == part) {
+          builder.AddEdge(u, nbrs[i], labs[i]);
+        }
+      }
+    }
+    shard->subgraph = std::move(builder).Build();
+    // Shards score with the *global* authority: §3.2 notes |Γu| and |Γu(t)|
+    // are per-node local metadata (no graph exploration), so replicating
+    // the counters cluster-wide is cheap — and it keeps every local score
+    // a true lower bound of the exact one (only the walk set shrinks).
+    landmark::LandmarkIndexConfig icfg;
+    icfg.top_n = index.config().top_n;
+    icfg.params = index.config().params;
+    shard->index = std::make_unique<landmark::LandmarkIndex>(
+        shard->subgraph, authority, sim, landmarks_by_partition_[part],
+        icfg);
+    shard->approx = std::make_unique<landmark::ApproxRecommender>(
+        shard->subgraph, authority, sim, *shard->index, config);
+    shards_[part] = std::move(shard);
+  }
+}
+
+std::unordered_map<NodeId, double> SimulatedCluster::Query(
+    NodeId u, topics::TopicId t, QueryCost* cost) const {
+  if (cost != nullptr) {
+    *cost = QueryCost();
+    // Cost model: a depth-k BFS with landmark pruning; each node expanded
+    // fetches its adjacency (remote if on another partition than the
+    // expander... the adjacency of a node lives on the node's partition, so
+    // the coordinator — u's partition — pays one message per expanded node
+    // homed elsewhere, plus one list pull per remote landmark met).
+    const uint32_t home = partitioning_.part_of[u];
+    std::unordered_set<uint32_t> touched = {home};
+    std::vector<bool> seen(g_.num_nodes(), false);
+    std::deque<std::pair<NodeId, uint32_t>> queue;
+    queue.push_back({u, 0});
+    seen[u] = true;
+    while (!queue.empty()) {
+      auto [x, depth] = queue.front();
+      queue.pop_front();
+      bool is_landmark = index_.IsLandmark(x) && x != u;
+      if (is_landmark) {
+        touched.insert(partitioning_.part_of[x]);
+        if (partitioning_.part_of[x] != home) {
+          ++cost->landmark_fetches;
+          cost->landmark_entries +=
+              index_.Recommendations(x, t).size();
+        }
+      }
+      if (depth == config_.query_depth) continue;
+      if (is_landmark && config_.prune_at_landmarks) continue;
+      if (partitioning_.part_of[x] != home && x != u) {
+        ++cost->edge_messages;  // remote adjacency fetch
+        touched.insert(partitioning_.part_of[x]);
+      }
+      for (NodeId v : g_.OutNeighbors(x)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          queue.push_back({v, depth + 1});
+        }
+      }
+    }
+    cost->partitions_touched = static_cast<uint32_t>(touched.size());
+  }
+  return global_approx_->ApproximateScores(u, t);
+}
+
+std::unordered_map<NodeId, double> SimulatedCluster::LocalQuery(
+    NodeId u, topics::TopicId t) const {
+  return shards_[partitioning_.part_of[u]]->approx->ApproximateScores(u, t);
+}
+
+}  // namespace mbr::distributed

@@ -1,0 +1,88 @@
+#ifndef MBR_DISTRIBUTED_CLUSTER_H_
+#define MBR_DISTRIBUTED_CLUSTER_H_
+
+// Simulated recommendation cluster (§6 future work).
+//
+// The graph is sharded across workers by a Partitioning; each worker holds
+// its nodes' out-adjacency and the landmark lists of the landmarks homed on
+// it. A query starting at node u runs the Algorithm 2 exploration:
+//
+//   * every remote adjacency fetch (a cross-partition edge reached within
+//     the exploration depth) costs one network message;
+//   * every landmark encountered whose home is not u's partition costs one
+//     landmark-list fetch of `top_n` entries.
+//
+// LocalQuery() is the degraded mode the paper speculates about — evaluation
+// that never leaves u's partition (cross-partition edges dropped, remote
+// landmarks unavailable) — trading recommendation quality for zero network
+// cost. The bench compares both across partitioners.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/authority.h"
+#include "distributed/partition.h"
+#include "graph/labeled_graph.h"
+#include "landmark/approx.h"
+#include "landmark/index.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::distributed {
+
+struct QueryCost {
+  uint64_t edge_messages = 0;       // remote adjacency fetches
+  uint64_t landmark_fetches = 0;    // remote landmark-list pulls
+  uint64_t landmark_entries = 0;    // entries shipped by those pulls
+  uint32_t partitions_touched = 0;  // distinct partitions involved
+};
+
+class SimulatedCluster {
+ public:
+  // All references must outlive the cluster. `index` is the global landmark
+  // index; each landmark's lists are homed on its node's partition.
+  SimulatedCluster(const graph::LabeledGraph& g,
+                   const core::AuthorityIndex& authority,
+                   const topics::SimilarityMatrix& sim,
+                   const landmark::LandmarkIndex& index,
+                   const Partitioning& partitioning,
+                   const landmark::ApproxConfig& config = {});
+
+  // Full-fidelity distributed query: identical scores to the single-node
+  // ApproxRecommender, plus the network cost it would have incurred.
+  std::unordered_map<graph::NodeId, double> Query(graph::NodeId u,
+                                                  topics::TopicId t,
+                                                  QueryCost* cost) const;
+
+  // Partition-local query: exploration cannot cross partitions and only
+  // local landmarks contribute. Zero network cost by construction.
+  std::unordered_map<graph::NodeId, double> LocalQuery(
+      graph::NodeId u, topics::TopicId t) const;
+
+  uint32_t PartitionOf(graph::NodeId u) const {
+    return partitioning_.part_of[u];
+  }
+  const std::vector<std::vector<graph::NodeId>>& landmarks_by_partition()
+      const {
+    return landmarks_by_partition_;
+  }
+
+ private:
+  struct LocalShard {
+    graph::LabeledGraph subgraph;  // intra-partition edges only
+    std::unique_ptr<landmark::LandmarkIndex> index;
+    std::unique_ptr<landmark::ApproxRecommender> approx;
+  };
+
+  const graph::LabeledGraph& g_;
+  const landmark::LandmarkIndex& index_;
+  const Partitioning& partitioning_;
+  landmark::ApproxConfig config_;
+  std::vector<std::vector<graph::NodeId>> landmarks_by_partition_;
+  std::unique_ptr<landmark::ApproxRecommender> global_approx_;
+  std::vector<std::unique_ptr<LocalShard>> shards_;
+};
+
+}  // namespace mbr::distributed
+
+#endif  // MBR_DISTRIBUTED_CLUSTER_H_

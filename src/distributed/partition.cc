@@ -1,0 +1,189 @@
+#include "distributed/partition.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace mbr::distributed {
+
+namespace {
+using graph::NodeId;
+}  // namespace
+
+const char* PartitionStrategyName(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kHash:
+      return "Hash";
+    case PartitionStrategy::kBfsChunks:
+      return "BFS-Chunks";
+    case PartitionStrategy::kCommunity:
+      return "Community-LPA";
+    case PartitionStrategy::kCommunityPopularity:
+      return "Community-PopBal";
+  }
+  return "?";
+}
+
+void ComputePartitionStats(const graph::LabeledGraph& g, Partitioning* p) {
+  MBR_CHECK(p->part_of.size() == g.num_nodes());
+  uint64_t cut = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (p->part_of[u] != p->part_of[v]) ++cut;
+    }
+  }
+  p->edge_cut = g.num_edges() == 0
+                    ? 0.0
+                    : static_cast<double>(cut) /
+                          static_cast<double>(g.num_edges());
+  std::vector<uint64_t> sizes(p->num_partitions, 0);
+  for (uint32_t part : p->part_of) ++sizes[part];
+  uint64_t largest = *std::max_element(sizes.begin(), sizes.end());
+  double ideal = static_cast<double>(g.num_nodes()) /
+                 static_cast<double>(p->num_partitions);
+  p->balance = ideal > 0 ? static_cast<double>(largest) / ideal : 0.0;
+}
+
+namespace {
+
+Partitioning HashPartition(const graph::LabeledGraph& g,
+                           const PartitionConfig& config) {
+  Partitioning p;
+  p.num_partitions = config.num_partitions;
+  p.part_of.resize(g.num_nodes());
+  uint64_t state = config.seed;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    uint64_t h = state ^ (u * 0x9e3779b97f4a7c15ULL);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    p.part_of[u] = static_cast<uint32_t>(h % config.num_partitions);
+  }
+  return p;
+}
+
+Partitioning BfsChunkPartition(const graph::LabeledGraph& g,
+                               const PartitionConfig& config) {
+  Partitioning p;
+  p.num_partitions = config.num_partitions;
+  p.part_of.assign(g.num_nodes(), 0);
+  const uint64_t chunk =
+      std::max<uint64_t>(1, (g.num_nodes() + config.num_partitions - 1) /
+                                config.num_partitions);
+  std::vector<bool> visited(g.num_nodes(), false);
+  uint64_t assigned = 0;
+  uint32_t current = 0;
+  std::deque<NodeId> queue;
+  for (NodeId seed = 0; seed < g.num_nodes(); ++seed) {
+    if (visited[seed]) continue;
+    queue.push_back(seed);
+    visited[seed] = true;
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      p.part_of[u] = current;
+      ++assigned;
+      if (assigned % chunk == 0 && current + 1 < config.num_partitions) {
+        ++current;
+      }
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+      // Follow in-edges too: chunks should capture mutual neighbourhoods.
+      for (NodeId v : g.InNeighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return p;
+}
+
+Partitioning CommunityPartition(const graph::LabeledGraph& g,
+                                const PartitionConfig& config,
+                                bool balance_popularity) {
+  // Capacity-constrained label propagation over the undirected view. With
+  // balance_popularity the capacity is measured in in-degree mass (+1 per
+  // node so isolated nodes still count), spreading celebrity accounts
+  // evenly across workers.
+  Partitioning p = HashPartition(g, config);  // random initial labels
+  const uint32_t parts = config.num_partitions;
+  auto weight_of = [&](NodeId u) -> uint64_t {
+    return balance_popularity ? 1 + g.InDegree(u) : 1;
+  };
+  uint64_t total_weight = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) total_weight += weight_of(u);
+  const uint64_t capacity = static_cast<uint64_t>(
+      config.capacity_slack * static_cast<double>(total_weight) / parts + 1);
+  std::vector<uint64_t> sizes(parts, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    sizes[p.part_of[u]] += weight_of(u);
+  }
+
+  util::Rng rng(config.seed ^ 0xabcdULL);
+  std::vector<NodeId> order(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) order[u] = u;
+
+  std::vector<uint32_t> counts(parts, 0);
+  for (uint32_t it = 0; it < config.lpa_iterations; ++it) {
+    rng.Shuffle(&order);
+    uint64_t moves = 0;
+    for (NodeId u : order) {
+      std::fill(counts.begin(), counts.end(), 0);
+      for (NodeId v : g.OutNeighbors(u)) ++counts[p.part_of[v]];
+      for (NodeId v : g.InNeighbors(u)) ++counts[p.part_of[v]];
+      uint32_t best = p.part_of[u];
+      uint32_t best_count = counts[best];
+      uint64_t w = weight_of(u);
+      for (uint32_t part = 0; part < parts; ++part) {
+        if (part == p.part_of[u]) continue;
+        if (counts[part] > best_count && sizes[part] + w <= capacity) {
+          best = part;
+          best_count = counts[part];
+        }
+      }
+      if (best != p.part_of[u]) {
+        sizes[p.part_of[u]] -= w;
+        sizes[best] += w;
+        p.part_of[u] = best;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+  return p;
+}
+
+}  // namespace
+
+Partitioning PartitionGraph(const graph::LabeledGraph& g,
+                            PartitionStrategy strategy,
+                            const PartitionConfig& config) {
+  MBR_CHECK(config.num_partitions > 0);
+  Partitioning p;
+  switch (strategy) {
+    case PartitionStrategy::kHash:
+      p = HashPartition(g, config);
+      break;
+    case PartitionStrategy::kBfsChunks:
+      p = BfsChunkPartition(g, config);
+      break;
+    case PartitionStrategy::kCommunity:
+      p = CommunityPartition(g, config, /*balance_popularity=*/false);
+      break;
+    case PartitionStrategy::kCommunityPopularity:
+      p = CommunityPartition(g, config, /*balance_popularity=*/true);
+      break;
+  }
+  ComputePartitionStats(g, &p);
+  return p;
+}
+
+}  // namespace mbr::distributed

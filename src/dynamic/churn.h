@@ -1,0 +1,39 @@
+#ifndef MBR_DYNAMIC_CHURN_H_
+#define MBR_DYNAMIC_CHURN_H_
+
+// Follow-graph churn workloads for the §6 dynamicity study: unfollows
+// (random live edges, biased towards low-interest ones) and new follows
+// (popularity-weighted targets sharing a topic with the follower — the same
+// mechanisms the Twitter generator uses, so churned graphs stay
+// distributionally faithful).
+
+#include <cstdint>
+
+#include "dynamic/delta_graph.h"
+#include "dynamic/incremental_authority.h"
+#include "util/rng.h"
+
+namespace mbr::dynamic {
+
+struct ChurnConfig {
+  // Fraction of the current edge count to remove and to add per round
+  // (e.g. 0.05 -> 5% unfollows + 5% new follows).
+  double unfollow_fraction = 0.05;
+  double follow_fraction = 0.05;
+  uint64_t seed = 33;
+};
+
+struct ChurnStats {
+  uint64_t edges_removed = 0;
+  uint64_t edges_added = 0;
+};
+
+// Applies one churn round to `overlay` and (if non-null) keeps `authority`
+// in sync edge by edge. Returns what was done.
+ChurnStats ApplyChurnRound(DeltaGraph* overlay,
+                           IncrementalAuthority* authority,
+                           const ChurnConfig& config, util::Rng* rng);
+
+}  // namespace mbr::dynamic
+
+#endif  // MBR_DYNAMIC_CHURN_H_

@@ -1,0 +1,121 @@
+#include "dynamic/delta_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mbr::dynamic {
+
+namespace {
+using graph::NodeId;
+using topics::TopicSet;
+
+using OverlayList = std::vector<std::pair<NodeId, TopicSet>>;
+
+OverlayList::const_iterator FindIn(const OverlayList& list, NodeId v) {
+  auto it = std::lower_bound(
+      list.begin(), list.end(), v,
+      [](const std::pair<NodeId, TopicSet>& e, NodeId n) {
+        return e.first < n;
+      });
+  if (it != list.end() && it->first == v) return it;
+  return list.end();
+}
+
+}  // namespace
+
+DeltaGraph::DeltaGraph(const graph::LabeledGraph* base)
+    : base_(base),
+      num_edges_(base->num_edges()),
+      added_(base->num_nodes()),
+      in_degree_delta_pos_(base->num_nodes(), 0),
+      in_degree_delta_neg_(base->num_nodes(), 0) {}
+
+bool DeltaGraph::IsAdded(NodeId u, NodeId v) const {
+  return FindIn(added_[u], v) != added_[u].end();
+}
+
+bool DeltaGraph::AddEdge(NodeId u, NodeId v, TopicSet labels) {
+  MBR_CHECK(u < num_nodes() && v < num_nodes());
+  if (u == v) return false;
+  if (HasEdge(u, v)) return false;
+  // Re-adding a previously removed base edge keeps the tombstone and
+  // stores the edge (with its new labels) in the overlay — the overlay
+  // entry shadows the base edge on every read path.
+  auto& list = added_[u];
+  auto it = std::lower_bound(
+      list.begin(), list.end(), v,
+      [](const std::pair<NodeId, TopicSet>& e, NodeId n) {
+        return e.first < n;
+      });
+  list.insert(it, {v, labels});
+  ++num_edges_;
+  ++in_degree_delta_pos_[v];
+  additions_.push_back({u, v, labels});
+  return true;
+}
+
+bool DeltaGraph::RemoveEdge(NodeId u, NodeId v) {
+  MBR_CHECK(u < num_nodes() && v < num_nodes());
+  // Overlay edge?
+  auto& list = added_[u];
+  auto it = FindIn(list, v);
+  if (it != list.end()) {
+    removals_.push_back({u, v, it->second});
+    list.erase(list.begin() + (it - list.cbegin()));
+    --num_edges_;
+    MBR_CHECK(in_degree_delta_pos_[v] > 0);
+    --in_degree_delta_pos_[v];
+    return true;
+  }
+  // Base edge not yet tombstoned?
+  if (base_->HasEdge(u, v) && !IsRemoved(u, v)) {
+    removals_.push_back({u, v, base_->EdgeLabels(u, v)});
+    removed_.insert(Key(u, v));
+    --num_edges_;
+    ++in_degree_delta_neg_[v];
+    return true;
+  }
+  return false;
+}
+
+bool DeltaGraph::HasEdge(NodeId u, NodeId v) const {
+  if (IsAdded(u, v)) return true;
+  return base_->HasEdge(u, v) && !IsRemoved(u, v);
+}
+
+TopicSet DeltaGraph::EdgeLabels(NodeId u, NodeId v) const {
+  auto it = FindIn(added_[u], v);
+  if (it != added_[u].end()) return it->second;
+  if (base_->HasEdge(u, v) && !IsRemoved(u, v)) {
+    return base_->EdgeLabels(u, v);
+  }
+  return TopicSet();
+}
+
+uint32_t DeltaGraph::OutDegree(NodeId u) const {
+  uint32_t removed_here = 0;
+  for (NodeId v : base_->OutNeighbors(u)) {
+    if (IsRemoved(u, v)) ++removed_here;
+  }
+  return base_->OutDegree(u) - removed_here +
+         static_cast<uint32_t>(added_[u].size());
+}
+
+uint32_t DeltaGraph::InDegree(NodeId v) const {
+  return base_->InDegree(v) + in_degree_delta_pos_[v] -
+         in_degree_delta_neg_[v];
+}
+
+graph::LabeledGraph DeltaGraph::Materialize() const {
+  graph::GraphBuilder builder(num_nodes(), base_->num_topics());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    builder.SetNodeLabels(u, base_->NodeLabels(u));
+    ForEachOutNeighbor(u, [&](NodeId v, TopicSet labels) {
+      builder.AddEdge(u, v, labels);
+    });
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace mbr::dynamic

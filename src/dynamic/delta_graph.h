@@ -1,0 +1,97 @@
+#ifndef MBR_DYNAMIC_DELTA_GRAPH_H_
+#define MBR_DYNAMIC_DELTA_GRAPH_H_
+
+// Dynamic follow-graph overlay — the substrate for the paper's §6 future
+// work ("many following links have a short lifespan. This graph dynamicity
+// may impact the scores stored by the landmarks").
+//
+// A DeltaGraph layers edge insertions and deletions over an immutable base
+// LabeledGraph: reads see base ∪ added ∖ removed. Mutations are O(log d);
+// Materialize() compacts everything into a fresh CSR graph when a batch of
+// churn has been applied (the paper's "re-computed periodically" model).
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "topics/topic.h"
+
+namespace mbr::dynamic {
+
+struct EdgeChange {
+  graph::NodeId src = 0;
+  graph::NodeId dst = 0;
+  topics::TopicSet labels;  // empty for removals
+};
+
+class DeltaGraph {
+ public:
+  // `base` must outlive the overlay.
+  explicit DeltaGraph(const graph::LabeledGraph* base);
+
+  const graph::LabeledGraph& base() const { return *base_; }
+  graph::NodeId num_nodes() const { return base_->num_nodes(); }
+  uint64_t num_edges() const { return num_edges_; }
+
+  // Adds u -> v. Returns false (no-op) for self-loops or already-present
+  // edges. Re-adding a previously removed base edge is allowed (possibly
+  // with new labels).
+  bool AddEdge(graph::NodeId u, graph::NodeId v, topics::TopicSet labels);
+
+  // Removes u -> v (from the base or the overlay). Returns false if the
+  // edge is not currently present.
+  bool RemoveEdge(graph::NodeId u, graph::NodeId v);
+
+  bool HasEdge(graph::NodeId u, graph::NodeId v) const;
+
+  // Labels of the live edge u -> v (empty set if absent).
+  topics::TopicSet EdgeLabels(graph::NodeId u, graph::NodeId v) const;
+
+  // Current out-degree / in-degree of a node.
+  uint32_t OutDegree(graph::NodeId u) const;
+  uint32_t InDegree(graph::NodeId v) const;
+
+  // Visits every live out-neighbor of u: fn(v, labels).
+  template <typename Fn>
+  void ForEachOutNeighbor(graph::NodeId u, Fn&& fn) const {
+    auto nbrs = base_->OutNeighbors(u);
+    auto labs = base_->OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (!IsRemoved(u, nbrs[i])) fn(nbrs[i], labs[i]);
+    }
+    for (const auto& [v, labels] : added_[u]) fn(v, labels);
+  }
+
+  // Compacts base + overlay into an immutable graph (node labels are
+  // carried over from the base).
+  graph::LabeledGraph Materialize() const;
+
+  // Applied change log (in application order; useful for incremental
+  // index maintenance and tests).
+  const std::vector<EdgeChange>& additions() const { return additions_; }
+  const std::vector<EdgeChange>& removals() const { return removals_; }
+
+ private:
+  static uint64_t Key(graph::NodeId u, graph::NodeId v) {
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+  bool IsRemoved(graph::NodeId u, graph::NodeId v) const {
+    return removed_.count(Key(u, v)) > 0;
+  }
+  bool IsAdded(graph::NodeId u, graph::NodeId v) const;
+
+  const graph::LabeledGraph* base_;
+  uint64_t num_edges_;
+  // Per-node overlay adjacency (sorted by dst) and a global tombstone set.
+  std::vector<std::vector<std::pair<graph::NodeId, topics::TopicSet>>> added_;
+  std::unordered_set<uint64_t> removed_;
+  std::vector<uint32_t> in_degree_delta_pos_;  // added in-edges per node
+  std::vector<uint32_t> in_degree_delta_neg_;  // removed in-edges per node
+  std::vector<EdgeChange> additions_;
+  std::vector<EdgeChange> removals_;
+};
+
+}  // namespace mbr::dynamic
+
+#endif  // MBR_DYNAMIC_DELTA_GRAPH_H_

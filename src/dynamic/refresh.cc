@@ -1,0 +1,116 @@
+#include "dynamic/refresh.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace mbr::dynamic {
+
+namespace {
+using graph::NodeId;
+}  // namespace
+
+const char* RefreshPolicyName(RefreshPolicy p) {
+  switch (p) {
+    case RefreshPolicy::kNone:
+      return "None";
+    case RefreshPolicy::kRoundRobin:
+      return "RoundRobin";
+    case RefreshPolicy::kMostChurned:
+      return "MostChurned";
+  }
+  return "?";
+}
+
+LandmarkRefresher::LandmarkRefresher(landmark::LandmarkIndex index,
+                                     RefreshPolicy policy,
+                                     uint32_t budget_per_round)
+    : index_(std::move(index)), policy_(policy), budget_(budget_per_round) {}
+
+std::vector<uint64_t> LandmarkRefresher::ChurnExposure(
+    const std::vector<EdgeChange>& changes) const {
+  const auto& landmarks = index_.landmarks();
+  // node -> landmark slots whose stored lists contain it (or that ARE it),
+  // deduplicated per (node, slot) via the last-pushed marker.
+  std::unordered_map<NodeId, std::vector<uint32_t>> watchers;
+  auto watch = [&](NodeId node, uint32_t slot) {
+    auto& v = watchers[node];
+    if (v.empty() || v.back() != slot) v.push_back(slot);
+  };
+  for (uint32_t i = 0; i < landmarks.size(); ++i) {
+    watch(landmarks[i], i);
+    for (int t = 0; t < index_.num_topics(); ++t) {
+      for (const landmark::StoredRec& rec : index_.Recommendations(
+               landmarks[i], static_cast<topics::TopicId>(t))) {
+        watch(rec.node, i);
+      }
+    }
+  }
+
+  std::vector<uint64_t> exposure(landmarks.size(), 0);
+  for (const EdgeChange& change : changes) {
+    for (NodeId endpoint : {change.src, change.dst}) {
+      auto it = watchers.find(endpoint);
+      if (it == watchers.end()) continue;
+      for (uint32_t slot : it->second) ++exposure[slot];
+    }
+  }
+  return exposure;
+}
+
+std::vector<NodeId> LandmarkRefresher::RefreshRound(
+    const graph::LabeledGraph& current,
+    const core::AuthorityIndex& authority,
+    const topics::SimilarityMatrix& sim,
+    const std::vector<EdgeChange>& changes_since_last_round) {
+  const auto& landmarks = index_.landmarks();
+  std::vector<NodeId> refreshed;
+  if (policy_ == RefreshPolicy::kNone || landmarks.empty() || budget_ == 0) {
+    return refreshed;
+  }
+  uint32_t budget = std::min<uint32_t>(
+      budget_, static_cast<uint32_t>(landmarks.size()));
+
+  if (policy_ == RefreshPolicy::kRoundRobin) {
+    for (uint32_t k = 0; k < budget; ++k) {
+      NodeId lm = landmarks[round_robin_cursor_];
+      round_robin_cursor_ =
+          (round_robin_cursor_ + 1) % static_cast<uint32_t>(landmarks.size());
+      index_.RefreshLandmark(lm, current, authority, sim);
+      refreshed.push_back(lm);
+    }
+  } else {  // kMostChurned
+    // Staleness accumulates: exposure adds up across rounds and resets
+    // only when a landmark is actually refreshed, so the budget spreads
+    // over everything the churn touched instead of re-polishing the same
+    // hot landmarks every round.
+    std::vector<uint64_t> exposure = ChurnExposure(changes_since_last_round);
+    if (accumulated_exposure_.size() != landmarks.size()) {
+      accumulated_exposure_.assign(landmarks.size(), 0);
+    }
+    for (size_t i = 0; i < landmarks.size(); ++i) {
+      accumulated_exposure_[i] += exposure[i];
+    }
+    std::vector<uint32_t> order(landmarks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (accumulated_exposure_[a] != accumulated_exposure_[b]) {
+        return accumulated_exposure_[a] > accumulated_exposure_[b];
+      }
+      return a < b;
+    });
+    for (uint32_t k = 0; k < budget; ++k) {
+      if (accumulated_exposure_[order[k]] == 0) break;  // nothing stale left
+      NodeId lm = landmarks[order[k]];
+      index_.RefreshLandmark(lm, current, authority, sim);
+      accumulated_exposure_[order[k]] = 0;
+      refreshed.push_back(lm);
+    }
+  }
+  total_refreshed_ += refreshed.size();
+  return refreshed;
+}
+
+}  // namespace mbr::dynamic

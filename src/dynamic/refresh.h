@@ -1,0 +1,78 @@
+#ifndef MBR_DYNAMIC_REFRESH_H_
+#define MBR_DYNAMIC_REFRESH_H_
+
+// Landmark refresh policies — the "updating strategies" the paper's §6
+// proposes to study. Re-running Algorithm 1 for every landmark after each
+// batch of churn is exact but costs the full pre-processing; with a fixed
+// refresh budget of k landmarks per round, the policy decides *which*
+// landmarks to recompute:
+//
+//   kNone        — never refresh (the staleness baseline)
+//   kRoundRobin  — cycle through the landmarks obliviously
+//   kMostChurned — refresh the landmarks most affected by the round's edge
+//                  changes, estimated from the change log: a change (u, v)
+//                  touches λ if u or v is λ itself or appears in one of
+//                  λ's stored recommendation lists (those are exactly the
+//                  walks the stored scores summed over).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/authority.h"
+#include "dynamic/delta_graph.h"
+#include "graph/labeled_graph.h"
+#include "landmark/index.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::dynamic {
+
+enum class RefreshPolicy {
+  kNone,
+  kRoundRobin,
+  kMostChurned,
+};
+
+const char* RefreshPolicyName(RefreshPolicy p);
+
+// Maintains a landmark index against a churning graph with a per-round
+// refresh budget.
+class LandmarkRefresher {
+ public:
+  // Snapshots the landmark list and configuration from `index`; the
+  // refresher then owns the evolving index.
+  LandmarkRefresher(landmark::LandmarkIndex index, RefreshPolicy policy,
+                    uint32_t budget_per_round);
+
+  const landmark::LandmarkIndex& index() const { return index_; }
+
+  // Scores each landmark's exposure to `changes` (additions + removals
+  // since the last round): the number of changes touching the landmark or
+  // its stored recommendations. Exposed for tests.
+  std::vector<uint64_t> ChurnExposure(
+      const std::vector<EdgeChange>& changes) const;
+
+  // Applies one refresh round: picks up to `budget` landmarks according to
+  // the policy and recomputes their stored lists on `current` (the
+  // materialised post-churn graph). Returns the refreshed landmark ids.
+  std::vector<graph::NodeId> RefreshRound(
+      const graph::LabeledGraph& current,
+      const core::AuthorityIndex& authority,
+      const topics::SimilarityMatrix& sim,
+      const std::vector<EdgeChange>& changes_since_last_round);
+
+  uint64_t total_refreshed() const { return total_refreshed_; }
+
+ private:
+  landmark::LandmarkIndex index_;
+  RefreshPolicy policy_;
+  uint32_t budget_;
+  uint32_t round_robin_cursor_ = 0;
+  // kMostChurned: churn exposure accumulated since each landmark's last
+  // refresh (index-aligned with index_.landmarks()).
+  std::vector<uint64_t> accumulated_exposure_;
+  uint64_t total_refreshed_ = 0;
+};
+
+}  // namespace mbr::dynamic
+
+#endif  // MBR_DYNAMIC_REFRESH_H_

@@ -1,0 +1,59 @@
+#ifndef MBR_EVAL_ALGORITHMS_H_
+#define MBR_EVAL_ALGORITHMS_H_
+
+// The standard algorithm roster of §5.3: Tr, Katz, TwitterRank, and the two
+// Tr ablations (Tr−auth, Tr−sim) of Figure 4 — as link-prediction
+// factories, so every trial re-instantiates them on the pruned graph.
+
+#include <memory>
+#include <vector>
+
+#include "baselines/katz.h"
+#include "baselines/twitterrank.h"
+#include "core/params.h"
+#include "core/recommender.h"
+#include "eval/linkpred.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::eval {
+
+inline std::vector<Algorithm> StandardAlgorithms(
+    const topics::SimilarityMatrix& sim,
+    const core::ScoreParams& base_params, bool include_ablations) {
+  std::vector<Algorithm> algos;
+  algos.push_back({"Tr", [&sim, base_params](const graph::LabeledGraph& g) {
+                     core::ScoreParams p = base_params;
+                     p.variant = core::ScoreVariant::kFull;
+                     return std::unique_ptr<core::Recommender>(
+                         new core::TrRecommender(g, sim, p));
+                   }});
+  algos.push_back({"Katz", [&sim, base_params](const graph::LabeledGraph& g) {
+                     return std::unique_ptr<core::Recommender>(
+                         new baselines::KatzRecommender(g, sim, base_params));
+                   }});
+  algos.push_back({"TwitterRank", [](const graph::LabeledGraph& g) {
+                     return std::unique_ptr<core::Recommender>(
+                         new baselines::TwitterRank(g));
+                   }});
+  if (include_ablations) {
+    algos.push_back(
+        {"Tr-auth", [&sim, base_params](const graph::LabeledGraph& g) {
+           core::ScoreParams p = base_params;
+           p.variant = core::ScoreVariant::kNoAuth;
+           return std::unique_ptr<core::Recommender>(
+               new core::TrRecommender(g, sim, p));
+         }});
+    algos.push_back(
+        {"Tr-sim", [&sim, base_params](const graph::LabeledGraph& g) {
+           core::ScoreParams p = base_params;
+           p.variant = core::ScoreVariant::kNoSim;
+           return std::unique_ptr<core::Recommender>(
+               new core::TrRecommender(g, sim, p));
+         }});
+  }
+  return algos;
+}
+
+}  // namespace mbr::eval
+
+#endif  // MBR_EVAL_ALGORITHMS_H_

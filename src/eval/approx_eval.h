@@ -1,0 +1,58 @@
+#ifndef MBR_EVAL_APPROX_EVAL_H_
+#define MBR_EVAL_APPROX_EVAL_H_
+
+// Evaluation of the landmark-based approximation (§5.4, Tables 5 and 6):
+// per selection strategy, landmark selection cost, pre-processing cost,
+// query-time cost + speed-up over the exact computation, the average number
+// of landmarks met by the depth-2 exploration, and the Kendall tau distance
+// between the approximate and exact top-k lists for several stored-list
+// sizes.
+
+#include <vector>
+
+#include "core/authority.h"
+#include "core/params.h"
+#include "graph/labeled_graph.h"
+#include "landmark/approx.h"
+#include "landmark/index.h"
+#include "landmark/selection.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::eval {
+
+struct ApproxEvalConfig {
+  landmark::SelectionConfig selection;
+  // Stored-list sizes to evaluate (Table 6: L10 / L100 / L1000).
+  std::vector<uint32_t> stored_top_ns = {10, 100, 1000};
+  // Kendall tau compares the approximate vs exact top-`compare_top_n`
+  // recommendations at the query node (paper: top-100).
+  uint32_t compare_top_n = 100;
+  uint32_t query_depth = 2;
+  uint32_t num_queries = 20;
+  core::ScoreParams params;
+  uint64_t seed = 5;
+};
+
+struct StrategyEvaluation {
+  landmark::SelectionStrategy strategy;
+  double selection_millis_per_landmark = 0.0;  // Table 5 col 1
+  double build_seconds_per_landmark = 0.0;     // Table 5 col 2
+  double avg_landmarks_met = 0.0;              // Table 6 "#lnd"
+  double avg_query_seconds = 0.0;              // Table 6 "time in s"
+  double avg_exact_seconds = 0.0;
+  double gain = 0.0;                           // exact / approx time
+  // kendall_tau[i] corresponds to stored_top_ns[i].
+  std::vector<double> kendall_tau;
+  size_t index_bytes_largest = 0;  // storage at the largest stored top-n
+};
+
+// Runs the §5.4 experiment for one strategy on one dataset graph.
+StrategyEvaluation EvaluateStrategy(const graph::LabeledGraph& g,
+                                    const core::AuthorityIndex& authority,
+                                    const topics::SimilarityMatrix& sim,
+                                    landmark::SelectionStrategy strategy,
+                                    const ApproxEvalConfig& config);
+
+}  // namespace mbr::eval
+
+#endif  // MBR_EVAL_APPROX_EVAL_H_

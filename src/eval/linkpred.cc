@@ -1,0 +1,243 @@
+#include "eval/linkpred.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace mbr::eval {
+
+namespace {
+
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+// Eligible target nodes under the popularity filter (in-degree >= kin, and
+// within the requested decile among eligible targets).
+std::vector<bool> EligibleTargets(const graph::LabeledGraph& g,
+                                  const LinkPredConfig& config) {
+  std::vector<NodeId> eligible;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) >= config.min_in_degree) eligible.push_back(v);
+  }
+  std::vector<bool> ok(g.num_nodes(), false);
+  if (config.popularity == PopularityFilter::kAll) {
+    for (NodeId v : eligible) ok[v] = true;
+    return ok;
+  }
+  std::sort(eligible.begin(), eligible.end(), [&](NodeId a, NodeId b) {
+    if (g.InDegree(a) != g.InDegree(b)) {
+      return g.InDegree(a) > g.InDegree(b);
+    }
+    return a < b;
+  });
+  size_t decile = std::max<size_t>(1, eligible.size() / 10);
+  if (config.popularity == PopularityFilter::kTop10Percent) {
+    for (size_t i = 0; i < decile; ++i) ok[eligible[i]] = true;
+  } else {
+    for (size_t i = eligible.size() - decile; i < eligible.size(); ++i) {
+      ok[eligible[i]] = true;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+std::vector<TestEdge> SampleTestEdges(const graph::LabeledGraph& g,
+                                      const LinkPredConfig& config,
+                                      util::Rng* rng) {
+  std::vector<bool> target_ok = EligibleTargets(g, config);
+
+  // Collect all admissible (src, dst) pairs lazily via rejection sampling
+  // over random sources; fall back to a full scan if rejection stalls.
+  std::vector<TestEdge> picked;
+  std::vector<std::pair<NodeId, size_t>> pool;  // (src, out index)
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) < config.min_out_degree) continue;
+    auto nbrs = g.OutNeighbors(u);
+    auto labs = g.OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (!target_ok[nbrs[i]]) continue;
+      if (labs[i].empty()) continue;  // need a ground-truth topic
+      if (config.fixed_topic != topics::kInvalidTopic &&
+          !labs[i].Contains(config.fixed_topic)) {
+        continue;
+      }
+      pool.push_back({u, i});
+    }
+  }
+  if (pool.empty()) return picked;
+
+  uint32_t want = std::min<uint32_t>(config.test_edges,
+                                     static_cast<uint32_t>(pool.size()));
+  auto chosen = rng->SampleWithoutReplacement(
+      static_cast<uint32_t>(pool.size()), want);
+  picked.reserve(want);
+  for (uint32_t idx : chosen) {
+    auto [u, i] = pool[idx];
+    NodeId v = g.OutNeighbors(u)[i];
+    TopicSet labels = g.OutEdgeLabels(u)[i];
+    TopicId topic = config.fixed_topic;
+    if (topic == topics::kInvalidTopic) {
+      // Pick one of the edge's topics uniformly: the paper scores "on the
+      // topics of e" and forms one ranked list per topic; sampling one
+      // keeps the per-edge cost constant.
+      int pick = static_cast<int>(rng->UniformU64(labels.size()));
+      for (TopicId t : labels) {
+        if (pick-- == 0) {
+          topic = t;
+          break;
+        }
+      }
+    }
+    picked.push_back({u, v, topic});
+  }
+  return picked;
+}
+
+uint32_t RankOfTarget(double target_score,
+                      const std::vector<double>& negative_scores) {
+  uint32_t better = 0, ties = 0;
+  for (double s : negative_scores) {
+    if (s > target_score) {
+      ++better;
+    } else if (s == target_score) {
+      ++ties;
+    }
+  }
+  // Deterministic tie handling: half of the tied negatives (rounded down)
+  // rank ahead of the target.
+  return 1 + better + ties / 2;
+}
+
+std::vector<AccuracyCurve> RunLinkPrediction(
+    const graph::LabeledGraph& g, const std::vector<Algorithm>& algorithms,
+    const LinkPredConfig& config) {
+  MBR_CHECK(!algorithms.empty());
+  MBR_CHECK(config.max_top_n > 0);
+  util::Rng rng(config.seed);
+
+  std::vector<AccuracyCurve> curves(algorithms.size());
+  std::vector<RankAccumulator> ranks(algorithms.size());
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    curves[a].name = algorithms[a].name;
+    curves[a].recall_at.assign(config.max_top_n, 0.0);
+    curves[a].precision_at.assign(config.max_top_n, 0.0);
+  }
+
+  uint64_t total_tests = 0;
+  // Per-trial recall@10 samples, per algorithm.
+  std::vector<std::vector<double>> trial_recall10(algorithms.size());
+  for (uint32_t trial = 0; trial < config.trials; ++trial) {
+    util::Rng trial_rng = rng.Fork(trial + 1);
+    std::vector<TestEdge> tests = SampleTestEdges(g, config, &trial_rng);
+    if (tests.empty()) continue;
+
+    // "All edges from T are then removed from the graph."
+    std::vector<std::pair<NodeId, NodeId>> removed;
+    removed.reserve(tests.size());
+    for (const TestEdge& e : tests) removed.push_back({e.src, e.dst});
+    graph::LabeledGraph pruned = g.WithoutEdges(removed);
+
+    // Candidate lists are drawn up front (deterministic in the trial seed,
+    // independent of the worker count).
+    std::vector<std::vector<NodeId>> candidate_lists(tests.size());
+    for (size_t i = 0; i < tests.size(); ++i) {
+      const TestEdge& e = tests[i];
+      std::vector<NodeId>& candidates = candidate_lists[i];
+      candidates.reserve(config.negatives + 1);
+      while (candidates.size() < config.negatives) {
+        NodeId c = static_cast<NodeId>(trial_rng.UniformU64(g.num_nodes()));
+        if (c != e.src && c != e.dst) candidates.push_back(c);
+      }
+      candidates.push_back(e.dst);
+    }
+
+    // rank_matrix[i * A + a]: rank of test edge i under algorithm a.
+    const size_t num_algos = algorithms.size();
+    std::vector<uint32_t> rank_matrix(tests.size() * num_algos, 0);
+    const uint32_t threads =
+        std::max<uint32_t>(1, std::min<uint32_t>(config.num_threads,
+                                                 static_cast<uint32_t>(
+                                                     tests.size())));
+    auto worker = [&](uint32_t tid) {
+      // Each worker owns its recommender instances.
+      std::vector<std::unique_ptr<core::Recommender>> recs;
+      recs.reserve(num_algos);
+      for (const Algorithm& algo : algorithms) {
+        recs.push_back(algo.make(pruned));
+      }
+      for (size_t i = tid; i < tests.size(); i += threads) {
+        const TestEdge& e = tests[i];
+        for (size_t a = 0; a < num_algos; ++a) {
+          std::vector<double> scores =
+              recs[a]->ScoreCandidates(e.src, e.topic, candidate_lists[i]);
+          double target_score = scores.back();
+          scores.pop_back();
+          rank_matrix[i * num_algos + a] =
+              RankOfTarget(target_score, scores);
+        }
+      }
+    };
+    if (threads == 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (uint32_t tid = 0; tid < threads; ++tid) {
+        pool.emplace_back(worker, tid);
+      }
+      for (std::thread& th : pool) th.join();
+    }
+
+    // Aggregate in deterministic edge order.
+    std::vector<uint64_t> trial_hits10(num_algos, 0);
+    for (size_t i = 0; i < tests.size(); ++i) {
+      for (size_t a = 0; a < num_algos; ++a) {
+        uint32_t rank = rank_matrix[i * num_algos + a];
+        ranks[a].Add(rank);
+        if (rank <= 10 && config.max_top_n >= 10) ++trial_hits10[a];
+        if (rank <= config.max_top_n) {
+          for (uint32_t n = rank; n <= config.max_top_n; ++n) {
+            curves[a].recall_at[n - 1] += 1.0;
+          }
+        }
+      }
+      ++total_tests;
+    }
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      trial_recall10[a].push_back(static_cast<double>(trial_hits10[a]) /
+                                  static_cast<double>(tests.size()));
+    }
+  }
+
+  if (total_tests > 0) {
+    for (size_t a = 0; a < curves.size(); ++a) {
+      for (uint32_t n = 1; n <= config.max_top_n; ++n) {
+        curves[a].recall_at[n - 1] /= static_cast<double>(total_tests);
+        curves[a].precision_at[n - 1] =
+            curves[a].recall_at[n - 1] / static_cast<double>(n);
+      }
+      curves[a].mrr = ranks[a].MeanReciprocalRank();
+      curves[a].ndcg_at_10 = ranks[a].MeanNdcgAt10();
+      const auto& samples = trial_recall10[a];
+      if (samples.size() > 1) {
+        double mean = 0;
+        for (double r : samples) mean += r;
+        mean /= static_cast<double>(samples.size());
+        double var = 0;
+        for (double r : samples) var += (r - mean) * (r - mean);
+        curves[a].recall_at_10_stddev =
+            std::sqrt(var / static_cast<double>(samples.size() - 1));
+      }
+    }
+  }
+  return curves;
+}
+
+}  // namespace mbr::eval

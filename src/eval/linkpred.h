@@ -1,0 +1,103 @@
+#ifndef MBR_EVAL_LINKPRED_H_
+#define MBR_EVAL_LINKPRED_H_
+
+// The link-prediction evaluation protocol of §5.3.
+//
+// A test set T of edges is sampled such that the target has in-degree >=
+// kin and the source out-degree >= kout (both 3 in the paper), then removed
+// from the graph. For each test edge u -> v with topic t, the true endpoint
+// v is ranked against 1000 uniformly sampled accounts by each algorithm; a
+// hit at N means v lands in the top-N of the ranked 1001-candidate list.
+// recall@N = #hits / |T| and precision@N = #hits / (N * |T|), following
+// Cremonesi et al. [6]. Results are averaged over independent trials.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/recommender_iface.h"
+#include "graph/labeled_graph.h"
+#include "topics/topic.h"
+#include "util/rng.h"
+
+namespace mbr::eval {
+
+// Which targets qualify for test-edge sampling (Figure 8 slices by target
+// popularity).
+enum class PopularityFilter {
+  kAll,
+  kTop10Percent,     // most followed accounts
+  kBottom10Percent,  // least followed accounts (among eligible targets)
+};
+
+struct LinkPredConfig {
+  uint32_t test_edges = 100;  // |T|
+  uint32_t negatives = 1000;
+  uint32_t min_in_degree = 3;   // kin
+  uint32_t min_out_degree = 3;  // kout
+  uint32_t trials = 3;          // paper: 100; benches default lower
+  uint32_t max_top_n = 20;      // evaluate N = 1 .. max_top_n
+  PopularityFilter popularity = PopularityFilter::kAll;
+  // If != kInvalidTopic, only test edges labeled with this topic are
+  // sampled (Figure 9 slices by topic popularity).
+  topics::TopicId fixed_topic = topics::kInvalidTopic;
+  // Worker threads scoring test edges within a trial. Each worker builds
+  // its own recommender instances (Scorer scratch is not thread-safe), so
+  // >1 pays the per-algorithm build cost per worker; results are identical
+  // for any thread count.
+  uint32_t num_threads = 1;
+  uint64_t seed = 2016;
+};
+
+struct TestEdge {
+  graph::NodeId src = 0;
+  graph::NodeId dst = 0;
+  topics::TopicId topic = 0;
+};
+
+// An algorithm entry: display name + factory building the recommender on a
+// given (test-edges-removed) graph.
+struct Algorithm {
+  std::string name;
+  std::function<std::unique_ptr<core::Recommender>(
+      const graph::LabeledGraph&)> make;
+};
+
+// recall/precision curves of one algorithm; index i holds the value at
+// N = i + 1. mrr / ndcg_at_10 are averaged over all test edges (single
+// relevant item per list, so MAP == MRR).
+struct AccuracyCurve {
+  std::string name;
+  std::vector<double> recall_at;
+  std::vector<double> precision_at;
+  double mrr = 0.0;
+  double ndcg_at_10 = 0.0;
+  // Sample standard deviation of recall@10 across trials (0 for a single
+  // trial); gives the tables an honest error bar.
+  double recall_at_10_stddev = 0.0;
+};
+
+// Samples a test set satisfying the constraints. Returns fewer edges than
+// requested if the graph cannot supply them.
+std::vector<TestEdge> SampleTestEdges(const graph::LabeledGraph& g,
+                                      const LinkPredConfig& config,
+                                      util::Rng* rng);
+
+// Runs the full protocol: per trial, sample test edges, remove them,
+// instantiate every algorithm on the pruned graph, rank candidates, and
+// accumulate hits. Returns one averaged curve per algorithm.
+std::vector<AccuracyCurve> RunLinkPrediction(
+    const graph::LabeledGraph& g, const std::vector<Algorithm>& algorithms,
+    const LinkPredConfig& config);
+
+// Rank (1-based) of `target_score` within the candidate scores: 1 + the
+// number of candidates strictly better + ties broken pessimistically by
+// counting ties ranked before the target with probability 1/2 (deterministic:
+// half of ties, rounded down, rank ahead). Exposed for tests.
+uint32_t RankOfTarget(double target_score,
+                      const std::vector<double>& negative_scores);
+
+}  // namespace mbr::eval
+
+#endif  // MBR_EVAL_LINKPRED_H_

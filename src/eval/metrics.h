@@ -1,0 +1,50 @@
+#ifndef MBR_EVAL_METRICS_H_
+#define MBR_EVAL_METRICS_H_
+
+// Ranking metrics beyond the paper's recall/precision: reciprocal rank and
+// nDCG for the single-relevant-item protocol (the removed edge's endpoint
+// is the one relevant item per ranked list, so MAP == MRR).
+
+#include <cmath>
+#include <cstdint>
+
+namespace mbr::eval {
+
+// 1 / rank (rank is 1-based).
+inline double ReciprocalRank(uint32_t rank) {
+  return rank == 0 ? 0.0 : 1.0 / static_cast<double>(rank);
+}
+
+// nDCG@k with a single relevant item: 1/log2(1+rank) if rank <= k else 0
+// (the ideal DCG is 1/log2(2) = 1).
+inline double NdcgAtK(uint32_t rank, uint32_t k) {
+  if (rank == 0 || rank > k) return 0.0;
+  return 1.0 / std::log2(1.0 + static_cast<double>(rank));
+}
+
+// Accumulates per-query ranks into averaged metrics.
+class RankAccumulator {
+ public:
+  void Add(uint32_t rank) {
+    mrr_sum_ += ReciprocalRank(rank);
+    ndcg10_sum_ += NdcgAtK(rank, 10);
+    ++count_;
+  }
+
+  uint64_t count() const { return count_; }
+  double MeanReciprocalRank() const {
+    return count_ == 0 ? 0.0 : mrr_sum_ / static_cast<double>(count_);
+  }
+  double MeanNdcgAt10() const {
+    return count_ == 0 ? 0.0 : ndcg10_sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  double mrr_sum_ = 0.0;
+  double ndcg10_sum_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace mbr::eval
+
+#endif  // MBR_EVAL_METRICS_H_

@@ -1,0 +1,142 @@
+#include "eval/user_study.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace mbr::eval {
+
+namespace {
+
+using graph::NodeId;
+using topics::TopicId;
+
+double Clamp01(double x) { return std::max(0.0, std::min(1.0, x)); }
+
+}  // namespace
+
+double ExpectedMark(double quality, double ambiguity) {
+  // Ambiguity pulls the perceived relevance toward the 0.5 midpoint (the
+  // paper: doubtful raters "mark with the average 2 or 3 value").
+  double perceived = (1.0 - ambiguity) * quality + ambiguity * 0.5;
+  return 1.0 + 4.0 * Clamp01(perceived);
+}
+
+std::vector<StudyOutcome> RunUserStudy(
+    const datagen::GeneratedDataset& dataset,
+    const std::vector<core::Recommender*>& algorithms, TopicId topic,
+    const UserStudyConfig& config) {
+  MBR_CHECK(!algorithms.empty());
+  const graph::LabeledGraph& g = dataset.graph;
+  util::Rng rng(config.seed);
+
+  double ambiguity = config.default_ambiguity;
+  if (topic < config.topic_ambiguity.size()) {
+    ambiguity = config.topic_ambiguity[topic];
+  }
+
+  std::vector<StudyOutcome> outcomes(algorithms.size());
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    outcomes[a].name = algorithms[a]->name();
+  }
+
+  // Query users are drawn among accounts that truly engage with the topic
+  // (the paper's raters evaluated recommendations for their own domain:
+  // researchers rated authors "based on his DBLP entry").
+  std::vector<NodeId> topical_users;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) > 0 && dataset.true_topics[u].Contains(topic)) {
+      topical_users.push_back(u);
+    }
+  }
+
+  uint32_t queries_done = 0;
+  for (uint32_t q = 0; q < config.num_queries; ++q) {
+    NodeId u;
+    if (!topical_users.empty()) {
+      u = topical_users[rng.UniformU64(topical_users.size())];
+    } else {
+      u = static_cast<NodeId>(rng.UniformU64(g.num_nodes()));
+      if (g.OutDegree(u) == 0) continue;
+    }
+
+    // Every algorithm produces its top-k (over-fetch when a popularity cap
+    // applies, then filter).
+    std::vector<std::vector<NodeId>> lists(algorithms.size());
+    bool all_nonempty = true;
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      size_t fetch = config.max_target_in_degree > 0 ? config.top_k * 20
+                                                     : config.top_k;
+      for (const util::ScoredId& r :
+           algorithms[a]->RecommendTopN(u, topic, fetch)) {
+        if (config.max_target_in_degree > 0 &&
+            g.InDegree(r.id) > config.max_target_in_degree) {
+          continue;
+        }
+        lists[a].push_back(r.id);
+        if (lists[a].size() == config.top_k) break;
+      }
+      if (lists[a].empty()) all_nonempty = false;
+    }
+    if (!all_nonempty) continue;
+
+    // Accounts within the query user's 2-hop out-neighbourhood are judged
+    // as plausibly relevant; distant accounts are discounted (see config).
+    std::vector<bool> near(g.num_nodes(), false);
+    if (config.distant_relevance_penalty < 1.0) {
+      for (const graph::VisitedNode& vn : graph::KVicinity(g, u, 2)) {
+        near[vn.node] = true;
+      }
+    }
+
+    // The rater pool marks every account of every list ("the
+    // recommendation list is shuffled" — raters don't know the algorithm).
+    std::vector<double> total_marks(algorithms.size(), 0.0);
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      for (NodeId account : lists[a]) {
+        double quality = dataset.QualityOf(account, topic);
+        if (config.distant_relevance_penalty < 1.0 && !near[account]) {
+          quality *= config.distant_relevance_penalty;
+        }
+        double mark_sum = 0.0;
+        for (uint32_t r = 0; r < config.num_raters; ++r) {
+          double noisy = ExpectedMark(
+              Clamp01(quality + rng.Normal(0.0, config.rater_noise)),
+              ambiguity);
+          double mark = std::round(std::max(1.0, std::min(5.0, noisy)));
+          mark_sum += mark;
+        }
+        double avg = mark_sum / config.num_raters;
+        outcomes[a].avg_mark += avg;
+        if (avg >= 3.5) ++outcomes[a].marks_4_or_5;
+        ++outcomes[a].accounts_rated;
+        total_marks[a] += avg;
+      }
+      // Normalise by list length so shorter (capped) lists aren't punished.
+      total_marks[a] /= static_cast<double>(lists[a].size());
+    }
+
+    // "Best answer": the algorithm whose top-k got the highest mean mark.
+    size_t best = 0;
+    for (size_t a = 1; a < algorithms.size(); ++a) {
+      if (total_marks[a] > total_marks[best]) best = a;
+    }
+    outcomes[best].best_answer_frac += 1.0;
+    ++queries_done;
+  }
+
+  for (auto& o : outcomes) {
+    if (o.accounts_rated > 0) {
+      o.avg_mark /= static_cast<double>(o.accounts_rated);
+    }
+    if (queries_done > 0) {
+      o.best_answer_frac /= static_cast<double>(queries_done);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace mbr::eval

@@ -1,0 +1,121 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace mbr::graph {
+
+double Reciprocity(const LabeledGraph& g) {
+  if (g.num_edges() == 0) return 0.0;
+  uint64_t reciprocated = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (g.HasEdge(v, u)) ++reciprocated;
+    }
+  }
+  return static_cast<double>(reciprocated) /
+         static_cast<double>(g.num_edges());
+}
+
+double EstimateClusteringCoefficient(const LabeledGraph& g, uint32_t samples,
+                                     util::Rng* rng) {
+  MBR_CHECK(rng != nullptr);
+  double total = 0.0;
+  uint32_t measured = 0;
+  uint32_t attempts = samples * 20 + 100;
+  while (measured < samples && attempts-- > 0) {
+    NodeId u = static_cast<NodeId>(rng->UniformU64(g.num_nodes()));
+    auto nbrs = g.OutNeighbors(u);
+    if (nbrs.size() < 2) continue;
+    // Sample a handful of followee pairs instead of all O(d^2).
+    uint32_t pair_samples = 16;
+    uint32_t connected = 0;
+    for (uint32_t i = 0; i < pair_samples; ++i) {
+      NodeId a = nbrs[rng->UniformU64(nbrs.size())];
+      NodeId b;
+      do {
+        b = nbrs[rng->UniformU64(nbrs.size())];
+      } while (b == a);  // nbrs.size() >= 2, so a distinct pick exists
+      if (g.HasEdge(a, b) || g.HasEdge(b, a)) ++connected;
+    }
+    total += static_cast<double>(connected) / pair_samples;
+    ++measured;
+  }
+  return measured == 0 ? 0.0 : total / measured;
+}
+
+std::vector<uint32_t> WeaklyConnectedComponents(const LabeledGraph& g,
+                                                uint32_t* num_components) {
+  std::vector<uint32_t> comp(g.num_nodes(), 0xffffffff);
+  uint32_t next_id = 0;
+  std::deque<NodeId> queue;
+  for (NodeId seed = 0; seed < g.num_nodes(); ++seed) {
+    if (comp[seed] != 0xffffffff) continue;
+    comp[seed] = next_id;
+    queue.push_back(seed);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (comp[v] == 0xffffffff) {
+          comp[v] = next_id;
+          queue.push_back(v);
+        }
+      }
+      for (NodeId v : g.InNeighbors(u)) {
+        if (comp[v] == 0xffffffff) {
+          comp[v] = next_id;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  if (num_components != nullptr) *num_components = next_id;
+  return comp;
+}
+
+uint64_t LargestComponentSize(const LabeledGraph& g) {
+  uint32_t count = 0;
+  std::vector<uint32_t> comp = WeaklyConnectedComponents(g, &count);
+  std::vector<uint64_t> sizes(count, 0);
+  for (uint32_t c : comp) ++sizes[c];
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+std::vector<uint64_t> InDegreeHistogram(const LabeledGraph& g) {
+  std::vector<uint64_t> buckets;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint32_t d = g.InDegree(v);
+    uint32_t bucket = d < 2 ? 0 : static_cast<uint32_t>(std::log2(d));
+    if (bucket >= buckets.size()) buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
+double EstimatePowerLawExponent(const std::vector<uint64_t>& histogram) {
+  // Least squares over (log2 midpoint, log2 count) of non-empty buckets,
+  // skipping bucket 0 (degrees 0-1 are not in the power-law regime).
+  std::vector<std::pair<double, double>> points;
+  for (size_t i = 1; i < histogram.size(); ++i) {
+    if (histogram[i] == 0) continue;
+    double x = static_cast<double>(i) + 0.5;  // log2 of bucket midpoint
+    double y = std::log2(static_cast<double>(histogram[i]));
+    points.push_back({x, y});
+  }
+  if (points.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (auto [x, y] : points) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  double n = static_cast<double>(points.size());
+  double denom = n * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace mbr::graph

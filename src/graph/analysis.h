@@ -1,0 +1,47 @@
+#ifndef MBR_GRAPH_ANALYSIS_H_
+#define MBR_GRAPH_ANALYSIS_H_
+
+// Structural analysis of follow graphs, used to validate the generated
+// datasets against the published structure of the real Twitter follow
+// graph (Myers et al., WWW 2014 [18], which the paper cites as the
+// reference for its Table 2 properties): clustering, reciprocity,
+// component structure and degree histograms.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "util/rng.h"
+
+namespace mbr::graph {
+
+// Fraction of edges (u, v) for which (v, u) also exists. Myers et al.
+// report ~44% for the real follow graph.
+double Reciprocity(const LabeledGraph& g);
+
+// Average local clustering coefficient over `samples` random nodes with
+// out-degree >= 2, treating edges as undirected: the probability that two
+// random followees of a node are connected (either direction).
+double EstimateClusteringCoefficient(const LabeledGraph& g, uint32_t samples,
+                                     util::Rng* rng);
+
+// Weakly connected components (edges treated as undirected). Returns the
+// component id per node; *num_components receives the count.
+std::vector<uint32_t> WeaklyConnectedComponents(const LabeledGraph& g,
+                                                uint32_t* num_components);
+
+// Size of the largest weakly connected component.
+uint64_t LargestComponentSize(const LabeledGraph& g);
+
+// Log2-bucketed in-degree histogram: bucket[i] counts nodes with in-degree
+// in [2^i, 2^(i+1)) (bucket 0 additionally holds degree 0 and 1).
+std::vector<uint64_t> InDegreeHistogram(const LabeledGraph& g);
+
+// Least-squares slope of log(count) vs log(degree) over the non-empty
+// histogram buckets — a crude power-law exponent estimate (Myers et al.
+// report an in-degree exponent near -1.35 in the plotted range).
+double EstimatePowerLawExponent(const std::vector<uint64_t>& histogram);
+
+}  // namespace mbr::graph
+
+#endif  // MBR_GRAPH_ANALYSIS_H_

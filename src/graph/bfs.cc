@@ -1,0 +1,44 @@
+#include "graph/bfs.h"
+
+#include <deque>
+
+namespace mbr::graph {
+
+std::vector<VisitedNode> KVicinity(const LabeledGraph& g, NodeId source,
+                                   uint32_t max_depth, Direction dir) {
+  MBR_CHECK(source < g.num_nodes());
+  std::vector<VisitedNode> order;
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::deque<VisitedNode> queue;
+  queue.push_back({source, 0});
+  seen[source] = true;
+  while (!queue.empty()) {
+    VisitedNode cur = queue.front();
+    queue.pop_front();
+    order.push_back(cur);
+    if (cur.depth == max_depth) continue;
+    auto nbrs = dir == Direction::kOut ? g.OutNeighbors(cur.node)
+                                       : g.InNeighbors(cur.node);
+    for (NodeId nxt : nbrs) {
+      if (!seen[nxt]) {
+        seen[nxt] = true;
+        queue.push_back({nxt, cur.depth + 1});
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<uint32_t> SeedCoverageCounts(const LabeledGraph& g,
+                                         const std::vector<NodeId>& seeds,
+                                         uint32_t max_depth, Direction dir) {
+  std::vector<uint32_t> counts(g.num_nodes(), 0);
+  for (NodeId seed : seeds) {
+    for (const VisitedNode& v : KVicinity(g, seed, max_depth, dir)) {
+      ++counts[v.node];
+    }
+  }
+  return counts;
+}
+
+}  // namespace mbr::graph

@@ -1,0 +1,40 @@
+#ifndef MBR_GRAPH_BFS_H_
+#define MBR_GRAPH_BFS_H_
+
+// Breadth-first exploration utilities: the k-vicinity Υk(u) of §4.1 and the
+// seed-coverage counts used by the Central / Out-Cen landmark strategies.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace mbr::graph {
+
+struct VisitedNode {
+  NodeId node = kInvalidNode;
+  uint32_t depth = 0;  // hops from the source
+};
+
+enum class Direction {
+  kOut,  // follow edges u -> followee (paths u ❀ v of the scores)
+  kIn,   // reverse edges (who can reach me)
+};
+
+// Nodes reachable from `source` within `max_depth` hops, in BFS order; the
+// source itself is the first entry with depth 0. Υ∞ is obtained with
+// max_depth = num_nodes().
+std::vector<VisitedNode> KVicinity(const LabeledGraph& g, NodeId source,
+                                   uint32_t max_depth,
+                                   Direction dir = Direction::kOut);
+
+// For each node, how many of `seeds` reach it within `max_depth` hops
+// (dir = kOut explores forward from the seeds). Used by the coverage-based
+// landmark selection strategies.
+std::vector<uint32_t> SeedCoverageCounts(const LabeledGraph& g,
+                                         const std::vector<NodeId>& seeds,
+                                         uint32_t max_depth, Direction dir);
+
+}  // namespace mbr::graph
+
+#endif  // MBR_GRAPH_BFS_H_

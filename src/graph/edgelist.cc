@@ -1,0 +1,138 @@
+#include "graph/edgelist.h"
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mbr::graph {
+
+namespace {
+
+std::string JoinTopics(topics::TopicSet set,
+                       const topics::Vocabulary& vocab) {
+  std::string out;
+  for (topics::TopicId t : set) {
+    if (!out.empty()) out.push_back(',');
+    out += vocab.Name(t);
+  }
+  return out;
+}
+
+// Parses "a,b,c" into a TopicSet; returns std::nullopt on unknown names.
+std::optional<topics::TopicSet> ParseTopics(
+    const std::string& spec, const topics::Vocabulary& vocab) {
+  topics::TopicSet set;
+  std::string name;
+  std::stringstream ss(spec);
+  while (std::getline(ss, name, ',')) {
+    if (name.empty()) continue;
+    topics::TopicId t = vocab.Id(name);
+    if (t == topics::kInvalidTopic) return std::nullopt;
+    set.Add(t);
+  }
+  return set;
+}
+
+}  // namespace
+
+util::Status WriteEdgeList(const LabeledGraph& g,
+                           const topics::Vocabulary& vocab,
+                           const std::string& path) {
+  MBR_CHECK(vocab.size() >= g.num_topics());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for write: " + path);
+  }
+  bool ok = true;
+  ok = ok && std::fprintf(f, "# microblogrec labeled edge list\n") > 0;
+  ok = ok && std::fprintf(f, "G %u\n", g.num_nodes()) > 0;
+  for (NodeId u = 0; u < g.num_nodes() && ok; ++u) {
+    topics::TopicSet labels = g.NodeLabels(u);
+    if (!labels.empty()) {
+      ok = std::fprintf(f, "N %u %s\n", u,
+                        JoinTopics(labels, vocab).c_str()) > 0;
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes() && ok; ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto labs = g.OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size() && ok; ++i) {
+      if (labs[i].empty()) {
+        ok = std::fprintf(f, "E %u %u\n", u, nbrs[i]) > 0;
+      } else {
+        ok = std::fprintf(f, "E %u %u %s\n", u, nbrs[i],
+                          JoinTopics(labs[i], vocab).c_str()) > 0;
+      }
+    }
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return util::Status::IoError("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<LabeledGraph> ReadEdgeList(const std::string& path,
+                                        const topics::Vocabulary& vocab) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for read: " + path);
+  }
+  std::optional<GraphBuilder> builder;
+  char line[4096];
+  uint64_t lineno = 0;
+  auto fail = [&](const std::string& msg) -> util::Status {
+    std::fclose(f);
+    return util::Status::InvalidArgument(
+        path + ":" + std::to_string(lineno) + ": " + msg);
+  };
+
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    std::stringstream ss(line);
+    std::string tag;
+    if (!(ss >> tag) || tag[0] == '#') continue;
+    if (tag == "G") {
+      uint64_t n = 0;
+      if (!(ss >> n) || n == 0) return fail("bad G record");
+      if (builder.has_value()) return fail("duplicate G record");
+      builder.emplace(static_cast<NodeId>(n), vocab.size());
+      continue;
+    }
+    if (!builder.has_value()) return fail("record before G header");
+    if (tag == "N") {
+      uint64_t u;
+      std::string spec;
+      if (!(ss >> u >> spec)) return fail("bad N record");
+      if (u >= builder->num_nodes()) return fail("node id out of range");
+      auto set = ParseTopics(spec, vocab);
+      if (!set.has_value()) return fail("unknown topic in N record");
+      builder->SetNodeLabels(static_cast<NodeId>(u), *set);
+    } else if (tag == "E") {
+      uint64_t u, v;
+      if (!(ss >> u >> v)) return fail("bad E record");
+      if (u >= builder->num_nodes() || v >= builder->num_nodes()) {
+        return fail("node id out of range");
+      }
+      topics::TopicSet labels;
+      std::string spec;
+      if (ss >> spec) {
+        auto set = ParseTopics(spec, vocab);
+        if (!set.has_value()) return fail("unknown topic in E record");
+        labels = *set;
+      }
+      builder->AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v),
+                       labels);
+    } else {
+      return fail("unknown record tag '" + tag + "'");
+    }
+  }
+  std::fclose(f);
+  if (!builder.has_value()) {
+    return util::Status::InvalidArgument(path + ": missing G header");
+  }
+  return std::move(*builder).Build();
+}
+
+}  // namespace mbr::graph

@@ -1,0 +1,34 @@
+#ifndef MBR_GRAPH_EDGELIST_H_
+#define MBR_GRAPH_EDGELIST_H_
+
+// Human-readable labeled edge-list format, the adoption path for real
+// datasets (crawls, DBLP dumps): topics are spelled by name against a
+// Vocabulary, so files are self-describing and diffable.
+//
+//   # any comment
+//   G <num_nodes>
+//   N <node> <topic>[,<topic>...]          (publisher profile; optional)
+//   E <src> <dst> [<topic>[,<topic>...]]   (follow edge + interest labels)
+
+#include <string>
+
+#include "graph/labeled_graph.h"
+#include "topics/vocabulary.h"
+#include "util/status.h"
+
+namespace mbr::graph {
+
+// Writes `g` in the text format, naming topics via `vocab`.
+// Preconditions: vocab.size() >= g.num_topics().
+util::Status WriteEdgeList(const LabeledGraph& g,
+                           const topics::Vocabulary& vocab,
+                           const std::string& path);
+
+// Parses the text format; unknown topic names, malformed records, missing
+// G header or out-of-range node ids produce an error Status.
+util::Result<LabeledGraph> ReadEdgeList(const std::string& path,
+                                        const topics::Vocabulary& vocab);
+
+}  // namespace mbr::graph
+
+#endif  // MBR_GRAPH_EDGELIST_H_

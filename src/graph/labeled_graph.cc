@@ -1,0 +1,236 @@
+#include "graph/labeled_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace mbr::graph {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes, int num_topics)
+    : num_nodes_(num_nodes),
+      num_topics_(num_topics),
+      node_labels_(num_nodes) {
+  MBR_CHECK(num_topics > 0 && num_topics <= topics::kMaxTopics);
+}
+
+void GraphBuilder::SetNodeLabels(NodeId u, topics::TopicSet labels) {
+  MBR_CHECK(u < num_nodes_);
+  node_labels_[u] = labels;
+}
+
+bool GraphBuilder::AddEdge(NodeId u, NodeId v, topics::TopicSet labels) {
+  MBR_CHECK(u < num_nodes_);
+  MBR_CHECK(v < num_nodes_);
+  if (u == v) return false;
+  edges_.push_back({u, v, labels});
+  return true;
+}
+
+LabeledGraph GraphBuilder::Build() && {
+  // Sort by (src, dst) then merge duplicates by unioning labels.
+  std::sort(edges_.begin(), edges_.end(),
+            [](const RawEdge& a, const RawEdge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  size_t w = 0;
+  for (size_t r = 0; r < edges_.size(); ++r) {
+    if (w > 0 && edges_[w - 1].src == edges_[r].src &&
+        edges_[w - 1].dst == edges_[r].dst) {
+      edges_[w - 1].labels = edges_[w - 1].labels.Union(edges_[r].labels);
+    } else {
+      edges_[w++] = edges_[r];
+    }
+  }
+  edges_.resize(w);
+
+  LabeledGraph g;
+  g.num_nodes_ = num_nodes_;
+  g.num_topics_ = num_topics_;
+  g.node_labels_ = std::move(node_labels_);
+
+  const uint64_t m = edges_.size();
+  g.out_off_.assign(num_nodes_ + 1, 0);
+  g.in_off_.assign(num_nodes_ + 1, 0);
+  for (const RawEdge& e : edges_) {
+    ++g.out_off_[e.src + 1];
+    ++g.in_off_[e.dst + 1];
+  }
+  for (NodeId i = 0; i < num_nodes_; ++i) {
+    g.out_off_[i + 1] += g.out_off_[i];
+    g.in_off_[i + 1] += g.in_off_[i];
+  }
+  g.out_dst_.resize(m);
+  g.out_lab_.resize(m);
+  g.in_src_.resize(m);
+  g.in_lab_.resize(m);
+
+  // Out arrays: edges_ is already (src, dst)-sorted, fill sequentially.
+  for (uint64_t i = 0; i < m; ++i) {
+    g.out_dst_[i] = edges_[i].dst;
+    g.out_lab_[i] = edges_[i].labels;
+  }
+  // In arrays: bucket by dst; since we iterate edges in ascending src order,
+  // each in-list comes out sorted by src.
+  std::vector<uint64_t> cursor(g.in_off_.begin(), g.in_off_.end() - 1);
+  for (const RawEdge& e : edges_) {
+    uint64_t pos = cursor[e.dst]++;
+    g.in_src_[pos] = e.src;
+    g.in_lab_[pos] = e.labels;
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+topics::TopicSet LabeledGraph::EdgeLabels(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return topics::TopicSet();
+  return OutEdgeLabels(u)[static_cast<size_t>(it - nbrs.begin())];
+}
+
+bool LabeledGraph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+LabeledGraph LabeledGraph::WithoutEdges(
+    const std::vector<std::pair<NodeId, NodeId>>& removed) const {
+  std::vector<std::pair<NodeId, NodeId>> sorted = removed;
+  std::sort(sorted.begin(), sorted.end());
+  GraphBuilder b(num_nodes_, num_topics_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    b.SetNodeLabels(u, node_labels_[u]);
+    auto nbrs = OutNeighbors(u);
+    auto labs = OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (std::binary_search(sorted.begin(), sorted.end(),
+                             std::make_pair(u, nbrs[i]))) {
+        continue;
+      }
+      b.AddEdge(u, nbrs[i], labs[i]);
+    }
+  }
+  return std::move(b).Build();
+}
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4d42524752415048ULL;  // "MBRGRAPH"
+
+template <typename T>
+bool WriteVec(std::FILE* f, const std::vector<T>& v) {
+  uint64_t n = v.size();
+  if (std::fwrite(&n, sizeof(n), 1, f) != 1) return false;
+  if (n == 0) return true;
+  return std::fwrite(v.data(), sizeof(T), n, f) == n;
+}
+
+template <typename T>
+bool ReadVec(std::FILE* f, std::vector<T>* v) {
+  uint64_t n = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1) return false;
+  // Guard against corrupted counts: refuse to allocate more than ~8 GiB
+  // for a single array rather than dying on a bad_alloc.
+  if (n > (uint64_t{8} << 30) / sizeof(T)) return false;
+  v->resize(n);
+  if (n == 0) return true;
+  return std::fread(v->data(), sizeof(T), n, f) == n;
+}
+
+}  // namespace
+
+util::Status LabeledGraph::SaveTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for write: " + path);
+  }
+  bool ok = true;
+  uint64_t header[3] = {kMagic, num_nodes_,
+                        static_cast<uint64_t>(num_topics_)};
+  ok = ok && std::fwrite(header, sizeof(header), 1, f) == 1;
+  // TopicSet is a trivially-copyable single-word wrapper; serialise raw.
+  static_assert(sizeof(topics::TopicSet) == sizeof(uint64_t));
+  ok = ok && WriteVec(f, node_labels_);
+  ok = ok && WriteVec(f, out_off_);
+  ok = ok && WriteVec(f, out_dst_);
+  ok = ok && WriteVec(f, out_lab_);
+  ok = ok && WriteVec(f, in_off_);
+  ok = ok && WriteVec(f, in_src_);
+  ok = ok && WriteVec(f, in_lab_);
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return util::Status::IoError("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<LabeledGraph> LabeledGraph::LoadFrom(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for read: " + path);
+  }
+  LabeledGraph g;
+  uint64_t header[3];
+  bool ok = std::fread(header, sizeof(header), 1, f) == 1;
+  if (ok && header[0] != kMagic) {
+    std::fclose(f);
+    return util::Status::InvalidArgument("bad magic in " + path);
+  }
+  if (ok) {
+    g.num_nodes_ = static_cast<NodeId>(header[1]);
+    g.num_topics_ = static_cast<int>(header[2]);
+  }
+  ok = ok && ReadVec(f, &g.node_labels_);
+  ok = ok && ReadVec(f, &g.out_off_);
+  ok = ok && ReadVec(f, &g.out_dst_);
+  ok = ok && ReadVec(f, &g.out_lab_);
+  ok = ok && ReadVec(f, &g.in_off_);
+  ok = ok && ReadVec(f, &g.in_src_);
+  ok = ok && ReadVec(f, &g.in_lab_);
+  std::fclose(f);
+  if (!ok) return util::Status::IoError("short read: " + path);
+  if (g.out_off_.size() != g.num_nodes_ + 1 ||
+      g.in_off_.size() != g.num_nodes_ + 1 ||
+      g.node_labels_.size() != g.num_nodes_ ||
+      g.out_dst_.size() != g.out_lab_.size() ||
+      g.in_src_.size() != g.in_lab_.size() ||
+      g.out_dst_.size() != g.in_src_.size()) {
+    return util::Status::InvalidArgument("inconsistent graph file: " + path);
+  }
+  return g;
+}
+
+size_t LabeledGraph::StorageBytes() const {
+  return node_labels_.size() * sizeof(topics::TopicSet) +
+         (out_off_.size() + in_off_.size()) * sizeof(uint64_t) +
+         (out_dst_.size() + in_src_.size()) * sizeof(NodeId) +
+         (out_lab_.size() + in_lab_.size()) * sizeof(topics::TopicSet);
+}
+
+DegreeStatistics ComputeDegreeStatistics(const LabeledGraph& g) {
+  DegreeStatistics s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  if (g.num_nodes() == 0) return s;
+  // Averages are taken over nodes that *have* the respective degree, which
+  // is why Table 2 reports different avg in- and out-degrees for the same
+  // edge count.
+  uint64_t with_out = 0, with_in = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    uint32_t od = g.OutDegree(u), id = g.InDegree(u);
+    s.max_out_degree = std::max(s.max_out_degree, od);
+    s.max_in_degree = std::max(s.max_in_degree, id);
+    if (od > 0) ++with_out;
+    if (id > 0) ++with_in;
+  }
+  s.avg_out_degree = with_out == 0 ? 0.0
+                                   : static_cast<double>(g.num_edges()) /
+                                         static_cast<double>(with_out);
+  s.avg_in_degree = with_in == 0 ? 0.0
+                                 : static_cast<double>(g.num_edges()) /
+                                       static_cast<double>(with_in);
+  return s;
+}
+
+}  // namespace mbr::graph

@@ -1,0 +1,157 @@
+#ifndef MBR_GRAPH_LABELED_GRAPH_H_
+#define MBR_GRAPH_LABELED_GRAPH_H_
+
+// The labeled social graph G = (N, E, T, labelN, labelE) of §3.1.
+//
+// Nodes are users (accounts); a directed edge (u, v) means "u follows v",
+// i.e., u receives v's publications. labelN maps a user to the topics of his
+// posts (publisher profile); labelE maps a follow edge to the topics of the
+// follower's interest in the publisher.
+//
+// Storage is immutable CSR in both directions: out-adjacency (followees,
+// used for the path exploration u ❀ v) and in-adjacency (followers, used
+// for authority counts |Γu| and |Γu(t)|). Adjacency lists are sorted by
+// neighbor id, with per-edge TopicSets stored alongside.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topics/topic.h"
+#include "util/status.h"
+
+namespace mbr::graph {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffff;
+
+class LabeledGraph;
+
+// Accumulates nodes and edges, then freezes them into a LabeledGraph.
+// Duplicate (src, dst) edges are merged by unioning their label sets;
+// self-loops are rejected (a user cannot follow himself).
+class GraphBuilder {
+ public:
+  GraphBuilder(NodeId num_nodes, int num_topics);
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  // Publisher profile of `u` (labelN).
+  void SetNodeLabels(NodeId u, topics::TopicSet labels);
+
+  // Adds `u` follows `v` with interest labels (labelE). Returns false (and
+  // adds nothing) for self-loops. Preconditions: u, v < num_nodes.
+  bool AddEdge(NodeId u, NodeId v, topics::TopicSet labels);
+
+  uint64_t num_edges_added() const { return edges_.size(); }
+
+  // Freezes into an immutable graph. The builder is consumed.
+  LabeledGraph Build() &&;
+
+ private:
+  struct RawEdge {
+    NodeId src;
+    NodeId dst;
+    topics::TopicSet labels;
+  };
+
+  NodeId num_nodes_;
+  int num_topics_;
+  std::vector<topics::TopicSet> node_labels_;
+  std::vector<RawEdge> edges_;
+};
+
+class LabeledGraph {
+ public:
+  LabeledGraph() = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return out_dst_.size(); }
+  int num_topics() const { return num_topics_; }
+
+  // ---- Out direction: v in OutNeighbors(u) <=> u follows v.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    MBR_DCHECK(u < num_nodes_);
+    return {out_dst_.data() + out_off_[u], out_off_[u + 1] - out_off_[u]};
+  }
+  std::span<const topics::TopicSet> OutEdgeLabels(NodeId u) const {
+    MBR_DCHECK(u < num_nodes_);
+    return {out_lab_.data() + out_off_[u], out_off_[u + 1] - out_off_[u]};
+  }
+  uint32_t OutDegree(NodeId u) const {
+    MBR_DCHECK(u < num_nodes_);
+    return static_cast<uint32_t>(out_off_[u + 1] - out_off_[u]);
+  }
+
+  // ---- In direction: w in InNeighbors(v) <=> w follows v (w ∈ Γv).
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    MBR_DCHECK(v < num_nodes_);
+    return {in_src_.data() + in_off_[v], in_off_[v + 1] - in_off_[v]};
+  }
+  std::span<const topics::TopicSet> InEdgeLabels(NodeId v) const {
+    MBR_DCHECK(v < num_nodes_);
+    return {in_lab_.data() + in_off_[v], in_off_[v + 1] - in_off_[v]};
+  }
+  // |Γv|: total number of followers of v.
+  uint32_t InDegree(NodeId v) const {
+    MBR_DCHECK(v < num_nodes_);
+    return static_cast<uint32_t>(in_off_[v + 1] - in_off_[v]);
+  }
+
+  // Publisher profile labelN(u).
+  topics::TopicSet NodeLabels(NodeId u) const {
+    MBR_DCHECK(u < num_nodes_);
+    return node_labels_[u];
+  }
+
+  // labelE(u -> v), or empty set if the edge does not exist.
+  topics::TopicSet EdgeLabels(NodeId u, NodeId v) const;
+
+  // Whether u follows v. O(log OutDegree(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // A copy of this graph with the given (src, dst) edges removed. Used by
+  // the evaluation protocol (§5.3: "All edges from T are then removed from
+  // the graph"). Unknown edges are ignored.
+  LabeledGraph WithoutEdges(
+      const std::vector<std::pair<NodeId, NodeId>>& removed) const;
+
+  // ---- Binary serialisation.
+  util::Status SaveTo(const std::string& path) const;
+  static util::Result<LabeledGraph> LoadFrom(const std::string& path);
+
+  // Approximate resident bytes of the CSR arrays.
+  size_t StorageBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  int num_topics_ = 0;
+  std::vector<topics::TopicSet> node_labels_;
+
+  // CSR, both directions. Offsets have num_nodes_+1 entries.
+  std::vector<uint64_t> out_off_;
+  std::vector<NodeId> out_dst_;
+  std::vector<topics::TopicSet> out_lab_;
+  std::vector<uint64_t> in_off_;
+  std::vector<NodeId> in_src_;
+  std::vector<topics::TopicSet> in_lab_;
+};
+
+// Topological properties reported in Table 2 of the paper.
+struct DegreeStatistics {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  double avg_out_degree = 0.0;
+  double avg_in_degree = 0.0;
+  uint32_t max_in_degree = 0;
+  uint32_t max_out_degree = 0;
+};
+
+DegreeStatistics ComputeDegreeStatistics(const LabeledGraph& g);
+
+}  // namespace mbr::graph
+
+#endif  // MBR_GRAPH_LABELED_GRAPH_H_

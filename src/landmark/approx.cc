@@ -1,0 +1,96 @@
+#include "landmark/approx.h"
+
+#include "util/timer.h"
+#include "util/top_k.h"
+
+namespace mbr::landmark {
+
+ApproxRecommender::ApproxRecommender(const graph::LabeledGraph& g,
+                                     const core::AuthorityIndex& authority,
+                                     const topics::SimilarityMatrix& sim,
+                                     const LandmarkIndex& index,
+                                     const ApproxConfig& config)
+    : g_(g),
+      index_(index),
+      config_([&] {
+        ApproxConfig c = config;
+        c.params.max_depth = config.query_depth;
+        return c;
+      }()),
+      scorer_(g, authority, sim, config_.params) {}
+
+std::unordered_map<graph::NodeId, double> ApproxRecommender::ApproximateScores(
+    graph::NodeId u, topics::TopicId t, QueryStats* stats) const {
+  util::WallTimer timer;
+  const std::vector<bool>* pruned =
+      config_.prune_at_landmarks ? &index_.landmark_mask() : nullptr;
+  core::ExplorationResult res =
+      scorer_.Explore(u, topics::TopicSet::Single(t), pruned);
+
+  std::unordered_map<graph::NodeId, double> scores;
+  scores.reserve(res.reached().size() * 2);
+  uint32_t landmarks_met = 0;
+
+  for (graph::NodeId v : res.reached()) {
+    if (v != u) scores[v] += res.Sigma(v, t);
+    if (!index_.IsLandmark(v) || v == u) continue;
+    ++landmarks_met;
+    // Proposition 4 composition with λ = v's stored lists.
+    const double sigma_ul = res.Sigma(v, t);
+    const double topo_ab_ul = res.TopoAlphaBeta(v);
+    for (const StoredRec& rec : index_.Recommendations(v, t)) {
+      if (rec.node == u) continue;
+      scores[rec.node] +=
+          sigma_ul * rec.topo_beta + topo_ab_ul * rec.sigma;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->landmarks_encountered = landmarks_met;
+    stats->nodes_reached = static_cast<uint32_t>(res.reached().size());
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return scores;
+}
+
+std::vector<double> ApproxRecommender::ScoreCandidates(
+    graph::NodeId u, topics::TopicId t,
+    const std::vector<graph::NodeId>& candidates) const {
+  auto scores = ApproximateScores(u, t);
+  std::vector<double> out;
+  out.reserve(candidates.size());
+  for (graph::NodeId v : candidates) {
+    auto it = scores.find(v);
+    out.push_back(it == scores.end() ? 0.0 : it->second);
+  }
+  return out;
+}
+
+std::vector<util::ScoredId> ApproxRecommender::RecommendTopN(
+    graph::NodeId u, topics::TopicId t, size_t n) const {
+  auto scores = ApproximateScores(u, t);
+  util::TopK topk(n);
+  for (const auto& [v, s] : scores) {
+    if (s > 0.0) topk.Offer(v, s);
+  }
+  return topk.Take();
+}
+
+std::vector<util::ScoredId> ApproxRecommender::RecommendQuery(
+    graph::NodeId u, const std::vector<core::WeightedTopic>& query,
+    size_t n) const {
+  MBR_CHECK(!query.empty());
+  std::unordered_map<graph::NodeId, double> combined;
+  for (const core::WeightedTopic& wt : query) {
+    for (const auto& [v, s] : ApproximateScores(u, wt.topic)) {
+      combined[v] += wt.weight * s;
+    }
+  }
+  util::TopK topk(n);
+  for (const auto& [v, s] : combined) {
+    if (s > 0.0) topk.Offer(v, s);
+  }
+  return topk.Take();
+}
+
+}  // namespace mbr::landmark

@@ -1,0 +1,86 @@
+#ifndef MBR_LANDMARK_APPROX_H_
+#define MBR_LANDMARK_APPROX_H_
+
+// Fast approximate recommendation (§4.2 / Algorithm 2).
+//
+// Query-time: a shallow exploration (depth 2 in the paper) from the query
+// user u computes σ(u, ·, t), topo_β and topo_{αβ} for the close vicinity,
+// pruning expansion at landmark nodes so no walk through a landmark is
+// counted twice (§5.4). Every node reached directly contributes its exact
+// short-walk score; every landmark λ encountered additionally contributes
+// its stored top-n via Proposition 4:
+//
+//   σ̃_λ(u, v, t) = σ(u, λ, t) · topo_β(λ, v) + topo_{αβ}(u, λ) · σ(λ, v, t)
+//
+// The result is a lower bound of the exact score (walks that neither stay
+// within the vicinity nor pass a landmark are missed).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/authority.h"
+#include "core/params.h"
+#include "core/recommender.h"
+#include "core/recommender_iface.h"
+#include "core/scorer.h"
+#include "landmark/index.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::landmark {
+
+struct ApproxConfig {
+  // Exploration depth k of Algorithm 2 (paper: 2).
+  uint32_t query_depth = 2;
+  // Stop expanding at landmarks (§5.4's pruning). Disabling this is the
+  // ablation measuring how much the pruning saves / double-counts.
+  bool prune_at_landmarks = true;
+  core::ScoreParams params;
+};
+
+// Telemetry of the last query (Table 6 columns).
+struct QueryStats {
+  uint32_t landmarks_encountered = 0;
+  uint32_t nodes_reached = 0;
+  double seconds = 0.0;
+};
+
+class ApproxRecommender : public core::Recommender {
+ public:
+  // All references must outlive the recommender.
+  ApproxRecommender(const graph::LabeledGraph& g,
+                    const core::AuthorityIndex& authority,
+                    const topics::SimilarityMatrix& sim,
+                    const LandmarkIndex& index, const ApproxConfig& config);
+
+  std::string name() const override { return "Tr-landmark"; }
+
+  std::vector<double> ScoreCandidates(
+      graph::NodeId u, topics::TopicId t,
+      const std::vector<graph::NodeId>& candidates) const override;
+
+  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
+                                            topics::TopicId t,
+                                            size_t n) const override;
+
+  // Weighted multi-topic query Q = {(t_i, w_i)} (§3.2's linear
+  // combination), served from the landmark index: Σ_i w_i · σ̃(u, v, t_i).
+  std::vector<util::ScoredId> RecommendQuery(
+      graph::NodeId u, const std::vector<core::WeightedTopic>& query,
+      size_t n) const;
+
+  // Full approximate score table for (u, t): node -> σ̃ (direct + landmark
+  // contributions). Stats for the run are written to *stats if non-null.
+  std::unordered_map<graph::NodeId, double> ApproximateScores(
+      graph::NodeId u, topics::TopicId t, QueryStats* stats = nullptr) const;
+
+ private:
+  const graph::LabeledGraph& g_;
+  const LandmarkIndex& index_;
+  ApproxConfig config_;
+  core::Scorer scorer_;
+};
+
+}  // namespace mbr::landmark
+
+#endif  // MBR_LANDMARK_APPROX_H_

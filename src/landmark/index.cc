@@ -1,0 +1,254 @@
+#include "landmark/index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "util/timer.h"
+#include "util/top_k.h"
+
+namespace mbr::landmark {
+
+namespace {
+
+// Runs Algorithm 1 from `lm` and writes the per-topic top-n lists into
+// lists[0..num_topics), each ranked by σ descending.
+void ComputeLandmarkLists(core::Scorer* scorer, graph::NodeId lm,
+                          int num_topics, uint32_t top_n,
+                          topics::TopicSet all_topics,
+                          std::vector<StoredRec>* lists) {
+  core::ExplorationResult res = scorer->Explore(lm, all_topics);
+  for (int t = 0; t < num_topics; ++t) {
+    util::TopK topk(top_n);
+    for (graph::NodeId v : res.reached()) {
+      if (v == lm) continue;
+      double s = res.Sigma(v, static_cast<topics::TopicId>(t));
+      if (s > 0.0) topk.Offer(v, s);
+    }
+    auto ranked = topk.Take();
+    auto& out = lists[t];
+    out.clear();
+    out.reserve(ranked.size());
+    for (const util::ScoredId& r : ranked) {
+      out.push_back({r.id, r.score, res.TopoBeta(r.id)});
+    }
+  }
+}
+
+}  // namespace
+
+LandmarkIndex::LandmarkIndex(const graph::LabeledGraph& g,
+                             const core::AuthorityIndex& authority,
+                             const topics::SimilarityMatrix& sim,
+                             const std::vector<graph::NodeId>& landmarks,
+                             const LandmarkIndexConfig& config)
+    : config_(config),
+      num_topics_(g.num_topics()),
+      landmarks_(landmarks),
+      landmark_slot_(g.num_nodes(), kNoSlot),
+      mask_(g.num_nodes(), false) {
+  MBR_CHECK(config.top_n > 0);
+  for (uint32_t i = 0; i < landmarks_.size(); ++i) {
+    graph::NodeId lm = landmarks_[i];
+    MBR_CHECK(lm < g.num_nodes());
+    MBR_CHECK(landmark_slot_[lm] == kNoSlot);  // distinct landmarks
+    landmark_slot_[lm] = i;
+    mask_[lm] = true;
+  }
+
+  topics::TopicSet all_topics;
+  for (int t = 0; t < num_topics_; ++t) {
+    all_topics.Add(static_cast<topics::TopicId>(t));
+  }
+
+  recs_.assign(landmarks_.size() * num_topics_, {});
+  util::WallTimer timer;
+
+  // One Scorer (with its scratch buffers) per worker; landmark slots are
+  // disjoint, so workers never touch the same output entry.
+  uint32_t threads = config.num_threads != 0
+                         ? config.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<uint32_t>(
+      threads, std::max<uint32_t>(1, static_cast<uint32_t>(landmarks_.size())));
+
+  std::atomic<uint32_t> next{0};
+  auto worker = [&]() {
+    core::Scorer scorer(g, authority, sim, config_.params);
+    for (;;) {
+      uint32_t i = next.fetch_add(1);
+      if (i >= landmarks_.size()) break;
+      // Algorithm 1 run to convergence on the full topic vocabulary.
+      ComputeLandmarkLists(&scorer, landmarks_[i], num_topics_,
+                           config_.top_n, all_topics,
+                           &recs_[static_cast<size_t>(i) * num_topics_]);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t w = 0; w < threads; ++w) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+  build_seconds_total_ = timer.ElapsedSeconds();
+  build_seconds_per_landmark_ =
+      landmarks_.empty()
+          ? 0.0
+          : build_seconds_total_ / static_cast<double>(landmarks_.size());
+}
+
+const std::vector<StoredRec>& LandmarkIndex::Recommendations(
+    graph::NodeId lambda, topics::TopicId t) const {
+  uint32_t slot = landmark_slot_[lambda];
+  MBR_CHECK(slot != kNoSlot);
+  MBR_CHECK(t < num_topics_);
+  return recs_[static_cast<size_t>(slot) * num_topics_ + t];
+}
+
+void LandmarkIndex::RefreshLandmark(graph::NodeId lm,
+                                    const graph::LabeledGraph& g,
+                                    const core::AuthorityIndex& authority,
+                                    const topics::SimilarityMatrix& sim) {
+  uint32_t slot = landmark_slot_[lm];
+  MBR_CHECK(slot != kNoSlot);
+  MBR_CHECK(g.num_topics() == num_topics_);
+  core::Scorer scorer(g, authority, sim, config_.params);
+  topics::TopicSet all_topics;
+  for (int t = 0; t < num_topics_; ++t) {
+    all_topics.Add(static_cast<topics::TopicId>(t));
+  }
+  ComputeLandmarkLists(&scorer, lm, num_topics_, config_.top_n, all_topics,
+                       &recs_[static_cast<size_t>(slot) * num_topics_]);
+}
+
+LandmarkIndex LandmarkIndex::Truncated(uint32_t top_n) const {
+  MBR_CHECK(top_n > 0);
+  MBR_CHECK(top_n <= config_.top_n);
+  LandmarkIndex out;
+  out.config_ = config_;
+  out.config_.top_n = top_n;
+  out.num_topics_ = num_topics_;
+  out.landmarks_ = landmarks_;
+  out.landmark_slot_ = landmark_slot_;
+  out.mask_ = mask_;
+  out.build_seconds_per_landmark_ = build_seconds_per_landmark_;
+  out.build_seconds_total_ = build_seconds_total_;
+  out.recs_.reserve(recs_.size());
+  for (const auto& list : recs_) {
+    out.recs_.emplace_back(
+        list.begin(),
+        list.begin() + std::min<size_t>(list.size(), top_n));
+  }
+  return out;
+}
+
+size_t LandmarkIndex::StorageBytes() const {
+  size_t bytes = 0;
+  for (const auto& list : recs_) bytes += list.size() * sizeof(StoredRec);
+  return bytes;
+}
+
+namespace {
+constexpr uint64_t kIndexMagic = 0x4d42524c4d494458ULL;  // "MBRLMIDX"
+}  // namespace
+
+util::Status LandmarkIndex::SaveTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for write: " + path);
+  }
+  bool ok = true;
+  uint64_t header[4] = {kIndexMagic, static_cast<uint64_t>(num_topics_),
+                        landmarks_.size(), config_.top_n};
+  ok = ok && std::fwrite(header, sizeof(header), 1, f) == 1;
+  double params[2] = {config_.params.beta, config_.params.alpha};
+  ok = ok && std::fwrite(params, sizeof(params), 1, f) == 1;
+  ok = ok && (landmarks_.empty() ||
+              std::fwrite(landmarks_.data(), sizeof(graph::NodeId),
+                          landmarks_.size(), f) == landmarks_.size());
+  for (const auto& list : recs_) {
+    uint64_t len = list.size();
+    ok = ok && std::fwrite(&len, sizeof(len), 1, f) == 1;
+    ok = ok && (list.empty() ||
+                std::fwrite(list.data(), sizeof(StoredRec), list.size(), f) ==
+                    list.size());
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return util::Status::IoError("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<LandmarkIndex> LandmarkIndex::LoadFrom(const std::string& path,
+                                                    graph::NodeId num_nodes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for read: " + path);
+  }
+  LandmarkIndex idx;
+  uint64_t header[4];
+  bool ok = std::fread(header, sizeof(header), 1, f) == 1;
+  if (ok && header[0] != kIndexMagic) {
+    std::fclose(f);
+    return util::Status::InvalidArgument("bad magic in " + path);
+  }
+  // Bound the untrusted header fields before any allocation.
+  if (ok && (header[1] == 0 ||
+             header[1] > static_cast<uint64_t>(topics::kMaxTopics) ||
+             header[2] > num_nodes || header[3] == 0)) {
+    std::fclose(f);
+    return util::Status::InvalidArgument("implausible header in " + path);
+  }
+  double params[2] = {0, 0};
+  ok = ok && std::fread(params, sizeof(params), 1, f) == 1;
+  if (ok) {
+    idx.num_topics_ = static_cast<int>(header[1]);
+    idx.config_.top_n = static_cast<uint32_t>(header[3]);
+    idx.config_.params.beta = params[0];
+    idx.config_.params.alpha = params[1];
+    idx.landmarks_.resize(header[2]);
+    ok = idx.landmarks_.empty() ||
+         std::fread(idx.landmarks_.data(), sizeof(graph::NodeId),
+                    idx.landmarks_.size(), f) == idx.landmarks_.size();
+  }
+  if (ok) {
+    idx.recs_.resize(idx.landmarks_.size() * idx.num_topics_);
+    for (auto& list : idx.recs_) {
+      uint64_t len = 0;
+      ok = ok && std::fread(&len, sizeof(len), 1, f) == 1;
+      if (!ok) break;
+      list.resize(len);
+      ok = list.empty() ||
+           std::fread(list.data(), sizeof(StoredRec), len, f) == len;
+      if (!ok) break;
+    }
+  }
+  std::fclose(f);
+  if (!ok) return util::Status::IoError("short read: " + path);
+
+  idx.landmark_slot_.assign(num_nodes, kNoSlot);
+  idx.mask_.assign(num_nodes, false);
+  for (uint32_t i = 0; i < idx.landmarks_.size(); ++i) {
+    graph::NodeId lm = idx.landmarks_[i];
+    if (lm >= num_nodes || idx.landmark_slot_[lm] != kNoSlot) {
+      return util::Status::InvalidArgument(
+          "index does not match the graph: landmark " + std::to_string(lm));
+    }
+    idx.landmark_slot_[lm] = i;
+    idx.mask_[lm] = true;
+  }
+  for (const auto& list : idx.recs_) {
+    for (const StoredRec& r : list) {
+      if (r.node >= num_nodes) {
+        return util::Status::InvalidArgument(
+            "index does not match the graph: stored node " +
+            std::to_string(r.node));
+      }
+    }
+  }
+  return idx;
+}
+
+}  // namespace mbr::landmark

@@ -1,0 +1,241 @@
+#include "landmark/selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/bfs.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace mbr::landmark {
+
+namespace {
+
+using graph::NodeId;
+
+// Top-k nodes by `score` (descending, id ascending on ties).
+std::vector<NodeId> TopByScore(const std::vector<double>& score, uint32_t k) {
+  std::vector<NodeId> ids(score.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(ids.size()));
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+// Weighted sampling without replacement via exponential keys
+// (Efraimidis-Spirakis): keep the k largest U^(1/w), i.e. the k smallest
+// -log(U)/w.
+std::vector<NodeId> WeightedSample(const std::vector<double>& weights,
+                                   uint32_t k, util::Rng* rng) {
+  std::vector<std::pair<double, NodeId>> keys;
+  keys.reserve(weights.size());
+  for (NodeId v = 0; v < weights.size(); ++v) {
+    if (weights[v] <= 0.0) continue;
+    double u = rng->UniformDouble();
+    while (u <= 0.0) u = rng->UniformDouble();
+    keys.push_back({-std::log(u) / weights[v], v});
+  }
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(keys.size()));
+  std::partial_sort(keys.begin(), keys.begin() + k, keys.end());
+  std::vector<NodeId> out(k);
+  for (uint32_t i = 0; i < k; ++i) out[i] = keys[i].second;
+  return out;
+}
+
+// Uniform sample from the nodes whose `degree` lies in [lo, hi]; falls back
+// to the whole node set if the band is empty.
+std::vector<NodeId> BandSample(const graph::LabeledGraph& g,
+                               bool use_in_degree, uint32_t lo, uint32_t hi,
+                               uint32_t k, util::Rng* rng) {
+  std::vector<NodeId> band;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint32_t d = use_in_degree ? g.InDegree(v) : g.OutDegree(v);
+    if (d >= lo && d <= hi) band.push_back(v);
+  }
+  if (band.empty()) {
+    band.resize(g.num_nodes());
+    std::iota(band.begin(), band.end(), 0);
+  }
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(band.size()));
+  auto idx = rng->SampleWithoutReplacement(
+      static_cast<uint32_t>(band.size()), k);
+  std::vector<NodeId> out(k);
+  for (uint32_t i = 0; i < k; ++i) out[i] = band[idx[i]];
+  return out;
+}
+
+// Normalised (max = 1) coverage scores; `reach_seeds` selects the Out-Cen
+// direction (how many seeds a node reaches) vs Central (how many seeds
+// reach the node).
+std::vector<double> CoverageScores(const graph::LabeledGraph& g,
+                                   const SelectionConfig& config,
+                                   bool reach_seeds, util::Rng* rng) {
+  uint32_t num_seeds = std::min<uint32_t>(config.num_seeds, g.num_nodes());
+  auto seed_idx = rng->SampleWithoutReplacement(g.num_nodes(), num_seeds);
+  std::vector<NodeId> seeds(seed_idx.begin(), seed_idx.end());
+  // Central: forward BFS from seeds marks nodes the seeds reach.
+  // Out-Cen: backward BFS from seeds marks nodes that reach the seeds.
+  auto counts = graph::SeedCoverageCounts(
+      g, seeds, config.coverage_depth,
+      reach_seeds ? graph::Direction::kIn : graph::Direction::kOut);
+  double mx = 0.0;
+  for (uint32_t c : counts) mx = std::max(mx, static_cast<double>(c));
+  std::vector<double> out(counts.size(), 0.0);
+  if (mx > 0.0) {
+    for (NodeId v = 0; v < counts.size(); ++v) out[v] = counts[v] / mx;
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<SelectionStrategy>& AllStrategies() {
+  static const std::vector<SelectionStrategy>& all =
+      *new std::vector<SelectionStrategy>{
+          SelectionStrategy::kRandom,  SelectionStrategy::kFollow,
+          SelectionStrategy::kPublish, SelectionStrategy::kInDeg,
+          SelectionStrategy::kBtwFol,  SelectionStrategy::kOutDeg,
+          SelectionStrategy::kBtwPub,  SelectionStrategy::kCentral,
+          SelectionStrategy::kOutCen,  SelectionStrategy::kCombine,
+          SelectionStrategy::kCombine2};
+  return all;
+}
+
+const char* StrategyName(SelectionStrategy s) {
+  switch (s) {
+    case SelectionStrategy::kRandom:
+      return "Random";
+    case SelectionStrategy::kFollow:
+      return "Follow";
+    case SelectionStrategy::kPublish:
+      return "Publish";
+    case SelectionStrategy::kInDeg:
+      return "In-Deg";
+    case SelectionStrategy::kBtwFol:
+      return "Btw-Fol";
+    case SelectionStrategy::kOutDeg:
+      return "Out-Deg";
+    case SelectionStrategy::kBtwPub:
+      return "Btw-Pub";
+    case SelectionStrategy::kCentral:
+      return "Central";
+    case SelectionStrategy::kOutCen:
+      return "Out-Cen";
+    case SelectionStrategy::kCombine:
+      return "Combine";
+    case SelectionStrategy::kCombine2:
+      return "Combine2";
+  }
+  return "?";
+}
+
+SelectionResult SelectLandmarks(const graph::LabeledGraph& g,
+                                SelectionStrategy strategy,
+                                const SelectionConfig& config) {
+  MBR_CHECK(config.num_landmarks > 0);
+  MBR_CHECK(g.num_nodes() > 0);
+  util::Rng rng(config.seed);
+  util::WallTimer timer;
+  const uint32_t k = std::min<uint32_t>(config.num_landmarks, g.num_nodes());
+
+  SelectionResult result;
+  switch (strategy) {
+    case SelectionStrategy::kRandom: {
+      auto idx = rng.SampleWithoutReplacement(g.num_nodes(), k);
+      result.landmarks.assign(idx.begin(), idx.end());
+      break;
+    }
+    case SelectionStrategy::kFollow: {
+      std::vector<double> w(g.num_nodes());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) w[v] = g.InDegree(v);
+      result.landmarks = WeightedSample(w, k, &rng);
+      break;
+    }
+    case SelectionStrategy::kPublish: {
+      std::vector<double> w(g.num_nodes());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) w[v] = g.OutDegree(v);
+      result.landmarks = WeightedSample(w, k, &rng);
+      break;
+    }
+    case SelectionStrategy::kInDeg: {
+      std::vector<double> w(g.num_nodes());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) w[v] = g.InDegree(v);
+      result.landmarks = TopByScore(w, k);
+      break;
+    }
+    case SelectionStrategy::kOutDeg: {
+      std::vector<double> w(g.num_nodes());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) w[v] = g.OutDegree(v);
+      result.landmarks = TopByScore(w, k);
+      break;
+    }
+    case SelectionStrategy::kBtwFol:
+      result.landmarks = BandSample(g, /*use_in_degree=*/true,
+                                    config.band_min, config.band_max, k, &rng);
+      break;
+    case SelectionStrategy::kBtwPub:
+      result.landmarks = BandSample(g, /*use_in_degree=*/false,
+                                    config.band_min, config.band_max, k, &rng);
+      break;
+    case SelectionStrategy::kCentral: {
+      auto scores = CoverageScores(g, config, /*reach_seeds=*/false, &rng);
+      result.landmarks = TopByScore(scores, k);
+      break;
+    }
+    case SelectionStrategy::kOutCen: {
+      auto scores = CoverageScores(g, config, /*reach_seeds=*/true, &rng);
+      result.landmarks = TopByScore(scores, k);
+      break;
+    }
+    case SelectionStrategy::kCombine: {
+      auto central = CoverageScores(g, config, /*reach_seeds=*/false, &rng);
+      auto outcen = CoverageScores(g, config, /*reach_seeds=*/true, &rng);
+      std::vector<double> mix(g.num_nodes());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        mix[v] = config.combine_weight * central[v] +
+                 (1.0 - config.combine_weight) * outcen[v];
+      }
+      result.landmarks = TopByScore(mix, k);
+      break;
+    }
+    case SelectionStrategy::kCombine2: {
+      uint32_t k1 = static_cast<uint32_t>(
+          std::round(config.combine_weight * k));
+      auto a = BandSample(g, /*use_in_degree=*/true, config.band_min,
+                          config.band_max, k1, &rng);
+      auto b = BandSample(g, /*use_in_degree=*/false, config.band_min,
+                          config.band_max, k - k1, &rng);
+      result.landmarks = a;
+      for (NodeId v : b) result.landmarks.push_back(v);
+      break;
+    }
+  }
+
+  // De-duplicate (Combine2 mixes two draws) preserving order.
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<NodeId> uniq;
+  uniq.reserve(result.landmarks.size());
+  for (NodeId v : result.landmarks) {
+    if (!seen[v]) {
+      seen[v] = true;
+      uniq.push_back(v);
+    }
+  }
+  result.landmarks = std::move(uniq);
+
+  result.total_millis = timer.ElapsedMillis();
+  result.millis_per_landmark =
+      result.landmarks.empty()
+          ? 0.0
+          : result.total_millis / static_cast<double>(result.landmarks.size());
+  return result;
+}
+
+}  // namespace mbr::landmark

@@ -1,0 +1,70 @@
+#ifndef MBR_LANDMARK_SELECTION_H_
+#define MBR_LANDMARK_SELECTION_H_
+
+// The 11 landmark selection strategies of Table 4.
+//
+// | Random   | uniform draw                                              |
+// | Follow   | draw with probability ∝ #followers (in-degree)            |
+// | Publish  | draw with probability ∝ #publishers (out-degree)          |
+// | In-Deg   | the nodes with highest in-degree                          |
+// | Btw-Fol  | uniform among nodes with #followers in [min, max]         |
+// | Out-Deg  | the nodes with highest out-degree                         |
+// | Btw-Pub  | uniform among nodes with #publishers in [min, max]        |
+// | Central  | nodes reachable within d hops from the most seed nodes    |
+// | Out-Cen  | nodes covering (reaching) the most seed nodes             |
+// | Combine  | weighted combination of Central and Out-Cen               |
+// | Combine2 | weighted mix of Btw-Fol and Btw-Pub                       |
+
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace mbr::landmark {
+
+enum class SelectionStrategy {
+  kRandom,
+  kFollow,
+  kPublish,
+  kInDeg,
+  kBtwFol,
+  kOutDeg,
+  kBtwPub,
+  kCentral,
+  kOutCen,
+  kCombine,
+  kCombine2,
+};
+
+// All 11 strategies in Table 4 / Table 5 / Table 6 row order.
+const std::vector<SelectionStrategy>& AllStrategies();
+
+// Display name matching the paper's tables ("Random", "Btw-Fol", ...).
+const char* StrategyName(SelectionStrategy s);
+
+struct SelectionConfig {
+  uint32_t num_landmarks = 100;
+  uint64_t seed = 1;
+  // Btw-Fol / Btw-Pub / Combine2: the admissible degree band.
+  uint32_t band_min = 5;
+  uint32_t band_max = 500;
+  // Central / Out-Cen / Combine: seed count and BFS coverage depth.
+  uint32_t num_seeds = 64;
+  uint32_t coverage_depth = 2;
+  // Combine / Combine2: weight of the first component in [0, 1].
+  double combine_weight = 0.5;
+};
+
+struct SelectionResult {
+  std::vector<graph::NodeId> landmarks;  // distinct nodes
+  double total_millis = 0.0;             // wall time of the selection
+  double millis_per_landmark = 0.0;      // Table 5's "select. (ms)" column
+};
+
+SelectionResult SelectLandmarks(const graph::LabeledGraph& g,
+                                SelectionStrategy strategy,
+                                const SelectionConfig& config);
+
+}  // namespace mbr::landmark
+
+#endif  // MBR_LANDMARK_SELECTION_H_

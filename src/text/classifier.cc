@@ -1,0 +1,136 @@
+#include "text/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace mbr::text {
+
+MultiLabelClassifier::MultiLabelClassifier(int num_topics,
+                                           const ClassifierConfig& config)
+    : num_topics_(num_topics),
+      config_(config),
+      tokenizer_(config.feature_dim) {
+  MBR_CHECK(num_topics > 0 && num_topics <= topics::kMaxTopics);
+  MBR_CHECK(config.epochs > 0);
+}
+
+std::vector<std::pair<uint32_t, double>> MultiLabelClassifier::Vectorize(
+    const std::string& text) const {
+  std::unordered_map<uint32_t, double> tf;
+  auto feats = tokenizer_.Features(text);
+  for (uint32_t f : feats) tf[f] += 1.0;
+  std::vector<std::pair<uint32_t, double>> vec(tf.begin(), tf.end());
+  // L2 normalisation keeps the margin scale independent of document length.
+  double norm = 0.0;
+  for (auto& [f, w] : vec) norm += w * w;
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (auto& [f, w] : vec) w /= norm;
+  }
+  std::sort(vec.begin(), vec.end());
+  return vec;
+}
+
+void MultiLabelClassifier::Train(const std::vector<LabeledDocument>& train) {
+  MBR_CHECK(!train.empty());
+  const uint32_t dim = config_.feature_dim;
+
+  std::vector<std::vector<std::pair<uint32_t, double>>> vectors;
+  vectors.reserve(train.size());
+  for (const auto& doc : train) {
+    MBR_CHECK(!doc.labels.empty());
+    vectors.push_back(Vectorize(doc.text));
+  }
+
+  // Averaged perceptron per topic. `w` is the live weight vector, `acc` the
+  // running sum of w over all updates (lazily materialised via timestamps).
+  weights_.assign(num_topics_, std::vector<double>(dim + 1, 0.0));
+  util::Rng rng(config_.shuffle_seed);
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int t = 0; t < num_topics_; ++t) {
+    std::vector<double> w(dim + 1, 0.0);
+    std::vector<double> acc(dim + 1, 0.0);
+    std::vector<int64_t> last(dim + 1, 0);
+    int64_t step = 1;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      rng.Shuffle(&order);
+      for (size_t idx : order) {
+        const auto& vec = vectors[idx];
+        double margin = w[dim];  // bias
+        for (const auto& [f, x] : vec) margin += w[f] * x;
+        double y = train[idx].labels.Contains(static_cast<topics::TopicId>(t))
+                       ? 1.0
+                       : -1.0;
+        if (y * margin <= 0.0) {
+          for (const auto& [f, x] : vec) {
+            acc[f] += w[f] * static_cast<double>(step - last[f]);
+            last[f] = step;
+            w[f] += y * x;
+          }
+          acc[dim] += w[dim] * static_cast<double>(step - last[dim]);
+          last[dim] = step;
+          w[dim] += y;
+        }
+        ++step;
+      }
+    }
+    // Finalise the average.
+    for (uint32_t f = 0; f <= dim; ++f) {
+      acc[f] += w[f] * static_cast<double>(step - last[f]);
+      weights_[t][f] = acc[f] / static_cast<double>(step);
+    }
+  }
+  trained_ = true;
+}
+
+std::vector<double> MultiLabelClassifier::Scores(
+    const std::string& text) const {
+  MBR_CHECK(trained_);
+  const uint32_t dim = config_.feature_dim;
+  auto vec = Vectorize(text);
+  std::vector<double> scores(num_topics_, 0.0);
+  for (int t = 0; t < num_topics_; ++t) {
+    double margin = weights_[t][dim];
+    for (const auto& [f, x] : vec) margin += weights_[t][f] * x;
+    scores[t] = margin;
+  }
+  return scores;
+}
+
+topics::TopicSet MultiLabelClassifier::Predict(const std::string& text) const {
+  std::vector<double> scores = Scores(text);
+  topics::TopicSet out;
+  int best = 0;
+  for (int t = 0; t < num_topics_; ++t) {
+    if (scores[t] > 0.0) out.Add(static_cast<topics::TopicId>(t));
+    if (scores[t] > scores[best]) best = t;
+  }
+  if (out.empty()) out.Add(static_cast<topics::TopicId>(best));
+  return out;
+}
+
+MultiLabelMetrics MultiLabelClassifier::Evaluate(
+    const std::vector<LabeledDocument>& gold) const {
+  MultiLabelMetrics m;
+  m.num_documents = gold.size();
+  double tp = 0, fp = 0, fn = 0;
+  for (const auto& doc : gold) {
+    topics::TopicSet pred = Predict(doc.text);
+    tp += pred.Intersect(doc.labels).size();
+    fp += pred.size() - pred.Intersect(doc.labels).size();
+    fn += doc.labels.size() - pred.Intersect(doc.labels).size();
+  }
+  m.precision = (tp + fp) > 0 ? tp / (tp + fp) : 0.0;
+  m.recall = (tp + fn) > 0 ? tp / (tp + fn) : 0.0;
+  m.f1 = (m.precision + m.recall) > 0
+             ? 2 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+}  // namespace mbr::text

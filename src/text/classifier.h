@@ -1,0 +1,79 @@
+#ifndef MBR_TEXT_CLASSIFIER_H_
+#define MBR_TEXT_CLASSIFIER_H_
+
+// One-vs-rest multi-label text classifier (averaged perceptron over hashed
+// bag-of-words).
+//
+// Substitute for the paper's OpenCalais + Mulan-trained multi-label SVM
+// (§5.1, reported precision 0.90): documents (a user's concatenated tweets)
+// are mapped to hashed term-frequency vectors; one averaged-perceptron
+// binary classifier per topic decides membership; users whose score clears
+// no topic get their single best topic (every publisher has a profile).
+
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "topics/topic.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mbr::text {
+
+struct ClassifierConfig {
+  uint32_t feature_dim = 1 << 13;
+  int epochs = 6;
+  uint64_t shuffle_seed = 1;
+};
+
+struct LabeledDocument {
+  std::string text;
+  topics::TopicSet labels;
+};
+
+// Multi-label quality metrics (micro-averaged over (doc, topic) decisions).
+struct MultiLabelMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t num_documents = 0;
+};
+
+class MultiLabelClassifier {
+ public:
+  // Preconditions: 0 < num_topics <= topics::kMaxTopics.
+  MultiLabelClassifier(int num_topics, const ClassifierConfig& config = {});
+
+  // Trains from scratch on `train`. Preconditions: non-empty, every
+  // document has at least one label.
+  void Train(const std::vector<LabeledDocument>& train);
+
+  // Per-topic margins for a document (unnormalised).
+  std::vector<double> Scores(const std::string& text) const;
+
+  // Predicted label set: all topics with positive margin; if none, the
+  // single argmax topic (profiles are never empty).
+  topics::TopicSet Predict(const std::string& text) const;
+
+  // Micro-averaged precision/recall/F1 of Predict() against gold labels.
+  MultiLabelMetrics Evaluate(const std::vector<LabeledDocument>& gold) const;
+
+  int num_topics() const { return num_topics_; }
+  bool trained() const { return trained_; }
+
+ private:
+  std::vector<std::pair<uint32_t, double>> Vectorize(
+      const std::string& text) const;
+
+  int num_topics_;
+  ClassifierConfig config_;
+  Tokenizer tokenizer_;
+  bool trained_ = false;
+  // weights_[t] is the averaged weight vector (+ bias at index dim) of
+  // topic t's binary classifier.
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace mbr::text
+
+#endif  // MBR_TEXT_CLASSIFIER_H_

@@ -1,0 +1,118 @@
+#include "text/corpus.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace mbr::text {
+
+namespace {
+
+std::string MakeWord(const char* prefix, int topic, int index) {
+  char buf[32];
+  if (topic >= 0) {
+    std::snprintf(buf, sizeof(buf), "%s%d_%d", prefix, topic, index);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s_%d", prefix, index);
+  }
+  return buf;
+}
+
+}  // namespace
+
+TopicLanguageModel::TopicLanguageModel(
+    const topics::Vocabulary& vocab, const CorpusConfig& config,
+    const std::vector<std::pair<topics::TopicId, topics::TopicId>>&
+        ambiguous_pairs,
+    uint64_t seed)
+    : config_(config),
+      topic_zipf_(static_cast<uint32_t>(config.words_per_topic),
+                  config.zipf_exponent),
+      common_zipf_(static_cast<uint32_t>(config.common_words),
+                   config.zipf_exponent) {
+  MBR_CHECK(config.words_per_topic > 0);
+  MBR_CHECK(config.common_words > 0);
+  MBR_CHECK(config.min_tweet_tokens > 0);
+  MBR_CHECK(config.max_tweet_tokens >= config.min_tweet_tokens);
+  (void)seed;  // lexicons are deterministic given the vocabulary
+
+  topic_words_.resize(vocab.size());
+  partners_.resize(vocab.size());
+  for (topics::TopicId t : vocab.Ids()) {
+    topic_words_[t].reserve(config.words_per_topic);
+    for (int i = 0; i < config.words_per_topic; ++i) {
+      topic_words_[t].push_back(MakeWord("tw", t, i));
+    }
+  }
+  common_words_.reserve(config.common_words);
+  for (int i = 0; i < config.common_words; ++i) {
+    common_words_.push_back(MakeWord("common", -1, i));
+  }
+  for (const auto& [a, b] : ambiguous_pairs) {
+    MBR_CHECK(a < vocab.size() && b < vocab.size());
+    partners_[a].push_back(b);
+    partners_[b].push_back(a);
+  }
+}
+
+const std::string& TopicLanguageModel::SampleTopicWord(
+    topics::TopicId t, util::Rng* rng) const {
+  return topic_words_[t][topic_zipf_.Sample(rng)];
+}
+
+std::string TopicLanguageModel::GenerateTweet(topics::TopicSet user_topics,
+                                              util::Rng* rng,
+                                              topics::TopicId* chosen) const {
+  MBR_CHECK(!user_topics.empty());
+  // Uniform choice among the user's topics.
+  int pick = static_cast<int>(rng->UniformU64(user_topics.size()));
+  topics::TopicId topic = 0;
+  for (topics::TopicId t : user_topics) {
+    if (pick-- == 0) {
+      topic = t;
+      break;
+    }
+  }
+  if (chosen != nullptr) *chosen = topic;
+
+  int len = static_cast<int>(rng->UniformInt(config_.min_tweet_tokens,
+                                             config_.max_tweet_tokens));
+  std::string out;
+  for (int i = 0; i < len; ++i) {
+    if (i > 0) out.push_back(' ');
+    if (rng->Bernoulli(config_.common_word_prob)) {
+      out += common_words_[common_zipf_.Sample(rng)];
+      continue;
+    }
+    topics::TopicId source = topic;
+    const auto& partners = partners_[topic];
+    if (!partners.empty() && rng->Bernoulli(config_.ambiguity_leak)) {
+      source = partners[rng->UniformU64(partners.size())];
+    }
+    out += SampleTopicWord(source, rng);
+  }
+  return out;
+}
+
+std::vector<std::string> TopicLanguageModel::GenerateUserTweets(
+    topics::TopicSet user_topics, int count, util::Rng* rng) const {
+  std::vector<std::string> tweets;
+  tweets.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    tweets.push_back(GenerateTweet(user_topics, rng));
+  }
+  return tweets;
+}
+
+TopicLanguageModel MakeTwitterLanguageModel(uint64_t seed,
+                                            const CorpusConfig& config) {
+  const topics::Vocabulary& v = topics::TwitterVocabulary();
+  topics::TopicId social = v.Id("social");
+  topics::TopicId health = v.Id("health");
+  topics::TopicId politics = v.Id("politics");
+  MBR_CHECK(social != topics::kInvalidTopic);
+  return TopicLanguageModel(
+      v, config, {{social, health}, {social, politics}}, seed);
+}
+
+}  // namespace mbr::text

@@ -1,0 +1,82 @@
+#ifndef MBR_TEXT_CORPUS_H_
+#define MBR_TEXT_CORPUS_H_
+
+// Synthetic tweet corpus generation.
+//
+// Substitute for the 2.3B-tweet crawl: each topic owns a Zipf-distributed
+// specific word list, all topics share a common-word tail, and configurable
+// "ambiguity" pairs share part of their specific vocabulary (the paper's
+// user study observed that e.g. `social` posts mix with health / politics
+// and are hard to classify — we reproduce that confusability explicitly).
+// A user's tweets are sampled from the mixture of his topics.
+
+#include <string>
+#include <vector>
+
+#include "topics/topic.h"
+#include "topics/vocabulary.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace mbr::text {
+
+struct CorpusConfig {
+  int words_per_topic = 200;       // size of each topic-specific lexicon
+  int common_words = 400;          // shared tail lexicon size
+  double common_word_prob = 0.35;  // per-token probability of a common word
+  double zipf_exponent = 1.05;     // within-lexicon word popularity skew
+  int min_tweet_tokens = 6;
+  int max_tweet_tokens = 16;
+  // Probability that a token of an "ambiguous" topic is drawn from a
+  // confusable partner topic's lexicon instead.
+  double ambiguity_leak = 0.45;
+};
+
+// Topic-conditioned unigram language model over a generated lexicon.
+class TopicLanguageModel {
+ public:
+  // `ambiguous_pairs` lists (a, b) topic pairs whose lexicons leak into
+  // each other (both directions).
+  TopicLanguageModel(
+      const topics::Vocabulary& vocab, const CorpusConfig& config,
+      const std::vector<std::pair<topics::TopicId, topics::TopicId>>&
+          ambiguous_pairs,
+      uint64_t seed);
+
+  // One tweet about a topic drawn uniformly from `user_topics` (which must
+  // be non-empty). The chosen topic is written to *chosen if non-null.
+  std::string GenerateTweet(topics::TopicSet user_topics, util::Rng* rng,
+                            topics::TopicId* chosen = nullptr) const;
+
+  // `count` tweets for a user with the given topics.
+  std::vector<std::string> GenerateUserTweets(topics::TopicSet user_topics,
+                                              int count,
+                                              util::Rng* rng) const;
+
+  const CorpusConfig& config() const { return config_; }
+  int num_topics() const { return static_cast<int>(topic_words_.size()); }
+
+  // Confusable partner topics of t (possibly empty).
+  const std::vector<topics::TopicId>& Partners(topics::TopicId t) const {
+    return partners_[t];
+  }
+
+ private:
+  const std::string& SampleTopicWord(topics::TopicId t, util::Rng* rng) const;
+
+  CorpusConfig config_;
+  std::vector<std::vector<std::string>> topic_words_;
+  std::vector<std::string> common_words_;
+  util::ZipfDistribution topic_zipf_;
+  util::ZipfDistribution common_zipf_;
+  std::vector<std::vector<topics::TopicId>> partners_;
+};
+
+// The Twitter corpus model with the paper-motivated ambiguity structure:
+// social<->health, social<->politics.
+TopicLanguageModel MakeTwitterLanguageModel(uint64_t seed,
+                                            const CorpusConfig& config = {});
+
+}  // namespace mbr::text
+
+#endif  // MBR_TEXT_CORPUS_H_

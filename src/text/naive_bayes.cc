@@ -1,0 +1,114 @@
+#include "text/naive_bayes.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mbr::text {
+
+NaiveBayesClassifier::NaiveBayesClassifier(int num_topics,
+                                           const NaiveBayesConfig& config)
+    : num_topics_(num_topics),
+      config_(config),
+      tokenizer_(config.feature_dim) {
+  MBR_CHECK(num_topics > 0 && num_topics <= topics::kMaxTopics);
+  MBR_CHECK(config.smoothing > 0.0);
+}
+
+void NaiveBayesClassifier::Train(const std::vector<LabeledDocument>& train) {
+  MBR_CHECK(!train.empty());
+  const uint32_t dim = config_.feature_dim;
+  const double alpha = config_.smoothing;
+
+  // counts[t][f] = token occurrences of feature f in documents labeled t;
+  // we also need the complement counts, derived from the global totals.
+  std::vector<double> pos_counts(static_cast<size_t>(num_topics_) * dim, 0.0);
+  std::vector<double> all_counts(dim, 0.0);
+  std::vector<double> pos_tokens(num_topics_, 0.0);
+  double all_tokens = 0.0;
+  std::vector<double> pos_docs(num_topics_, 0.0);
+
+  for (const LabeledDocument& doc : train) {
+    MBR_CHECK(!doc.labels.empty());
+    auto feats = tokenizer_.Features(doc.text);
+    for (uint32_t f : feats) {
+      all_counts[f] += 1.0;
+      for (topics::TopicId t : doc.labels) {
+        pos_counts[static_cast<size_t>(t) * dim + f] += 1.0;
+      }
+    }
+    all_tokens += static_cast<double>(feats.size());
+    for (topics::TopicId t : doc.labels) {
+      pos_tokens[t] += static_cast<double>(feats.size());
+      pos_docs[t] += 1.0;
+    }
+  }
+
+  log_ratio_.assign(static_cast<size_t>(num_topics_) * (dim + 1), 0.0);
+  const double total_docs = static_cast<double>(train.size());
+  for (int t = 0; t < num_topics_; ++t) {
+    const double* pos = &pos_counts[static_cast<size_t>(t) * dim];
+    double* out = &log_ratio_[static_cast<size_t>(t) * (dim + 1)];
+    double neg_tokens = all_tokens - pos_tokens[t];
+    double pos_denom = pos_tokens[t] + alpha * dim;
+    double neg_denom = neg_tokens + alpha * dim;
+    for (uint32_t f = 0; f < dim; ++f) {
+      double p_pos = (pos[f] + alpha) / pos_denom;
+      double p_neg = (all_counts[f] - pos[f] + alpha) / neg_denom;
+      out[f] = std::log(p_pos) - std::log(p_neg);
+    }
+    // Smoothed class prior.
+    double p_t = (pos_docs[t] + 1.0) / (total_docs + 2.0);
+    out[dim] = std::log(p_t) - std::log(1.0 - p_t);
+  }
+  trained_ = true;
+}
+
+std::vector<double> NaiveBayesClassifier::Scores(
+    const std::string& text) const {
+  MBR_CHECK(trained_);
+  const uint32_t dim = config_.feature_dim;
+  auto feats = tokenizer_.Features(text);
+  std::vector<double> scores(num_topics_, 0.0);
+  for (int t = 0; t < num_topics_; ++t) {
+    const double* row = &log_ratio_[static_cast<size_t>(t) * (dim + 1)];
+    double margin = row[dim];
+    for (uint32_t f : feats) margin += row[f];
+    scores[t] = margin;
+  }
+  return scores;
+}
+
+topics::TopicSet NaiveBayesClassifier::Predict(const std::string& text) const {
+  std::vector<double> scores = Scores(text);
+  topics::TopicSet out;
+  int best = 0;
+  for (int t = 0; t < num_topics_; ++t) {
+    if (scores[t] > 0.0) out.Add(static_cast<topics::TopicId>(t));
+    if (scores[t] > scores[best]) best = t;
+  }
+  if (out.empty()) out.Add(static_cast<topics::TopicId>(best));
+  return out;
+}
+
+MultiLabelMetrics NaiveBayesClassifier::Evaluate(
+    const std::vector<LabeledDocument>& gold) const {
+  MultiLabelMetrics m;
+  m.num_documents = gold.size();
+  double tp = 0, fp = 0, fn = 0;
+  for (const auto& doc : gold) {
+    topics::TopicSet pred = Predict(doc.text);
+    int inter = pred.Intersect(doc.labels).size();
+    tp += inter;
+    fp += pred.size() - inter;
+    fn += doc.labels.size() - inter;
+  }
+  m.precision = (tp + fp) > 0 ? tp / (tp + fp) : 0.0;
+  m.recall = (tp + fn) > 0 ? tp / (tp + fn) : 0.0;
+  m.f1 = (m.precision + m.recall) > 0
+             ? 2 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+}  // namespace mbr::text

@@ -1,0 +1,61 @@
+#ifndef MBR_TEXT_NAIVE_BAYES_H_
+#define MBR_TEXT_NAIVE_BAYES_H_
+
+// Multinomial Naive Bayes multi-label classifier — the second classifier
+// family for the §5.1 topic-extraction pipeline (one-vs-rest, like the
+// Mulan SVM setup, but generative). Useful both as a baseline for the
+// averaged perceptron and as the faster option for large corpora: training
+// is a single counting pass.
+//
+// Per topic t we estimate P(w | t) and P(w | ¬t) with Laplace smoothing
+// over hashed token counts and predict t iff
+//   log P(t) + Σ_w log P(w|t)  >  log P(¬t) + Σ_w log P(w|¬t).
+
+#include <string>
+#include <vector>
+
+#include "text/classifier.h"
+#include "text/tokenizer.h"
+#include "topics/topic.h"
+
+namespace mbr::text {
+
+struct NaiveBayesConfig {
+  uint32_t feature_dim = 1 << 13;
+  double smoothing = 1.0;  // Laplace alpha
+};
+
+class NaiveBayesClassifier {
+ public:
+  // Preconditions: 0 < num_topics <= topics::kMaxTopics.
+  NaiveBayesClassifier(int num_topics, const NaiveBayesConfig& config = {});
+
+  // Single counting pass over the corpus.
+  void Train(const std::vector<LabeledDocument>& train);
+
+  // Per-topic decision margins log P(t|d) - log P(¬t|d) (unnormalised).
+  std::vector<double> Scores(const std::string& text) const;
+
+  // All topics with positive margin; argmax if none (never empty).
+  topics::TopicSet Predict(const std::string& text) const;
+
+  // Micro-averaged precision/recall/F1, same contract as
+  // MultiLabelClassifier::Evaluate.
+  MultiLabelMetrics Evaluate(const std::vector<LabeledDocument>& gold) const;
+
+  int num_topics() const { return num_topics_; }
+  bool trained() const { return trained_; }
+
+ private:
+  int num_topics_;
+  NaiveBayesConfig config_;
+  Tokenizer tokenizer_;
+  bool trained_ = false;
+  // log_ratio_[t * (dim+1) + f]: log P(f|t) - log P(f|¬t); slot dim is the
+  // prior term log P(t) - log P(¬t).
+  std::vector<double> log_ratio_;
+};
+
+}  // namespace mbr::text
+
+#endif  // MBR_TEXT_NAIVE_BAYES_H_

@@ -1,0 +1,160 @@
+#include "text/pipeline.h"
+
+#include "text/naive_bayes.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+
+#include "util/logging.h"
+
+namespace mbr::text {
+
+topics::TopicSet BuildFollowerProfile(
+    const std::vector<topics::TopicSet>& followee_profiles,
+    double min_frequency, int max_topics) {
+  if (followee_profiles.empty() || max_topics <= 0) return topics::TopicSet();
+  int counts[topics::kMaxTopics] = {0};
+  for (topics::TopicSet p : followee_profiles) {
+    for (topics::TopicId t : p) ++counts[t];
+  }
+  const double n = static_cast<double>(followee_profiles.size());
+  std::vector<std::pair<int, topics::TopicId>> ranked;
+  for (int t = 0; t < topics::kMaxTopics; ++t) {
+    if (counts[t] > 0 && static_cast<double>(counts[t]) / n >= min_frequency) {
+      ranked.push_back({counts[t], static_cast<topics::TopicId>(t)});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (static_cast<int>(ranked.size()) > max_topics) ranked.resize(max_topics);
+  // Never return an empty profile if the user follows anyone: fall back to
+  // the single most frequent topic.
+  if (ranked.empty()) {
+    int best = -1, best_count = 0;
+    for (int t = 0; t < topics::kMaxTopics; ++t) {
+      if (counts[t] > best_count) {
+        best = t;
+        best_count = counts[t];
+      }
+    }
+    topics::TopicSet s;
+    if (best >= 0) s.Add(static_cast<topics::TopicId>(best));
+    return s;
+  }
+  topics::TopicSet s;
+  for (const auto& [count, t] : ranked) s.Add(t);
+  return s;
+}
+
+PipelineResult RunTopicExtraction(
+    const graph::LabeledGraph& topology,
+    const std::vector<topics::TopicSet>& true_topics,
+    const TopicLanguageModel& lm, const PipelineConfig& config) {
+  const graph::NodeId n = topology.num_nodes();
+  MBR_CHECK(true_topics.size() == n);
+  for (graph::NodeId u = 0; u < n; ++u) MBR_CHECK(!true_topics[u].empty());
+
+  util::Rng rng(config.seed);
+  PipelineResult result;
+
+  // 1. Tweet streams -> one concatenated document per user.
+  std::vector<std::string> documents(n);
+  {
+    util::Rng tweet_rng = rng.Fork(1);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      std::string doc;
+      for (const std::string& tweet : lm.GenerateUserTweets(
+               true_topics[u], config.tweets_per_user, &tweet_rng)) {
+        doc += tweet;
+        doc.push_back(' ');
+      }
+      documents[u] = std::move(doc);
+    }
+  }
+
+  // 2. Seed selection ("OpenCalais-tagged" users).
+  util::Rng seed_rng = rng.Fork(2);
+  uint32_t num_seeds = std::max<uint32_t>(
+      2, static_cast<uint32_t>(config.seed_label_fraction * n));
+  num_seeds = std::min(num_seeds, n);
+  std::vector<uint32_t> seeds = seed_rng.SampleWithoutReplacement(n, num_seeds);
+  uint32_t num_holdout =
+      std::min<uint32_t>(num_seeds - 1,
+                         std::max<uint32_t>(
+                             1, static_cast<uint32_t>(config.holdout_fraction *
+                                                      num_seeds)));
+
+  std::vector<LabeledDocument> train, holdout;
+  for (uint32_t i = 0; i < seeds.size(); ++i) {
+    LabeledDocument doc{documents[seeds[i]], true_topics[seeds[i]]};
+    if (i < num_holdout) {
+      holdout.push_back(std::move(doc));
+    } else {
+      train.push_back(std::move(doc));
+    }
+  }
+
+  // 3. Train the classifier, measure on the holdout, and predict publisher
+  //    profiles for all non-seed users (seed users keep their gold labels).
+  std::function<topics::TopicSet(const std::string&)> predict;
+  MultiLabelClassifier perceptron(topology.num_topics(), config.classifier);
+  NaiveBayesClassifier bayes(topology.num_topics());
+  if (config.classifier_kind == ClassifierKind::kNaiveBayes) {
+    bayes.Train(train);
+    result.classifier_metrics = bayes.Evaluate(holdout);
+    predict = [&bayes](const std::string& d) { return bayes.Predict(d); };
+  } else {
+    perceptron.Train(train);
+    result.classifier_metrics = perceptron.Evaluate(holdout);
+    predict = [&perceptron](const std::string& d) {
+      return perceptron.Predict(d);
+    };
+  }
+
+  std::vector<bool> is_seed(n, false);
+  for (uint32_t s : seeds) is_seed[s] = true;
+  result.publisher_profiles.resize(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    result.publisher_profiles[u] =
+        is_seed[u] ? true_topics[u] : predict(documents[u]);
+  }
+
+  // 4. Follower profiles from followee publisher profiles.
+  result.follower_profiles.resize(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    std::vector<topics::TopicSet> followee_profiles;
+    auto followees = topology.OutNeighbors(u);
+    followee_profiles.reserve(followees.size());
+    for (graph::NodeId v : followees) {
+      followee_profiles.push_back(result.publisher_profiles[v]);
+    }
+    result.follower_profiles[u] = BuildFollowerProfile(
+        followee_profiles, config.follower_min_frequency,
+        config.follower_max_topics);
+  }
+
+  // 5. Edge labels = follower ∩ publisher; rebuild the labeled graph.
+  graph::GraphBuilder builder(n, topology.num_topics());
+  uint64_t empty_labels = 0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    builder.SetNodeLabels(u, result.publisher_profiles[u]);
+    for (graph::NodeId v : topology.OutNeighbors(u)) {
+      topics::TopicSet label =
+          result.follower_profiles[u].Intersect(result.publisher_profiles[v]);
+      if (label.empty()) ++empty_labels;
+      builder.AddEdge(u, v, label);
+    }
+  }
+  result.labeled_graph = std::move(builder).Build();
+  result.empty_edge_label_fraction =
+      topology.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(empty_labels) /
+                static_cast<double>(topology.num_edges());
+  return result;
+}
+
+}  // namespace mbr::text

@@ -1,0 +1,77 @@
+#ifndef MBR_TEXT_PIPELINE_H_
+#define MBR_TEXT_PIPELINE_H_
+
+// Topic-extraction pipeline (§5.1), end to end:
+//
+//   1. every user gets a synthetic tweet stream drawn from his true topical
+//      affinities (TopicLanguageModel);
+//   2. a seed fraction of users (paper: 10%, via OpenCalais) is tagged with
+//      gold topic labels;
+//   3. a multi-label classifier trained on the seeds (paper: Mulan SVM,
+//      precision 0.90) assigns every user his *publisher profile*;
+//   4. each user's *follower profile* collects the high-frequency topics
+//      among the publisher profiles of the accounts he follows;
+//   5. each edge (u -> v) is labeled with
+//      follower_profile(u) ∩ publisher_profile(v).
+//
+// The output is the fully labeled social graph used by all experiments.
+
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "text/classifier.h"
+#include "text/corpus.h"
+#include "topics/topic.h"
+#include "util/rng.h"
+
+namespace mbr::text {
+
+// Which classifier family completes the seed labeling (§5.1 trains a
+// multi-label SVM via Mulan; we offer a discriminative and a generative
+// substitute).
+enum class ClassifierKind {
+  kAveragedPerceptron,
+  kNaiveBayes,
+};
+
+struct PipelineConfig {
+  double seed_label_fraction = 0.10;  // users with gold labels
+  double holdout_fraction = 0.20;     // of the seeds, kept for metrics
+  int tweets_per_user = 12;
+  ClassifierKind classifier_kind = ClassifierKind::kAveragedPerceptron;
+  // Follower profile: keep topics occurring in at least this fraction of
+  // followed publishers' profiles...
+  double follower_min_frequency = 0.15;
+  // ...and at most this many topics (highest counts first).
+  int follower_max_topics = 6;
+  ClassifierConfig classifier;
+  uint64_t seed = 7;
+};
+
+struct PipelineResult {
+  graph::LabeledGraph labeled_graph;
+  std::vector<topics::TopicSet> publisher_profiles;
+  std::vector<topics::TopicSet> follower_profiles;
+  MultiLabelMetrics classifier_metrics;  // on the held-out gold seeds
+  double empty_edge_label_fraction = 0.0;
+};
+
+// Runs the pipeline over `topology` (its existing labels are ignored).
+// `true_topics[u]` is the ground-truth topical affinity of user u and must
+// be non-empty for every node. The returned graph has the same nodes/edges
+// as `topology` with fresh labels.
+PipelineResult RunTopicExtraction(const graph::LabeledGraph& topology,
+                                  const std::vector<topics::TopicSet>& true_topics,
+                                  const TopicLanguageModel& lm,
+                                  const PipelineConfig& config);
+
+// Computes a follower profile from the publisher profiles of followees:
+// topic counts over `followee_profiles`, thresholded and capped as in
+// PipelineConfig. Exposed for testing.
+topics::TopicSet BuildFollowerProfile(
+    const std::vector<topics::TopicSet>& followee_profiles,
+    double min_frequency, int max_topics);
+
+}  // namespace mbr::text
+
+#endif  // MBR_TEXT_PIPELINE_H_

@@ -1,0 +1,47 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace mbr::text {
+
+uint64_t HashToken(std::string_view token) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : token) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Tokenizer::Tokenizer(uint32_t feature_dim) : dim_(feature_dim) {
+  MBR_CHECK(feature_dim > 0);
+  MBR_CHECK((feature_dim & (feature_dim - 1)) == 0);  // power of two
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : text) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c) || c == '_') {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<uint32_t> Tokenizer::Features(std::string_view text) const {
+  std::vector<uint32_t> feats;
+  for (const std::string& tok : Tokenize(text)) {
+    feats.push_back(static_cast<uint32_t>(HashToken(tok) & (dim_ - 1)));
+  }
+  return feats;
+}
+
+}  // namespace mbr::text

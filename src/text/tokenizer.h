@@ -1,0 +1,39 @@
+#ifndef MBR_TEXT_TOKENIZER_H_
+#define MBR_TEXT_TOKENIZER_H_
+
+// Tokenisation + feature hashing for the bag-of-words classifier.
+//
+// Tweets are short, so we tokenise on non-alphanumeric boundaries,
+// lowercase, and hash each token into a fixed-size feature space
+// (the classic "hashing trick"), avoiding a mutable dictionary.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbr::text {
+
+// FNV-1a 64-bit hash of a token.
+uint64_t HashToken(std::string_view token);
+
+class Tokenizer {
+ public:
+  // Preconditions: feature_dim is a power of two.
+  explicit Tokenizer(uint32_t feature_dim);
+
+  uint32_t feature_dim() const { return dim_; }
+
+  // Lowercased alphanumeric tokens of `text`.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  // Hashed feature ids (< feature_dim) of the tokens of `text`.
+  std::vector<uint32_t> Features(std::string_view text) const;
+
+ private:
+  uint32_t dim_;
+};
+
+}  // namespace mbr::text
+
+#endif  // MBR_TEXT_TOKENIZER_H_

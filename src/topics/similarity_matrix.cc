@@ -1,0 +1,71 @@
+#include "topics/similarity_matrix.h"
+
+#include <cmath>
+#include <utility>
+
+namespace mbr::topics {
+
+SimilarityMatrix::SimilarityMatrix(const Vocabulary& vocab,
+                                   const Taxonomy& tax)
+    : SimilarityMatrix(
+          FromTaxonomy(vocab, tax, SimilarityMeasure::kWuPalmer)) {}
+
+SimilarityMatrix SimilarityMatrix::FromTaxonomy(const Vocabulary& vocab,
+                                                const Taxonomy& tax,
+                                                SimilarityMeasure measure) {
+  MBR_CHECK(tax.Covers(vocab));
+  SimilarityMatrix m;
+  m.n_ = vocab.size();
+  m.tri_.resize(static_cast<size_t>(m.n_) * (m.n_ + 1) / 2);
+  for (TopicId a = 0; a < m.n_; ++a) {
+    for (TopicId b = 0; b <= a; ++b) {
+      double s = 0.0;
+      switch (measure) {
+        case SimilarityMeasure::kWuPalmer:
+          s = tax.WuPalmer(a, b);
+          break;
+        case SimilarityMeasure::kInversePath:
+          s = 1.0 / (1.0 + tax.PathLength(a, b));
+          break;
+        case SimilarityMeasure::kExactMatch:
+          s = (a == b) ? 1.0 : 0.0;
+          break;
+      }
+      m.tri_[m.IndexOf(a, b)] = s;
+    }
+  }
+  return m;
+}
+
+SimilarityMatrix SimilarityMatrix::FromDense(int n,
+                                             const std::vector<double>& full) {
+  MBR_CHECK(n > 0 && n <= kMaxTopics);
+  MBR_CHECK(full.size() == static_cast<size_t>(n) * n);
+  SimilarityMatrix m;
+  m.n_ = n;
+  m.tri_.resize(static_cast<size_t>(n) * (n + 1) / 2);
+  for (TopicId a = 0; a < n; ++a) {
+    for (TopicId b = 0; b <= a; ++b) {
+      double ab = full[static_cast<size_t>(a) * n + b];
+      double ba = full[static_cast<size_t>(b) * n + a];
+      MBR_CHECK(std::fabs(ab - ba) < 1e-12);  // symmetric
+      if (a == b) MBR_CHECK(std::fabs(ab - 1.0) < 1e-12);
+      m.tri_[m.IndexOf(a, b)] = ab;
+    }
+  }
+  return m;
+}
+
+const SimilarityMatrix& TwitterSimilarity() {
+  static const SimilarityMatrix& m =
+      *new SimilarityMatrix(TwitterVocabulary(), TwitterTaxonomy());
+  return m;
+}
+
+const SimilarityMatrix& DblpSimilarity() {
+  static const SimilarityMatrix& m =
+      *new SimilarityMatrix(DblpVocabulary(), DblpTaxonomy());
+  return m;
+}
+
+}  // namespace mbr::topics

@@ -1,0 +1,85 @@
+#ifndef MBR_TOPICS_SIMILARITY_MATRIX_H_
+#define MBR_TOPICS_SIMILARITY_MATRIX_H_
+
+// Precomputed triangular topic-similarity matrix.
+//
+// §5.2: "The topic similarities given by the Wu and Palmer similarity scores
+// are pre-computed and stored in memory as a triangular similarity matrix."
+// For n topics we store n(n+1)/2 doubles; MaxSim implements the
+// max_{t' ∈ label(e)} sim(t', t) term of the edge relevance (Equation 3).
+
+#include <cstddef>
+#include <vector>
+
+#include "topics/taxonomy.h"
+#include "topics/topic.h"
+#include "topics/vocabulary.h"
+
+namespace mbr::topics {
+
+// Semantic similarity measures over the taxonomy. The paper uses Wu &
+// Palmer and notes other measures (Resnik, Disco, ...) would work; the
+// choice is evaluated by bench/ext_ablation_similarity.
+enum class SimilarityMeasure {
+  kWuPalmer,    // 2·depth(lcs) / (depth(a)+depth(b))     — the paper's
+  kInversePath, // 1 / (1 + path_length(a, b))            — Leacock-Chodorow
+                //                                           flavoured
+  kExactMatch,  // 1 iff a == b                            — no semantics
+};
+
+class SimilarityMatrix {
+ public:
+  // Precomputes all pairwise Wu-Palmer similarities for `vocab` over `tax`.
+  // Preconditions: tax covers vocab.
+  SimilarityMatrix(const Vocabulary& vocab, const Taxonomy& tax);
+
+  // Same, with an explicit measure.
+  static SimilarityMatrix FromTaxonomy(const Vocabulary& vocab,
+                                       const Taxonomy& tax,
+                                       SimilarityMeasure measure);
+
+  // Builds from an explicit symmetric matrix (tests / custom measures).
+  // Preconditions: full.size() == n*n, symmetric, diagonal == 1.
+  static SimilarityMatrix FromDense(int n, const std::vector<double>& full);
+
+  int num_topics() const { return n_; }
+
+  // sim(a, b) in [0, 1]. Preconditions: a, b < num_topics().
+  double Sim(TopicId a, TopicId b) const {
+    MBR_DCHECK(a < n_ && b < n_);
+    return tri_[IndexOf(a, b)];
+  }
+
+  // max_{t' in set} Sim(t', t); 0 for the empty set.
+  double MaxSim(TopicSet set, TopicId t) const {
+    double best = 0.0;
+    for (TopicId x : set) {
+      double s = Sim(x, t);
+      if (s > best) best = s;
+    }
+    return best;
+  }
+
+  // Bytes used by the triangular storage (paper §5.2 sizes this: ~2.5 KB for
+  // 18 topics, ~750 MB for 10,000).
+  size_t StorageBytes() const { return tri_.size() * sizeof(double); }
+
+ private:
+  SimilarityMatrix() = default;
+
+  size_t IndexOf(TopicId a, TopicId b) const {
+    if (a < b) std::swap(a, b);
+    return static_cast<size_t>(a) * (a + 1) / 2 + b;
+  }
+
+  int n_ = 0;
+  std::vector<double> tri_;
+};
+
+// Process-wide matrices for the builtin vocabularies.
+const SimilarityMatrix& TwitterSimilarity();
+const SimilarityMatrix& DblpSimilarity();
+
+}  // namespace mbr::topics
+
+#endif  // MBR_TOPICS_SIMILARITY_MATRIX_H_

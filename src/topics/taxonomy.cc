@@ -1,0 +1,160 @@
+#include "topics/taxonomy.h"
+
+#include <algorithm>
+
+namespace mbr::topics {
+
+Taxonomy::Taxonomy() : topic_node_(kMaxTopics, -1) {
+  nodes_.push_back({"<root>", -1, 1});
+}
+
+int Taxonomy::AddCategory(std::string name, int parent_node) {
+  MBR_CHECK(parent_node >= 0 &&
+            parent_node < static_cast<int>(nodes_.size()));
+  nodes_.push_back(
+      {std::move(name), parent_node, nodes_[parent_node].depth + 1});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Taxonomy::AttachTopic(TopicId t, int parent_node) {
+  MBR_CHECK(t < kMaxTopics);
+  MBR_CHECK(topic_node_[t] == -1);
+  MBR_CHECK(parent_node >= 0 &&
+            parent_node < static_cast<int>(nodes_.size()));
+  nodes_.push_back({"", parent_node, nodes_[parent_node].depth + 1});
+  topic_node_[t] = static_cast<int>(nodes_.size()) - 1;
+}
+
+bool Taxonomy::Covers(const Vocabulary& vocab) const {
+  for (TopicId t : vocab.Ids()) {
+    if (topic_node_[t] == -1) return false;
+  }
+  return true;
+}
+
+int Taxonomy::NodeOf(TopicId t) const {
+  MBR_CHECK(t < kMaxTopics);
+  int n = topic_node_[t];
+  MBR_CHECK(n != -1);
+  return n;
+}
+
+int Taxonomy::Depth(TopicId t) const { return nodes_[NodeOf(t)].depth; }
+
+int Taxonomy::LcsDepth(TopicId a, TopicId b) const {
+  int na = NodeOf(a), nb = NodeOf(b);
+  while (nodes_[na].depth > nodes_[nb].depth) na = nodes_[na].parent;
+  while (nodes_[nb].depth > nodes_[na].depth) nb = nodes_[nb].parent;
+  while (na != nb) {
+    na = nodes_[na].parent;
+    nb = nodes_[nb].parent;
+  }
+  return nodes_[na].depth;
+}
+
+double Taxonomy::WuPalmer(TopicId a, TopicId b) const {
+  double lcs = LcsDepth(a, b);
+  return 2.0 * lcs / (Depth(a) + Depth(b));
+}
+
+int Taxonomy::PathLength(TopicId a, TopicId b) const {
+  return Depth(a) + Depth(b) - 2 * LcsDepth(a, b);
+}
+
+namespace {
+
+Taxonomy* BuildTwitterTaxonomy() {
+  const Vocabulary& v = TwitterVocabulary();
+  auto* tax = new Taxonomy();
+  int stem = tax->AddCategory("stem", tax->root());
+  int society = tax->AddCategory("society", tax->root());
+  int lifestyle = tax->AddCategory("lifestyle", tax->root());
+  int economy = tax->AddCategory("economy", tax->root());
+  int world = tax->AddCategory("world", tax->root());
+
+  auto attach = [&](const char* name, int parent) {
+    TopicId t = v.Id(name);
+    MBR_CHECK(t != kInvalidTopic);
+    tax->AttachTopic(t, parent);
+  };
+  // Computing/science cluster: technology and bigdata are siblings, so the
+  // paper's Fig. 1 example (an edge labeled `bigdata` contributing to a
+  // `technology` query) gets a high but non-1 similarity.
+  int computing = tax->AddCategory("computing", stem);
+  attach("technology", computing);
+  attach("bigdata", computing);
+  attach("science", stem);
+
+  attach("social", society);
+  attach("politics", society);
+  attach("religion", society);
+  attach("law", society);
+  attach("education", society);
+
+  attach("leisure", lifestyle);
+  attach("sports", lifestyle);
+  attach("entertainment", lifestyle);
+  attach("travel", lifestyle);
+  attach("food", lifestyle);
+
+  attach("business", economy);
+  attach("finance", economy);
+
+  attach("health", world);
+  attach("environment", world);
+  attach("weather", world);
+
+  MBR_CHECK(tax->Covers(v));
+  return tax;
+}
+
+Taxonomy* BuildDblpTaxonomy() {
+  const Vocabulary& v = DblpVocabulary();
+  auto* tax = new Taxonomy();
+  int data = tax->AddCategory("data-management", tax->root());
+  int intel = tax->AddCategory("intelligence", tax->root());
+  int systems = tax->AddCategory("systems", tax->root());
+  int foundations = tax->AddCategory("foundations", tax->root());
+  int interaction = tax->AddCategory("interaction", tax->root());
+
+  auto attach = [&](const char* name, int parent) {
+    TopicId t = v.Id(name);
+    MBR_CHECK(t != kInvalidTopic);
+    tax->AttachTopic(t, parent);
+  };
+  attach("databases", data);
+  attach("datamining", data);
+  attach("ir", data);
+
+  attach("ai", intel);
+  attach("ml", intel);
+  attach("bioinformatics", intel);
+
+  attach("networks", systems);
+  attach("security", systems);
+  attach("systems", systems);
+  attach("software", systems);
+  attach("distributed", systems);
+
+  attach("theory", foundations);
+
+  attach("graphics", interaction);
+  attach("hci", interaction);
+
+  MBR_CHECK(tax->Covers(v));
+  return tax;
+}
+
+}  // namespace
+
+const Taxonomy& TwitterTaxonomy() {
+  static const Taxonomy& t = *BuildTwitterTaxonomy();
+  return t;
+}
+
+const Taxonomy& DblpTaxonomy() {
+  static const Taxonomy& t = *BuildDblpTaxonomy();
+  return t;
+}
+
+}  // namespace mbr::topics

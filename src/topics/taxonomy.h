@@ -1,0 +1,81 @@
+#ifndef MBR_TOPICS_TAXONOMY_H_
+#define MBR_TOPICS_TAXONOMY_H_
+
+// IS-A taxonomy over topics and the Wu & Palmer similarity measure.
+//
+// The paper computes semantic similarity between topics with Wu & Palmer
+// (ACL 1994) on top of WordNet. We build an explicit small IS-A tree whose
+// leaves are the vocabulary topics (plus internal category nodes), and
+// implement
+//
+//   sim(a, b) = 2 * depth(lcs(a, b)) / (depth(a) + depth(b))
+//
+// with the root at depth 1, so sim is in (0, 1] and sim(t, t) = 1.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topics/topic.h"
+#include "topics/vocabulary.h"
+#include "util/status.h"
+
+namespace mbr::topics {
+
+class Taxonomy {
+ public:
+  // Incrementally builds a tree. The root is created by the constructor.
+  Taxonomy();
+
+  // Adds an internal (non-topic) category node under `parent_node`.
+  // Returns the new node index. Preconditions: parent_node is valid.
+  int AddCategory(std::string name, int parent_node);
+
+  // Attaches vocabulary topic `t` as a leaf under `parent_node`.
+  // Preconditions: t not yet attached.
+  void AttachTopic(TopicId t, int parent_node);
+
+  int root() const { return 0; }
+
+  // Whether every topic of `vocab` is attached.
+  bool Covers(const Vocabulary& vocab) const;
+
+  // Depth of the tree node a topic is attached to (root = 1).
+  // Preconditions: topic attached.
+  int Depth(TopicId t) const;
+
+  // Depth of the lowest common subsumer of a and b.
+  int LcsDepth(TopicId a, TopicId b) const;
+
+  // Wu & Palmer similarity in (0, 1]. Preconditions: both attached.
+  double WuPalmer(TopicId a, TopicId b) const;
+
+  // Number of tree edges on the path between a and b:
+  // depth(a) + depth(b) - 2 * depth(lcs).
+  int PathLength(TopicId a, TopicId b) const;
+
+ private:
+  struct Node {
+    std::string name;
+    int parent;  // -1 for root
+    int depth;   // root = 1
+  };
+
+  int NodeOf(TopicId t) const;
+
+  std::vector<Node> nodes_;
+  std::vector<int> topic_node_;  // TopicId -> node index, -1 if unattached
+};
+
+// Taxonomy over TwitterVocabulary(): 5 thematic categories under the root.
+// Mirrors the coarse structure of web-directory classifications (the paper
+// compares its label distribution to the Yahoo! Directory).
+const Taxonomy& TwitterTaxonomy();
+
+// Taxonomy over DblpVocabulary(): data-centric / systems / theory-AI
+// groupings of research areas.
+const Taxonomy& DblpTaxonomy();
+
+}  // namespace mbr::topics
+
+#endif  // MBR_TOPICS_TAXONOMY_H_

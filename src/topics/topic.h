@@ -1,0 +1,84 @@
+#ifndef MBR_TOPICS_TOPIC_H_
+#define MBR_TOPICS_TOPIC_H_
+
+// Topic identifiers and sets.
+//
+// The paper labels its graphs with a small topic vocabulary: 18 OpenCalais
+// web-document categories for Twitter and a comparable number of research
+// areas (Singapore classification) for DBLP. We exploit that smallness: a
+// TopicId is a dense index into a Vocabulary and a TopicSet is a 64-bit
+// bitmask, so per-edge label sets cost 8 bytes and set operations are single
+// instructions. Vocabularies larger than 64 topics are rejected at build
+// time (the paper's own similarity-matrix sizing argument, §5.2, assumes a
+// small vocabulary too).
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace mbr::topics {
+
+using TopicId = uint16_t;
+
+inline constexpr TopicId kInvalidTopic = 0xffff;
+inline constexpr int kMaxTopics = 64;
+
+// A set of topics, stored as a bitmask over TopicIds < kMaxTopics.
+class TopicSet {
+ public:
+  constexpr TopicSet() : bits_(0) {}
+  explicit constexpr TopicSet(uint64_t bits) : bits_(bits) {}
+
+  static TopicSet Single(TopicId t) {
+    MBR_DCHECK(t < kMaxTopics);
+    return TopicSet(uint64_t{1} << t);
+  }
+
+  void Add(TopicId t) {
+    MBR_DCHECK(t < kMaxTopics);
+    bits_ |= uint64_t{1} << t;
+  }
+  void Remove(TopicId t) {
+    MBR_DCHECK(t < kMaxTopics);
+    bits_ &= ~(uint64_t{1} << t);
+  }
+  bool Contains(TopicId t) const {
+    MBR_DCHECK(t < kMaxTopics);
+    return (bits_ >> t) & 1;
+  }
+
+  bool empty() const { return bits_ == 0; }
+  int size() const { return __builtin_popcountll(bits_); }
+  uint64_t bits() const { return bits_; }
+
+  TopicSet Union(TopicSet o) const { return TopicSet(bits_ | o.bits_); }
+  TopicSet Intersect(TopicSet o) const { return TopicSet(bits_ & o.bits_); }
+
+  // Iteration over member TopicIds, ascending.
+  class Iterator {
+   public:
+    explicit Iterator(uint64_t bits) : bits_(bits) {}
+    TopicId operator*() const {
+      return static_cast<TopicId>(__builtin_ctzll(bits_));
+    }
+    Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return bits_ != o.bits_; }
+
+   private:
+    uint64_t bits_;
+  };
+  Iterator begin() const { return Iterator(bits_); }
+  Iterator end() const { return Iterator(0); }
+
+  friend bool operator==(TopicSet a, TopicSet b) { return a.bits_ == b.bits_; }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace mbr::topics
+
+#endif  // MBR_TOPICS_TOPIC_H_

@@ -1,0 +1,60 @@
+#include "topics/vocabulary.h"
+
+namespace mbr::topics {
+
+Vocabulary Vocabulary::FromNames(std::vector<std::string> names) {
+  MBR_CHECK(!names.empty());
+  MBR_CHECK(names.size() <= static_cast<size_t>(kMaxTopics));
+  Vocabulary v;
+  v.names_ = std::move(names);
+  for (size_t i = 0; i < v.names_.size(); ++i) {
+    auto [it, inserted] =
+        v.ids_.emplace(v.names_[i], static_cast<TopicId>(i));
+    MBR_CHECK(inserted);  // duplicate topic name
+  }
+  return v;
+}
+
+TopicId Vocabulary::Id(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidTopic : it->second;
+}
+
+TopicSet Vocabulary::AllTopics() const {
+  TopicSet s;
+  for (int i = 0; i < size(); ++i) s.Add(static_cast<TopicId>(i));
+  return s;
+}
+
+std::vector<TopicId> Vocabulary::Ids() const {
+  std::vector<TopicId> ids(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) ids[i] = static_cast<TopicId>(i);
+  return ids;
+}
+
+const Vocabulary& TwitterVocabulary() {
+  // Order = popularity rank: the dataset generators draw topics from a
+  // Zipf distribution over TopicIds, so earlier names label more edges
+  // (Figure 3). The paper's probe topics land where its Figure 9 needs
+  // them: technology popular, leisure medium, social infrequent.
+  static const Vocabulary& v = *new Vocabulary(Vocabulary::FromNames({
+      "technology", "entertainment", "sports",      "politics",
+      "business",   "finance",       "health",      "leisure",
+      "education",  "science",       "travel",      "food",
+      "bigdata",    "environment",   "law",         "weather",
+      "religion",   "social",
+  }));
+  return v;
+}
+
+const Vocabulary& DblpVocabulary() {
+  static const Vocabulary& v = *new Vocabulary(Vocabulary::FromNames({
+      "databases", "datamining", "ir",         "ai",
+      "ml",        "networks",   "security",   "systems",
+      "software",  "theory",     "graphics",   "hci",
+      "bioinformatics", "distributed",
+  }));
+  return v;
+}
+
+}  // namespace mbr::topics

@@ -1,0 +1,58 @@
+#ifndef MBR_TOPICS_VOCABULARY_H_
+#define MBR_TOPICS_VOCABULARY_H_
+
+// Topic vocabulary: dense TopicId <-> name mapping.
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "topics/topic.h"
+#include "util/status.h"
+
+namespace mbr::topics {
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Builds a vocabulary from unique names. Preconditions: no duplicates,
+  // 0 < names.size() <= kMaxTopics (checked).
+  static Vocabulary FromNames(std::vector<std::string> names);
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+  // Preconditions: t < size().
+  const std::string& Name(TopicId t) const {
+    MBR_CHECK(t < names_.size());
+    return names_[t];
+  }
+
+  // kInvalidTopic if unknown.
+  TopicId Id(std::string_view name) const;
+
+  // A TopicSet containing every topic of the vocabulary.
+  TopicSet AllTopics() const;
+
+  // All ids, ascending; convenient for range-for over the vocabulary.
+  std::vector<TopicId> Ids() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TopicId> ids_;
+};
+
+// The 18-topic web-document vocabulary standing in for the OpenCalais
+// category list the paper uses on Twitter (§5.1). Includes the topics named
+// in the paper's running examples and experiments: technology, bigdata,
+// social, leisure, health, politics, sports.
+const Vocabulary& TwitterVocabulary();
+
+// Research-area vocabulary standing in for the Singapore conference
+// classification the paper uses on DBLP (§5.1).
+const Vocabulary& DblpVocabulary();
+
+}  // namespace mbr::topics
+
+#endif  // MBR_TOPICS_VOCABULARY_H_

@@ -1,0 +1,90 @@
+#include "util/kendall.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace mbr::util {
+
+double KendallTauFull(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b) {
+  MBR_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  std::unordered_map<uint32_t, size_t> pos_b;
+  pos_b.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) pos_b[b[i]] = i;
+
+  // Map a's items into b's rank space, then count inversions (O(n^2) is fine
+  // for the list sizes we use, <= a few thousand).
+  std::vector<size_t> ranks(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto it = pos_b.find(a[i]);
+    MBR_CHECK(it != pos_b.end());
+    ranks[i] = it->second;
+  }
+  size_t inversions = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (ranks[i] > ranks[j]) ++inversions;
+    }
+  }
+  return static_cast<double>(inversions) /
+         (static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+double KendallTauTopK(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b) {
+  const size_t k = std::max(a.size(), b.size());
+  if (k == 0) return 0.0;
+  std::unordered_map<uint32_t, size_t> pa, pb;
+  pa.reserve(a.size() * 2);
+  pb.reserve(b.size() * 2);
+  for (size_t i = 0; i < a.size(); ++i) pa[a[i]] = i;
+  for (size_t i = 0; i < b.size(); ++i) pb[b[i]] = i;
+
+  // Union of items.
+  std::vector<uint32_t> items;
+  items.reserve(pa.size() + pb.size());
+  for (const auto& [id, _] : pa) items.push_back(id);
+  for (const auto& [id, _] : pb) {
+    if (!pa.count(id)) items.push_back(id);
+  }
+
+  double penalty = 0.0;
+  for (size_t x = 0; x < items.size(); ++x) {
+    for (size_t y = x + 1; y < items.size(); ++y) {
+      uint32_t i = items[x], j = items[y];
+      auto ia = pa.find(i), ja = pa.find(j);
+      auto ib = pb.find(i), jb = pb.find(j);
+      bool i_in_a = ia != pa.end(), j_in_a = ja != pa.end();
+      bool i_in_b = ib != pb.end(), j_in_b = jb != pb.end();
+
+      if (i_in_a && j_in_a && i_in_b && j_in_b) {
+        // Case 1: both items in both lists — classic discordance.
+        bool ord_a = ia->second < ja->second;
+        bool ord_b = ib->second < jb->second;
+        if (ord_a != ord_b) penalty += 1.0;
+      } else if (i_in_a && j_in_a) {
+        // Case 2: both in a, at most one in b. If the one present in b is
+        // ranked *behind* the absent one in a, that's a discordance.
+        if (i_in_b && ja->second < ia->second) penalty += 1.0;
+        if (j_in_b && ia->second < ja->second) penalty += 1.0;
+      } else if (i_in_b && j_in_b) {
+        if (i_in_a && jb->second < ib->second) penalty += 1.0;
+        if (j_in_a && ib->second < jb->second) penalty += 1.0;
+      } else if ((i_in_a && j_in_b) || (j_in_a && i_in_b)) {
+        // Case 3: i only in one list, j only in the other — definite
+        // discordance.
+        penalty += 1.0;
+      }
+      // Case 4 (one item in one list only, other in neither… cannot happen
+      // since items come from the union) and the p-penalty case (both items
+      // in a, neither in b) score 0 with p = 0.
+    }
+  }
+  return penalty / (static_cast<double>(k) * static_cast<double>(k));
+}
+
+}  // namespace mbr::util

@@ -1,0 +1,32 @@
+#ifndef MBR_UTIL_KENDALL_H_
+#define MBR_UTIL_KENDALL_H_
+
+// Kendall tau distances between ranked lists.
+//
+// The paper (Table 6) reports the "average Kendall Tau distance between the
+// approximate computation and the exact computation" for top-k lists. Since
+// two top-k lists need not contain the same items, we implement the Fagin /
+// Kumar / Sivakumar generalisation of Kendall tau to top-k lists with
+// optimistic penalty p = 0, normalised by k*k so the result lies in [0, 1]
+// (0 = identical lists, 1 = maximally different).
+
+#include <cstdint>
+#include <vector>
+
+namespace mbr::util {
+
+// Kendall tau distance between two full permutations of the same item set,
+// normalised to [0, 1] by n(n-1)/2. Items missing from either list are a
+// programmer error (checked).
+double KendallTauFull(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b);
+
+// Fagin et al. K^(p) distance with p = 0 between two top-k lists (possibly
+// over different item sets), normalised to [0, 1]. Lists shorter than k are
+// allowed; k is taken as max(a.size(), b.size()).
+double KendallTauTopK(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b);
+
+}  // namespace mbr::util
+
+#endif  // MBR_UTIL_KENDALL_H_

@@ -1,0 +1,30 @@
+#ifndef MBR_UTIL_LOGGING_H_
+#define MBR_UTIL_LOGGING_H_
+
+// Minimal CHECK / logging macros. Following the no-exceptions policy, a
+// failed invariant aborts the process with a source location; these guard
+// programmer errors, not recoverable conditions (use util::Status for those).
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mbr::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace mbr::util
+
+#define MBR_CHECK(expr)                                     \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::mbr::util::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                       \
+  } while (0)
+
+#define MBR_DCHECK(expr) MBR_CHECK(expr)
+
+#endif  // MBR_UTIL_LOGGING_H_

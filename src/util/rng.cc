@@ -1,0 +1,122 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace mbr::util {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  MBR_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  MBR_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full range
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  while (u1 <= 1e-300) u1 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    MBR_CHECK(w >= 0.0);
+    total += w;
+  }
+  MBR_CHECK(total > 0.0);
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  MBR_CHECK(k <= n);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // For dense requests use a partial Fisher-Yates over an index array; for
+  // sparse requests use hash-set rejection.
+  if (k * 3 >= n) {
+    std::vector<uint32_t> idx(n);
+    for (uint32_t i = 0; i < n; ++i) idx[i] = i;
+    for (uint32_t i = 0; i < k; ++i) {
+      uint32_t j = i + static_cast<uint32_t>(UniformU64(n - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+  } else {
+    std::unordered_set<uint32_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+      uint32_t v = static_cast<uint32_t>(UniformU64(n));
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t salt) const {
+  uint64_t sm = seed_ ^ (0x6a09e667f3bcc909ULL + salt * 0x3c6ef372fe94f82bULL);
+  return Rng(SplitMix64(&sm));
+}
+
+}  // namespace mbr::util

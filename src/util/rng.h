@@ -1,0 +1,71 @@
+#ifndef MBR_UTIL_RNG_H_
+#define MBR_UTIL_RNG_H_
+
+// Deterministic pseudo-random number generation.
+//
+// All experiments must be reproducible from a single seed, so the library
+// never touches std::random_device or global RNG state. Rng wraps
+// xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded via
+// SplitMix64, and offers the handful of sampling primitives the generators
+// and the evaluation harness need.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace mbr::util {
+
+// SplitMix64 step; used for seeding and cheap hashing of ids into seeds.
+uint64_t SplitMix64(uint64_t* state);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64 random bits.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). Preconditions: bound > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Preconditions: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Samples an index in [0, weights.size()) with probability proportional
+  // to weights[i]. Preconditions: at least one weight > 0.
+  size_t Discrete(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // k distinct values sampled uniformly from [0, n). Preconditions: k <= n.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  // Forks a child generator with an independent stream; deterministic in
+  // (parent seed, salt).
+  Rng Fork(uint64_t salt) const;
+
+ private:
+  uint64_t s_[4];
+  uint64_t seed_;
+};
+
+}  // namespace mbr::util
+
+#endif  // MBR_UTIL_RNG_H_

@@ -1,0 +1,119 @@
+#ifndef MBR_UTIL_STATUS_H_
+#define MBR_UTIL_STATUS_H_
+
+// Status / Result error handling (no exceptions across API boundaries).
+//
+// Status carries an error code and a human-readable message; Result<T>
+// carries either a value or a Status. Both are cheap to move and are used
+// for recoverable failures (I/O, malformed input, bad configuration).
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace mbr::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+// ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: the message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    MBR_CHECK(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  // Preconditions: ok().
+  const T& value() const& {
+    MBR_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    MBR_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    MBR_CHECK(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace mbr::util
+
+#define MBR_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::mbr::util::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // MBR_UTIL_STATUS_H_

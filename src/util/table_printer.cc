@@ -1,0 +1,75 @@
+#include "util/table_printer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace mbr::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  MBR_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_sep = [&]() {
+    std::printf("+");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::Int(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  std::string raw = buf;
+  bool neg = !raw.empty() && raw[0] == '-';
+  std::string digits = neg ? raw.substr(1) : raw;
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace mbr::util

@@ -1,0 +1,36 @@
+#ifndef MBR_UTIL_TABLE_PRINTER_H_
+#define MBR_UTIL_TABLE_PRINTER_H_
+
+// Console table rendering for the per-table/per-figure benchmark binaries.
+//
+// Collect rows of strings, then Print() renders an aligned ASCII table
+// matching the layout of the paper's tables so results can be compared by
+// eye (and diffed between runs).
+
+#include <string>
+#include <vector>
+
+namespace mbr::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders to stdout. `title` is printed above the table if non-empty.
+  void Print(const std::string& title = "") const;
+
+  // Formats a double with `digits` digits after the point.
+  static std::string Num(double v, int digits = 3);
+  // Formats an integer with thousands separators ("2,182,867").
+  static std::string Int(int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mbr::util
+
+#endif  // MBR_UTIL_TABLE_PRINTER_H_

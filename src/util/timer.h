@@ -1,0 +1,29 @@
+#ifndef MBR_UTIL_TIMER_H_
+#define MBR_UTIL_TIMER_H_
+
+// Wall-clock timer for the benchmark harnesses.
+
+#include <chrono>
+
+namespace mbr::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mbr::util
+
+#endif  // MBR_UTIL_TIMER_H_

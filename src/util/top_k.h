@@ -1,0 +1,84 @@
+#ifndef MBR_UTIL_TOP_K_H_
+#define MBR_UTIL_TOP_K_H_
+
+// Bounded top-k accumulator over (id, score) pairs.
+//
+// Keeps the k highest-scoring entries seen so far using a min-heap;
+// Take() returns them sorted by descending score (ties broken by ascending
+// id so results are deterministic). Used for landmark inverted lists and
+// for producing ranked recommendation lists.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace mbr::util {
+
+struct ScoredId {
+  uint32_t id = 0;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredId& a, const ScoredId& b) {
+    return a.id == b.id && a.score == b.score;
+  }
+};
+
+// Descending score, ascending id on ties: the canonical ranked-list order.
+inline bool RankedBefore(const ScoredId& a, const ScoredId& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+class TopK {
+ public:
+  // Preconditions: k > 0.
+  explicit TopK(size_t k) : k_(k) { MBR_CHECK(k > 0); }
+
+  // Offers an entry; keeps it only if it ranks within the current top-k.
+  void Offer(uint32_t id, double score) {
+    if (heap_.size() < k_) {
+      heap_.push_back({id, score});
+      std::push_heap(heap_.begin(), heap_.end(), HeapCmp);
+      return;
+    }
+    // heap_.front() is the *worst* kept entry.
+    if (RankedBefore({id, score}, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeapCmp);
+      heap_.back() = {id, score};
+      std::push_heap(heap_.begin(), heap_.end(), HeapCmp);
+    }
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return k_; }
+
+  // Worst currently-kept score; only meaningful once size() == capacity().
+  double Threshold() const {
+    MBR_CHECK(!heap_.empty());
+    return heap_.front().score;
+  }
+
+  // Returns the kept entries in ranked order and resets the accumulator.
+  std::vector<ScoredId> Take() {
+    std::vector<ScoredId> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(), RankedBefore);
+    return out;
+  }
+
+ private:
+  // Min-heap on the ranked order: the root is the entry that would be
+  // evicted first.
+  static bool HeapCmp(const ScoredId& a, const ScoredId& b) {
+    return RankedBefore(a, b);
+  }
+
+  size_t k_;
+  std::vector<ScoredId> heap_;
+};
+
+}  // namespace mbr::util
+
+#endif  // MBR_UTIL_TOP_K_H_

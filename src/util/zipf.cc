@@ -1,0 +1,35 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mbr::util {
+
+ZipfDistribution::ZipfDistribution(uint32_t n, double s) : s_(s) {
+  MBR_CHECK(n > 0);
+  MBR_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (uint32_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_.back() = 1.0;
+}
+
+uint32_t ZipfDistribution::Sample(Rng* rng) const {
+  double r = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint32_t k) const {
+  MBR_CHECK(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace mbr::util

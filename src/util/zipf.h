@@ -1,0 +1,38 @@
+#ifndef MBR_UTIL_ZIPF_H_
+#define MBR_UTIL_ZIPF_H_
+
+// Zipf (power-law) sampling over ranks 0..n-1: P(k) ∝ 1 / (k+1)^s.
+//
+// Used by the dataset generators to reproduce the biased edge-per-topic
+// distribution the paper observes (Figure 3, "similar to Yahoo! Directory")
+// and the heavy-tailed popularity of accounts.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mbr::util {
+
+class ZipfDistribution {
+ public:
+  // Preconditions: n > 0, s >= 0 (s == 0 degenerates to uniform).
+  ZipfDistribution(uint32_t n, double s);
+
+  // Samples a rank in [0, n).
+  uint32_t Sample(Rng* rng) const;
+
+  // Probability mass of rank k. Preconditions: k < n.
+  double Pmf(uint32_t k) const;
+
+  uint32_t n() const { return static_cast<uint32_t>(cdf_.size()); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // inclusive cumulative masses, cdf_.back() == 1
+};
+
+}  // namespace mbr::util
+
+#endif  // MBR_UTIL_ZIPF_H_

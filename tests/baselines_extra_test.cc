@@ -1,0 +1,191 @@
+#include "baselines/neighborhood.h"
+#include "baselines/wtf_salsa.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/twitter_generator.h"
+#include "graph/labeled_graph.h"
+#include "util/rng.h"
+
+namespace mbr::baselines {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicSet;
+
+TopicSet T0() { return TopicSet::Single(0); }
+
+// 0 -> {1,2,3}; 1,2 -> 4; 3 -> 5; 4 -> 6.
+LabeledGraph MakeFunnel() {
+  GraphBuilder b(7, 2);
+  b.AddEdge(0, 1, T0());
+  b.AddEdge(0, 2, T0());
+  b.AddEdge(0, 3, T0());
+  b.AddEdge(1, 4, T0());
+  b.AddEdge(2, 4, T0());
+  b.AddEdge(3, 5, T0());
+  b.AddEdge(4, 6, T0());
+  return std::move(b).Build();
+}
+
+// ---------- Neighborhood scores ----------
+
+TEST(NeighborhoodTest, CommonNeighborsCounts) {
+  LabeledGraph g = MakeFunnel();
+  NeighborhoodRecommender rec(g, NeighborhoodScore::kCommonNeighbors);
+  EXPECT_DOUBLE_EQ(rec.Score(0, 4), 2.0);  // via 1 and 2
+  EXPECT_DOUBLE_EQ(rec.Score(0, 5), 1.0);  // via 3
+  EXPECT_DOUBLE_EQ(rec.Score(0, 6), 0.0);  // 3 hops away
+}
+
+TEST(NeighborhoodTest, AdamicAdarWeighting) {
+  LabeledGraph g = MakeFunnel();
+  NeighborhoodRecommender rec(g, NeighborhoodScore::kAdamicAdar);
+  // Common neighbors 1 and 2 each have out-degree 1.
+  double w = 1.0 / std::log(2.0 + 1.0);
+  EXPECT_NEAR(rec.Score(0, 4), 2 * w, 1e-12);
+  EXPECT_NEAR(rec.Score(0, 5), w, 1e-12);
+}
+
+TEST(NeighborhoodTest, AdamicAdarDiscountsHubs) {
+  // Two candidates with one common neighbor each; one neighbor is a hub.
+  GraphBuilder b(20, 2);
+  b.AddEdge(0, 1, T0());   // ordinary mediator
+  b.AddEdge(0, 2, T0());   // hub mediator
+  b.AddEdge(1, 3, T0());
+  b.AddEdge(2, 4, T0());
+  for (NodeId v = 5; v < 20; ++v) b.AddEdge(2, v, T0());  // hub fan-out
+  LabeledGraph g = std::move(b).Build();
+  NeighborhoodRecommender rec(g, NeighborhoodScore::kAdamicAdar);
+  EXPECT_GT(rec.Score(0, 3), rec.Score(0, 4));
+}
+
+TEST(NeighborhoodTest, JaccardNormalises) {
+  LabeledGraph g = MakeFunnel();
+  NeighborhoodRecommender rec(g, NeighborhoodScore::kJaccard);
+  // Out(0) = {1,2,3}, In(4) = {1,2}: 2 / 3.
+  EXPECT_NEAR(rec.Score(0, 4), 2.0 / 3.0, 1e-12);
+  double j = rec.Score(0, 5);
+  EXPECT_GT(j, 0.0);
+  EXPECT_LE(j, 1.0);
+}
+
+TEST(NeighborhoodTest, PreferentialAttachment) {
+  LabeledGraph g = MakeFunnel();
+  NeighborhoodRecommender rec(g, NeighborhoodScore::kPreferentialAttachment);
+  EXPECT_DOUBLE_EQ(rec.Score(0, 4), 3.0 * 2.0);
+  EXPECT_DOUBLE_EQ(rec.Score(1, 4), 1.0 * 2.0);
+}
+
+TEST(NeighborhoodTest, RecommendTopNConsistentWithScores) {
+  datagen::TwitterConfig c;
+  c.num_nodes = 800;
+  auto ds = datagen::GenerateTwitter(c);
+  for (auto score :
+       {NeighborhoodScore::kCommonNeighbors, NeighborhoodScore::kAdamicAdar,
+        NeighborhoodScore::kJaccard}) {
+    NeighborhoodRecommender rec(ds.graph, score);
+    auto top = rec.RecommendTopN(5, 0, 10);
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_NEAR(top[i].score, rec.Score(5, top[i].id), 1e-12);
+      if (i > 0) {
+        EXPECT_GE(top[i - 1].score, top[i].score);
+      }
+      EXPECT_NE(top[i].id, 5u);
+    }
+  }
+}
+
+TEST(NeighborhoodTest, NamesDistinct) {
+  std::set<std::string> names;
+  for (auto s :
+       {NeighborhoodScore::kCommonNeighbors, NeighborhoodScore::kAdamicAdar,
+        NeighborhoodScore::kJaccard,
+        NeighborhoodScore::kPreferentialAttachment}) {
+    names.insert(NeighborhoodScoreName(s));
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+// ---------- WTF / SALSA ----------
+
+TEST(WtfSalsaTest, CircleOfTrustContainsFollowees) {
+  LabeledGraph g = MakeFunnel();
+  WtfSalsa wtf(g);
+  auto circle = wtf.CircleOfTrust(0);
+  ASSERT_FALSE(circle.empty());
+  std::set<NodeId> ids;
+  for (const auto& c : circle) {
+    ids.insert(c.id);
+    EXPECT_NE(c.id, 0u);  // ego excluded
+    EXPECT_GT(c.score, 0.0);
+  }
+  // Direct followees carry the most walk mass.
+  EXPECT_TRUE(ids.count(1));
+  EXPECT_TRUE(ids.count(2));
+  EXPECT_TRUE(ids.count(3));
+}
+
+TEST(WtfSalsaTest, CircleMassDecaysAlongSinglePath) {
+  LabeledGraph g = MakeFunnel();
+  WtfSalsa wtf(g);
+  auto circle = wtf.CircleOfTrust(0);
+  double mass3 = 0, mass5 = 0;
+  for (const auto& c : circle) {
+    if (c.id == 3) mass3 = c.score;
+    if (c.id == 5) mass5 = c.score;
+  }
+  // 5 is only reachable through 3, one hop further: strictly less mass.
+  // (Confluence nodes like 4 can exceed their predecessors — that is the
+  // point of the random-walk circle.)
+  EXPECT_GT(mass3, mass5);
+  EXPECT_GT(mass5, 0.0);
+}
+
+TEST(WtfSalsaTest, AuthorityFavorsCoFollowedAccounts) {
+  LabeledGraph g = MakeFunnel();
+  WtfSalsa wtf(g);
+  auto authority = wtf.AuthorityScores(0);
+  ASSERT_TRUE(authority.count(4));
+  ASSERT_TRUE(authority.count(5));
+  // Node 4 is followed by two circle members (1, 2); node 5 by one (3).
+  EXPECT_GT(authority[4], authority[5]);
+}
+
+TEST(WtfSalsaTest, NoFolloweesNoRecommendations) {
+  LabeledGraph g = MakeFunnel();
+  WtfSalsa wtf(g);
+  EXPECT_TRUE(wtf.RecommendTopN(6, 0, 5).empty());
+}
+
+TEST(WtfSalsaTest, PersonalisedUnlikeTwitterRank) {
+  datagen::TwitterConfig c;
+  c.num_nodes = 1000;
+  auto ds = datagen::GenerateTwitter(c);
+  WtfSalsa wtf(ds.graph);
+  std::vector<NodeId> cands;
+  for (NodeId v = 10; v < 30; ++v) cands.push_back(v);
+  auto s1 = wtf.ScoreCandidates(1, 0, cands);
+  auto s2 = wtf.ScoreCandidates(2, 0, cands);
+  EXPECT_NE(s1, s2);  // different circles of trust
+}
+
+TEST(WtfSalsaTest, WorksOnGeneratedGraph) {
+  datagen::TwitterConfig c;
+  c.num_nodes = 2000;
+  auto ds = datagen::GenerateTwitter(c);
+  WtfSalsa wtf(ds.graph);
+  auto recs = wtf.RecommendTopN(7, 0, 10);
+  EXPECT_FALSE(recs.empty());
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i - 1].score, recs[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace mbr::baselines

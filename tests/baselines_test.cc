@@ -1,0 +1,207 @@
+#include "baselines/katz.h"
+#include "baselines/twitterrank.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "datagen/twitter_generator.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+#include "topics/vocabulary.h"
+#include "util/rng.h"
+
+namespace mbr::baselines {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+TopicSet Ts(std::initializer_list<TopicId> ids) {
+  TopicSet s;
+  for (auto t : ids) s.Add(t);
+  return s;
+}
+
+LabeledGraph RandomGraph(uint32_t n, uint32_t degree, uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder b(n, 18);
+  for (NodeId u = 0; u < n; ++u) {
+    TopicSet labels;
+    labels.Add(static_cast<TopicId>(rng.UniformU64(18)));
+    b.SetNodeLabels(u, labels);
+    for (uint32_t k = 0; k < degree; ++k) {
+      NodeId v = static_cast<NodeId>(rng.UniformU64(n));
+      if (v != u) {
+        b.AddEdge(u, v,
+                  Ts({static_cast<TopicId>(rng.UniformU64(18))}));
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+core::ScoreParams ExactParams() {
+  core::ScoreParams p;
+  p.beta = 0.1;
+  p.tolerance = 0.0;
+  p.frontier_epsilon = 0.0;
+  p.max_depth = 4;
+  return p;
+}
+
+// ---------- Katz ----------
+
+TEST(KatzTest, MatchesOracleTopoScore) {
+  LabeledGraph g = RandomGraph(10, 3, 5);
+  core::AuthorityIndex auth(g);
+  core::ScoreParams p = ExactParams();
+  KatzRecommender katz(g, topics::TwitterSimilarity(), p);
+  core::OracleScores oracle = core::BruteForceScores(
+      g, auth, topics::TwitterSimilarity(), p, 0, 0, 4);
+  std::vector<NodeId> all(g.num_nodes());
+  std::iota(all.begin(), all.end(), 0);
+  auto scores = katz.ScoreCandidates(0, 0, all);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(scores[v], oracle.TopoBeta(v), 1e-12) << "v=" << v;
+  }
+}
+
+TEST(KatzTest, TopicIsIgnored) {
+  LabeledGraph g = RandomGraph(10, 3, 6);
+  KatzRecommender katz(g, topics::TwitterSimilarity(), ExactParams());
+  std::vector<NodeId> cands = {1, 2, 3};
+  EXPECT_EQ(katz.ScoreCandidates(0, 0, cands),
+            katz.ScoreCandidates(0, 7, cands));
+}
+
+TEST(KatzTest, ManyShortPathsBeatOneLongPath) {
+  // 0 -> {1,2,3} -> 4 (three 2-hop paths) vs 0 -> 5 -> 6 -> 7 (one 3-hop).
+  GraphBuilder b(8, 2);
+  for (NodeId m : {1u, 2u, 3u}) {
+    b.AddEdge(0, m, Ts({0}));
+    b.AddEdge(m, 4, Ts({0}));
+  }
+  b.AddEdge(0, 5, Ts({0}));
+  b.AddEdge(5, 6, Ts({0}));
+  b.AddEdge(6, 7, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  KatzRecommender katz(g, topics::TwitterSimilarity(), ExactParams());
+  auto s = katz.ScoreCandidates(0, 0, {4, 7});
+  EXPECT_GT(s[0], s[1]);
+}
+
+TEST(KatzTest, RecommendTopNExcludesSelfAndRanksDescending) {
+  LabeledGraph g = RandomGraph(30, 4, 7);
+  KatzRecommender katz(g, topics::TwitterSimilarity(), ExactParams());
+  auto recs = katz.RecommendTopN(0, 0, 10);
+  ASSERT_FALSE(recs.empty());
+  for (size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_NE(recs[i].id, 0u);
+    if (i > 0) {
+      EXPECT_GE(recs[i - 1].score, recs[i].score);
+    }
+  }
+}
+
+// ---------- TwitterRank ----------
+
+TEST(TwitterRankTest, RanksSumToOnePerTopic) {
+  LabeledGraph g = RandomGraph(50, 4, 8);
+  TwitterRank tr(g);
+  for (int t = 0; t < g.num_topics(); ++t) {
+    double sum = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      double s = tr.Score(v, static_cast<TopicId>(t));
+      EXPECT_GE(s, 0.0);
+      sum += s;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6) << "topic " << t;
+  }
+}
+
+TEST(TwitterRankTest, ConvergesWithinBudget) {
+  LabeledGraph g = RandomGraph(80, 4, 9);
+  TwitterRankConfig c;
+  c.max_iterations = 200;
+  TwitterRank tr(g, c);
+  for (int t = 0; t < g.num_topics(); ++t) {
+    EXPECT_LT(tr.iterations_run(static_cast<TopicId>(t)), 200u);
+  }
+}
+
+TEST(TwitterRankTest, PopularTopicalAccountRanksHigh) {
+  // Node 0 publishes topic 0 and is followed by everyone; node 1 publishes
+  // topic 0 with no followers.
+  GraphBuilder b(12, 4);
+  b.SetNodeLabels(0, Ts({0}));
+  b.SetNodeLabels(1, Ts({0}));
+  for (NodeId u = 2; u < 12; ++u) {
+    b.SetNodeLabels(u, Ts({0, 1}));  // interested followers hold t0 mass
+    b.AddEdge(u, 0, Ts({0}));
+  }
+  LabeledGraph g = std::move(b).Build();
+  TwitterRank tr(g);
+  EXPECT_GT(tr.Score(0, 0), tr.Score(1, 0));
+  // And node 0 should be (one of) the best on topic 0 overall.
+  auto top = tr.RecommendTopN(5, 0, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 0u);
+}
+
+TEST(TwitterRankTest, GlobalScoresIndependentOfQueryUser) {
+  LabeledGraph g = RandomGraph(40, 4, 10);
+  TwitterRank tr(g);
+  std::vector<NodeId> cands = {3, 4, 5};
+  EXPECT_EQ(tr.ScoreCandidates(0, 2, cands),
+            tr.ScoreCandidates(17, 2, cands));
+}
+
+TEST(TwitterRankTest, TeleportDominatesWhenGammaNearOne) {
+  LabeledGraph g = RandomGraph(30, 3, 11);
+  TwitterRankConfig c;
+  c.teleport = 0.999;
+  TwitterRank tr(g, c);
+  // With γ -> 1 the rank approaches E_t: nodes labeled with t get all mass.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.NodeLabels(v).Contains(0)) {
+      EXPECT_LT(tr.Score(v, 0), 0.01);
+    }
+  }
+}
+
+TEST(TwitterRankTest, FavorsInDegreeOverTopicalFit) {
+  // The reproduced paper's critique: TwitterRank is popularity-driven. A
+  // generalist celebrity with 3x the followers outranks a small specialist.
+  GraphBuilder b(30, 4);
+  b.SetNodeLabels(0, Ts({0, 1, 2, 3}));  // generalist celebrity
+  b.SetNodeLabels(1, Ts({0}));           // specialist
+  for (NodeId u = 2; u < 26; ++u) {
+    b.SetNodeLabels(u, Ts({0}));
+    b.AddEdge(u, 0, Ts({1}));
+  }
+  for (NodeId u = 26; u < 30; ++u) {
+    b.SetNodeLabels(u, Ts({0}));
+    b.AddEdge(u, 1, Ts({0}));
+  }
+  LabeledGraph g = std::move(b).Build();
+  TwitterRank tr(g);
+  EXPECT_GT(tr.Score(0, 0), tr.Score(1, 0));
+}
+
+TEST(TwitterRankTest, WorksOnGeneratedDataset) {
+  datagen::TwitterConfig c;
+  c.num_nodes = 800;
+  datagen::GeneratedDataset ds = datagen::GenerateTwitter(c);
+  TwitterRank tr(ds.graph);
+  auto top = tr.RecommendTopN(0, 0, 10);
+  EXPECT_EQ(top.size(), 10u);
+}
+
+}  // namespace
+}  // namespace mbr::baselines

@@ -1,0 +1,137 @@
+#include "core/authority.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/labeled_graph.h"
+#include "topics/topic.h"
+
+namespace mbr::core {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using topics::TopicSet;
+
+TopicSet Ts(std::initializer_list<topics::TopicId> ids) {
+  TopicSet s;
+  for (auto t : ids) s.Add(t);
+  return s;
+}
+
+// Reconstruction of the paper's Example 1 numbers.
+// Topics: 0 = technology, 1 = bigdata, 2 = social, 3 = leisure.
+// B (node 0) is followed on 3 topic labelings, 2 of them technology and 1
+// bigdata; C (node 1) on 6 labelings: 2 technology, 2 bigdata, 1 social,
+// 1 leisure. Followers: nodes 2..7.
+LabeledGraph MakeExample1() {
+  GraphBuilder b(8, 4);
+  // B's followers.
+  b.AddEdge(2, 0, Ts({0, 1}));  // tech + bigdata
+  b.AddEdge(3, 0, Ts({0}));     // tech
+  // C's followers.
+  b.AddEdge(4, 1, Ts({0, 1}));
+  b.AddEdge(5, 1, Ts({0, 1}));
+  b.AddEdge(6, 1, Ts({2}));
+  b.AddEdge(7, 1, Ts({3}));
+  return std::move(b).Build();
+}
+
+TEST(AuthorityTest, FollowerCountsPerTopic) {
+  LabeledGraph g = MakeExample1();
+  AuthorityIndex idx(g);
+  EXPECT_EQ(idx.FollowersOnTopic(0, 0), 2u);  // B on technology
+  EXPECT_EQ(idx.FollowersOnTopic(0, 1), 1u);  // B on bigdata
+  EXPECT_EQ(idx.FollowersOnTopic(1, 0), 2u);  // C on technology
+  EXPECT_EQ(idx.FollowersOnTopic(1, 1), 2u);  // C on bigdata
+  EXPECT_EQ(idx.MaxFollowersOnTopic(0), 2u);
+  EXPECT_EQ(idx.MaxFollowersOnTopic(1), 2u);
+}
+
+TEST(AuthorityTest, Example1TechnologyAuthority) {
+  // Paper: auth(B, technology) = 2/3 x log(1+2)/log(1+2) = 2/3,
+  //        auth(C, technology) = 2/6 x log(1+2)/log(1+2) = 1/3.
+  AuthorityIndex idx(MakeExample1());
+  EXPECT_NEAR(idx.Authority(0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(idx.Authority(1, 0), 1.0 / 3.0, 1e-12);
+  // "B is more relevant for technology than C".
+  EXPECT_GT(idx.Authority(0, 0), idx.Authority(1, 0));
+}
+
+TEST(AuthorityTest, Example1BigdataAuthority) {
+  // Paper: same local authority (1/3) but C has 2 bigdata followers vs B's
+  // 1 -> total authority of C on bigdata is higher.
+  AuthorityIndex idx(MakeExample1());
+  double auth_b = idx.Authority(0, 1);
+  double auth_c = idx.Authority(1, 1);
+  EXPECT_NEAR(auth_b, (1.0 / 3.0) * std::log(2.0) / std::log(3.0), 1e-12);
+  EXPECT_NEAR(auth_c, (2.0 / 6.0) * 1.0, 1e-12);
+  EXPECT_GT(auth_c, auth_b);
+}
+
+TEST(AuthorityTest, NoFollowersZeroAuthority) {
+  AuthorityIndex idx(MakeExample1());
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(idx.Authority(2, static_cast<topics::TopicId>(t)), 0.0);
+  }
+}
+
+TEST(AuthorityTest, ExclusiveTopicSingleMaxFollowerIsOne) {
+  // "local authority is 1 when u is followed exclusively on t and global
+  // popularity is 1 when u is the most followed user on t".
+  GraphBuilder b(3, 2);
+  b.AddEdge(1, 0, Ts({0}));
+  b.AddEdge(2, 0, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex idx(g);
+  EXPECT_DOUBLE_EQ(idx.Authority(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(idx.Authority(0, 1), 0.0);
+}
+
+TEST(AuthorityTest, BoundedInUnitInterval) {
+  GraphBuilder b(6, 3);
+  b.AddEdge(1, 0, Ts({0, 1, 2}));
+  b.AddEdge(2, 0, Ts({1}));
+  b.AddEdge(3, 4, Ts({0}));
+  b.AddEdge(5, 4, Ts({2}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex idx(g);
+  for (graph::NodeId u = 0; u < 6; ++u) {
+    for (int t = 0; t < 3; ++t) {
+      double a = idx.Authority(u, static_cast<topics::TopicId>(t));
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST(AuthorityTest, MoreLabelsLowerPerTopicAuthority) {
+  // §5.3: "the more labels an account has, the lower authority score for a
+  // given topic it may have". Two accounts with identical tech followings;
+  // one also followed on many other topics.
+  GraphBuilder b(10, 4);
+  b.AddEdge(2, 0, Ts({0}));
+  b.AddEdge(3, 0, Ts({0}));
+  b.AddEdge(4, 1, Ts({0}));
+  b.AddEdge(5, 1, Ts({0}));
+  b.AddEdge(6, 1, Ts({1}));
+  b.AddEdge(7, 1, Ts({2}));
+  b.AddEdge(8, 1, Ts({3}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex idx(g);
+  EXPECT_GT(idx.Authority(0, 0), idx.Authority(1, 0));
+}
+
+TEST(AuthorityTest, UnlabeledInEdgesCarryNoAuthority) {
+  GraphBuilder b(3, 2);
+  b.AddEdge(1, 0, TopicSet());  // unlabeled follow
+  b.AddEdge(2, 0, Ts({1}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex idx(g);
+  EXPECT_DOUBLE_EQ(idx.Authority(0, 0), 0.0);
+  EXPECT_GT(idx.Authority(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace mbr::core

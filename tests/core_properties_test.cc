@@ -1,0 +1,194 @@
+// Property-style suites for the score calculus of §3.3: the composition
+// property (Proposition 2 / 4), parameter sweeps cross-checked against the
+// brute-force oracle, and the matrix-form convergence behaviour
+// (Proposition 3).
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/authority.h"
+#include "core/oracle.h"
+#include "core/params.h"
+#include "core/recommender.h"
+#include "core/scorer.h"
+#include "core/spectral.h"
+#include "datagen/dblp_generator.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+#include "util/rng.h"
+
+namespace mbr::core {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+const topics::SimilarityMatrix& Sim() { return topics::TwitterSimilarity(); }
+
+LabeledGraph RandomGraph(uint32_t n, uint32_t degree, uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder b(n, 18);
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t k = 0; k < degree; ++k) {
+      NodeId v = static_cast<NodeId>(rng.UniformU64(n));
+      TopicSet lab;
+      lab.Add(static_cast<TopicId>(rng.UniformU64(18)));
+      if (v != u) b.AddEdge(u, v, lab);
+    }
+  }
+  return std::move(b).Build();
+}
+
+// ---- Proposition 2: ω_{p1.p2}(t) = β^|p2| ω_{p1}(t) + (βα)^|p1| ω_{p2}(t)
+// on an explicit two-segment path.
+
+class CompositionTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CompositionTest, PathScoreComposes) {
+  auto [beta, alpha] = GetParam();
+  // Chain 0 -> 1 -> 2 -> 3 -> 4, mixed labels: p1 = 0..2, p2 = 2..4.
+  GraphBuilder b(5, 18);
+  b.AddEdge(0, 1, TopicSet::Single(0));
+  b.AddEdge(1, 2, TopicSet::Single(1));
+  b.AddEdge(2, 3, TopicSet::Single(2));
+  b.AddEdge(3, 4, TopicSet::Single(0));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p;
+  p.beta = beta;
+  p.alpha = alpha;
+  p.tolerance = 0.0;
+  p.frontier_epsilon = 0.0;
+  p.max_depth = 6;
+  Scorer scorer(g, auth, Sim(), p);
+  const TopicId t = 0;
+
+  // On a simple chain the path is unique, so σ equals the path score.
+  ExplorationResult from0 = scorer.Explore(0, TopicSet::Single(t));
+  ExplorationResult from2 = scorer.Explore(2, TopicSet::Single(t));
+  double w_p = from0.Sigma(4, t);       // whole path, |p| = 4
+  double w_p1 = from0.Sigma(2, t);      // prefix, |p1| = 2
+  double w_p2 = from2.Sigma(4, t);      // suffix, |p2| = 2
+  double composed = std::pow(beta, 2) * w_p1 +
+                    std::pow(beta * alpha, 2) * w_p2;
+  EXPECT_NEAR(w_p, composed, 1e-15) << "beta=" << beta << " alpha=" << alpha;
+
+  // Equivalent formulation via Proposition 4 with λ = node 2.
+  double via_lambda = from0.Sigma(2, t) * from2.TopoBeta(4) +
+                      from0.TopoAlphaBeta(2) * from2.Sigma(4, t);
+  EXPECT_NEAR(w_p, via_lambda, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BetaAlphaGrid, CompositionTest,
+    ::testing::Combine(::testing::Values(0.0005, 0.05, 0.3),
+                       ::testing::Values(0.25, 0.85, 1.0)));
+
+// ---- Oracle sweep over (β, α): the iterative engine matches Definition 1
+// for every parameter combination, not just the defaults.
+
+class ParamSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double, uint64_t>> {
+};
+
+TEST_P(ParamSweepTest, MatchesOracle) {
+  auto [beta, alpha, seed] = GetParam();
+  LabeledGraph g = RandomGraph(8, 3, seed);
+  AuthorityIndex auth(g);
+  ScoreParams p;
+  p.beta = beta;
+  p.alpha = alpha;
+  p.tolerance = 0.0;
+  p.frontier_epsilon = 0.0;
+  p.max_depth = 4;
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, TopicSet::Single(3));
+  OracleScores oracle = BruteForceScores(g, auth, Sim(), p, 0, 3, 4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(res.Sigma(v, 3), oracle.Sigma(v), 1e-12);
+    EXPECT_NEAR(res.TopoBeta(v), oracle.TopoBeta(v), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParamSweepTest,
+    ::testing::Combine(::testing::Values(0.0005, 0.1),
+                       ::testing::Values(0.3, 0.85),
+                       ::testing::Values(21ull, 22ull, 23ull)));
+
+// ---- Proposition 3: with β below 1/σmax the scores converge; the scores
+// grow monotonically with depth and are bounded.
+
+TEST(ConvergenceTest, ScoresMonotoneAndBoundedUnderPropositionBound) {
+  LabeledGraph g = RandomGraph(40, 4, 99);
+  AuthorityIndex auth(g);
+  double bound = MaxConvergentBeta(g);
+  ScoreParams p;
+  // Well under the Proposition 3 bound: the geometric tail β·σmax < 0.5
+  // vanishes within a few dozen iterations.
+  p.beta = std::min(0.4 * bound, 0.1);
+  p.alpha = 0.85;
+  p.tolerance = 0.0;
+  p.frontier_epsilon = 0.0;
+
+  double prev = -1.0;
+  double last_total = 0.0;
+  for (uint32_t depth : {5u, 10u, 20u, 40u}) {
+    p.max_depth = depth;
+    Scorer scorer(g, auth, Sim(), p);
+    ExplorationResult res = scorer.Explore(0, TopicSet::Single(0));
+    double total = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) total += res.Sigma(v, 0);
+    EXPECT_GE(total, prev - 1e-15);  // adding longer walks only adds mass
+    prev = total;
+    last_total = total;
+  }
+  // Converged: doubling the depth again adds (essentially) nothing.
+  p.max_depth = 80;
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, TopicSet::Single(0));
+  double total80 = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) total80 += res.Sigma(v, 0);
+  EXPECT_NEAR(total80, last_total, 1e-9 * std::max(1.0, total80));
+}
+
+TEST(ConvergenceTest, PaperBetaIsDeepUnderTheBoundOnDblp) {
+  datagen::DblpConfig dc;
+  dc.num_nodes = 2000;
+  auto ds = datagen::GenerateDblp(dc);
+  EXPECT_LT(0.0005, MaxConvergentBeta(ds.graph));
+}
+
+// ---- The recommendation vector decomposition of Equation 6: σ restricted
+// to 1-hop walks equals (βα) S_t I, i.e. the direct-edge term.
+
+TEST(MatrixFormTest, DepthOneMatchesDirectTerm) {
+  LabeledGraph g = RandomGraph(12, 3, 7);
+  AuthorityIndex auth(g);
+  ScoreParams p;
+  p.beta = 0.1;
+  p.alpha = 0.85;
+  p.tolerance = 0.0;
+  p.frontier_epsilon = 0.0;
+  p.max_depth = 1;
+  Scorer scorer(g, auth, Sim(), p);
+  const TopicId t = 2;
+  ExplorationResult res = scorer.Explore(0, TopicSet::Single(t));
+  auto nbrs = g.OutNeighbors(0);
+  auto labs = g.OutEdgeLabels(0);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    double expected =
+        p.beta * p.alpha * Sim().MaxSim(labs[i], t) *
+        auth.Authority(nbrs[i], t);
+    EXPECT_NEAR(res.Sigma(nbrs[i], t), expected, 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace mbr::core

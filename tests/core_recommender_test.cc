@@ -1,0 +1,194 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spectral.h"
+#include "datagen/twitter_generator.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+#include "topics/vocabulary.h"
+
+namespace mbr::core {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+TopicSet Ts(std::initializer_list<TopicId> ids) {
+  TopicSet s;
+  for (auto t : ids) s.Add(t);
+  return s;
+}
+
+// Figure 1 / Example 2 style graph. Topics: 0=technology, 1=bigdata.
+//   A(0) -> B(1) {bigdata, technology}     A -> C(2) {bigdata}
+//   B -> D(3) {technology}                 C -> E(4) {bigdata}
+// Extra followers make B more authoritative on technology than C
+// and give D / E nonzero authority.
+LabeledGraph MakeExample2() {
+  const auto& v = topics::TwitterVocabulary();
+  TopicId tech = v.Id("technology"), big = v.Id("bigdata");
+  GraphBuilder b(10, 18);
+  b.AddEdge(0, 1, Ts({big, tech}));  // A -> B
+  b.AddEdge(0, 2, Ts({big}));        // A -> C
+  b.AddEdge(1, 3, Ts({tech}));       // B -> D
+  b.AddEdge(2, 4, Ts({big}));        // C -> E
+  // B followed on {tech x2, big}; C on {tech x2, big x2, + 2 others}.
+  b.AddEdge(5, 1, Ts({tech}));
+  b.AddEdge(5, 2, Ts({tech, big}));
+  b.AddEdge(6, 2, Ts({tech}));
+  b.AddEdge(7, 2, Ts({5, 6}));
+  // D and E each have one topical follower.
+  b.AddEdge(8, 3, Ts({tech}));
+  b.AddEdge(9, 4, Ts({big}));
+  return std::move(b).Build();
+}
+
+ScoreParams TestParams() {
+  ScoreParams p;
+  p.beta = 0.05;
+  p.alpha = 0.85;
+  p.max_depth = 6;
+  return p;
+}
+
+TEST(TrRecommenderTest, Example2OrderingDBeforeE) {
+  const auto& v = topics::TwitterVocabulary();
+  LabeledGraph g = MakeExample2();
+  TrRecommender rec(g, topics::TwitterSimilarity(), TestParams());
+  auto recs = rec.Recommend(0, v.Id("technology"), 10);
+  // D (node 3) must outrank E (node 4) on technology, per Example 2.
+  auto pos = [&](NodeId n) {
+    for (size_t i = 0; i < recs.size(); ++i) {
+      if (recs[i].id == n) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  ASSERT_NE(pos(3), -1);
+  ASSERT_NE(pos(4), -1);
+  EXPECT_LT(pos(3), pos(4));
+}
+
+TEST(TrRecommenderTest, ExcludesSelf) {
+  LabeledGraph g = MakeExample2();
+  TrRecommender rec(g, topics::TwitterSimilarity(), TestParams());
+  auto recs = rec.Recommend(0, 0, 10);
+  for (const auto& r : recs) EXPECT_NE(r.id, 0u);
+}
+
+TEST(TrRecommenderTest, ExcludeFolloweesFlag) {
+  LabeledGraph g = MakeExample2();
+  TrRecommender rec(g, topics::TwitterSimilarity(), TestParams());
+  auto with = rec.Recommend(0, 0, 10, /*exclude_followees=*/false);
+  auto without = rec.Recommend(0, 0, 10, /*exclude_followees=*/true);
+  bool with_has_followee = false;
+  for (const auto& r : with) {
+    if (g.HasEdge(0, r.id)) with_has_followee = true;
+  }
+  EXPECT_TRUE(with_has_followee);
+  for (const auto& r : without) EXPECT_FALSE(g.HasEdge(0, r.id));
+}
+
+TEST(TrRecommenderTest, RankedDescending) {
+  LabeledGraph g = MakeExample2();
+  TrRecommender rec(g, topics::TwitterSimilarity(), TestParams());
+  auto recs = rec.Recommend(0, 0, 10);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i - 1].score, recs[i].score);
+  }
+}
+
+TEST(TrRecommenderTest, ScoreCandidatesMatchesRecommend) {
+  LabeledGraph g = MakeExample2();
+  TrRecommender rec(g, topics::TwitterSimilarity(), TestParams());
+  auto recs = rec.Recommend(0, 0, 10);
+  std::vector<NodeId> cands;
+  for (const auto& r : recs) cands.push_back(r.id);
+  auto scores = rec.ScoreCandidates(0, 0, cands);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_NEAR(scores[i], recs[i].score, 1e-15);
+  }
+}
+
+TEST(TrRecommenderTest, UnreachedCandidatesScoreZero) {
+  LabeledGraph g = MakeExample2();
+  TrRecommender rec(g, topics::TwitterSimilarity(), TestParams());
+  // Node 5 follows others but nobody reaches it from 0.
+  auto scores = rec.ScoreCandidates(0, 0, {5, 6, 7});
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(TrRecommenderTest, MultiTopicQueryIsWeightedSum) {
+  const auto& v = topics::TwitterVocabulary();
+  LabeledGraph g = MakeExample2();
+  TrRecommender rec(g, topics::TwitterSimilarity(), TestParams());
+  TopicId tech = v.Id("technology"), big = v.Id("bigdata");
+  auto q = rec.RecommendQuery(0, {{tech, 0.7}, {big, 0.3}}, 10);
+  auto st = rec.ScoreCandidates(0, tech, {3});
+  auto sb = rec.ScoreCandidates(0, big, {3});
+  double expected = 0.7 * st[0] + 0.3 * sb[0];
+  for (const auto& r : q) {
+    if (r.id == 3) {
+      EXPECT_NEAR(r.score, expected, 1e-15);
+    }
+  }
+}
+
+TEST(TrRecommenderTest, TopNRespectsLimit) {
+  datagen::TwitterConfig c;
+  c.num_nodes = 500;
+  c.out_degree_min = 4.0;
+  datagen::GeneratedDataset ds = datagen::GenerateTwitter(c);
+  TrRecommender rec(ds.graph, topics::TwitterSimilarity(), TestParams());
+  auto recs = rec.Recommend(0, 0, 5);
+  EXPECT_LE(recs.size(), 5u);
+}
+
+// ---- Spectral / convergence-bound tests (Proposition 3).
+
+TEST(SpectralTest, DirectedCycleRadiusOne) {
+  GraphBuilder b(4, 2);
+  for (NodeId i = 0; i < 4; ++i) b.AddEdge(i, (i + 1) % 4, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  EXPECT_NEAR(EstimateSpectralRadius(g, 200), 1.0, 1e-6);
+}
+
+TEST(SpectralTest, CompleteBidirectionalGraph) {
+  // K4 with both directions: adjacency of the complete graph on 4 nodes,
+  // largest eigenvalue = 3.
+  GraphBuilder b(4, 2);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      if (i != j) b.AddEdge(i, j, Ts({0}));
+    }
+  }
+  LabeledGraph g = std::move(b).Build();
+  EXPECT_NEAR(EstimateSpectralRadius(g, 100), 3.0, 1e-6);
+}
+
+TEST(SpectralTest, DagRadiusZero) {
+  GraphBuilder b(3, 2);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(1, 2, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  EXPECT_DOUBLE_EQ(EstimateSpectralRadius(g, 100), 0.0);
+}
+
+TEST(SpectralTest, PaperBetaConvergesOnGeneratedGraph) {
+  datagen::TwitterConfig c;
+  c.num_nodes = 2000;
+  datagen::GeneratedDataset ds = datagen::GenerateTwitter(c);
+  double bound = MaxConvergentBeta(ds.graph);
+  // β = 0.0005 (paper §5.2) must satisfy the Proposition 3 bound on a
+  // realistic follow graph.
+  EXPECT_LT(0.0005, bound);
+}
+
+}  // namespace
+}  // namespace mbr::core

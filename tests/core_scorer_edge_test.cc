@@ -1,0 +1,147 @@
+// Edge-case suite for the scorer/explorer: isolated nodes, self-loop-free
+// invariants, scratch reuse across many heterogeneous queries, unlabeled
+// edges, and the ExplorationResult contract.
+
+#include <gtest/gtest.h>
+
+#include "core/authority.h"
+#include "core/oracle.h"
+#include "core/scorer.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+#include "util/rng.h"
+
+namespace mbr::core {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+const topics::SimilarityMatrix& Sim() { return topics::TwitterSimilarity(); }
+
+ScoreParams ExactParams(uint32_t depth = 5) {
+  ScoreParams p;
+  p.beta = 0.1;
+  p.tolerance = 0.0;
+  p.frontier_epsilon = 0.0;
+  p.max_depth = depth;
+  return p;
+}
+
+TEST(ScorerEdgeTest, IsolatedSourceReachesNothing) {
+  GraphBuilder b(3, 4);
+  b.AddEdge(1, 2, TopicSet::Single(0));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  Scorer scorer(g, auth, Sim(), ExactParams());
+  ExplorationResult res = scorer.Explore(0, TopicSet::Single(0));
+  EXPECT_TRUE(res.reached().empty());
+  EXPECT_TRUE(res.converged());
+  EXPECT_DOUBLE_EQ(res.Sigma(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(res.TopoBeta(2), 0.0);
+}
+
+TEST(ScorerEdgeTest, UnlabeledEdgesCarryTopologyButNoTopicMass) {
+  GraphBuilder b(3, 4);
+  b.AddEdge(0, 1, TopicSet());  // unlabeled follow
+  b.AddEdge(1, 2, TopicSet::Single(0));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams();
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, TopicSet::Single(0));
+  // Unlabeled first hop: sim = 0 -> no sigma for node 1, but topo flows.
+  EXPECT_DOUBLE_EQ(res.Sigma(1, 0), 0.0);
+  EXPECT_NEAR(res.TopoBeta(1), p.beta, 1e-15);
+  // Node 2's path score has only the second edge's contribution.
+  double auth2 = auth.Authority(2, 0);
+  EXPECT_NEAR(res.Sigma(2, 0),
+              p.beta * p.beta * (p.alpha * p.alpha * 1.0 * auth2), 1e-15);
+}
+
+TEST(ScorerEdgeTest, ScratchReuseAcrossHeterogeneousQueries) {
+  // Alternating multi-topic / single-topic / empty-topic explorations from
+  // different sources must all match fresh-scorer results (the scratch is
+  // fully restored between calls).
+  util::Rng rng(3);
+  GraphBuilder b(30, 8);
+  for (NodeId u = 0; u < 30; ++u) {
+    for (int k = 0; k < 3; ++k) {
+      NodeId v = static_cast<NodeId>(rng.UniformU64(30));
+      if (v != u) {
+        b.AddEdge(u, v,
+                  TopicSet::Single(static_cast<TopicId>(rng.UniformU64(8))));
+      }
+    }
+  }
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams();
+  Scorer reused(g, auth, Sim(), p);
+
+  TopicSet multi;
+  multi.Add(1);
+  multi.Add(5);
+  struct Query {
+    NodeId src;
+    TopicSet topics;
+  };
+  std::vector<Query> queries = {{0, TopicSet::Single(1)}, {5, multi},
+                                {0, TopicSet()},          {9, multi},
+                                {0, TopicSet::Single(1)}, {17, TopicSet()}};
+  for (const Query& q : queries) {
+    Scorer fresh(g, auth, Sim(), p);
+    ExplorationResult a = reused.Explore(q.src, q.topics);
+    ExplorationResult b2 = fresh.Explore(q.src, q.topics);
+    ASSERT_EQ(a.reached().size(), b2.reached().size());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_DOUBLE_EQ(a.TopoBeta(v), b2.TopoBeta(v));
+      ASSERT_DOUBLE_EQ(a.TopoAlphaBeta(v), b2.TopoAlphaBeta(v));
+      for (TopicId t : q.topics) {
+        ASSERT_DOUBLE_EQ(a.Sigma(v, t), b2.Sigma(v, t));
+      }
+    }
+  }
+}
+
+TEST(ScorerEdgeTest, ReachedOrderIsBfsLike) {
+  GraphBuilder b(4, 2);
+  b.AddEdge(0, 1, TopicSet::Single(0));
+  b.AddEdge(1, 2, TopicSet::Single(0));
+  b.AddEdge(2, 3, TopicSet::Single(0));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  Scorer scorer(g, auth, Sim(), ExactParams());
+  ExplorationResult res = scorer.Explore(0, TopicSet::Single(0));
+  ASSERT_EQ(res.reached().size(), 3u);
+  EXPECT_EQ(res.reached()[0], 1u);
+  EXPECT_EQ(res.reached()[1], 2u);
+  EXPECT_EQ(res.reached()[2], 3u);
+  EXPECT_TRUE(res.Reached(3));
+  EXPECT_FALSE(res.Reached(0));  // source not on a cycle
+}
+
+TEST(ScorerEdgeTest, ToleranceStopsEarlyOnTinyBeta) {
+  util::Rng rng(4);
+  GraphBuilder b(200, 4);
+  for (NodeId u = 0; u < 200; ++u) {
+    for (int k = 0; k < 4; ++k) {
+      NodeId v = static_cast<NodeId>(rng.UniformU64(200));
+      if (v != u) b.AddEdge(u, v, TopicSet::Single(0));
+    }
+  }
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p;  // defaults: beta 0.0005, tolerance 1e-12
+  p.max_depth = 50;
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, TopicSet::Single(0));
+  EXPECT_TRUE(res.converged());
+  EXPECT_LT(res.iterations_run(), 12u);
+}
+
+}  // namespace
+}  // namespace mbr::core

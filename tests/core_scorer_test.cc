@@ -1,0 +1,290 @@
+#include "core/scorer.h"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/authority.h"
+#include "core/oracle.h"
+#include "core/params.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+#include "topics/vocabulary.h"
+#include "util/rng.h"
+
+namespace mbr::core {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+TopicSet Ts(std::initializer_list<TopicId> ids) {
+  TopicSet s;
+  for (auto t : ids) s.Add(t);
+  return s;
+}
+
+const topics::SimilarityMatrix& Sim() { return topics::TwitterSimilarity(); }
+
+ScoreParams ExactParams(ScoreVariant variant = ScoreVariant::kFull,
+                        uint32_t max_depth = 4) {
+  ScoreParams p;
+  p.beta = 0.1;  // large enough that deep walks matter numerically
+  p.alpha = 0.85;
+  p.tolerance = 0.0;
+  p.frontier_epsilon = 0.0;
+  p.max_depth = max_depth;
+  p.variant = variant;
+  return p;
+}
+
+LabeledGraph RandomGraph(uint32_t n, uint32_t degree, uint64_t seed,
+                         int num_topics = 18) {
+  util::Rng rng(seed);
+  GraphBuilder b(n, num_topics);
+  for (NodeId u = 0; u < n; ++u) {
+    TopicSet node_labels;
+    node_labels.Add(static_cast<TopicId>(rng.UniformU64(num_topics)));
+    b.SetNodeLabels(u, node_labels);
+    for (uint32_t k = 0; k < degree; ++k) {
+      NodeId v = static_cast<NodeId>(rng.UniformU64(n));
+      TopicSet lab;
+      lab.Add(static_cast<TopicId>(rng.UniformU64(num_topics)));
+      if (rng.Bernoulli(0.3)) {
+        lab.Add(static_cast<TopicId>(rng.UniformU64(num_topics)));
+      }
+      if (v != u) b.AddEdge(u, v, lab);
+    }
+  }
+  return std::move(b).Build();
+}
+
+TEST(ScorerTest, SingleEdgeScore) {
+  GraphBuilder b(2, 18);
+  b.AddEdge(0, 1, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams();
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, Ts({0}));
+  // auth(1, 0) = 1 (only follower, exclusively topic 0, most followed).
+  EXPECT_NEAR(res.Sigma(1, 0), p.beta * p.alpha * 1.0 * 1.0, 1e-15);
+  EXPECT_NEAR(res.TopoBeta(1), p.beta, 1e-15);
+  EXPECT_NEAR(res.TopoAlphaBeta(1), p.beta * p.alpha, 1e-15);
+}
+
+TEST(ScorerTest, TwoHopAccumulation) {
+  // 0 -> 1 -> 2, labels all topic 0; auth = 1 everywhere relevant.
+  GraphBuilder b(3, 18);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(1, 2, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams();
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, Ts({0}));
+  double a1 = auth.Authority(1, 0), a2 = auth.Authority(2, 0);
+  // ω_p for the 2-walk = β² (α·1·a1·... wait: Σ_j α^j s_j auth_j).
+  double expected2 = p.beta * p.beta *
+                     (p.alpha * 1.0 * a1 + p.alpha * p.alpha * 1.0 * a2);
+  EXPECT_NEAR(res.Sigma(2, 0), expected2, 1e-15);
+  EXPECT_NEAR(res.TopoBeta(2), p.beta * p.beta, 1e-18);
+}
+
+TEST(ScorerTest, UnrelatedTopicUsesSimilarity) {
+  const auto& v = topics::TwitterVocabulary();
+  TopicId tech = v.Id("technology"), big = v.Id("bigdata");
+  GraphBuilder b(2, 18);
+  b.AddEdge(0, 1, Ts({big}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams();
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, Ts({tech}));
+  double sim = Sim().Sim(big, tech);
+  ASSERT_GT(sim, 0.0);
+  ASSERT_LT(sim, 1.0);
+  EXPECT_NEAR(res.Sigma(1, tech),
+              p.beta * p.alpha * sim * auth.Authority(1, tech), 1e-15);
+}
+
+TEST(ScorerTest, MultiLabelEdgeTakesMaxSimilarity) {
+  const auto& v = topics::TwitterVocabulary();
+  TopicId tech = v.Id("technology"), big = v.Id("bigdata"),
+          sports = v.Id("sports");
+  GraphBuilder b(2, 18);
+  b.AddEdge(0, 1, Ts({big, sports}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  Scorer scorer(g, auth, Sim(), ExactParams());
+  double w = scorer.EdgeTopicWeight(Ts({big, sports}), 1, tech);
+  double expected = 0.1 * 0.85 * Sim().Sim(big, tech) *
+                    auth.Authority(1, tech);
+  EXPECT_NEAR(w, expected, 1e-15);
+}
+
+// ---- Oracle cross-checks: the iterative engine must agree with literal
+// walk enumeration for every variant and several random graphs.
+
+class ScorerOracleTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, ScoreVariant>> {};
+
+TEST_P(ScorerOracleTest, MatchesBruteForce) {
+  auto [seed, variant] = GetParam();
+  LabeledGraph g = RandomGraph(9, 3, seed);
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams(variant, 4);
+  Scorer scorer(g, auth, Sim(), p);
+  const TopicId topic = 0;
+  for (NodeId source = 0; source < 3; ++source) {
+    ExplorationResult res = scorer.Explore(source, Ts({topic}));
+    OracleScores oracle =
+        BruteForceScores(g, auth, Sim(), p, source, topic, 4);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(res.Sigma(v, topic), oracle.Sigma(v), 1e-12)
+          << "sigma mismatch at v=" << v << " src=" << source;
+      EXPECT_NEAR(res.TopoBeta(v), oracle.TopoBeta(v), 1e-12)
+          << "topo_beta mismatch at v=" << v;
+      EXPECT_NEAR(res.TopoAlphaBeta(v), oracle.TopoAlphaBeta(v), 1e-12)
+          << "topo_alphabeta mismatch at v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndVariants, ScorerOracleTest,
+    ::testing::Combine(::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull),
+                       ::testing::Values(ScoreVariant::kFull,
+                                         ScoreVariant::kNoAuth,
+                                         ScoreVariant::kNoSim)));
+
+TEST(ScorerTest, CycleWalksAccumulateAcrossDepths) {
+  // 0 -> 1 -> 0 cycle: walks of length 2k return to 0.
+  GraphBuilder b(2, 18);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(1, 0, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams(ScoreVariant::kFull, 6);
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, Ts({0}));
+  OracleScores oracle = BruteForceScores(g, auth, Sim(), p, 0, 0, 6);
+  EXPECT_NEAR(res.TopoBeta(0), oracle.TopoBeta(0), 1e-15);
+  EXPECT_NEAR(res.Sigma(0, 0), oracle.Sigma(0), 1e-15);
+  EXPECT_GT(res.TopoBeta(0), 0.0);  // source reached via the cycle
+}
+
+TEST(ScorerTest, ConvergesWithSmallBeta) {
+  LabeledGraph g = RandomGraph(50, 4, 77);
+  AuthorityIndex auth(g);
+  ScoreParams p;  // paper defaults: β = 0.0005
+  p.max_depth = 100;
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, Ts({0}));
+  EXPECT_TRUE(res.converged());
+  EXPECT_LT(res.iterations_run(), 100u);
+}
+
+TEST(ScorerTest, LandmarkPruningStopsExpansion) {
+  // 0 -> 1 -> 2: pruning node 1 must keep its own score but drop node 2.
+  GraphBuilder b(3, 18);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(1, 2, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  Scorer scorer(g, auth, Sim(), ExactParams());
+  std::vector<bool> pruned(3, false);
+  pruned[1] = true;
+  ExplorationResult res = scorer.Explore(0, Ts({0}), &pruned);
+  EXPECT_TRUE(res.Reached(1));
+  EXPECT_GT(res.Sigma(1, 0), 0.0);
+  EXPECT_FALSE(res.Reached(2));
+}
+
+TEST(ScorerTest, MaxDepthLimitsWalkLength) {
+  GraphBuilder b(4, 18);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(1, 2, Ts({0}));
+  b.AddEdge(2, 3, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  Scorer scorer(g, auth, Sim(), ExactParams(ScoreVariant::kFull, 2));
+  ExplorationResult res = scorer.Explore(0, Ts({0}));
+  EXPECT_TRUE(res.Reached(2));
+  EXPECT_FALSE(res.Reached(3));
+}
+
+TEST(ScorerTest, MultiTopicExploreMatchesSingleTopicRuns) {
+  LabeledGraph g = RandomGraph(12, 3, 123);
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams();
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult multi = scorer.Explore(0, Ts({0, 3, 7}));
+  for (TopicId t : {0, 3, 7}) {
+    ExplorationResult single =
+        scorer.Explore(0, Ts({static_cast<TopicId>(t)}));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(multi.Sigma(v, static_cast<TopicId>(t)),
+                  single.Sigma(v, static_cast<TopicId>(t)), 1e-15);
+    }
+  }
+}
+
+TEST(ScorerTest, NoAuthVariantIgnoresAuthority) {
+  // Two targets with very different follower counts but identical edges
+  // from the source must tie under kNoAuth.
+  GraphBuilder b(8, 18);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(0, 2, Ts({0}));
+  for (NodeId f = 3; f < 8; ++f) b.AddEdge(f, 1, Ts({0}));  // 1 is popular
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  Scorer no_auth(g, auth, Sim(), ExactParams(ScoreVariant::kNoAuth));
+  ExplorationResult res = no_auth.Explore(0, Ts({0}));
+  EXPECT_NEAR(res.Sigma(1, 0), res.Sigma(2, 0), 1e-15);
+  Scorer full(g, auth, Sim(), ExactParams(ScoreVariant::kFull));
+  ExplorationResult res_full = full.Explore(0, Ts({0}));
+  EXPECT_GT(res_full.Sigma(1, 0), res_full.Sigma(2, 0));
+}
+
+TEST(ScorerTest, NoSimVariantIgnoresLabels) {
+  const auto& v = topics::TwitterVocabulary();
+  GraphBuilder b(4, 18);
+  b.AddEdge(0, 1, Ts({v.Id("sports")}));
+  b.AddEdge(0, 2, Ts({v.Id("technology")}));
+  b.AddEdge(3, 1, Ts({v.Id("technology")}));
+  b.AddEdge(3, 2, Ts({v.Id("technology")}));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams(ScoreVariant::kNoSim);
+  Scorer no_sim(g, auth, Sim(), p);
+  ExplorationResult res = no_sim.Explore(0, Ts({v.Id("technology")}));
+  // Under kNoSim the similarity term is 1, so even across the sports-labeled
+  // edge the one-hop score is exactly βα·auth(v, technology).
+  EXPECT_NEAR(res.Sigma(1, v.Id("technology")),
+              p.beta * p.alpha * auth.Authority(1, v.Id("technology")),
+              1e-15);
+  EXPECT_NEAR(res.Sigma(2, v.Id("technology")),
+              p.beta * p.alpha * auth.Authority(2, v.Id("technology")),
+              1e-15);
+}
+
+TEST(ScorerTest, EmptyTopicSetComputesPureTopology) {
+  LabeledGraph g = RandomGraph(15, 3, 55);
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams();
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, TopicSet());
+  OracleScores oracle = BruteForceScores(g, auth, Sim(), p, 0, 0, 4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(res.TopoBeta(v), oracle.TopoBeta(v), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mbr::core

@@ -1,0 +1,235 @@
+#include "datagen/dblp_generator.h"
+#include "datagen/twitter_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/labeled_graph.h"
+#include "topics/vocabulary.h"
+
+namespace mbr::datagen {
+namespace {
+
+using graph::NodeId;
+
+TwitterConfig SmallTwitter(uint32_t n = 3000) {
+  TwitterConfig c;
+  c.num_nodes = n;
+  c.out_degree_min = 4.0;
+  c.out_degree_cap = 300;
+  return c;
+}
+
+TEST(TwitterGeneratorTest, BasicShape) {
+  GeneratedDataset ds = GenerateTwitter(SmallTwitter());
+  EXPECT_EQ(ds.graph.num_nodes(), 3000u);
+  EXPECT_GT(ds.graph.num_edges(), 3000u * 3);
+  EXPECT_EQ(ds.num_topics, topics::TwitterVocabulary().size());
+  EXPECT_EQ(ds.true_topics.size(), 3000u);
+  EXPECT_EQ(ds.quality.size(), 3000u * ds.num_topics);
+}
+
+TEST(TwitterGeneratorTest, Deterministic) {
+  GeneratedDataset a = GenerateTwitter(SmallTwitter(1000));
+  GeneratedDataset b = GenerateTwitter(SmallTwitter(1000));
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (NodeId u = 0; u < 1000; ++u) {
+    EXPECT_EQ(a.true_topics[u], b.true_topics[u]);
+    auto na = a.graph.OutNeighbors(u);
+    auto nb = b.graph.OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(TwitterGeneratorTest, DifferentSeedsDiffer) {
+  TwitterConfig c = SmallTwitter(1000);
+  GeneratedDataset a = GenerateTwitter(c);
+  c.seed = 999;
+  GeneratedDataset b = GenerateTwitter(c);
+  EXPECT_NE(a.graph.num_edges(), b.graph.num_edges());
+}
+
+TEST(TwitterGeneratorTest, HeavyTailedInDegree) {
+  GeneratedDataset ds = GenerateTwitter(SmallTwitter(5000));
+  graph::DegreeStatistics s = ComputeDegreeStatistics(ds.graph);
+  // Table 2 shape: celebrity accounts dominate the in-degree tail.
+  // (Reciprocal follow-backs spread in-degree mass, so the ratio is milder
+  // than a pure-PA graph but still far above a random graph's ~3x.)
+  EXPECT_GT(s.max_in_degree, 12 * s.avg_in_degree);
+  EXPECT_GT(s.max_out_degree, 3 * s.avg_out_degree);
+}
+
+TEST(TwitterGeneratorTest, EveryNodeHasTopicsAndLabels) {
+  GeneratedDataset ds = GenerateTwitter(SmallTwitter(2000));
+  for (NodeId u = 0; u < 2000; ++u) {
+    EXPECT_FALSE(ds.true_topics[u].empty());
+    EXPECT_EQ(ds.graph.NodeLabels(u), ds.true_topics[u]);  // direct mode
+  }
+}
+
+TEST(TwitterGeneratorTest, DirectModeEdgesAlwaysLabeledWithPublisherTopic) {
+  GeneratedDataset ds = GenerateTwitter(SmallTwitter(2000));
+  const auto& g = ds.graph;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto labs = g.OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      ASSERT_FALSE(labs[i].empty());
+      // Every edge label topic is published by the followee.
+      EXPECT_FALSE(labs[i].Intersect(ds.true_topics[nbrs[i]]).empty());
+    }
+  }
+}
+
+TEST(TwitterGeneratorTest, TopicPopularityIsBiased) {
+  GeneratedDataset ds = GenerateTwitter(SmallTwitter(5000));
+  std::vector<uint64_t> edges_per_topic(ds.num_topics, 0);
+  const auto& g = ds.graph;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (topics::TopicSet lab : g.OutEdgeLabels(u)) {
+      for (topics::TopicId t : lab) ++edges_per_topic[t];
+    }
+  }
+  auto [mn, mx] = std::minmax_element(edges_per_topic.begin(),
+                                      edges_per_topic.end());
+  // Figure 3: strongly biased distribution of edges per topic.
+  EXPECT_GT(*mx, 5 * std::max<uint64_t>(1, *mn));
+}
+
+TEST(TwitterGeneratorTest, HomophilyGivesTopicalEdges) {
+  GeneratedDataset ds = GenerateTwitter(SmallTwitter(3000));
+  const auto& g = ds.graph;
+  uint64_t shared = 0, total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      ++total;
+      if (!ds.true_topics[u].Intersect(ds.true_topics[v]).empty()) ++shared;
+    }
+  }
+  // Most follows point at accounts sharing a topic with the follower.
+  EXPECT_GT(static_cast<double>(shared) / total, 0.5);
+}
+
+TEST(TwitterGeneratorTest, TextPipelineModeRuns) {
+  TwitterConfig c = SmallTwitter(1200);
+  c.label_mode = LabelMode::kTextPipeline;
+  c.pipeline.seed_label_fraction = 0.25;
+  c.pipeline.tweets_per_user = 8;
+  GeneratedDataset ds = GenerateTwitter(c);
+  EXPECT_EQ(ds.graph.num_nodes(), 1200u);
+  // The pipeline reports its classifier quality (paper: precision 0.90).
+  EXPECT_GT(ds.pipeline_metrics.precision, 0.6);
+  // Node labels come from the classifier, not copied from ground truth;
+  // but they should mostly agree with it.
+  uint64_t agree = 0;
+  for (NodeId u = 0; u < 1200; ++u) {
+    ASSERT_FALSE(ds.graph.NodeLabels(u).empty());
+    if (!ds.graph.NodeLabels(u).Intersect(ds.true_topics[u]).empty()) {
+      ++agree;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / 1200.0, 0.7);
+}
+
+TEST(TwitterGeneratorTest, QualityHighOnOwnTopics) {
+  GeneratedDataset ds = GenerateTwitter(SmallTwitter(1000));
+  double own = 0, other = 0;
+  uint64_t n_own = 0, n_other = 0;
+  for (NodeId u = 0; u < 1000; ++u) {
+    for (int t = 0; t < ds.num_topics; ++t) {
+      if (ds.true_topics[u].Contains(static_cast<topics::TopicId>(t))) {
+        own += ds.QualityOf(u, static_cast<topics::TopicId>(t));
+        ++n_own;
+      } else {
+        other += ds.QualityOf(u, static_cast<topics::TopicId>(t));
+        ++n_other;
+      }
+    }
+  }
+  EXPECT_GT(own / n_own, 2.5 * (other / n_other));
+}
+
+// ---------- DBLP ----------
+
+DblpConfig SmallDblp(uint32_t n = 3000) {
+  DblpConfig c;
+  c.num_nodes = n;
+  c.out_degree_min = 5.0;
+  c.out_degree_cap = 200;
+  return c;
+}
+
+TEST(DblpGeneratorTest, BasicShape) {
+  GeneratedDataset ds = GenerateDblp(SmallDblp());
+  EXPECT_EQ(ds.graph.num_nodes(), 3000u);
+  EXPECT_GT(ds.graph.num_edges(), 3000u * 4);
+  EXPECT_EQ(ds.num_topics, topics::DblpVocabulary().size());
+}
+
+TEST(DblpGeneratorTest, Deterministic) {
+  GeneratedDataset a = GenerateDblp(SmallDblp(1000));
+  GeneratedDataset b = GenerateDblp(SmallDblp(1000));
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+}
+
+TEST(DblpGeneratorTest, CommunityStructure) {
+  GeneratedDataset ds = GenerateDblp(SmallDblp(3000));
+  const auto& g = ds.graph;
+  uint64_t intra = 0, total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      ++total;
+      if (!ds.true_topics[u].Intersect(ds.true_topics[v]).empty()) ++intra;
+    }
+  }
+  // Citations stay mostly within the community.
+  EXPECT_GT(static_cast<double>(intra) / total, 0.6);
+}
+
+TEST(DblpGeneratorTest, MilderInDegreeSkewThanTwitter) {
+  GeneratedDataset tw = GenerateTwitter(SmallTwitter(4000));
+  GeneratedDataset db = GenerateDblp(SmallDblp(4000));
+  graph::DegreeStatistics st = ComputeDegreeStatistics(tw.graph);
+  graph::DegreeStatistics sd = ComputeDegreeStatistics(db.graph);
+  double tw_skew = st.max_in_degree / st.avg_in_degree;
+  double db_skew = sd.max_in_degree / sd.avg_in_degree;
+  // Table 2 shape: Twitter max-in/avg-in ~5000x, DBLP ~185x.
+  EXPECT_GT(tw_skew, 2 * db_skew);
+}
+
+TEST(DblpGeneratorTest, AllEdgesLabeled) {
+  GeneratedDataset ds = GenerateDblp(SmallDblp(1500));
+  const auto& g = ds.graph;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (topics::TopicSet lab : g.OutEdgeLabels(u)) {
+      EXPECT_FALSE(lab.empty());
+    }
+  }
+}
+
+TEST(DblpGeneratorTest, TriadicClosureCreatesSharedCitations) {
+  GeneratedDataset ds = GenerateDblp(SmallDblp(2000));
+  const auto& g = ds.graph;
+  // Count pairs (u, v) where u cites v and both cite a common third author;
+  // triadic closure should make this common.
+  uint64_t closed = 0, checked = 0;
+  for (NodeId u = 0; u < g.num_nodes() && checked < 2000; ++u) {
+    auto u_cites = g.OutNeighbors(u);
+    for (NodeId v : u_cites) {
+      ++checked;
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (std::binary_search(u_cites.begin(), u_cites.end(), w)) {
+          ++closed;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(closed) / checked, 0.1);
+}
+
+}  // namespace
+}  // namespace mbr::datagen

@@ -1,0 +1,254 @@
+#include "distributed/cluster.h"
+#include "distributed/partition.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/recommender.h"
+#include "datagen/twitter_generator.h"
+#include "landmark/selection.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::distributed {
+namespace {
+
+using graph::NodeId;
+
+const datagen::GeneratedDataset& Dataset() {
+  static const datagen::GeneratedDataset& ds =
+      *new datagen::GeneratedDataset([] {
+        datagen::TwitterConfig c;
+        c.num_nodes = 2000;
+        return datagen::GenerateTwitter(c);
+      }());
+  return ds;
+}
+
+PartitionConfig DefaultConfig() {
+  PartitionConfig c;
+  c.num_partitions = 4;
+  return c;
+}
+
+// ---------- Partitioning ----------
+
+TEST(PartitionTest, AllStrategiesAssignEveryNode) {
+  const auto& g = Dataset().graph;
+  for (auto s : {PartitionStrategy::kHash, PartitionStrategy::kBfsChunks,
+                 PartitionStrategy::kCommunity}) {
+    Partitioning p = PartitionGraph(g, s, DefaultConfig());
+    ASSERT_EQ(p.part_of.size(), g.num_nodes()) << PartitionStrategyName(s);
+    std::set<uint32_t> used;
+    for (uint32_t part : p.part_of) {
+      ASSERT_LT(part, 4u);
+      used.insert(part);
+    }
+    EXPECT_GT(used.size(), 1u) << PartitionStrategyName(s);
+    EXPECT_GT(p.edge_cut, 0.0);
+    EXPECT_LT(p.edge_cut, 1.0);
+    EXPECT_GE(p.balance, 1.0);
+  }
+}
+
+TEST(PartitionTest, HashIsBalanced) {
+  const auto& g = Dataset().graph;
+  Partitioning p = PartitionGraph(g, PartitionStrategy::kHash,
+                                  DefaultConfig());
+  EXPECT_LT(p.balance, 1.15);
+}
+
+TEST(PartitionTest, CommunityCutsFewerEdgesThanHash) {
+  const auto& g = Dataset().graph;
+  Partitioning hash = PartitionGraph(g, PartitionStrategy::kHash,
+                                     DefaultConfig());
+  Partitioning lpa = PartitionGraph(g, PartitionStrategy::kCommunity,
+                                    DefaultConfig());
+  // Hash cut should be ~ (parts-1)/parts = 0.75; LPA must beat it clearly.
+  EXPECT_GT(hash.edge_cut, 0.65);
+  EXPECT_LT(lpa.edge_cut, hash.edge_cut * 0.9);
+}
+
+TEST(PartitionTest, CommunityRespectsCapacity) {
+  const auto& g = Dataset().graph;
+  PartitionConfig c = DefaultConfig();
+  c.capacity_slack = 1.2;
+  Partitioning p = PartitionGraph(g, PartitionStrategy::kCommunity, c);
+  EXPECT_LE(p.balance, 1.25);  // slack + the initial assignment wiggle
+}
+
+TEST(PartitionTest, Deterministic) {
+  const auto& g = Dataset().graph;
+  for (auto s : {PartitionStrategy::kHash, PartitionStrategy::kBfsChunks,
+                 PartitionStrategy::kCommunity}) {
+    Partitioning a = PartitionGraph(g, s, DefaultConfig());
+    Partitioning b = PartitionGraph(g, s, DefaultConfig());
+    EXPECT_EQ(a.part_of, b.part_of) << PartitionStrategyName(s);
+  }
+}
+
+TEST(PartitionTest, StatsComputation) {
+  // Two components of 2 nodes: partition along / across them.
+  graph::GraphBuilder b(4, 2);
+  b.AddEdge(0, 1, topics::TopicSet::Single(0));
+  b.AddEdge(2, 3, topics::TopicSet::Single(0));
+  graph::LabeledGraph g = std::move(b).Build();
+  Partitioning p;
+  p.num_partitions = 2;
+  p.part_of = {0, 0, 1, 1};
+  ComputePartitionStats(g, &p);
+  EXPECT_DOUBLE_EQ(p.edge_cut, 0.0);
+  EXPECT_DOUBLE_EQ(p.balance, 1.0);
+  p.part_of = {0, 1, 0, 1};
+  ComputePartitionStats(g, &p);
+  EXPECT_DOUBLE_EQ(p.edge_cut, 1.0);
+}
+
+// ---------- SimulatedCluster ----------
+
+struct ClusterFixture {
+  const datagen::GeneratedDataset& ds = Dataset();
+  core::AuthorityIndex auth{ds.graph};
+  landmark::SelectionResult sel = SelectLandmarks(
+      ds.graph, landmark::SelectionStrategy::kFollow,
+      [] {
+        landmark::SelectionConfig c;
+        c.num_landmarks = 40;
+        return c;
+      }());
+  landmark::LandmarkIndex index{ds.graph, auth,
+                                topics::TwitterSimilarity(), sel.landmarks,
+                                [] {
+                                  landmark::LandmarkIndexConfig c;
+                                  c.top_n = 50;
+                                  return c;
+                                }()};
+  Partitioning partitioning = PartitionGraph(
+      ds.graph, PartitionStrategy::kCommunity, DefaultConfig());
+  SimulatedCluster cluster{ds.graph, auth, topics::TwitterSimilarity(),
+                           index, partitioning};
+};
+
+TEST(SimulatedClusterTest, QueryMatchesSingleNodeApprox) {
+  ClusterFixture f;
+  landmark::ApproxRecommender single(f.ds.graph, f.auth,
+                                     topics::TwitterSimilarity(), f.index,
+                                     {});
+  for (NodeId u : {3u, 77u, 1500u}) {
+    QueryCost cost;
+    auto dist = f.cluster.Query(u, 0, &cost);
+    auto local = single.ApproximateScores(u, 0);
+    ASSERT_EQ(dist.size(), local.size());
+    for (const auto& [v, s] : local) {
+      auto it = dist.find(v);
+      ASSERT_NE(it, dist.end());
+      EXPECT_DOUBLE_EQ(it->second, s);
+    }
+    EXPECT_GE(cost.partitions_touched, 1u);
+  }
+}
+
+TEST(SimulatedClusterTest, LandmarksHomedOnTheirPartition) {
+  ClusterFixture f;
+  const auto& by_part = f.cluster.landmarks_by_partition();
+  size_t total = 0;
+  for (uint32_t part = 0; part < by_part.size(); ++part) {
+    for (NodeId lm : by_part[part]) {
+      EXPECT_EQ(f.cluster.PartitionOf(lm), part);
+    }
+    total += by_part[part].size();
+  }
+  EXPECT_EQ(total, f.sel.landmarks.size());
+}
+
+TEST(SimulatedClusterTest, LocalQueryLowerBoundsExactScores) {
+  // A shard only sees a subset of the walks (intra-partition ones), so a
+  // partition-local score can never exceed the exact full-graph score.
+  // (It is NOT a subset of the global *approximate* result: shard-local
+  // landmark lists are computed on the subgraph and may retain nodes the
+  // global top-n truncation dropped.)
+  ClusterFixture f;
+  core::TrRecommender exact(f.ds.graph, topics::TwitterSimilarity());
+  for (NodeId u : {10u, 500u, 999u}) {
+    auto local = f.cluster.LocalQuery(u, 0);
+    std::vector<NodeId> nodes;
+    for (const auto& [v, s] : local) nodes.push_back(v);
+    auto exact_scores = exact.ScoreCandidates(u, 0, nodes);
+    size_t i = 0;
+    for (const auto& [v, s] : local) {
+      EXPECT_LE(s, exact_scores[i] + 1e-12) << "node " << v;
+      ++i;
+    }
+  }
+}
+
+TEST(SimulatedClusterTest, LocalQueryStaysInPartition) {
+  ClusterFixture f;
+  for (NodeId u : {10u, 500u, 999u}) {
+    uint32_t home = f.cluster.PartitionOf(u);
+    for (const auto& [v, s] : f.cluster.LocalQuery(u, 0)) {
+      EXPECT_EQ(f.cluster.PartitionOf(v), home) << "node " << v;
+    }
+  }
+}
+
+
+TEST(SimulatedClusterTest, CostModelSaneBounds) {
+  ClusterFixture f;
+  for (NodeId u : {3u, 200u, 1500u}) {
+    QueryCost cost;
+    f.cluster.Query(u, 0, &cost);
+    // Partitions touched is at least the home partition and at most all.
+    EXPECT_GE(cost.partitions_touched, 1u);
+    EXPECT_LE(cost.partitions_touched, 4u);
+    // Each landmark fetch ships at most top_n entries.
+    EXPECT_LE(cost.landmark_entries,
+              cost.landmark_fetches * f.index.config().top_n);
+    // A remote adjacency fetch requires a reachable remote node: bounded
+    // by the graph size.
+    EXPECT_LT(cost.edge_messages, f.ds.graph.num_nodes());
+  }
+}
+
+TEST(SimulatedClusterTest, SingleWorkerHasZeroNetworkCost) {
+  ClusterFixture f;
+  PartitionConfig pc;
+  pc.num_partitions = 1;
+  Partitioning one = PartitionGraph(f.ds.graph, PartitionStrategy::kHash, pc);
+  SimulatedCluster cluster(f.ds.graph, f.auth, topics::TwitterSimilarity(),
+                           f.index, one);
+  QueryCost cost;
+  auto global = cluster.Query(42, 0, &cost);
+  EXPECT_EQ(cost.edge_messages, 0u);
+  EXPECT_EQ(cost.landmark_fetches, 0u);
+  EXPECT_EQ(cost.partitions_touched, 1u);
+  // And local == global when everything is on one worker (same landmark
+  // set, full graph).
+  auto local = cluster.LocalQuery(42, 0);
+  EXPECT_EQ(local.size(), global.size());
+  for (const auto& [v, s] : global) {
+    auto it = local.find(v);
+    ASSERT_NE(it, local.end());
+    EXPECT_DOUBLE_EQ(it->second, s);
+  }
+}
+
+TEST(SimulatedClusterTest, CommunityPartitioningCostsFewerMessages) {
+  ClusterFixture f;
+  Partitioning hash = PartitionGraph(f.ds.graph, PartitionStrategy::kHash,
+                                     DefaultConfig());
+  SimulatedCluster hash_cluster(f.ds.graph, f.auth,
+                                topics::TwitterSimilarity(), f.index, hash);
+  uint64_t msgs_lpa = 0, msgs_hash = 0;
+  for (NodeId u = 0; u < 60; ++u) {
+    QueryCost a, b;
+    f.cluster.Query(u, 0, &a);
+    hash_cluster.Query(u, 0, &b);
+    msgs_lpa += a.edge_messages;
+    msgs_hash += b.edge_messages;
+  }
+  EXPECT_LT(msgs_lpa, msgs_hash);
+}
+
+}  // namespace
+}  // namespace mbr::distributed

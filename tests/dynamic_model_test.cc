@@ -1,0 +1,109 @@
+// Model-based randomized testing of DeltaGraph: a long random sequence of
+// AddEdge / RemoveEdge operations is applied both to the overlay and to a
+// trivially-correct reference model (a map of live edges); after every
+// batch the two must agree on membership, labels, degrees and counts, and
+// Materialize() must equal the model exactly.
+
+#include <map>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "dynamic/delta_graph.h"
+#include "graph/labeled_graph.h"
+#include "util/rng.h"
+
+namespace mbr::dynamic {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicSet;
+
+using EdgeKey = std::pair<NodeId, NodeId>;
+using Model = std::map<EdgeKey, TopicSet>;
+
+LabeledGraph RandomBase(uint32_t n, uint32_t degree, uint64_t seed,
+                        Model* model) {
+  util::Rng rng(seed);
+  GraphBuilder b(n, 8);
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t k = 0; k < degree; ++k) {
+      NodeId v = static_cast<NodeId>(rng.UniformU64(n));
+      if (v == u) continue;
+      TopicSet lab = TopicSet::Single(
+          static_cast<topics::TopicId>(rng.UniformU64(8)));
+      b.AddEdge(u, v, lab);
+      // GraphBuilder unions duplicate edges; mirror that in the model.
+      auto [it, inserted] = model->emplace(EdgeKey{u, v}, lab);
+      if (!inserted) it->second = it->second.Union(lab);
+    }
+  }
+  return std::move(b).Build();
+}
+
+class DeltaGraphModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaGraphModelTest, AgreesWithReferenceModel) {
+  const uint64_t seed = GetParam();
+  Model model;
+  LabeledGraph base = RandomBase(40, 3, seed, &model);
+  DeltaGraph overlay(&base);
+  util::Rng rng(seed ^ 0xf00d);
+
+  for (int step = 0; step < 600; ++step) {
+    NodeId u = static_cast<NodeId>(rng.UniformU64(40));
+    NodeId v = static_cast<NodeId>(rng.UniformU64(40));
+    if (rng.Bernoulli(0.5)) {
+      TopicSet lab = TopicSet::Single(
+          static_cast<topics::TopicId>(rng.UniformU64(8)));
+      bool expect_ok = (u != v) && !model.count({u, v});
+      EXPECT_EQ(overlay.AddEdge(u, v, lab), expect_ok) << "step " << step;
+      if (expect_ok) model[{u, v}] = lab;
+    } else {
+      bool expect_ok = model.count({u, v}) > 0;
+      EXPECT_EQ(overlay.RemoveEdge(u, v), expect_ok) << "step " << step;
+      if (expect_ok) model.erase({u, v});
+    }
+
+    if (step % 120 == 119) {
+      // Full consistency audit.
+      ASSERT_EQ(overlay.num_edges(), model.size());
+      std::vector<uint32_t> in_deg(40, 0), out_deg(40, 0);
+      for (const auto& [key, lab] : model) {
+        ASSERT_TRUE(overlay.HasEdge(key.first, key.second));
+        ASSERT_EQ(overlay.EdgeLabels(key.first, key.second), lab);
+        ++out_deg[key.first];
+        ++in_deg[key.second];
+      }
+      for (NodeId x = 0; x < 40; ++x) {
+        ASSERT_EQ(overlay.OutDegree(x), out_deg[x]) << "node " << x;
+        ASSERT_EQ(overlay.InDegree(x), in_deg[x]) << "node " << x;
+        uint32_t visited = 0;
+        overlay.ForEachOutNeighbor(x, [&](NodeId y, TopicSet lab) {
+          auto it = model.find({x, y});
+          ASSERT_NE(it, model.end());
+          ASSERT_EQ(it->second, lab);
+          ++visited;
+        });
+        ASSERT_EQ(visited, out_deg[x]);
+      }
+    }
+  }
+
+  // Final materialisation equals the model.
+  LabeledGraph m = overlay.Materialize();
+  ASSERT_EQ(m.num_edges(), model.size());
+  for (const auto& [key, lab] : model) {
+    ASSERT_TRUE(m.HasEdge(key.first, key.second));
+    ASSERT_EQ(m.EdgeLabels(key.first, key.second), lab);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaGraphModelTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull, 7ull, 8ull));
+
+}  // namespace
+}  // namespace mbr::dynamic

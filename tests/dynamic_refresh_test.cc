@@ -1,0 +1,197 @@
+#include "dynamic/refresh.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/authority.h"
+#include "datagen/twitter_generator.h"
+#include "dynamic/churn.h"
+#include "dynamic/delta_graph.h"
+#include "landmark/selection.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::dynamic {
+namespace {
+
+using graph::NodeId;
+
+struct Fixture {
+  datagen::GeneratedDataset ds = [] {
+    datagen::TwitterConfig c;
+    c.num_nodes = 1200;
+    return datagen::GenerateTwitter(c);
+  }();
+  core::AuthorityIndex auth{ds.graph};
+  landmark::SelectionResult sel = SelectLandmarks(
+      ds.graph, landmark::SelectionStrategy::kFollow, [] {
+        landmark::SelectionConfig c;
+        c.num_landmarks = 20;
+        return c;
+      }());
+
+  landmark::LandmarkIndex MakeIndex() {
+    landmark::LandmarkIndexConfig icfg;
+    icfg.top_n = 30;
+    return landmark::LandmarkIndex(ds.graph, auth,
+                                   topics::TwitterSimilarity(),
+                                   sel.landmarks, icfg);
+  }
+};
+
+TEST(RefreshLandmarkTest, RecomputesOnUpdatedGraph) {
+  Fixture f;
+  landmark::LandmarkIndex index = f.MakeIndex();
+  NodeId lm = f.sel.landmarks[0];
+
+  // Heavy local churn around the landmark: remove all its out-edges.
+  DeltaGraph overlay(&f.ds.graph);
+  for (NodeId v : f.ds.graph.OutNeighbors(lm)) overlay.RemoveEdge(lm, v);
+  graph::LabeledGraph current = overlay.Materialize();
+  core::AuthorityIndex fresh_auth(current);
+
+  index.RefreshLandmark(lm, current, fresh_auth,
+                        topics::TwitterSimilarity());
+  // The landmark lost all outgoing paths: its stored lists must be empty.
+  for (int t = 0; t < current.num_topics(); ++t) {
+    EXPECT_TRUE(
+        index.Recommendations(lm, static_cast<topics::TopicId>(t)).empty());
+  }
+  // Other landmarks keep their (stale) lists.
+  bool any_nonempty = false;
+  for (size_t i = 1; i < f.sel.landmarks.size(); ++i) {
+    for (int t = 0; t < current.num_topics(); ++t) {
+      any_nonempty |= !index
+                           .Recommendations(f.sel.landmarks[i],
+                                            static_cast<topics::TopicId>(t))
+                           .empty();
+    }
+  }
+  EXPECT_TRUE(any_nonempty);
+}
+
+TEST(RefresherTest, NonePolicyRefreshesNothing) {
+  Fixture f;
+  LandmarkRefresher refresher(f.MakeIndex(), RefreshPolicy::kNone, 5);
+  auto refreshed = refresher.RefreshRound(f.ds.graph, f.auth,
+                                          topics::TwitterSimilarity(), {});
+  EXPECT_TRUE(refreshed.empty());
+  EXPECT_EQ(refresher.total_refreshed(), 0u);
+}
+
+TEST(RefresherTest, RoundRobinCyclesThroughAllLandmarks) {
+  Fixture f;
+  LandmarkRefresher refresher(f.MakeIndex(), RefreshPolicy::kRoundRobin, 7);
+  std::vector<NodeId> seen;
+  for (int round = 0; round < 3; ++round) {
+    auto r = refresher.RefreshRound(f.ds.graph, f.auth,
+                                    topics::TwitterSimilarity(), {});
+    EXPECT_EQ(r.size(), 7u);
+    seen.insert(seen.end(), r.begin(), r.end());
+  }
+  EXPECT_EQ(refresher.total_refreshed(), 21u);
+  // 21 refreshes over 20 landmarks: the first landmark came around again.
+  EXPECT_EQ(seen.front(), seen.back());
+}
+
+TEST(RefresherTest, ChurnExposureCountsTouchedLandmarks) {
+  Fixture f;
+  LandmarkRefresher refresher(f.MakeIndex(), RefreshPolicy::kMostChurned, 5);
+  NodeId lm0 = f.sel.landmarks[0];
+  std::vector<EdgeChange> changes = {
+      {lm0, 1, topics::TopicSet::Single(0)},  // touches landmark 0 directly
+  };
+  auto exposure = refresher.ChurnExposure(changes);
+  ASSERT_EQ(exposure.size(), f.sel.landmarks.size());
+  EXPECT_GE(exposure[0], 1u);
+}
+
+TEST(RefresherTest, MostChurnedPrefersExposedLandmarks) {
+  Fixture f;
+  LandmarkRefresher refresher(f.MakeIndex(), RefreshPolicy::kMostChurned, 5);
+  NodeId hot = f.sel.landmarks[3];
+  std::vector<EdgeChange> changes;
+  for (int i = 0; i < 10; ++i) {
+    changes.push_back({hot, static_cast<NodeId>(i), topics::TopicSet()});
+  }
+  // The refresher must pick exactly the landmarks with the highest
+  // exposure to these changes (`hot` gets +1 per change as the source, but
+  // landmarks whose stored lists watch the changed endpoints can
+  // legitimately accumulate more).
+  auto exposure = refresher.ChurnExposure(changes);
+  auto refreshed = refresher.RefreshRound(f.ds.graph, f.auth,
+                                          topics::TwitterSimilarity(),
+                                          changes);
+  ASSERT_FALSE(refreshed.empty());
+  EXPECT_GE(exposure[3], 10u);  // `hot` is slot 3, touched by every change
+  uint64_t min_refreshed = ~0ull;
+  for (NodeId lm : refreshed) {
+    for (size_t i = 0; i < f.sel.landmarks.size(); ++i) {
+      if (f.sel.landmarks[i] == lm) {
+        min_refreshed = std::min(min_refreshed, exposure[i]);
+      }
+    }
+  }
+  // Nobody skipped: every unrefreshed landmark has exposure <= the worst
+  // refreshed one.
+  for (size_t i = 0; i < f.sel.landmarks.size(); ++i) {
+    if (std::find(refreshed.begin(), refreshed.end(), f.sel.landmarks[i]) ==
+        refreshed.end()) {
+      EXPECT_LE(exposure[i], min_refreshed);
+    }
+  }
+}
+
+TEST(RefresherTest, MostChurnedSkipsUntouchedLandmarks) {
+  Fixture f;
+  LandmarkRefresher refresher(f.MakeIndex(), RefreshPolicy::kMostChurned, 5);
+  // No changes at all: nothing is worth refreshing.
+  auto refreshed = refresher.RefreshRound(f.ds.graph, f.auth,
+                                          topics::TwitterSimilarity(), {});
+  EXPECT_TRUE(refreshed.empty());
+}
+
+TEST(RefresherTest, RefreshConvergesToFreshIndexUnderFullBudget) {
+  Fixture f;
+  landmark::LandmarkIndex stale = f.MakeIndex();
+
+  // Churn the graph.
+  DeltaGraph overlay(&f.ds.graph);
+  util::Rng rng(5);
+  ChurnConfig churn;
+  churn.unfollow_fraction = 0.10;
+  churn.follow_fraction = 0.10;
+  ApplyChurnRound(&overlay, nullptr, churn, &rng);
+  graph::LabeledGraph current = overlay.Materialize();
+  core::AuthorityIndex fresh_auth(current);
+
+  // Full-budget round-robin refresh = rebuild.
+  LandmarkRefresher refresher(std::move(stale), RefreshPolicy::kRoundRobin,
+                              static_cast<uint32_t>(f.sel.landmarks.size()));
+  std::vector<EdgeChange> changes = overlay.additions();
+  for (const auto& r : overlay.removals()) changes.push_back(r);
+  refresher.RefreshRound(current, fresh_auth, topics::TwitterSimilarity(),
+                         changes);
+
+  landmark::LandmarkIndexConfig icfg;
+  icfg.top_n = 30;
+  landmark::LandmarkIndex rebuilt(current, fresh_auth,
+                                  topics::TwitterSimilarity(),
+                                  f.sel.landmarks, icfg);
+  for (NodeId lm : f.sel.landmarks) {
+    for (int t = 0; t < current.num_topics(); ++t) {
+      const auto& a = refresher.index().Recommendations(
+          lm, static_cast<topics::TopicId>(t));
+      const auto& b =
+          rebuilt.Recommendations(lm, static_cast<topics::TopicId>(t));
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].node, b[i].node);
+        EXPECT_DOUBLE_EQ(a[i].sigma, b[i].sigma);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbr::dynamic

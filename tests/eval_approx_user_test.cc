@@ -1,0 +1,218 @@
+#include "eval/algorithms.h"
+#include "eval/approx_eval.h"
+#include "eval/user_study.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/twitterrank.h"
+#include "core/recommender.h"
+#include "datagen/twitter_generator.h"
+#include "topics/similarity_matrix.h"
+#include "topics/vocabulary.h"
+
+namespace mbr::eval {
+namespace {
+
+const datagen::GeneratedDataset& Dataset() {
+  static const datagen::GeneratedDataset& ds =
+      *new datagen::GeneratedDataset([] {
+        datagen::TwitterConfig c;
+        c.num_nodes = 2500;
+        c.out_degree_min = 5.0;
+        return datagen::GenerateTwitter(c);
+      }());
+  return ds;
+}
+
+// ---------- EvaluateStrategy (Tables 5 / 6 machinery) ----------
+
+TEST(ApproxEvalTest, ProducesConsistentMetrics) {
+  const auto& ds = Dataset();
+  core::AuthorityIndex auth(ds.graph);
+  ApproxEvalConfig cfg;
+  cfg.selection.num_landmarks = 20;
+  cfg.stored_top_ns = {10, 100};
+  cfg.num_queries = 8;
+  StrategyEvaluation ev =
+      EvaluateStrategy(ds.graph, auth, topics::TwitterSimilarity(),
+                       landmark::SelectionStrategy::kRandom, cfg);
+  EXPECT_EQ(ev.kendall_tau.size(), 2u);
+  for (double k : ev.kendall_tau) {
+    EXPECT_GE(k, 0.0);
+    EXPECT_LE(k, 1.0);
+  }
+  EXPECT_GE(ev.avg_landmarks_met, 0.0);
+  EXPECT_GT(ev.avg_query_seconds, 0.0);
+  EXPECT_GT(ev.avg_exact_seconds, 0.0);
+  EXPECT_GT(ev.gain, 0.0);
+  EXPECT_GT(ev.index_bytes_largest, 0u);
+}
+
+TEST(ApproxEvalTest, InDegLandmarksAreMetMoreOftenThanRandom) {
+  // Table 6: In-Deg encounters ~59 landmarks at BFS-2 vs ~3 for Random —
+  // high in-degree nodes sit on many short paths.
+  const auto& ds = Dataset();
+  core::AuthorityIndex auth(ds.graph);
+  ApproxEvalConfig cfg;
+  cfg.selection.num_landmarks = 30;
+  cfg.stored_top_ns = {10};
+  cfg.num_queries = 10;
+  auto random = EvaluateStrategy(ds.graph, auth, topics::TwitterSimilarity(),
+                                 landmark::SelectionStrategy::kRandom, cfg);
+  auto indeg = EvaluateStrategy(ds.graph, auth, topics::TwitterSimilarity(),
+                                landmark::SelectionStrategy::kInDeg, cfg);
+  EXPECT_GT(indeg.avg_landmarks_met, random.avg_landmarks_met);
+}
+
+TEST(ApproxEvalTest, LargerStoredListsAddScoreMassMonotonically) {
+  // Keeping more recommendations per landmark adds composed walk mass, so
+  // each node's approximate score grows monotonically toward the exact
+  // score (the paper's Table 6 tau values improve or stay flat with larger
+  // stored lists; tau itself is noisy on small graphs, the score mass is
+  // the deterministic invariant behind it).
+  const auto& ds = Dataset();
+  core::AuthorityIndex auth(ds.graph);
+  landmark::SelectionConfig scfg;
+  scfg.num_landmarks = 30;
+  auto sel = SelectLandmarks(ds.graph, landmark::SelectionStrategy::kFollow,
+                             scfg);
+  core::ScoreParams params;
+  landmark::LandmarkIndexConfig small_cfg, large_cfg;
+  small_cfg.top_n = 10;
+  small_cfg.params = params;
+  large_cfg.top_n = 1000;
+  large_cfg.params = params;
+  landmark::LandmarkIndex small(ds.graph, auth, topics::TwitterSimilarity(),
+                                sel.landmarks, small_cfg);
+  landmark::LandmarkIndex large(ds.graph, auth, topics::TwitterSimilarity(),
+                                sel.landmarks, large_cfg);
+  landmark::ApproxConfig acfg;
+  acfg.params = params;
+  landmark::ApproxRecommender approx_small(
+      ds.graph, auth, topics::TwitterSimilarity(), small, acfg);
+  landmark::ApproxRecommender approx_large(
+      ds.graph, auth, topics::TwitterSimilarity(), large, acfg);
+  for (graph::NodeId u : {5u, 100u, 999u}) {
+    auto s = approx_small.ApproximateScores(u, 0);
+    auto l = approx_large.ApproximateScores(u, 0);
+    // Every node scored with the small index is scored at least as high
+    // with the large one, and the large index scores at least as many.
+    EXPECT_GE(l.size(), s.size());
+    for (const auto& [v, score] : s) {
+      auto it = l.find(v);
+      ASSERT_NE(it, l.end());
+      EXPECT_GE(it->second, score - 1e-15);
+    }
+  }
+}
+
+// ---------- User study ----------
+
+TEST(UserStudyTest, ExpectedMarkModel) {
+  // Perfect content, no ambiguity -> 5; worthless content -> 1.
+  EXPECT_NEAR(ExpectedMark(1.0, 0.0), 5.0, 1e-12);
+  EXPECT_NEAR(ExpectedMark(0.0, 0.0), 1.0, 1e-12);
+  // Full ambiguity regresses to the 2-3 midpoint regardless of quality.
+  EXPECT_NEAR(ExpectedMark(1.0, 1.0), 3.0, 1e-12);
+  EXPECT_NEAR(ExpectedMark(0.0, 1.0), 3.0, 1e-12);
+  // Partial ambiguity compresses the range monotonically.
+  EXPECT_GT(ExpectedMark(0.9, 0.2), ExpectedMark(0.9, 0.8));
+  EXPECT_LT(ExpectedMark(0.1, 0.2), ExpectedMark(0.1, 0.8));
+}
+
+TEST(UserStudyTest, RunProducesBoundedMarks) {
+  const auto& ds = Dataset();
+  core::TrRecommender tr(ds.graph, topics::TwitterSimilarity());
+  baselines::TwitterRank twr(ds.graph);
+  UserStudyConfig cfg;
+  cfg.num_queries = 10;
+  auto outcomes = RunUserStudy(ds, {&tr, &twr}, 0, cfg);
+  ASSERT_EQ(outcomes.size(), 2u);
+  double best_total = 0.0;
+  for (const auto& o : outcomes) {
+    EXPECT_GE(o.avg_mark, 1.0);
+    EXPECT_LE(o.avg_mark, 5.0);
+    EXPECT_GE(o.best_answer_frac, 0.0);
+    EXPECT_LE(o.best_answer_frac, 1.0);
+    best_total += o.best_answer_frac;
+    EXPECT_GT(o.accounts_rated, 0u);
+  }
+  EXPECT_NEAR(best_total, 1.0, 1e-9);  // exactly one winner per query
+}
+
+TEST(UserStudyTest, AmbiguousTopicCompressesToMidScale) {
+  const auto& ds = Dataset();
+  const auto& v = topics::TwitterVocabulary();
+  core::TrRecommender tr(ds.graph, topics::TwitterSimilarity());
+  UserStudyConfig cfg;
+  cfg.num_queries = 15;
+  cfg.topic_ambiguity.assign(v.size(), 0.1);
+  cfg.topic_ambiguity[v.Id("social")] = 0.9;
+  auto clear = RunUserStudy(ds, {&tr}, v.Id("technology"), cfg);
+  auto fuzzy = RunUserStudy(ds, {&tr}, v.Id("social"), cfg);
+  // The ambiguous topic's marks huddle around 2-3 (paper's observation);
+  // the clear topic separates from the midpoint more.
+  EXPECT_LT(std::abs(fuzzy[0].avg_mark - 3.0),
+            std::abs(clear[0].avg_mark - 3.0) + 0.6);
+  EXPECT_GE(fuzzy[0].avg_mark, 2.0);
+  EXPECT_LE(fuzzy[0].avg_mark, 4.0);
+}
+
+TEST(UserStudyTest, PopularityCapFiltersTargets) {
+  const auto& ds = Dataset();
+  core::TrRecommender tr(ds.graph, topics::TwitterSimilarity());
+  UserStudyConfig cfg;
+  cfg.num_queries = 10;
+  cfg.max_target_in_degree = 20;
+  auto outcomes = RunUserStudy(ds, {&tr}, 0, cfg);
+  EXPECT_GT(outcomes[0].accounts_rated, 0u);
+}
+
+TEST(UserStudyTest, DeterministicGivenSeed) {
+  const auto& ds = Dataset();
+  core::TrRecommender tr(ds.graph, topics::TwitterSimilarity());
+  UserStudyConfig cfg;
+  cfg.num_queries = 8;
+  auto a = RunUserStudy(ds, {&tr}, 0, cfg);
+  auto b = RunUserStudy(ds, {&tr}, 0, cfg);
+  EXPECT_DOUBLE_EQ(a[0].avg_mark, b[0].avg_mark);
+  EXPECT_EQ(a[0].marks_4_or_5, b[0].marks_4_or_5);
+}
+
+
+TEST(UserStudyTest, ExpectedMarkMonotoneInQuality) {
+  for (double ambiguity : {0.0, 0.25, 0.5, 0.75}) {
+    double prev = -1;
+    for (double q = 0.0; q <= 1.0; q += 0.1) {
+      double mark = ExpectedMark(q, ambiguity);
+      EXPECT_GE(mark, prev) << "ambiguity " << ambiguity;
+      EXPECT_GE(mark, 1.0);
+      EXPECT_LE(mark, 5.0);
+      prev = mark;
+    }
+  }
+}
+
+TEST(StandardAlgorithmsTest, RosterNamesAndInstantiation) {
+  const auto& ds = Dataset();
+  core::ScoreParams params;
+  auto with = StandardAlgorithms(topics::TwitterSimilarity(), params, true);
+  auto without =
+      StandardAlgorithms(topics::TwitterSimilarity(), params, false);
+  ASSERT_EQ(with.size(), 5u);
+  ASSERT_EQ(without.size(), 3u);
+  EXPECT_EQ(with[0].name, "Tr");
+  EXPECT_EQ(with[1].name, "Katz");
+  EXPECT_EQ(with[2].name, "TwitterRank");
+  EXPECT_EQ(with[3].name, "Tr-auth");
+  EXPECT_EQ(with[4].name, "Tr-sim");
+  for (const auto& algo : with) {
+    auto rec = algo.make(ds.graph);
+    ASSERT_NE(rec, nullptr);
+    // The factory name matches the recommender's self-reported name.
+    EXPECT_EQ(rec->name(), algo.name) << algo.name;
+  }
+}
+
+}  // namespace
+}  // namespace mbr::eval

@@ -1,0 +1,175 @@
+#include "eval/linkpred.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/twitter_generator.h"
+#include "eval/algorithms.h"
+#include "topics/similarity_matrix.h"
+#include "util/rng.h"
+
+namespace mbr::eval {
+namespace {
+
+using graph::NodeId;
+
+const datagen::GeneratedDataset& Dataset() {
+  static const datagen::GeneratedDataset& ds =
+      *new datagen::GeneratedDataset([] {
+        datagen::TwitterConfig c;
+        c.num_nodes = 2500;
+        c.out_degree_min = 5.0;
+        return datagen::GenerateTwitter(c);
+      }());
+  return ds;
+}
+
+LinkPredConfig SmallConfig() {
+  LinkPredConfig c;
+  c.test_edges = 30;
+  c.negatives = 200;
+  c.trials = 1;
+  c.max_top_n = 20;
+  return c;
+}
+
+TEST(SampleTestEdgesTest, RespectsDegreeConstraints) {
+  const auto& g = Dataset().graph;
+  LinkPredConfig c = SmallConfig();
+  util::Rng rng(3);
+  auto edges = SampleTestEdges(g, c, &rng);
+  ASSERT_FALSE(edges.empty());
+  for (const TestEdge& e : edges) {
+    EXPECT_GE(g.InDegree(e.dst), c.min_in_degree);
+    EXPECT_GE(g.OutDegree(e.src), c.min_out_degree);
+    EXPECT_TRUE(g.HasEdge(e.src, e.dst));
+    EXPECT_TRUE(g.EdgeLabels(e.src, e.dst).Contains(e.topic));
+  }
+}
+
+TEST(SampleTestEdgesTest, FixedTopicFilter) {
+  const auto& g = Dataset().graph;
+  LinkPredConfig c = SmallConfig();
+  c.fixed_topic = 0;
+  util::Rng rng(4);
+  auto edges = SampleTestEdges(g, c, &rng);
+  for (const TestEdge& e : edges) {
+    EXPECT_EQ(e.topic, 0);
+    EXPECT_TRUE(g.EdgeLabels(e.src, e.dst).Contains(0));
+  }
+}
+
+TEST(SampleTestEdgesTest, PopularityFilters) {
+  const auto& g = Dataset().graph;
+  LinkPredConfig c = SmallConfig();
+  util::Rng rng(5);
+
+  c.popularity = PopularityFilter::kTop10Percent;
+  auto top = SampleTestEdges(g, c, &rng);
+  c.popularity = PopularityFilter::kBottom10Percent;
+  auto bottom = SampleTestEdges(g, c, &rng);
+  ASSERT_FALSE(top.empty());
+  ASSERT_FALSE(bottom.empty());
+  double avg_top = 0, avg_bottom = 0;
+  for (const auto& e : top) avg_top += g.InDegree(e.dst);
+  for (const auto& e : bottom) avg_bottom += g.InDegree(e.dst);
+  avg_top /= top.size();
+  avg_bottom /= bottom.size();
+  EXPECT_GT(avg_top, 5 * avg_bottom);
+}
+
+TEST(SampleTestEdgesTest, DistinctEdges) {
+  const auto& g = Dataset().graph;
+  LinkPredConfig c = SmallConfig();
+  c.test_edges = 100;
+  util::Rng rng(6);
+  auto edges = SampleTestEdges(g, c, &rng);
+  std::set<std::pair<NodeId, NodeId>> uniq;
+  for (const auto& e : edges) uniq.insert({e.src, e.dst});
+  EXPECT_EQ(uniq.size(), edges.size());
+}
+
+TEST(RankOfTargetTest, Basics) {
+  EXPECT_EQ(RankOfTarget(5.0, {1.0, 2.0, 3.0}), 1u);
+  EXPECT_EQ(RankOfTarget(2.5, {1.0, 2.0, 3.0}), 2u);
+  EXPECT_EQ(RankOfTarget(0.5, {1.0, 2.0, 3.0}), 4u);
+}
+
+TEST(RankOfTargetTest, TiesSplit) {
+  // 4 ties -> 2 rank ahead.
+  EXPECT_EQ(RankOfTarget(1.0, {1.0, 1.0, 1.0, 1.0}), 3u);
+  // Zero scores everywhere (common for unreachable candidates).
+  EXPECT_EQ(RankOfTarget(0.0, std::vector<double>(1000, 0.0)), 501u);
+}
+
+TEST(RunLinkPredictionTest, CurvesWellFormed) {
+  const auto& ds = Dataset();
+  core::ScoreParams params;  // paper defaults
+  auto algos = StandardAlgorithms(topics::TwitterSimilarity(), params,
+                                  /*include_ablations=*/false);
+  auto curves = RunLinkPrediction(ds.graph, algos, SmallConfig());
+  ASSERT_EQ(curves.size(), 3u);
+  for (const auto& c : curves) {
+    ASSERT_EQ(c.recall_at.size(), 20u);
+    // Recall grows with N and stays in [0, 1].
+    for (size_t i = 0; i < 20; ++i) {
+      EXPECT_GE(c.recall_at[i], 0.0);
+      EXPECT_LE(c.recall_at[i], 1.0);
+      if (i > 0) {
+        EXPECT_GE(c.recall_at[i], c.recall_at[i - 1]);
+      }
+      EXPECT_NEAR(c.precision_at[i], c.recall_at[i] / (i + 1), 1e-12);
+    }
+  }
+}
+
+TEST(RunLinkPredictionTest, TrBeatsTwitterRankOnHomophilousGraph) {
+  // The headline result (Figure 4): the personalised, path-based Tr score
+  // finds removed follow edges far better than global TwitterRank.
+  const auto& ds = Dataset();
+  core::ScoreParams params;
+  auto algos = StandardAlgorithms(topics::TwitterSimilarity(), params,
+                                  /*include_ablations=*/false);
+  LinkPredConfig c = SmallConfig();
+  c.test_edges = 60;
+  c.trials = 2;
+  auto curves = RunLinkPrediction(ds.graph, algos, c);
+  double tr10 = curves[0].recall_at[9];
+  double twr10 = curves[2].recall_at[9];
+  EXPECT_GT(tr10, twr10);
+  EXPECT_GT(tr10, 0.1);  // sanity: Tr finds a meaningful share
+}
+
+TEST(RunLinkPredictionTest, DeterministicGivenSeed) {
+  const auto& ds = Dataset();
+  core::ScoreParams params;
+  auto algos = StandardAlgorithms(topics::TwitterSimilarity(), params, false);
+  LinkPredConfig c = SmallConfig();
+  c.test_edges = 15;
+  auto a = RunLinkPrediction(ds.graph, algos, c);
+  auto b = RunLinkPrediction(ds.graph, algos, c);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].recall_at, b[i].recall_at);
+  }
+}
+
+
+TEST(RunLinkPredictionTest, ThreadCountDoesNotChangeResults) {
+  const auto& ds = Dataset();
+  core::ScoreParams params;
+  auto algos = StandardAlgorithms(topics::TwitterSimilarity(), params, false);
+  LinkPredConfig c = SmallConfig();
+  c.test_edges = 15;
+  auto serial = RunLinkPrediction(ds.graph, algos, c);
+  c.num_threads = 4;
+  auto parallel = RunLinkPrediction(ds.graph, algos, c);
+  for (size_t a = 0; a < serial.size(); ++a) {
+    EXPECT_EQ(serial[a].recall_at, parallel[a].recall_at);
+    EXPECT_DOUBLE_EQ(serial[a].mrr, parallel[a].mrr);
+  }
+}
+
+}  // namespace
+}  // namespace mbr::eval

@@ -1,0 +1,94 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/twitter_generator.h"
+#include "eval/algorithms.h"
+#include "eval/linkpred.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::eval {
+namespace {
+
+TEST(MetricsTest, ReciprocalRank) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(1), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(2), 0.5);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(10), 0.1);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(0), 0.0);  // defensive
+}
+
+TEST(MetricsTest, NdcgSingleRelevant) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(1, 10), 1.0);
+  EXPECT_NEAR(NdcgAtK(2, 10), 1.0 / std::log2(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(NdcgAtK(11, 10), 0.0);  // outside the cut-off
+  EXPECT_GT(NdcgAtK(2, 10), NdcgAtK(3, 10));
+}
+
+TEST(MetricsTest, AccumulatorAverages) {
+  RankAccumulator acc;
+  acc.Add(1);
+  acc.Add(2);
+  acc.Add(100);  // miss for ndcg@10
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_NEAR(acc.MeanReciprocalRank(), (1.0 + 0.5 + 0.01) / 3, 1e-12);
+  EXPECT_NEAR(acc.MeanNdcgAt10(), (1.0 + 1.0 / std::log2(3.0) + 0.0) / 3,
+              1e-12);
+}
+
+TEST(MetricsTest, EmptyAccumulatorIsZero) {
+  RankAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.MeanReciprocalRank(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MeanNdcgAt10(), 0.0);
+}
+
+TEST(MetricsTest, LinkPredictionFillsMetricFields) {
+  datagen::TwitterConfig c;
+  c.num_nodes = 1500;
+  auto ds = datagen::GenerateTwitter(c);
+  core::ScoreParams params;
+  auto algos = StandardAlgorithms(topics::TwitterSimilarity(), params,
+                                  /*include_ablations=*/false);
+  LinkPredConfig cfg;
+  cfg.test_edges = 25;
+  cfg.negatives = 200;
+  cfg.trials = 1;
+  auto curves = RunLinkPrediction(ds.graph, algos, cfg);
+  for (const auto& curve : curves) {
+    EXPECT_GE(curve.mrr, 0.0);
+    EXPECT_LE(curve.mrr, 1.0);
+    EXPECT_GE(curve.ndcg_at_10, 0.0);
+    EXPECT_LE(curve.ndcg_at_10, 1.0);
+    // MRR is bounded below by recall@1 (rank-1 hits contribute 1 each) and
+    // nDCG@10 sits between recall@1 and recall@10.
+    EXPECT_GE(curve.mrr + 1e-12, curve.recall_at[0]);
+    EXPECT_GE(curve.ndcg_at_10 + 1e-12, curve.recall_at[0]);
+    EXPECT_LE(curve.ndcg_at_10, curve.recall_at[9] + 1e-12);
+  }
+}
+
+
+TEST(MetricsTest, TrialStddevPopulatedWithMultipleTrials) {
+  datagen::TwitterConfig c;
+  c.num_nodes = 1200;
+  auto ds = datagen::GenerateTwitter(c);
+  core::ScoreParams params;
+  auto algos = StandardAlgorithms(topics::TwitterSimilarity(), params, false);
+  LinkPredConfig cfg;
+  cfg.test_edges = 20;
+  cfg.negatives = 150;
+  cfg.trials = 3;
+  auto curves = RunLinkPrediction(ds.graph, algos, cfg);
+  for (const auto& curve : curves) {
+    EXPECT_GE(curve.recall_at_10_stddev, 0.0);
+    EXPECT_LE(curve.recall_at_10_stddev, 1.0);
+  }
+  // Single trial -> no variance estimate.
+  cfg.trials = 1;
+  auto single = RunLinkPrediction(ds.graph, algos, cfg);
+  for (const auto& curve : single) {
+    EXPECT_DOUBLE_EQ(curve.recall_at_10_stddev, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mbr::eval

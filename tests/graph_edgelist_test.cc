@@ -1,0 +1,113 @@
+#include "graph/edgelist.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/twitter_generator.h"
+#include "topics/vocabulary.h"
+
+namespace mbr::graph {
+namespace {
+
+using topics::TopicSet;
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(EdgeListTest, RoundTripGeneratedGraph) {
+  datagen::TwitterConfig c;
+  c.num_nodes = 400;
+  auto ds = datagen::GenerateTwitter(c);
+  const auto& vocab = topics::TwitterVocabulary();
+  std::string path = TempPath("roundtrip.edges");
+  ASSERT_TRUE(WriteEdgeList(ds.graph, vocab, path).ok());
+
+  auto loaded = ReadEdgeList(path, vocab);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const LabeledGraph& g = *loaded;
+  ASSERT_EQ(g.num_nodes(), ds.graph.num_nodes());
+  ASSERT_EQ(g.num_edges(), ds.graph.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.NodeLabels(u), ds.graph.NodeLabels(u));
+    auto a = ds.graph.OutNeighbors(u);
+    auto b = g.OutNeighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+      EXPECT_EQ(ds.graph.OutEdgeLabels(u)[i], g.OutEdgeLabels(u)[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, ParsesHandWrittenFile) {
+  const auto& vocab = topics::TwitterVocabulary();
+  std::string path = TempPath("hand.edges");
+  WriteFile(path,
+            "# a comment\n"
+            "G 3\n"
+            "N 0 technology,bigdata\n"
+            "E 0 1 technology\n"
+            "E 1 2\n"
+            "E 2 0 social,leisure\n");
+  auto loaded = ReadEdgeList(path, vocab);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 3u);
+  EXPECT_TRUE(loaded->NodeLabels(0).Contains(vocab.Id("technology")));
+  EXPECT_TRUE(loaded->EdgeLabels(0, 1).Contains(vocab.Id("technology")));
+  EXPECT_TRUE(loaded->EdgeLabels(1, 2).empty());
+  EXPECT_EQ(loaded->EdgeLabels(2, 0).size(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, RejectsUnknownTopic) {
+  std::string path = TempPath("badtopic.edges");
+  WriteFile(path, "G 2\nE 0 1 quantumgardening\n");
+  auto r = ReadEdgeList(path, topics::TwitterVocabulary());
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown topic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, RejectsOutOfRangeNode) {
+  std::string path = TempPath("badnode.edges");
+  WriteFile(path, "G 2\nE 0 7 technology\n");
+  EXPECT_FALSE(ReadEdgeList(path, topics::TwitterVocabulary()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, RejectsMissingHeader) {
+  std::string path = TempPath("noheader.edges");
+  WriteFile(path, "E 0 1 technology\n");
+  auto r = ReadEdgeList(path, topics::TwitterVocabulary());
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, RejectsDuplicateHeaderAndBadTag) {
+  std::string path = TempPath("dup.edges");
+  WriteFile(path, "G 2\nG 3\n");
+  EXPECT_FALSE(ReadEdgeList(path, topics::TwitterVocabulary()).ok());
+  WriteFile(path, "G 2\nX 0 1\n");
+  EXPECT_FALSE(ReadEdgeList(path, topics::TwitterVocabulary()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, MissingFileFails) {
+  auto r = ReadEdgeList("/nonexistent/x.edges", topics::TwitterVocabulary());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace mbr::graph

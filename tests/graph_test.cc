@@ -1,0 +1,246 @@
+#include "graph/labeled_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "topics/topic.h"
+
+namespace mbr::graph {
+namespace {
+
+using topics::TopicSet;
+
+TopicSet Ts(std::initializer_list<topics::TopicId> ids) {
+  TopicSet s;
+  for (auto t : ids) s.Add(t);
+  return s;
+}
+
+// Small fixture graph:
+//   0 -> 1 (t0), 0 -> 2 (t1), 1 -> 3 (t0,t1), 2 -> 3 (t1), 3 -> 0 (t2)
+LabeledGraph MakeDiamond() {
+  GraphBuilder b(4, 4);
+  b.SetNodeLabels(0, Ts({0}));
+  b.SetNodeLabels(1, Ts({0, 1}));
+  b.SetNodeLabels(2, Ts({1}));
+  b.SetNodeLabels(3, Ts({2}));
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(0, 2, Ts({1}));
+  b.AddEdge(1, 3, Ts({0, 1}));
+  b.AddEdge(2, 3, Ts({1}));
+  b.AddEdge(3, 0, Ts({2}));
+  return std::move(b).Build();
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  LabeledGraph g = MakeDiamond();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.num_topics(), 4);
+}
+
+TEST(GraphBuilderTest, SelfLoopRejected) {
+  GraphBuilder b(2, 2);
+  EXPECT_FALSE(b.AddEdge(1, 1, Ts({0})));
+  EXPECT_TRUE(b.AddEdge(0, 1, Ts({0})));
+  LabeledGraph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesMergeLabels) {
+  GraphBuilder b(2, 4);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(0, 1, Ts({2}));
+  LabeledGraph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.EdgeLabels(0, 1), Ts({0, 2}));
+}
+
+TEST(LabeledGraphTest, OutNeighborsSortedWithLabels) {
+  GraphBuilder b(5, 2);
+  b.AddEdge(0, 4, Ts({1}));
+  b.AddEdge(0, 2, Ts({0}));
+  b.AddEdge(0, 3, Ts({0, 1}));
+  LabeledGraph g = std::move(b).Build();
+  auto nbrs = g.OutNeighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  auto labs = g.OutEdgeLabels(0);
+  EXPECT_EQ(labs[0], Ts({0}));      // -> 2
+  EXPECT_EQ(labs[1], Ts({0, 1}));   // -> 3
+  EXPECT_EQ(labs[2], Ts({1}));      // -> 4
+}
+
+TEST(LabeledGraphTest, InOutConsistent) {
+  LabeledGraph g = MakeDiamond();
+  // Every out edge appears exactly once as an in edge with the same labels.
+  uint64_t count = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto labs = g.OutEdgeLabels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      NodeId v = nbrs[i];
+      auto in = g.InNeighbors(v);
+      auto it = std::find(in.begin(), in.end(), u);
+      ASSERT_NE(it, in.end());
+      EXPECT_EQ(g.InEdgeLabels(v)[static_cast<size_t>(it - in.begin())],
+                labs[i]);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, g.num_edges());
+}
+
+TEST(LabeledGraphTest, DegreesMatchAdjacency) {
+  LabeledGraph g = MakeDiamond();
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(3), 2u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+  EXPECT_EQ(g.OutDegree(3), 1u);
+}
+
+TEST(LabeledGraphTest, HasEdgeAndEdgeLabels) {
+  LabeledGraph g = MakeDiamond();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.EdgeLabels(1, 3), Ts({0, 1}));
+  EXPECT_TRUE(g.EdgeLabels(3, 1).empty());
+}
+
+TEST(LabeledGraphTest, NodeLabels) {
+  LabeledGraph g = MakeDiamond();
+  EXPECT_EQ(g.NodeLabels(1), Ts({0, 1}));
+  EXPECT_EQ(g.NodeLabels(3), Ts({2}));
+}
+
+TEST(LabeledGraphTest, WithoutEdgesRemoves) {
+  LabeledGraph g = MakeDiamond();
+  LabeledGraph g2 = g.WithoutEdges({{0, 1}, {3, 0}});
+  EXPECT_EQ(g2.num_edges(), 3u);
+  EXPECT_FALSE(g2.HasEdge(0, 1));
+  EXPECT_FALSE(g2.HasEdge(3, 0));
+  EXPECT_TRUE(g2.HasEdge(0, 2));
+  // Node labels survive.
+  EXPECT_EQ(g2.NodeLabels(1), Ts({0, 1}));
+  // Unknown removals are ignored.
+  LabeledGraph g3 = g.WithoutEdges({{1, 0}});
+  EXPECT_EQ(g3.num_edges(), 5u);
+}
+
+TEST(LabeledGraphTest, SaveLoadRoundTrip) {
+  LabeledGraph g = MakeDiamond();
+  std::string path = testing::TempDir() + "/graph_roundtrip.bin";
+  ASSERT_TRUE(g.SaveTo(path).ok());
+  auto loaded = LabeledGraph::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const LabeledGraph& h = *loaded;
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.num_topics(), g.num_topics());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(h.NodeLabels(u), g.NodeLabels(u));
+    auto a = g.OutNeighbors(u);
+    auto b = h.OutNeighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LabeledGraphTest, LoadMissingFileFails) {
+  auto r = LabeledGraph::LoadFrom("/nonexistent/nope.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(LabeledGraphTest, LoadBadMagicFails) {
+  std::string path = testing::TempDir() + "/bad_magic.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = "not a graph file at all, sorry";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  auto r = LabeledGraph::LoadFrom(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DegreeStatisticsTest, Diamond) {
+  DegreeStatistics s = ComputeDegreeStatistics(MakeDiamond());
+  EXPECT_EQ(s.num_nodes, 4u);
+  EXPECT_EQ(s.num_edges, 5u);
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_EQ(s.max_in_degree, 2u);
+  // All 4 nodes have out-degree > 0 and in-degree > 0.
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 5.0 / 4.0);
+  EXPECT_DOUBLE_EQ(s.avg_in_degree, 5.0 / 4.0);
+}
+
+TEST(DegreeStatisticsTest, AveragesOverNonZeroDegreeNodes) {
+  GraphBuilder b(4, 1);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(0, 2, Ts({0}));
+  b.AddEdge(3, 1, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  DegreeStatistics s = ComputeDegreeStatistics(g);
+  // Nodes with out-degree: {0, 3}; with in-degree: {1, 2}.
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 3.0 / 2.0);
+  EXPECT_DOUBLE_EQ(s.avg_in_degree, 3.0 / 2.0);
+}
+
+TEST(BfsTest, KVicinityDepths) {
+  LabeledGraph g = MakeDiamond();
+  auto order = KVicinity(g, 0, 1);
+  // depth 0: {0}; depth 1: {1, 2}.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].node, 0u);
+  EXPECT_EQ(order[0].depth, 0u);
+  EXPECT_EQ(order[1].depth, 1u);
+  EXPECT_EQ(order[2].depth, 1u);
+
+  auto all = KVicinity(g, 0, 10);
+  EXPECT_EQ(all.size(), 4u);  // whole cycle reachable
+}
+
+TEST(BfsTest, KVicinityInDirection) {
+  LabeledGraph g = MakeDiamond();
+  auto order = KVicinity(g, 3, 1, Direction::kIn);
+  // Followers of 3 are 1 and 2.
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<NodeId> d1 = {order[1].node, order[2].node};
+  std::sort(d1.begin(), d1.end());
+  EXPECT_EQ(d1, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(BfsTest, ShortestDepthWins) {
+  // 0->1->2 and 0->2: node 2 must be reported at depth 1.
+  GraphBuilder b(3, 1);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(1, 2, Ts({0}));
+  b.AddEdge(0, 2, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  auto order = KVicinity(g, 0, 5);
+  for (const auto& v : order) {
+    if (v.node == 2) {
+      EXPECT_EQ(v.depth, 1u);
+    }
+  }
+}
+
+TEST(BfsTest, SeedCoverageCounts) {
+  LabeledGraph g = MakeDiamond();
+  auto counts = SeedCoverageCounts(g, {0, 1}, 1, Direction::kOut);
+  // From 0 (depth<=1): 0,1,2. From 1: 1,3.
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+}  // namespace
+}  // namespace mbr::graph

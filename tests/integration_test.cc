@@ -1,0 +1,114 @@
+// End-to-end integration: the full §5 flow on one small dataset —
+// generator (with the real text-extraction pipeline) -> authority ->
+// exact recommendation -> landmark pre-processing -> approximate
+// recommendation -> link-prediction evaluation -> persistence round trips.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/recommender.h"
+#include "datagen/twitter_generator.h"
+#include "eval/algorithms.h"
+#include "eval/linkpred.h"
+#include "graph/edgelist.h"
+#include "landmark/approx.h"
+#include "landmark/index.h"
+#include "landmark/selection.h"
+#include "topics/similarity_matrix.h"
+#include "topics/vocabulary.h"
+#include "util/kendall.h"
+
+namespace mbr {
+namespace {
+
+using graph::NodeId;
+
+TEST(IntegrationTest, FullPipelineEndToEnd) {
+  // 1. Dataset labeled by the real §5.1 pipeline (tweets + classifier).
+  datagen::TwitterConfig config;
+  config.num_nodes = 1500;
+  config.label_mode = datagen::LabelMode::kTextPipeline;
+  config.pipeline.seed_label_fraction = 0.25;
+  config.pipeline.tweets_per_user = 8;
+  datagen::GeneratedDataset ds = GenerateTwitter(config);
+  ASSERT_EQ(ds.graph.num_nodes(), 1500u);
+  ASSERT_GT(ds.pipeline_metrics.precision, 0.5);
+
+  // 2. Exact recommendations for a handful of users.
+  const auto& sim = topics::TwitterSimilarity();
+  core::TrRecommender exact(ds.graph, sim);
+  const topics::TopicId tech = topics::TwitterVocabulary().Id("technology");
+  NodeId query = graph::kInvalidNode;
+  for (NodeId u = 0; u < ds.graph.num_nodes(); ++u) {
+    if (ds.graph.OutDegree(u) >= 10) {
+      query = u;
+      break;
+    }
+  }
+  ASSERT_NE(query, graph::kInvalidNode);
+  auto exact_recs = exact.Recommend(query, tech, 10);
+  ASSERT_FALSE(exact_recs.empty());
+
+  // 3. Landmark pre-processing + approximate query; the two rankings agree
+  // closely at the head.
+  core::AuthorityIndex auth(ds.graph);
+  landmark::SelectionConfig scfg;
+  scfg.num_landmarks = 50;
+  auto sel = SelectLandmarks(ds.graph, landmark::SelectionStrategy::kFollow,
+                             scfg);
+  landmark::LandmarkIndexConfig icfg;
+  icfg.top_n = 100;
+  landmark::LandmarkIndex index(ds.graph, auth, sim, sel.landmarks, icfg);
+  landmark::ApproxRecommender approx(ds.graph, auth, sim, index, {});
+  auto approx_recs = approx.RecommendTopN(query, tech, 10);
+  ASSERT_FALSE(approx_recs.empty());
+  std::vector<uint32_t> a, b;
+  for (const auto& r : exact_recs) a.push_back(r.id);
+  for (const auto& r : approx_recs) b.push_back(r.id);
+  EXPECT_LT(util::KendallTauTopK(b, a), 0.35);
+
+  // 4. A tiny link-prediction run executes the whole protocol.
+  auto algos = eval::StandardAlgorithms(sim, core::ScoreParams{}, false);
+  eval::LinkPredConfig lcfg;
+  lcfg.test_edges = 15;
+  lcfg.negatives = 150;
+  lcfg.trials = 1;
+  auto curves = RunLinkPrediction(ds.graph, algos, lcfg);
+  ASSERT_EQ(curves.size(), 3u);
+  for (const auto& c : curves) {
+    EXPECT_LE(c.recall_at.back(), 1.0);
+  }
+
+  // 5. Persistence: graph (binary + text) and landmark index round trip and
+  // keep serving identical answers.
+  std::string gpath = testing::TempDir() + "/integ_graph.bin";
+  std::string epath = testing::TempDir() + "/integ_graph.edges";
+  std::string ipath = testing::TempDir() + "/integ_index.bin";
+  ASSERT_TRUE(ds.graph.SaveTo(gpath).ok());
+  ASSERT_TRUE(
+      WriteEdgeList(ds.graph, topics::TwitterVocabulary(), epath).ok());
+  ASSERT_TRUE(index.SaveTo(ipath).ok());
+
+  auto g2 = graph::LabeledGraph::LoadFrom(gpath);
+  ASSERT_TRUE(g2.ok());
+  auto g3 = graph::ReadEdgeList(epath, topics::TwitterVocabulary());
+  ASSERT_TRUE(g3.ok());
+  EXPECT_EQ(g2->num_edges(), g3->num_edges());
+
+  auto idx2 = landmark::LandmarkIndex::LoadFrom(ipath, ds.graph.num_nodes());
+  ASSERT_TRUE(idx2.ok());
+  landmark::ApproxRecommender approx2(*g2, auth, sim, *idx2, {});
+  auto approx_recs2 = approx2.RecommendTopN(query, tech, 10);
+  ASSERT_EQ(approx_recs.size(), approx_recs2.size());
+  for (size_t i = 0; i < approx_recs.size(); ++i) {
+    EXPECT_EQ(approx_recs[i].id, approx_recs2[i].id);
+    EXPECT_DOUBLE_EQ(approx_recs[i].score, approx_recs2[i].score);
+  }
+  std::remove(gpath.c_str());
+  std::remove(epath.c_str());
+  std::remove(ipath.c_str());
+}
+
+}  // namespace
+}  // namespace mbr

@@ -1,0 +1,318 @@
+#include "landmark/approx.h"
+#include "landmark/index.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/recommender.h"
+#include "datagen/twitter_generator.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+#include "util/rng.h"
+
+namespace mbr::landmark {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+TopicSet Ts(std::initializer_list<TopicId> ids) {
+  TopicSet s;
+  for (auto t : ids) s.Add(t);
+  return s;
+}
+
+const topics::SimilarityMatrix& Sim() { return topics::TwitterSimilarity(); }
+
+core::ScoreParams ExactParams(uint32_t depth = 10) {
+  core::ScoreParams p;
+  p.beta = 0.1;
+  p.alpha = 0.85;
+  p.tolerance = 0.0;
+  p.frontier_epsilon = 0.0;
+  p.max_depth = depth;
+  return p;
+}
+
+LabeledGraph RandomGraph(uint32_t n, uint32_t degree, uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder b(n, 18);
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t k = 0; k < degree; ++k) {
+      NodeId v = static_cast<NodeId>(rng.UniformU64(n));
+      if (v != u) {
+        b.AddEdge(u, v, Ts({static_cast<TopicId>(rng.UniformU64(18))}));
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+// Layered DAG: 0 -> {1,2} -> 3(landmark) -> {4,5} -> 6, plus a direct
+// branch 0 -> 7 that avoids the landmark.
+LabeledGraph MakeLayeredDag() {
+  GraphBuilder b(8, 18);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(0, 2, Ts({0}));
+  b.AddEdge(1, 3, Ts({0}));
+  b.AddEdge(2, 3, Ts({0}));
+  b.AddEdge(3, 4, Ts({0}));
+  b.AddEdge(3, 5, Ts({0}));
+  b.AddEdge(4, 6, Ts({0}));
+  b.AddEdge(5, 6, Ts({0}));
+  b.AddEdge(0, 7, Ts({0}));
+  return std::move(b).Build();
+}
+
+TEST(LandmarkIndexTest, StoredListsRankedAndBounded) {
+  LabeledGraph g = RandomGraph(60, 4, 3);
+  core::AuthorityIndex auth(g);
+  LandmarkIndexConfig cfg;
+  cfg.top_n = 5;
+  cfg.params = ExactParams(6);
+  LandmarkIndex index(g, auth, Sim(), {0, 1, 2}, cfg);
+  EXPECT_TRUE(index.IsLandmark(1));
+  EXPECT_FALSE(index.IsLandmark(59));
+  for (NodeId lm : {0u, 1u, 2u}) {
+    for (int t = 0; t < g.num_topics(); ++t) {
+      const auto& recs =
+          index.Recommendations(lm, static_cast<TopicId>(t));
+      EXPECT_LE(recs.size(), 5u);
+      for (size_t i = 1; i < recs.size(); ++i) {
+        EXPECT_GE(recs[i - 1].sigma, recs[i].sigma);
+      }
+      for (const auto& r : recs) {
+        EXPECT_NE(r.node, lm);  // a landmark never recommends itself
+        EXPECT_GT(r.sigma, 0.0);
+      }
+    }
+  }
+  EXPECT_GT(index.StorageBytes(), 0u);
+  EXPECT_GE(index.build_seconds_per_landmark(), 0.0);
+}
+
+TEST(LandmarkIndexTest, StoredScoresMatchDirectExploration) {
+  LabeledGraph g = RandomGraph(40, 3, 9);
+  core::AuthorityIndex auth(g);
+  LandmarkIndexConfig cfg;
+  cfg.top_n = 100;
+  cfg.params = ExactParams(6);
+  LandmarkIndex index(g, auth, Sim(), {5}, cfg);
+  core::Scorer scorer(g, auth, Sim(), cfg.params);
+  TopicSet all;
+  for (int t = 0; t < 18; ++t) all.Add(static_cast<TopicId>(t));
+  core::ExplorationResult res = scorer.Explore(5, all);
+  for (const StoredRec& r : index.Recommendations(5, 0)) {
+    EXPECT_NEAR(r.sigma, res.Sigma(r.node, 0), 1e-14);
+    EXPECT_NEAR(r.topo_beta, res.TopoBeta(r.node), 1e-14);
+  }
+}
+
+TEST(ApproxTest, Proposition4ExactOnChainThroughLandmark) {
+  // 0 -> 1(λ) -> 2: the only walk to 2 passes λ, so the composed score
+  // must equal the exact score.
+  GraphBuilder b(3, 18);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(1, 2, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  core::AuthorityIndex auth(g);
+  LandmarkIndexConfig icfg;
+  icfg.top_n = 10;
+  icfg.params = ExactParams(6);
+  LandmarkIndex index(g, auth, Sim(), {1}, icfg);
+  ApproxConfig acfg;
+  acfg.query_depth = 2;
+  acfg.params = ExactParams(6);
+  ApproxRecommender approx(g, auth, Sim(), index, acfg);
+
+  core::TrRecommender exact(g, Sim(), ExactParams(6));
+  auto approx_scores = approx.ScoreCandidates(0, 0, {1, 2});
+  auto exact_scores = exact.ScoreCandidates(0, 0, {1, 2});
+  EXPECT_NEAR(approx_scores[0], exact_scores[0], 1e-15);  // λ itself
+  EXPECT_NEAR(approx_scores[1], exact_scores[1], 1e-15);  // through λ
+}
+
+TEST(ApproxTest, ExactOnDagWithFullStorage) {
+  // On a DAG, with unbounded depth and full top-n, direct + composed
+  // contributions partition the walk set: approximate == exact everywhere.
+  LabeledGraph g = MakeLayeredDag();
+  core::AuthorityIndex auth(g);
+  LandmarkIndexConfig icfg;
+  icfg.top_n = 100;
+  icfg.params = ExactParams(10);
+  LandmarkIndex index(g, auth, Sim(), {3}, icfg);
+  ApproxConfig acfg;
+  acfg.query_depth = 10;
+  acfg.params = ExactParams(10);
+  ApproxRecommender approx(g, auth, Sim(), index, acfg);
+  core::TrRecommender exact(g, Sim(), ExactParams(10));
+
+  std::vector<NodeId> all = {1, 2, 3, 4, 5, 6, 7};
+  auto a = approx.ScoreCandidates(0, 0, all);
+  auto e = exact.ScoreCandidates(0, 0, all);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_NEAR(a[i], e[i], 1e-15) << "node " << all[i];
+  }
+}
+
+TEST(ApproxTest, LowerBoundsExactScore) {
+  // §4.2: "our approach estimates a lower-bound of the recommendation
+  // scores". With pruning, every walk is counted at most once.
+  for (uint64_t seed : {11ull, 12ull, 13ull}) {
+    LabeledGraph g = RandomGraph(80, 4, seed);
+    core::AuthorityIndex auth(g);
+    LandmarkIndexConfig icfg;
+    icfg.top_n = 1000;
+    icfg.params = ExactParams(8);
+    LandmarkIndex index(g, auth, Sim(), {2, 7, 11, 19}, icfg);
+    ApproxConfig acfg;
+    acfg.query_depth = 2;
+    acfg.params = ExactParams(8);
+    ApproxRecommender approx(g, auth, Sim(), index, acfg);
+    core::TrRecommender exact(g, Sim(), ExactParams(8));
+
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+    auto a = approx.ScoreCandidates(0, 0, all);
+    auto e = exact.ScoreCandidates(0, 0, all);
+    for (NodeId v = 1; v < g.num_nodes(); ++v) {
+      EXPECT_LE(a[v], e[v] + 1e-12)
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+TEST(ApproxTest, LandmarksExtendReachBeyondQueryDepth) {
+  // Node 6 in the layered DAG is 4 hops from 0: invisible to a depth-2
+  // exploration without landmarks, found through λ = 3 with them.
+  LabeledGraph g = MakeLayeredDag();
+  core::AuthorityIndex auth(g);
+  LandmarkIndexConfig icfg;
+  icfg.top_n = 100;
+  icfg.params = ExactParams(10);
+  ApproxConfig acfg;
+  acfg.query_depth = 2;
+  acfg.params = ExactParams(10);
+
+  LandmarkIndex with_lm(g, auth, Sim(), {3}, icfg);
+  ApproxRecommender approx(g, auth, Sim(), with_lm, acfg);
+  EXPECT_GT(approx.ScoreCandidates(0, 0, {6})[0], 0.0);
+
+  LandmarkIndex no_lm(g, auth, Sim(), {7}, icfg);  // useless landmark
+  ApproxRecommender blind(g, auth, Sim(), no_lm, acfg);
+  EXPECT_DOUBLE_EQ(blind.ScoreCandidates(0, 0, {6})[0], 0.0);
+}
+
+TEST(ApproxTest, QueryStatsCountLandmarks) {
+  LabeledGraph g = MakeLayeredDag();
+  core::AuthorityIndex auth(g);
+  LandmarkIndexConfig icfg;
+  icfg.params = ExactParams(10);
+  LandmarkIndex index(g, auth, Sim(), {3, 7}, icfg);
+  ApproxConfig acfg;
+  acfg.query_depth = 2;
+  acfg.params = ExactParams(10);
+  ApproxRecommender approx(g, auth, Sim(), index, acfg);
+  QueryStats stats;
+  approx.ApproximateScores(0, 0, &stats);
+  // Depth-2 BFS from 0 reaches landmark 3 (distance 2) and 7 (distance 1).
+  EXPECT_EQ(stats.landmarks_encountered, 2u);
+  EXPECT_GT(stats.nodes_reached, 0u);
+}
+
+TEST(ApproxTest, RecommendTopNRanked) {
+  datagen::TwitterConfig c;
+  c.num_nodes = 1000;
+  datagen::GeneratedDataset ds = datagen::GenerateTwitter(c);
+  core::AuthorityIndex auth(ds.graph);
+  LandmarkIndexConfig icfg;
+  icfg.top_n = 50;
+  LandmarkIndex index(ds.graph, auth, Sim(), {1, 2, 3, 4, 5}, icfg);
+  ApproxConfig acfg;
+  ApproxRecommender approx(ds.graph, auth, Sim(), index, acfg);
+  auto recs = approx.RecommendTopN(0, 0, 10);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i - 1].score, recs[i].score);
+  }
+  for (const auto& r : recs) EXPECT_NE(r.id, 0u);
+}
+
+TEST(ApproxTest, PruningDisabledOvercounts) {
+  // Without pruning, walks through a landmark are double-counted, so the
+  // unpruned score is >= the pruned one (strictly greater through λ).
+  LabeledGraph g = MakeLayeredDag();
+  core::AuthorityIndex auth(g);
+  LandmarkIndexConfig icfg;
+  icfg.top_n = 100;
+  icfg.params = ExactParams(10);
+  LandmarkIndex index(g, auth, Sim(), {3}, icfg);
+  ApproxConfig pruned_cfg;
+  pruned_cfg.query_depth = 10;
+  pruned_cfg.params = ExactParams(10);
+  ApproxConfig unpruned_cfg = pruned_cfg;
+  unpruned_cfg.prune_at_landmarks = false;
+  ApproxRecommender pruned(g, auth, Sim(), index, pruned_cfg);
+  ApproxRecommender unpruned(g, auth, Sim(), index, unpruned_cfg);
+  double s_pruned = pruned.ScoreCandidates(0, 0, {6})[0];
+  double s_unpruned = unpruned.ScoreCandidates(0, 0, {6})[0];
+  EXPECT_GT(s_unpruned, s_pruned);
+}
+
+
+TEST(ApproxTest, MultiTopicQueryIsWeightedSum) {
+  LabeledGraph g = RandomGraph(60, 4, 21);
+  core::AuthorityIndex auth(g);
+  LandmarkIndexConfig icfg;
+  icfg.top_n = 100;
+  icfg.params = ExactParams(8);
+  LandmarkIndex index(g, auth, Sim(), {3, 9, 17}, icfg);
+  ApproxConfig acfg;
+  acfg.params = ExactParams(8);
+  ApproxRecommender approx(g, auth, Sim(), index, acfg);
+
+  auto q = approx.RecommendQuery(0, {{2, 0.6}, {5, 0.4}}, 10);
+  ASSERT_FALSE(q.empty());
+  auto s2 = approx.ApproximateScores(0, 2);
+  auto s5 = approx.ApproximateScores(0, 5);
+  for (const auto& r : q) {
+    double expected = 0.0;
+    if (auto it = s2.find(r.id); it != s2.end()) expected += 0.6 * it->second;
+    if (auto it = s5.find(r.id); it != s5.end()) expected += 0.4 * it->second;
+    EXPECT_NEAR(r.score, expected, 1e-15);
+  }
+  // Ranked descending.
+  for (size_t i = 1; i < q.size(); ++i) {
+    EXPECT_GE(q[i - 1].score, q[i].score);
+  }
+}
+
+
+TEST(ApproxTest, QueryFromALandmarkItself) {
+  // A landmark can issue queries too: the exploration starts at u even
+  // though u is in the pruning mask (only *reached* nodes are pruned).
+  LabeledGraph g = MakeLayeredDag();
+  core::AuthorityIndex auth(g);
+  LandmarkIndexConfig icfg;
+  icfg.top_n = 100;
+  icfg.params = ExactParams(10);
+  LandmarkIndex index(g, auth, Sim(), {0, 3}, icfg);
+  ApproxConfig acfg;
+  acfg.query_depth = 2;
+  acfg.params = ExactParams(10);
+  ApproxRecommender approx(g, auth, Sim(), index, acfg);
+  auto scores = approx.ApproximateScores(0, 0);
+  EXPECT_FALSE(scores.empty());
+  // Direct neighbors are reached despite u being a landmark.
+  EXPECT_GT(scores.count(1), 0u);
+  EXPECT_GT(scores.count(7), 0u);
+  // And the landmark at 3 still composes: node 6 (4 hops) is scored.
+  EXPECT_GT(scores.count(6), 0u);
+}
+
+}  // namespace
+}  // namespace mbr::landmark

@@ -1,0 +1,166 @@
+#include "landmark/index.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/authority.h"
+#include "datagen/twitter_generator.h"
+#include "landmark/approx.h"
+#include "landmark/selection.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::landmark {
+namespace {
+
+using graph::NodeId;
+
+struct Fixture {
+  datagen::GeneratedDataset ds = [] {
+    datagen::TwitterConfig c;
+    c.num_nodes = 1500;
+    return datagen::GenerateTwitter(c);
+  }();
+  core::AuthorityIndex auth{ds.graph};
+  SelectionResult sel = SelectLandmarks(
+      ds.graph, SelectionStrategy::kFollow, [] {
+        SelectionConfig c;
+        c.num_landmarks = 25;
+        return c;
+      }());
+};
+
+LandmarkIndexConfig IndexConfig(uint32_t threads) {
+  LandmarkIndexConfig c;
+  c.top_n = 40;
+  c.num_threads = threads;
+  return c;
+}
+
+TEST(LandmarkIndexIoTest, SaveLoadRoundTrip) {
+  Fixture f;
+  LandmarkIndex index(f.ds.graph, f.auth, topics::TwitterSimilarity(),
+                      f.sel.landmarks, IndexConfig(1));
+  std::string path = testing::TempDir() + "/landmark_index.bin";
+  ASSERT_TRUE(index.SaveTo(path).ok());
+
+  auto loaded = LandmarkIndex::LoadFrom(path, f.ds.graph.num_nodes());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->landmarks(), index.landmarks());
+  EXPECT_EQ(loaded->config().top_n, index.config().top_n);
+  EXPECT_EQ(loaded->StorageBytes(), index.StorageBytes());
+  for (NodeId lm : index.landmarks()) {
+    EXPECT_TRUE(loaded->IsLandmark(lm));
+    for (int t = 0; t < f.ds.graph.num_topics(); ++t) {
+      const auto& a =
+          index.Recommendations(lm, static_cast<topics::TopicId>(t));
+      const auto& b =
+          loaded->Recommendations(lm, static_cast<topics::TopicId>(t));
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].node, b[i].node);
+        EXPECT_DOUBLE_EQ(a[i].sigma, b[i].sigma);
+        EXPECT_DOUBLE_EQ(a[i].topo_beta, b[i].topo_beta);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LandmarkIndexIoTest, LoadedIndexServesIdenticalQueries) {
+  Fixture f;
+  LandmarkIndex index(f.ds.graph, f.auth, topics::TwitterSimilarity(),
+                      f.sel.landmarks, IndexConfig(1));
+  std::string path = testing::TempDir() + "/landmark_index_q.bin";
+  ASSERT_TRUE(index.SaveTo(path).ok());
+  auto loaded = LandmarkIndex::LoadFrom(path, f.ds.graph.num_nodes());
+  ASSERT_TRUE(loaded.ok());
+
+  ApproxConfig acfg;
+  ApproxRecommender a(f.ds.graph, f.auth, topics::TwitterSimilarity(), index,
+                      acfg);
+  ApproxRecommender b(f.ds.graph, f.auth, topics::TwitterSimilarity(),
+                      *loaded, acfg);
+  for (NodeId u : {1u, 40u, 700u}) {
+    auto ra = a.RecommendTopN(u, 2, 10);
+    auto rb = b.RecommendTopN(u, 2, 10);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].id, rb[i].id);
+      EXPECT_DOUBLE_EQ(ra[i].score, rb[i].score);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LandmarkIndexIoTest, LoadRejectsWrongGraphSize) {
+  Fixture f;
+  LandmarkIndex index(f.ds.graph, f.auth, topics::TwitterSimilarity(),
+                      f.sel.landmarks, IndexConfig(1));
+  std::string path = testing::TempDir() + "/landmark_index_bad.bin";
+  ASSERT_TRUE(index.SaveTo(path).ok());
+  // A graph with fewer nodes than some landmark id must be rejected.
+  auto loaded = LandmarkIndex::LoadFrom(path, 3);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(LandmarkIndexIoTest, LoadMissingFileFails) {
+  auto r = LandmarkIndex::LoadFrom("/nonexistent/idx.bin", 10);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(LandmarkIndexIoTest, LoadGarbageFails) {
+  std::string path = testing::TempDir() + "/garbage_index.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[128] = "this is not a landmark index";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_FALSE(LandmarkIndex::LoadFrom(path, 100).ok());
+  std::remove(path.c_str());
+}
+
+
+TEST(LandmarkIndexIoTest, LoadRejectsImplausibleHeader) {
+  // A file whose magic is right but whose counts are absurd must be
+  // rejected before any large allocation.
+  std::string path = testing::TempDir() + "/implausible_index.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  uint64_t header[4] = {0x4d42524c4d494458ULL /* magic */,
+                        1000000 /* topics way over kMaxTopics */,
+                        5 /* landmarks */, 10 /* top_n */};
+  std::fwrite(header, sizeof(header), 1, f);
+  std::fclose(f);
+  auto r = LandmarkIndex::LoadFrom(path, 100);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(LandmarkIndexThreadsTest, ParallelBuildBitIdenticalToSerial) {
+  Fixture f;
+  LandmarkIndex serial(f.ds.graph, f.auth, topics::TwitterSimilarity(),
+                       f.sel.landmarks, IndexConfig(1));
+  LandmarkIndex parallel(f.ds.graph, f.auth, topics::TwitterSimilarity(),
+                         f.sel.landmarks, IndexConfig(4));
+  for (NodeId lm : f.sel.landmarks) {
+    for (int t = 0; t < f.ds.graph.num_topics(); ++t) {
+      const auto& a =
+          serial.Recommendations(lm, static_cast<topics::TopicId>(t));
+      const auto& b =
+          parallel.Recommendations(lm, static_cast<topics::TopicId>(t));
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].node, b[i].node);
+        EXPECT_DOUBLE_EQ(a[i].sigma, b[i].sigma);
+        EXPECT_DOUBLE_EQ(a[i].topo_beta, b[i].topo_beta);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbr::landmark

@@ -1,0 +1,184 @@
+#include "landmark/selection.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/twitter_generator.h"
+#include "graph/labeled_graph.h"
+
+namespace mbr::landmark {
+namespace {
+
+using graph::LabeledGraph;
+using graph::NodeId;
+
+const LabeledGraph& TestGraph() {
+  static const datagen::GeneratedDataset& ds = *new datagen::GeneratedDataset(
+      [] {
+        datagen::TwitterConfig c;
+        c.num_nodes = 2000;
+        c.out_degree_min = 5.0;
+        return datagen::GenerateTwitter(c);
+      }());
+  return ds.graph;
+}
+
+SelectionConfig DefaultConfig() {
+  SelectionConfig c;
+  c.num_landmarks = 50;
+  c.band_min = 3;
+  c.band_max = 200;
+  return c;
+}
+
+TEST(SelectionTest, AllStrategiesListed) {
+  EXPECT_EQ(AllStrategies().size(), 11u);
+  std::set<std::string> names;
+  for (auto s : AllStrategies()) names.insert(StrategyName(s));
+  EXPECT_EQ(names.size(), 11u);
+  EXPECT_TRUE(names.count("Random"));
+  EXPECT_TRUE(names.count("Combine2"));
+}
+
+TEST(SelectionTest, EveryStrategyReturnsDistinctValidNodes) {
+  const LabeledGraph& g = TestGraph();
+  for (auto s : AllStrategies()) {
+    SelectionResult r = SelectLandmarks(g, s, DefaultConfig());
+    EXPECT_FALSE(r.landmarks.empty()) << StrategyName(s);
+    EXPECT_LE(r.landmarks.size(), 50u) << StrategyName(s);
+    std::set<NodeId> uniq(r.landmarks.begin(), r.landmarks.end());
+    EXPECT_EQ(uniq.size(), r.landmarks.size()) << StrategyName(s);
+    for (NodeId v : r.landmarks) EXPECT_LT(v, g.num_nodes());
+    EXPECT_GE(r.millis_per_landmark, 0.0);
+  }
+}
+
+TEST(SelectionTest, Deterministic) {
+  const LabeledGraph& g = TestGraph();
+  for (auto s : AllStrategies()) {
+    SelectionResult a = SelectLandmarks(g, s, DefaultConfig());
+    SelectionResult b = SelectLandmarks(g, s, DefaultConfig());
+    EXPECT_EQ(a.landmarks, b.landmarks) << StrategyName(s);
+  }
+}
+
+TEST(SelectionTest, InDegPicksHighestInDegree) {
+  const LabeledGraph& g = TestGraph();
+  SelectionConfig c = DefaultConfig();
+  c.num_landmarks = 10;
+  SelectionResult r = SelectLandmarks(g, SelectionStrategy::kInDeg, c);
+  ASSERT_EQ(r.landmarks.size(), 10u);
+  // The minimum in-degree among selected >= in-degree of any unselected.
+  uint32_t min_selected = 0xffffffff;
+  std::set<NodeId> sel(r.landmarks.begin(), r.landmarks.end());
+  for (NodeId v : r.landmarks) {
+    min_selected = std::min(min_selected, g.InDegree(v));
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!sel.count(v)) {
+      EXPECT_LE(g.InDegree(v), min_selected);
+    }
+  }
+}
+
+TEST(SelectionTest, OutDegPicksHighestOutDegree) {
+  const LabeledGraph& g = TestGraph();
+  SelectionConfig c = DefaultConfig();
+  c.num_landmarks = 10;
+  SelectionResult r = SelectLandmarks(g, SelectionStrategy::kOutDeg, c);
+  uint32_t min_selected = 0xffffffff;
+  std::set<NodeId> sel(r.landmarks.begin(), r.landmarks.end());
+  for (NodeId v : r.landmarks) {
+    min_selected = std::min(min_selected, g.OutDegree(v));
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!sel.count(v)) {
+      EXPECT_LE(g.OutDegree(v), min_selected);
+    }
+  }
+}
+
+TEST(SelectionTest, BandsRespected) {
+  const LabeledGraph& g = TestGraph();
+  SelectionConfig c = DefaultConfig();
+  SelectionResult rf = SelectLandmarks(g, SelectionStrategy::kBtwFol, c);
+  for (NodeId v : rf.landmarks) {
+    EXPECT_GE(g.InDegree(v), c.band_min);
+    EXPECT_LE(g.InDegree(v), c.band_max);
+  }
+  SelectionResult rp = SelectLandmarks(g, SelectionStrategy::kBtwPub, c);
+  for (NodeId v : rp.landmarks) {
+    EXPECT_GE(g.OutDegree(v), c.band_min);
+    EXPECT_LE(g.OutDegree(v), c.band_max);
+  }
+}
+
+TEST(SelectionTest, FollowBiasedTowardPopularAccounts) {
+  const LabeledGraph& g = TestGraph();
+  SelectionConfig c = DefaultConfig();
+  c.num_landmarks = 100;
+  SelectionResult follow =
+      SelectLandmarks(g, SelectionStrategy::kFollow, c);
+  SelectionResult random =
+      SelectLandmarks(g, SelectionStrategy::kRandom, c);
+  auto avg_in = [&](const std::vector<NodeId>& v) {
+    double total = 0;
+    for (NodeId n : v) total += g.InDegree(n);
+    return total / v.size();
+  };
+  // Size-biased sampling: the expected in-degree of a Follow-selected
+  // landmark is E[d^2]/E[d] > E[d].
+  EXPECT_GT(avg_in(follow.landmarks), 1.3 * avg_in(random.landmarks));
+}
+
+TEST(SelectionTest, CentralFindsWellCoveredNodes) {
+  const LabeledGraph& g = TestGraph();
+  SelectionConfig c = DefaultConfig();
+  c.num_landmarks = 20;
+  SelectionResult central =
+      SelectLandmarks(g, SelectionStrategy::kCentral, c);
+  SelectionResult random =
+      SelectLandmarks(g, SelectionStrategy::kRandom, c);
+  // Centrality-selected nodes should have far more followers on average
+  // than random (they are reachable from many seeds).
+  auto avg_in = [&](const std::vector<NodeId>& v) {
+    double total = 0;
+    for (NodeId n : v) total += g.InDegree(n);
+    return total / v.size();
+  };
+  EXPECT_GT(avg_in(central.landmarks), avg_in(random.landmarks));
+}
+
+TEST(SelectionTest, Combine2MixesBothBands) {
+  const LabeledGraph& g = TestGraph();
+  SelectionConfig c = DefaultConfig();
+  c.num_landmarks = 40;
+  c.combine_weight = 0.5;
+  SelectionResult r = SelectLandmarks(g, SelectionStrategy::kCombine2, c);
+  EXPECT_GT(r.landmarks.size(), 20u);  // both halves contributed (deduped)
+}
+
+TEST(SelectionTest, RequestMoreLandmarksThanNodes) {
+  const LabeledGraph& g = TestGraph();
+  SelectionConfig c = DefaultConfig();
+  c.num_landmarks = 10 * g.num_nodes();
+  SelectionResult r = SelectLandmarks(g, SelectionStrategy::kRandom, c);
+  EXPECT_EQ(r.landmarks.size(), g.num_nodes());
+}
+
+
+TEST(SelectionTest, EmptyBandFallsBackToAllNodes) {
+  const LabeledGraph& g = TestGraph();
+  SelectionConfig c = DefaultConfig();
+  c.band_min = 1000000;  // no node qualifies
+  c.band_max = 2000000;
+  SelectionResult r = SelectLandmarks(g, SelectionStrategy::kBtwFol, c);
+  // Degenerate band: the draw falls back to the whole node set rather than
+  // returning nothing.
+  EXPECT_EQ(r.landmarks.size(), 50u);
+}
+
+}  // namespace
+}  // namespace mbr::landmark

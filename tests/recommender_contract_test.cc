@@ -1,0 +1,120 @@
+// Interface-contract suite: every core::Recommender implementation must
+// honour the same guarantees — candidate scoring is positionally aligned
+// and non-negative, RecommendTopN is ranked, self-free, within budget, and
+// consistent with ScoreCandidates.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/katz.h"
+#include "baselines/neighborhood.h"
+#include "baselines/twitterrank.h"
+#include "baselines/wtf_salsa.h"
+#include "core/authority.h"
+#include "core/recommender.h"
+#include "datagen/twitter_generator.h"
+#include "landmark/approx.h"
+#include "landmark/index.h"
+#include "landmark/selection.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr {
+namespace {
+
+struct Shared {
+  datagen::GeneratedDataset ds = [] {
+    datagen::TwitterConfig c;
+    c.num_nodes = 1200;
+    return datagen::GenerateTwitter(c);
+  }();
+  core::AuthorityIndex auth{ds.graph};
+  landmark::SelectionResult sel = SelectLandmarks(
+      ds.graph, landmark::SelectionStrategy::kFollow, [] {
+        landmark::SelectionConfig c;
+        c.num_landmarks = 15;
+        return c;
+      }());
+  landmark::LandmarkIndex index{ds.graph, auth, topics::TwitterSimilarity(),
+                                sel.landmarks, {}};
+};
+
+Shared& shared() {
+  static Shared& s = *new Shared();
+  return s;
+}
+
+using Factory = std::unique_ptr<core::Recommender> (*)();
+
+std::unique_ptr<core::Recommender> MakeTr() {
+  return std::make_unique<core::TrRecommender>(shared().ds.graph,
+                                               topics::TwitterSimilarity());
+}
+std::unique_ptr<core::Recommender> MakeKatz() {
+  return std::make_unique<baselines::KatzRecommender>(
+      shared().ds.graph, topics::TwitterSimilarity(), core::ScoreParams{});
+}
+std::unique_ptr<core::Recommender> MakeTwr() {
+  return std::make_unique<baselines::TwitterRank>(shared().ds.graph);
+}
+std::unique_ptr<core::Recommender> MakeWtf() {
+  return std::make_unique<baselines::WtfSalsa>(shared().ds.graph);
+}
+std::unique_ptr<core::Recommender> MakeAdamic() {
+  return std::make_unique<baselines::NeighborhoodRecommender>(
+      shared().ds.graph, baselines::NeighborhoodScore::kAdamicAdar);
+}
+std::unique_ptr<core::Recommender> MakeApprox() {
+  Shared& s = shared();
+  return std::make_unique<landmark::ApproxRecommender>(
+      s.ds.graph, s.auth, topics::TwitterSimilarity(), s.index,
+      landmark::ApproxConfig{});
+}
+
+class RecommenderContractTest : public ::testing::TestWithParam<Factory> {};
+
+TEST_P(RecommenderContractTest, ScoreCandidatesContract) {
+  auto rec = GetParam()();
+  std::vector<graph::NodeId> candidates = {1, 5, 9, 300, 900, 5, 1};
+  auto scores = rec->ScoreCandidates(7, 0, candidates);
+  ASSERT_EQ(scores.size(), candidates.size());
+  for (double s : scores) EXPECT_GE(s, 0.0);
+  // Duplicate candidates get identical scores (pure function of (u,t,v)).
+  EXPECT_DOUBLE_EQ(scores[1], scores[5]);
+  EXPECT_DOUBLE_EQ(scores[0], scores[6]);
+  // Repeatable.
+  auto again = rec->ScoreCandidates(7, 0, candidates);
+  EXPECT_EQ(scores, again);
+}
+
+TEST_P(RecommenderContractTest, RecommendTopNContract) {
+  auto rec = GetParam()();
+  for (graph::NodeId u : {3u, 42u, 777u}) {
+    auto top = rec->RecommendTopN(u, 2, 8);
+    EXPECT_LE(top.size(), 8u);
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_NE(top[i].id, u);
+      EXPECT_GE(top[i].score, 0.0);
+      if (i > 0) {
+        EXPECT_GE(top[i - 1].score, top[i].score);
+      }
+      // Scores agree with ScoreCandidates.
+      auto check = rec->ScoreCandidates(u, 2, {top[i].id});
+      EXPECT_DOUBLE_EQ(check[0], top[i].score);
+    }
+  }
+}
+
+TEST_P(RecommenderContractTest, HasName) {
+  auto rec = GetParam()();
+  EXPECT_FALSE(rec->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRecommenders, RecommenderContractTest,
+                         ::testing::Values(&MakeTr, &MakeKatz, &MakeTwr,
+                                           &MakeWtf, &MakeAdamic,
+                                           &MakeApprox));
+
+}  // namespace
+}  // namespace mbr

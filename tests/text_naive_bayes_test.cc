@@ -1,0 +1,164 @@
+#include "text/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/labeled_graph.h"
+#include "text/classifier.h"
+#include "text/pipeline.h"
+#include "text/corpus.h"
+#include "topics/vocabulary.h"
+#include "util/rng.h"
+
+namespace mbr::text {
+namespace {
+
+using topics::TopicId;
+using topics::TopicSet;
+
+std::vector<LabeledDocument> MakeDocs(const TopicLanguageModel& lm,
+                                      int docs_per_topic, int num_topics,
+                                      uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LabeledDocument> docs;
+  for (int t = 0; t < num_topics; ++t) {
+    for (int d = 0; d < docs_per_topic; ++d) {
+      TopicSet labels = TopicSet::Single(static_cast<TopicId>(t));
+      std::string text;
+      for (const auto& tw : lm.GenerateUserTweets(labels, 10, &rng)) {
+        text += tw;
+        text.push_back(' ');
+      }
+      docs.push_back({std::move(text), labels});
+    }
+  }
+  return docs;
+}
+
+TEST(NaiveBayesTest, LearnsSeparableTopics) {
+  const auto& v = topics::TwitterVocabulary();
+  TopicLanguageModel lm = MakeTwitterLanguageModel(5);
+  auto train = MakeDocs(lm, 30, v.size(), 300);
+  auto test = MakeDocs(lm, 8, v.size(), 301);
+  NaiveBayesClassifier nb(v.size());
+  nb.Train(train);
+  auto m = nb.Evaluate(test);
+  EXPECT_GT(m.precision, 0.8) << "precision=" << m.precision;
+  EXPECT_GT(m.recall, 0.8) << "recall=" << m.recall;
+}
+
+TEST(NaiveBayesTest, PredictNeverEmpty) {
+  TopicLanguageModel lm = MakeTwitterLanguageModel(5);
+  auto train = MakeDocs(lm, 5, 4, 302);
+  NaiveBayesClassifier nb(4);
+  nb.Train(train);
+  EXPECT_FALSE(nb.Predict("never seen words whatsoever").empty());
+}
+
+TEST(NaiveBayesTest, ScoresHigherForOwnTopic) {
+  TopicLanguageModel lm = MakeTwitterLanguageModel(5);
+  const int nt = 6;
+  auto train = MakeDocs(lm, 25, nt, 303);
+  NaiveBayesClassifier nb(nt);
+  nb.Train(train);
+  util::Rng rng(304);
+  int correct = 0, total = 0;
+  for (int t = 0; t < nt; ++t) {
+    for (int d = 0; d < 5; ++d) {
+      std::string text;
+      for (const auto& tw : lm.GenerateUserTweets(
+               TopicSet::Single(static_cast<TopicId>(t)), 10, &rng)) {
+        text += tw;
+        text.push_back(' ');
+      }
+      auto scores = nb.Scores(text);
+      int best = 0;
+      for (int i = 1; i < nt; ++i) {
+        if (scores[i] > scores[best]) best = i;
+      }
+      correct += (best == t);
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}
+
+TEST(NaiveBayesTest, ComparableToPerceptronOnSameData) {
+  // Both classifier families must be usable interchangeably in the
+  // pipeline; on separable synthetic data both should be strong.
+  const int nt = 8;
+  TopicLanguageModel lm = MakeTwitterLanguageModel(5);
+  auto train = MakeDocs(lm, 25, nt, 305);
+  auto test = MakeDocs(lm, 8, nt, 306);
+  NaiveBayesClassifier nb(nt);
+  nb.Train(train);
+  MultiLabelClassifier perceptron(nt);
+  perceptron.Train(train);
+  auto m_nb = nb.Evaluate(test);
+  auto m_p = perceptron.Evaluate(test);
+  EXPECT_GT(m_nb.f1, 0.75);
+  EXPECT_GT(m_p.f1, 0.75);
+}
+
+TEST(NaiveBayesTest, MultiLabelDocuments) {
+  TopicLanguageModel lm = MakeTwitterLanguageModel(5);
+  const int nt = 5;
+  auto train = MakeDocs(lm, 30, nt, 307);
+  util::Rng rng(308);
+  for (int i = 0; i < 40; ++i) {
+    TopicSet labels;
+    labels.Add(0);
+    labels.Add(1);
+    std::string text;
+    for (const auto& tw : lm.GenerateUserTweets(labels, 12, &rng)) {
+      text += tw;
+      text.push_back(' ');
+    }
+    train.push_back({std::move(text), labels});
+  }
+  NaiveBayesClassifier nb(nt);
+  nb.Train(train);
+  int both = 0;
+  for (int i = 0; i < 15; ++i) {
+    TopicSet labels;
+    labels.Add(0);
+    labels.Add(1);
+    std::string text;
+    for (const auto& tw : lm.GenerateUserTweets(labels, 12, &rng)) {
+      text += tw;
+      text.push_back(' ');
+    }
+    TopicSet pred = nb.Predict(text);
+    if (pred.Contains(0) && pred.Contains(1)) ++both;
+  }
+  EXPECT_GT(both, 7);
+}
+
+
+TEST(NaiveBayesTest, PipelineCanUseNaiveBayes) {
+  // The §5.1 pipeline runs end-to-end with the generative classifier too.
+  util::Rng rng(400);
+  graph::GraphBuilder b(300, topics::TwitterVocabulary().size());
+  for (graph::NodeId u = 0; u < 300; ++u) {
+    for (int k = 0; k < 8; ++k) {
+      graph::NodeId v = static_cast<graph::NodeId>(rng.UniformU64(300));
+      if (v != u) b.AddEdge(u, v, TopicSet());
+    }
+  }
+  graph::LabeledGraph topo = std::move(b).Build();
+  std::vector<TopicSet> truth(300);
+  for (auto& t : truth) {
+    t.Add(static_cast<TopicId>(rng.UniformU64(8)));
+  }
+  TopicLanguageModel lm = MakeTwitterLanguageModel(401);
+  PipelineConfig cfg;
+  cfg.seed_label_fraction = 0.3;
+  cfg.classifier_kind = ClassifierKind::kNaiveBayes;
+  PipelineResult res = RunTopicExtraction(topo, truth, lm, cfg);
+  EXPECT_GT(res.classifier_metrics.precision, 0.6);
+  for (graph::NodeId u = 0; u < 300; ++u) {
+    EXPECT_FALSE(res.publisher_profiles[u].empty());
+  }
+}
+
+}  // namespace
+}  // namespace mbr::text

@@ -1,0 +1,283 @@
+#include "topics/similarity_matrix.h"
+#include "topics/taxonomy.h"
+#include "topics/topic.h"
+#include "topics/vocabulary.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbr::topics {
+namespace {
+
+// ---------- TopicSet ----------
+
+TEST(TopicSetTest, EmptyByDefault) {
+  TopicSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(TopicSetTest, AddRemoveContains) {
+  TopicSet s;
+  s.Add(3);
+  s.Add(17);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(17));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.size(), 2);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(TopicSetTest, SingleFactory) {
+  TopicSet s = TopicSet::Single(5);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.Contains(5));
+}
+
+TEST(TopicSetTest, UnionIntersect) {
+  TopicSet a, b;
+  a.Add(1);
+  a.Add(2);
+  b.Add(2);
+  b.Add(3);
+  TopicSet u = a.Union(b);
+  TopicSet i = a.Intersect(b);
+  EXPECT_EQ(u.size(), 3);
+  EXPECT_EQ(i.size(), 1);
+  EXPECT_TRUE(i.Contains(2));
+}
+
+TEST(TopicSetTest, IterationAscending) {
+  TopicSet s;
+  s.Add(40);
+  s.Add(0);
+  s.Add(13);
+  std::vector<TopicId> got;
+  for (TopicId t : s) got.push_back(t);
+  EXPECT_EQ(got, (std::vector<TopicId>{0, 13, 40}));
+}
+
+TEST(TopicSetTest, MaxTopicIdSupported) {
+  TopicSet s;
+  s.Add(63);
+  EXPECT_TRUE(s.Contains(63));
+  std::vector<TopicId> got;
+  for (TopicId t : s) got.push_back(t);
+  EXPECT_EQ(got, (std::vector<TopicId>{63}));
+}
+
+// ---------- Vocabulary ----------
+
+TEST(VocabularyTest, TwitterVocabularyHas18Topics) {
+  EXPECT_EQ(TwitterVocabulary().size(), 18);
+}
+
+TEST(VocabularyTest, PaperTopicsPresent) {
+  const Vocabulary& v = TwitterVocabulary();
+  for (const char* name :
+       {"technology", "bigdata", "social", "leisure", "health", "politics",
+        "sports"}) {
+    EXPECT_NE(v.Id(name), kInvalidTopic) << name;
+  }
+}
+
+TEST(VocabularyTest, RoundTripNames) {
+  const Vocabulary& v = TwitterVocabulary();
+  for (TopicId t : v.Ids()) {
+    EXPECT_EQ(v.Id(v.Name(t)), t);
+  }
+}
+
+TEST(VocabularyTest, UnknownNameIsInvalid) {
+  EXPECT_EQ(TwitterVocabulary().Id("quantum-gardening"), kInvalidTopic);
+}
+
+TEST(VocabularyTest, AllTopicsSetMatchesSize) {
+  const Vocabulary& v = TwitterVocabulary();
+  EXPECT_EQ(v.AllTopics().size(), v.size());
+}
+
+TEST(VocabularyTest, DblpVocabularyValid) {
+  const Vocabulary& v = DblpVocabulary();
+  EXPECT_GT(v.size(), 8);
+  EXPECT_NE(v.Id("databases"), kInvalidTopic);
+  EXPECT_NE(v.Id("ir"), kInvalidTopic);
+}
+
+TEST(VocabularyTest, FromNamesAssignsDenseIds) {
+  Vocabulary v = Vocabulary::FromNames({"x", "y", "z"});
+  EXPECT_EQ(v.size(), 3);
+  EXPECT_EQ(v.Id("x"), 0);
+  EXPECT_EQ(v.Id("z"), 2);
+}
+
+// ---------- Taxonomy / Wu-Palmer ----------
+
+TEST(TaxonomyTest, CoversBuiltinVocabularies) {
+  EXPECT_TRUE(TwitterTaxonomy().Covers(TwitterVocabulary()));
+  EXPECT_TRUE(DblpTaxonomy().Covers(DblpVocabulary()));
+}
+
+TEST(TaxonomyTest, SelfSimilarityIsOne) {
+  const Vocabulary& v = TwitterVocabulary();
+  const Taxonomy& tax = TwitterTaxonomy();
+  for (TopicId t : v.Ids()) {
+    EXPECT_DOUBLE_EQ(tax.WuPalmer(t, t), 1.0) << v.Name(t);
+  }
+}
+
+TEST(TaxonomyTest, SymmetricAndBounded) {
+  const Vocabulary& v = TwitterVocabulary();
+  const Taxonomy& tax = TwitterTaxonomy();
+  for (TopicId a : v.Ids()) {
+    for (TopicId b : v.Ids()) {
+      double s = tax.WuPalmer(a, b);
+      EXPECT_DOUBLE_EQ(s, tax.WuPalmer(b, a));
+      EXPECT_GT(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(TaxonomyTest, SiblingsCloserThanCrossCategory) {
+  const Vocabulary& v = TwitterVocabulary();
+  const Taxonomy& tax = TwitterTaxonomy();
+  TopicId tech = v.Id("technology"), big = v.Id("bigdata"),
+          sport = v.Id("sports");
+  EXPECT_GT(tax.WuPalmer(tech, big), tax.WuPalmer(tech, sport));
+}
+
+TEST(TaxonomyTest, SameCategoryCloserThanDifferent) {
+  const Vocabulary& v = TwitterVocabulary();
+  const Taxonomy& tax = TwitterTaxonomy();
+  TopicId leisure = v.Id("leisure"), sports = v.Id("sports"),
+          finance = v.Id("finance");
+  EXPECT_GT(tax.WuPalmer(leisure, sports), tax.WuPalmer(leisure, finance));
+}
+
+TEST(TaxonomyTest, LcsDepthOfSelfIsOwnDepth) {
+  const Vocabulary& v = TwitterVocabulary();
+  const Taxonomy& tax = TwitterTaxonomy();
+  TopicId t = v.Id("technology");
+  EXPECT_EQ(tax.LcsDepth(t, t), tax.Depth(t));
+}
+
+TEST(TaxonomyTest, CustomTreeDepths) {
+  Taxonomy tax;
+  int cat = tax.AddCategory("cat", tax.root());
+  tax.AttachTopic(0, cat);         // depth 3
+  tax.AttachTopic(1, tax.root());  // depth 2
+  EXPECT_EQ(tax.Depth(0), 3);
+  EXPECT_EQ(tax.Depth(1), 2);
+  EXPECT_EQ(tax.LcsDepth(0, 1), 1);
+  EXPECT_NEAR(tax.WuPalmer(0, 1), 2.0 * 1 / (3 + 2), 1e-12);
+}
+
+// ---------- SimilarityMatrix ----------
+
+TEST(SimilarityMatrixTest, MatchesTaxonomy) {
+  const Vocabulary& v = TwitterVocabulary();
+  const Taxonomy& tax = TwitterTaxonomy();
+  const SimilarityMatrix& m = TwitterSimilarity();
+  ASSERT_EQ(m.num_topics(), v.size());
+  for (TopicId a : v.Ids()) {
+    for (TopicId b : v.Ids()) {
+      EXPECT_DOUBLE_EQ(m.Sim(a, b), tax.WuPalmer(a, b));
+    }
+  }
+}
+
+TEST(SimilarityMatrixTest, MaxSimOverSet) {
+  const Vocabulary& v = TwitterVocabulary();
+  const SimilarityMatrix& m = TwitterSimilarity();
+  TopicId tech = v.Id("technology");
+  TopicSet s;
+  s.Add(v.Id("bigdata"));
+  s.Add(v.Id("sports"));
+  EXPECT_DOUBLE_EQ(m.MaxSim(s, tech), m.Sim(v.Id("bigdata"), tech));
+  s.Add(tech);
+  EXPECT_DOUBLE_EQ(m.MaxSim(s, tech), 1.0);
+}
+
+TEST(SimilarityMatrixTest, MaxSimEmptySetIsZero) {
+  EXPECT_DOUBLE_EQ(TwitterSimilarity().MaxSim(TopicSet(), 0), 0.0);
+}
+
+TEST(SimilarityMatrixTest, StorageIsTriangular) {
+  const SimilarityMatrix& m = TwitterSimilarity();
+  // 18 topics -> 171 doubles = 1368 bytes (paper: "2.5 KB file" for dense).
+  EXPECT_EQ(m.StorageBytes(), 18u * 19u / 2u * sizeof(double));
+}
+
+TEST(SimilarityMatrixTest, FromDenseRoundTrip) {
+  std::vector<double> full = {1.0, 0.25, 0.25, 1.0};
+  SimilarityMatrix m = SimilarityMatrix::FromDense(2, full);
+  EXPECT_DOUBLE_EQ(m.Sim(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(m.Sim(1, 0), 0.25);
+  EXPECT_DOUBLE_EQ(m.Sim(0, 0), 1.0);
+}
+
+TEST(SimilarityMatrixTest, DblpMatrixValid) {
+  const SimilarityMatrix& m = DblpSimilarity();
+  const Vocabulary& v = DblpVocabulary();
+  EXPECT_EQ(m.num_topics(), v.size());
+  TopicId db = v.Id("databases"), dm = v.Id("datamining"),
+          th = v.Id("theory");
+  EXPECT_GT(m.Sim(db, dm), m.Sim(db, th));
+}
+
+
+TEST(TaxonomyTest, PathLengthProperties) {
+  const Vocabulary& v = TwitterVocabulary();
+  const Taxonomy& tax = TwitterTaxonomy();
+  for (TopicId a : v.Ids()) {
+    EXPECT_EQ(tax.PathLength(a, a), 0);
+    for (TopicId b : v.Ids()) {
+      EXPECT_EQ(tax.PathLength(a, b), tax.PathLength(b, a));
+      EXPECT_GE(tax.PathLength(a, b), 0);
+    }
+  }
+  // Siblings are 2 apart; cross-category leaves further.
+  TopicId tech = v.Id("technology"), big = v.Id("bigdata"),
+          sport = v.Id("sports");
+  EXPECT_EQ(tax.PathLength(tech, big), 2);
+  EXPECT_GT(tax.PathLength(tech, sport), tax.PathLength(tech, big));
+}
+
+TEST(SimilarityMatrixTest, AlternativeMeasures) {
+  const Vocabulary& v = TwitterVocabulary();
+  const Taxonomy& tax = TwitterTaxonomy();
+  SimilarityMatrix inv = SimilarityMatrix::FromTaxonomy(
+      v, tax, SimilarityMeasure::kInversePath);
+  SimilarityMatrix exact = SimilarityMatrix::FromTaxonomy(
+      v, tax, SimilarityMeasure::kExactMatch);
+  TopicId tech = v.Id("technology"), big = v.Id("bigdata"),
+          sport = v.Id("sports");
+  // Inverse path: identity 1, siblings 1/3, decreasing with distance.
+  EXPECT_DOUBLE_EQ(inv.Sim(tech, tech), 1.0);
+  EXPECT_NEAR(inv.Sim(tech, big), 1.0 / 3.0, 1e-12);
+  EXPECT_GT(inv.Sim(tech, big), inv.Sim(tech, sport));
+  // Exact match: the identity matrix.
+  EXPECT_DOUBLE_EQ(exact.Sim(tech, tech), 1.0);
+  EXPECT_DOUBLE_EQ(exact.Sim(tech, big), 0.0);
+}
+
+TEST(SimilarityMatrixTest, MeasuresAgreeOnIdentity) {
+  const Vocabulary& v = TwitterVocabulary();
+  const Taxonomy& tax = TwitterTaxonomy();
+  for (auto m : {SimilarityMeasure::kWuPalmer,
+                 SimilarityMeasure::kInversePath,
+                 SimilarityMeasure::kExactMatch}) {
+    SimilarityMatrix sim = SimilarityMatrix::FromTaxonomy(v, tax, m);
+    for (TopicId t : v.Ids()) {
+      EXPECT_DOUBLE_EQ(sim.Sim(t, t), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbr::topics

@@ -1,0 +1,97 @@
+#include "util/kendall.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbr::util {
+namespace {
+
+TEST(KendallFullTest, IdenticalListsAreZero) {
+  std::vector<uint32_t> a = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(KendallTauFull(a, a), 0.0);
+}
+
+TEST(KendallFullTest, ReversedListsAreOne) {
+  std::vector<uint32_t> a = {1, 2, 3, 4};
+  std::vector<uint32_t> b = {4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTauFull(a, b), 1.0);
+}
+
+TEST(KendallFullTest, SingleSwap) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {2, 1, 3};
+  // 1 inversion out of 3 pairs.
+  EXPECT_NEAR(KendallTauFull(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallFullTest, SymmetricInArguments) {
+  std::vector<uint32_t> a = {5, 1, 4, 2, 3};
+  std::vector<uint32_t> b = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(KendallTauFull(a, b), KendallTauFull(b, a));
+}
+
+TEST(KendallFullTest, TrivialSizes) {
+  EXPECT_DOUBLE_EQ(KendallTauFull({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTauFull({7}, {7}), 0.0);
+}
+
+TEST(KendallTopKTest, IdenticalTopK) {
+  std::vector<uint32_t> a = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(KendallTauTopK(a, a), 0.0);
+}
+
+TEST(KendallTopKTest, DisjointListsAreMaximal) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {4, 5, 6};
+  // Every cross pair (i from a-only, j from b-only) is discordant:
+  // 9 pairs / k^2 = 9 / 9 = 1.
+  EXPECT_DOUBLE_EQ(KendallTauTopK(a, b), 1.0);
+}
+
+TEST(KendallTopKTest, ReducesToFullCaseOnSameItems) {
+  std::vector<uint32_t> a = {1, 2, 3, 4};
+  std::vector<uint32_t> b = {4, 3, 2, 1};
+  // All 6 pairs discordant; normalised by k^2 = 16.
+  EXPECT_NEAR(KendallTauTopK(a, b), 6.0 / 16.0, 1e-12);
+}
+
+TEST(KendallTopKTest, PartialOverlap) {
+  std::vector<uint32_t> a = {1, 2};
+  std::vector<uint32_t> b = {1, 3};
+  // Pairs over union {1,2,3}: (1,2): 2 absent in b and ranked after 1 in a
+  // -> concordant-ish, penalty 0. (1,3): 3 absent in a, ranked after 1 in b
+  // -> 0. (2,3): 2 only in a, 3 only in b -> penalty 1.
+  EXPECT_NEAR(KendallTauTopK(a, b), 1.0 / 4.0, 1e-12);
+}
+
+TEST(KendallTopKTest, AbsentItemRankedAheadIsPenalised) {
+  std::vector<uint32_t> a = {2, 1};
+  std::vector<uint32_t> b = {1, 3};
+  // (1,2): both in a; only 1 in b; in a, 2 is ranked before 1 => the item
+  // present in b (1) is ranked behind the absent one (2): penalty 1.
+  // (1,3): only in b, concordant (1 before 3, 3 absent in a ranked last): 0.
+  // (2,3): 2 only in a, 3 only in b: penalty 1.
+  EXPECT_NEAR(KendallTauTopK(a, b), 2.0 / 4.0, 1e-12);
+}
+
+TEST(KendallTopKTest, EmptyLists) {
+  EXPECT_DOUBLE_EQ(KendallTauTopK({}, {}), 0.0);
+}
+
+TEST(KendallTopKTest, SymmetricInArguments) {
+  std::vector<uint32_t> a = {1, 5, 9, 2};
+  std::vector<uint32_t> b = {5, 1, 7, 3};
+  EXPECT_DOUBLE_EQ(KendallTauTopK(a, b), KendallTauTopK(b, a));
+}
+
+TEST(KendallTopKTest, BoundedByOne) {
+  std::vector<uint32_t> a = {1, 2, 3, 4, 5};
+  std::vector<uint32_t> b = {9, 8, 7, 6, 5};
+  double d = KendallTauTopK(a, b);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+}  // namespace
+}  // namespace mbr::util

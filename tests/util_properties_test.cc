@@ -1,0 +1,107 @@
+// Parameterized property suites for the utility substrate: TopK against a
+// full sort across capacities, Kendall tau metric axioms on random lists,
+// and RNG stream-independence across forks.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/kendall.h"
+#include "util/rng.h"
+#include "util/top_k.h"
+
+namespace mbr::util {
+namespace {
+
+// ---- TopK equals sort-then-truncate for every capacity.
+
+class TopKCapacityTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(TopKCapacityTest, MatchesFullSort) {
+  auto [k, seed] = GetParam();
+  Rng rng(seed);
+  const size_t n = 300;
+  std::vector<ScoredId> all;
+  TopK topk(k);
+  for (size_t i = 0; i < n; ++i) {
+    double score = static_cast<double>(rng.UniformU64(40)) / 8.0;
+    all.push_back({static_cast<uint32_t>(i), score});
+    topk.Offer(static_cast<uint32_t>(i), score);
+  }
+  std::sort(all.begin(), all.end(), RankedBefore);
+  all.resize(std::min(k, n));
+  auto got = topk.Take();
+  ASSERT_EQ(got.size(), all.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, all[i].id) << "k=" << k << " pos " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Capacities, TopKCapacityTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 5, 50, 300, 500),
+                       ::testing::Values(31ull, 32ull)));
+
+// ---- Kendall tau axioms on random top-k lists.
+
+class KendallAxiomsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KendallAxiomsTest, IdentitySymmetryBounds) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    // Two random top-k lists over a shared universe with partial overlap.
+    size_t k = 5 + rng.UniformU64(20);
+    auto draw = [&]() {
+      std::vector<uint32_t> list;
+      std::set<uint32_t> seen;
+      while (list.size() < k) {
+        uint32_t v = static_cast<uint32_t>(rng.UniformU64(60));
+        if (seen.insert(v).second) list.push_back(v);
+      }
+      return list;
+    };
+    std::vector<uint32_t> a = draw(), b = draw();
+    EXPECT_DOUBLE_EQ(KendallTauTopK(a, a), 0.0);       // identity
+    EXPECT_DOUBLE_EQ(KendallTauTopK(a, b),
+                     KendallTauTopK(b, a));            // symmetry
+    double d = KendallTauTopK(a, b);
+    EXPECT_GE(d, 0.0);                                 // bounds
+    EXPECT_LE(d, 1.0);
+    // Adjacent swap strictly increases distance from the original.
+    if (a.size() >= 2) {
+      std::vector<uint32_t> a2 = a;
+      std::swap(a2[0], a2[1]);
+      EXPECT_GT(KendallTauTopK(a, a2), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KendallAxiomsTest,
+                         ::testing::Values(41ull, 42ull, 43ull));
+
+// ---- Fork independence: statistically uncorrelated child streams.
+
+TEST(RngPropertyTest, ForkedStreamsUncorrelated) {
+  Rng parent(12345);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int agree = 0;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    agree += ((a.NextU64() ^ b.NextU64()) & 1) == 0;
+  }
+  // Bit agreement should hover around 50%.
+  EXPECT_NEAR(static_cast<double>(agree) / n, 0.5, 0.05);
+}
+
+TEST(RngPropertyTest, SameSaltSameStream) {
+  Rng p1(9), p2(9);
+  Rng a = p1.Fork(7), b = p2.Fork(7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+}  // namespace
+}  // namespace mbr::util

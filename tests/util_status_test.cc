@@ -1,0 +1,92 @@
+#include "util/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/table_printer.h"
+
+namespace mbr::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllCodeNamesDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(TablePrinterTest, IntFormatsThousands) {
+  EXPECT_EQ(TablePrinter::Int(0), "0");
+  EXPECT_EQ(TablePrinter::Int(999), "999");
+  EXPECT_EQ(TablePrinter::Int(1000), "1,000");
+  EXPECT_EQ(TablePrinter::Int(2182867), "2,182,867");
+  EXPECT_EQ(TablePrinter::Int(-1234567), "-1,234,567");
+}
+
+TEST(TablePrinterTest, NumFormatsDigits) {
+  EXPECT_EQ(TablePrinter::Num(0.125, 3), "0.125");
+  EXPECT_EQ(TablePrinter::Num(57.8, 1), "57.8");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, PrintDoesNotCrash) {
+  TablePrinter tp({"a", "b"});
+  tp.AddRow({"1", "2"});
+  tp.AddRow({"333", "4"});
+  tp.Print("demo");  // smoke: exercises the alignment path
+}
+
+
+namespace {
+util::Status FailsFast() {
+  MBR_RETURN_IF_ERROR(util::Status::NotFound("inner"));
+  return util::Status::Internal("unreachable");
+}
+util::Status Succeeds() {
+  MBR_RETURN_IF_ERROR(util::Status::Ok());
+  return util::Status::Ok();
+}
+}  // namespace
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsFast().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Succeeds().ok());
+}
+
+}  // namespace
+}  // namespace mbr::util

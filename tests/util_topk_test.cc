@@ -1,0 +1,93 @@
+#include "util/top_k.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mbr::util {
+namespace {
+
+TEST(TopKTest, KeepsHighestScores) {
+  TopK tk(3);
+  tk.Offer(1, 0.1);
+  tk.Offer(2, 0.9);
+  tk.Offer(3, 0.5);
+  tk.Offer(4, 0.7);
+  tk.Offer(5, 0.2);
+  auto out = tk.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 2u);
+  EXPECT_EQ(out[1].id, 4u);
+  EXPECT_EQ(out[2].id, 3u);
+}
+
+TEST(TopKTest, FewerThanKKeepsAll) {
+  TopK tk(10);
+  tk.Offer(7, 1.0);
+  tk.Offer(8, 2.0);
+  auto out = tk.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 8u);
+  EXPECT_EQ(out[1].id, 7u);
+}
+
+TEST(TopKTest, TiesBrokenByAscendingId) {
+  TopK tk(2);
+  tk.Offer(9, 0.5);
+  tk.Offer(3, 0.5);
+  tk.Offer(6, 0.5);
+  auto out = tk.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 3u);
+  EXPECT_EQ(out[1].id, 6u);
+}
+
+TEST(TopKTest, TakeResets) {
+  TopK tk(2);
+  tk.Offer(1, 1.0);
+  tk.Take();
+  EXPECT_EQ(tk.size(), 0u);
+  tk.Offer(2, 2.0);
+  auto out = tk.Take();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 2u);
+}
+
+TEST(TopKTest, ThresholdIsWorstKept) {
+  TopK tk(3);
+  tk.Offer(1, 5.0);
+  tk.Offer(2, 1.0);
+  tk.Offer(3, 3.0);
+  EXPECT_DOUBLE_EQ(tk.Threshold(), 1.0);
+  tk.Offer(4, 2.0);  // evicts score 1.0
+  EXPECT_DOUBLE_EQ(tk.Threshold(), 2.0);
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomInput) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 200;
+    const size_t k = 10;
+    std::vector<ScoredId> all;
+    TopK tk(k);
+    for (size_t i = 0; i < n; ++i) {
+      // Quantised scores force plenty of ties.
+      double score = static_cast<double>(rng.UniformU64(50)) / 10.0;
+      all.push_back({static_cast<uint32_t>(i), score});
+      tk.Offer(static_cast<uint32_t>(i), score);
+    }
+    std::sort(all.begin(), all.end(), RankedBefore);
+    all.resize(k);
+    auto got = tk.Take();
+    ASSERT_EQ(got.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(got[i].id, all[i].id) << "trial " << trial << " pos " << i;
+      EXPECT_DOUBLE_EQ(got[i].score, all[i].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbr::util

@@ -1,0 +1,65 @@
+#include "util/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mbr::util {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double s : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfDistribution z(50, s);
+    double total = 0;
+    for (uint32_t k = 0; k < 50; ++k) total += z.Pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(ZipfTest, PmfMonotoneNonIncreasing) {
+  ZipfDistribution z(30, 1.2);
+  for (uint32_t k = 1; k < 30; ++k) {
+    EXPECT_LE(z.Pmf(k), z.Pmf(k - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (uint32_t k = 0; k < 10; ++k) EXPECT_NEAR(z.Pmf(k), 0.1, 1e-9);
+}
+
+TEST(ZipfTest, PmfMatchesPowerLawRatio) {
+  ZipfDistribution z(100, 1.0);
+  // P(0)/P(9) should be 10 under s=1.
+  EXPECT_NEAR(z.Pmf(0) / z.Pmf(9), 10.0, 1e-6);
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  ZipfDistribution z(20, 1.0);
+  Rng rng(99);
+  std::vector<int> counts(20, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  for (uint32_t k = 0; k < 20; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.Pmf(k), 0.01)
+        << "k=" << k;
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfDistribution z(1, 1.5);
+  Rng rng(1);
+  EXPECT_EQ(z.Sample(&rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(ZipfTest, HighSkewConcentratesOnHead) {
+  ZipfDistribution z(1000, 2.0);
+  EXPECT_GT(z.Pmf(0), 0.5);
+}
+
+}  // namespace
+}  // namespace mbr::util

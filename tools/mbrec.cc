@@ -1,0 +1,370 @@
+// mbrec — command-line front end to the microblogrec library.
+//
+//   mbrec generate  --dataset twitter|dblp --nodes N [--seed S]
+//                   --out graph.{bin|edges}
+//   mbrec stats     --graph graph.{bin|edges} [--vocab twitter|dblp]
+//   mbrec landmarks --graph graph.bin --count 100 [--strategy Follow]
+//                   [--top-n 100] --out index.bin
+//   mbrec recommend --graph graph.bin --user U --topic technology
+//                   [--algo tr|katz|twitterrank] [--index index.bin]
+//                   [--top 10] [--vocab twitter|dblp]
+//   mbrec eval      --graph graph.bin [--tests 50] [--trials 1]
+//                   [--vocab twitter|dblp]
+//   mbrec partition --graph graph.bin [--parts 4]
+//   mbrec analyze   --graph graph.bin
+//
+// Binary graphs (.bin) round-trip exactly; .edges files use the
+// human-readable labeled edge-list format.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/katz.h"
+#include "baselines/twitterrank.h"
+#include "core/recommender.h"
+#include "datagen/dblp_generator.h"
+#include "datagen/twitter_generator.h"
+#include "eval/algorithms.h"
+#include "eval/linkpred.h"
+#include "graph/edgelist.h"
+#include "graph/labeled_graph.h"
+#include "landmark/approx.h"
+#include "landmark/index.h"
+#include "distributed/partition.h"
+#include "graph/analysis.h"
+#include "landmark/selection.h"
+#include "util/rng.h"
+#include "topics/similarity_matrix.h"
+#include "topics/vocabulary.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace mbr;
+
+// ---- Tiny --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atoll(it->second.c_str());
+  }
+  std::string Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+const topics::Vocabulary& VocabFor(const std::string& name) {
+  if (name == "dblp") return topics::DblpVocabulary();
+  return topics::TwitterVocabulary();
+}
+const topics::SimilarityMatrix& SimFor(const std::string& name) {
+  if (name == "dblp") return topics::DblpSimilarity();
+  return topics::TwitterSimilarity();
+}
+
+graph::LabeledGraph LoadGraph(const std::string& path,
+                              const topics::Vocabulary& vocab) {
+  if (EndsWith(path, ".edges")) {
+    auto r = graph::ReadEdgeList(path, vocab);
+    if (!r.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(*r);
+  }
+  auto r = graph::LabeledGraph::LoadFrom(path);
+  if (!r.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*r);
+}
+
+int CmdGenerate(const Args& args) {
+  std::string dataset = args.Get("dataset", "twitter");
+  std::string out = args.Require("out");
+  uint32_t nodes = static_cast<uint32_t>(args.GetInt("nodes", 20000));
+  uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 0));
+
+  graph::LabeledGraph g;
+  const topics::Vocabulary* vocab;
+  if (dataset == "dblp") {
+    datagen::DblpConfig c;
+    c.num_nodes = nodes;
+    if (seed != 0) c.seed = seed;
+    g = datagen::GenerateDblp(c).graph;
+    vocab = &topics::DblpVocabulary();
+  } else {
+    datagen::TwitterConfig c;
+    c.num_nodes = nodes;
+    if (seed != 0) c.seed = seed;
+    g = datagen::GenerateTwitter(c).graph;
+    vocab = &topics::TwitterVocabulary();
+  }
+
+  util::Status st = EndsWith(out, ".edges")
+                        ? graph::WriteEdgeList(g, *vocab, out)
+                        : g.SaveTo(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u nodes, %llu edges (%s)\n", out.c_str(),
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              dataset.c_str());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
+  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+  graph::DegreeStatistics s = ComputeDegreeStatistics(g);
+  util::TablePrinter tp({"property", "value"});
+  tp.AddRow({"nodes", util::TablePrinter::Int(s.num_nodes)});
+  tp.AddRow({"edges", util::TablePrinter::Int(s.num_edges)});
+  tp.AddRow({"avg out-degree", util::TablePrinter::Num(s.avg_out_degree, 1)});
+  tp.AddRow({"avg in-degree", util::TablePrinter::Num(s.avg_in_degree, 1)});
+  tp.AddRow({"max in-degree", util::TablePrinter::Int(s.max_in_degree)});
+  tp.AddRow({"max out-degree", util::TablePrinter::Int(s.max_out_degree)});
+  tp.Print("graph statistics");
+
+  std::vector<uint64_t> per_topic(g.num_topics(), 0);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (topics::TopicSet lab : g.OutEdgeLabels(u)) {
+      for (topics::TopicId t : lab) ++per_topic[t];
+    }
+  }
+  util::TablePrinter topics_tp({"topic", "#edge labels"});
+  for (int t = 0; t < g.num_topics(); ++t) {
+    topics_tp.AddRow({vocab.Name(static_cast<topics::TopicId>(t)),
+                      util::TablePrinter::Int(
+                          static_cast<int64_t>(per_topic[t]))});
+  }
+  topics_tp.Print("edges per topic");
+  return 0;
+}
+
+int CmdLandmarks(const Args& args) {
+  const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
+  const auto& sim = SimFor(args.Get("vocab", "twitter"));
+  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+  std::string out = args.Require("out");
+
+  landmark::SelectionStrategy strategy = landmark::SelectionStrategy::kFollow;
+  std::string name = args.Get("strategy", "Follow");
+  bool found = false;
+  for (auto s : landmark::AllStrategies()) {
+    if (name == landmark::StrategyName(s)) {
+      strategy = s;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown strategy '%s'\n", name.c_str());
+    return 2;
+  }
+
+  core::AuthorityIndex auth(g);
+  landmark::SelectionConfig scfg;
+  scfg.num_landmarks = static_cast<uint32_t>(args.GetInt("count", 100));
+  landmark::SelectionResult sel = SelectLandmarks(g, strategy, scfg);
+  landmark::LandmarkIndexConfig icfg;
+  icfg.top_n = static_cast<uint32_t>(args.GetInt("top-n", 100));
+  landmark::LandmarkIndex index(g, auth, sim, sel.landmarks, icfg);
+  util::Status st = index.SaveTo(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s: %zu landmarks (%s), top-%u per topic, %.1f KB, built in "
+      "%.2f s\n",
+      out.c_str(), index.landmarks().size(), name.c_str(),
+      index.config().top_n, index.StorageBytes() / 1024.0,
+      index.build_seconds_total());
+  return 0;
+}
+
+int CmdRecommend(const Args& args) {
+  std::string vocab_name = args.Get("vocab", "twitter");
+  const auto& vocab = VocabFor(vocab_name);
+  const auto& sim = SimFor(vocab_name);
+  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+  graph::NodeId user = static_cast<graph::NodeId>(args.GetInt("user", 0));
+  if (user >= g.num_nodes()) {
+    std::fprintf(stderr, "user %u out of range\n", user);
+    return 2;
+  }
+  topics::TopicId topic = vocab.Id(args.Require("topic"));
+  if (topic == topics::kInvalidTopic) {
+    std::fprintf(stderr, "unknown topic '%s'\n",
+                 args.Require("topic").c_str());
+    return 2;
+  }
+  size_t top = static_cast<size_t>(args.GetInt("top", 10));
+  std::string algo = args.Get("algo", "tr");
+
+  std::unique_ptr<core::Recommender> rec;
+  std::unique_ptr<core::AuthorityIndex> auth;
+  std::unique_ptr<landmark::LandmarkIndex> index;
+  if (!args.Get("index").empty()) {
+    auth = std::make_unique<core::AuthorityIndex>(g);
+    auto loaded =
+        landmark::LandmarkIndex::LoadFrom(args.Get("index"), g.num_nodes());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot read index: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    index = std::make_unique<landmark::LandmarkIndex>(std::move(*loaded));
+    rec = std::make_unique<landmark::ApproxRecommender>(
+        g, *auth, sim, *index, landmark::ApproxConfig{});
+  } else if (algo == "katz") {
+    rec = std::make_unique<baselines::KatzRecommender>(g, sim,
+                                                       core::ScoreParams{});
+  } else if (algo == "twitterrank") {
+    rec = std::make_unique<baselines::TwitterRank>(g);
+  } else {
+    rec = std::make_unique<core::TrRecommender>(g, sim);
+  }
+
+  auto results = rec->RecommendTopN(user, topic, top);
+  std::printf("%s recommendations for user %u on '%s':\n",
+              rec->name().c_str(), user, vocab.Name(topic).c_str());
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("  %2zu. user %-8u score %.4e  (followers: %u)\n", i + 1,
+                results[i].id, results[i].score,
+                g.InDegree(results[i].id));
+  }
+  if (results.empty()) std::printf("  (no reachable candidates)\n");
+  return 0;
+}
+
+int CmdPartition(const Args& args) {
+  const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
+  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+  uint32_t parts = static_cast<uint32_t>(args.GetInt("parts", 4));
+  util::TablePrinter tp({"strategy", "edge cut", "balance"});
+  for (auto strategy : {distributed::PartitionStrategy::kHash,
+                        distributed::PartitionStrategy::kBfsChunks,
+                        distributed::PartitionStrategy::kCommunity,
+                        distributed::PartitionStrategy::kCommunityPopularity}) {
+    distributed::PartitionConfig pcfg;
+    pcfg.num_partitions = parts;
+    auto p = PartitionGraph(g, strategy, pcfg);
+    tp.AddRow({distributed::PartitionStrategyName(strategy),
+               util::TablePrinter::Num(p.edge_cut, 3),
+               util::TablePrinter::Num(p.balance, 2)});
+  }
+  char title[64];
+  std::snprintf(title, sizeof(title), "partitioners (%u workers)", parts);
+  tp.Print(title);
+  return 0;
+}
+
+int CmdAnalyze(const Args& args) {
+  const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
+  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+  util::Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
+  util::TablePrinter tp({"metric", "value"});
+  tp.AddRow({"reciprocity",
+             util::TablePrinter::Num(Reciprocity(g), 3)});
+  tp.AddRow({"clustering coefficient (sampled)",
+             util::TablePrinter::Num(
+                 EstimateClusteringCoefficient(g, 300, &rng), 3)});
+  uint32_t components = 0;
+  WeaklyConnectedComponents(g, &components);
+  tp.AddRow({"weak components", util::TablePrinter::Int(components)});
+  tp.AddRow({"largest component",
+             util::TablePrinter::Int(
+                 static_cast<int64_t>(LargestComponentSize(g)))});
+  tp.AddRow({"in-degree power-law slope",
+             util::TablePrinter::Num(
+                 graph::EstimatePowerLawExponent(
+                     graph::InDegreeHistogram(g)),
+                 2)});
+  tp.Print("structure");
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  std::string vocab_name = args.Get("vocab", "twitter");
+  const auto& vocab = VocabFor(vocab_name);
+  const auto& sim = SimFor(vocab_name);
+  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+
+  core::ScoreParams params;
+  auto algos = eval::StandardAlgorithms(sim, params, false);
+  eval::LinkPredConfig cfg;
+  cfg.test_edges = static_cast<uint32_t>(args.GetInt("tests", 50));
+  cfg.trials = static_cast<uint32_t>(args.GetInt("trials", 1));
+  auto curves = RunLinkPrediction(g, algos, cfg);
+  util::TablePrinter tp({"algorithm", "recall@1", "recall@10", "MRR"});
+  for (const auto& c : curves) {
+    tp.AddRow({c.name, util::TablePrinter::Num(c.recall_at[0], 3),
+               util::TablePrinter::Num(c.recall_at[9], 3),
+               util::TablePrinter::Num(c.mrr, 3)});
+  }
+  tp.Print("link prediction");
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: mbrec <generate|stats|landmarks|recommend|eval|partition|analyze> "
+               "[--flag value ...]\n(see the header of tools/mbrec.cc)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  std::string cmd = argv[1];
+  Args args(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "landmarks") return CmdLandmarks(args);
+  if (cmd == "recommend") return CmdRecommend(args);
+  if (cmd == "eval") return CmdEval(args);
+  if (cmd == "partition") return CmdPartition(args);
+  if (cmd == "analyze") return CmdAnalyze(args);
+  Usage();
+  return 2;
+}
