@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation_pruning.dir/ext_ablation_pruning.cc.o"
+  "CMakeFiles/ext_ablation_pruning.dir/ext_ablation_pruning.cc.o.d"
+  "ext_ablation_pruning"
+  "ext_ablation_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

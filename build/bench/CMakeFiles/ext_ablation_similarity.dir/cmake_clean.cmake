@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation_similarity.dir/ext_ablation_similarity.cc.o"
+  "CMakeFiles/ext_ablation_similarity.dir/ext_ablation_similarity.cc.o.d"
+  "ext_ablation_similarity"
+  "ext_ablation_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

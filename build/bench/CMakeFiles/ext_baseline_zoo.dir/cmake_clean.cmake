@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_baseline_zoo.dir/ext_baseline_zoo.cc.o"
+  "CMakeFiles/ext_baseline_zoo.dir/ext_baseline_zoo.cc.o.d"
+  "ext_baseline_zoo"
+  "ext_baseline_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_baseline_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_distributed.dir/ext_distributed.cc.o"
+  "CMakeFiles/ext_distributed.dir/ext_distributed.cc.o.d"
+  "ext_distributed"
+  "ext_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_updates.dir/ext_dynamic_updates.cc.o"
+  "CMakeFiles/ext_dynamic_updates.dir/ext_dynamic_updates.cc.o.d"
+  "ext_dynamic_updates"
+  "ext_dynamic_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

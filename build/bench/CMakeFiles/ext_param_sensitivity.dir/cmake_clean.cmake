@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_param_sensitivity.dir/ext_param_sensitivity.cc.o"
+  "CMakeFiles/ext_param_sensitivity.dir/ext_param_sensitivity.cc.o.d"
+  "ext_param_sensitivity"
+  "ext_param_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_param_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

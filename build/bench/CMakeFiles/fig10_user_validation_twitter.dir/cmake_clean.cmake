@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_user_validation_twitter.dir/fig10_user_validation_twitter.cc.o"
+  "CMakeFiles/fig10_user_validation_twitter.dir/fig10_user_validation_twitter.cc.o.d"
+  "fig10_user_validation_twitter"
+  "fig10_user_validation_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_user_validation_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

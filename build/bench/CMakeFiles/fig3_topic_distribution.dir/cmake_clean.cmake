@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_topic_distribution.dir/fig3_topic_distribution.cc.o"
+  "CMakeFiles/fig3_topic_distribution.dir/fig3_topic_distribution.cc.o.d"
+  "fig3_topic_distribution"
+  "fig3_topic_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_topic_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

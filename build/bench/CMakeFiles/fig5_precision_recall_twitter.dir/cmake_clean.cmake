@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_precision_recall_twitter.dir/fig5_precision_recall_twitter.cc.o"
+  "CMakeFiles/fig5_precision_recall_twitter.dir/fig5_precision_recall_twitter.cc.o.d"
+  "fig5_precision_recall_twitter"
+  "fig5_precision_recall_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_precision_recall_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_precision_recall_twitter.
+# This may be replaced when dependencies are built.

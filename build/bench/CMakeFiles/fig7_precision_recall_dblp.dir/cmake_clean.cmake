@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_precision_recall_dblp.dir/fig7_precision_recall_dblp.cc.o"
+  "CMakeFiles/fig7_precision_recall_dblp.dir/fig7_precision_recall_dblp.cc.o.d"
+  "fig7_precision_recall_dblp"
+  "fig7_precision_recall_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_precision_recall_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_recall_popularity.dir/fig8_recall_popularity.cc.o"
+  "CMakeFiles/fig8_recall_popularity.dir/fig8_recall_popularity.cc.o.d"
+  "fig8_recall_popularity"
+  "fig8_recall_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_recall_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

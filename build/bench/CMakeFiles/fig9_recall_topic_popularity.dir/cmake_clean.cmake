@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_recall_topic_popularity.dir/fig9_recall_topic_popularity.cc.o"
+  "CMakeFiles/fig9_recall_topic_popularity.dir/fig9_recall_topic_popularity.cc.o.d"
+  "fig9_recall_topic_popularity"
+  "fig9_recall_topic_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_recall_topic_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dataset_properties.dir/table2_dataset_properties.cc.o"
+  "CMakeFiles/table2_dataset_properties.dir/table2_dataset_properties.cc.o.d"
+  "table2_dataset_properties"
+  "table2_dataset_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dataset_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_user_validation_dblp.dir/table3_user_validation_dblp.cc.o"
+  "CMakeFiles/table3_user_validation_dblp.dir/table3_user_validation_dblp.cc.o.d"
+  "table3_user_validation_dblp"
+  "table3_user_validation_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_user_validation_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

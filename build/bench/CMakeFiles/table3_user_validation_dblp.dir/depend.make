@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_user_validation_dblp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_landmark_selection.dir/table5_landmark_selection.cc.o"
+  "CMakeFiles/table5_landmark_selection.dir/table5_landmark_selection.cc.o.d"
+  "table5_landmark_selection"
+  "table5_landmark_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_landmark_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

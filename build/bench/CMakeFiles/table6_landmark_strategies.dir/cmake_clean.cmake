@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_landmark_strategies.dir/table6_landmark_strategies.cc.o"
+  "CMakeFiles/table6_landmark_strategies.dir/table6_landmark_strategies.cc.o.d"
+  "table6_landmark_strategies"
+  "table6_landmark_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_landmark_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

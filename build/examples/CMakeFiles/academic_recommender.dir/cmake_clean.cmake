@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/academic_recommender.dir/academic_recommender.cpp.o"
+  "CMakeFiles/academic_recommender.dir/academic_recommender.cpp.o.d"
+  "academic_recommender"
+  "academic_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/academic_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

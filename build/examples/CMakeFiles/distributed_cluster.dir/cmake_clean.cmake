@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_cluster.dir/distributed_cluster.cpp.o"
+  "CMakeFiles/distributed_cluster.dir/distributed_cluster.cpp.o.d"
+  "distributed_cluster"
+  "distributed_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_graph.dir/evolving_graph.cpp.o"
+  "CMakeFiles/evolving_graph.dir/evolving_graph.cpp.o.d"
+  "evolving_graph"
+  "evolving_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmark_tuning.dir/landmark_tuning.cpp.o"
+  "CMakeFiles/landmark_tuning.dir/landmark_tuning.cpp.o.d"
+  "landmark_tuning"
+  "landmark_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmark_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/who_to_follow.dir/who_to_follow.cpp.o"
+  "CMakeFiles/who_to_follow.dir/who_to_follow.cpp.o.d"
+  "who_to_follow"
+  "who_to_follow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/who_to_follow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for who_to_follow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/katz.cc" "src/baselines/CMakeFiles/mbr_baselines.dir/katz.cc.o" "gcc" "src/baselines/CMakeFiles/mbr_baselines.dir/katz.cc.o.d"
+  "/root/repo/src/baselines/neighborhood.cc" "src/baselines/CMakeFiles/mbr_baselines.dir/neighborhood.cc.o" "gcc" "src/baselines/CMakeFiles/mbr_baselines.dir/neighborhood.cc.o.d"
+  "/root/repo/src/baselines/twitterrank.cc" "src/baselines/CMakeFiles/mbr_baselines.dir/twitterrank.cc.o" "gcc" "src/baselines/CMakeFiles/mbr_baselines.dir/twitterrank.cc.o.d"
+  "/root/repo/src/baselines/wtf_salsa.cc" "src/baselines/CMakeFiles/mbr_baselines.dir/wtf_salsa.cc.o" "gcc" "src/baselines/CMakeFiles/mbr_baselines.dir/wtf_salsa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topics/CMakeFiles/mbr_topics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mbr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mbr_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_baselines.dir/katz.cc.o"
+  "CMakeFiles/mbr_baselines.dir/katz.cc.o.d"
+  "CMakeFiles/mbr_baselines.dir/neighborhood.cc.o"
+  "CMakeFiles/mbr_baselines.dir/neighborhood.cc.o.d"
+  "CMakeFiles/mbr_baselines.dir/twitterrank.cc.o"
+  "CMakeFiles/mbr_baselines.dir/twitterrank.cc.o.d"
+  "CMakeFiles/mbr_baselines.dir/wtf_salsa.cc.o"
+  "CMakeFiles/mbr_baselines.dir/wtf_salsa.cc.o.d"
+  "libmbr_baselines.a"
+  "libmbr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/authority.cc" "src/core/CMakeFiles/mbr_core.dir/authority.cc.o" "gcc" "src/core/CMakeFiles/mbr_core.dir/authority.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/mbr_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/mbr_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/core/CMakeFiles/mbr_core.dir/recommender.cc.o" "gcc" "src/core/CMakeFiles/mbr_core.dir/recommender.cc.o.d"
+  "/root/repo/src/core/scorer.cc" "src/core/CMakeFiles/mbr_core.dir/scorer.cc.o" "gcc" "src/core/CMakeFiles/mbr_core.dir/scorer.cc.o.d"
+  "/root/repo/src/core/spectral.cc" "src/core/CMakeFiles/mbr_core.dir/spectral.cc.o" "gcc" "src/core/CMakeFiles/mbr_core.dir/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topics/CMakeFiles/mbr_topics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mbr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

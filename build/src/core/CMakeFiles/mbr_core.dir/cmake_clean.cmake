@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_core.dir/authority.cc.o"
+  "CMakeFiles/mbr_core.dir/authority.cc.o.d"
+  "CMakeFiles/mbr_core.dir/oracle.cc.o"
+  "CMakeFiles/mbr_core.dir/oracle.cc.o.d"
+  "CMakeFiles/mbr_core.dir/recommender.cc.o"
+  "CMakeFiles/mbr_core.dir/recommender.cc.o.d"
+  "CMakeFiles/mbr_core.dir/scorer.cc.o"
+  "CMakeFiles/mbr_core.dir/scorer.cc.o.d"
+  "CMakeFiles/mbr_core.dir/spectral.cc.o"
+  "CMakeFiles/mbr_core.dir/spectral.cc.o.d"
+  "libmbr_core.a"
+  "libmbr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dblp_generator.cc" "src/datagen/CMakeFiles/mbr_datagen.dir/dblp_generator.cc.o" "gcc" "src/datagen/CMakeFiles/mbr_datagen.dir/dblp_generator.cc.o.d"
+  "/root/repo/src/datagen/twitter_generator.cc" "src/datagen/CMakeFiles/mbr_datagen.dir/twitter_generator.cc.o" "gcc" "src/datagen/CMakeFiles/mbr_datagen.dir/twitter_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topics/CMakeFiles/mbr_topics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mbr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mbr_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_datagen.dir/dblp_generator.cc.o"
+  "CMakeFiles/mbr_datagen.dir/dblp_generator.cc.o.d"
+  "CMakeFiles/mbr_datagen.dir/twitter_generator.cc.o"
+  "CMakeFiles/mbr_datagen.dir/twitter_generator.cc.o.d"
+  "libmbr_datagen.a"
+  "libmbr_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_distributed.dir/cluster.cc.o"
+  "CMakeFiles/mbr_distributed.dir/cluster.cc.o.d"
+  "CMakeFiles/mbr_distributed.dir/partition.cc.o"
+  "CMakeFiles/mbr_distributed.dir/partition.cc.o.d"
+  "libmbr_distributed.a"
+  "libmbr_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

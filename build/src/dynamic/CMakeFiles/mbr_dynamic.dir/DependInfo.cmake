@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamic/churn.cc" "src/dynamic/CMakeFiles/mbr_dynamic.dir/churn.cc.o" "gcc" "src/dynamic/CMakeFiles/mbr_dynamic.dir/churn.cc.o.d"
+  "/root/repo/src/dynamic/delta_graph.cc" "src/dynamic/CMakeFiles/mbr_dynamic.dir/delta_graph.cc.o" "gcc" "src/dynamic/CMakeFiles/mbr_dynamic.dir/delta_graph.cc.o.d"
+  "/root/repo/src/dynamic/incremental_authority.cc" "src/dynamic/CMakeFiles/mbr_dynamic.dir/incremental_authority.cc.o" "gcc" "src/dynamic/CMakeFiles/mbr_dynamic.dir/incremental_authority.cc.o.d"
+  "/root/repo/src/dynamic/refresh.cc" "src/dynamic/CMakeFiles/mbr_dynamic.dir/refresh.cc.o" "gcc" "src/dynamic/CMakeFiles/mbr_dynamic.dir/refresh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topics/CMakeFiles/mbr_topics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mbr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/landmark/CMakeFiles/mbr_landmark.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

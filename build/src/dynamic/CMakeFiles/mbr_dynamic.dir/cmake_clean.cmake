@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_dynamic.dir/churn.cc.o"
+  "CMakeFiles/mbr_dynamic.dir/churn.cc.o.d"
+  "CMakeFiles/mbr_dynamic.dir/delta_graph.cc.o"
+  "CMakeFiles/mbr_dynamic.dir/delta_graph.cc.o.d"
+  "CMakeFiles/mbr_dynamic.dir/incremental_authority.cc.o"
+  "CMakeFiles/mbr_dynamic.dir/incremental_authority.cc.o.d"
+  "CMakeFiles/mbr_dynamic.dir/refresh.cc.o"
+  "CMakeFiles/mbr_dynamic.dir/refresh.cc.o.d"
+  "libmbr_dynamic.a"
+  "libmbr_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

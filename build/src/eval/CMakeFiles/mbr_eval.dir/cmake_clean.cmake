@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_eval.dir/approx_eval.cc.o"
+  "CMakeFiles/mbr_eval.dir/approx_eval.cc.o.d"
+  "CMakeFiles/mbr_eval.dir/linkpred.cc.o"
+  "CMakeFiles/mbr_eval.dir/linkpred.cc.o.d"
+  "CMakeFiles/mbr_eval.dir/user_study.cc.o"
+  "CMakeFiles/mbr_eval.dir/user_study.cc.o.d"
+  "libmbr_eval.a"
+  "libmbr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cc" "src/graph/CMakeFiles/mbr_graph.dir/analysis.cc.o" "gcc" "src/graph/CMakeFiles/mbr_graph.dir/analysis.cc.o.d"
+  "/root/repo/src/graph/bfs.cc" "src/graph/CMakeFiles/mbr_graph.dir/bfs.cc.o" "gcc" "src/graph/CMakeFiles/mbr_graph.dir/bfs.cc.o.d"
+  "/root/repo/src/graph/edgelist.cc" "src/graph/CMakeFiles/mbr_graph.dir/edgelist.cc.o" "gcc" "src/graph/CMakeFiles/mbr_graph.dir/edgelist.cc.o.d"
+  "/root/repo/src/graph/labeled_graph.cc" "src/graph/CMakeFiles/mbr_graph.dir/labeled_graph.cc.o" "gcc" "src/graph/CMakeFiles/mbr_graph.dir/labeled_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topics/CMakeFiles/mbr_topics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_graph.dir/analysis.cc.o"
+  "CMakeFiles/mbr_graph.dir/analysis.cc.o.d"
+  "CMakeFiles/mbr_graph.dir/bfs.cc.o"
+  "CMakeFiles/mbr_graph.dir/bfs.cc.o.d"
+  "CMakeFiles/mbr_graph.dir/edgelist.cc.o"
+  "CMakeFiles/mbr_graph.dir/edgelist.cc.o.d"
+  "CMakeFiles/mbr_graph.dir/labeled_graph.cc.o"
+  "CMakeFiles/mbr_graph.dir/labeled_graph.cc.o.d"
+  "libmbr_graph.a"
+  "libmbr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

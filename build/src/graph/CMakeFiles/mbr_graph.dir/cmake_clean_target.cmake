@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbr_graph.a"
+)

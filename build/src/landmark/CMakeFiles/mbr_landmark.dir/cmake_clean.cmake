@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_landmark.dir/approx.cc.o"
+  "CMakeFiles/mbr_landmark.dir/approx.cc.o.d"
+  "CMakeFiles/mbr_landmark.dir/index.cc.o"
+  "CMakeFiles/mbr_landmark.dir/index.cc.o.d"
+  "CMakeFiles/mbr_landmark.dir/selection.cc.o"
+  "CMakeFiles/mbr_landmark.dir/selection.cc.o.d"
+  "libmbr_landmark.a"
+  "libmbr_landmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_landmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mbr_landmark.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/classifier.cc" "src/text/CMakeFiles/mbr_text.dir/classifier.cc.o" "gcc" "src/text/CMakeFiles/mbr_text.dir/classifier.cc.o.d"
+  "/root/repo/src/text/corpus.cc" "src/text/CMakeFiles/mbr_text.dir/corpus.cc.o" "gcc" "src/text/CMakeFiles/mbr_text.dir/corpus.cc.o.d"
+  "/root/repo/src/text/naive_bayes.cc" "src/text/CMakeFiles/mbr_text.dir/naive_bayes.cc.o" "gcc" "src/text/CMakeFiles/mbr_text.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/text/pipeline.cc" "src/text/CMakeFiles/mbr_text.dir/pipeline.cc.o" "gcc" "src/text/CMakeFiles/mbr_text.dir/pipeline.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/mbr_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/mbr_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topics/CMakeFiles/mbr_topics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mbr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_text.dir/classifier.cc.o"
+  "CMakeFiles/mbr_text.dir/classifier.cc.o.d"
+  "CMakeFiles/mbr_text.dir/corpus.cc.o"
+  "CMakeFiles/mbr_text.dir/corpus.cc.o.d"
+  "CMakeFiles/mbr_text.dir/naive_bayes.cc.o"
+  "CMakeFiles/mbr_text.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/mbr_text.dir/pipeline.cc.o"
+  "CMakeFiles/mbr_text.dir/pipeline.cc.o.d"
+  "CMakeFiles/mbr_text.dir/tokenizer.cc.o"
+  "CMakeFiles/mbr_text.dir/tokenizer.cc.o.d"
+  "libmbr_text.a"
+  "libmbr_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

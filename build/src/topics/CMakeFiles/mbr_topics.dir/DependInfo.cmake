@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topics/similarity_matrix.cc" "src/topics/CMakeFiles/mbr_topics.dir/similarity_matrix.cc.o" "gcc" "src/topics/CMakeFiles/mbr_topics.dir/similarity_matrix.cc.o.d"
+  "/root/repo/src/topics/taxonomy.cc" "src/topics/CMakeFiles/mbr_topics.dir/taxonomy.cc.o" "gcc" "src/topics/CMakeFiles/mbr_topics.dir/taxonomy.cc.o.d"
+  "/root/repo/src/topics/vocabulary.cc" "src/topics/CMakeFiles/mbr_topics.dir/vocabulary.cc.o" "gcc" "src/topics/CMakeFiles/mbr_topics.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mbr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_topics.dir/similarity_matrix.cc.o"
+  "CMakeFiles/mbr_topics.dir/similarity_matrix.cc.o.d"
+  "CMakeFiles/mbr_topics.dir/taxonomy.cc.o"
+  "CMakeFiles/mbr_topics.dir/taxonomy.cc.o.d"
+  "CMakeFiles/mbr_topics.dir/vocabulary.cc.o"
+  "CMakeFiles/mbr_topics.dir/vocabulary.cc.o.d"
+  "libmbr_topics.a"
+  "libmbr_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

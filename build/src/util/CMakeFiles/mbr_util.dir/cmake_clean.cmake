@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_util.dir/kendall.cc.o"
+  "CMakeFiles/mbr_util.dir/kendall.cc.o.d"
+  "CMakeFiles/mbr_util.dir/rng.cc.o"
+  "CMakeFiles/mbr_util.dir/rng.cc.o.d"
+  "CMakeFiles/mbr_util.dir/status.cc.o"
+  "CMakeFiles/mbr_util.dir/status.cc.o.d"
+  "CMakeFiles/mbr_util.dir/table_printer.cc.o"
+  "CMakeFiles/mbr_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/mbr_util.dir/zipf.cc.o"
+  "CMakeFiles/mbr_util.dir/zipf.cc.o.d"
+  "libmbr_util.a"
+  "libmbr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_extra_test.dir/baselines_extra_test.cc.o"
+  "CMakeFiles/baselines_extra_test.dir/baselines_extra_test.cc.o.d"
+  "baselines_extra_test"
+  "baselines_extra_test.pdb"
+  "baselines_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

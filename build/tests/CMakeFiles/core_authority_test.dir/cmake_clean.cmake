@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_authority_test.dir/core_authority_test.cc.o"
+  "CMakeFiles/core_authority_test.dir/core_authority_test.cc.o.d"
+  "core_authority_test"
+  "core_authority_test.pdb"
+  "core_authority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_authority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_recommender_test.dir/core_recommender_test.cc.o"
+  "CMakeFiles/core_recommender_test.dir/core_recommender_test.cc.o.d"
+  "core_recommender_test"
+  "core_recommender_test.pdb"
+  "core_recommender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_recommender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scorer_test.dir/core_scorer_test.cc.o"
+  "CMakeFiles/core_scorer_test.dir/core_scorer_test.cc.o.d"
+  "core_scorer_test"
+  "core_scorer_test.pdb"
+  "core_scorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

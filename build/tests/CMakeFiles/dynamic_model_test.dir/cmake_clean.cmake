@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_model_test.dir/dynamic_model_test.cc.o"
+  "CMakeFiles/dynamic_model_test.dir/dynamic_model_test.cc.o.d"
+  "dynamic_model_test"
+  "dynamic_model_test.pdb"
+  "dynamic_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

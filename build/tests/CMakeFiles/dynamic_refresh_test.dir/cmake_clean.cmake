@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_refresh_test.dir/dynamic_refresh_test.cc.o"
+  "CMakeFiles/dynamic_refresh_test.dir/dynamic_refresh_test.cc.o.d"
+  "dynamic_refresh_test"
+  "dynamic_refresh_test.pdb"
+  "dynamic_refresh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_refresh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

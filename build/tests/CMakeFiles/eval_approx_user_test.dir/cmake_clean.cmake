@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_approx_user_test.dir/eval_approx_user_test.cc.o"
+  "CMakeFiles/eval_approx_user_test.dir/eval_approx_user_test.cc.o.d"
+  "eval_approx_user_test"
+  "eval_approx_user_test.pdb"
+  "eval_approx_user_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_approx_user_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

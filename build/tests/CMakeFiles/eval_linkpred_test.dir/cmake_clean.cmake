@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_linkpred_test.dir/eval_linkpred_test.cc.o"
+  "CMakeFiles/eval_linkpred_test.dir/eval_linkpred_test.cc.o.d"
+  "eval_linkpred_test"
+  "eval_linkpred_test.pdb"
+  "eval_linkpred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_linkpred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_edgelist_test.dir/graph_edgelist_test.cc.o"
+  "CMakeFiles/graph_edgelist_test.dir/graph_edgelist_test.cc.o.d"
+  "graph_edgelist_test"
+  "graph_edgelist_test.pdb"
+  "graph_edgelist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_edgelist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

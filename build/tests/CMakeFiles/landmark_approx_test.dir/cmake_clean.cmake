@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmark_approx_test.dir/landmark_approx_test.cc.o"
+  "CMakeFiles/landmark_approx_test.dir/landmark_approx_test.cc.o.d"
+  "landmark_approx_test"
+  "landmark_approx_test.pdb"
+  "landmark_approx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmark_approx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmark_index_io_test.dir/landmark_index_io_test.cc.o"
+  "CMakeFiles/landmark_index_io_test.dir/landmark_index_io_test.cc.o.d"
+  "landmark_index_io_test"
+  "landmark_index_io_test.pdb"
+  "landmark_index_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmark_index_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

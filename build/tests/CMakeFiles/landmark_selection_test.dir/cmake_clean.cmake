@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmark_selection_test.dir/landmark_selection_test.cc.o"
+  "CMakeFiles/landmark_selection_test.dir/landmark_selection_test.cc.o.d"
+  "landmark_selection_test"
+  "landmark_selection_test.pdb"
+  "landmark_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmark_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_contract_test.dir/recommender_contract_test.cc.o"
+  "CMakeFiles/recommender_contract_test.dir/recommender_contract_test.cc.o.d"
+  "recommender_contract_test"
+  "recommender_contract_test.pdb"
+  "recommender_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

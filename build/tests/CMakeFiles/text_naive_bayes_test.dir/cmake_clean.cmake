@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_naive_bayes_test.dir/text_naive_bayes_test.cc.o"
+  "CMakeFiles/text_naive_bayes_test.dir/text_naive_bayes_test.cc.o.d"
+  "text_naive_bayes_test"
+  "text_naive_bayes_test.pdb"
+  "text_naive_bayes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_naive_bayes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

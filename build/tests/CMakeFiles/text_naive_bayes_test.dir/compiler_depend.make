@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for text_naive_bayes_test.
+# This may be replaced when dependencies are built.

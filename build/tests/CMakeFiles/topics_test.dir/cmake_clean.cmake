@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topics_test.dir/topics_test.cc.o"
+  "CMakeFiles/topics_test.dir/topics_test.cc.o.d"
+  "topics_test"
+  "topics_test.pdb"
+  "topics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

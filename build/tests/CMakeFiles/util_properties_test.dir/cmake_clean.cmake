@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_properties_test.dir/util_properties_test.cc.o"
+  "CMakeFiles/util_properties_test.dir/util_properties_test.cc.o.d"
+  "util_properties_test"
+  "util_properties_test.pdb"
+  "util_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

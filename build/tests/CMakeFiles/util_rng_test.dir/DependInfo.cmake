@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_rng_test.cc" "tests/CMakeFiles/util_rng_test.dir/util_rng_test.cc.o" "gcc" "tests/CMakeFiles/util_rng_test.dir/util_rng_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dynamic/CMakeFiles/mbr_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/mbr_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mbr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/mbr_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mbr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mbr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/landmark/CMakeFiles/mbr_landmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mbr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topics/CMakeFiles/mbr_topics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

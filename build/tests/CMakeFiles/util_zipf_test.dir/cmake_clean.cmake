@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_zipf_test.dir/util_zipf_test.cc.o"
+  "CMakeFiles/util_zipf_test.dir/util_zipf_test.cc.o.d"
+  "util_zipf_test"
+  "util_zipf_test.pdb"
+  "util_zipf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrec.dir/mbrec.cc.o"
+  "CMakeFiles/mbrec.dir/mbrec.cc.o.d"
+  "mbrec"
+  "mbrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
