@@ -5,6 +5,24 @@
 
 namespace mbr::core {
 
+namespace {
+
+// Enforces the single-caller contract: aborts if two Explore() calls on the
+// same Scorer ever overlap (e.g. the instance was shared across threads).
+class ExploreGuard {
+ public:
+  explicit ExploreGuard(std::atomic<bool>& flag) : flag_(flag) {
+    MBR_CHECK(!flag_.exchange(true, std::memory_order_acquire) &&
+              "Scorer is single-caller: create one Scorer per thread");
+  }
+  ~ExploreGuard() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>& flag_;
+};
+
+}  // namespace
+
 Scorer::Scorer(const graph::LabeledGraph& g, const AuthorityIndex& authority,
                const topics::SimilarityMatrix& sim, const ScoreParams& params)
     : g_(g), authority_(authority), sim_(sim), params_(params) {
@@ -37,6 +55,7 @@ ExplorationResult Scorer::Explore(graph::NodeId source,
                                   topics::TopicSet query_topics,
                                   const std::vector<bool>* pruned) const {
   MBR_CHECK(source < g_.num_nodes());
+  ExploreGuard guard(exploring_);
   const int nt = g_.num_topics();
   const double beta = params_.beta;
   const double alphabeta = params_.alpha * params_.beta;

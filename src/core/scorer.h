@@ -22,6 +22,7 @@
 // and the query-side shallow BFS of Algorithm 2 (with optional pruning at
 // landmark nodes so paths through a landmark are not double-counted, §5.4).
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -94,8 +95,14 @@ class ExplorationResult {
   bool converged_ = false;
 };
 
-// NOT thread-safe: Explore() reuses internal scratch buffers so repeated
-// queries cost O(|vicinity|), not O(|graph|). Create one Scorer per thread.
+// Thread-affinity contract: a Scorer is SINGLE-CALLER. Explore() reuses
+// internal scratch buffers so repeated queries cost O(|vicinity|), not
+// O(|graph|) — which means two overlapping Explore() calls on the same
+// instance would corrupt each other's state. Create one Scorer per worker
+// thread (landmark::LandmarkIndex and service::QueryEngine both do this);
+// overlapping calls on one instance are a programmer error and abort via a
+// reentrancy check. The referenced graph / authority / similarity objects
+// are only read, so any number of scorers may share them.
 class Scorer {
  public:
   // All references must outlive the scorer. The similarity matrix must
@@ -135,6 +142,8 @@ class Scorer {
   const topics::SimilarityMatrix& sim_;
   ScoreParams params_;
   mutable Scratch scratch_;
+  // Reentrancy guard enforcing the single-caller contract above.
+  mutable std::atomic<bool> exploring_{false};
 };
 
 }  // namespace mbr::core

@@ -52,6 +52,7 @@ bool DeltaGraph::AddEdge(NodeId u, NodeId v, TopicSet labels) {
   ++num_edges_;
   ++in_degree_delta_pos_[v];
   additions_.push_back({u, v, labels});
+  if (on_change_) on_change_();
   return true;
 }
 
@@ -66,6 +67,7 @@ bool DeltaGraph::RemoveEdge(NodeId u, NodeId v) {
     --num_edges_;
     MBR_CHECK(in_degree_delta_pos_[v] > 0);
     --in_degree_delta_pos_[v];
+    if (on_change_) on_change_();
     return true;
   }
   // Base edge not yet tombstoned?
@@ -74,6 +76,7 @@ bool DeltaGraph::RemoveEdge(NodeId u, NodeId v) {
     removed_.insert(Key(u, v));
     --num_edges_;
     ++in_degree_delta_neg_[v];
+    if (on_change_) on_change_();
     return true;
   }
   return false;

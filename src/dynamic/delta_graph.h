@@ -10,6 +10,7 @@
 // Materialize() compacts everything into a fresh CSR graph when a batch of
 // churn has been applied (the paper's "re-computed periodically" model).
 
+#include <functional>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -72,6 +73,16 @@ class DeltaGraph {
   const std::vector<EdgeChange>& additions() const { return additions_; }
   const std::vector<EdgeChange>& removals() const { return removals_; }
 
+  // Invalidation hook: `fn` runs after every successful AddEdge/RemoveEdge
+  // (the mutation is already visible when it fires; no-op mutations do not
+  // fire). The serving layer registers an epoch bump here so cached query
+  // results keyed on the pre-change graph become unreachable
+  // (service::QueryEngine::Invalidate). The callback runs on the mutating
+  // thread and must not re-enter this DeltaGraph.
+  void SetChangeListener(std::function<void()> fn) {
+    on_change_ = std::move(fn);
+  }
+
  private:
   static uint64_t Key(graph::NodeId u, graph::NodeId v) {
     return (static_cast<uint64_t>(u) << 32) | v;
@@ -90,6 +101,7 @@ class DeltaGraph {
   std::vector<uint32_t> in_degree_delta_neg_;  // removed in-edges per node
   std::vector<EdgeChange> additions_;
   std::vector<EdgeChange> removals_;
+  std::function<void()> on_change_;
 };
 
 }  // namespace mbr::dynamic

@@ -45,6 +45,10 @@ struct QueryStats {
   double seconds = 0.0;
 };
 
+// Thread affinity: an ApproxRecommender owns a core::Scorer and inherits
+// its single-caller contract — create one instance per serving thread
+// (service::QueryEngine does). The landmark index and graph are shared
+// read-only.
 class ApproxRecommender : public core::Recommender {
  public:
   // All references must outlive the recommender.

@@ -1,0 +1,195 @@
+#include "service/query_engine.h"
+
+#include <algorithm>
+#include <latch>
+
+#include "util/timer.h"
+
+namespace mbr::service {
+
+double EngineStats::LatencyPercentileMicros(double p) const {
+  uint64_t total = 0;
+  for (uint64_t c : latency_log2_us) total += c;
+  if (total == 0) return 0.0;
+  uint64_t need = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (need < 1) need = 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    seen += latency_log2_us[b];
+    if (seen >= need) return static_cast<double>(uint64_t{1} << b);
+  }
+  return static_cast<double>(uint64_t{1} << (kLatencyBuckets - 1));
+}
+
+QueryEngine::QueryEngine(const graph::LabeledGraph& g,
+                         const core::AuthorityIndex& authority,
+                         const topics::SimilarityMatrix& sim,
+                         const EngineConfig& config)
+    : g_(&g),
+      authority_(&authority),
+      sim_(&sim),
+      config_(config),
+      pool_(config.num_threads) {
+  if (config_.cache_capacity > 0) {
+    cache_ = std::make_unique<Cache>(config_.cache_capacity,
+                                     std::max(1u, config_.cache_shards));
+  }
+  BuildWorkers();
+}
+
+void QueryEngine::BuildWorkers() {
+  workers_.clear();
+  workers_.resize(pool_.num_workers());
+  for (Worker& w : workers_) {
+    if (config_.landmarks != nullptr) {
+      landmark::ApproxConfig ac = config_.approx;
+      ac.params = config_.params;
+      w.approx = std::make_unique<landmark::ApproxRecommender>(
+          *g_, *authority_, *sim_, *config_.landmarks, ac);
+    } else {
+      w.scorer = std::make_unique<core::Scorer>(*g_, *authority_, *sim_,
+                                                config_.params);
+    }
+  }
+}
+
+void QueryEngine::RecordLatencySeconds(double seconds) {
+  uint64_t us = static_cast<uint64_t>(seconds * 1e6);
+  int b = us == 0 ? 0
+                  : std::min(kLatencyBuckets - 1, 64 - __builtin_clzll(us));
+  latency_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+bool QueryEngine::CacheLookup(const CacheKey& key,
+                              std::vector<util::ScoredId>* out) {
+  if (cache_ == nullptr) return false;
+  return cache_->Get(key, out);
+}
+
+std::vector<util::ScoredId> QueryEngine::ExecuteQuery(uint32_t wid,
+                                                      const Query& q) {
+  util::WallTimer timer;
+  Worker& w = workers_[wid];
+  std::vector<util::ScoredId> out;
+  if (w.approx != nullptr) {
+    out = w.approx->RecommendTopN(q.user, q.topic, q.top_n);
+  } else {
+    core::ExplorationResult res =
+        w.scorer->Explore(q.user, topics::TopicSet::Single(q.topic));
+    util::TopK topk(q.top_n);
+    for (graph::NodeId v : res.reached()) {
+      if (v == q.user) continue;
+      double s = res.Sigma(v, q.topic);
+      if (s > 0.0) topk.Offer(v, s);
+    }
+    out = topk.Take();
+  }
+  RecordLatencySeconds(timer.ElapsedSeconds());
+  return out;
+}
+
+std::vector<util::ScoredId> QueryEngine::Recommend(graph::NodeId user,
+                                                   topics::TopicId topic,
+                                                   uint32_t top_n) {
+  Query q{user, topic, top_n};
+  auto results = RecommendMany({q});
+  return std::move(results.front());
+}
+
+std::vector<std::vector<util::ScoredId>> QueryEngine::RecommendMany(
+    const std::vector<Query>& queries) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  std::vector<std::vector<util::ScoredId>> results(queries.size());
+  if (queries.empty()) return results;
+
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  std::vector<size_t> misses;
+  misses.reserve(queries.size());
+  {
+    // Shared lock: validation reads the current graph, which Rebind swaps
+    // under the exclusive lock. Released before the latch wait below so a
+    // concurrent Rebind can never deadlock against in-flight batches.
+    std::shared_lock<std::shared_mutex> lock(rebind_mu_);
+    for (const Query& q : queries) {
+      MBR_CHECK(q.user < g_->num_nodes());
+      MBR_CHECK(q.topic < g_->num_topics());
+      MBR_CHECK(q.top_n > 0);
+    }
+    // Resolve cache hits inline on the calling thread — a warm repeat
+    // query never touches the pool.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const Query& q = queries[i];
+      CacheKey key{q.user, q.topic, q.top_n, epoch};
+      util::WallTimer timer;
+      if (CacheLookup(key, &results[i])) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        RecordLatencySeconds(timer.ElapsedSeconds());
+      } else {
+        misses.push_back(i);
+      }
+    }
+  }
+  cache_misses_.fetch_add(misses.size(), std::memory_order_relaxed);
+  if (misses.empty()) return results;
+
+  // Fan the misses across the pool in contiguous chunks (several queries
+  // per task keeps queue overhead negligible for large batches).
+  const size_t num_chunks =
+      std::min<size_t>(misses.size(),
+                       static_cast<size_t>(pool_.num_workers()) * 4);
+  const size_t chunk = (misses.size() + num_chunks - 1) / num_chunks;
+  std::latch done(static_cast<ptrdiff_t>(num_chunks));
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(begin + chunk, misses.size());
+    pool_.Submit([this, &queries, &results, &misses, begin, end, epoch,
+                  &done](uint32_t wid) {
+      {
+        std::shared_lock<std::shared_mutex> lock(rebind_mu_);
+        for (size_t m = begin; m < end; ++m) {
+          const size_t i = misses[m];
+          const Query& q = queries[i];
+          results[i] = ExecuteQuery(wid, q);
+          if (cache_ != nullptr) {
+            cache_->Put(CacheKey{q.user, q.topic, q.top_n, epoch},
+                        results[i]);
+          }
+        }
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+  return results;
+}
+
+void QueryEngine::Invalidate() {
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void QueryEngine::Rebind(const graph::LabeledGraph& g,
+                         const core::AuthorityIndex& authority) {
+  std::unique_lock<std::shared_mutex> lock(rebind_mu_);
+  g_ = &g;
+  authority_ = &authority;
+  BuildWorkers();
+  Invalidate();
+}
+
+EngineStats QueryEngine::Stats() const {
+  EngineStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.params_epoch = epoch_.load(std::memory_order_relaxed);
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    s.latency_log2_us[b] = latency_[b].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace mbr::service

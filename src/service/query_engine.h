@@ -1,0 +1,203 @@
+#ifndef MBR_SERVICE_QUERY_ENGINE_H_
+#define MBR_SERVICE_QUERY_ENGINE_H_
+
+// Concurrent query-serving engine — the first piece of real serving
+// infrastructure over the paper's recommenders.
+//
+// Architecture:
+//   * a fixed util::ThreadPool; every worker owns its own core::Scorer
+//     (and landmark::ApproxRecommender when a landmark index is
+//     configured), so the Scorer single-caller contract holds by
+//     construction and any number of application threads may call
+//     Recommend()/RecommendMany() concurrently;
+//   * a sharded util::ShardedLruCache in front of the scorers, keyed on
+//     (user, topic, top_n, params_epoch) and storing the ranked top-n
+//     list. Invalidate() bumps the epoch, which makes every cached entry
+//     unreachable in O(1) — stale entries are then evicted by ordinary LRU
+//     pressure. The dynamic-update path wires
+//     dynamic::DeltaGraph::SetChangeListener to Invalidate() so serving
+//     never returns results from before an edge change;
+//   * lightweight serving stats: queries served, batch count, cache
+//     hits/misses, invalidations, and a log2 per-query latency histogram.
+//
+// Epoch scheme: the epoch only ever grows. A scored result is inserted
+// under the epoch observed when its query was admitted; if an invalidation
+// races with the scoring, the insert lands under the old epoch and is
+// simply never looked up again — correctness never depends on the cache.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/authority.h"
+#include "core/params.h"
+#include "core/scorer.h"
+#include "graph/labeled_graph.h"
+#include "landmark/approx.h"
+#include "landmark/index.h"
+#include "topics/similarity_matrix.h"
+#include "topics/topic.h"
+#include "util/lru_cache.h"
+#include "util/thread_pool.h"
+#include "util/top_k.h"
+
+namespace mbr::service {
+
+// One recommendation request.
+struct Query {
+  graph::NodeId user = 0;
+  topics::TopicId topic = 0;
+  uint32_t top_n = 10;
+};
+
+struct EngineConfig {
+  // Worker threads: 0 = hardware concurrency.
+  uint32_t num_threads = 0;
+  // Total cached result lists across all shards; 0 disables the cache.
+  size_t cache_capacity = 0;
+  uint32_t cache_shards = 16;
+  core::ScoreParams params;
+  // When non-null, queries are served by the landmark approximation
+  // (Algorithm 2) instead of converged exact scoring. Must outlive the
+  // engine; `approx.params` is overridden by `params`.
+  const landmark::LandmarkIndex* landmarks = nullptr;
+  landmark::ApproxConfig approx;
+};
+
+inline constexpr int kLatencyBuckets = 32;
+
+// Snapshot of the engine's serving counters.
+struct EngineStats {
+  uint64_t queries = 0;   // total queries admitted
+  uint64_t batches = 0;   // RecommendMany calls
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;  // queries that ran a scorer
+  uint64_t invalidations = 0;
+  uint64_t params_epoch = 0;
+  // latency_log2_us[0] counts sub-microsecond queries; bucket b >= 1
+  // counts queries with latency in [2^(b-1), 2^b) microseconds. Cache hits
+  // and scored queries both land here (hits in the lowest buckets).
+  std::array<uint64_t, kLatencyBuckets> latency_log2_us{};
+
+  double HitRate() const {
+    uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+  // Smallest histogram upper bound (µs) covering at least fraction p of
+  // recorded queries. p in [0, 1].
+  double LatencyPercentileMicros(double p) const;
+};
+
+class QueryEngine {
+ public:
+  // All references must outlive the engine (or be replaced via Rebind
+  // before they die). The authority index must match `g`.
+  QueryEngine(const graph::LabeledGraph& g,
+              const core::AuthorityIndex& authority,
+              const topics::SimilarityMatrix& sim,
+              const EngineConfig& config);
+  ~QueryEngine() = default;
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Blocking single query: the ranked top-n users for (user, topic),
+  // excluding the query user. Thread-safe; the scoring itself runs on a
+  // pool worker. Preconditions: user < num_nodes, topic < num_topics,
+  // top_n > 0.
+  std::vector<util::ScoredId> Recommend(graph::NodeId user,
+                                        topics::TopicId topic,
+                                        uint32_t top_n);
+
+  // Batched queries, fanned across the worker pool. results[i] always
+  // answers queries[i] (input order is preserved regardless of which
+  // worker served which query). Thread-safe.
+  std::vector<std::vector<util::ScoredId>> RecommendMany(
+      const std::vector<Query>& queries);
+
+  // Drops all cached results in O(1) by bumping the params epoch. Wire
+  // this to dynamic::DeltaGraph::SetChangeListener so edge churn can never
+  // serve stale lists.
+  void Invalidate();
+
+  // Points the engine at a new graph snapshot (e.g. a materialised
+  // DeltaGraph) and rebuilds every worker's scorer against it. Implies
+  // Invalidate(). Blocks until in-flight queries drain; both references
+  // must outlive the engine, and the new graph must keep the old node-id
+  // universe (DeltaGraph::Materialize does).
+  void Rebind(const graph::LabeledGraph& g,
+              const core::AuthorityIndex& authority);
+
+  uint64_t params_epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+  uint32_t num_workers() const { return pool_.num_workers(); }
+  bool cache_enabled() const { return cache_ != nullptr; }
+
+  EngineStats Stats() const;
+
+ private:
+  struct CacheKey {
+    graph::NodeId user = 0;
+    topics::TopicId topic = 0;
+    uint32_t top_n = 0;
+    uint64_t epoch = 0;
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      uint64_t h = (static_cast<uint64_t>(k.user) << 32) |
+                   ((static_cast<uint64_t>(k.topic) << 16) ^ k.top_n);
+      h ^= k.epoch + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+  using Cache =
+      util::ShardedLruCache<CacheKey, std::vector<util::ScoredId>,
+                            CacheKeyHash>;
+
+  // Per-worker scoring state; indexed by the pool's worker id.
+  struct Worker {
+    std::unique_ptr<core::Scorer> scorer;
+    std::unique_ptr<landmark::ApproxRecommender> approx;
+  };
+
+  void BuildWorkers();
+  // Scores one query on worker `wid` (cache miss path) and records its
+  // latency. Caller must hold rebind_mu_ shared.
+  std::vector<util::ScoredId> ExecuteQuery(uint32_t wid, const Query& q);
+  void RecordLatencySeconds(double seconds);
+  bool CacheLookup(const CacheKey& key, std::vector<util::ScoredId>* out);
+
+  const graph::LabeledGraph* g_;
+  const core::AuthorityIndex* authority_;
+  const topics::SimilarityMatrix* sim_;
+  EngineConfig config_;
+
+  // Queries hold this shared; Rebind holds it exclusive to swap scorers.
+  std::shared_mutex rebind_mu_;
+  std::vector<Worker> workers_;
+  std::unique_ptr<Cache> cache_;
+
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_{};
+
+  // Declared last so its destructor joins the workers while the scorers
+  // and cache above are still alive.
+  util::ThreadPool pool_;
+};
+
+}  // namespace mbr::service
+
+#endif  // MBR_SERVICE_QUERY_ENGINE_H_

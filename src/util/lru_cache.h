@@ -1,0 +1,156 @@
+#ifndef MBR_UTIL_LRU_CACHE_H_
+#define MBR_UTIL_LRU_CACHE_H_
+
+// Sharded LRU cache.
+//
+// The key space is split across N shards (N rounded up to a power of two);
+// each shard is an independent LRU list + hash map behind its own mutex, so
+// queries hitting different shards never contend. Capacity is divided
+// evenly across the shards, which makes eviction approximate-LRU globally
+// but exact-LRU per shard — the standard serving-cache trade for
+// concurrency. Values are returned by copy; keep them small (the serving
+// layer stores top-n lists of ~10-100 entries).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace mbr::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  // `capacity` is the total entry budget across all shards (at least one
+  // entry per shard is always granted). Preconditions: capacity > 0,
+  // num_shards > 0.
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 16) {
+    MBR_CHECK(capacity > 0);
+    MBR_CHECK(num_shards > 0);
+    size_t shards = 1;
+    while (shards < num_shards) shards <<= 1;
+    shard_mask_ = shards - 1;
+    size_t per_shard = (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+      shards_.back()->capacity = std::max<size_t>(1, per_shard);
+    }
+  }
+
+  // Copies the cached value into *out and marks the entry most-recently
+  // used. Returns false (and leaves *out untouched) on a miss.
+  bool Get(const Key& key, Value* out) {
+    Shard& sh = ShardFor(key);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.map.find(key);
+    if (it == sh.map.end()) {
+      ++sh.stats.misses;
+      return false;
+    }
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    *out = it->second->second;
+    ++sh.stats.hits;
+    return true;
+  }
+
+  // Inserts or overwrites; the entry becomes most-recently used. Evicts the
+  // shard's least-recently-used entry when the shard is over budget.
+  void Put(const Key& key, Value value) {
+    Shard& sh = ShardFor(key);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.map.find(key);
+    if (it != sh.map.end()) {
+      it->second->second = std::move(value);
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+      return;
+    }
+    sh.lru.emplace_front(key, std::move(value));
+    sh.map.emplace(key, sh.lru.begin());
+    ++sh.stats.insertions;
+    if (sh.map.size() > sh.capacity) {
+      sh.map.erase(sh.lru.back().first);
+      sh.lru.pop_back();
+      ++sh.stats.evictions;
+    }
+  }
+
+  void Clear() {
+    for (auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      sh->map.clear();
+      sh->lru.clear();
+    }
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      total += sh->map.size();
+    }
+    return total;
+  }
+
+  size_t capacity() const {
+    size_t total = 0;
+    for (const auto& sh : shards_) total += sh->capacity;
+    return total;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  Stats stats() const {
+    Stats out;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      out.hits += sh->stats.hits;
+      out.misses += sh->stats.misses;
+      out.insertions += sh->stats.insertions;
+      out.evictions += sh->stats.evictions;
+    }
+    return out;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // front = most recently used.
+    std::list<std::pair<Key, Value>> lru;
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        map;
+    size_t capacity = 0;
+    Stats stats;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Re-mix the hash so shard choice uses different bits than the shard's
+    // own hash-map bucketing.
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return *shards_[h & shard_mask_];
+  }
+
+  size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mbr::util
+
+#endif  // MBR_UTIL_LRU_CACHE_H_

@@ -1,0 +1,92 @@
+#ifndef MBR_UTIL_THREAD_POOL_H_
+#define MBR_UTIL_THREAD_POOL_H_
+
+// Fixed-size worker pool with stable worker ids.
+//
+// Tasks receive the executing worker's id in [0, num_workers()), so a
+// caller can keep per-worker state — e.g. one core::Scorer per worker, as
+// the Scorer scratch-buffer contract demands — and index it lock-free from
+// inside the task. Submission is thread-safe from any number of producer
+// threads; the destructor drains every already-queued task before joining,
+// so submitted work is never silently dropped.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace mbr::util {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void(uint32_t worker_id)>;
+
+  // num_threads == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(uint32_t num_threads) {
+    uint32_t n = num_threads != 0
+                     ? num_threads
+                     : std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(n);
+    for (uint32_t w = 0; w < n; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  // Enqueues `task`; it runs on some worker as soon as one is free.
+  // Preconditions: the pool is not being destroyed concurrently.
+  void Submit(Task task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MBR_CHECK(!stopping_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void WorkerLoop(uint32_t id) {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping and fully drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task(id);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mbr::util
+
+#endif  // MBR_UTIL_THREAD_POOL_H_

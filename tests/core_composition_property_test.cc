@@ -1,0 +1,183 @@
+// Property tests for the score-composition algebra (Proposition 2):
+//
+//   ω_p(t) = β^|p2| · ω_{p1}(t) + (βα)^|p1| · ω_{p2}(t)
+//
+// for a path p = p1 · p2 split anywhere, plus Equation 1's additivity
+// σ(s, v, t) = Σ_p ω_p(t) over node-disjoint paths (diamond graphs). Line
+// graphs make every σ a single-path ω, so the Scorer itself computes both
+// sides of the identity; the diamond side is checked against a manual
+// per-path evaluation built from EdgeTopicWeight.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/authority.h"
+#include "core/params.h"
+#include "core/scorer.h"
+#include "graph/labeled_graph.h"
+#include "topics/similarity_matrix.h"
+#include "util/rng.h"
+
+namespace mbr::core {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+constexpr int kNumTopics = 6;
+
+const topics::SimilarityMatrix& Sim() { return topics::TwitterSimilarity(); }
+
+// Exact-mode params: no tolerance stop, no frontier pruning.
+ScoreParams ExactParams(double beta, double alpha, uint32_t depth) {
+  ScoreParams p;
+  p.beta = beta;
+  p.alpha = alpha;
+  p.tolerance = 0.0;
+  p.frontier_epsilon = 0.0;
+  p.max_depth = depth;
+  return p;
+}
+
+TopicSet RandomLabels(util::Rng* rng) {
+  TopicSet s;
+  s.Add(static_cast<TopicId>(rng->UniformU64(kNumTopics)));
+  if (rng->Bernoulli(0.3)) {
+    s.Add(static_cast<TopicId>(rng->UniformU64(kNumTopics)));
+  }
+  return s;
+}
+
+TopicSet AllTopics() {
+  TopicSet s;
+  for (TopicId t = 0; t < kNumTopics; ++t) s.Add(t);
+  return s;
+}
+
+// On a line 0 -> 1 -> ... -> L there is exactly one path between any two
+// nodes, so Explore()'s σ IS the single-path score ω. Split the path at
+// every interior position and check Proposition 2 for every topic.
+TEST(CompositionPropertyTest, Proposition2HoldsOnRandomLines) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(1000 + seed);
+    const uint32_t len = 2 + static_cast<uint32_t>(rng.UniformU64(5));  // 2..6
+    const double beta = 0.05 + 0.4 * rng.UniformDouble();
+    const double alpha = 0.3 + 0.7 * rng.UniformDouble();
+
+    GraphBuilder b(len + 1, kNumTopics);
+    std::vector<TopicSet> labels(len);
+    for (uint32_t j = 0; j < len; ++j) {
+      labels[j] = RandomLabels(&rng);
+      b.AddEdge(j, j + 1, labels[j]);
+    }
+    LabeledGraph g = std::move(b).Build();
+    AuthorityIndex auth(g);
+    Scorer scorer(g, auth, Sim(), ExactParams(beta, alpha, len + 2));
+
+    ExplorationResult from_source = scorer.Explore(0, AllTopics());
+    for (uint32_t k = 1; k < len; ++k) {
+      // p1 = edges 1..k (source 0 to node k), p2 = edges k+1..len.
+      ExplorationResult from_split = scorer.Explore(k, AllTopics());
+      const uint32_t len2 = len - k;
+      for (TopicId t = 0; t < kNumTopics; ++t) {
+        const double omega_p = from_source.Sigma(len, t);
+        const double omega_p1 = from_source.Sigma(k, t);
+        const double omega_p2 = from_split.Sigma(len, t);
+        const double composed = std::pow(beta, len2) * omega_p1 +
+                                std::pow(beta * alpha, k) * omega_p2;
+        ASSERT_NEAR(omega_p, composed,
+                    1e-12 * std::max(1.0, std::fabs(omega_p)))
+            << "seed=" << seed << " len=" << len << " k=" << k
+            << " topic=" << t;
+      }
+      // The topological scores compose multiplicatively on a single path:
+      // topo_β(0, L) = β^|p2| · topo_β(0, k) and likewise for topo_αβ.
+      ASSERT_NEAR(from_source.TopoBeta(len),
+                  std::pow(beta, len2) * from_source.TopoBeta(k), 1e-15);
+      ASSERT_NEAR(from_source.TopoAlphaBeta(len),
+                  std::pow(beta * alpha, k) * from_split.TopoAlphaBeta(len),
+                  1e-15);
+    }
+  }
+}
+
+// ω of an explicit path, evaluated from the per-edge weights:
+//   ω_p(t) = β^{k-1} Σ_j α^{j-1} W_j,  W_j = βα·s_j(t)·auth_j(t)
+// (the factored form of ω_p(t) = β^k Σ_j α^j s_j(t) auth_j(t)).
+double PathOmega(const Scorer& scorer, const std::vector<NodeId>& nodes,
+                 const std::vector<TopicSet>& labels, TopicId t) {
+  const double beta = scorer.params().beta;
+  const double alpha = scorer.params().alpha;
+  const size_t k = labels.size();
+  double sum = 0.0;
+  double alpha_pow = 1.0;
+  for (size_t j = 0; j < k; ++j) {
+    sum += alpha_pow * scorer.EdgeTopicWeight(labels[j], nodes[j + 1], t);
+    alpha_pow *= alpha;
+  }
+  return std::pow(beta, static_cast<double>(k - 1)) * sum;
+}
+
+// Diamond: two node-disjoint branches s ❀ sink. Equation 1 says σ is the
+// sum of the two path scores; each path score is evaluated manually from
+// the same graph's authority index (so both sides see identical auth/sim).
+TEST(CompositionPropertyTest, DiamondScoreIsSumOfPathScores) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(9000 + seed);
+    const uint32_t la = 1 + static_cast<uint32_t>(rng.UniformU64(3));  // 1..3
+    // lb >= 2 keeps the branches node-disjoint: with la == lb == 1 the two
+    // "paths" would be the same edge and GraphBuilder would merge them.
+    const uint32_t lb = 2 + static_cast<uint32_t>(rng.UniformU64(2));
+    const double beta = 0.05 + 0.4 * rng.UniformDouble();
+    const double alpha = 0.3 + 0.7 * rng.UniformDouble();
+
+    // Node 0 = source; nodes 1..la-1 branch A; la..la+lb-2 branch B;
+    // last node = shared sink.
+    const NodeId sink = la + lb - 1;
+    GraphBuilder b(sink + 1, kNumTopics);
+    std::vector<NodeId> path_a = {0};
+    for (uint32_t i = 1; i < la; ++i) path_a.push_back(i);
+    path_a.push_back(sink);
+    std::vector<NodeId> path_b = {0};
+    for (uint32_t i = 0; i + 1 < lb; ++i) path_b.push_back(la + i);
+    path_b.push_back(sink);
+
+    std::vector<TopicSet> labels_a(la), labels_b(lb);
+    for (uint32_t j = 0; j < la; ++j) {
+      labels_a[j] = RandomLabels(&rng);
+      b.AddEdge(path_a[j], path_a[j + 1], labels_a[j]);
+    }
+    for (uint32_t j = 0; j < lb; ++j) {
+      labels_b[j] = RandomLabels(&rng);
+      b.AddEdge(path_b[j], path_b[j + 1], labels_b[j]);
+    }
+    LabeledGraph g = std::move(b).Build();
+    AuthorityIndex auth(g);
+    Scorer scorer(g, auth, Sim(),
+                  ExactParams(beta, alpha, std::max(la, lb) + 2));
+
+    ExplorationResult res = scorer.Explore(0, AllTopics());
+    for (TopicId t = 0; t < kNumTopics; ++t) {
+      const double expected = PathOmega(scorer, path_a, labels_a, t) +
+                              PathOmega(scorer, path_b, labels_b, t);
+      ASSERT_NEAR(res.Sigma(sink, t), expected,
+                  1e-12 * std::max(1.0, std::fabs(expected)))
+          << "seed=" << seed << " la=" << la << " lb=" << lb
+          << " topic=" << t;
+    }
+    // Topology composes additively across the two paths too.
+    ASSERT_NEAR(res.TopoBeta(sink),
+                std::pow(beta, la) + std::pow(beta, lb), 1e-15);
+    ASSERT_NEAR(res.TopoAlphaBeta(sink),
+                std::pow(beta * alpha, la) + std::pow(beta * alpha, lb),
+                1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace mbr::core

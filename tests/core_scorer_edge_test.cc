@@ -124,6 +124,76 @@ TEST(ScorerEdgeTest, ReachedOrderIsBfsLike) {
   EXPECT_FALSE(res.Reached(0));  // source not on a cycle
 }
 
+TEST(ScorerEdgeTest, EmptyQueryTopicSetComputesTopologyOnly) {
+  GraphBuilder b(3, 4);
+  b.AddEdge(0, 1, TopicSet::Single(0));
+  b.AddEdge(1, 2, TopicSet::Single(1));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams();
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, TopicSet());
+  // No query topics: σ stays zero everywhere, but the topological scores
+  // (which landmark pre-processing needs) are still propagated.
+  ASSERT_EQ(res.reached().size(), 2u);
+  for (TopicId t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(res.Sigma(1, t), 0.0);
+    EXPECT_DOUBLE_EQ(res.Sigma(2, t), 0.0);
+  }
+  EXPECT_NEAR(res.TopoBeta(1), p.beta, 1e-15);
+  EXPECT_NEAR(res.TopoBeta(2), p.beta * p.beta, 1e-15);
+  EXPECT_NEAR(res.TopoAlphaBeta(2), p.beta * p.alpha * p.beta * p.alpha,
+              1e-15);
+  EXPECT_TRUE(res.converged());  // frontier exhausted
+}
+
+TEST(ScorerEdgeTest, SourceWithFollowersButNoFolloweesReachesNothing) {
+  // Node 0 has in-edges only: paths start at the source's OUT edges, so
+  // nothing is reachable even though 0 is well-connected as a publisher.
+  GraphBuilder b(4, 4);
+  b.AddEdge(1, 0, TopicSet::Single(0));
+  b.AddEdge(2, 0, TopicSet::Single(1));
+  b.AddEdge(2, 3, TopicSet::Single(0));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  Scorer scorer(g, auth, Sim(), ExactParams());
+  ExplorationResult res = scorer.Explore(0, TopicSet::Single(0));
+  EXPECT_TRUE(res.reached().empty());
+  EXPECT_TRUE(res.converged());
+  // The same scorer instance must still serve a real source afterwards.
+  ExplorationResult res2 = scorer.Explore(2, TopicSet::Single(0));
+  EXPECT_TRUE(res2.Reached(0));
+  EXPECT_TRUE(res2.Reached(3));
+}
+
+TEST(ScorerEdgeTest, FrontierEpsilonNeverDropsDepthOneNeighborhood) {
+  // Star + tail: 0 -> {1, 2, 3}, 3 -> 4. Even with an absurdly large
+  // frontier_epsilon, pruning may only stop EXPANSION — every depth-1
+  // neighbor must still be reached and carry its exact one-hop score.
+  GraphBuilder b(5, 4);
+  b.AddEdge(0, 1, TopicSet::Single(0));
+  b.AddEdge(0, 2, TopicSet::Single(1));
+  b.AddEdge(0, 3, TopicSet::Single(0));
+  b.AddEdge(3, 4, TopicSet::Single(0));
+  LabeledGraph g = std::move(b).Build();
+  AuthorityIndex auth(g);
+  ScoreParams p = ExactParams();
+  p.frontier_epsilon = 1e6;  // prunes every frontier entry after scoring
+  Scorer scorer(g, auth, Sim(), p);
+  ExplorationResult res = scorer.Explore(0, TopicSet::Single(0));
+
+  ASSERT_EQ(res.reached().size(), 3u);
+  for (NodeId v : {1u, 2u, 3u}) {
+    EXPECT_TRUE(res.Reached(v));
+    EXPECT_NEAR(res.TopoBeta(v), p.beta, 1e-15);
+    // One-hop score = the edge's topical weight ω_{0→v}(t).
+    EXPECT_DOUBLE_EQ(res.Sigma(v, 0),
+                     scorer.EdgeTopicWeight(g.EdgeLabels(0, v), v, 0));
+  }
+  // ...but the pruned frontier was never expanded past depth 1.
+  EXPECT_FALSE(res.Reached(4));
+}
+
 TEST(ScorerEdgeTest, ToleranceStopsEarlyOnTinyBeta) {
   util::Rng rng(4);
   GraphBuilder b(200, 4);

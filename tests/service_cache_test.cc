@@ -1,0 +1,129 @@
+// Cache keying / epoch invalidation: a dynamic edge insertion must bump
+// the engine's params epoch (via the DeltaGraph change listener), force the
+// next identical query to miss the cache, and — after rebinding to the
+// materialised graph — serve results that reflect the new edge.
+
+#include <gtest/gtest.h>
+
+#include "core/authority.h"
+#include "dynamic/delta_graph.h"
+#include "graph/labeled_graph.h"
+#include "service/query_engine.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::service {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+constexpr TopicId kTopic = 0;
+
+// 0 -> 1 -> 2; node 3 exists but is unreachable until the dynamic path
+// inserts 1 -> 3.
+LabeledGraph BaseGraph() {
+  GraphBuilder b(4, 4);
+  b.AddEdge(0, 1, TopicSet::Single(kTopic));
+  b.AddEdge(1, 2, TopicSet::Single(kTopic));
+  b.AddEdge(3, 2, TopicSet::Single(kTopic));  // 3 publishes, gains authority
+  return std::move(b).Build();
+}
+
+EngineConfig CachedConfig() {
+  EngineConfig ec;
+  ec.num_threads = 1;
+  ec.cache_capacity = 64;
+  ec.params.beta = 0.1;  // visible scores on a 3-hop graph
+  return ec;
+}
+
+TEST(ServiceCacheTest, RepeatQueryHitsCache) {
+  LabeledGraph g = BaseGraph();
+  core::AuthorityIndex auth(g);
+  QueryEngine engine(g, auth, topics::TwitterSimilarity(), CachedConfig());
+
+  auto first = engine.Recommend(0, kTopic, 5);
+  auto second = engine.Recommend(0, kTopic, 5);
+  EXPECT_EQ(first, second);
+  EngineStats s = engine.Stats();
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+}
+
+TEST(ServiceCacheTest, DifferentTopNIsADifferentCacheEntry) {
+  LabeledGraph g = BaseGraph();
+  core::AuthorityIndex auth(g);
+  QueryEngine engine(g, auth, topics::TwitterSimilarity(), CachedConfig());
+  engine.Recommend(0, kTopic, 5);
+  engine.Recommend(0, kTopic, 1);  // must not be served from the n=5 entry
+  EXPECT_EQ(engine.Stats().cache_misses, 2u);
+  EXPECT_EQ(engine.Recommend(0, kTopic, 1).size(), 1u);
+}
+
+TEST(ServiceCacheTest, DynamicInsertionInvalidatesAndNewEdgeIsServed) {
+  LabeledGraph base = BaseGraph();
+  core::AuthorityIndex auth(base);
+  QueryEngine engine(base, auth, topics::TwitterSimilarity(),
+                     CachedConfig());
+
+  // Wire the dynamic-update path to the serving cache.
+  dynamic::DeltaGraph delta(&base);
+  delta.SetChangeListener([&engine] { engine.Invalidate(); });
+
+  auto before = engine.Recommend(0, kTopic, 5);
+  for (const auto& r : before) EXPECT_NE(r.id, 3u);  // 3 unreachable
+  engine.Recommend(0, kTopic, 5);
+  ASSERT_EQ(engine.Stats().cache_hits, 1u);
+  const uint64_t epoch_before = engine.params_epoch();
+
+  // The churn: 1 -> 3 appears.
+  ASSERT_TRUE(delta.AddEdge(1, 3, TopicSet::Single(kTopic)));
+  EXPECT_EQ(engine.params_epoch(), epoch_before + 1);
+  EXPECT_EQ(engine.Stats().invalidations, 1u);
+
+  // Serve from the materialised post-churn snapshot.
+  LabeledGraph current = delta.Materialize();
+  core::AuthorityIndex current_auth(current);
+  engine.Rebind(current, current_auth);
+
+  auto after = engine.Recommend(0, kTopic, 5);
+  EngineStats s = engine.Stats();
+  // The repeat of a previously-cached query must MISS: its epoch changed.
+  EXPECT_EQ(s.cache_hits, 1u);
+  bool found = false;
+  for (const auto& r : after) found = found || r.id == 3u;
+  EXPECT_TRUE(found) << "freshly inserted edge 1->3 not reflected";
+}
+
+TEST(ServiceCacheTest, InvalidateAloneForcesMissButSameResult) {
+  LabeledGraph g = BaseGraph();
+  core::AuthorityIndex auth(g);
+  QueryEngine engine(g, auth, topics::TwitterSimilarity(), CachedConfig());
+  auto a = engine.Recommend(0, kTopic, 5);
+  engine.Invalidate();
+  auto b = engine.Recommend(0, kTopic, 5);
+  EXPECT_EQ(a, b);  // same graph, same params -> identical list
+  EngineStats s = engine.Stats();
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_misses, 2u);
+}
+
+TEST(ServiceCacheTest, RemovalAlsoFiresTheListener) {
+  LabeledGraph base = BaseGraph();
+  core::AuthorityIndex auth(base);
+  QueryEngine engine(base, auth, topics::TwitterSimilarity(),
+                     CachedConfig());
+  dynamic::DeltaGraph delta(&base);
+  delta.SetChangeListener([&engine] { engine.Invalidate(); });
+  ASSERT_TRUE(delta.RemoveEdge(1, 2));
+  EXPECT_EQ(engine.Stats().invalidations, 1u);
+  // No-op mutations must not fire.
+  EXPECT_FALSE(delta.RemoveEdge(1, 2));
+  EXPECT_EQ(engine.Stats().invalidations, 1u);
+}
+
+}  // namespace
+}  // namespace mbr::service

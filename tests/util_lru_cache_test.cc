@@ -1,0 +1,111 @@
+// util::ShardedLruCache: hit/miss semantics, LRU eviction order, capacity
+// bounds, stats, and concurrent hammering.
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/lru_cache.h"
+
+namespace mbr::util {
+namespace {
+
+TEST(LruCacheTest, GetReturnsWhatPutStored) {
+  ShardedLruCache<int, std::string> cache(/*capacity=*/8, /*num_shards=*/1);
+  std::string out;
+  EXPECT_FALSE(cache.Get(1, &out));
+  cache.Put(1, "one");
+  ASSERT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out, "one");
+  // Overwrite updates the value in place.
+  cache.Put(1, "uno");
+  ASSERT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out, "uno");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // Single shard so global order == shard order.
+  ShardedLruCache<int, int> cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  int out = 0;
+  ASSERT_TRUE(cache.Get(1, &out));  // 1 becomes MRU; 2 is now LRU
+  cache.Put(4, 40);                 // evicts 2
+  EXPECT_FALSE(cache.Get(2, &out));
+  EXPECT_TRUE(cache.Get(1, &out));
+  EXPECT_TRUE(cache.Get(3, &out));
+  EXPECT_TRUE(cache.Get(4, &out));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, SizeNeverExceedsCapacity) {
+  ShardedLruCache<int, int> cache(/*capacity=*/64, /*num_shards=*/8);
+  for (int i = 0; i < 1000; ++i) cache.Put(i, i);
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GE(cache.capacity(), 64u);
+}
+
+TEST(LruCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedLruCache<int, int> cache(/*capacity=*/100, /*num_shards=*/5);
+  EXPECT_EQ(cache.num_shards(), 8u);
+}
+
+TEST(LruCacheTest, StatsCountHitsMissesInsertions) {
+  ShardedLruCache<int, int> cache(/*capacity=*/16, /*num_shards=*/2);
+  int out = 0;
+  cache.Get(7, &out);  // miss
+  cache.Put(7, 70);
+  cache.Get(7, &out);  // hit
+  cache.Get(8, &out);  // miss
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.insertions, 1u);
+}
+
+TEST(LruCacheTest, ClearEmptiesEveryShard) {
+  ShardedLruCache<int, int> cache(/*capacity=*/32, /*num_shards=*/4);
+  for (int i = 0; i < 20; ++i) cache.Put(i, i);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  int out = 0;
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(cache.Get(i, &out));
+}
+
+TEST(LruCacheTest, ConcurrentReadersAndWritersStayConsistent) {
+  ShardedLruCache<int, int> cache(/*capacity=*/256, /*num_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        int key = (t * 37 + i) % 512;
+        if (i % 3 == 0) {
+          cache.Put(key, key * 2);
+        } else {
+          int out = 0;
+          if (cache.Get(key, &out)) {
+            // A hit must always observe a value some writer stored.
+            ASSERT_EQ(out, key * 2);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+  // Gets per thread: every i with i % 3 != 0.
+  constexpr uint64_t kGetsPerThread = kOps - (kOps + 2) / 3;
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, kThreads * kGetsPerThread);
+}
+
+}  // namespace
+}  // namespace mbr::util

@@ -1,0 +1,91 @@
+// util::ThreadPool: worker ids, completion, destructor draining, and
+// many-producer submission.
+
+#include <atomic>
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace mbr::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  constexpr int kTasks = 200;
+  std::atomic<int> ran{0};
+  std::latch done(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&](uint32_t) {
+      ran.fetch_add(1);
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreStableAndInRange) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 300;
+  std::vector<std::atomic<int>> per_worker(3);
+  std::latch done(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&](uint32_t wid) {
+      ASSERT_LT(wid, 3u);
+      per_worker[wid].fetch_add(1);
+      done.count_down();
+    });
+  }
+  done.wait();
+  int total = 0;
+  for (auto& c : per_worker) total += c.load();
+  EXPECT_EQ(total, kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 50;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&](uint32_t) { ran.fetch_add(1); });
+    }
+    // Destructor must run all 50 even though none may have started yet.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ManyProducersSubmitConcurrently) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 100;
+  std::atomic<int> ran{0};
+  std::latch done(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.Submit([&](uint32_t) {
+          ran.fetch_add(1);
+          done.count_down();
+        });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.wait();
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace mbr::util
