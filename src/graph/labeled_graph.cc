@@ -1,8 +1,9 @@
 #include "graph/labeled_graph.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
+
+#include "graph/snapshot.h"
 
 namespace mbr::graph {
 
@@ -116,89 +117,12 @@ LabeledGraph LabeledGraph::WithoutEdges(
   return std::move(b).Build();
 }
 
-namespace {
-
-constexpr uint64_t kMagic = 0x4d42524752415048ULL;  // "MBRGRAPH"
-
-template <typename T>
-bool WriteVec(std::FILE* f, const std::vector<T>& v) {
-  uint64_t n = v.size();
-  if (std::fwrite(&n, sizeof(n), 1, f) != 1) return false;
-  if (n == 0) return true;
-  return std::fwrite(v.data(), sizeof(T), n, f) == n;
-}
-
-template <typename T>
-bool ReadVec(std::FILE* f, std::vector<T>* v) {
-  uint64_t n = 0;
-  if (std::fread(&n, sizeof(n), 1, f) != 1) return false;
-  // Guard against corrupted counts: refuse to allocate more than ~8 GiB
-  // for a single array rather than dying on a bad_alloc.
-  if (n > (uint64_t{8} << 30) / sizeof(T)) return false;
-  v->resize(n);
-  if (n == 0) return true;
-  return std::fread(v->data(), sizeof(T), n, f) == n;
-}
-
-}  // namespace
-
 util::Status LabeledGraph::SaveTo(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return util::Status::IoError("cannot open for write: " + path);
-  }
-  bool ok = true;
-  uint64_t header[3] = {kMagic, num_nodes_,
-                        static_cast<uint64_t>(num_topics_)};
-  ok = ok && std::fwrite(header, sizeof(header), 1, f) == 1;
-  // TopicSet is a trivially-copyable single-word wrapper; serialise raw.
-  static_assert(sizeof(topics::TopicSet) == sizeof(uint64_t));
-  ok = ok && WriteVec(f, node_labels_);
-  ok = ok && WriteVec(f, out_off_);
-  ok = ok && WriteVec(f, out_dst_);
-  ok = ok && WriteVec(f, out_lab_);
-  ok = ok && WriteVec(f, in_off_);
-  ok = ok && WriteVec(f, in_src_);
-  ok = ok && WriteVec(f, in_lab_);
-  ok = (std::fclose(f) == 0) && ok;
-  if (!ok) return util::Status::IoError("short write: " + path);
-  return util::Status::Ok();
+  return Snapshot::Save(*this, path);
 }
 
 util::Result<LabeledGraph> LabeledGraph::LoadFrom(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return util::Status::IoError("cannot open for read: " + path);
-  }
-  LabeledGraph g;
-  uint64_t header[3];
-  bool ok = std::fread(header, sizeof(header), 1, f) == 1;
-  if (ok && header[0] != kMagic) {
-    std::fclose(f);
-    return util::Status::InvalidArgument("bad magic in " + path);
-  }
-  if (ok) {
-    g.num_nodes_ = static_cast<NodeId>(header[1]);
-    g.num_topics_ = static_cast<int>(header[2]);
-  }
-  ok = ok && ReadVec(f, &g.node_labels_);
-  ok = ok && ReadVec(f, &g.out_off_);
-  ok = ok && ReadVec(f, &g.out_dst_);
-  ok = ok && ReadVec(f, &g.out_lab_);
-  ok = ok && ReadVec(f, &g.in_off_);
-  ok = ok && ReadVec(f, &g.in_src_);
-  ok = ok && ReadVec(f, &g.in_lab_);
-  std::fclose(f);
-  if (!ok) return util::Status::IoError("short read: " + path);
-  if (g.out_off_.size() != g.num_nodes_ + 1 ||
-      g.in_off_.size() != g.num_nodes_ + 1 ||
-      g.node_labels_.size() != g.num_nodes_ ||
-      g.out_dst_.size() != g.out_lab_.size() ||
-      g.in_src_.size() != g.in_lab_.size() ||
-      g.out_dst_.size() != g.in_src_.size()) {
-    return util::Status::InvalidArgument("inconsistent graph file: " + path);
-  }
-  return g;
+  return Snapshot::Load(path);
 }
 
 size_t LabeledGraph::StorageBytes() const {

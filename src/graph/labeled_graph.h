@@ -27,6 +27,7 @@ using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNode = 0xffffffff;
 
 class LabeledGraph;
+class Snapshot;
 
 // Accumulates nodes and edges, then freezes them into a LabeledGraph.
 // Duplicate (src, dst) edges are merged by unioning their label sets;
@@ -117,7 +118,8 @@ class LabeledGraph {
   LabeledGraph WithoutEdges(
       const std::vector<std::pair<NodeId, NodeId>>& removed) const;
 
-  // ---- Binary serialisation.
+  // ---- Binary serialisation (delegates to graph::Snapshot, the versioned
+  // and checksummed serde container; see graph/snapshot.h).
   util::Status SaveTo(const std::string& path) const;
   static util::Result<LabeledGraph> LoadFrom(const std::string& path);
 
@@ -126,6 +128,7 @@ class LabeledGraph {
 
  private:
   friend class GraphBuilder;
+  friend class Snapshot;  // persistence (graph/snapshot.h)
 
   NodeId num_nodes_ = 0;
   int num_topics_ = 0;

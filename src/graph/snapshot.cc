@@ -1,0 +1,235 @@
+#include "graph/snapshot.h"
+
+#include <cstdio>
+
+#include "util/serde.h"
+
+namespace mbr::graph {
+
+namespace {
+
+using util::serde::ArtifactKind;
+using util::serde::Reader;
+using util::serde::Writer;
+
+// Section ids of format version 1.
+enum : uint32_t {
+  kSecHeader = 1,      // u64 num_nodes, u32 num_topics
+  kSecNodeLabels = 2,  // TopicSet[num_nodes]
+  kSecOutOff = 3,      // u64[num_nodes + 1]
+  kSecOutDst = 4,      // NodeId[m]
+  kSecOutLab = 5,      // TopicSet[m]
+  kSecInOff = 6,       // u64[num_nodes + 1]
+  kSecInSrc = 7,       // NodeId[m]
+  kSecInLab = 8,       // TopicSet[m]
+};
+
+// Magic of the unversioned pre-serde graph format, recognised only to give
+// a clear error instead of "bad container magic".
+constexpr uint64_t kLegacyMagic = 0x4d42524752415048ULL;  // "MBRGRAPH"
+
+bool StartsWithLegacyMagic(std::span<const uint8_t> bytes) {
+  uint64_t magic = 0;
+  if (bytes.size() < sizeof(magic)) return false;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  return magic == kLegacyMagic;
+}
+
+// Checks one CSR direction: offsets are monotone and anchored, adjacency is
+// strictly increasing per node (sorted, duplicate-free), ids are in range
+// and never self-loops.
+util::Status ValidateCsr(const std::vector<uint64_t>& off,
+                         const std::vector<NodeId>& adj, NodeId num_nodes,
+                         const char* dir) {
+  const std::string d(dir);
+  if (off.size() != static_cast<size_t>(num_nodes) + 1 || off.front() != 0 ||
+      off.back() != adj.size()) {
+    return util::Status::InvalidArgument("snapshot: bad " + d + " offsets");
+  }
+  // Full monotonicity pass first: with front/back anchored it bounds every
+  // offset by adj.size(), so the adjacency pass below cannot index OOB.
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    if (off[u] > off[u + 1]) {
+      return util::Status::InvalidArgument(
+          "snapshot: non-monotone " + d + " offsets at node " +
+          std::to_string(u));
+    }
+  }
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (uint64_t i = off[u]; i < off[u + 1]; ++i) {
+      if (adj[i] >= num_nodes || adj[i] == u ||
+          (i > off[u] && adj[i] <= adj[i - 1])) {
+        return util::Status::InvalidArgument(
+            "snapshot: bad " + d + " adjacency at node " + std::to_string(u));
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status ValidateLabels(const std::vector<topics::TopicSet>& labels,
+                            int num_topics, const char* what) {
+  const uint64_t mask = num_topics >= 64
+                            ? ~uint64_t{0}
+                            : (uint64_t{1} << num_topics) - 1;
+  for (const topics::TopicSet& s : labels) {
+    if ((s.bits() & ~mask) != 0) {
+      return util::Status::InvalidArgument(
+          std::string("snapshot: ") + what + " labels outside vocabulary");
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<LabeledGraph> Snapshot::FromReader(Reader reader) {
+  if (reader.version() != Snapshot::kFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported graph snapshot version " +
+        std::to_string(reader.version()));
+  }
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecHeader));
+  uint64_t num_nodes64 = 0;
+  uint32_t num_topics = 0;
+  MBR_RETURN_IF_ERROR(reader.ReadU64(&num_nodes64));
+  MBR_RETURN_IF_ERROR(reader.ReadU32(&num_topics));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  if (num_nodes64 >= kInvalidNode || num_topics == 0 ||
+      num_topics > static_cast<uint32_t>(topics::kMaxTopics)) {
+    return util::Status::InvalidArgument("snapshot: implausible header");
+  }
+  const NodeId n = static_cast<NodeId>(num_nodes64);
+
+  // All array reads are bounded: counts derived from the (checksummed)
+  // header, and never beyond the section's own byte size.
+  LabeledGraph g;
+  g.num_nodes_ = n;
+  g.num_topics_ = static_cast<int>(num_topics);
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecNodeLabels));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&g.node_labels_, n));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  if (g.node_labels_.size() != n) {
+    return util::Status::InvalidArgument("snapshot: node label count");
+  }
+
+  const uint64_t max_off = static_cast<uint64_t>(n) + 1;
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecOutOff));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&g.out_off_, max_off));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  if (g.out_off_.size() != max_off) {
+    return util::Status::InvalidArgument("snapshot: out offset count");
+  }
+  const uint64_t m = g.out_off_.back();
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecOutDst));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&g.out_dst_, m));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecOutLab));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&g.out_lab_, m));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecInOff));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&g.in_off_, max_off));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  if (g.in_off_.size() != max_off) {
+    return util::Status::InvalidArgument("snapshot: in offset count");
+  }
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecInSrc));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&g.in_src_, m));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecInLab));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&g.in_lab_, m));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  MBR_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  if (g.out_dst_.size() != m || g.out_lab_.size() != m ||
+      g.in_src_.size() != m || g.in_lab_.size() != m ||
+      g.in_off_.back() != m) {
+    return util::Status::InvalidArgument("snapshot: edge array counts");
+  }
+  MBR_RETURN_IF_ERROR(ValidateCsr(g.out_off_, g.out_dst_, n, "out"));
+  MBR_RETURN_IF_ERROR(ValidateCsr(g.in_off_, g.in_src_, n, "in"));
+  MBR_RETURN_IF_ERROR(
+      ValidateLabels(g.node_labels_, g.num_topics_, "node"));
+  MBR_RETURN_IF_ERROR(ValidateLabels(g.out_lab_, g.num_topics_, "out edge"));
+  MBR_RETURN_IF_ERROR(ValidateLabels(g.in_lab_, g.num_topics_, "in edge"));
+  return g;
+}
+
+std::vector<uint8_t> Snapshot::Serialize(const LabeledGraph& g) {
+  static_assert(sizeof(topics::TopicSet) == sizeof(uint64_t));
+  Writer w(ArtifactKind::kGraphSnapshot, kFormatVersion);
+  w.BeginSection(kSecHeader);
+  w.PutU64(g.num_nodes_);
+  w.PutU32(static_cast<uint32_t>(g.num_topics_));
+  w.EndSection();
+  w.BeginSection(kSecNodeLabels);
+  w.PutPodArray(g.node_labels_);
+  w.EndSection();
+  w.BeginSection(kSecOutOff);
+  w.PutPodArray(g.out_off_);
+  w.EndSection();
+  w.BeginSection(kSecOutDst);
+  w.PutPodArray(g.out_dst_);
+  w.EndSection();
+  w.BeginSection(kSecOutLab);
+  w.PutPodArray(g.out_lab_);
+  w.EndSection();
+  w.BeginSection(kSecInOff);
+  w.PutPodArray(g.in_off_);
+  w.EndSection();
+  w.BeginSection(kSecInSrc);
+  w.PutPodArray(g.in_src_);
+  w.EndSection();
+  w.BeginSection(kSecInLab);
+  w.PutPodArray(g.in_lab_);
+  w.EndSection();
+  return w.buffer();
+}
+
+util::Status Snapshot::Save(const LabeledGraph& g, const std::string& path) {
+  std::vector<uint8_t> bytes = Serialize(g);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for write: " + path);
+  }
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return util::Status::IoError("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<LabeledGraph> Snapshot::Load(const std::string& path) {
+  auto reader = Reader::FromFile(path, ArtifactKind::kGraphSnapshot);
+  if (!reader.ok()) {
+    // Distinguish the unversioned pre-serde format from random garbage.
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+      uint8_t head[8] = {};
+      size_t got = std::fread(head, 1, sizeof(head), f);
+      std::fclose(f);
+      if (StartsWithLegacyMagic({head, got})) {
+        return util::Status::InvalidArgument(
+            "pre-versioned graph file (no checksum/version): regenerate it "
+            "with `mbrec save-graph`: " +
+            path);
+      }
+    }
+    return reader.status();
+  }
+  return FromReader(std::move(*reader));
+}
+
+util::Result<LabeledGraph> Snapshot::LoadFromBuffer(
+    std::span<const uint8_t> bytes) {
+  if (StartsWithLegacyMagic(bytes)) {
+    return util::Status::InvalidArgument(
+        "pre-versioned graph buffer (no checksum/version)");
+  }
+  auto reader = Reader::FromBuffer(bytes, ArtifactKind::kGraphSnapshot);
+  if (!reader.ok()) return reader.status();
+  return FromReader(std::move(*reader));
+}
+
+}  // namespace mbr::graph

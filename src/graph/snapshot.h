@@ -1,0 +1,54 @@
+#ifndef MBR_GRAPH_SNAPSHOT_H_
+#define MBR_GRAPH_SNAPSHOT_H_
+
+// Versioned, checksummed persistence of a LabeledGraph — the warm-start
+// artifact of a serving worker.
+//
+// A worker that boots from a snapshot skips edge-list parsing and CSR
+// construction entirely: the file holds the frozen CSR arrays (both
+// directions) plus node/edge topic labels, framed by the util::serde
+// container (magic, format version, per-section CRC32). Loading validates
+// the structural invariants the rest of the system relies on — offsets
+// monotone and consistent, adjacency sorted and in-range, no self-loops,
+// label bits within the topic vocabulary — so a loaded graph is always safe
+// to hand to Scorer / AuthorityIndex, and any malformed byte comes back as
+// a util::Status instead of UB (see tests/serde_corruption_test.cc).
+//
+// LabeledGraph::SaveTo / LoadFrom delegate here; `mbrec save-graph`
+// converts any readable graph (including .edges text) into this format.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "util/status.h"
+
+namespace mbr::util::serde {
+class Reader;
+}  // namespace mbr::util::serde
+
+namespace mbr::graph {
+
+class Snapshot {
+ public:
+  // Bump when the section schema changes; loaders reject other versions.
+  static constexpr uint32_t kFormatVersion = 1;
+
+  static util::Status Save(const LabeledGraph& g, const std::string& path);
+  static util::Result<LabeledGraph> Load(const std::string& path);
+
+  // In-memory variants, used by the corruption-injection tests and usable
+  // for shipping snapshots over RPC.
+  static std::vector<uint8_t> Serialize(const LabeledGraph& g);
+  static util::Result<LabeledGraph> LoadFromBuffer(
+      std::span<const uint8_t> bytes);
+
+ private:
+  static util::Result<LabeledGraph> FromReader(util::serde::Reader reader);
+};
+
+}  // namespace mbr::graph
+
+#endif  // MBR_GRAPH_SNAPSHOT_H_

@@ -12,8 +12,18 @@
 //
 //   σ̃_λ(u, v, t) = σ(u, λ, t) · topo_β(λ, v) + topo_{αβ}(u, λ) · σ(λ, v, t)
 //
-// The result is a lower bound of the exact score (walks that neither stay
-// within the vicinity nor pass a landmark are missed).
+// With pruning on, the result is a lower bound of the exact score (walks
+// that neither stay within the vicinity nor pass a landmark are missed).
+//
+// Estimator choice when pruning is OFF (prune_at_landmarks = false): the
+// exploration then walks *through* landmarks, so a short path u ❀ λ ❀ v is
+// counted twice — once exactly by the direct σ(u, v, t) term and once
+// approximately by λ's Proposition 4 composition. This double count is
+// deliberate: it is precisely the quantity the §5.4 pruning ablation
+// measures, and de-duplicating it would require per-path bookkeeping that
+// Algorithm 2 is designed to avoid. Production serving should keep pruning
+// on; tests/landmark_approx_test.cc pins both behaviours against the
+// brute-force oracle.
 
 #include <string>
 #include <unordered_map>
@@ -33,7 +43,10 @@ struct ApproxConfig {
   // Exploration depth k of Algorithm 2 (paper: 2).
   uint32_t query_depth = 2;
   // Stop expanding at landmarks (§5.4's pruning). Disabling this is the
-  // ablation measuring how much the pruning saves / double-counts.
+  // ablation measuring how much the pruning saves / double-counts: without
+  // it, any depth-≤ query_depth path through a landmark contributes both
+  // its direct σ term and the landmark's Proposition 4 composition (see the
+  // estimator note in the file header). Keep it on in production.
   bool prune_at_landmarks = true;
   core::ScoreParams params;
 };

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
+#include "util/serde.h"
 #include "util/timer.h"
 #include "util/top_k.h"
 
@@ -152,87 +155,139 @@ size_t LandmarkIndex::StorageBytes() const {
 }
 
 namespace {
-constexpr uint64_t kIndexMagic = 0x4d42524c4d494458ULL;  // "MBRLMIDX"
-}  // namespace
 
-util::Status LandmarkIndex::SaveTo(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return util::Status::IoError("cannot open for write: " + path);
-  }
-  bool ok = true;
-  uint64_t header[4] = {kIndexMagic, static_cast<uint64_t>(num_topics_),
-                        landmarks_.size(), config_.top_n};
-  ok = ok && std::fwrite(header, sizeof(header), 1, f) == 1;
-  double params[2] = {config_.params.beta, config_.params.alpha};
-  ok = ok && std::fwrite(params, sizeof(params), 1, f) == 1;
-  ok = ok && (landmarks_.empty() ||
-              std::fwrite(landmarks_.data(), sizeof(graph::NodeId),
-                          landmarks_.size(), f) == landmarks_.size());
-  for (const auto& list : recs_) {
-    uint64_t len = list.size();
-    ok = ok && std::fwrite(&len, sizeof(len), 1, f) == 1;
-    ok = ok && (list.empty() ||
-                std::fwrite(list.data(), sizeof(StoredRec), list.size(), f) ==
-                    list.size());
-  }
-  ok = (std::fclose(f) == 0) && ok;
-  if (!ok) return util::Status::IoError("short write: " + path);
-  return util::Status::Ok();
+// Magic of the unversioned pre-serde index format ("MBRLMIDX"), recognised
+// only to report a clear compatibility error.
+constexpr uint64_t kLegacyMagic = 0x4d42524c4d494458ULL;
+
+// Format version 2: serde container (version 1 is the retired raw format,
+// which persisted only β/α of the ScoreParams — an index built for an
+// ablation variant silently reverted to kFull at query time).
+constexpr uint32_t kIndexFormatVersion = 2;
+
+// Section ids of format version 2.
+enum : uint32_t {
+  kSecHeader = 1,     // u32 num_topics, u64 num_landmarks, u32 top_n
+  kSecParams = 2,     // full core::ScoreParams
+  kSecLandmarks = 3,  // NodeId[num_landmarks]
+  kSecLists = 4,      // columnar stored lists (lens, nodes, sigmas, topos)
+};
+
+// Plausibility cap on top_n: far above anything the paper evaluates
+// (L1000), small enough that a forged header cannot demand huge per-list
+// allocations.
+constexpr uint32_t kMaxTopN = 1u << 24;
+
+bool StartsWithLegacyMagic(std::span<const uint8_t> bytes) {
+  uint64_t magic = 0;
+  if (bytes.size() < sizeof(magic)) return false;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  return magic == kLegacyMagic;
 }
 
-util::Result<LandmarkIndex> LandmarkIndex::LoadFrom(const std::string& path,
-                                                    graph::NodeId num_nodes) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return util::Status::IoError("cannot open for read: " + path);
+}  // namespace
+
+util::Result<LandmarkIndex> LandmarkIndex::FromReader(
+    util::serde::Reader reader, graph::NodeId num_nodes) {
+  if (reader.version() != kIndexFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported landmark index version " +
+        std::to_string(reader.version()) + " (expected " +
+        std::to_string(kIndexFormatVersion) + "); rebuild the index");
   }
   LandmarkIndex idx;
-  uint64_t header[4];
-  bool ok = std::fread(header, sizeof(header), 1, f) == 1;
-  if (ok && header[0] != kIndexMagic) {
-    std::fclose(f);
-    return util::Status::InvalidArgument("bad magic in " + path);
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecHeader));
+  uint32_t num_topics = 0;
+  uint64_t num_landmarks = 0;
+  uint32_t top_n = 0;
+  MBR_RETURN_IF_ERROR(reader.ReadU32(&num_topics));
+  MBR_RETURN_IF_ERROR(reader.ReadU64(&num_landmarks));
+  MBR_RETURN_IF_ERROR(reader.ReadU32(&top_n));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  // Bound every untrusted header field before any allocation.
+  if (num_topics == 0 ||
+      num_topics > static_cast<uint32_t>(topics::kMaxTopics) ||
+      num_landmarks > num_nodes || top_n == 0 || top_n > kMaxTopN) {
+    return util::Status::InvalidArgument("implausible landmark index header");
   }
-  // Bound the untrusted header fields before any allocation.
-  if (ok && (header[1] == 0 ||
-             header[1] > static_cast<uint64_t>(topics::kMaxTopics) ||
-             header[2] > num_nodes || header[3] == 0)) {
-    std::fclose(f);
-    return util::Status::InvalidArgument("implausible header in " + path);
-  }
-  double params[2] = {0, 0};
-  ok = ok && std::fread(params, sizeof(params), 1, f) == 1;
-  if (ok) {
-    idx.num_topics_ = static_cast<int>(header[1]);
-    idx.config_.top_n = static_cast<uint32_t>(header[3]);
-    idx.config_.params.beta = params[0];
-    idx.config_.params.alpha = params[1];
-    idx.landmarks_.resize(header[2]);
-    ok = idx.landmarks_.empty() ||
-         std::fread(idx.landmarks_.data(), sizeof(graph::NodeId),
-                    idx.landmarks_.size(), f) == idx.landmarks_.size();
-  }
-  if (ok) {
-    idx.recs_.resize(idx.landmarks_.size() * idx.num_topics_);
-    for (auto& list : idx.recs_) {
-      uint64_t len = 0;
-      ok = ok && std::fread(&len, sizeof(len), 1, f) == 1;
-      if (!ok) break;
-      list.resize(len);
-      ok = list.empty() ||
-           std::fread(list.data(), sizeof(StoredRec), len, f) == len;
-      if (!ok) break;
-    }
-  }
-  std::fclose(f);
-  if (!ok) return util::Status::IoError("short read: " + path);
+  idx.num_topics_ = static_cast<int>(num_topics);
+  idx.config_.top_n = top_n;
 
-  idx.landmark_slot_.assign(num_nodes, kNoSlot);
+  // The full ScoreParams: a loaded index composes stored σ values via
+  // Proposition 4, so serving must see exactly the parameters (including
+  // the ablation variant) the lists were built with.
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecParams));
+  core::ScoreParams& p = idx.config_.params;
+  uint32_t variant = 0;
+  MBR_RETURN_IF_ERROR(reader.ReadDouble(&p.beta));
+  MBR_RETURN_IF_ERROR(reader.ReadDouble(&p.alpha));
+  MBR_RETURN_IF_ERROR(reader.ReadDouble(&p.tolerance));
+  MBR_RETURN_IF_ERROR(reader.ReadDouble(&p.frontier_epsilon));
+  MBR_RETURN_IF_ERROR(reader.ReadU32(&p.max_depth));
+  MBR_RETURN_IF_ERROR(reader.ReadU32(&variant));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  if (!std::isfinite(p.beta) || !std::isfinite(p.alpha) ||
+      !std::isfinite(p.tolerance) || !std::isfinite(p.frontier_epsilon) ||
+      variant > static_cast<uint32_t>(core::ScoreVariant::kNoSim)) {
+    return util::Status::InvalidArgument("implausible score params in index");
+  }
+  p.variant = static_cast<core::ScoreVariant>(variant);
+
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecLandmarks));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&idx.landmarks_, num_landmarks));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  if (idx.landmarks_.size() != num_landmarks) {
+    return util::Status::InvalidArgument("landmark count mismatch");
+  }
+
+  // Stored lists, columnar: per-list lengths (each bounded by top_n), then
+  // the concatenated node / σ / topo_β columns whose total size is bounded
+  // by the validated lengths — a corrupt length can never out-allocate the
+  // file itself.
+  const uint64_t num_lists = num_landmarks * num_topics;
+  std::vector<uint32_t> lens;
+  std::vector<graph::NodeId> nodes;
+  std::vector<double> sigmas;
+  std::vector<double> topos;
+  MBR_RETURN_IF_ERROR(reader.EnterSection(kSecLists));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&lens, num_lists));
+  if (lens.size() != num_lists) {
+    return util::Status::InvalidArgument("stored list count mismatch");
+  }
+  uint64_t total = 0;
+  for (uint32_t len : lens) {
+    if (len > top_n) {
+      return util::Status::InvalidArgument(
+          "stored list length exceeds top_n");
+    }
+    total += len;
+  }
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&nodes, total));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&sigmas, total));
+  MBR_RETURN_IF_ERROR(reader.ReadPodArray(&topos, total));
+  MBR_RETURN_IF_ERROR(reader.ExitSection());
+  MBR_RETURN_IF_ERROR(reader.ExpectEnd());
+  if (nodes.size() != total || sigmas.size() != total ||
+      topos.size() != total) {
+    return util::Status::InvalidArgument("stored column size mismatch");
+  }
+
+  idx.recs_.resize(num_lists);
+  uint64_t off = 0;
+  for (uint64_t i = 0; i < num_lists; ++i) {
+    auto& list = idx.recs_[i];
+    list.resize(lens[i]);
+    for (uint32_t j = 0; j < lens[i]; ++j) {
+      list[j] = {nodes[off + j], sigmas[off + j], topos[off + j]};
+    }
+    off += lens[i];
+  }
+
+  idx.landmark_slot_.assign(num_nodes, LandmarkIndex::kNoSlot);
   idx.mask_.assign(num_nodes, false);
   for (uint32_t i = 0; i < idx.landmarks_.size(); ++i) {
     graph::NodeId lm = idx.landmarks_[i];
-    if (lm >= num_nodes || idx.landmark_slot_[lm] != kNoSlot) {
+    if (lm >= num_nodes || idx.landmark_slot_[lm] != LandmarkIndex::kNoSlot) {
       return util::Status::InvalidArgument(
           "index does not match the graph: landmark " + std::to_string(lm));
     }
@@ -249,6 +304,97 @@ util::Result<LandmarkIndex> LandmarkIndex::LoadFrom(const std::string& path,
     }
   }
   return idx;
+}
+
+std::vector<uint8_t> LandmarkIndex::Serialize() const {
+  util::serde::Writer w(util::serde::ArtifactKind::kLandmarkIndex,
+                        kIndexFormatVersion);
+  w.BeginSection(kSecHeader);
+  w.PutU32(static_cast<uint32_t>(num_topics_));
+  w.PutU64(landmarks_.size());
+  w.PutU32(config_.top_n);
+  w.EndSection();
+  w.BeginSection(kSecParams);
+  w.PutDouble(config_.params.beta);
+  w.PutDouble(config_.params.alpha);
+  w.PutDouble(config_.params.tolerance);
+  w.PutDouble(config_.params.frontier_epsilon);
+  w.PutU32(config_.params.max_depth);
+  w.PutU32(static_cast<uint32_t>(config_.params.variant));
+  w.EndSection();
+  w.BeginSection(kSecLandmarks);
+  w.PutPodArray(landmarks_);
+  w.EndSection();
+  // Columnar stored lists: serialising field-by-field keeps StoredRec's
+  // struct padding out of the file, so equal indexes produce byte-identical
+  // containers.
+  std::vector<uint32_t> lens;
+  std::vector<graph::NodeId> nodes;
+  std::vector<double> sigmas;
+  std::vector<double> topos;
+  lens.reserve(recs_.size());
+  for (const auto& list : recs_) {
+    lens.push_back(static_cast<uint32_t>(list.size()));
+    for (const StoredRec& r : list) {
+      nodes.push_back(r.node);
+      sigmas.push_back(r.sigma);
+      topos.push_back(r.topo_beta);
+    }
+  }
+  w.BeginSection(kSecLists);
+  w.PutPodArray(lens);
+  w.PutPodArray(nodes);
+  w.PutPodArray(sigmas);
+  w.PutPodArray(topos);
+  w.EndSection();
+  return w.buffer();
+}
+
+util::Status LandmarkIndex::SaveTo(const std::string& path) const {
+  std::vector<uint8_t> bytes = Serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for write: " + path);
+  }
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return util::Status::IoError("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<LandmarkIndex> LandmarkIndex::LoadFrom(const std::string& path,
+                                                    graph::NodeId num_nodes) {
+  auto reader = util::serde::Reader::FromFile(
+      path, util::serde::ArtifactKind::kLandmarkIndex);
+  if (!reader.ok()) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+      uint8_t head[8] = {};
+      size_t got = std::fread(head, 1, sizeof(head), f);
+      std::fclose(f);
+      if (StartsWithLegacyMagic({head, got})) {
+        return util::Status::InvalidArgument(
+            "pre-versioned landmark index (no checksum, partial params): "
+            "rebuild it with `mbrec landmarks`: " +
+            path);
+      }
+    }
+    return reader.status();
+  }
+  return FromReader(std::move(*reader), num_nodes);
+}
+
+util::Result<LandmarkIndex> LandmarkIndex::LoadFromBuffer(
+    std::span<const uint8_t> bytes, graph::NodeId num_nodes) {
+  if (StartsWithLegacyMagic(bytes)) {
+    return util::Status::InvalidArgument(
+        "pre-versioned landmark index buffer");
+  }
+  auto reader = util::serde::Reader::FromBuffer(
+      bytes, util::serde::ArtifactKind::kLandmarkIndex);
+  if (!reader.ok()) return reader.status();
+  return FromReader(std::move(*reader), num_nodes);
 }
 
 }  // namespace mbr::landmark

@@ -14,6 +14,7 @@
 // landmark, we have a set of accounts recommended along with their
 // recommendation score for each topic from T."
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@
 #include "core/scorer.h"
 #include "graph/labeled_graph.h"
 #include "topics/similarity_matrix.h"
+
+namespace mbr::util::serde {
+class Reader;
+}  // namespace mbr::util::serde
 
 namespace mbr::landmark {
 
@@ -95,14 +100,31 @@ class LandmarkIndex {
   // Binary persistence, so the expensive pre-processing can be done once
   // and shipped (e.g. to the workers of a distributed deployment). The
   // loaded index must be used with the same graph it was built on.
+  //
+  // The file is a util::serde container (versioned, CRC32 per section) that
+  // persists the FULL ScoreParams — including tolerance, max_depth,
+  // frontier_epsilon and the ablation variant — so a loaded index is never
+  // silently mis-composed via Proposition 4 under default parameters.
+  // Malformed or truncated files come back as a non-OK Status, never UB;
+  // files in the retired unversioned format fail with a clear
+  // InvalidArgument asking for a rebuild.
   util::Status SaveTo(const std::string& path) const;
   static util::Result<LandmarkIndex> LoadFrom(const std::string& path,
                                               graph::NodeId num_nodes);
+
+  // In-memory variants (corruption tests, shipping an index over RPC).
+  std::vector<uint8_t> Serialize() const;
+  static util::Result<LandmarkIndex> LoadFromBuffer(
+      std::span<const uint8_t> bytes, graph::NodeId num_nodes);
 
  private:
   static constexpr uint32_t kNoSlot = 0xffffffff;
 
   LandmarkIndex() = default;  // for Truncated()
+
+  // Decodes a validated serde container (shared by LoadFrom/LoadFromBuffer).
+  static util::Result<LandmarkIndex> FromReader(util::serde::Reader reader,
+                                                graph::NodeId num_nodes);
 
   LandmarkIndexConfig config_;
   int num_topics_ = 0;

@@ -16,6 +16,7 @@ double EngineStats::LatencyPercentileMicros(double p) const {
   uint64_t seen = 0;
   for (int b = 0; b < kLatencyBuckets; ++b) {
     seen += latency_log2_us[b];
+    // Bucket b spans [2^b, 2^(b+1)); report its lower bound.
     if (seen >= need) return static_cast<double>(uint64_t{1} << b);
   }
   return static_cast<double>(uint64_t{1} << (kLatencyBuckets - 1));
@@ -55,9 +56,7 @@ void QueryEngine::BuildWorkers() {
 
 void QueryEngine::RecordLatencySeconds(double seconds) {
   uint64_t us = static_cast<uint64_t>(seconds * 1e6);
-  int b = us == 0 ? 0
-                  : std::min(kLatencyBuckets - 1, 64 - __builtin_clzll(us));
-  latency_[b].fetch_add(1, std::memory_order_relaxed);
+  latency_[LatencyBucket(us)].fetch_add(1, std::memory_order_relaxed);
 }
 
 bool QueryEngine::CacheLookup(const CacheKey& key,

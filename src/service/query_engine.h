@@ -25,6 +25,7 @@
 // races with the scoring, the insert lands under the old epoch and is
 // simply never looked up again — correctness never depends on the cache.
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -69,6 +70,17 @@ struct EngineConfig {
 
 inline constexpr int kLatencyBuckets = 32;
 
+// Histogram bucket for a latency of `us` microseconds: floor(log2(us)),
+// clamped to the histogram — bucket b counts latencies in [2^b, 2^(b+1)) µs,
+// with bucket 0 additionally holding sub-microsecond samples. So 1 µs lands
+// in bucket 0, 2–3 µs in bucket 1, and exactly 2^k µs in bucket k. (The
+// previous `64 - clz` put a 1 µs sample in bucket 1, inflating every
+// reported percentile by ~2x.)
+inline int LatencyBucket(uint64_t us) {
+  if (us == 0) return 0;
+  return std::min(kLatencyBuckets - 1, 63 - __builtin_clzll(us));
+}
+
 // Snapshot of the engine's serving counters.
 struct EngineStats {
   uint64_t queries = 0;   // total queries admitted
@@ -77,17 +89,19 @@ struct EngineStats {
   uint64_t cache_misses = 0;  // queries that ran a scorer
   uint64_t invalidations = 0;
   uint64_t params_epoch = 0;
-  // latency_log2_us[0] counts sub-microsecond queries; bucket b >= 1
-  // counts queries with latency in [2^(b-1), 2^b) microseconds. Cache hits
-  // and scored queries both land here (hits in the lowest buckets).
+  // latency_log2_us[b] counts queries with latency in [2^b, 2^(b+1)) µs
+  // (bucket 0 also holds sub-microsecond samples); see LatencyBucket().
+  // Cache hits and scored queries both land here (hits in the lowest
+  // buckets).
   std::array<uint64_t, kLatencyBuckets> latency_log2_us{};
 
   double HitRate() const {
     uint64_t total = cache_hits + cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
   }
-  // Smallest histogram upper bound (µs) covering at least fraction p of
-  // recorded queries. p in [0, 1].
+  // Lower bound 2^b (µs) of the bucket containing the p-th percentile
+  // sample — a floor estimate, exact for power-of-two latencies (a stream
+  // of 1 µs queries reports p99 = 1, not 2). p in [0, 1].
   double LatencyPercentileMicros(double p) const;
 };
 

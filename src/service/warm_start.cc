@@ -1,0 +1,45 @@
+#include "service/warm_start.h"
+
+#include <utility>
+
+#include "graph/snapshot.h"
+
+namespace mbr::service {
+
+util::Result<std::unique_ptr<ServingReplica>> WarmStart(
+    const std::string& snapshot_path, const std::string& index_path,
+    const topics::SimilarityMatrix& sim, EngineConfig config) {
+  auto g = graph::Snapshot::Load(snapshot_path);
+  if (!g.ok()) return g.status();
+
+  auto replica = std::make_unique<ServingReplica>();
+  replica->graph = std::move(*g);
+  replica->authority =
+      std::make_unique<core::AuthorityIndex>(replica->graph);
+
+  config.landmarks = nullptr;
+  if (!index_path.empty()) {
+    auto idx = landmark::LandmarkIndex::LoadFrom(index_path,
+                                                 replica->graph.num_nodes());
+    if (!idx.ok()) return idx.status();
+    if (idx->num_topics() != replica->graph.num_topics()) {
+      return util::Status::InvalidArgument(
+          "landmark index has " + std::to_string(idx->num_topics()) +
+          " topics, snapshot has " +
+          std::to_string(replica->graph.num_topics()));
+    }
+    replica->landmarks =
+        std::make_unique<landmark::LandmarkIndex>(std::move(*idx));
+    config.landmarks = replica->landmarks.get();
+    // Serve with the parameters the stored σ lists were built under —
+    // Proposition 4 composes query-time and stored scores, so a params
+    // mismatch silently skews every approximate result.
+    config.params = replica->landmarks->config().params;
+  }
+
+  replica->engine = std::make_unique<QueryEngine>(
+      replica->graph, *replica->authority, sim, config);
+  return replica;
+}
+
+}  // namespace mbr::service

@@ -1,0 +1,57 @@
+#ifndef MBR_SERVICE_WARM_START_H_
+#define MBR_SERVICE_WARM_START_H_
+
+// Warm-starting a serving worker from persisted artifacts.
+//
+// The production deployment story is: pre-process once (graph snapshot via
+// `mbrec save-graph`, landmark index via `mbrec landmarks`), ship the files
+// to every serving worker, and boot each worker straight from them — no
+// edge-list parsing, no Algorithm 1 re-runs. WarmStart() loads both
+// artifacts through the hardened serde loaders, rebuilds the (cheap)
+// AuthorityIndex, and assembles a ready QueryEngine; any malformed file is
+// a clean util::Status, never a crashed worker.
+//
+// When a landmark index is present, the engine's ScoreParams are taken from
+// the index file — an index built for an ablation variant (or a non-default
+// β/α) must be composed via Proposition 4 with exactly the parameters it
+// was built with, not whatever the serving config defaults to.
+
+#include <memory>
+#include <string>
+
+#include "core/authority.h"
+#include "graph/labeled_graph.h"
+#include "landmark/index.h"
+#include "service/query_engine.h"
+#include "topics/similarity_matrix.h"
+#include "util/status.h"
+
+namespace mbr::service {
+
+// A serving worker's loaded state. The engine holds references into the
+// sibling members, so a replica lives behind a unique_ptr (stable
+// addresses) and is not copyable or movable.
+struct ServingReplica {
+  graph::LabeledGraph graph;
+  std::unique_ptr<core::AuthorityIndex> authority;
+  // Null when serving exact (converged) scoring instead of Algorithm 2.
+  std::unique_ptr<landmark::LandmarkIndex> landmarks;
+  std::unique_ptr<QueryEngine> engine;
+
+  ServingReplica() = default;
+  ServingReplica(const ServingReplica&) = delete;
+  ServingReplica& operator=(const ServingReplica&) = delete;
+};
+
+// Boots a replica from a graph snapshot and an optional landmark index
+// (empty `index_path` = exact scoring). `config.landmarks` and — when an
+// index is given — `config.params` are overwritten from the loaded
+// artifacts. `sim` must match the snapshot's topic vocabulary and outlive
+// the replica.
+util::Result<std::unique_ptr<ServingReplica>> WarmStart(
+    const std::string& snapshot_path, const std::string& index_path,
+    const topics::SimilarityMatrix& sim, EngineConfig config);
+
+}  // namespace mbr::service
+
+#endif  // MBR_SERVICE_WARM_START_H_

@@ -1,0 +1,194 @@
+#ifndef MBR_UTIL_SERDE_H_
+#define MBR_UTIL_SERDE_H_
+
+// Hardened binary serialisation shared by every persisted artifact
+// (landmark indexes, graph snapshots, ...).
+//
+// The pre-processing these files hold is the expensive asset of the system
+// (Table 5: seconds of Algorithm 1 per landmark; §5.4: ~1.4 MB per landmark
+// at top-1000), and in a production deployment it is built once and shipped
+// to many serving workers. A loader that trusts the bytes it reads turns a
+// corrupt replica into a crashed worker — so this layer treats every input
+// as hostile:
+//
+//   * container header: magic, artifact kind, per-artifact format version —
+//     wrong kind or unknown version is a clean InvalidArgument;
+//   * framed sections: {id, payload length, CRC32} + payload. The CRC is
+//     verified before any payload byte is interpreted, so random corruption
+//     is caught up front with overwhelming probability;
+//   * length-prefixed arrays whose element counts are validated against a
+//     caller-supplied bound AND the section's actual byte size *before* the
+//     allocation happens — a flipped length byte can never demand more
+//     memory than the file itself occupies;
+//   * every failure path is a util::Status. The Reader never throws, never
+//     reads out of bounds, and never trips undefined behaviour on malformed
+//     input (tests/serde_corruption_test.cc bit-flips and truncates whole
+//     golden files to hold it to that).
+//
+// The on-disk format is little-endian; the implementation memcpys
+// trivially-copyable values and therefore requires a little-endian host
+// (statically asserted below). Big-endian support would swap in the Put/Read
+// primitives without changing the format.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mbr::util::serde {
+
+static_assert(std::endian::native == std::endian::little,
+              "serde assumes a little-endian host");
+
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), the checksum used
+// for every section payload.
+uint32_t Crc32(const void* data, size_t size);
+
+// First 8 bytes of every serde container file ("MBRSERD1").
+inline constexpr uint64_t kContainerMagic = 0x3144524553524d42ULL;
+
+// What the file holds; a loader only accepts its own kind, so handing a
+// graph snapshot to the landmark-index loader fails cleanly.
+enum class ArtifactKind : uint32_t {
+  kLandmarkIndex = 1,
+  kGraphSnapshot = 2,
+};
+
+// Builds a container in memory: header, then sections in call order. Usage:
+//
+//   Writer w(ArtifactKind::kGraphSnapshot, /*version=*/1);
+//   w.BeginSection(kHeaderSection);
+//   w.PutU64(num_nodes);
+//   w.EndSection();
+//   ...
+//   MBR_RETURN_IF_ERROR(w.WriteToFile(path));
+//
+// Writing cannot fail until WriteToFile (all framing is in memory).
+class Writer {
+ public:
+  Writer(ArtifactKind kind, uint32_t version);
+
+  // Sections must not nest; every BeginSection needs a matching EndSection
+  // before the next BeginSection / WriteToFile / buffer().
+  void BeginSection(uint32_t id);
+  void EndSection();
+
+  void PutU32(uint32_t v) { PutPod(v); }
+  void PutU64(uint64_t v) { PutPod(v); }
+  void PutDouble(double v) { PutPod(v); }
+
+  // uint64 element count followed by the raw elements.
+  template <typename T>
+  void PutPodArray(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutU64(v.size());
+    PutBytes(v.data(), v.size() * sizeof(T));
+  }
+  template <typename T>
+  void PutPodArray(const std::vector<T>& v) {
+    PutPodArray(std::span<const T>(v.data(), v.size()));
+  }
+
+  // The complete container (header + all finished sections).
+  const std::vector<uint8_t>& buffer() const;
+
+  // Writes buffer() to `path` (atomically enough for our purposes: a short
+  // write is reported as IoError and leaves a file the Reader will reject).
+  util::Status WriteToFile(const std::string& path) const;
+
+ private:
+  template <typename T>
+  void PutPod(T v) {
+    PutBytes(&v, sizeof(v));
+  }
+  void PutBytes(const void* data, size_t size);
+
+  std::vector<uint8_t> buf_;
+  // Offset of the in-progress section's frame, or npos when closed.
+  size_t frame_off_ = npos_;
+  static constexpr size_t npos_ = static_cast<size_t>(-1);
+};
+
+// Validating cursor over a container. Every malformed input — bad magic,
+// wrong kind, unknown section id, CRC mismatch, truncation, oversized array
+// count — comes back as a non-OK Status from the call that detected it.
+class Reader {
+ public:
+  // Reads the whole file into memory and validates the container header.
+  // `max_bytes` caps the file size accepted (default 4 GiB) so a bogus
+  // path never OOMs the loader.
+  static util::Result<Reader> FromFile(const std::string& path,
+                                       ArtifactKind expected_kind,
+                                       size_t max_bytes = kDefaultMaxBytes);
+  // Same, over bytes already in memory (copied; the span may die after).
+  static util::Result<Reader> FromBuffer(std::span<const uint8_t> data,
+                                         ArtifactKind expected_kind);
+
+  // Artifact format version from the container header. The caller decides
+  // which versions it understands.
+  uint32_t version() const { return version_; }
+
+  // Enters the next section, checking its id and payload CRC. All Read*
+  // calls until ExitSection() consume this section's payload.
+  util::Status EnterSection(uint32_t expected_id);
+  // Leaves the current section; unconsumed payload bytes are an error
+  // (catches writer/reader schema drift).
+  util::Status ExitSection();
+  // OK iff every byte of the container has been consumed.
+  util::Status ExpectEnd() const;
+
+  util::Status ReadU32(uint32_t* out) { return ReadPod(out); }
+  util::Status ReadU64(uint64_t* out) { return ReadPod(out); }
+  util::Status ReadDouble(double* out) { return ReadPod(out); }
+
+  // Reads a length-prefixed array. The element count is validated against
+  // `max_count` and against the bytes actually left in the section before
+  // `out` is resized — malformed lengths cannot trigger a large allocation.
+  template <typename T>
+  util::Status ReadPodArray(std::vector<T>* out, uint64_t max_count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    MBR_RETURN_IF_ERROR(ReadU64(&count));
+    if (count > max_count) {
+      return util::Status::InvalidArgument(
+          "array length " + std::to_string(count) + " exceeds bound " +
+          std::to_string(max_count));
+    }
+    const size_t left = SectionBytesLeft();
+    if (count > left / sizeof(T)) {
+      return util::Status::InvalidArgument(
+          "array length " + std::to_string(count) +
+          " exceeds remaining section bytes");
+    }
+    out->resize(static_cast<size_t>(count));
+    return ReadBytes(out->data(), static_cast<size_t>(count) * sizeof(T));
+  }
+
+ private:
+  static constexpr size_t kDefaultMaxBytes = size_t{4} << 30;
+
+  explicit Reader(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  util::Status ValidateHeader(ArtifactKind expected_kind);
+  template <typename T>
+  util::Status ReadPod(T* out) {
+    return ReadBytes(out, sizeof(T));
+  }
+  util::Status ReadBytes(void* out, size_t size);
+  size_t SectionBytesLeft() const;
+
+  std::vector<uint8_t> bytes_;
+  size_t pos_ = 0;           // cursor into bytes_
+  size_t section_end_ = 0;   // payload end of the open section; 0 = closed
+  bool in_section_ = false;
+  uint32_t version_ = 0;
+};
+
+}  // namespace mbr::util::serde
+
+#endif  // MBR_UTIL_SERDE_H_

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/oracle.h"
 #include "core/recommender.h"
 #include "datagen/twitter_generator.h"
 #include "graph/labeled_graph.h"
@@ -261,6 +262,50 @@ TEST(ApproxTest, PruningDisabledOvercounts) {
   double s_pruned = pruned.ScoreCandidates(0, 0, {6})[0];
   double s_unpruned = unpruned.ScoreCandidates(0, 0, {6})[0];
   EXPECT_GT(s_unpruned, s_pruned);
+}
+
+TEST(ApproxTest, DoubleCountAuditAgainstOracle) {
+  // Audit of the prune_at_landmarks=false estimator against the Definition
+  // 1 brute-force oracle, on 0 -> 1(λ) -> 2 where the single depth-2 walk
+  // to node 2 runs through the landmark:
+  //   * pruning ON  — node 2 is scored once, via λ's Proposition 4
+  //     composition, and matches the oracle exactly;
+  //   * pruning OFF — the walk is ALSO counted by the direct exploration,
+  //     so the score is exactly 2x the oracle. That double count is the
+  //     deliberate §5.4 ablation quantity (see the estimator note in
+  //     approx.h), not an accident: this test pins its precise size.
+  GraphBuilder b(3, 18);
+  b.AddEdge(0, 1, Ts({0}));
+  b.AddEdge(1, 2, Ts({0}));
+  LabeledGraph g = std::move(b).Build();
+  core::AuthorityIndex auth(g);
+  core::ScoreParams params = ExactParams(6);
+  core::OracleScores oracle =
+      core::BruteForceScores(g, auth, Sim(), params, 0, 0, 6);
+  ASSERT_GT(oracle.Sigma(2), 0.0);
+
+  LandmarkIndexConfig icfg;
+  icfg.top_n = 10;
+  icfg.params = params;
+  LandmarkIndex index(g, auth, Sim(), {1}, icfg);
+  ApproxConfig pruned_cfg;
+  pruned_cfg.query_depth = 2;
+  pruned_cfg.params = params;
+  ApproxConfig unpruned_cfg = pruned_cfg;
+  unpruned_cfg.prune_at_landmarks = false;
+  ApproxRecommender pruned(g, auth, Sim(), index, pruned_cfg);
+  ApproxRecommender unpruned(g, auth, Sim(), index, unpruned_cfg);
+
+  double s_pruned = pruned.ScoreCandidates(0, 0, {2})[0];
+  double s_unpruned = unpruned.ScoreCandidates(0, 0, {2})[0];
+  EXPECT_NEAR(s_pruned, oracle.Sigma(2), 1e-14);
+  EXPECT_NEAR(s_unpruned, 2.0 * oracle.Sigma(2), 1e-14);
+  // The excess is exactly the through-landmark walk mass.
+  EXPECT_NEAR(s_unpruned - s_pruned, oracle.Sigma(2), 1e-14);
+  // The landmark itself is reached directly and never double-counted.
+  EXPECT_NEAR(pruned.ScoreCandidates(0, 0, {1})[0], oracle.Sigma(1), 1e-14);
+  EXPECT_NEAR(unpruned.ScoreCandidates(0, 0, {1})[0], oracle.Sigma(1),
+              1e-14);
 }
 
 

@@ -10,6 +10,7 @@
 #include "landmark/approx.h"
 #include "landmark/selection.h"
 #include "topics/similarity_matrix.h"
+#include "util/serde.h"
 
 namespace mbr::landmark {
 namespace {
@@ -124,20 +125,93 @@ TEST(LandmarkIndexIoTest, LoadGarbageFails) {
 }
 
 
-TEST(LandmarkIndexIoTest, LoadRejectsImplausibleHeader) {
-  // A file whose magic is right but whose counts are absurd must be
-  // rejected before any large allocation.
-  std::string path = testing::TempDir() + "/implausible_index.bin";
+TEST(LandmarkIndexIoTest, PreVersionedFileRejectedWithClearMessage) {
+  // Files in the retired unversioned format (raw "MBRLMIDX" magic, no
+  // checksum, partial params) must fail with a message naming the fix.
+  std::string path = testing::TempDir() + "/legacy_index.bin";
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
-  uint64_t header[4] = {0x4d42524c4d494458ULL /* magic */,
-                        1000000 /* topics way over kMaxTopics */,
-                        5 /* landmarks */, 10 /* top_n */};
+  uint64_t header[4] = {0x4d42524c4d494458ULL /* legacy magic */,
+                        18 /* topics */, 5 /* landmarks */, 10 /* top_n */};
   std::fwrite(header, sizeof(header), 1, f);
   std::fclose(f);
   auto r = LandmarkIndex::LoadFrom(path, 100);
-  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("pre-versioned"), std::string::npos);
+  EXPECT_NE(r.status().message().find("rebuild"), std::string::npos);
   std::remove(path.c_str());
+}
+
+// Helpers mirroring the on-disk schema of index.cc (format version 2):
+// section 1 = header, 2 = params, 3 = landmarks, 4 = stored lists.
+util::serde::Writer IndexWriter(uint32_t version = 2) {
+  return util::serde::Writer(util::serde::ArtifactKind::kLandmarkIndex,
+                             version);
+}
+
+void PutHeader(util::serde::Writer& w, uint32_t num_topics,
+               uint64_t num_landmarks, uint32_t top_n) {
+  w.BeginSection(1);
+  w.PutU32(num_topics);
+  w.PutU64(num_landmarks);
+  w.PutU32(top_n);
+  w.EndSection();
+}
+
+void PutDefaultParams(util::serde::Writer& w) {
+  w.BeginSection(2);
+  w.PutDouble(0.1);   // beta
+  w.PutDouble(0.85);  // alpha
+  w.PutDouble(1e-9);  // tolerance
+  w.PutDouble(0.0);   // frontier_epsilon
+  w.PutU32(2);        // max_depth
+  w.PutU32(0);        // variant = kFull
+  w.EndSection();
+}
+
+TEST(LandmarkIndexIoTest, LoadRejectsImplausibleHeader) {
+  // A well-framed container (magic, version and CRCs all valid) whose
+  // header counts are absurd must be rejected before any large allocation.
+  util::serde::Writer w = IndexWriter();
+  PutHeader(w, /*num_topics=*/1000000, /*num_landmarks=*/5, /*top_n=*/10);
+  PutDefaultParams(w);
+  auto r = LandmarkIndex::LoadFromBuffer(w.buffer(), 100);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("implausible"), std::string::npos);
+}
+
+TEST(LandmarkIndexIoTest, LoadRejectsUnsupportedVersion) {
+  util::serde::Writer w = IndexWriter(/*version=*/1);
+  PutHeader(w, 18, 0, 10);
+  PutDefaultParams(w);
+  auto r = LandmarkIndex::LoadFromBuffer(w.buffer(), 100);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST(LandmarkIndexIoTest, StoredListLengthBoundedByTopN) {
+  // Regression for the unbounded `list.resize(len)`: a stored per-list
+  // length larger than the header's top_n must be rejected cleanly, not
+  // allocated.
+  util::serde::Writer w = IndexWriter();
+  PutHeader(w, /*num_topics=*/1, /*num_landmarks=*/1, /*top_n=*/5);
+  PutDefaultParams(w);
+  w.BeginSection(3);
+  w.PutPodArray(std::vector<NodeId>{7});
+  w.EndSection();
+  w.BeginSection(4);
+  // One list claiming 4 million entries against top_n = 5.
+  w.PutPodArray(std::vector<uint32_t>{4000000});
+  w.PutPodArray(std::vector<NodeId>{});
+  w.PutPodArray(std::vector<double>{});
+  w.PutPodArray(std::vector<double>{});
+  w.EndSection();
+  auto r = LandmarkIndex::LoadFromBuffer(w.buffer(), 100);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("exceeds top_n"), std::string::npos);
 }
 
 TEST(LandmarkIndexThreadsTest, ParallelBuildBitIdenticalToSerial) {

@@ -1,0 +1,236 @@
+// Round-trip property tests for the versioned persistence layer: random
+// graphs and indexes must survive serialize -> load with identical
+// structure, byte-identical re-serialization, and the FULL ScoreParams
+// (including the ablation variant) restored. Also pins the edge cases the
+// format must handle (empty landmark set, zero-length stored lists) and
+// the clear rejection of pre-versioned files.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/authority.h"
+#include "graph/labeled_graph.h"
+#include "graph/snapshot.h"
+#include "landmark/index.h"
+#include "topics/similarity_matrix.h"
+#include "util/rng.h"
+
+namespace mbr {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicId;
+using topics::TopicSet;
+
+LabeledGraph RandomGraph(uint32_t n, uint32_t degree, uint64_t seed,
+                         int num_topics = 18) {
+  util::Rng rng(seed);
+  GraphBuilder b(n, num_topics);
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t k = 0; k < degree; ++k) {
+      NodeId v = static_cast<NodeId>(rng.UniformU64(n));
+      if (v != u) {
+        TopicSet s;
+        s.Add(static_cast<TopicId>(rng.UniformU64(num_topics)));
+        b.AddEdge(u, v, s);
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+template <typename T>
+std::vector<T> ToVec(std::span<const T> s) {
+  return std::vector<T>(s.begin(), s.end());
+}
+
+void ExpectGraphsIdentical(const LabeledGraph& a, const LabeledGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_topics(), b.num_topics());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    EXPECT_EQ(a.NodeLabels(u).bits(), b.NodeLabels(u).bits());
+    EXPECT_EQ(ToVec(a.OutNeighbors(u)), ToVec(b.OutNeighbors(u)));
+    EXPECT_EQ(ToVec(a.InNeighbors(u)), ToVec(b.InNeighbors(u)));
+    auto la = a.OutEdgeLabels(u);
+    auto lb = b.OutEdgeLabels(u);
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].bits(), lb[i].bits());
+    }
+  }
+}
+
+TEST(SnapshotRoundTripTest, RandomGraphsIdenticalAndByteStable) {
+  for (uint64_t seed : {1u, 17u, 99u}) {
+    LabeledGraph g = RandomGraph(50 + 13 * seed, 4, seed);
+    std::vector<uint8_t> bytes = graph::Snapshot::Serialize(g);
+    auto loaded = graph::Snapshot::LoadFromBuffer(bytes);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectGraphsIdentical(g, *loaded);
+    // Re-serializing the loaded graph reproduces the container bit for bit.
+    EXPECT_EQ(graph::Snapshot::Serialize(*loaded), bytes);
+  }
+}
+
+TEST(SnapshotRoundTripTest, EdgelessGraphRoundTrips) {
+  GraphBuilder b(5, 8);
+  LabeledGraph g = std::move(b).Build();
+  std::vector<uint8_t> bytes = graph::Snapshot::Serialize(g);
+  auto loaded = graph::Snapshot::LoadFromBuffer(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectGraphsIdentical(g, *loaded);
+}
+
+TEST(SnapshotRoundTripTest, FileRoundTrip) {
+  LabeledGraph g = RandomGraph(40, 3, 5);
+  std::string path = testing::TempDir() + "/snapshot_rt.bin";
+  ASSERT_TRUE(graph::Snapshot::Save(g, path).ok());
+  auto loaded = graph::Snapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectGraphsIdentical(g, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundTripTest, PreVersionedFileRejectedWithClearMessage) {
+  // The retired unversioned format began with the raw magic "MBRGRAPH".
+  std::string path = testing::TempDir() + "/legacy_graph.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  uint64_t legacy[4] = {0x4d42524752415048ULL, 10, 18, 20};
+  std::fwrite(legacy, sizeof(legacy), 1, f);
+  std::fclose(f);
+  auto r = graph::Snapshot::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("pre-versioned"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+landmark::LandmarkIndexConfig FullParamsConfig() {
+  landmark::LandmarkIndexConfig cfg;
+  cfg.top_n = 7;
+  cfg.num_threads = 1;
+  cfg.params.beta = 0.15;
+  cfg.params.alpha = 0.7;
+  cfg.params.tolerance = 1e-10;
+  cfg.params.frontier_epsilon = 1e-13;
+  cfg.params.max_depth = 5;
+  cfg.params.variant = core::ScoreVariant::kNoAuth;  // non-default ablation
+  return cfg;
+}
+
+void ExpectIndexesIdentical(const landmark::LandmarkIndex& a,
+                            const landmark::LandmarkIndex& b) {
+  ASSERT_EQ(a.landmarks(), b.landmarks());
+  ASSERT_EQ(a.num_topics(), b.num_topics());
+  EXPECT_EQ(a.config().top_n, b.config().top_n);
+  for (NodeId lm : a.landmarks()) {
+    for (int t = 0; t < a.num_topics(); ++t) {
+      const auto& ra = a.Recommendations(lm, static_cast<TopicId>(t));
+      const auto& rb = b.Recommendations(lm, static_cast<TopicId>(t));
+      ASSERT_EQ(ra.size(), rb.size());
+      for (size_t i = 0; i < ra.size(); ++i) {
+        // Byte-identical, not approximately equal.
+        EXPECT_EQ(ra[i].node, rb[i].node);
+        EXPECT_EQ(ra[i].sigma, rb[i].sigma);
+        EXPECT_EQ(ra[i].topo_beta, rb[i].topo_beta);
+      }
+    }
+  }
+}
+
+TEST(IndexRoundTripTest, FullScoreParamsSurviveIncludingVariant) {
+  LabeledGraph g = RandomGraph(60, 4, 11);
+  core::AuthorityIndex auth(g);
+  landmark::LandmarkIndexConfig cfg = FullParamsConfig();
+  landmark::LandmarkIndex index(g, auth, topics::TwitterSimilarity(),
+                                {3, 19, 42}, cfg);
+  std::vector<uint8_t> bytes = index.Serialize();
+  auto loaded = landmark::LandmarkIndex::LoadFromBuffer(bytes, g.num_nodes());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const core::ScoreParams& p = loaded->config().params;
+  EXPECT_EQ(p.beta, cfg.params.beta);
+  EXPECT_EQ(p.alpha, cfg.params.alpha);
+  EXPECT_EQ(p.tolerance, cfg.params.tolerance);
+  EXPECT_EQ(p.frontier_epsilon, cfg.params.frontier_epsilon);
+  EXPECT_EQ(p.max_depth, cfg.params.max_depth);
+  EXPECT_EQ(p.variant, cfg.params.variant);
+
+  ExpectIndexesIdentical(index, *loaded);
+  EXPECT_EQ(loaded->Serialize(), bytes);
+}
+
+TEST(IndexRoundTripTest, RandomIndexesByteStable) {
+  for (uint64_t seed : {2u, 23u}) {
+    LabeledGraph g = RandomGraph(45, 3, seed);
+    core::AuthorityIndex auth(g);
+    landmark::LandmarkIndexConfig cfg;
+    cfg.top_n = 5;
+    cfg.num_threads = 1;
+    landmark::LandmarkIndex index(g, auth, topics::TwitterSimilarity(),
+                                  {1, 7}, cfg);
+    std::vector<uint8_t> bytes = index.Serialize();
+    auto loaded =
+        landmark::LandmarkIndex::LoadFromBuffer(bytes, g.num_nodes());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectIndexesIdentical(index, *loaded);
+    EXPECT_EQ(loaded->Serialize(), bytes);
+  }
+}
+
+TEST(IndexRoundTripTest, EmptyLandmarkSetRoundTrips) {
+  LabeledGraph g = RandomGraph(20, 3, 4);
+  core::AuthorityIndex auth(g);
+  landmark::LandmarkIndexConfig cfg;
+  cfg.top_n = 5;
+  cfg.num_threads = 1;
+  landmark::LandmarkIndex index(g, auth, topics::TwitterSimilarity(), {},
+                                cfg);
+  std::vector<uint8_t> bytes = index.Serialize();
+  auto loaded = landmark::LandmarkIndex::LoadFromBuffer(bytes, g.num_nodes());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->landmarks().empty());
+  EXPECT_EQ(loaded->Serialize(), bytes);
+}
+
+TEST(IndexRoundTripTest, ZeroLengthStoredListsRoundTrip) {
+  // Node 5 has no out-edges, so as a landmark every one of its stored
+  // lists is empty — the columnar encoding must handle all-zero lengths.
+  GraphBuilder b(6, 18);
+  b.AddEdge(0, 1, [] {
+    TopicSet s;
+    s.Add(0);
+    return s;
+  }());
+  b.AddEdge(1, 5, [] {
+    TopicSet s;
+    s.Add(0);
+    return s;
+  }());
+  LabeledGraph g = std::move(b).Build();
+  core::AuthorityIndex auth(g);
+  landmark::LandmarkIndexConfig cfg;
+  cfg.top_n = 5;
+  cfg.num_threads = 1;
+  landmark::LandmarkIndex index(g, auth, topics::TwitterSimilarity(), {5},
+                                cfg);
+  for (int t = 0; t < g.num_topics(); ++t) {
+    ASSERT_TRUE(index.Recommendations(5, static_cast<TopicId>(t)).empty());
+  }
+  std::vector<uint8_t> bytes = index.Serialize();
+  auto loaded = landmark::LandmarkIndex::LoadFromBuffer(bytes, g.num_nodes());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectIndexesIdentical(index, *loaded);
+  EXPECT_EQ(loaded->Serialize(), bytes);
+}
+
+}  // namespace
+}  // namespace mbr

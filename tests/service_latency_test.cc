@@ -1,0 +1,85 @@
+// Pins the latency-histogram bucketing convention (bug fix: the old
+// `64 - clz` mapping put a 1 µs sample in bucket 1, doubling every
+// reported percentile) and the matching percentile readout.
+
+#include "service/query_engine.h"
+
+#include <cstdint>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/authority.h"
+#include "datagen/twitter_generator.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::service {
+namespace {
+
+TEST(LatencyBucketTest, FloorLog2Boundaries) {
+  // Bucket b holds [2^b, 2^(b+1)) µs; bucket 0 also absorbs sub-µs.
+  EXPECT_EQ(LatencyBucket(0), 0);
+  EXPECT_EQ(LatencyBucket(1), 0);  // the bug fix: 1 µs -> bucket 0, not 1
+  EXPECT_EQ(LatencyBucket(2), 1);
+  EXPECT_EQ(LatencyBucket(3), 1);
+  EXPECT_EQ(LatencyBucket(4), 2);
+  EXPECT_EQ(LatencyBucket(7), 2);
+  EXPECT_EQ(LatencyBucket(8), 3);
+  EXPECT_EQ(LatencyBucket(1023), 9);
+  EXPECT_EQ(LatencyBucket(1024), 10);
+  EXPECT_EQ(LatencyBucket(1025), 10);
+}
+
+TEST(LatencyBucketTest, PowersOfTwoLandInTheirOwnBucket) {
+  for (int k = 0; k < kLatencyBuckets - 1; ++k) {
+    EXPECT_EQ(LatencyBucket(uint64_t{1} << k), k) << "k=" << k;
+  }
+}
+
+TEST(LatencyBucketTest, ClampsToLastBucket) {
+  EXPECT_EQ(LatencyBucket(uint64_t{1} << 40), kLatencyBuckets - 1);
+  EXPECT_EQ(LatencyBucket(~uint64_t{0}), kLatencyBuckets - 1);
+}
+
+TEST(LatencyPercentileTest, OneMicrosecondStreamReportsOne) {
+  EngineStats s;
+  s.latency_log2_us[LatencyBucket(1)] = 1000;
+  EXPECT_EQ(s.LatencyPercentileMicros(0.5), 1.0);
+  EXPECT_EQ(s.LatencyPercentileMicros(0.99), 1.0);
+}
+
+TEST(LatencyPercentileTest, SplitStreamReportsBucketLowerBounds) {
+  EngineStats s;
+  s.latency_log2_us[0] = 50;  // 1 µs samples
+  s.latency_log2_us[3] = 50;  // 8–15 µs samples
+  EXPECT_EQ(s.LatencyPercentileMicros(0.25), 1.0);
+  EXPECT_EQ(s.LatencyPercentileMicros(0.75), 8.0);
+  EXPECT_EQ(s.LatencyPercentileMicros(1.0), 8.0);
+}
+
+TEST(LatencyPercentileTest, EmptyHistogramIsZero) {
+  EngineStats s;
+  EXPECT_EQ(s.LatencyPercentileMicros(0.5), 0.0);
+}
+
+TEST(LatencyPercentileTest, EngineHistogramCountsEveryQuery) {
+  datagen::TwitterConfig gc;
+  gc.num_nodes = 300;
+  datagen::GeneratedDataset ds = datagen::GenerateTwitter(gc);
+  core::AuthorityIndex auth(ds.graph);
+  EngineConfig cfg;
+  cfg.num_threads = 2;
+  cfg.params.max_depth = 2;
+  QueryEngine engine(ds.graph, auth, topics::TwitterSimilarity(), cfg);
+  for (graph::NodeId u : {1u, 2u, 3u, 4u, 5u}) {
+    engine.Recommend(u, 0, 5);
+  }
+  EngineStats s = engine.Stats();
+  uint64_t histogram_total = std::accumulate(
+      s.latency_log2_us.begin(), s.latency_log2_us.end(), uint64_t{0});
+  EXPECT_EQ(histogram_total, 5u);
+  EXPECT_EQ(s.queries, 5u);
+}
+
+}  // namespace
+}  // namespace mbr::service

@@ -1,0 +1,224 @@
+#include "util/serde.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbr::util::serde {
+namespace {
+
+constexpr ArtifactKind kKind = ArtifactKind::kGraphSnapshot;
+
+TEST(Crc32Test, KnownCheckValue) {
+  // The standard CRC-32/IEEE check vector.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(s, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(s, 0), 0u);
+}
+
+TEST(SerdeTest, ScalarAndArrayRoundTrip) {
+  Writer w(kKind, 7);
+  w.BeginSection(1);
+  w.PutU32(42);
+  w.PutU64(uint64_t{1} << 40);
+  w.PutDouble(0.25);
+  w.EndSection();
+  std::vector<uint32_t> xs = {1, 2, 3, 4, 5};
+  w.BeginSection(2);
+  w.PutPodArray(xs);
+  w.EndSection();
+
+  auto r = Reader::FromBuffer(w.buffer(), kKind);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->version(), 7u);
+  ASSERT_TRUE(r->EnterSection(1).ok());
+  uint32_t a = 0;
+  uint64_t b = 0;
+  double c = 0;
+  ASSERT_TRUE(r->ReadU32(&a).ok());
+  ASSERT_TRUE(r->ReadU64(&b).ok());
+  ASSERT_TRUE(r->ReadDouble(&c).ok());
+  EXPECT_EQ(a, 42u);
+  EXPECT_EQ(b, uint64_t{1} << 40);
+  EXPECT_EQ(c, 0.25);
+  ASSERT_TRUE(r->ExitSection().ok());
+  ASSERT_TRUE(r->EnterSection(2).ok());
+  std::vector<uint32_t> ys;
+  ASSERT_TRUE(r->ReadPodArray(&ys, 100).ok());
+  EXPECT_EQ(ys, xs);
+  ASSERT_TRUE(r->ExitSection().ok());
+  EXPECT_TRUE(r->ExpectEnd().ok());
+}
+
+TEST(SerdeTest, EmptyArrayRoundTrip) {
+  Writer w(kKind, 1);
+  w.BeginSection(1);
+  w.PutPodArray(std::vector<double>{});
+  w.EndSection();
+  auto r = Reader::FromBuffer(w.buffer(), kKind);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->EnterSection(1).ok());
+  std::vector<double> xs = {99.0};
+  ASSERT_TRUE(r->ReadPodArray(&xs, 0).ok());
+  EXPECT_TRUE(xs.empty());
+  ASSERT_TRUE(r->ExitSection().ok());
+}
+
+TEST(SerdeTest, RejectsWrongArtifactKind) {
+  Writer w(ArtifactKind::kLandmarkIndex, 1);
+  w.BeginSection(1);
+  w.EndSection();
+  auto r = Reader::FromBuffer(w.buffer(), ArtifactKind::kGraphSnapshot);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerdeTest, RejectsBadMagic) {
+  Writer w(kKind, 1);
+  std::vector<uint8_t> bytes = w.buffer();
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(Reader::FromBuffer(bytes, kKind).ok());
+}
+
+TEST(SerdeTest, RejectsTruncatedHeader) {
+  Writer w(kKind, 1);
+  std::vector<uint8_t> bytes = w.buffer();
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(Reader::FromBuffer(bytes, kKind).ok());
+  EXPECT_FALSE(Reader::FromBuffer({}, kKind).ok());
+}
+
+TEST(SerdeTest, RejectsSectionIdMismatch) {
+  Writer w(kKind, 1);
+  w.BeginSection(5);
+  w.PutU32(1);
+  w.EndSection();
+  auto r = Reader::FromBuffer(w.buffer(), kKind);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->EnterSection(6).ok());
+}
+
+TEST(SerdeTest, DetectsPayloadCorruption) {
+  Writer w(kKind, 1);
+  w.BeginSection(1);
+  w.PutU64(0xDEADBEEF);
+  w.EndSection();
+  std::vector<uint8_t> bytes = w.buffer();
+  bytes.back() ^= 0x01;  // last payload byte
+  auto r = Reader::FromBuffer(bytes, kKind);
+  ASSERT_TRUE(r.ok());  // header is fine
+  util::Status st = r->EnterSection(1);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("checksum"), std::string::npos);
+}
+
+TEST(SerdeTest, ArrayCountBoundEnforcedBeforeAllocation) {
+  Writer w(kKind, 1);
+  w.BeginSection(1);
+  w.PutPodArray(std::vector<uint32_t>(10, 7));
+  w.EndSection();
+  auto r = Reader::FromBuffer(w.buffer(), kKind);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->EnterSection(1).ok());
+  std::vector<uint32_t> xs;
+  util::Status st = r->ReadPodArray(&xs, 5);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(xs.empty());  // rejected before any resize
+}
+
+TEST(SerdeTest, HugeDeclaredCountCannotOutAllocateTheSection) {
+  // A forged count far beyond the section's bytes must fail cleanly even
+  // when the caller-supplied bound is loose.
+  Writer w(kKind, 1);
+  w.BeginSection(1);
+  w.PutU64(uint64_t{1} << 60);  // count with no elements behind it
+  w.EndSection();
+  auto r = Reader::FromBuffer(w.buffer(), kKind);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->EnterSection(1).ok());
+  std::vector<uint64_t> xs;
+  util::Status st = r->ReadPodArray(&xs, uint64_t{1} << 62);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(xs.empty());
+}
+
+TEST(SerdeTest, ExitSectionRejectsUnconsumedBytes) {
+  Writer w(kKind, 1);
+  w.BeginSection(1);
+  w.PutU32(1);
+  w.PutU32(2);
+  w.EndSection();
+  auto r = Reader::FromBuffer(w.buffer(), kKind);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->EnterSection(1).ok());
+  uint32_t x = 0;
+  ASSERT_TRUE(r->ReadU32(&x).ok());
+  EXPECT_FALSE(r->ExitSection().ok());  // one u32 left unread
+}
+
+TEST(SerdeTest, ReadsCannotCrossSectionBoundary) {
+  Writer w(kKind, 1);
+  w.BeginSection(1);
+  w.PutU32(1);
+  w.EndSection();
+  w.BeginSection(2);
+  w.PutU64(2);
+  w.EndSection();
+  auto r = Reader::FromBuffer(w.buffer(), kKind);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->EnterSection(1).ok());
+  uint64_t x = 0;
+  EXPECT_FALSE(r->ReadU64(&x).ok());  // section 1 only holds 4 bytes
+}
+
+TEST(SerdeTest, ExpectEndRejectsTrailingBytes) {
+  Writer w(kKind, 1);
+  w.BeginSection(1);
+  w.EndSection();
+  std::vector<uint8_t> bytes = w.buffer();
+  bytes.push_back(0);
+  auto r = Reader::FromBuffer(bytes, kKind);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->EnterSection(1).ok());
+  ASSERT_TRUE(r->ExitSection().ok());
+  EXPECT_FALSE(r->ExpectEnd().ok());
+}
+
+TEST(SerdeTest, FileRoundTripAndMissingFile) {
+  Writer w(kKind, 3);
+  w.BeginSection(9);
+  w.PutU32(123);
+  w.EndSection();
+  std::string path = testing::TempDir() + "/serde_file_test.bin";
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  auto r = Reader::FromFile(path, kKind);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->version(), 3u);
+  ASSERT_TRUE(r->EnterSection(9).ok());
+  uint32_t x = 0;
+  ASSERT_TRUE(r->ReadU32(&x).ok());
+  EXPECT_EQ(x, 123u);
+  std::remove(path.c_str());
+
+  auto missing = Reader::FromFile("/nonexistent/serde.bin", kKind);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerdeTest, FromFileEnforcesSizeCap) {
+  Writer w(kKind, 1);
+  w.BeginSection(1);
+  w.PutPodArray(std::vector<uint64_t>(64, 1));
+  w.EndSection();
+  std::string path = testing::TempDir() + "/serde_cap_test.bin";
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  auto r = Reader::FromFile(path, kKind, /*max_bytes=*/16);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mbr::util::serde
