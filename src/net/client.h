@@ -1,0 +1,74 @@
+#ifndef MBR_NET_CLIENT_H_
+#define MBR_NET_CLIENT_H_
+
+// Blocking client for the mbr wire protocol (net/protocol.h).
+//
+// One Client owns one TCP connection and runs one request/reply round trip
+// at a time (it is not thread-safe; use one Client per thread). Both the
+// connect and each request carry explicit timeouts, enforced with poll() so
+// a dead or stalled server surfaces as DEADLINE_EXCEEDED rather than a
+// hang. Typed wrappers decode the reply payloads with the same bounded
+// readers the server uses; an ERROR reply maps onto util::Status via
+// ErrorReplyToStatus, and an OVERLOADED shed maps to
+// StatusCode::kUnavailable so callers can retry-with-backoff on exactly
+// that code.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "service/serving_stats.h"
+#include "util/status.h"
+
+namespace mbr::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t connect_timeout_ms = 2000;
+  uint32_t request_timeout_ms = 10000;
+  WireLimits limits;
+};
+
+class Client {
+ public:
+  // Establishes the TCP connection (bounded by connect_timeout_ms).
+  static util::Result<Client> Connect(const ClientConfig& config);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // The ranked top-n for (user, topic); empty list is a valid answer.
+  util::Result<RankedList> Recommend(uint32_t user, uint32_t topic,
+                                     uint32_t top_n);
+  // Order-preserving batched variant (one RECOMMEND_BATCH frame).
+  util::Result<std::vector<RankedList>> RecommendBatch(
+      const std::vector<RecommendRequest>& queries);
+  util::Result<service::StatsSnapshot> Stats();
+  util::Status Ping();
+  // Asks the server to drain and waits for the acknowledgement.
+  util::Status Shutdown();
+
+ private:
+  struct Reply {
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+  };
+
+  Client(int fd, const ClientConfig& config) : fd_(fd), config_(config) {}
+
+  util::Result<Reply> RoundTrip(MessageKind kind,
+                                std::span<const uint8_t> payload);
+
+  int fd_ = -1;
+  ClientConfig config_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace mbr::net
+
+#endif  // MBR_NET_CLIENT_H_

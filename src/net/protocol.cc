@@ -1,0 +1,401 @@
+#include "net/protocol.h"
+
+#include "util/serde.h"
+
+namespace mbr::net {
+
+const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPing:
+      return "PING";
+    case MessageKind::kRecommend:
+      return "RECOMMEND";
+    case MessageKind::kRecommendBatch:
+      return "RECOMMEND_BATCH";
+    case MessageKind::kStats:
+      return "STATS";
+    case MessageKind::kShutdown:
+      return "SHUTDOWN";
+    case MessageKind::kPong:
+      return "PONG";
+    case MessageKind::kResult:
+      return "RESULT";
+    case MessageKind::kResultBatch:
+      return "RESULT_BATCH";
+    case MessageKind::kStatsResult:
+      return "STATS_RESULT";
+    case MessageKind::kShutdownAck:
+      return "SHUTDOWN_ACK";
+    case MessageKind::kError:
+      return "ERROR";
+    case MessageKind::kOverloaded:
+      return "OVERLOADED";
+  }
+  return "UNKNOWN";
+}
+
+bool IsRequestKind(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPing:
+    case MessageKind::kRecommend:
+    case MessageKind::kRecommendBatch:
+    case MessageKind::kStats:
+    case MessageKind::kShutdown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsReplyKind(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPong:
+    case MessageKind::kResult:
+    case MessageKind::kResultBatch:
+    case MessageKind::kStatsResult:
+    case MessageKind::kShutdownAck:
+    case MessageKind::kError:
+    case MessageKind::kOverloaded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* WireErrorName(WireError e) {
+  switch (e) {
+    case WireError::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case WireError::kBadFrame:
+      return "BAD_FRAME";
+    case WireError::kUnsupportedVersion:
+      return "UNSUPPORTED_VERSION";
+    case WireError::kUnknownKind:
+      return "UNKNOWN_KIND";
+    case WireError::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case WireError::kShuttingDown:
+      return "SHUTTING_DOWN";
+    case WireError::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+template <typename T>
+void AppendPod(T v, std::vector<uint8_t>* out) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+}  // namespace
+
+void AppendFrame(MessageKind kind, uint64_t request_id,
+                 std::span<const uint8_t> payload, std::vector<uint8_t>* out) {
+  out->reserve(out->size() + kFrameHeaderBytes + payload.size());
+  AppendPod(kFrameMagic, out);
+  AppendPod(kProtocolVersion, out);
+  AppendPod(static_cast<uint16_t>(kind), out);
+  AppendPod(request_id, out);
+  AppendPod(static_cast<uint32_t>(payload.size()), out);
+  AppendPod(util::serde::Crc32(payload.data(), payload.size()), out);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+HeaderParse ParseFrameHeader(std::span<const uint8_t> buf,
+                             const WireLimits& limits, FrameHeader* out) {
+  if (buf.size() < kFrameHeaderBytes) return HeaderParse::kNeedMore;
+  size_t off = 0;
+  auto read = [&](auto* v) {
+    std::memcpy(v, buf.data() + off, sizeof(*v));
+    off += sizeof(*v);
+  };
+  uint32_t magic = 0;
+  uint16_t kind_raw = 0;
+  read(&magic);
+  read(&out->version);
+  read(&kind_raw);
+  read(&out->request_id);
+  read(&out->payload_len);
+  read(&out->payload_crc);
+  out->kind = static_cast<MessageKind>(kind_raw);
+  if (magic != kFrameMagic) return HeaderParse::kMalformed;
+  if (out->payload_len > limits.max_payload_bytes) {
+    return HeaderParse::kMalformed;
+  }
+  return HeaderParse::kOk;
+}
+
+util::Status VerifyPayloadCrc(const FrameHeader& header,
+                              std::span<const uint8_t> payload) {
+  if (payload.size() != header.payload_len) {
+    return util::Status::InvalidArgument("payload size mismatch");
+  }
+  const uint32_t crc = util::serde::Crc32(payload.data(), payload.size());
+  if (crc != header.payload_crc) {
+    return util::Status::InvalidArgument("payload CRC mismatch");
+  }
+  return util::Status::Ok();
+}
+
+void PayloadWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(s.data());
+  buf_.insert(buf_.end(), p, p + s.size());
+}
+
+util::Status PayloadReader::ReadString(std::string* out, uint32_t max_len) {
+  uint32_t len = 0;
+  MBR_RETURN_IF_ERROR(ReadU32(&len));
+  if (len > max_len) {
+    return util::Status::InvalidArgument("string length " +
+                                         std::to_string(len) +
+                                         " exceeds bound " +
+                                         std::to_string(max_len));
+  }
+  if (len > remaining()) {
+    return util::Status::InvalidArgument(
+        "string length exceeds remaining payload bytes");
+  }
+  out->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return util::Status::Ok();
+}
+
+util::Status PayloadReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return util::Status::InvalidArgument(
+        std::to_string(remaining()) + " unconsumed payload bytes");
+  }
+  return util::Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// Typed payloads.
+
+namespace {
+
+void PutQuery(const RecommendRequest& req, PayloadWriter* w) {
+  w->PutU32(req.user);
+  w->PutU32(req.topic);
+  w->PutU32(req.top_n);
+}
+
+util::Status ReadQuery(PayloadReader* r, RecommendRequest* out) {
+  MBR_RETURN_IF_ERROR(r->ReadU32(&out->user));
+  MBR_RETURN_IF_ERROR(r->ReadU32(&out->topic));
+  return r->ReadU32(&out->top_n);
+}
+
+constexpr size_t kQueryBytes = 12;
+constexpr size_t kEntryBytes = kResultEntryBytes;  // id:u32 + score:f64
+
+void PutList(const RankedList& list, PayloadWriter* w) {
+  w->PutU32(static_cast<uint32_t>(list.size()));
+  for (const util::ScoredId& e : list) {
+    w->PutU32(e.id);
+    w->PutDouble(e.score);
+  }
+}
+
+util::Status ReadList(PayloadReader* r, const WireLimits& limits,
+                      RankedList* out) {
+  uint32_t n = 0;
+  MBR_RETURN_IF_ERROR(r->ReadU32(&n));
+  if (n > limits.max_list) {
+    return util::Status::InvalidArgument("ranked list length " +
+                                         std::to_string(n) +
+                                         " exceeds bound " +
+                                         std::to_string(limits.max_list));
+  }
+  if (n > r->remaining() / kEntryBytes) {
+    return util::Status::InvalidArgument(
+        "ranked list length exceeds remaining payload bytes");
+  }
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MBR_RETURN_IF_ERROR(r->ReadU32(&(*out)[i].id));
+    MBR_RETURN_IF_ERROR(r->ReadDouble(&(*out)[i].score));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRecommend(const RecommendRequest& req) {
+  PayloadWriter w;
+  PutQuery(req, &w);
+  return w.Take();
+}
+
+util::Status DecodeRecommend(std::span<const uint8_t> payload,
+                             const WireLimits& limits, RecommendRequest* out) {
+  PayloadReader r(payload);
+  MBR_RETURN_IF_ERROR(ReadQuery(&r, out));
+  MBR_RETURN_IF_ERROR(r.ExpectEnd());
+  if (out->top_n == 0 || out->top_n > limits.max_list) {
+    return util::Status::InvalidArgument(
+        "top_n must be in [1, " + std::to_string(limits.max_list) + "]");
+  }
+  return util::Status::Ok();
+}
+
+std::vector<uint8_t> EncodeRecommendBatch(
+    const std::vector<RecommendRequest>& reqs) {
+  PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(reqs.size()));
+  for (const RecommendRequest& q : reqs) PutQuery(q, &w);
+  return w.Take();
+}
+
+util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
+                                  const WireLimits& limits,
+                                  std::vector<RecommendRequest>* out) {
+  PayloadReader r(payload);
+  uint32_t n = 0;
+  MBR_RETURN_IF_ERROR(r.ReadU32(&n));
+  if (n == 0 || n > limits.max_batch) {
+    return util::Status::InvalidArgument(
+        "batch size must be in [1, " + std::to_string(limits.max_batch) +
+        "], got " + std::to_string(n));
+  }
+  if (n > r.remaining() / kQueryBytes) {
+    return util::Status::InvalidArgument(
+        "batch size exceeds remaining payload bytes");
+  }
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MBR_RETURN_IF_ERROR(ReadQuery(&r, &(*out)[i]));
+    if ((*out)[i].top_n == 0 || (*out)[i].top_n > limits.max_list) {
+      return util::Status::InvalidArgument(
+          "top_n must be in [1, " + std::to_string(limits.max_list) + "]");
+    }
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeResult(const RankedList& list) {
+  PayloadWriter w;
+  PutList(list, &w);
+  return w.Take();
+}
+
+util::Status DecodeResult(std::span<const uint8_t> payload,
+                          const WireLimits& limits, RankedList* out) {
+  PayloadReader r(payload);
+  MBR_RETURN_IF_ERROR(ReadList(&r, limits, out));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists) {
+  PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(lists.size()));
+  for (const RankedList& l : lists) PutList(l, &w);
+  return w.Take();
+}
+
+util::Status DecodeResultBatch(std::span<const uint8_t> payload,
+                               const WireLimits& limits,
+                               std::vector<RankedList>* out) {
+  PayloadReader r(payload);
+  uint32_t n = 0;
+  MBR_RETURN_IF_ERROR(r.ReadU32(&n));
+  if (n > limits.max_batch) {
+    return util::Status::InvalidArgument("result batch length " +
+                                         std::to_string(n) +
+                                         " exceeds bound " +
+                                         std::to_string(limits.max_batch));
+  }
+  // Each list costs at least its 4-byte length prefix.
+  if (n > r.remaining() / 4) {
+    return util::Status::InvalidArgument(
+        "result batch length exceeds remaining payload bytes");
+  }
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MBR_RETURN_IF_ERROR(ReadList(&r, limits, &(*out)[i]));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s) {
+  PayloadWriter w;
+  w.PutU64(s.queries);
+  w.PutU64(s.batches);
+  w.PutU64(s.cache_hits);
+  w.PutU64(s.cache_misses);
+  w.PutU64(s.invalidations);
+  w.PutU64(s.params_epoch);
+  w.PutU64(s.shed_overload);
+  w.PutU64(s.shed_deadline);
+  w.PutU64(s.connections_accepted);
+  w.PutU64(s.connections_open);
+  w.PutDouble(s.p50_us);
+  w.PutDouble(s.p90_us);
+  w.PutDouble(s.p99_us);
+  return w.Take();
+}
+
+util::Status DecodeStats(std::span<const uint8_t> payload,
+                         service::StatsSnapshot* out) {
+  PayloadReader r(payload);
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->queries));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->batches));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->cache_hits));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->cache_misses));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->invalidations));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->params_epoch));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->shed_overload));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->shed_deadline));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->connections_accepted));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->connections_open));
+  MBR_RETURN_IF_ERROR(r.ReadDouble(&out->p50_us));
+  MBR_RETURN_IF_ERROR(r.ReadDouble(&out->p90_us));
+  MBR_RETURN_IF_ERROR(r.ReadDouble(&out->p99_us));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeError(const ErrorReply& err) {
+  PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(err.code));
+  w.PutString(err.message);
+  return w.Take();
+}
+
+util::Status DecodeError(std::span<const uint8_t> payload,
+                         const WireLimits& limits, ErrorReply* out) {
+  PayloadReader r(payload);
+  uint32_t code = 0;
+  MBR_RETURN_IF_ERROR(r.ReadU32(&code));
+  if (code < static_cast<uint32_t>(WireError::kInvalidArgument) ||
+      code > static_cast<uint32_t>(WireError::kInternal)) {
+    out->code = WireError::kInternal;
+  } else {
+    out->code = static_cast<WireError>(code);
+  }
+  MBR_RETURN_IF_ERROR(r.ReadString(&out->message, limits.max_error_msg));
+  return r.ExpectEnd();
+}
+
+util::Status ErrorReplyToStatus(const ErrorReply& err) {
+  std::string msg =
+      std::string(WireErrorName(err.code)) + " from server: " + err.message;
+  switch (err.code) {
+    case WireError::kInvalidArgument:
+    case WireError::kBadFrame:
+    case WireError::kUnsupportedVersion:
+    case WireError::kUnknownKind:
+      return util::Status::InvalidArgument(std::move(msg));
+    case WireError::kDeadlineExceeded:
+      return util::Status::DeadlineExceeded(std::move(msg));
+    case WireError::kShuttingDown:
+      return util::Status::Unavailable(std::move(msg));
+    case WireError::kInternal:
+      return util::Status::Internal(std::move(msg));
+  }
+  return util::Status::Internal(std::move(msg));
+}
+
+}  // namespace mbr::net

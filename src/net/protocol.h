@@ -1,0 +1,226 @@
+#ifndef MBR_NET_PROTOCOL_H_
+#define MBR_NET_PROTOCOL_H_
+
+// Versioned length-prefixed binary wire protocol for the serving subsystem.
+//
+// Every message on the wire is one frame:
+//
+//   frame  := magic:u32 ("MBW1") version:u16 kind:u16
+//             request_id:u64 payload_len:u32 payload_crc:u32
+//             payload[payload_len]
+//
+// 24 header bytes, little-endian throughout (same host assumption as
+// util/serde, statically asserted there). The CRC32 (util::serde::Crc32)
+// covers the payload only; the header fields are each individually
+// validated, so a flipped header byte is caught by the magic/version/kind/
+// length checks and a flipped payload byte by the CRC — before any payload
+// field is interpreted.
+//
+// Decoding follows the util/serde bounded-read discipline: a PayloadReader
+// never reads past the frame's declared payload, every array length is
+// validated against both a semantic bound (WireLimits) and the bytes
+// actually present before anything is allocated, and every failure is a
+// util::Status — a malformed, truncated, or hostile frame yields a clean
+// error reply or connection close, never UB
+// (tests/net_corruption_test.cc holds a live server to that).
+//
+// Versioning/compat: kProtocolVersion is bumped on any layout change.
+// Peers accept exactly their own version and reply ERROR
+// (UNSUPPORTED_VERSION) naming both versions otherwise — the same
+// exact-version policy as the serde artifact formats (DESIGN.md §6.2).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/serving_stats.h"
+#include "util/status.h"
+#include "util/top_k.h"
+
+namespace mbr::net {
+
+// "MBW1" when the little-endian u32 is viewed as bytes.
+inline constexpr uint32_t kFrameMagic = 0x3157424DU;
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+
+enum class MessageKind : uint16_t {
+  // Requests.
+  kPing = 1,
+  kRecommend = 2,
+  kRecommendBatch = 3,
+  kStats = 4,
+  kShutdown = 5,
+  // Replies.
+  kPong = 64,
+  kResult = 65,
+  kResultBatch = 66,
+  kStatsResult = 67,
+  kShutdownAck = 68,
+  kError = 69,
+  kOverloaded = 70,
+};
+
+const char* MessageKindName(MessageKind kind);
+bool IsRequestKind(MessageKind kind);
+bool IsReplyKind(MessageKind kind);
+
+// Decode-side bounds. Both peers use the same limits so a reply the server
+// is willing to send is a reply the client is willing to parse.
+struct WireLimits {
+  uint32_t max_payload_bytes = 1u << 20;  // frame payload cap
+  uint32_t max_batch = 4096;              // queries per RECOMMEND_BATCH
+  uint32_t max_list = 4096;               // entries per ranked list / top_n
+  uint32_t max_error_msg = 1024;          // bytes of ERROR message text
+};
+
+struct FrameHeader {
+  uint16_t version = 0;
+  MessageKind kind = MessageKind::kPing;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+// Appends one complete frame (header + payload) to `out`.
+void AppendFrame(MessageKind kind, uint64_t request_id,
+                 std::span<const uint8_t> payload, std::vector<uint8_t>* out);
+
+// Incremental header parse over a receive buffer.
+enum class HeaderParse {
+  kOk,        // *out filled; frame payload follows
+  kNeedMore,  // fewer than kFrameHeaderBytes available
+  kMalformed  // bad magic or payload_len over the limit: close the stream
+};
+// Only framing-level properties are checked here (magic, length cap).
+// Version and kind are surfaced in *out so the caller can still answer
+// with a typed ERROR that echoes the request id.
+HeaderParse ParseFrameHeader(std::span<const uint8_t> buf,
+                             const WireLimits& limits, FrameHeader* out);
+
+// Verifies the payload CRC declared in `header`.
+util::Status VerifyPayloadCrc(const FrameHeader& header,
+                              std::span<const uint8_t> payload);
+
+// ---------------------------------------------------------------------------
+// Bounded payload cursor (serde discipline, frame-local: no sections).
+
+class PayloadWriter {
+ public:
+  void PutU16(uint16_t v) { PutPod(v); }
+  void PutU32(uint32_t v) { PutPod(v); }
+  void PutU64(uint64_t v) { PutPod(v); }
+  void PutDouble(double v) { PutPod(v); }
+  void PutString(const std::string& s);  // u32 length prefix + bytes
+
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutPod(T v) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+  std::vector<uint8_t> buf_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const uint8_t> data) : data_(data) {}
+
+  util::Status ReadU16(uint16_t* out) { return ReadPod(out); }
+  util::Status ReadU32(uint32_t* out) { return ReadPod(out); }
+  util::Status ReadU64(uint64_t* out) { return ReadPod(out); }
+  util::Status ReadDouble(double* out) { return ReadPod(out); }
+  // Length-prefixed string, length validated against `max_len` AND the
+  // bytes actually remaining before the allocation.
+  util::Status ReadString(std::string* out, uint32_t max_len);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  // Trailing unread bytes are a schema mismatch, same as serde's
+  // ExitSection rule.
+  util::Status ExpectEnd() const;
+
+ private:
+  template <typename T>
+  util::Status ReadPod(T* out) {
+    if (remaining() < sizeof(T)) {
+      return util::Status::InvalidArgument("payload truncated");
+    }
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return util::Status::Ok();
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Typed payloads.
+
+struct RecommendRequest {
+  uint32_t user = 0;
+  uint32_t topic = 0;
+  uint32_t top_n = 10;
+};
+
+// Wire size of one ranked-list entry (id:u32 + score:f64); used to bound a
+// request's worst-case reply against max_payload_bytes at admission.
+inline constexpr size_t kResultEntryBytes = 12;
+
+using RankedList = std::vector<util::ScoredId>;
+
+// Error codes carried in ERROR replies; a superset mapping of
+// util::StatusCode plus protocol-specific conditions.
+enum class WireError : uint32_t {
+  kInvalidArgument = 1,
+  kBadFrame = 2,            // payload CRC mismatch or undecodable payload
+  kUnsupportedVersion = 3,  // peer speaks a different kProtocolVersion
+  kUnknownKind = 4,
+  kDeadlineExceeded = 5,
+  kShuttingDown = 6,
+  kInternal = 7,
+};
+const char* WireErrorName(WireError e);
+
+struct ErrorReply {
+  WireError code = WireError::kInternal;
+  std::string message;
+};
+
+std::vector<uint8_t> EncodeRecommend(const RecommendRequest& req);
+util::Status DecodeRecommend(std::span<const uint8_t> payload,
+                             const WireLimits& limits, RecommendRequest* out);
+
+std::vector<uint8_t> EncodeRecommendBatch(
+    const std::vector<RecommendRequest>& reqs);
+util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
+                                  const WireLimits& limits,
+                                  std::vector<RecommendRequest>* out);
+
+std::vector<uint8_t> EncodeResult(const RankedList& list);
+util::Status DecodeResult(std::span<const uint8_t> payload,
+                          const WireLimits& limits, RankedList* out);
+
+std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists);
+util::Status DecodeResultBatch(std::span<const uint8_t> payload,
+                               const WireLimits& limits,
+                               std::vector<RankedList>* out);
+
+std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s);
+util::Status DecodeStats(std::span<const uint8_t> payload,
+                         service::StatsSnapshot* out);
+
+std::vector<uint8_t> EncodeError(const ErrorReply& err);
+util::Status DecodeError(std::span<const uint8_t> payload,
+                         const WireLimits& limits, ErrorReply* out);
+
+// Converts a received ERROR reply into the util::Status a client returns.
+util::Status ErrorReplyToStatus(const ErrorReply& err);
+
+}  // namespace mbr::net
+
+#endif  // MBR_NET_PROTOCOL_H_

@@ -1,0 +1,562 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mbr::net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Server::Server(service::QueryEngine& engine, const ServerConfig& config)
+    : engine_(&engine), config_(config) {
+  if (config_.max_inflight == 0) config_.max_inflight = 1;
+  if (config_.dispatch_threads == 0) config_.dispatch_threads = 1;
+}
+
+Server::~Server() {
+  if (started_) {
+    RequestStop();
+    Wait();
+  }
+  for (int fd : {listen_fd_, epoll_fd_, stop_event_fd_, completion_event_fd_}) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+util::Status Server::Start() {
+  if (started_) return util::Status::FailedPrecondition("already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return util::Status::IoError(Errno("socket"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("bad host address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return util::Status::IoError(Errno("bind"));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return util::Status::IoError(Errno("getsockname"));
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 128) != 0) {
+    return util::Status::IoError(Errno("listen"));
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  stop_event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  completion_event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || stop_event_fd_ < 0 || completion_event_fd_ < 0) {
+    return util::Status::IoError(Errno("epoll_create1/eventfd"));
+  }
+  for (int fd : {listen_fd_, stop_event_fd_, completion_event_fd_}) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return util::Status::IoError(Errno("epoll_ctl ADD"));
+    }
+  }
+
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  for (uint32_t i = 0; i < config_.dispatch_threads; ++i) {
+    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  }
+  event_thread_ = std::thread([this] { EventLoop(); });
+  return util::Status::Ok();
+}
+
+void Server::RequestStop() {
+  if (stop_event_fd_ < 0) return;
+  uint64_t v = 1;
+  // write(2) is async-signal-safe; ignore the (impossible for eventfd)
+  // short-write result.
+  [[maybe_unused]] ssize_t n = ::write(stop_event_fd_, &v, sizeof(v));
+}
+
+void Server::Wait() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (event_thread_.joinable()) event_thread_.join();
+  for (std::thread& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+service::StatsSnapshot Server::StatsNow() const {
+  service::StatsSnapshot s = service::MakeStatsSnapshot(engine_->Stats());
+  s.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  const uint64_t acc = s.connections_accepted;
+  const uint64_t closed = closed_.load(std::memory_order_relaxed);
+  s.connections_open = acc >= closed ? acc - closed : 0;
+  return s;
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.accepted = accepted_.load(std::memory_order_relaxed);
+  c.refused = refused_.load(std::memory_order_relaxed);
+  c.closed = closed_.load(std::memory_order_relaxed);
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  c.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop.
+
+void Server::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!loop_done_) {
+    // Short timeout while draining so the drain-complete / grace checks run
+    // even with no socket activity.
+    const int timeout_ms = draining_ ? 20 : 500;
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd broken: unrecoverable
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        HandleAccept();
+      } else if (fd == stop_event_fd_) {
+        uint64_t v;
+        while (::read(stop_event_fd_, &v, sizeof(v)) > 0) {
+        }
+        BeginDrain();
+      } else if (fd == completion_event_fd_) {
+        uint64_t v;
+        while (::read(completion_event_fd_, &v, sizeof(v)) > 0) {
+        }
+        ProcessCompletions();
+      } else {
+        HandleConnectionEvent(fd, events[i].events);
+      }
+    }
+    // Completions may have been signalled while we were busy in this batch.
+    ProcessCompletions();
+    if (draining_) {
+      const bool grace_expired =
+          Clock::now() >=
+          drain_start_ + std::chrono::milliseconds(config_.drain_grace_ms);
+      if (DrainComplete() || grace_expired) FinishShutdown();
+    }
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::HandleAccept() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient error: nothing to accept
+    if (draining_ || conns_.size() >= config_.max_connections) {
+      refused_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    conns_[fd] =
+        std::make_unique<Connection>(fd, next_gen_++, config_.limits);
+    read_shutdown_[fd] = false;
+  }
+}
+
+void Server::HandleConnectionEvent(int fd, uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;  // already closed within this batch
+  Connection* conn = it->second.get();
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    CloseConnection(fd);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    FlushWrites(conn);
+    if (conns_.find(fd) == conns_.end()) return;  // closed by flush
+  }
+  if (!(events & EPOLLIN)) return;
+
+  uint8_t buf[65536];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      std::vector<Connection::Frame> frames;
+      util::Status st = conn->Ingest(buf, static_cast<size_t>(n), &frames);
+      if (!st.ok()) {
+        // Framing is broken: the stream can't be re-aligned, so the reply
+        // contract is "clean close".
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(fd);
+        return;
+      }
+      for (const Connection::Frame& f : frames) {
+        HandleFrame(conn, f);
+        if (conns_.find(fd) == conns_.end()) return;  // closed mid-batch
+      }
+    } else if (n == 0) {
+      // Peer half-closed. Finish what it is owed (queued replies and
+      // in-flight requests), then close.
+      read_shutdown_[fd] = true;
+      conn->set_close_after_flush();
+      if (!conn->has_pending_write() && conn->inflight() == 0) {
+        CloseConnection(fd);
+      } else {
+        UpdateEpollInterest(conn);
+      }
+      return;
+    } else {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnection(fd);
+      return;
+    }
+  }
+  FlushWrites(conn);
+}
+
+bool Server::QueueError(Connection* conn, uint64_t request_id, WireError code,
+                        const std::string& message) {
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint8_t> payload = EncodeError({code, message});
+  if (!conn->QueueReply(MessageKind::kError, request_id, payload)) {
+    CloseConnection(conn->fd());
+    return false;
+  }
+  return true;
+}
+
+void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
+  const FrameHeader& h = frame.header;
+  if (h.version != kProtocolVersion) {
+    if (QueueError(conn, h.request_id, WireError::kUnsupportedVersion,
+                   "server speaks protocol v" +
+                       std::to_string(kProtocolVersion) + ", client sent v" +
+                       std::to_string(h.version))) {
+      conn->set_close_after_flush();
+      FlushWrites(conn);
+    }
+    return;
+  }
+  if (util::Status st = VerifyPayloadCrc(h, frame.payload); !st.ok()) {
+    QueueError(conn, h.request_id, WireError::kBadFrame, st.message());
+    return;
+  }
+
+  switch (h.kind) {
+    case MessageKind::kPing:
+      if (!conn->QueueReply(MessageKind::kPong, h.request_id, {})) {
+        CloseConnection(conn->fd());
+      }
+      return;
+    case MessageKind::kStats: {
+      std::vector<uint8_t> payload = EncodeStats(StatsNow());
+      if (!conn->QueueReply(MessageKind::kStatsResult, h.request_id,
+                            payload)) {
+        CloseConnection(conn->fd());
+      }
+      return;
+    }
+    case MessageKind::kShutdown:
+      if (!conn->QueueReply(MessageKind::kShutdownAck, h.request_id, {})) {
+        CloseConnection(conn->fd());
+        return;
+      }
+      conn->set_close_after_flush();
+      FlushWrites(conn);
+      BeginDrain();
+      return;
+    case MessageKind::kRecommend:
+    case MessageKind::kRecommendBatch:
+      break;  // work requests, handled below
+    default:
+      QueueError(conn, h.request_id, WireError::kUnknownKind,
+                 "unhandled message kind " +
+                     std::to_string(static_cast<uint16_t>(h.kind)));
+      return;
+  }
+
+  if (draining_) {
+    QueueError(conn, h.request_id, WireError::kShuttingDown,
+               "server is draining");
+    return;
+  }
+
+  // Decode and validate against the engine's current bounds before
+  // admission — QueryEngine treats out-of-range queries as hard
+  // precondition violations, the wire layer must make them soft errors.
+  PendingRequest req;
+  req.conn_fd = conn->fd();
+  req.conn_gen = conn->gen();
+  req.request_id = h.request_id;
+  req.kind = h.kind;
+  std::vector<RecommendRequest> decoded;
+  if (h.kind == MessageKind::kRecommend) {
+    RecommendRequest r;
+    if (util::Status st = DecodeRecommend(frame.payload, config_.limits, &r);
+        !st.ok()) {
+      QueueError(conn, h.request_id, WireError::kBadFrame, st.message());
+      return;
+    }
+    decoded.push_back(r);
+  } else {
+    if (util::Status st =
+            DecodeRecommendBatch(frame.payload, config_.limits, &decoded);
+        !st.ok()) {
+      QueueError(conn, h.request_id, WireError::kBadFrame, st.message());
+      return;
+    }
+  }
+  // A reply the client's own frame cap would reject must never be
+  // produced: bound the worst-case result payload up front.
+  size_t reply_bytes = 4;  // list-count prefix
+  for (const RecommendRequest& r : decoded) {
+    reply_bytes += 4 + static_cast<size_t>(r.top_n) * kResultEntryBytes;
+  }
+  if (reply_bytes > config_.limits.max_payload_bytes) {
+    QueueError(conn, h.request_id, WireError::kInvalidArgument,
+               "reply would exceed the " +
+                   std::to_string(config_.limits.max_payload_bytes) +
+                   "-byte frame payload cap");
+    return;
+  }
+  const uint32_t num_nodes = engine_->num_nodes();
+  const uint32_t num_topics = engine_->num_topics();
+  req.queries.reserve(decoded.size());
+  for (const RecommendRequest& r : decoded) {
+    if (r.user >= num_nodes || r.topic >= num_topics) {
+      QueueError(conn, h.request_id, WireError::kInvalidArgument,
+                 "query out of range: user " + std::to_string(r.user) +
+                     " (nodes " + std::to_string(num_nodes) + "), topic " +
+                     std::to_string(r.topic) + " (topics " +
+                     std::to_string(num_topics) + ")");
+      return;
+    }
+    service::Query q;
+    q.user = r.user;
+    q.topic = static_cast<topics::TopicId>(r.topic);
+    q.top_n = r.top_n;
+    req.queries.push_back(q);
+  }
+
+  // Admission control: bounded in-flight, explicit shed beyond it.
+  uint32_t cur = inflight_.load(std::memory_order_relaxed);
+  if (cur >= config_.max_inflight) {
+    shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    if (!conn->QueueReply(MessageKind::kOverloaded, h.request_id, {})) {
+      CloseConnection(conn->fd());
+    }
+    return;
+  }
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  conn->add_inflight();
+  if (config_.request_deadline_ms > 0) {
+    req.has_deadline = true;
+    req.deadline = Clock::now() +
+                   std::chrono::milliseconds(config_.request_deadline_ms);
+  }
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    dispatch_queue_.push_back(std::move(req));
+  }
+  dispatch_cv_.notify_one();
+}
+
+void Server::ProcessCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& c : batch) {
+    auto it = conns_.find(c.conn_fd);
+    if (it == conns_.end() || it->second->gen() != c.conn_gen) {
+      continue;  // connection died while the request was in flight
+    }
+    Connection* conn = it->second.get();
+    conn->sub_inflight();
+    if (!conn->QueueEncoded(c.frame)) {
+      CloseConnection(c.conn_fd);
+      continue;
+    }
+    FlushWrites(conn);
+  }
+}
+
+void Server::FlushWrites(Connection* conn) {
+  const int fd = conn->fd();
+  while (conn->has_pending_write()) {
+    std::span<const uint8_t> out = conn->pending_write();
+    ssize_t n = ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->ConsumeWritten(static_cast<size_t>(n));
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      CloseConnection(fd);
+      return;
+    }
+  }
+  if (conn->close_after_flush() && !conn->has_pending_write() &&
+      conn->inflight() == 0) {
+    CloseConnection(fd);
+    return;
+  }
+  UpdateEpollInterest(conn);
+}
+
+void Server::UpdateEpollInterest(Connection* conn) {
+  epoll_event ev{};
+  ev.data.fd = conn->fd();
+  ev.events = 0;
+  if (!read_shutdown_[conn->fd()]) ev.events |= EPOLLIN;
+  if (conn->has_pending_write()) ev.events |= EPOLLOUT;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
+}
+
+void Server::CloseConnection(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+  read_shutdown_.erase(fd);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::BeginDrain() {
+  if (draining_) return;
+  draining_ = true;
+  drain_start_ = Clock::now();
+  // Closing the listen socket refuses new connections at the kernel.
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool Server::DrainComplete() {
+  if (inflight_.load(std::memory_order_acquire) != 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    if (!dispatch_queue_.empty()) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    if (!completions_.empty()) return false;
+  }
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->has_pending_write()) return false;
+  }
+  return true;
+}
+
+void Server::FinishShutdown() {
+  // Final completion sweep so a reply that raced the checks is not lost
+  // for connections that can still take it.
+  ProcessCompletions();
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it != conns_.end()) FlushWrites(it->second.get());
+    CloseConnection(fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    dispatch_stop_ = true;
+    dispatch_queue_.clear();
+  }
+  dispatch_cv_.notify_all();
+  loop_done_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchers.
+
+void Server::DispatchLoop() {
+  for (;;) {
+    PendingRequest req;
+    {
+      std::unique_lock<std::mutex> lock(dispatch_mu_);
+      dispatch_cv_.wait(lock, [this] {
+        return dispatch_stop_ || !dispatch_queue_.empty();
+      });
+      if (dispatch_queue_.empty()) return;  // stopping, queue drained
+      req = std::move(dispatch_queue_.front());
+      dispatch_queue_.pop_front();
+    }
+
+    std::vector<uint8_t> frame;
+    if (req.has_deadline && Clock::now() > req.deadline) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<uint8_t> payload = EncodeError(
+          {WireError::kDeadlineExceeded,
+           "deadline of " + std::to_string(config_.request_deadline_ms) +
+               "ms expired before execution"});
+      AppendFrame(MessageKind::kError, req.request_id, payload, &frame);
+    } else if (req.kind == MessageKind::kRecommend) {
+      const service::Query& q = req.queries.front();
+      RankedList list = engine_->Recommend(q.user, q.topic, q.top_n);
+      std::vector<uint8_t> payload = EncodeResult(list);
+      AppendFrame(MessageKind::kResult, req.request_id, payload, &frame);
+    } else {
+      std::vector<RankedList> lists = engine_->RecommendMany(req.queries);
+      std::vector<uint8_t> payload = EncodeResultBatch(lists);
+      AppendFrame(MessageKind::kResultBatch, req.request_id, payload, &frame);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      completions_.push_back({req.conn_fd, req.conn_gen, std::move(frame)});
+    }
+    inflight_.fetch_sub(1, std::memory_order_release);
+    uint64_t v = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(completion_event_fd_, &v, sizeof(v));
+  }
+}
+
+}  // namespace mbr::net

@@ -163,6 +163,16 @@ std::vector<std::vector<util::ScoredId>> QueryEngine::RecommendMany(
   return results;
 }
 
+uint32_t QueryEngine::num_nodes() const {
+  std::shared_lock<std::shared_mutex> lock(rebind_mu_);
+  return g_->num_nodes();
+}
+
+uint32_t QueryEngine::num_topics() const {
+  std::shared_lock<std::shared_mutex> lock(rebind_mu_);
+  return static_cast<uint32_t>(g_->num_topics());
+}
+
 void QueryEngine::Invalidate() {
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   invalidations_.fetch_add(1, std::memory_order_relaxed);

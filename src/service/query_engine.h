@@ -149,6 +149,11 @@ class QueryEngine {
     return epoch_.load(std::memory_order_relaxed);
   }
   uint32_t num_workers() const { return pool_.num_workers(); }
+  // Bounds of the currently-bound graph, for callers (e.g. the network
+  // server) that must validate queries before Recommend()'s hard
+  // preconditions. Consistent under a concurrent Rebind.
+  uint32_t num_nodes() const;
+  uint32_t num_topics() const;
   bool cache_enabled() const { return cache_ != nullptr; }
 
   EngineStats Stats() const;
@@ -195,7 +200,8 @@ class QueryEngine {
   EngineConfig config_;
 
   // Queries hold this shared; Rebind holds it exclusive to swap scorers.
-  std::shared_mutex rebind_mu_;
+  // Mutable so const accessors (num_nodes) can take the shared side.
+  mutable std::shared_mutex rebind_mu_;
   std::vector<Worker> workers_;
   std::unique_ptr<Cache> cache_;
 

@@ -1,0 +1,55 @@
+#ifndef MBR_SERVICE_SERVING_STATS_H_
+#define MBR_SERVICE_SERVING_STATS_H_
+
+// One plain-struct view of "how is this replica serving" shared by every
+// consumer: the STATS wire message (net/protocol encodes the fields as-is),
+// the `mbrec serve` periodic log line, and tests. Keeping a single snapshot
+// type means the network answer and the operator log can never drift apart.
+
+#include <cstdint>
+#include <string>
+
+#include "service/query_engine.h"
+
+namespace mbr::service {
+
+// Flat, trivially-copyable snapshot of serving counters. Engine-only
+// deployments leave the shed/connection fields zero; the network server
+// fills them in.
+struct StatsSnapshot {
+  uint64_t queries = 0;        // total queries admitted by the engine
+  uint64_t batches = 0;        // RecommendMany calls
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t invalidations = 0;
+  uint64_t params_epoch = 0;
+  // Admission control (network layer): requests refused with OVERLOADED,
+  // and requests whose deadline expired before a dispatcher picked them up.
+  uint64_t shed_overload = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  // Latency percentiles out of the engine's log2 histogram (lower bounds,
+  // microseconds; see EngineStats::LatencyPercentileMicros).
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+
+  double HitRate() const {
+    uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+};
+
+// Projects the engine's counters (histogram included) into the flat
+// snapshot; shed/connection fields are left for the caller.
+StatsSnapshot MakeStatsSnapshot(const EngineStats& s);
+
+// The canonical one-line rendering, e.g.
+//   "queries=120 hit=41.7% shed=3+0 conns=2/17 p50=128us p90=512us p99=1024us"
+// (shed is overload+deadline, conns is open/accepted).
+std::string FormatStatsLine(const StatsSnapshot& s);
+
+}  // namespace mbr::service
+
+#endif  // MBR_SERVICE_SERVING_STATS_H_

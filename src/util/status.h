@@ -23,6 +23,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kIoError,
+  kUnavailable,       // transient overload/shutdown: retrying may succeed
+  kDeadlineExceeded,  // the caller's deadline passed before completion
 };
 
 // Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -54,6 +56,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the network serving CLI:
+#   mbrec serve (ephemeral port) -> query-remote -> shutdown-remote -> drain.
+# Run by ctest as `cli_serve_smoke` (label: cli_serve). $MBREC points at the
+# built binary; $1 is a graph snapshot produced by `mbrec save-graph`.
+set -u
+
+MBREC="${MBREC:?set MBREC to the mbrec binary}"
+SNAPSHOT="${1:?usage: cli_serve_smoke.sh <snapshot.bin>}"
+LOG="$(mktemp)"
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -f "$LOG"' EXIT
+
+"$MBREC" serve --graph "$SNAPSHOT" --port 0 --stats-interval-s 1 \
+  >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the "listening on HOST:PORT" line (the ephemeral port lives
+# there) — up to ~15 s for slow sanitizer builds.
+PORT=""
+for _ in $(seq 1 150); do
+  PORT="$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "server died:"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "server never announced its port:"; cat "$LOG"; exit 1; }
+
+"$MBREC" query-remote --port "$PORT" --user 7 --topic technology --top 5 \
+  || { echo "query-remote failed"; cat "$LOG"; exit 1; }
+
+"$MBREC" shutdown-remote --port "$PORT" \
+  || { echo "shutdown-remote failed"; cat "$LOG"; exit 1; }
+
+# The server must drain and exit 0 on its own.
+for _ in $(seq 1 150); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "server failed to drain after shutdown-remote:"; cat "$LOG"; exit 1
+fi
+wait "$SERVE_PID"
+RC=$?
+[ "$RC" -eq 0 ] || { echo "server exited with $RC:"; cat "$LOG"; exit 1; }
+
+grep -q '^drained: queries=' "$LOG" \
+  || { echo "missing final stats line:"; cat "$LOG"; exit 1; }
+echo "serve smoke OK (port $PORT)"

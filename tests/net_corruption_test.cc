@@ -1,0 +1,192 @@
+// Hostile-bytes sweep against a LIVE loopback server, porting the
+// serde_corruption_test pattern to the wire: every single-byte truncation
+// and every single-bit flip of a valid RECOMMEND frame must produce either
+// a well-formed error/reply frame or a clean connection close — never a
+// crash, a hang, or (under ASan) an out-of-bounds read. After the sweep
+// the server must still answer a PING.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/authority.h"
+#include "graph/labeled_graph.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_engine.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::net {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using topics::TopicSet;
+
+class NetCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GraphBuilder b(8, 4);
+    for (uint32_t u = 0; u + 1 < 8; ++u) {
+      b.AddEdge(u, u + 1, TopicSet::Single(0));
+    }
+    graph_ = std::make_unique<LabeledGraph>(std::move(b).Build());
+    auth_ = std::make_unique<core::AuthorityIndex>(*graph_);
+    service::EngineConfig ec;
+    ec.num_threads = 1;
+    engine_ = std::make_unique<service::QueryEngine>(
+        *graph_, *auth_, topics::TwitterSimilarity(), ec);
+    ServerConfig cfg;
+    // The sweep opens ~250 sequential connections; keep the cap above any
+    // transient overlap from TIME_WAIT-free reuse.
+    cfg.max_connections = 1024;
+    server_ = std::make_unique<Server>(*engine_, cfg);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  int DialRaw() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  }
+
+  // Sends `bytes`, half-closes the write side, and drains whatever the
+  // server sends until it closes. Returns false (and fails the test) on a
+  // stall — the sweep's definition of a hang.
+  bool SendAndDrain(std::span<const uint8_t> bytes,
+                    std::vector<uint8_t>* reply) {
+    int fd = DialRaw();
+    if (!bytes.empty()) {
+      EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+                static_cast<ssize_t>(bytes.size()));
+    }
+    ::shutdown(fd, SHUT_WR);
+    uint8_t buf[4096];
+    for (;;) {
+      pollfd p{fd, POLLIN, 0};
+      int r = ::poll(&p, 1, 5000);
+      if (r <= 0) {
+        ADD_FAILURE() << "server stalled on hostile input";
+        ::close(fd);
+        return false;
+      }
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        // ECONNRESET counts as a clean refusal of a poisoned stream.
+        break;
+      }
+      if (n == 0) break;
+      reply->insert(reply->end(), buf, buf + n);
+    }
+    ::close(fd);
+    return true;
+  }
+
+  // Whatever came back must be zero or more well-formed frames; a reply
+  // the client-side parser chokes on is a server bug.
+  void ExpectWellFormedReplies(const std::vector<uint8_t>& reply) {
+    WireLimits limits;
+    size_t off = 0;
+    while (off < reply.size()) {
+      FrameHeader h;
+      ASSERT_EQ(ParseFrameHeader({reply.data() + off, reply.size() - off},
+                                 limits, &h),
+                HeaderParse::kOk)
+          << "ill-formed reply bytes at offset " << off;
+      ASSERT_LE(off + kFrameHeaderBytes + h.payload_len, reply.size());
+      ASSERT_TRUE(
+          VerifyPayloadCrc(
+              h, {reply.data() + off + kFrameHeaderBytes, h.payload_len})
+              .ok());
+      ASSERT_TRUE(IsReplyKind(h.kind)) << MessageKindName(h.kind);
+      off += kFrameHeaderBytes + h.payload_len;
+    }
+  }
+
+  void ExpectServerStillAlive() {
+    ClientConfig cc;
+    cc.port = server_->port();
+    auto client = Client::Connect(cc);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    EXPECT_TRUE(client->Ping().ok());
+  }
+
+  std::vector<uint8_t> ValidFrame() {
+    std::vector<uint8_t> frame;
+    AppendFrame(MessageKind::kRecommend, 77, EncodeRecommend({1, 0, 5}),
+                &frame);
+    return frame;
+  }
+
+  std::unique_ptr<LabeledGraph> graph_;
+  std::unique_ptr<core::AuthorityIndex> auth_;
+  std::unique_ptr<service::QueryEngine> engine_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(NetCorruptionTest, EveryTruncationClosesCleanly) {
+  const std::vector<uint8_t> frame = ValidFrame();
+  for (size_t keep = 0; keep < frame.size(); ++keep) {
+    SCOPED_TRACE("truncated to " + std::to_string(keep) + " bytes");
+    std::vector<uint8_t> reply;
+    if (!SendAndDrain({frame.data(), keep}, &reply)) break;
+    ExpectWellFormedReplies(reply);
+  }
+  ExpectServerStillAlive();
+}
+
+TEST_F(NetCorruptionTest, EveryBitFlipYieldsErrorOrClose) {
+  const std::vector<uint8_t> frame = ValidFrame();
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      SCOPED_TRACE("flip byte " + std::to_string(byte) + " bit " +
+                   std::to_string(bit));
+      std::vector<uint8_t> mutated = frame;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      std::vector<uint8_t> reply;
+      if (!SendAndDrain(mutated, &reply)) {
+        ExpectServerStillAlive();
+        return;
+      }
+      ExpectWellFormedReplies(reply);
+    }
+  }
+  ExpectServerStillAlive();
+}
+
+TEST_F(NetCorruptionTest, RandomGarbageIsSurvivable) {
+  // Deterministic xorshift garbage, including a few multi-KB blobs.
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<uint8_t>(state);
+  };
+  for (size_t len : {1u, 7u, 24u, 25u, 333u, 4096u}) {
+    SCOPED_TRACE("garbage length " + std::to_string(len));
+    std::vector<uint8_t> junk(len);
+    for (auto& b : junk) b = next();
+    std::vector<uint8_t> reply;
+    if (!SendAndDrain(junk, &reply)) break;
+    ExpectWellFormedReplies(reply);
+  }
+  ExpectServerStillAlive();
+}
+
+}  // namespace
+}  // namespace mbr::net

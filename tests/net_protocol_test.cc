@@ -1,0 +1,225 @@
+// Wire protocol unit tests: frame encode/parse, CRC coverage, and the
+// bounded payload codecs. Hostile inputs must fail with a clean Status —
+// the live-server counterpart of these checks is net_corruption_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/protocol.h"
+
+namespace mbr::net {
+namespace {
+
+std::vector<uint8_t> Frame(MessageKind kind, uint64_t id,
+                           std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  AppendFrame(kind, id, payload, &out);
+  return out;
+}
+
+TEST(NetProtocolTest, FrameRoundTrip) {
+  RecommendRequest req{7, 3, 10};
+  std::vector<uint8_t> payload = EncodeRecommend(req);
+  std::vector<uint8_t> frame = Frame(MessageKind::kRecommend, 42, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  FrameHeader h;
+  WireLimits limits;
+  ASSERT_EQ(ParseFrameHeader(frame, limits, &h), HeaderParse::kOk);
+  EXPECT_EQ(h.version, kProtocolVersion);
+  EXPECT_EQ(h.kind, MessageKind::kRecommend);
+  EXPECT_EQ(h.request_id, 42u);
+  EXPECT_EQ(h.payload_len, payload.size());
+
+  std::span<const uint8_t> body(frame.data() + kFrameHeaderBytes,
+                                h.payload_len);
+  ASSERT_TRUE(VerifyPayloadCrc(h, body).ok());
+  RecommendRequest back;
+  ASSERT_TRUE(DecodeRecommend(body, limits, &back).ok());
+  EXPECT_EQ(back.user, 7u);
+  EXPECT_EQ(back.topic, 3u);
+  EXPECT_EQ(back.top_n, 10u);
+}
+
+TEST(NetProtocolTest, ShortHeaderNeedsMore) {
+  std::vector<uint8_t> frame = Frame(MessageKind::kPing, 1, {});
+  FrameHeader h;
+  WireLimits limits;
+  for (size_t n = 0; n < kFrameHeaderBytes; ++n) {
+    EXPECT_EQ(ParseFrameHeader({frame.data(), n}, limits, &h),
+              HeaderParse::kNeedMore)
+        << "prefix length " << n;
+  }
+}
+
+TEST(NetProtocolTest, BadMagicIsMalformed) {
+  std::vector<uint8_t> frame = Frame(MessageKind::kPing, 1, {});
+  frame[0] ^= 0xFF;
+  FrameHeader h;
+  WireLimits limits;
+  EXPECT_EQ(ParseFrameHeader(frame, limits, &h), HeaderParse::kMalformed);
+}
+
+TEST(NetProtocolTest, OversizedDeclaredPayloadIsMalformed) {
+  std::vector<uint8_t> frame = Frame(MessageKind::kPing, 1, {});
+  WireLimits limits;
+  uint32_t huge = limits.max_payload_bytes + 1;
+  std::memcpy(frame.data() + 16, &huge, sizeof(huge));  // payload_len field
+  FrameHeader h;
+  EXPECT_EQ(ParseFrameHeader(frame, limits, &h), HeaderParse::kMalformed);
+}
+
+TEST(NetProtocolTest, CrcCatchesPayloadFlip) {
+  std::vector<uint8_t> payload = EncodeRecommend({1, 1, 1});
+  std::vector<uint8_t> frame = Frame(MessageKind::kRecommend, 9, payload);
+  frame[kFrameHeaderBytes] ^= 0x01;  // first payload byte
+  FrameHeader h;
+  WireLimits limits;
+  ASSERT_EQ(ParseFrameHeader(frame, limits, &h), HeaderParse::kOk);
+  std::span<const uint8_t> body(frame.data() + kFrameHeaderBytes,
+                                h.payload_len);
+  EXPECT_FALSE(VerifyPayloadCrc(h, body).ok());
+}
+
+TEST(NetProtocolTest, UnknownVersionStillParsesHeader) {
+  // Version is surfaced, not rejected, so the server can send a typed
+  // ERROR(UNSUPPORTED_VERSION) echoing the request id.
+  std::vector<uint8_t> frame = Frame(MessageKind::kPing, 5, {});
+  uint16_t v2 = 2;
+  std::memcpy(frame.data() + 4, &v2, sizeof(v2));
+  FrameHeader h;
+  WireLimits limits;
+  ASSERT_EQ(ParseFrameHeader(frame, limits, &h), HeaderParse::kOk);
+  EXPECT_EQ(h.version, 2u);
+  EXPECT_EQ(h.request_id, 5u);
+}
+
+TEST(NetProtocolTest, RecommendRejectsZeroAndOversizedTopN) {
+  WireLimits limits;
+  RecommendRequest out;
+  EXPECT_FALSE(DecodeRecommend(EncodeRecommend({0, 0, 0}), limits, &out).ok());
+  EXPECT_FALSE(
+      DecodeRecommend(EncodeRecommend({0, 0, limits.max_list + 1}), limits,
+                      &out)
+          .ok());
+}
+
+TEST(NetProtocolTest, RecommendRejectsTrailingBytes) {
+  WireLimits limits;
+  std::vector<uint8_t> payload = EncodeRecommend({1, 1, 1});
+  payload.push_back(0);
+  RecommendRequest out;
+  EXPECT_FALSE(DecodeRecommend(payload, limits, &out).ok());
+}
+
+TEST(NetProtocolTest, BatchRoundTripAndBounds) {
+  WireLimits limits;
+  std::vector<RecommendRequest> reqs = {{1, 0, 5}, {2, 1, 3}};
+  std::vector<RecommendRequest> back;
+  ASSERT_TRUE(
+      DecodeRecommendBatch(EncodeRecommendBatch(reqs), limits, &back).ok());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[1].user, 2u);
+  EXPECT_EQ(back[1].top_n, 3u);
+
+  // Empty batches and batches over the cap are rejected.
+  EXPECT_FALSE(DecodeRecommendBatch(EncodeRecommendBatch({}), limits, &back)
+                   .ok());
+  // A declared count far beyond the bytes present must fail before any
+  // allocation: craft count=max_batch with a single query's bytes.
+  std::vector<uint8_t> lying = EncodeRecommendBatch({{1, 0, 5}});
+  std::memcpy(lying.data(), &limits.max_batch, sizeof(uint32_t));
+  EXPECT_FALSE(DecodeRecommendBatch(lying, limits, &back).ok());
+}
+
+TEST(NetProtocolTest, ResultRoundTripPreservesScores) {
+  WireLimits limits;
+  RankedList list = {{11, 0.5}, {22, 0.25}, {33, 1e-9}};
+  RankedList back;
+  ASSERT_TRUE(DecodeResult(EncodeResult(list), limits, &back).ok());
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].id, 11u);
+  EXPECT_DOUBLE_EQ(back[2].score, 1e-9);
+
+  std::vector<RankedList> lists = {list, {}, {{1, 1.0}}};
+  std::vector<RankedList> lists_back;
+  ASSERT_TRUE(
+      DecodeResultBatch(EncodeResultBatch(lists), limits, &lists_back).ok());
+  ASSERT_EQ(lists_back.size(), 3u);
+  EXPECT_TRUE(lists_back[1].empty());
+  EXPECT_EQ(lists_back[2][0].id, 1u);
+}
+
+TEST(NetProtocolTest, ResultEntryBytesMatchesEncoding) {
+  RankedList one = {{1, 1.0}};
+  RankedList two = {{1, 1.0}, {2, 2.0}};
+  EXPECT_EQ(EncodeResult(two).size() - EncodeResult(one).size(),
+            kResultEntryBytes);
+}
+
+TEST(NetProtocolTest, StatsRoundTrip) {
+  service::StatsSnapshot s;
+  s.queries = 100;
+  s.cache_hits = 40;
+  s.cache_misses = 60;
+  s.shed_overload = 3;
+  s.connections_accepted = 17;
+  s.p99_us = 1024.0;
+  service::StatsSnapshot back;
+  WireLimits limits;
+  (void)limits;
+  ASSERT_TRUE(DecodeStats(EncodeStats(s), &back).ok());
+  EXPECT_EQ(back.queries, 100u);
+  EXPECT_EQ(back.shed_overload, 3u);
+  EXPECT_EQ(back.connections_accepted, 17u);
+  EXPECT_DOUBLE_EQ(back.p99_us, 1024.0);
+  EXPECT_DOUBLE_EQ(back.HitRate(), 0.4);
+}
+
+TEST(NetProtocolTest, ErrorRoundTripAndStatusMapping) {
+  WireLimits limits;
+  ErrorReply err{WireError::kDeadlineExceeded, "too slow"};
+  ErrorReply back;
+  ASSERT_TRUE(DecodeError(EncodeError(err), limits, &back).ok());
+  EXPECT_EQ(back.code, WireError::kDeadlineExceeded);
+  EXPECT_EQ(back.message, "too slow");
+  EXPECT_EQ(ErrorReplyToStatus(back).code(),
+            util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(
+      ErrorReplyToStatus({WireError::kShuttingDown, ""}).code(),
+      util::StatusCode::kUnavailable);
+  EXPECT_EQ(
+      ErrorReplyToStatus({WireError::kInvalidArgument, ""}).code(),
+      util::StatusCode::kInvalidArgument);
+
+  // An ERROR whose message exceeds the cap must not allocate/accept it.
+  ErrorReply big{WireError::kInternal,
+                 std::string(limits.max_error_msg + 1, 'x')};
+  EXPECT_FALSE(DecodeError(EncodeError(big), limits, &back).ok());
+}
+
+TEST(NetProtocolTest, PayloadReaderStopsAtTruncation) {
+  // Truncate a valid batch payload at every length; decode must never read
+  // out of bounds (ASan) and must fail for every strict prefix.
+  WireLimits limits;
+  std::vector<uint8_t> payload =
+      EncodeRecommendBatch({{1, 0, 5}, {2, 1, 3}, {3, 2, 7}});
+  std::vector<RecommendRequest> out;
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(
+        DecodeRecommendBatch({payload.data(), n}, limits, &out).ok())
+        << "prefix length " << n;
+  }
+}
+
+TEST(NetProtocolTest, KindNamesAndClasses) {
+  EXPECT_STREQ(MessageKindName(MessageKind::kRecommend), "RECOMMEND");
+  EXPECT_TRUE(IsRequestKind(MessageKind::kRecommend));
+  EXPECT_FALSE(IsReplyKind(MessageKind::kRecommend));
+  EXPECT_TRUE(IsReplyKind(MessageKind::kOverloaded));
+  EXPECT_FALSE(IsRequestKind(static_cast<MessageKind>(200)));
+}
+
+}  // namespace
+}  // namespace mbr::net

@@ -1,0 +1,103 @@
+// The serving-stats snapshot (service/serving_stats.h): projection from
+// EngineStats, percentile plumbing, and the canonical log-line format that
+// `mbrec serve` prints and the STATS wire reply mirrors.
+
+#include <gtest/gtest.h>
+
+#include "core/authority.h"
+#include "graph/labeled_graph.h"
+#include "service/query_engine.h"
+#include "service/serving_stats.h"
+#include "topics/similarity_matrix.h"
+
+namespace mbr::service {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using topics::TopicSet;
+
+TEST(ServingStatsTest, SnapshotProjectsCountersAndPercentiles) {
+  EngineStats e;
+  e.queries = 120;
+  e.batches = 4;
+  e.cache_hits = 50;
+  e.cache_misses = 70;
+  e.invalidations = 2;
+  e.params_epoch = 3;
+  // 90 samples in bucket 5 ([32, 64) us), 10 in bucket 10 ([1024, 2048)).
+  e.latency_log2_us[5] = 90;
+  e.latency_log2_us[10] = 10;
+
+  StatsSnapshot s = MakeStatsSnapshot(e);
+  EXPECT_EQ(s.queries, 120u);
+  EXPECT_EQ(s.batches, 4u);
+  EXPECT_EQ(s.cache_hits, 50u);
+  EXPECT_EQ(s.cache_misses, 70u);
+  EXPECT_EQ(s.invalidations, 2u);
+  EXPECT_EQ(s.params_epoch, 3u);
+  // Network-layer fields are the caller's job.
+  EXPECT_EQ(s.shed_overload, 0u);
+  EXPECT_EQ(s.connections_accepted, 0u);
+  // Percentiles match the histogram's own accessor.
+  EXPECT_DOUBLE_EQ(s.p50_us, e.LatencyPercentileMicros(0.50));
+  EXPECT_DOUBLE_EQ(s.p90_us, e.LatencyPercentileMicros(0.90));
+  EXPECT_DOUBLE_EQ(s.p99_us, e.LatencyPercentileMicros(0.99));
+  EXPECT_DOUBLE_EQ(s.p50_us, 32.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 1024.0);
+  EXPECT_NEAR(s.HitRate(), 50.0 / 120.0, 1e-12);
+}
+
+TEST(ServingStatsTest, SnapshotOfFreshEngineIsAllZeros) {
+  StatsSnapshot s = MakeStatsSnapshot(EngineStats{});
+  EXPECT_EQ(s.queries, 0u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.HitRate(), 0.0);
+}
+
+TEST(ServingStatsTest, FormatLineContainsEveryField) {
+  StatsSnapshot s;
+  s.queries = 120;
+  s.cache_hits = 50;
+  s.cache_misses = 70;
+  s.shed_overload = 3;
+  s.shed_deadline = 1;
+  s.connections_accepted = 17;
+  s.connections_open = 2;
+  s.p50_us = 32.0;
+  s.p90_us = 64.0;
+  s.p99_us = 1024.0;
+  std::string line = FormatStatsLine(s);
+  EXPECT_NE(line.find("queries=120"), std::string::npos) << line;
+  EXPECT_NE(line.find("hit=41.7%"), std::string::npos) << line;
+  EXPECT_NE(line.find("shed=3+1"), std::string::npos) << line;
+  EXPECT_NE(line.find("conns=2/17"), std::string::npos) << line;
+  EXPECT_NE(line.find("p50=32us"), std::string::npos) << line;
+  EXPECT_NE(line.find("p90=64us"), std::string::npos) << line;
+  EXPECT_NE(line.find("p99=1024us"), std::string::npos) << line;
+}
+
+TEST(ServingStatsTest, LiveEngineRoundTrip) {
+  GraphBuilder b(4, 4);
+  b.AddEdge(0, 1, TopicSet::Single(0));
+  b.AddEdge(1, 2, TopicSet::Single(0));
+  LabeledGraph g = std::move(b).Build();
+  core::AuthorityIndex auth(g);
+  EngineConfig ec;
+  ec.num_threads = 1;
+  ec.cache_capacity = 16;
+  QueryEngine engine(g, auth, topics::TwitterSimilarity(), ec);
+  engine.Recommend(0, 0, 5);
+  engine.Recommend(0, 0, 5);
+
+  StatsSnapshot s = MakeStatsSnapshot(engine.Stats());
+  EXPECT_EQ(s.queries, 2u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  // The two queries landed somewhere in the histogram: p50 is a valid
+  // bucket lower bound (>= 1 us by construction of the log2 buckets).
+  EXPECT_GE(s.p50_us, 1.0);
+}
+
+}  // namespace
+}  // namespace mbr::service

@@ -1,0 +1,105 @@
+// Unit tests for the extracted mbrec flag parser (tools/args.h): trailing
+// flags, unknown flags, positional junk, and duplicates must all be clean
+// usage errors, never silently dropped pairs.
+
+#include <gtest/gtest.h>
+
+#include "tools/args.h"
+
+namespace mbr::tools {
+namespace {
+
+util::Result<Args> Parse(std::vector<const char*> argv,
+                         const std::vector<std::string>& allowed = {}) {
+  argv.insert(argv.begin(), "mbrec");
+  return Args::Parse(static_cast<int>(argv.size()), argv.data(), 1, allowed);
+}
+
+TEST(ArgsTest, ParsesFlagValuePairs) {
+  auto args = Parse({"--graph", "g.bin", "--top", "5"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->Get("graph"), "g.bin");
+  EXPECT_EQ(args->GetInt("top", 10), 5);
+  EXPECT_EQ(args->GetInt("missing", 10), 10);
+  EXPECT_EQ(args->Get("missing", "fallback"), "fallback");
+  EXPECT_TRUE(args->Has("graph"));
+  EXPECT_FALSE(args->Has("missing"));
+}
+
+TEST(ArgsTest, EmptyCommandLineIsFine) {
+  auto args = Parse({});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args->Has("anything"));
+}
+
+TEST(ArgsTest, TrailingFlagWithoutValueIsAnError) {
+  auto args = Parse({"--graph", "g.bin", "--top"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.status().message().find("--top"), std::string::npos);
+  EXPECT_NE(args.status().message().find("missing its value"),
+            std::string::npos);
+}
+
+TEST(ArgsTest, LoneTrailingFlagIsAnError) {
+  auto args = Parse({"--graph"});
+  ASSERT_FALSE(args.ok());
+}
+
+TEST(ArgsTest, PositionalTokenIsAnError) {
+  auto args = Parse({"graph.bin", "--top", "5"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.status().message().find("graph.bin"), std::string::npos);
+}
+
+TEST(ArgsTest, BareDoubleDashIsAnError) {
+  auto args = Parse({"--", "x"});
+  ASSERT_FALSE(args.ok());
+}
+
+TEST(ArgsTest, UnknownFlagIsReportedWithAllowedSet) {
+  auto args = Parse({"--grpah", "g.bin"}, {"graph", "vocab"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.status().message().find("--grpah"), std::string::npos);
+  EXPECT_NE(args.status().message().find("--graph"), std::string::npos);
+  EXPECT_NE(args.status().message().find("--vocab"), std::string::npos);
+}
+
+TEST(ArgsTest, AllowedFlagsPass) {
+  auto args = Parse({"--graph", "g.bin", "--vocab", "dblp"},
+                    {"graph", "vocab"});
+  ASSERT_TRUE(args.ok()) << args.status().ToString();
+  EXPECT_EQ(args->Get("vocab"), "dblp");
+}
+
+TEST(ArgsTest, EmptyAllowedListAcceptsAnyFlag) {
+  auto args = Parse({"--whatever", "1"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetInt("whatever", 0), 1);
+}
+
+TEST(ArgsTest, DuplicateFlagIsAnError) {
+  auto args = Parse({"--top", "5", "--top", "6"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.status().message().find("more than once"),
+            std::string::npos);
+}
+
+TEST(ArgsTest, RequireReportsMissingFlag) {
+  auto args = Parse({"--graph", "g.bin"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->Require("graph").ok());
+  auto missing = args->Require("out");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("--out"), std::string::npos);
+}
+
+TEST(ArgsTest, FlagValueMayLookLikeAFlag) {
+  // "--out --weird" consumes "--weird" as the value, by design (strict
+  // pair alternation); the next token is then parsed as a flag again.
+  auto args = Parse({"--out", "--weird"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->Get("out"), "--weird");
+}
+
+}  // namespace
+}  // namespace mbr::tools

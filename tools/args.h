@@ -1,0 +1,79 @@
+#ifndef MBR_TOOLS_ARGS_H_
+#define MBR_TOOLS_ARGS_H_
+
+// Tiny --key value argument parser shared by the mbrec subcommands,
+// extracted so its edge cases are unit-testable (tests/tools_args_test.cc).
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mbr::tools {
+
+// Parses strictly alternating "--flag value" pairs. Each malformed command
+// line yields a descriptive InvalidArgument status instead of silently
+// dropping tokens:
+//   * a positional token where a --flag was expected,
+//   * a trailing --flag with no value,
+//   * a flag not in `allowed` (when a non-empty list is given),
+//   * the same flag given twice.
+class Args {
+ public:
+  static util::Result<Args> Parse(int argc, const char* const* argv,
+                                  int first,
+                                  const std::vector<std::string>& allowed) {
+    Args out;
+    for (int i = first; i < argc; i += 2) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+        return util::Status::InvalidArgument("expected --flag, got '" +
+                                             token + "'");
+      }
+      const std::string key = token.substr(2);
+      if (i + 1 >= argc) {
+        return util::Status::InvalidArgument("flag --" + key +
+                                             " is missing its value");
+      }
+      if (!allowed.empty() &&
+          std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+        std::string msg = "unknown flag --" + key + " (expected one of:";
+        for (const std::string& a : allowed) msg += " --" + a;
+        msg += ")";
+        return util::Status::InvalidArgument(msg);
+      }
+      if (!out.values_.emplace(key, argv[i + 1]).second) {
+        return util::Status::InvalidArgument("flag --" + key +
+                                             " given more than once");
+      }
+    }
+    return out;
+  }
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atoll(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+  util::Result<std::string> Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return util::Status::InvalidArgument("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mbr::tools
+
+#endif  // MBR_TOOLS_ARGS_H_

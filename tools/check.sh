@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Repo-wide check runner:
+#   1. tier-1: full build + full ctest suite   (build/)
+#   2. ASan:   serde + net suites              (build-asan/)
+#   3. TSan:   service + net suites            (build-tsan/)
+#
+# The sanitizer passes reuse the persistent build-asan/ and build-tsan/
+# trees (configured here on first run) and only build/run the labeled
+# suites they exist to harden: byte-level parsers under ASan, the
+# concurrent engine + epoll server under TSan.
+#
+# Usage: tools/check.sh [tier1|asan|tsan|all]   (default: all)
+set -e
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+MODE="${1:-all}"
+JOBS="${JOBS:-$(nproc)}"
+
+run_tier1() {
+  echo "==> tier-1: full build + ctest"
+  cmake -B "$REPO/build" -S "$REPO" >/dev/null
+  cmake --build "$REPO/build" -j "$JOBS"
+  (cd "$REPO/build" && ctest --output-on-failure -j "$JOBS")
+}
+
+run_sanitized() {  # $1=sanitizer $2=build-dir $3=label-regex
+  echo "==> $1: suites matching -L '$3'"
+  cmake -B "$2" -S "$REPO" -DMBR_SANITIZE="$1" >/dev/null
+  cmake --build "$2" -j "$JOBS"
+  (cd "$2" && ctest -L "$3" --output-on-failure -j "$JOBS")
+}
+
+case "$MODE" in
+  tier1) run_tier1 ;;
+  asan)  run_sanitized address "$REPO/build-asan" 'serde|net' ;;
+  tsan)  run_sanitized thread "$REPO/build-tsan" 'service|net' ;;
+  all)
+    run_tier1
+    run_sanitized address "$REPO/build-asan" 'serde|net'
+    run_sanitized thread "$REPO/build-tsan" 'service|net'
+    ;;
+  *) echo "usage: tools/check.sh [tier1|asan|tsan|all]" >&2; exit 2 ;;
+esac
+echo "==> check.sh: $MODE OK"

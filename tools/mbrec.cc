@@ -15,19 +15,33 @@
 //   mbrec save-graph --graph graph.{bin|edges} --out snapshot.bin
 //   mbrec load      --graph snapshot.bin [--index index.bin] [--user U]
 //                   [--topic technology] [--top 10] [--vocab twitter|dblp]
+//   mbrec serve     --graph snapshot.bin [--index index.bin] [--host H]
+//                   [--port P] [--threads N] [--cache C] [--max-inflight M]
+//                   [--max-connections K] [--deadline-ms D] [--drain-ms G]
+//                   [--stats-interval-s S] [--vocab twitter|dblp]
+//   mbrec query-remote    --port P --user U --topic technology [--host H]
+//                   [--top 10] [--timeout-ms T] [--vocab twitter|dblp]
+//   mbrec shutdown-remote --port P [--host H] [--timeout-ms T]
 //
 // Binary graphs (.bin) round-trip exactly; .edges files use the
 // human-readable labeled edge-list format. `save-graph` converts any
 // readable graph into the versioned+checksummed snapshot format and `load`
 // warm-starts a QueryEngine replica from a snapshot (plus an optional
-// landmark index) and serves one query through it.
+// landmark index) and serves one query through it. `serve` runs the same
+// warm-started replica behind the epoll network front end (src/net/) until
+// SIGINT/SIGTERM or a SHUTDOWN frame drains it; `query-remote` and
+// `shutdown-remote` talk to a running server over the wire protocol.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/katz.h"
 #include "baselines/twitterrank.h"
@@ -39,7 +53,11 @@
 #include "graph/edgelist.h"
 #include "graph/labeled_graph.h"
 #include "graph/snapshot.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/serving_stats.h"
 #include "service/warm_start.h"
+#include "tools/args.h"
 #include "landmark/approx.h"
 #include "landmark/index.h"
 #include "distributed/partition.h"
@@ -54,39 +72,16 @@ namespace {
 
 using namespace mbr;
 
-// ---- Tiny --key value argument parser.
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
-        std::exit(2);
-      }
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-  }
+using tools::Args;  // --key value parser; see tools/args.h
 
-  std::string Get(const std::string& key, const std::string& def = "") const {
-    auto it = values_.find(key);
-    return it == values_.end() ? def : it->second;
+std::string Require(const Args& args, const std::string& key) {
+  auto value = args.Require(key);
+  if (!value.ok()) {
+    std::fprintf(stderr, "%s\n", value.status().message().c_str());
+    std::exit(2);
   }
-  int64_t GetInt(const std::string& key, int64_t def) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? def : std::atoll(it->second.c_str());
-  }
-  std::string Require(const std::string& key) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) {
-      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
-      std::exit(2);
-    }
-    return it->second;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+  return *value;
+}
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -124,7 +119,7 @@ graph::LabeledGraph LoadGraph(const std::string& path,
 
 int CmdGenerate(const Args& args) {
   std::string dataset = args.Get("dataset", "twitter");
-  std::string out = args.Require("out");
+  std::string out = Require(args, "out");
   uint32_t nodes = static_cast<uint32_t>(args.GetInt("nodes", 20000));
   uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 0));
 
@@ -159,7 +154,7 @@ int CmdGenerate(const Args& args) {
 
 int CmdStats(const Args& args) {
   const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
-  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+  graph::LabeledGraph g = LoadGraph(Require(args, "graph"), vocab);
   graph::DegreeStatistics s = ComputeDegreeStatistics(g);
   util::TablePrinter tp({"property", "value"});
   tp.AddRow({"nodes", util::TablePrinter::Int(s.num_nodes)});
@@ -189,8 +184,8 @@ int CmdStats(const Args& args) {
 int CmdLandmarks(const Args& args) {
   const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
   const auto& sim = SimFor(args.Get("vocab", "twitter"));
-  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
-  std::string out = args.Require("out");
+  graph::LabeledGraph g = LoadGraph(Require(args, "graph"), vocab);
+  std::string out = Require(args, "out");
 
   landmark::SelectionStrategy strategy = landmark::SelectionStrategy::kFollow;
   std::string name = args.Get("strategy", "Follow");
@@ -231,16 +226,16 @@ int CmdRecommend(const Args& args) {
   std::string vocab_name = args.Get("vocab", "twitter");
   const auto& vocab = VocabFor(vocab_name);
   const auto& sim = SimFor(vocab_name);
-  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+  graph::LabeledGraph g = LoadGraph(Require(args, "graph"), vocab);
   graph::NodeId user = static_cast<graph::NodeId>(args.GetInt("user", 0));
   if (user >= g.num_nodes()) {
     std::fprintf(stderr, "user %u out of range\n", user);
     return 2;
   }
-  topics::TopicId topic = vocab.Id(args.Require("topic"));
+  std::string topic_name = Require(args, "topic");
+  topics::TopicId topic = vocab.Id(topic_name);
   if (topic == topics::kInvalidTopic) {
-    std::fprintf(stderr, "unknown topic '%s'\n",
-                 args.Require("topic").c_str());
+    std::fprintf(stderr, "unknown topic '%s'\n", topic_name.c_str());
     return 2;
   }
   size_t top = static_cast<size_t>(args.GetInt("top", 10));
@@ -284,7 +279,7 @@ int CmdRecommend(const Args& args) {
 
 int CmdPartition(const Args& args) {
   const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
-  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+  graph::LabeledGraph g = LoadGraph(Require(args, "graph"), vocab);
   uint32_t parts = static_cast<uint32_t>(args.GetInt("parts", 4));
   util::TablePrinter tp({"strategy", "edge cut", "balance"});
   for (auto strategy : {distributed::PartitionStrategy::kHash,
@@ -306,7 +301,7 @@ int CmdPartition(const Args& args) {
 
 int CmdAnalyze(const Args& args) {
   const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
-  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+  graph::LabeledGraph g = LoadGraph(Require(args, "graph"), vocab);
   util::Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
   util::TablePrinter tp({"metric", "value"});
   tp.AddRow({"reciprocity",
@@ -331,8 +326,8 @@ int CmdAnalyze(const Args& args) {
 
 int CmdSaveGraph(const Args& args) {
   const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
-  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
-  std::string out = args.Require("out");
+  graph::LabeledGraph g = LoadGraph(Require(args, "graph"), vocab);
+  std::string out = Require(args, "out");
   util::Status st = graph::Snapshot::Save(g, out);
   if (!st.ok()) {
     std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
@@ -354,7 +349,7 @@ int CmdLoad(const Args& args) {
 
   service::EngineConfig cfg;
   cfg.cache_capacity = 4096;
-  auto replica = service::WarmStart(args.Require("graph"),
+  auto replica = service::WarmStart(Require(args, "graph"),
                                     args.Get("index"), sim, cfg);
   if (!replica.ok()) {
     std::fprintf(stderr, "warm start failed: %s\n",
@@ -402,7 +397,7 @@ int CmdEval(const Args& args) {
   std::string vocab_name = args.Get("vocab", "twitter");
   const auto& vocab = VocabFor(vocab_name);
   const auto& sim = SimFor(vocab_name);
-  graph::LabeledGraph g = LoadGraph(args.Require("graph"), vocab);
+  graph::LabeledGraph g = LoadGraph(Require(args, "graph"), vocab);
 
   core::ScoreParams params;
   auto algos = eval::StandardAlgorithms(sim, params, false);
@@ -420,11 +415,180 @@ int CmdEval(const Args& args) {
   return 0;
 }
 
+// ---- Network serving commands (src/net/).
+
+std::atomic<net::Server*> g_serve_server{nullptr};
+
+// RequestStop is one eventfd write, so calling it from the handler is safe.
+void ServeSignalHandler(int) {
+  net::Server* server = g_serve_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestStop();
+}
+
+int CmdServe(const Args& args) {
+  const auto& sim = SimFor(args.Get("vocab", "twitter"));
+
+  service::EngineConfig ecfg;
+  ecfg.cache_capacity = static_cast<size_t>(args.GetInt("cache", 4096));
+  int64_t threads = args.GetInt("threads", 0);
+  if (threads > 0) ecfg.num_threads = static_cast<uint32_t>(threads);
+  auto replica = service::WarmStart(Require(args, "graph"),
+                                    args.Get("index"), sim, ecfg);
+  if (!replica.ok()) {
+    std::fprintf(stderr, "warm start failed: %s\n",
+                 replica.status().ToString().c_str());
+    return 1;
+  }
+  service::ServingReplica& rep = **replica;
+
+  net::ServerConfig scfg;
+  scfg.host = args.Get("host", "127.0.0.1");
+  scfg.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  scfg.max_connections =
+      static_cast<uint32_t>(args.GetInt("max-connections", 256));
+  scfg.max_inflight = static_cast<uint32_t>(args.GetInt("max-inflight", 64));
+  scfg.request_deadline_ms =
+      static_cast<uint32_t>(args.GetInt("deadline-ms", 1000));
+  scfg.drain_grace_ms = static_cast<uint32_t>(args.GetInt("drain-ms", 5000));
+
+  net::Server server(*rep.engine, scfg);
+  util::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  g_serve_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+
+  std::printf("serving %u nodes, %llu edges (%s scoring, %u workers)\n",
+              rep.graph.num_nodes(),
+              static_cast<unsigned long long>(rep.graph.num_edges()),
+              rep.landmarks != nullptr ? "landmark-approximate" : "exact",
+              rep.engine->num_workers());
+  std::printf("listening on %s:%u\n", scfg.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  // Periodic operator log line; same snapshot the STATS wire reply uses.
+  const int64_t interval_s = args.GetInt("stats-interval-s", 10);
+  auto last_line = std::chrono::steady_clock::now();
+  while (server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    auto now = std::chrono::steady_clock::now();
+    if (interval_s > 0 && now - last_line >= std::chrono::seconds(interval_s)) {
+      std::printf("%s\n", service::FormatStatsLine(server.StatsNow()).c_str());
+      std::fflush(stdout);
+      last_line = now;
+    }
+  }
+  server.Wait();
+  g_serve_server.store(nullptr, std::memory_order_release);
+  std::printf("drained: %s\n",
+              service::FormatStatsLine(server.StatsNow()).c_str());
+  return 0;
+}
+
+util::Result<net::Client> RemoteConnect(const Args& args) {
+  net::ClientConfig cfg;
+  cfg.host = args.Get("host", "127.0.0.1");
+  cfg.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  if (cfg.port == 0) {
+    return util::Status::InvalidArgument("--port is required");
+  }
+  cfg.request_timeout_ms =
+      static_cast<uint32_t>(args.GetInt("timeout-ms", 5000));
+  return net::Client::Connect(cfg);
+}
+
+int CmdQueryRemote(const Args& args) {
+  const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
+  std::string topic_name = Require(args, "topic");
+  topics::TopicId topic = vocab.Id(topic_name);
+  if (topic == topics::kInvalidTopic) {
+    std::fprintf(stderr, "unknown topic '%s'\n", topic_name.c_str());
+    return 2;
+  }
+  uint32_t user = static_cast<uint32_t>(args.GetInt("user", 0));
+  uint32_t top = static_cast<uint32_t>(args.GetInt("top", 10));
+
+  auto client = RemoteConnect(args);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  auto results = client->Recommend(user, topic, top);
+  if (!results.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("remote recommendations for user %u on '%s':\n", user,
+              topic_name.c_str());
+  for (size_t i = 0; i < results->size(); ++i) {
+    std::printf("  %2zu. user %-8u score %.4e\n", i + 1, (*results)[i].id,
+                (*results)[i].score);
+  }
+  if (results->empty()) std::printf("  (no reachable candidates)\n");
+  return 0;
+}
+
+int CmdShutdownRemote(const Args& args) {
+  auto client = RemoteConnect(args);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  util::Status st = client->Shutdown();
+  if (!st.ok()) {
+    std::fprintf(stderr, "shutdown failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("server at %s:%lld acknowledged shutdown and is draining\n",
+              args.Get("host", "127.0.0.1").c_str(),
+              static_cast<long long>(args.GetInt("port", 0)));
+  return 0;
+}
+
+struct Command {
+  const char* name;
+  int (*fn)(const Args&);
+  std::vector<std::string> flags;  // the complete allowed flag set
+};
+
+const std::vector<Command>& Commands() {
+  static const std::vector<Command> kCommands = {
+      {"generate", CmdGenerate, {"dataset", "nodes", "seed", "out"}},
+      {"stats", CmdStats, {"graph", "vocab"}},
+      {"landmarks", CmdLandmarks,
+       {"graph", "vocab", "strategy", "count", "top-n", "out"}},
+      {"recommend", CmdRecommend,
+       {"graph", "vocab", "user", "topic", "algo", "index", "top"}},
+      {"eval", CmdEval, {"graph", "vocab", "tests", "trials"}},
+      {"partition", CmdPartition, {"graph", "vocab", "parts"}},
+      {"analyze", CmdAnalyze, {"graph", "vocab", "seed"}},
+      {"save-graph", CmdSaveGraph, {"graph", "vocab", "out"}},
+      {"load", CmdLoad, {"graph", "vocab", "index", "user", "topic", "top"}},
+      {"serve", CmdServe,
+       {"graph", "vocab", "index", "host", "port", "threads", "cache",
+        "max-inflight", "max-connections", "deadline-ms", "drain-ms",
+        "stats-interval-s"}},
+      {"query-remote", CmdQueryRemote,
+       {"host", "port", "vocab", "user", "topic", "top", "timeout-ms"}},
+      {"shutdown-remote", CmdShutdownRemote, {"host", "port", "timeout-ms"}},
+  };
+  return kCommands;
+}
+
 void Usage() {
+  std::fprintf(stderr, "usage: mbrec <");
+  const auto& commands = Commands();
+  for (size_t i = 0; i < commands.size(); ++i) {
+    std::fprintf(stderr, "%s%s", i == 0 ? "" : "|", commands[i].name);
+  }
   std::fprintf(stderr,
-               "usage: mbrec <generate|stats|landmarks|recommend|eval|partition|analyze|"
-               "save-graph|load> "
-               "[--flag value ...]\n(see the header of tools/mbrec.cc)\n");
+               "> [--flag value ...]\n(see the header of tools/mbrec.cc)\n");
 }
 
 }  // namespace
@@ -435,16 +599,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string cmd = argv[1];
-  Args args(argc, argv, 2);
-  if (cmd == "generate") return CmdGenerate(args);
-  if (cmd == "stats") return CmdStats(args);
-  if (cmd == "landmarks") return CmdLandmarks(args);
-  if (cmd == "recommend") return CmdRecommend(args);
-  if (cmd == "eval") return CmdEval(args);
-  if (cmd == "partition") return CmdPartition(args);
-  if (cmd == "analyze") return CmdAnalyze(args);
-  if (cmd == "save-graph") return CmdSaveGraph(args);
-  if (cmd == "load") return CmdLoad(args);
+  for (const Command& command : Commands()) {
+    if (cmd != command.name) continue;
+    auto args = Args::Parse(argc, argv, 2, command.flags);
+    if (!args.ok()) {
+      std::fprintf(stderr, "mbrec %s: %s\n", command.name,
+                   args.status().message().c_str());
+      return 2;
+    }
+    return command.fn(*args);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   Usage();
   return 2;
 }
