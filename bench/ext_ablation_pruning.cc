@@ -81,7 +81,7 @@ int main() {
       std::vector<graph::NodeId> nodes;
       nodes.reserve(scores_u.size());
       for (const auto& [v, s] : scores_u) nodes.push_back(v);
-      auto exact_scores = exact.ScoreCandidates(u, t, nodes);
+      auto exact_scores = exact.CandidateScores(u, t, nodes);
       size_t i = 0;
       for (const auto& [v, s] : scores_u) {
         if (exact_scores[i] > 0.0) {

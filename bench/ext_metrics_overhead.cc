@@ -1,0 +1,117 @@
+// EXTENSION (observability): what does the obs instrumentation cost on the
+// serving hot path?
+//
+// The acceptance bar for the observability subsystem is < 3% end-to-end
+// overhead. This bench measures the same query stream through a
+// QueryEngine three ways:
+//   1. spans on   — obs::SetEnabled(true), the shipped default;
+//   2. spans off  — obs::SetEnabled(false): span sites skip both clock
+//      reads, counters still run (they are engine logic);
+//   3. raw scorer — no engine, no registry: the floor.
+// A fourth configuration, -DMBR_OBS_NOOP, compiles the span sites out
+// entirely; build a separate tree to measure it (same workload applies).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/authority.h"
+#include "core/recommender.h"
+#include "obs/metrics.h"
+#include "service/query_engine.h"
+#include "topics/similarity_matrix.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace mbr;
+  bench::PrintHeader("EXT — Observability overhead on the serving path",
+                     "obs subsystem acceptance (< 3% overhead)");
+
+  datagen::GeneratedDataset ds =
+      datagen::GenerateTwitter(bench::BenchTwitterConfig(10000));
+  const auto& sim = topics::TwitterSimilarity();
+  core::AuthorityIndex auth(ds.graph);
+
+  const uint32_t queries = bench::EnvTrials(400);
+  util::Rng rng(bench::EnvSeed(9));
+  std::vector<core::Query> stream;
+  stream.reserve(queries);
+  for (uint32_t q = 0; q < queries; ++q) {
+    stream.push_back(core::Query::TopN(
+        static_cast<graph::NodeId>(rng.UniformU64(ds.graph.num_nodes())),
+        static_cast<topics::TopicId>(rng.UniformU64(ds.graph.num_topics())),
+        10));
+  }
+
+  // Cache off so every query pays a full scorer run: the worst case for
+  // relative span overhead would be cheap queries, so also run a cached
+  // pass where most queries are sub-microsecond hits.
+  auto run_engine = [&](bool spans_on, size_t cache) {
+    service::EngineConfig ec;
+    ec.num_threads = 1;
+    ec.cache_capacity = cache;
+    service::QueryEngine engine(ds.graph, auth, sim, ec);
+    obs::SetEnabled(spans_on);
+    engine.Recommend(stream[0]);  // warm the worker's scorer scratch
+    util::WallTimer tm;
+    for (const core::Query& q : stream) {
+      auto r = engine.Recommend(q);
+      if (!r.ok()) std::abort();
+    }
+    double ms = tm.ElapsedMillis();
+    obs::SetEnabled(true);
+    return ms;
+  };
+
+  // The floor: one scorer, no engine, no registry traffic on the path
+  // except the MBR_SPAN sites inside the scorer itself (gated off below).
+  auto run_raw = [&](bool spans_on) {
+    core::TrRecommender rec(ds.graph, sim);
+    obs::SetEnabled(spans_on);
+    rec.Recommend(stream[0]);
+    util::WallTimer tm;
+    for (const core::Query& q : stream) {
+      auto r = rec.Recommend(q);
+      if (!r.ok()) std::abort();
+    }
+    double ms = tm.ElapsedMillis();
+    obs::SetEnabled(true);
+    return ms;
+  };
+
+  util::TablePrinter tp({"configuration", "total ms", "us/query", "vs off"});
+  struct Row {
+    const char* name;
+    double ms;
+    double baseline_ms;  // <= 0: is its own baseline
+  };
+  const double engine_off = run_engine(false, 0);
+  const double engine_on = run_engine(true, 0);
+  const double cached_off = run_engine(false, 4096);
+  const double cached_on = run_engine(true, 4096);
+  const double raw_off = run_raw(false);
+  const double raw_on = run_raw(true);
+  for (const Row& r : {Row{"engine, spans off", engine_off, 0.0},
+                       Row{"engine, spans on", engine_on, engine_off},
+                       Row{"engine+cache, spans off", cached_off, 0.0},
+                       Row{"engine+cache, spans on", cached_on, cached_off},
+                       Row{"raw scorer, spans off", raw_off, 0.0},
+                       Row{"raw scorer, spans on", raw_on, raw_off}}) {
+    const double rel =
+        r.baseline_ms > 0.0 ? 100.0 * (r.ms / r.baseline_ms - 1.0) : 0.0;
+    char rel_s[32];
+    std::snprintf(rel_s, sizeof(rel_s), "%+.2f%%", rel);
+    tp.AddRow({r.name, util::TablePrinter::Num(r.ms, 2),
+               util::TablePrinter::Num(1000.0 * r.ms / queries, 2),
+               r.baseline_ms > 0.0 ? rel_s : "baseline"});
+  }
+  tp.Print("Span overhead (one steady_clock pair per MBR_SPAN site)");
+
+  std::printf(
+      "\nexpected shape: scored queries dwarf the span cost (two clock "
+      "reads + one relaxed histogram add per stage), so 'spans on' should "
+      "sit well under the 3%% bar; the cached pass is the stress case — "
+      "sub-microsecond hits against a fixed per-query cost. For the true "
+      "zero-cost floor rebuild with -DMBR_OBS_NOOP=ON and rerun.\n");
+  return 0;
+}

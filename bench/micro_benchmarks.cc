@@ -110,7 +110,7 @@ void BM_ApproxQuery(benchmark::State& state) {
   for (auto _ : state) {
     graph::NodeId u =
         static_cast<graph::NodeId>(rng.UniformU64(ds.graph.num_nodes()));
-    auto recs = approx.RecommendTopN(u, 0, 10);
+    auto recs = approx.TopN(u, 0, 10);
     benchmark::DoNotOptimize(recs.size());
   }
 }

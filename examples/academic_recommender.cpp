@@ -64,9 +64,9 @@ int main(int argc, char** argv) {
   PrintTop("Tr (topology + semantics + authority):",
            tr.Recommend(researcher, databases, 3), ds, databases);
   PrintTop("Katz (pure topology):",
-           katz.RecommendTopN(researcher, databases, 3), ds, databases);
+           katz.TopN(researcher, databases, 3), ds, databases);
   PrintTop("TwitterRank (global topical popularity):",
-           twr.RecommendTopN(researcher, databases, 3), ds, databases);
+           twr.TopN(researcher, databases, 3), ds, databases);
 
   // The Table 3 protocol avoids "very popular and obvious authors": cap
   // the citation count and re-rank.
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   auto capped = [&](core::Recommender& rec) {
     std::vector<util::ScoredId> out;
     for (const util::ScoredId& r :
-         rec.RecommendTopN(researcher, databases, 60)) {
+         rec.TopN(researcher, databases, 60)) {
       if (ds.graph.InDegree(r.id) <= cap) out.push_back(r);
       if (out.size() == 3) break;
     }

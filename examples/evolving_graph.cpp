@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
 
     landmark::ApproxRecommender approx(today, fresh_auth, sim,
                                        refresher.index(), {});
-    auto recs = approx.RecommendTopN(user, tech, 3);
+    auto recs = approx.TopN(user, tech, 3);
     std::printf(
         "day %d: -%llu/+%llu edges, refreshed %zu landmarks; top tech "
         "recommendations for user %u:",

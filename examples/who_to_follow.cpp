@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     landmark::QueryStats stats;
     util::WallTimer approx_timer;
     auto scores = approx.ApproximateScores(user, topic, &stats);
-    auto recs = approx.RecommendTopN(user, topic, 5);
+    auto recs = approx.TopN(user, topic, 5);
     double approx_ms = approx_timer.ElapsedMillis();
 
     util::WallTimer exact_timer;

@@ -9,26 +9,24 @@ KatzRecommender::KatzRecommender(const graph::LabeledGraph& g,
                                  const core::ScoreParams& params)
     : g_(g), authority_(g), scorer_(g, authority_, sim, params) {}
 
-std::vector<double> KatzRecommender::ScoreCandidates(
-    graph::NodeId u, topics::TopicId /*t*/,
-    const std::vector<graph::NodeId>& candidates) const {
-  core::ExplorationResult res = scorer_.Explore(u, topics::TopicSet());
-  std::vector<double> out;
-  out.reserve(candidates.size());
-  for (graph::NodeId v : candidates) out.push_back(res.TopoBeta(v));
-  return out;
-}
-
-std::vector<util::ScoredId> KatzRecommender::RecommendTopN(
-    graph::NodeId u, topics::TopicId /*t*/, size_t n) const {
-  core::ExplorationResult res = scorer_.Explore(u, topics::TopicSet());
-  util::TopK topk(n);
-  for (graph::NodeId v : res.reached()) {
-    if (v == u) continue;
-    double s = res.TopoBeta(v);
-    if (s > 0.0) topk.Offer(v, s);
+util::Result<core::Ranking> KatzRecommender::Recommend(
+    const core::Query& q) const {
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  core::ExplorationResult res = scorer_.Explore(q.user, topics::TopicSet());
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  if (q.scoring_mode()) {
+    core::Ranking r;
+    r.entries.reserve(q.candidates.size());
+    for (graph::NodeId v : q.candidates) {
+      r.entries.push_back({v, res.TopoBeta(v)});
+    }
+    return r;
   }
-  return topk.Take();
+  core::RankingBuilder builder(q);
+  for (graph::NodeId v : res.reached()) {
+    builder.Offer(v, res.TopoBeta(v));
+  }
+  return builder.Take();
 }
 
 }  // namespace mbr::baselines

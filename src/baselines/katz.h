@@ -26,13 +26,7 @@ class KatzRecommender : public core::Recommender {
 
   std::string name() const override { return "Katz"; }
 
-  std::vector<double> ScoreCandidates(
-      graph::NodeId u, topics::TopicId t,
-      const std::vector<graph::NodeId>& candidates) const override;
-
-  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
-                                            topics::TopicId t,
-                                            size_t n) const override;
+  util::Result<core::Ranking> Recommend(const core::Query& q) const override;
 
  private:
   const graph::LabeledGraph& g_;

@@ -70,37 +70,35 @@ double NeighborhoodRecommender::Score(NodeId u, NodeId v) const {
   }
 }
 
-std::vector<double> NeighborhoodRecommender::ScoreCandidates(
-    NodeId u, topics::TopicId /*t*/,
-    const std::vector<NodeId>& candidates) const {
-  std::vector<double> out;
-  out.reserve(candidates.size());
-  for (NodeId v : candidates) out.push_back(Score(u, v));
-  return out;
-}
-
-std::vector<util::ScoredId> NeighborhoodRecommender::RecommendTopN(
-    NodeId u, topics::TopicId /*t*/, size_t n) const {
-  util::TopK topk(n);
+util::Result<core::Ranking> NeighborhoodRecommender::Recommend(
+    const core::Query& q) const {
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  if (q.scoring_mode()) {
+    core::Ranking r;
+    r.entries.reserve(q.candidates.size());
+    for (NodeId v : q.candidates) {
+      r.entries.push_back({v, Score(q.user, v)});
+    }
+    return r;
+  }
+  core::RankingBuilder builder(q);
   if (score_ == NeighborhoodScore::kPreferentialAttachment) {
     // Global candidate set; score is monotone in in-degree.
     for (NodeId v = 0; v < g_.num_nodes(); ++v) {
-      if (v == u) continue;
-      topk.Offer(v, Score(u, v));
+      builder.OfferAllowZero(v, Score(q.user, v));
     }
-    return topk.Take();
+    return builder.Take();
   }
   // Only the 2-hop out-neighbourhood can score > 0.
   std::unordered_map<NodeId, bool> seen;
-  for (NodeId x : g_.OutNeighbors(u)) {
+  for (NodeId x : g_.OutNeighbors(q.user)) {
     for (NodeId v : g_.OutNeighbors(x)) {
-      if (v == u || seen.count(v)) continue;
+      if (v == q.user || seen.count(v)) continue;
       seen.emplace(v, true);
-      double s = Score(u, v);
-      if (s > 0) topk.Offer(v, s);
+      builder.Offer(v, Score(q.user, v));
     }
   }
-  return topk.Take();
+  return builder.Take();
 }
 
 }  // namespace mbr::baselines

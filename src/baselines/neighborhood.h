@@ -43,13 +43,7 @@ class NeighborhoodRecommender : public core::Recommender {
   // Score of a single (u, v) pair.
   double Score(graph::NodeId u, graph::NodeId v) const;
 
-  std::vector<double> ScoreCandidates(
-      graph::NodeId u, topics::TopicId t,
-      const std::vector<graph::NodeId>& candidates) const override;
-
-  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
-                                            topics::TopicId t,
-                                            size_t n) const override;
+  util::Result<core::Ranking> Recommend(const core::Query& q) const override;
 
  private:
   const graph::LabeledGraph& g_;

@@ -108,23 +108,23 @@ void TwitterRank::ComputeTopic(const graph::LabeledGraph& g,
   for (graph::NodeId v = 0; v < n; ++v) out[v] = x[v];
 }
 
-std::vector<double> TwitterRank::ScoreCandidates(
-    graph::NodeId /*u*/, topics::TopicId t,
-    const std::vector<graph::NodeId>& candidates) const {
-  std::vector<double> out;
-  out.reserve(candidates.size());
-  for (graph::NodeId v : candidates) out.push_back(Score(v, t));
-  return out;
-}
-
-std::vector<util::ScoredId> TwitterRank::RecommendTopN(
-    graph::NodeId u, topics::TopicId t, size_t n) const {
-  util::TopK topk(n);
-  for (graph::NodeId v = 0; v < num_nodes_; ++v) {
-    if (v == u) continue;
-    topk.Offer(v, Score(v, t));
+util::Result<core::Ranking> TwitterRank::Recommend(
+    const core::Query& q) const {
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  if (q.scoring_mode()) {
+    core::Ranking r;
+    r.entries.reserve(q.candidates.size());
+    for (graph::NodeId v : q.candidates) {
+      r.entries.push_back({v, Score(v, q.topic)});
+    }
+    return r;
   }
-  return topk.Take();
+  // The per-topic rank vector covers every node; zero mass is still a rank.
+  core::RankingBuilder builder(q);
+  for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+    builder.OfferAllowZero(v, Score(v, q.topic));
+  }
+  return builder.Take();
 }
 
 }  // namespace mbr::baselines

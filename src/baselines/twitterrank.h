@@ -47,13 +47,7 @@ class TwitterRank : public core::Recommender {
     return rank_[static_cast<size_t>(t) * num_nodes_ + v];
   }
 
-  std::vector<double> ScoreCandidates(
-      graph::NodeId u, topics::TopicId t,
-      const std::vector<graph::NodeId>& candidates) const override;
-
-  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
-                                            topics::TopicId t,
-                                            size_t n) const override;
+  util::Result<core::Ranking> Recommend(const core::Query& q) const override;
 
   uint32_t iterations_run(topics::TopicId t) const {
     return iterations_[t];

@@ -93,27 +93,24 @@ std::unordered_map<NodeId, double> WtfSalsa::AuthorityScores(NodeId u) const {
   return authority;
 }
 
-std::vector<double> WtfSalsa::ScoreCandidates(
-    NodeId u, topics::TopicId /*t*/,
-    const std::vector<NodeId>& candidates) const {
-  auto authority = AuthorityScores(u);
-  std::vector<double> out;
-  out.reserve(candidates.size());
-  for (NodeId v : candidates) {
-    auto it = authority.find(v);
-    out.push_back(it == authority.end() ? 0.0 : it->second);
+util::Result<core::Ranking> WtfSalsa::Recommend(const core::Query& q) const {
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  auto authority = AuthorityScores(q.user);
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  if (q.scoring_mode()) {
+    core::Ranking r;
+    r.entries.reserve(q.candidates.size());
+    for (NodeId v : q.candidates) {
+      auto it = authority.find(v);
+      r.entries.push_back({v, it == authority.end() ? 0.0 : it->second});
+    }
+    return r;
   }
-  return out;
-}
-
-std::vector<util::ScoredId> WtfSalsa::RecommendTopN(
-    NodeId u, topics::TopicId /*t*/, size_t n) const {
-  auto authority = AuthorityScores(u);
-  util::TopK topk(n);
+  core::RankingBuilder builder(q);
   for (const auto& [v, score] : authority) {
-    if (v != u && score > 0.0) topk.Offer(v, score);
+    builder.Offer(v, score);
   }
-  return topk.Take();
+  return builder.Take();
 }
 
 }  // namespace mbr::baselines

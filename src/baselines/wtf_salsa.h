@@ -48,13 +48,7 @@ class WtfSalsa : public core::Recommender {
   // excluded). Exposed for tests.
   std::vector<util::ScoredId> CircleOfTrust(graph::NodeId u) const;
 
-  std::vector<double> ScoreCandidates(
-      graph::NodeId u, topics::TopicId t,
-      const std::vector<graph::NodeId>& candidates) const override;
-
-  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
-                                            topics::TopicId t,
-                                            size_t n) const override;
+  util::Result<core::Ranking> Recommend(const core::Query& q) const override;
 
  private:
   const graph::LabeledGraph& g_;

@@ -48,14 +48,24 @@ std::vector<util::ScoredId> TrRecommender::RecommendQuery(
   return topk.Take();
 }
 
-std::vector<double> TrRecommender::ScoreCandidates(
-    graph::NodeId u, topics::TopicId t,
-    const std::vector<graph::NodeId>& candidates) const {
-  ExplorationResult res = scorer_.Explore(u, topics::TopicSet::Single(t));
-  std::vector<double> out;
-  out.reserve(candidates.size());
-  for (graph::NodeId v : candidates) out.push_back(res.Sigma(v, t));
-  return out;
+util::Result<Ranking> TrRecommender::Recommend(const Query& q) const {
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  ExplorationResult res =
+      scorer_.Explore(q.user, topics::TopicSet::Single(q.topic));
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  Ranking r;
+  if (q.scoring_mode()) {
+    r.entries.reserve(q.candidates.size());
+    for (graph::NodeId v : q.candidates) {
+      r.entries.push_back({v, res.Sigma(v, q.topic)});
+    }
+    return r;
+  }
+  RankingBuilder builder(q);
+  for (graph::NodeId v : res.reached()) {
+    builder.Offer(v, res.Sigma(v, q.topic));
+  }
+  return builder.Take();
 }
 
 }  // namespace mbr::core

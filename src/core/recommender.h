@@ -46,17 +46,10 @@ class TrRecommender : public Recommender {
   // ---- core::Recommender interface.
   // "Tr", "Tr-auth" or "Tr-sim" depending on the configured variant.
   std::string name() const override;
-  // σ(u, v, t) for an explicit candidate list (the evaluation protocol
-  // ranks 1 true endpoint + 1000 sampled accounts). One exploration, then
-  // lookups; candidates never reached score 0.
-  std::vector<double> ScoreCandidates(
-      graph::NodeId u, topics::TopicId t,
-      const std::vector<graph::NodeId>& candidates) const override;
-  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
-                                            topics::TopicId t,
-                                            size_t n) const override {
-    return Recommend(u, t, n);
-  }
+  // One exploration from q.user, then σ lookups: a ranked top-n (with
+  // exclusions), or candidate-order scores in scoring mode (candidates
+  // never reached score 0).
+  util::Result<Ranking> Recommend(const Query& q) const override;
 
   // Full exploration from u (all topics of `query_topics`), exposed for
   // the landmark pre-processing and tests.

@@ -1,0 +1,49 @@
+#include "core/recommender_iface.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace mbr::core {
+
+std::vector<util::Result<Ranking>> Recommender::RecommendBatch(
+    std::span<const Query> queries) const {
+  std::vector<util::Result<Ranking>> out;
+  out.reserve(queries.size());
+  for (const Query& q : queries) {
+    out.push_back(Recommend(q));
+  }
+  return out;
+}
+
+std::vector<util::ScoredId> Recommender::TopN(graph::NodeId u,
+                                              topics::TopicId t,
+                                              size_t n) const {
+  util::Result<Ranking> r = Recommend(Query::TopN(u, t, static_cast<uint32_t>(n)));
+  MBR_CHECK(r.ok());
+  return std::move(r.value().entries);
+}
+
+std::vector<double> Recommender::CandidateScores(
+    graph::NodeId u, topics::TopicId t,
+    const std::vector<graph::NodeId>& candidates) const {
+  util::Result<Ranking> r = Recommend(Query::Scores(u, t, candidates));
+  MBR_CHECK(r.ok());
+  const Ranking& ranking = r.value();
+  MBR_CHECK(ranking.entries.size() == candidates.size());
+  std::vector<double> scores;
+  scores.reserve(ranking.entries.size());
+  for (const util::ScoredId& e : ranking.entries) scores.push_back(e.score);
+  return scores;
+}
+
+util::Status Recommender::CheckDeadline(const Query& q) {
+  if (!q.expired()) return util::Status::Ok();
+  static obs::Counter* expired = obs::Registry::Default().GetCounter(
+      "mbr_recommender_deadline_exceeded_total",
+      "Queries rejected because their deadline expired before or during "
+      "scoring.");
+  expired->Increment();
+  return util::Status::DeadlineExceeded("query deadline expired");
+}
+
+}  // namespace mbr::core

@@ -3,9 +3,43 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace mbr::core {
 
 namespace {
+
+// Convergence telemetry for Proposition 3's bound: how many iterations the
+// frontier actually needed vs the β-derived depth cap, and how wide each
+// expansion was.
+struct ScorerMetrics {
+  obs::Histogram* frontier_size;
+  obs::Histogram* iterations;
+  obs::Counter* converged;
+  obs::Counter* depth_capped;
+
+  static const ScorerMetrics& Get() {
+    static ScorerMetrics m = [] {
+      obs::Registry& r = obs::Registry::Default();
+      ScorerMetrics out;
+      out.frontier_size = r.GetHistogram(
+          "mbr_scorer_frontier_size",
+          "Frontier width at each exploration iteration.");
+      out.iterations = r.GetHistogram(
+          "mbr_scorer_iterations",
+          "Iterations run per exploration before convergence or depth cap.");
+      out.converged = r.GetCounter(
+          "mbr_scorer_converged_total",
+          "Explorations that converged (tolerance or exhausted frontier).");
+      out.depth_capped = r.GetCounter(
+          "mbr_scorer_depth_capped_total",
+          "Explorations stopped by max_depth with frontier mass remaining.");
+      return out;
+    }();
+    return m;
+  }
+};
 
 // Enforces the single-caller contract: aborts if two Explore() calls on the
 // same Scorer ever overlap (e.g. the instance was shared across threads).
@@ -56,6 +90,8 @@ ExplorationResult Scorer::Explore(graph::NodeId source,
                                   const std::vector<bool>* pruned) const {
   MBR_CHECK(source < g_.num_nodes());
   ExploreGuard guard(exploring_);
+  MBR_SPAN("scorer.explore");
+  const ScorerMetrics& metrics = ScorerMetrics::Get();
   const int nt = g_.num_topics();
   const double beta = params_.beta;
   const double alphabeta = params_.alpha * params_.beta;
@@ -96,6 +132,7 @@ ExplorationResult Scorer::Explore(graph::NodeId source,
 
   uint32_t depth = 0;
   while (depth < params_.max_depth && !frontier.empty()) {
+    metrics.frontier_size->Record(frontier.size());
     std::vector<graph::NodeId> next_frontier;
     double added_mass = 0.0;
 
@@ -194,6 +231,12 @@ ExplorationResult Scorer::Explore(graph::NodeId source,
       double* dsig = s.delta_sigma.data() + static_cast<size_t>(u) * qn;
       for (size_t qi = 0; qi < qn; ++qi) dsig[qi] = 0.0;
     }
+  }
+  metrics.iterations->Record(result.iterations_run_);
+  if (result.converged_) {
+    metrics.converged->Increment();
+  } else {
+    metrics.depth_capped->Increment();
   }
   return result;
 }

@@ -176,7 +176,7 @@ std::vector<AccuracyCurve> RunLinkPrediction(
         const TestEdge& e = tests[i];
         for (size_t a = 0; a < num_algos; ++a) {
           std::vector<double> scores =
-              recs[a]->ScoreCandidates(e.src, e.topic, candidate_lists[i]);
+              recs[a]->CandidateScores(e.src, e.topic, candidate_lists[i]);
           double target_score = scores.back();
           scores.pop_back();
           rank_matrix[i * num_algos + a] =

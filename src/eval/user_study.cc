@@ -71,7 +71,7 @@ std::vector<StudyOutcome> RunUserStudy(
       size_t fetch = config.max_target_in_degree > 0 ? config.top_k * 20
                                                      : config.top_k;
       for (const util::ScoredId& r :
-           algorithms[a]->RecommendTopN(u, topic, fetch)) {
+           algorithms[a]->TopN(u, topic, fetch)) {
         if (config.max_target_in_degree > 0 &&
             g.InDegree(r.id) > config.max_target_in_degree) {
           continue;

@@ -1,9 +1,32 @@
 #include "landmark/approx.h"
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/timer.h"
 #include "util/top_k.h"
 
 namespace mbr::landmark {
+
+namespace {
+
+// Table 6 columns as live distributions: how wide the depth-2 BFS fans out
+// and how many stored landmark lists each query consults.
+obs::Histogram* LandmarksConsultedHistogram() {
+  static obs::Histogram* h = obs::Registry::Default().GetHistogram(
+      "mbr_landmark_consulted",
+      "Landmarks whose stored lists were composed per approximate query.");
+  return h;
+}
+
+obs::Histogram* NodesReachedHistogram() {
+  static obs::Histogram* h = obs::Registry::Default().GetHistogram(
+      "mbr_landmark_nodes_reached",
+      "Nodes reached by the bounded-depth exploration per approximate "
+      "query.");
+  return h;
+}
+
+}  // namespace
 
 ApproxRecommender::ApproxRecommender(const graph::LabeledGraph& g,
                                      const core::AuthorityIndex& authority,
@@ -24,9 +47,12 @@ std::unordered_map<graph::NodeId, double> ApproxRecommender::ApproximateScores(
   util::WallTimer timer;
   const std::vector<bool>* pruned =
       config_.prune_at_landmarks ? &index_.landmark_mask() : nullptr;
-  core::ExplorationResult res =
-      scorer_.Explore(u, topics::TopicSet::Single(t), pruned);
+  core::ExplorationResult res = [&] {
+    MBR_SPAN("landmark.bfs");
+    return scorer_.Explore(u, topics::TopicSet::Single(t), pruned);
+  }();
 
+  MBR_SPAN("landmark.combine");
   std::unordered_map<graph::NodeId, double> scores;
   scores.reserve(res.reached().size() * 2);
   uint32_t landmarks_met = 0;
@@ -45,6 +71,8 @@ std::unordered_map<graph::NodeId, double> ApproxRecommender::ApproximateScores(
     }
   }
 
+  LandmarksConsultedHistogram()->Record(landmarks_met);
+  NodesReachedHistogram()->Record(res.reached().size());
   if (stats != nullptr) {
     stats->landmarks_encountered = landmarks_met;
     stats->nodes_reached = static_cast<uint32_t>(res.reached().size());
@@ -53,27 +81,25 @@ std::unordered_map<graph::NodeId, double> ApproxRecommender::ApproximateScores(
   return scores;
 }
 
-std::vector<double> ApproxRecommender::ScoreCandidates(
-    graph::NodeId u, topics::TopicId t,
-    const std::vector<graph::NodeId>& candidates) const {
-  auto scores = ApproximateScores(u, t);
-  std::vector<double> out;
-  out.reserve(candidates.size());
-  for (graph::NodeId v : candidates) {
-    auto it = scores.find(v);
-    out.push_back(it == scores.end() ? 0.0 : it->second);
+util::Result<core::Ranking> ApproxRecommender::Recommend(
+    const core::Query& q) const {
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  auto scores = ApproximateScores(q.user, q.topic);
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  if (q.scoring_mode()) {
+    core::Ranking r;
+    r.entries.reserve(q.candidates.size());
+    for (graph::NodeId v : q.candidates) {
+      auto it = scores.find(v);
+      r.entries.push_back({v, it == scores.end() ? 0.0 : it->second});
+    }
+    return r;
   }
-  return out;
-}
-
-std::vector<util::ScoredId> ApproxRecommender::RecommendTopN(
-    graph::NodeId u, topics::TopicId t, size_t n) const {
-  auto scores = ApproximateScores(u, t);
-  util::TopK topk(n);
+  core::RankingBuilder builder(q);
   for (const auto& [v, s] : scores) {
-    if (s > 0.0) topk.Offer(v, s);
+    builder.Offer(v, s);
   }
-  return topk.Take();
+  return builder.Take();
 }
 
 std::vector<util::ScoredId> ApproxRecommender::RecommendQuery(

@@ -72,13 +72,9 @@ class ApproxRecommender : public core::Recommender {
 
   std::string name() const override { return "Tr-landmark"; }
 
-  std::vector<double> ScoreCandidates(
-      graph::NodeId u, topics::TopicId t,
-      const std::vector<graph::NodeId>& candidates) const override;
-
-  std::vector<util::ScoredId> RecommendTopN(graph::NodeId u,
-                                            topics::TopicId t,
-                                            size_t n) const override;
+  // One ApproximateScores() table, then lookups (scoring mode) or a ranked
+  // top-n with exclusions.
+  util::Result<core::Ranking> Recommend(const core::Query& q) const override;
 
   // Weighted multi-topic query Q = {(t_i, w_i)} (§3.2's linear
   // combination), served from the landmark index: Σ_i w_i · σ̃(u, v, t_i).

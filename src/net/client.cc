@@ -159,7 +159,7 @@ util::Result<Client::Reply> Client::RoundTrip(
       Clock::now() + std::chrono::milliseconds(config_.request_timeout_ms);
 
   std::vector<uint8_t> frame;
-  AppendFrame(kind, request_id, payload, &frame);
+  AppendFrame(kind, request_id, payload, &frame, config_.protocol_version);
   MBR_RETURN_IF_ERROR(SendAll(fd_, frame, deadline));
 
   uint8_t header_buf[kFrameHeaderBytes];
@@ -174,11 +174,14 @@ util::Result<Client::Reply> Client::RoundTrip(
     case HeaderParse::kMalformed:
       return util::Status::Internal("malformed reply frame from server");
   }
-  if (reply.header.version != kProtocolVersion) {
+  // The server echoes the request's version; anything else means the
+  // reply payload would be decoded with the wrong layout.
+  if (reply.header.version != config_.protocol_version &&
+      reply.header.kind != MessageKind::kError) {
     return util::Status::Internal(
         "server replied with protocol v" +
         std::to_string(reply.header.version) + ", client speaks v" +
-        std::to_string(kProtocolVersion));
+        std::to_string(config_.protocol_version));
   }
   reply.payload.resize(reply.header.payload_len);
   MBR_RETURN_IF_ERROR(RecvExactly(fd_, reply.payload.data(),
@@ -203,8 +206,16 @@ util::Result<Client::Reply> Client::RoundTrip(
 
 util::Result<RankedList> Client::Recommend(uint32_t user, uint32_t topic,
                                            uint32_t top_n) {
-  RecommendRequest req{user, topic, top_n};
-  auto reply = RoundTrip(MessageKind::kRecommend, EncodeRecommend(req));
+  RecommendRequest req;
+  req.user = user;
+  req.topic = topic;
+  req.top_n = top_n;
+  return Recommend(req);
+}
+
+util::Result<RankedList> Client::Recommend(const RecommendRequest& req) {
+  auto reply = RoundTrip(MessageKind::kRecommend,
+                         EncodeRecommend(req, config_.protocol_version));
   if (!reply.ok()) return reply.status();
   if (reply->header.kind != MessageKind::kResult) {
     return util::Status::Internal(
@@ -218,8 +229,9 @@ util::Result<RankedList> Client::Recommend(uint32_t user, uint32_t topic,
 
 util::Result<std::vector<RankedList>> Client::RecommendBatch(
     const std::vector<RecommendRequest>& queries) {
-  auto reply =
-      RoundTrip(MessageKind::kRecommendBatch, EncodeRecommendBatch(queries));
+  auto reply = RoundTrip(
+      MessageKind::kRecommendBatch,
+      EncodeRecommendBatch(queries, config_.protocol_version));
   if (!reply.ok()) return reply.status();
   if (reply->header.kind != MessageKind::kResultBatch) {
     return util::Status::Internal(
@@ -246,8 +258,28 @@ util::Result<service::StatsSnapshot> Client::Stats() {
         MessageKindName(reply->header.kind));
   }
   service::StatsSnapshot s;
-  MBR_RETURN_IF_ERROR(DecodeStats(reply->payload, &s));
+  MBR_RETURN_IF_ERROR(
+      DecodeStats(reply->payload, config_.protocol_version, &s));
   return s;
+}
+
+util::Result<std::string> Client::Metrics() {
+  if (config_.protocol_version < 2) {
+    return util::Status::FailedPrecondition(
+        "METRICS requires protocol v2; this client speaks v" +
+        std::to_string(config_.protocol_version));
+  }
+  auto reply = RoundTrip(MessageKind::kMetrics, {});
+  if (!reply.ok()) return reply.status();
+  if (reply->header.kind != MessageKind::kMetricsResult) {
+    return util::Status::Internal(
+        std::string("unexpected reply kind ") +
+        MessageKindName(reply->header.kind));
+  }
+  std::string text;
+  MBR_RETURN_IF_ERROR(
+      DecodeMetricsResult(reply->payload, config_.limits, &text));
+  return text;
 }
 
 util::Status Client::Ping() {

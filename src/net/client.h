@@ -28,6 +28,10 @@ struct ClientConfig {
   uint16_t port = 0;
   uint32_t connect_timeout_ms = 2000;
   uint32_t request_timeout_ms = 10000;
+  // Protocol version to speak, in [kMinProtocolVersion, kProtocolVersion].
+  // Drop to 1 to talk like a pre-v2 client (no deadline_ms/exclude on the
+  // wire, no METRICS op); the server echoes whichever version we send.
+  uint16_t protocol_version = kProtocolVersion;
   WireLimits limits;
 };
 
@@ -45,10 +49,15 @@ class Client {
   // The ranked top-n for (user, topic); empty list is a valid answer.
   util::Result<RankedList> Recommend(uint32_t user, uint32_t topic,
                                      uint32_t top_n);
+  // Full request form: deadline_ms and exclude travel on the wire when the
+  // client speaks v2 (they are silently dropped at v1).
+  util::Result<RankedList> Recommend(const RecommendRequest& req);
   // Order-preserving batched variant (one RECOMMEND_BATCH frame).
   util::Result<std::vector<RankedList>> RecommendBatch(
       const std::vector<RecommendRequest>& queries);
   util::Result<service::StatsSnapshot> Stats();
+  // Prometheus text exposition of the server's registry (v2+ only).
+  util::Result<std::string> Metrics();
   util::Status Ping();
   // Asks the server to drain and waits for the acknowledgement.
   util::Status Shutdown();

@@ -41,9 +41,10 @@ util::Status Connection::Ingest(const uint8_t* data, size_t size,
 }
 
 bool Connection::QueueReply(MessageKind kind, uint64_t request_id,
-                            std::span<const uint8_t> payload) {
+                            std::span<const uint8_t> payload,
+                            uint16_t version) {
   std::vector<uint8_t> frame;
-  AppendFrame(kind, request_id, payload, &frame);
+  AppendFrame(kind, request_id, payload, &frame, version);
   return QueueEncoded(frame);
 }
 

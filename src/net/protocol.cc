@@ -16,6 +16,8 @@ const char* MessageKindName(MessageKind kind) {
       return "STATS";
     case MessageKind::kShutdown:
       return "SHUTDOWN";
+    case MessageKind::kMetrics:
+      return "METRICS";
     case MessageKind::kPong:
       return "PONG";
     case MessageKind::kResult:
@@ -30,6 +32,8 @@ const char* MessageKindName(MessageKind kind) {
       return "ERROR";
     case MessageKind::kOverloaded:
       return "OVERLOADED";
+    case MessageKind::kMetricsResult:
+      return "METRICS_RESULT";
   }
   return "UNKNOWN";
 }
@@ -41,6 +45,7 @@ bool IsRequestKind(MessageKind kind) {
     case MessageKind::kRecommendBatch:
     case MessageKind::kStats:
     case MessageKind::kShutdown:
+    case MessageKind::kMetrics:
       return true;
     default:
       return false;
@@ -56,6 +61,7 @@ bool IsReplyKind(MessageKind kind) {
     case MessageKind::kShutdownAck:
     case MessageKind::kError:
     case MessageKind::kOverloaded:
+    case MessageKind::kMetricsResult:
       return true;
     default:
       return false;
@@ -93,10 +99,11 @@ void AppendPod(T v, std::vector<uint8_t>* out) {
 }  // namespace
 
 void AppendFrame(MessageKind kind, uint64_t request_id,
-                 std::span<const uint8_t> payload, std::vector<uint8_t>* out) {
+                 std::span<const uint8_t> payload, std::vector<uint8_t>* out,
+                 uint16_t version) {
   out->reserve(out->size() + kFrameHeaderBytes + payload.size());
   AppendPod(kFrameMagic, out);
-  AppendPod(kProtocolVersion, out);
+  AppendPod(version, out);
   AppendPod(static_cast<uint16_t>(kind), out);
   AppendPod(request_id, out);
   AppendPod(static_cast<uint32_t>(payload.size()), out);
@@ -177,18 +184,48 @@ util::Status PayloadReader::ExpectEnd() const {
 
 namespace {
 
-void PutQuery(const RecommendRequest& req, PayloadWriter* w) {
+void PutQuery(const RecommendRequest& req, uint16_t version,
+              PayloadWriter* w) {
   w->PutU32(req.user);
   w->PutU32(req.topic);
   w->PutU32(req.top_n);
+  if (version >= 2) {
+    w->PutU32(req.deadline_ms);
+    w->PutU32(static_cast<uint32_t>(req.exclude.size()));
+    for (uint32_t id : req.exclude) w->PutU32(id);
+  }
 }
 
-util::Status ReadQuery(PayloadReader* r, RecommendRequest* out) {
+util::Status ReadQuery(PayloadReader* r, const WireLimits& limits,
+                       uint16_t version, RecommendRequest* out) {
   MBR_RETURN_IF_ERROR(r->ReadU32(&out->user));
   MBR_RETURN_IF_ERROR(r->ReadU32(&out->topic));
-  return r->ReadU32(&out->top_n);
+  MBR_RETURN_IF_ERROR(r->ReadU32(&out->top_n));
+  out->deadline_ms = 0;
+  out->exclude.clear();
+  if (version >= 2) {
+    MBR_RETURN_IF_ERROR(r->ReadU32(&out->deadline_ms));
+    uint32_t n = 0;
+    MBR_RETURN_IF_ERROR(r->ReadU32(&n));
+    if (n > limits.max_exclude) {
+      return util::Status::InvalidArgument(
+          "exclude list length " + std::to_string(n) + " exceeds bound " +
+          std::to_string(limits.max_exclude));
+    }
+    if (n > r->remaining() / 4) {
+      return util::Status::InvalidArgument(
+          "exclude list length exceeds remaining payload bytes");
+    }
+    out->exclude.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      MBR_RETURN_IF_ERROR(r->ReadU32(&out->exclude[i]));
+    }
+  }
+  return util::Status::Ok();
 }
 
+// Fixed prefix of a query (user/topic/top_n); v2 queries append a
+// variable-length tail on top of this.
 constexpr size_t kQueryBytes = 12;
 constexpr size_t kEntryBytes = kResultEntryBytes;  // id:u32 + score:f64
 
@@ -224,16 +261,18 @@ util::Status ReadList(PayloadReader* r, const WireLimits& limits,
 
 }  // namespace
 
-std::vector<uint8_t> EncodeRecommend(const RecommendRequest& req) {
+std::vector<uint8_t> EncodeRecommend(const RecommendRequest& req,
+                                     uint16_t version) {
   PayloadWriter w;
-  PutQuery(req, &w);
+  PutQuery(req, version, &w);
   return w.Take();
 }
 
 util::Status DecodeRecommend(std::span<const uint8_t> payload,
-                             const WireLimits& limits, RecommendRequest* out) {
+                             const WireLimits& limits, uint16_t version,
+                             RecommendRequest* out) {
   PayloadReader r(payload);
-  MBR_RETURN_IF_ERROR(ReadQuery(&r, out));
+  MBR_RETURN_IF_ERROR(ReadQuery(&r, limits, version, out));
   MBR_RETURN_IF_ERROR(r.ExpectEnd());
   if (out->top_n == 0 || out->top_n > limits.max_list) {
     return util::Status::InvalidArgument(
@@ -243,15 +282,15 @@ util::Status DecodeRecommend(std::span<const uint8_t> payload,
 }
 
 std::vector<uint8_t> EncodeRecommendBatch(
-    const std::vector<RecommendRequest>& reqs) {
+    const std::vector<RecommendRequest>& reqs, uint16_t version) {
   PayloadWriter w;
   w.PutU32(static_cast<uint32_t>(reqs.size()));
-  for (const RecommendRequest& q : reqs) PutQuery(q, &w);
+  for (const RecommendRequest& q : reqs) PutQuery(q, version, &w);
   return w.Take();
 }
 
 util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
-                                  const WireLimits& limits,
+                                  const WireLimits& limits, uint16_t version,
                                   std::vector<RecommendRequest>* out) {
   PayloadReader r(payload);
   uint32_t n = 0;
@@ -267,7 +306,7 @@ util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
   }
   out->resize(n);
   for (uint32_t i = 0; i < n; ++i) {
-    MBR_RETURN_IF_ERROR(ReadQuery(&r, &(*out)[i]));
+    MBR_RETURN_IF_ERROR(ReadQuery(&r, limits, version, &(*out)[i]));
     if ((*out)[i].top_n == 0 || (*out)[i].top_n > limits.max_list) {
       return util::Status::InvalidArgument(
           "top_n must be in [1, " + std::to_string(limits.max_list) + "]");
@@ -320,13 +359,15 @@ util::Status DecodeResultBatch(std::span<const uint8_t> payload,
   return r.ExpectEnd();
 }
 
-std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s) {
+std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s,
+                                 uint16_t version) {
   PayloadWriter w;
   w.PutU64(s.queries);
   w.PutU64(s.batches);
   w.PutU64(s.cache_hits);
   w.PutU64(s.cache_misses);
   w.PutU64(s.invalidations);
+  if (version >= 2) w.PutU64(s.deadline_exceeded);
   w.PutU64(s.params_epoch);
   w.PutU64(s.shed_overload);
   w.PutU64(s.shed_deadline);
@@ -338,7 +379,7 @@ std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s) {
   return w.Take();
 }
 
-util::Status DecodeStats(std::span<const uint8_t> payload,
+util::Status DecodeStats(std::span<const uint8_t> payload, uint16_t version,
                          service::StatsSnapshot* out) {
   PayloadReader r(payload);
   MBR_RETURN_IF_ERROR(r.ReadU64(&out->queries));
@@ -346,6 +387,10 @@ util::Status DecodeStats(std::span<const uint8_t> payload,
   MBR_RETURN_IF_ERROR(r.ReadU64(&out->cache_hits));
   MBR_RETURN_IF_ERROR(r.ReadU64(&out->cache_misses));
   MBR_RETURN_IF_ERROR(r.ReadU64(&out->invalidations));
+  out->deadline_exceeded = 0;
+  if (version >= 2) {
+    MBR_RETURN_IF_ERROR(r.ReadU64(&out->deadline_exceeded));
+  }
   MBR_RETURN_IF_ERROR(r.ReadU64(&out->params_epoch));
   MBR_RETURN_IF_ERROR(r.ReadU64(&out->shed_overload));
   MBR_RETURN_IF_ERROR(r.ReadU64(&out->shed_deadline));
@@ -354,6 +399,19 @@ util::Status DecodeStats(std::span<const uint8_t> payload,
   MBR_RETURN_IF_ERROR(r.ReadDouble(&out->p50_us));
   MBR_RETURN_IF_ERROR(r.ReadDouble(&out->p90_us));
   MBR_RETURN_IF_ERROR(r.ReadDouble(&out->p99_us));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeMetricsResult(const std::string& text) {
+  PayloadWriter w;
+  w.PutString(text);
+  return w.Take();
+}
+
+util::Status DecodeMetricsResult(std::span<const uint8_t> payload,
+                                 const WireLimits& limits, std::string* out) {
+  PayloadReader r(payload);
+  MBR_RETURN_IF_ERROR(r.ReadString(out, limits.max_payload_bytes));
   return r.ExpectEnd();
 }
 

@@ -24,10 +24,16 @@
 // error reply or connection close, never UB
 // (tests/net_corruption_test.cc holds a live server to that).
 //
-// Versioning/compat: kProtocolVersion is bumped on any layout change.
-// Peers accept exactly their own version and reply ERROR
-// (UNSUPPORTED_VERSION) naming both versions otherwise — the same
-// exact-version policy as the serde artifact formats (DESIGN.md §6.2).
+// Versioning/compat: kProtocolVersion is bumped on any layout change and
+// the frame header carries the version its payload was encoded with.
+// Version history:
+//   v1 — initial protocol (PR 3): RECOMMEND = user/topic/top_n.
+//   v2 — RECOMMEND/RECOMMEND_BATCH gain deadline_ms + exclude list, STATS
+//        gains deadline_exceeded, new METRICS op (Prometheus exposition).
+// Servers accept any version in [kMinProtocolVersion, kProtocolVersion],
+// decode payloads by the frame's declared version, and echo that version
+// on the reply — a v1 client keeps working against a v2 server. Versions
+// outside the window get ERROR (UNSUPPORTED_VERSION) naming both.
 
 #include <cstdint>
 #include <cstring>
@@ -43,7 +49,10 @@ namespace mbr::net {
 
 // "MBW1" when the little-endian u32 is viewed as bytes.
 inline constexpr uint32_t kFrameMagic = 0x3157424DU;
-inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr uint16_t kProtocolVersion = 2;
+// Oldest version still decoded; replies are encoded with the request's
+// version so old clients never see fields they don't know.
+inline constexpr uint16_t kMinProtocolVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 24;
 
 enum class MessageKind : uint16_t {
@@ -53,6 +62,7 @@ enum class MessageKind : uint16_t {
   kRecommendBatch = 3,
   kStats = 4,
   kShutdown = 5,
+  kMetrics = 6,  // v2+: Prometheus text exposition of the server registry
   // Replies.
   kPong = 64,
   kResult = 65,
@@ -61,6 +71,7 @@ enum class MessageKind : uint16_t {
   kShutdownAck = 68,
   kError = 69,
   kOverloaded = 70,
+  kMetricsResult = 71,  // v2+
 };
 
 const char* MessageKindName(MessageKind kind);
@@ -74,6 +85,7 @@ struct WireLimits {
   uint32_t max_batch = 4096;              // queries per RECOMMEND_BATCH
   uint32_t max_list = 4096;               // entries per ranked list / top_n
   uint32_t max_error_msg = 1024;          // bytes of ERROR message text
+  uint32_t max_exclude = 4096;            // v2: ids per exclusion list
 };
 
 struct FrameHeader {
@@ -84,9 +96,11 @@ struct FrameHeader {
   uint32_t payload_crc = 0;
 };
 
-// Appends one complete frame (header + payload) to `out`.
+// Appends one complete frame (header + payload) to `out`. `version` is
+// stamped into the header and must match how `payload` was encoded.
 void AppendFrame(MessageKind kind, uint64_t request_id,
-                 std::span<const uint8_t> payload, std::vector<uint8_t>* out);
+                 std::span<const uint8_t> payload, std::vector<uint8_t>* out,
+                 uint16_t version = kProtocolVersion);
 
 // Incremental header parse over a receive buffer.
 enum class HeaderParse {
@@ -165,6 +179,10 @@ struct RecommendRequest {
   uint32_t user = 0;
   uint32_t topic = 0;
   uint32_t top_n = 10;
+  // v2 fields; a v1 peer neither sends nor receives them. deadline_ms = 0
+  // means "no client deadline" (the server still applies its own).
+  uint32_t deadline_ms = 0;
+  std::vector<uint32_t> exclude;
 };
 
 // Wire size of one ranked-list entry (id:u32 + score:f64); used to bound a
@@ -191,14 +209,21 @@ struct ErrorReply {
   std::string message;
 };
 
-std::vector<uint8_t> EncodeRecommend(const RecommendRequest& req);
+// RECOMMEND / RECOMMEND_BATCH are version-gated: v1 payloads carry
+// user/topic/top_n only, v2 appends deadline_ms and the exclusion list.
+// Encoding at v1 drops the v2 fields (callers that need them must speak
+// v2); decoding fills defaults for them.
+std::vector<uint8_t> EncodeRecommend(const RecommendRequest& req,
+                                     uint16_t version = kProtocolVersion);
 util::Status DecodeRecommend(std::span<const uint8_t> payload,
-                             const WireLimits& limits, RecommendRequest* out);
+                             const WireLimits& limits, uint16_t version,
+                             RecommendRequest* out);
 
 std::vector<uint8_t> EncodeRecommendBatch(
-    const std::vector<RecommendRequest>& reqs);
+    const std::vector<RecommendRequest>& reqs,
+    uint16_t version = kProtocolVersion);
 util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
-                                  const WireLimits& limits,
+                                  const WireLimits& limits, uint16_t version,
                                   std::vector<RecommendRequest>* out);
 
 std::vector<uint8_t> EncodeResult(const RankedList& list);
@@ -210,9 +235,17 @@ util::Status DecodeResultBatch(std::span<const uint8_t> payload,
                                const WireLimits& limits,
                                std::vector<RankedList>* out);
 
-std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s);
-util::Status DecodeStats(std::span<const uint8_t> payload,
+// STATS is version-gated: v2 appends deadline_exceeded.
+std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s,
+                                 uint16_t version = kProtocolVersion);
+util::Status DecodeStats(std::span<const uint8_t> payload, uint16_t version,
                          service::StatsSnapshot* out);
+
+// METRICS_RESULT carries the Prometheus exposition text (v2+). The text
+// is bounded by max_payload_bytes like any other payload.
+std::vector<uint8_t> EncodeMetricsResult(const std::string& text);
+util::Status DecodeMetricsResult(std::span<const uint8_t> payload,
+                                 const WireLimits& limits, std::string* out);
 
 std::vector<uint8_t> EncodeError(const ErrorReply& err);
 util::Status DecodeError(std::span<const uint8_t> payload,

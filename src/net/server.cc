@@ -11,6 +11,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/prometheus.h"
+#include "util/timer.h"
+
 namespace mbr::net {
 
 namespace {
@@ -25,6 +28,36 @@ Server::Server(service::QueryEngine& engine, const ServerConfig& config)
     : engine_(&engine), config_(config) {
   if (config_.max_inflight == 0) config_.max_inflight = 1;
   if (config_.dispatch_threads == 0) config_.dispatch_threads = 1;
+  registry_ = config_.registry != nullptr ? config_.registry
+                                          : &engine_->registry();
+  metrics_.accepted = registry_->GetCounter(
+      "mbr_net_connections_accepted_total", "Connections accepted.");
+  metrics_.refused = registry_->GetCounter(
+      "mbr_net_connections_refused_total",
+      "Connections closed at accept (cap reached or draining).");
+  metrics_.closed = registry_->GetCounter("mbr_net_connections_closed_total",
+                                          "Connections fully closed.");
+  metrics_.requests = registry_->GetCounter("mbr_net_requests_total",
+                                            "Work requests admitted.");
+  metrics_.shed_overload = registry_->GetCounter(
+      "mbr_net_shed_overload_total", "Requests answered OVERLOADED.");
+  metrics_.shed_deadline = registry_->GetCounter(
+      "mbr_net_shed_deadline_total",
+      "Requests whose deadline expired before a dispatcher picked them up.");
+  metrics_.protocol_errors = registry_->GetCounter(
+      "mbr_net_protocol_errors_total", "Malformed frames / bad payloads.");
+  metrics_.bytes_read = registry_->GetCounter("mbr_net_bytes_read_total",
+                                              "Payload bytes read from peers.");
+  metrics_.bytes_written = registry_->GetCounter(
+      "mbr_net_bytes_written_total", "Reply bytes written to peers.");
+  metrics_.recommend_latency_us = registry_->GetHistogram(
+      "mbr_net_request_latency_us",
+      "Dispatcher latency per request in microseconds, by op.",
+      {{"op", "recommend"}});
+  metrics_.batch_latency_us = registry_->GetHistogram(
+      "mbr_net_request_latency_us",
+      "Dispatcher latency per request in microseconds, by op.",
+      {{"op", "recommend_batch"}});
 }
 
 Server::~Server() {
@@ -107,24 +140,24 @@ void Server::Wait() {
 
 service::StatsSnapshot Server::StatsNow() const {
   service::StatsSnapshot s = service::MakeStatsSnapshot(engine_->Stats());
-  s.shed_overload = shed_overload_.load(std::memory_order_relaxed);
-  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
-  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.shed_overload = metrics_.shed_overload->Value();
+  s.shed_deadline = metrics_.shed_deadline->Value();
+  s.connections_accepted = metrics_.accepted->Value();
   const uint64_t acc = s.connections_accepted;
-  const uint64_t closed = closed_.load(std::memory_order_relaxed);
+  const uint64_t closed = metrics_.closed->Value();
   s.connections_open = acc >= closed ? acc - closed : 0;
   return s;
 }
 
 ServerCounters Server::counters() const {
   ServerCounters c;
-  c.accepted = accepted_.load(std::memory_order_relaxed);
-  c.refused = refused_.load(std::memory_order_relaxed);
-  c.closed = closed_.load(std::memory_order_relaxed);
-  c.requests = requests_.load(std::memory_order_relaxed);
-  c.shed_overload = shed_overload_.load(std::memory_order_relaxed);
-  c.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
-  c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  c.accepted = metrics_.accepted->Value();
+  c.refused = metrics_.refused->Value();
+  c.closed = metrics_.closed->Value();
+  c.requests = metrics_.requests->Value();
+  c.shed_overload = metrics_.shed_overload->Value();
+  c.shed_deadline = metrics_.shed_deadline->Value();
+  c.protocol_errors = metrics_.protocol_errors->Value();
   return c;
 }
 
@@ -179,7 +212,7 @@ void Server::HandleAccept() {
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or a transient error: nothing to accept
     if (draining_ || conns_.size() >= config_.max_connections) {
-      refused_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.refused->Increment();
       ::close(fd);
       continue;
     }
@@ -192,7 +225,7 @@ void Server::HandleAccept() {
       ::close(fd);
       continue;
     }
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.accepted->Increment();
     conns_[fd] =
         std::make_unique<Connection>(fd, next_gen_++, config_.limits);
     read_shutdown_[fd] = false;
@@ -218,12 +251,13 @@ void Server::HandleConnectionEvent(int fd, uint32_t events) {
   for (;;) {
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n > 0) {
+      metrics_.bytes_read->Increment(static_cast<uint64_t>(n));
       std::vector<Connection::Frame> frames;
       util::Status st = conn->Ingest(buf, static_cast<size_t>(n), &frames);
       if (!st.ok()) {
         // Framing is broken: the stream can't be re-aligned, so the reply
         // contract is "clean close".
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.protocol_errors->Increment();
         CloseConnection(fd);
         return;
       }
@@ -252,11 +286,12 @@ void Server::HandleConnectionEvent(int fd, uint32_t events) {
   FlushWrites(conn);
 }
 
-bool Server::QueueError(Connection* conn, uint64_t request_id, WireError code,
+bool Server::QueueError(Connection* conn, uint64_t request_id,
+                        uint16_t version, WireError code,
                         const std::string& message) {
-  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.protocol_errors->Increment();
   std::vector<uint8_t> payload = EncodeError({code, message});
-  if (!conn->QueueReply(MessageKind::kError, request_id, payload)) {
+  if (!conn->QueueReply(MessageKind::kError, request_id, payload, version)) {
     CloseConnection(conn->fd());
     return false;
   }
@@ -265,9 +300,11 @@ bool Server::QueueError(Connection* conn, uint64_t request_id, WireError code,
 
 void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
   const FrameHeader& h = frame.header;
-  if (h.version != kProtocolVersion) {
-    if (QueueError(conn, h.request_id, WireError::kUnsupportedVersion,
+  if (h.version < kMinProtocolVersion || h.version > kProtocolVersion) {
+    if (QueueError(conn, h.request_id, kProtocolVersion,
+                   WireError::kUnsupportedVersion,
                    "server speaks protocol v" +
+                       std::to_string(kMinProtocolVersion) + "-v" +
                        std::to_string(kProtocolVersion) + ", client sent v" +
                        std::to_string(h.version))) {
       conn->set_close_after_flush();
@@ -276,26 +313,54 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
     return;
   }
   if (util::Status st = VerifyPayloadCrc(h, frame.payload); !st.ok()) {
-    QueueError(conn, h.request_id, WireError::kBadFrame, st.message());
+    QueueError(conn, h.request_id, h.version, WireError::kBadFrame,
+               st.message());
     return;
   }
 
   switch (h.kind) {
     case MessageKind::kPing:
-      if (!conn->QueueReply(MessageKind::kPong, h.request_id, {})) {
+      if (!conn->QueueReply(MessageKind::kPong, h.request_id, {},
+                            h.version)) {
         CloseConnection(conn->fd());
       }
       return;
     case MessageKind::kStats: {
-      std::vector<uint8_t> payload = EncodeStats(StatsNow());
-      if (!conn->QueueReply(MessageKind::kStatsResult, h.request_id,
-                            payload)) {
+      std::vector<uint8_t> payload = EncodeStats(StatsNow(), h.version);
+      if (!conn->QueueReply(MessageKind::kStatsResult, h.request_id, payload,
+                            h.version)) {
+        CloseConnection(conn->fd());
+      }
+      return;
+    }
+    case MessageKind::kMetrics: {
+      // v2+ op: render the whole registry (engine + net series) as
+      // Prometheus text. Rendered inline on the event loop — exposition is
+      // a rare, operator-driven request.
+      if (h.version < 2) {
+        QueueError(conn, h.request_id, h.version, WireError::kUnknownKind,
+                   "METRICS requires protocol v2");
+        return;
+      }
+      std::string text = obs::RenderPrometheus(*registry_);
+      if (text.size() + 4 > config_.limits.max_payload_bytes) {
+        text.resize(config_.limits.max_payload_bytes > 4
+                        ? config_.limits.max_payload_bytes - 4
+                        : 0);
+        // Truncate at a line boundary so the exposition stays parseable.
+        size_t nl = text.rfind('\n');
+        text.resize(nl == std::string::npos ? 0 : nl + 1);
+      }
+      std::vector<uint8_t> payload = EncodeMetricsResult(text);
+      if (!conn->QueueReply(MessageKind::kMetricsResult, h.request_id,
+                            payload, h.version)) {
         CloseConnection(conn->fd());
       }
       return;
     }
     case MessageKind::kShutdown:
-      if (!conn->QueueReply(MessageKind::kShutdownAck, h.request_id, {})) {
+      if (!conn->QueueReply(MessageKind::kShutdownAck, h.request_id, {},
+                            h.version)) {
         CloseConnection(conn->fd());
         return;
       }
@@ -307,14 +372,14 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
     case MessageKind::kRecommendBatch:
       break;  // work requests, handled below
     default:
-      QueueError(conn, h.request_id, WireError::kUnknownKind,
+      QueueError(conn, h.request_id, h.version, WireError::kUnknownKind,
                  "unhandled message kind " +
                      std::to_string(static_cast<uint16_t>(h.kind)));
       return;
   }
 
   if (draining_) {
-    QueueError(conn, h.request_id, WireError::kShuttingDown,
+    QueueError(conn, h.request_id, h.version, WireError::kShuttingDown,
                "server is draining");
     return;
   }
@@ -326,21 +391,25 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
   req.conn_fd = conn->fd();
   req.conn_gen = conn->gen();
   req.request_id = h.request_id;
+  req.version = h.version;
   req.kind = h.kind;
   std::vector<RecommendRequest> decoded;
   if (h.kind == MessageKind::kRecommend) {
     RecommendRequest r;
-    if (util::Status st = DecodeRecommend(frame.payload, config_.limits, &r);
+    if (util::Status st =
+            DecodeRecommend(frame.payload, config_.limits, h.version, &r);
         !st.ok()) {
-      QueueError(conn, h.request_id, WireError::kBadFrame, st.message());
+      QueueError(conn, h.request_id, h.version, WireError::kBadFrame,
+                 st.message());
       return;
     }
-    decoded.push_back(r);
+    decoded.push_back(std::move(r));
   } else {
-    if (util::Status st =
-            DecodeRecommendBatch(frame.payload, config_.limits, &decoded);
+    if (util::Status st = DecodeRecommendBatch(frame.payload, config_.limits,
+                                               h.version, &decoded);
         !st.ok()) {
-      QueueError(conn, h.request_id, WireError::kBadFrame, st.message());
+      QueueError(conn, h.request_id, h.version, WireError::kBadFrame,
+                 st.message());
       return;
     }
   }
@@ -351,7 +420,7 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
     reply_bytes += 4 + static_cast<size_t>(r.top_n) * kResultEntryBytes;
   }
   if (reply_bytes > config_.limits.max_payload_bytes) {
-    QueueError(conn, h.request_id, WireError::kInvalidArgument,
+    QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
                "reply would exceed the " +
                    std::to_string(config_.limits.max_payload_bytes) +
                    "-byte frame payload cap");
@@ -359,10 +428,23 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
   }
   const uint32_t num_nodes = engine_->num_nodes();
   const uint32_t num_topics = engine_->num_topics();
-  req.queries.reserve(decoded.size());
+  // The effective deadline is the tighter of the server-wide bound and the
+  // client's per-request deadline_ms (v2 field; 0 = none either way).
+  uint32_t deadline_ms = config_.request_deadline_ms;
   for (const RecommendRequest& r : decoded) {
+    if (r.deadline_ms > 0 &&
+        (deadline_ms == 0 || r.deadline_ms < deadline_ms)) {
+      deadline_ms = r.deadline_ms;
+    }
+  }
+  if (deadline_ms > 0) {
+    req.has_deadline = true;
+    req.deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  }
+  req.queries.reserve(decoded.size());
+  for (RecommendRequest& r : decoded) {
     if (r.user >= num_nodes || r.topic >= num_topics) {
-      QueueError(conn, h.request_id, WireError::kInvalidArgument,
+      QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
                  "query out of range: user " + std::to_string(r.user) +
                      " (nodes " + std::to_string(num_nodes) + "), topic " +
                      std::to_string(r.topic) + " (topics " +
@@ -373,26 +455,24 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
     q.user = r.user;
     q.topic = static_cast<topics::TopicId>(r.topic);
     q.top_n = r.top_n;
-    req.queries.push_back(q);
+    q.exclude = std::move(r.exclude);
+    if (req.has_deadline) q.deadline = req.deadline;
+    req.queries.push_back(std::move(q));
   }
 
   // Admission control: bounded in-flight, explicit shed beyond it.
   uint32_t cur = inflight_.load(std::memory_order_relaxed);
   if (cur >= config_.max_inflight) {
-    shed_overload_.fetch_add(1, std::memory_order_relaxed);
-    if (!conn->QueueReply(MessageKind::kOverloaded, h.request_id, {})) {
+    metrics_.shed_overload->Increment();
+    if (!conn->QueueReply(MessageKind::kOverloaded, h.request_id, {},
+                          h.version)) {
       CloseConnection(conn->fd());
     }
     return;
   }
   inflight_.fetch_add(1, std::memory_order_relaxed);
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.requests->Increment();
   conn->add_inflight();
-  if (config_.request_deadline_ms > 0) {
-    req.has_deadline = true;
-    req.deadline = Clock::now() +
-                   std::chrono::milliseconds(config_.request_deadline_ms);
-  }
   {
     std::lock_guard<std::mutex> lock(dispatch_mu_);
     dispatch_queue_.push_back(std::move(req));
@@ -427,6 +507,7 @@ void Server::FlushWrites(Connection* conn) {
     std::span<const uint8_t> out = conn->pending_write();
     ssize_t n = ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
     if (n > 0) {
+      metrics_.bytes_written->Increment(static_cast<uint64_t>(n));
       conn->ConsumeWritten(static_cast<size_t>(n));
     } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       break;
@@ -461,7 +542,7 @@ void Server::CloseConnection(int fd) {
   ::close(fd);
   conns_.erase(it);
   read_shutdown_.erase(fd);
-  closed_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.closed->Increment();
 }
 
 void Server::BeginDrain() {
@@ -531,21 +612,53 @@ void Server::DispatchLoop() {
 
     std::vector<uint8_t> frame;
     if (req.has_deadline && Clock::now() > req.deadline) {
-      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
-      std::vector<uint8_t> payload = EncodeError(
-          {WireError::kDeadlineExceeded,
-           "deadline of " + std::to_string(config_.request_deadline_ms) +
-               "ms expired before execution"});
-      AppendFrame(MessageKind::kError, req.request_id, payload, &frame);
-    } else if (req.kind == MessageKind::kRecommend) {
-      const service::Query& q = req.queries.front();
-      RankedList list = engine_->Recommend(q.user, q.topic, q.top_n);
-      std::vector<uint8_t> payload = EncodeResult(list);
-      AppendFrame(MessageKind::kResult, req.request_id, payload, &frame);
+      metrics_.shed_deadline->Increment();
+      std::vector<uint8_t> payload =
+          EncodeError({WireError::kDeadlineExceeded,
+                       "deadline expired before execution"});
+      AppendFrame(MessageKind::kError, req.request_id, payload, &frame,
+                  req.version);
     } else {
-      std::vector<RankedList> lists = engine_->RecommendMany(req.queries);
-      std::vector<uint8_t> payload = EncodeResultBatch(lists);
-      AppendFrame(MessageKind::kResultBatch, req.request_id, payload, &frame);
+      util::WallTimer timer;
+      std::vector<util::Result<core::Ranking>> results =
+          engine_->RecommendMany(req.queries);
+      // RESULT/RESULT_BATCH have no per-item error channel; the whole
+      // request shares one deadline, so the first failure speaks for the
+      // batch.
+      const util::Result<core::Ranking>* failed = nullptr;
+      for (const util::Result<core::Ranking>& r : results) {
+        if (!r.ok()) {
+          failed = &r;
+          break;
+        }
+      }
+      if (failed != nullptr) {
+        const bool deadline = failed->status().code() ==
+                              util::StatusCode::kDeadlineExceeded;
+        std::vector<uint8_t> payload = EncodeError(
+            {deadline ? WireError::kDeadlineExceeded : WireError::kInternal,
+             failed->status().message()});
+        AppendFrame(MessageKind::kError, req.request_id, payload, &frame,
+                    req.version);
+      } else if (req.kind == MessageKind::kRecommend) {
+        std::vector<uint8_t> payload =
+            EncodeResult(results.front().value().entries);
+        AppendFrame(MessageKind::kResult, req.request_id, payload, &frame,
+                    req.version);
+      } else {
+        std::vector<RankedList> lists;
+        lists.reserve(results.size());
+        for (util::Result<core::Ranking>& r : results) {
+          lists.push_back(std::move(r.value().entries));
+        }
+        std::vector<uint8_t> payload = EncodeResultBatch(lists);
+        AppendFrame(MessageKind::kResultBatch, req.request_id, payload,
+                    &frame, req.version);
+      }
+      obs::Histogram* h = req.kind == MessageKind::kRecommend
+                              ? metrics_.recommend_latency_us
+                              : metrics_.batch_latency_us;
+      h->Record(static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
     }
 
     {

@@ -46,6 +46,7 @@
 
 #include "net/connection.h"
 #include "net/protocol.h"
+#include "obs/metrics.h"
 #include "service/query_engine.h"
 #include "service/serving_stats.h"
 #include "util/status.h"
@@ -64,9 +65,14 @@ struct ServerConfig {
   // Drain backstop: force-close connections this long after Stop.
   uint32_t drain_grace_ms = 5000;
   WireLimits limits;
+  // Where the server registers its mbr_net_* series and what the METRICS
+  // op renders. nullptr = the engine's registry, so one exposition covers
+  // engine + network counters by default. Must outlive the server.
+  obs::Registry* registry = nullptr;
 };
 
-// Lock-free server-side counters (snapshot; see also StatsNow()).
+// Snapshot of the server's registry-backed counters (see also
+// StatsNow(), and the METRICS op for the full exposition).
 struct ServerCounters {
   uint64_t accepted = 0;         // connections accepted
   uint64_t refused = 0;          // connections closed at accept (cap/drain)
@@ -115,6 +121,8 @@ class Server {
     int conn_fd = -1;
     uint64_t conn_gen = 0;
     uint64_t request_id = 0;
+    // Protocol version the request arrived with; echoed on the reply.
+    uint16_t version = kProtocolVersion;
     MessageKind kind = MessageKind::kRecommend;
     std::vector<service::Query> queries;
     Clock::time_point deadline{};
@@ -133,8 +141,8 @@ class Server {
   void HandleFrame(Connection* conn, const Connection::Frame& frame);
   // Returns false when the connection had to be closed (write overflow) —
   // `conn` is dangling in that case.
-  bool QueueError(Connection* conn, uint64_t request_id, WireError code,
-                  const std::string& message);
+  bool QueueError(Connection* conn, uint64_t request_id, uint16_t version,
+                  WireError code, const std::string& message);
   void ProcessCompletions();
   void FlushWrites(Connection* conn);
   void UpdateEpollInterest(Connection* conn);
@@ -143,8 +151,26 @@ class Server {
   bool DrainComplete();
   void FinishShutdown();
 
+  // Registry-backed serving counters (mbr_net_* series). The raw-pointer
+  // handles are stable for the registry's lifetime.
+  struct Metrics {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* refused = nullptr;
+    obs::Counter* closed = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* shed_overload = nullptr;
+    obs::Counter* shed_deadline = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_written = nullptr;
+    obs::Histogram* recommend_latency_us = nullptr;
+    obs::Histogram* batch_latency_us = nullptr;
+  };
+
   service::QueryEngine* engine_;
   ServerConfig config_;
+  obs::Registry* registry_ = nullptr;
+  Metrics metrics_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -176,14 +202,10 @@ class Server {
   std::vector<Completion> completions_;
 
   std::atomic<bool> running_{false};
+  // Admission-control state (compared against max_inflight on the event
+  // loop); the registry counters above are monotonic and can serve stats
+  // but not this bound, which must read-modify-write.
   std::atomic<uint32_t> inflight_{0};
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> refused_{0};
-  std::atomic<uint64_t> closed_{0};
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> shed_overload_{0};
-  std::atomic<uint64_t> shed_deadline_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
 };
 
 }  // namespace mbr::net

@@ -1,0 +1,140 @@
+#include "obs/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mbr::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// Renders `{k="v",...}` including one extra label, or "" when empty.
+std::string LabelBlock(const Labels& labels, const char* extra_key = nullptr,
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendEscaped(&out, v);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    AppendEscaped(&out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void AppendHeader(std::string* out, bool* emitted, const MetricMeta& meta,
+                  const char* type) {
+  if (*emitted) return;
+  *emitted = true;
+  *out += "# HELP " + meta.name + " " + meta.help + "\n";
+  *out += "# TYPE " + meta.name + " ";
+  *out += type;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const Registry& registry) {
+  const auto counters = registry.SnapshotCounters();
+  const auto gauges = registry.SnapshotGauges();
+  const auto histograms = registry.SnapshotHistograms();
+
+  std::string out;
+  char buf[64];
+
+  // All series of a family must form one contiguous block after its
+  // # HELP/# TYPE header, so walk each kind grouped by family name
+  // (first-registration order, then every series of that family).
+  std::vector<std::string> done;
+  auto family_starts_here = [&done](const std::string& name) {
+    for (const std::string& d : done) {
+      if (d == name) return false;
+    }
+    done.push_back(name);
+    return true;
+  };
+
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (!family_starts_here(counters[i].first.name)) continue;
+    bool emitted = false;
+    for (size_t j = i; j < counters.size(); ++j) {
+      const auto& [meta, value] = counters[j];
+      if (meta.name != counters[i].first.name) continue;
+      AppendHeader(&out, &emitted, meta, "counter");
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+      out += meta.name + LabelBlock(meta.labels) + buf;
+    }
+  }
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (!family_starts_here(gauges[i].first.name)) continue;
+    bool emitted = false;
+    for (size_t j = i; j < gauges.size(); ++j) {
+      const auto& [meta, value] = gauges[j];
+      if (meta.name != gauges[i].first.name) continue;
+      AppendHeader(&out, &emitted, meta, "gauge");
+      std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", value);
+      out += meta.name + LabelBlock(meta.labels) + buf;
+    }
+  }
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    if (!family_starts_here(histograms[i].first.name)) continue;
+    bool emitted = false;
+    for (size_t j = i; j < histograms.size(); ++j) {
+      const auto& [meta, snap] = histograms[j];
+      if (meta.name != histograms[i].first.name) continue;
+      AppendHeader(&out, &emitted, meta, "histogram");
+      uint64_t cumulative = 0;
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        cumulative += snap.buckets[b];
+        std::string le;
+        if (b == kHistogramBuckets - 1) {
+          le = "+Inf";
+        } else {
+          // Bucket b holds [2^b, 2^(b+1)): largest integer it admits.
+          std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                        (uint64_t{1} << (b + 1)) - 1);
+          le = buf;
+        }
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cumulative);
+        out += meta.name + "_bucket" + LabelBlock(meta.labels, "le", le) + buf;
+      }
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", snap.sum);
+      out += meta.name + "_sum" + LabelBlock(meta.labels) + buf;
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", snap.count);
+      out += meta.name + "_count" + LabelBlock(meta.labels) + buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace mbr::obs

@@ -1,0 +1,21 @@
+#ifndef MBR_OBS_PROMETHEUS_H_
+#define MBR_OBS_PROMETHEUS_H_
+
+// Prometheus text exposition (version 0.0.4) for an obs::Registry.
+//
+// Families are emitted in registration order, `# HELP` / `# TYPE` once per
+// family, one sample line per series. Histograms render as cumulative
+// `_bucket{le="..."}` series with integer upper bounds 2^(b+1)-1 (the last
+// value bucket b holds), a final `le="+Inf"`, plus `_sum` and `_count`.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace mbr::obs {
+
+std::string RenderPrometheus(const Registry& registry);
+
+}  // namespace mbr::obs
+
+#endif  // MBR_OBS_PROMETHEUS_H_

@@ -1,0 +1,90 @@
+#ifndef MBR_OBS_SLOW_QUERY_LOG_H_
+#define MBR_OBS_SLOW_QUERY_LOG_H_
+
+// Sampled slow-query log: a bounded ring of the most recent queries whose
+// end-to-end time crossed a threshold, each with its per-stage span
+// breakdown.
+//
+// The engine wraps each query execution in a QueryTrace; MBR_SPAN sites
+// that run under it append (stage, micros) entries to a thread-local
+// scratch buffer. On destruction the trace either discards the buffer
+// (fast path) or, if total time >= threshold, pushes one SlowQueryEntry
+// into the log under a mutex. Queries below the threshold never touch a
+// lock.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mbr::obs {
+
+struct StageTiming {
+  const char* stage;  // string literal from the MBR_SPAN site
+  uint64_t micros = 0;
+};
+
+struct SlowQueryEntry {
+  uint64_t user = 0;
+  uint64_t topic = 0;
+  uint64_t top_n = 0;
+  uint64_t total_micros = 0;
+  std::vector<StageTiming> stages;
+
+  // "slow-query user=7 topic=3 top_n=10 total=15632us scorer.explore=15000us"
+  std::string Format() const;
+};
+
+class SlowQueryLog {
+ public:
+  struct Config {
+    uint64_t threshold_micros = 50'000;  // 50 ms
+    size_t capacity = 64;
+  };
+
+  SlowQueryLog() = default;
+  explicit SlowQueryLog(Config c) : config_(c) {}
+
+  void Configure(Config c);
+  uint64_t threshold_micros() const;
+
+  // Most recent entries, oldest first (at most Config::capacity).
+  std::vector<SlowQueryEntry> Entries() const;
+
+  // Process-wide log used by QueryTrace's default constructor path.
+  static SlowQueryLog& Default();
+
+  void Append(SlowQueryEntry e);
+
+ private:
+  mutable std::mutex mu_;
+  Config config_;
+  std::vector<SlowQueryEntry> ring_;
+  size_t next_ = 0;  // ring insertion point once at capacity
+};
+
+// RAII scope marking "a query is being traced on this thread". At most one
+// may be active per thread (nested traces are a programmer error).
+class QueryTrace {
+ public:
+  QueryTrace(SlowQueryLog* log, uint64_t user, uint64_t topic,
+             uint64_t top_n);
+  ~QueryTrace();
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  // Called by SpanTimer when a span closes inside an active trace.
+  // No-op when no trace is active on this thread.
+  static void AppendStage(const char* stage, uint64_t micros);
+
+ private:
+  SlowQueryLog* log_;
+  SlowQueryEntry entry_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mbr::obs
+
+#endif  // MBR_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,22 @@
+#include "obs/span.h"
+
+#include "obs/slow_query_log.h"
+
+namespace mbr::obs {
+
+Histogram* StageHistogram(const char* stage) {
+  return Registry::Default().GetHistogram(
+      "mbr_stage_latency_us", "Per-stage latency in microseconds.",
+      {{"stage", stage}});
+}
+
+SpanTimer::~SpanTimer() {
+  if (hist_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  hist_->Record(us);
+  QueryTrace::AppendStage(stage_, us);
+}
+
+}  // namespace mbr::obs

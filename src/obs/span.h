@@ -1,0 +1,65 @@
+#ifndef MBR_OBS_SPAN_H_
+#define MBR_OBS_SPAN_H_
+
+// Lightweight trace spans.
+//
+//   void Scorer::Explore(...) {
+//     MBR_SPAN("scorer.explore");
+//     ...
+//   }
+//
+// Each MBR_SPAN site resolves its histogram once (function-local static
+// into the default registry, series `mbr_stage_latency_us{stage="..."}`)
+// and then pays one steady_clock read on entry and one on exit. The elapsed
+// microseconds are recorded into the stage histogram and appended to the
+// active slow-query trace, if any (see slow_query_log.h).
+//
+// Spans honor the runtime switch (obs::SetEnabled(false) makes them skip
+// the clock reads) and compile out entirely under -DMBR_OBS_NOOP.
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace mbr::obs {
+
+// Registers `mbr_stage_latency_us{stage=<stage>}` in Registry::Default().
+// `stage` must be a string literal (kept by pointer in trace entries).
+Histogram* StageHistogram(const char* stage);
+
+class SpanTimer {
+ public:
+  SpanTimer(Histogram* hist, const char* stage)
+      : hist_(Enabled() ? hist : nullptr), stage_(stage) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~SpanTimer();
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  const char* stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mbr::obs
+
+#define MBR_OBS_CONCAT_INNER(a, b) a##b
+#define MBR_OBS_CONCAT(a, b) MBR_OBS_CONCAT_INNER(a, b)
+
+#ifdef MBR_OBS_NOOP
+#define MBR_SPAN(stage) \
+  do {                  \
+  } while (0)
+#else
+#define MBR_SPAN(stage)                                                      \
+  static ::mbr::obs::Histogram* MBR_OBS_CONCAT(mbr_span_hist_, __LINE__) =   \
+      ::mbr::obs::StageHistogram(stage);                                     \
+  ::mbr::obs::SpanTimer MBR_OBS_CONCAT(mbr_span_timer_, __LINE__)(           \
+      MBR_OBS_CONCAT(mbr_span_hist_, __LINE__), stage)
+#endif
+
+#endif  // MBR_OBS_SPAN_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <latch>
 
+#include "obs/slow_query_log.h"
+#include "obs/span.h"
 #include "util/timer.h"
 
 namespace mbr::service {
@@ -31,6 +33,29 @@ QueryEngine::QueryEngine(const graph::LabeledGraph& g,
       sim_(&sim),
       config_(config),
       pool_(config.num_threads) {
+  if (config_.registry != nullptr) {
+    registry_ = config_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  metrics_.queries = registry_->GetCounter(
+      "mbr_engine_queries_total", "Queries admitted by the engine.");
+  metrics_.batches = registry_->GetCounter("mbr_engine_batches_total",
+                                           "RecommendMany calls.");
+  metrics_.cache_hits = registry_->GetCounter(
+      "mbr_engine_cache_hits_total", "Queries answered from the result cache.");
+  metrics_.cache_misses = registry_->GetCounter(
+      "mbr_engine_cache_misses_total", "Queries that ran a scorer.");
+  metrics_.invalidations = registry_->GetCounter(
+      "mbr_engine_invalidations_total",
+      "Cache invalidations (params-epoch bumps).");
+  metrics_.deadline_exceeded = registry_->GetCounter(
+      "mbr_engine_deadline_exceeded_total",
+      "Queries answered kDeadlineExceeded by the engine.");
+  metrics_.latency_us = registry_->GetHistogram(
+      "mbr_engine_latency_us",
+      "Per-query engine latency in microseconds (hits and misses).");
   if (config_.cache_capacity > 0) {
     cache_ = std::make_unique<Cache>(config_.cache_capacity,
                                      std::max(1u, config_.cache_shards));
@@ -55,8 +80,7 @@ void QueryEngine::BuildWorkers() {
 }
 
 void QueryEngine::RecordLatencySeconds(double seconds) {
-  uint64_t us = static_cast<uint64_t>(seconds * 1e6);
-  latency_[LatencyBucket(us)].fetch_add(1, std::memory_order_relaxed);
+  metrics_.latency_us->Record(static_cast<uint64_t>(seconds * 1e6));
 }
 
 bool QueryEngine::CacheLookup(const CacheKey& key,
@@ -65,71 +89,104 @@ bool QueryEngine::CacheLookup(const CacheKey& key,
   return cache_->Get(key, out);
 }
 
-std::vector<util::ScoredId> QueryEngine::ExecuteQuery(uint32_t wid,
-                                                      const Query& q) {
+util::Result<core::Ranking> QueryEngine::ExecuteQuery(uint32_t wid,
+                                                      const core::Query& q) {
   util::WallTimer timer;
-  Worker& w = workers_[wid];
-  std::vector<util::ScoredId> out;
-  if (w.approx != nullptr) {
-    out = w.approx->RecommendTopN(q.user, q.topic, q.top_n);
-  } else {
+  // Trace the scored path: spans opened below (and inside the scorers)
+  // attach their timings, and the whole breakdown lands in the slow-query
+  // log when the query crosses the threshold.
+  obs::QueryTrace trace(obs::Enabled() ? &obs::SlowQueryLog::Default()
+                                       : nullptr,
+                        q.user, q.topic, q.top_n);
+  util::Result<core::Ranking> out = [&]() -> util::Result<core::Ranking> {
+    MBR_SPAN("engine.execute");
+    Worker& w = workers_[wid];
+    if (w.approx != nullptr) {
+      return w.approx->Recommend(q);
+    }
+    if (q.expired()) {
+      return util::Status::DeadlineExceeded("query deadline expired");
+    }
     core::ExplorationResult res =
         w.scorer->Explore(q.user, topics::TopicSet::Single(q.topic));
-    util::TopK topk(q.top_n);
+    core::RankingBuilder builder(q);
     for (graph::NodeId v : res.reached()) {
-      if (v == q.user) continue;
-      double s = res.Sigma(v, q.topic);
-      if (s > 0.0) topk.Offer(v, s);
+      builder.Offer(v, res.Sigma(v, q.topic));
     }
-    out = topk.Take();
-  }
+    return builder.Take();
+  }();
   RecordLatencySeconds(timer.ElapsedSeconds());
+  if (!out.ok() && out.status().code() == util::StatusCode::kDeadlineExceeded) {
+    metrics_.deadline_exceeded->Increment();
+  }
   return out;
 }
 
-std::vector<util::ScoredId> QueryEngine::Recommend(graph::NodeId user,
-                                                   topics::TopicId topic,
-                                                   uint32_t top_n) {
-  Query q{user, topic, top_n};
-  auto results = RecommendMany({q});
+util::Result<core::Ranking> QueryEngine::Recommend(const core::Query& query) {
+  auto results = RecommendMany(std::span<const core::Query>(&query, 1));
   return std::move(results.front());
 }
 
-std::vector<std::vector<util::ScoredId>> QueryEngine::RecommendMany(
-    const std::vector<Query>& queries) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  queries_.fetch_add(queries.size(), std::memory_order_relaxed);
-  std::vector<std::vector<util::ScoredId>> results(queries.size());
+std::vector<util::ScoredId> QueryEngine::TopN(graph::NodeId user,
+                                              topics::TopicId topic,
+                                              uint32_t top_n) {
+  util::Result<core::Ranking> r = Recommend(Query::TopN(user, topic, top_n));
+  MBR_CHECK(r.ok());
+  return std::move(r.value().entries);
+}
+
+std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
+    std::span<const core::Query> queries) {
+  metrics_.batches->Increment();
+  metrics_.queries->Increment(queries.size());
+  std::vector<util::Result<core::Ranking>> results(
+      queries.size(),
+      util::Result<core::Ranking>(util::Status::Internal("unanswered")));
   if (queries.empty()) return results;
 
   const uint64_t epoch = epoch_.load(std::memory_order_acquire);
   std::vector<size_t> misses;
   misses.reserve(queries.size());
+  uint64_t expired_at_admission = 0;
   {
     // Shared lock: validation reads the current graph, which Rebind swaps
     // under the exclusive lock. Released before the latch wait below so a
     // concurrent Rebind can never deadlock against in-flight batches.
     std::shared_lock<std::shared_mutex> lock(rebind_mu_);
-    for (const Query& q : queries) {
+    for (const core::Query& q : queries) {
       MBR_CHECK(q.user < g_->num_nodes());
       MBR_CHECK(q.topic < g_->num_topics());
       MBR_CHECK(q.top_n > 0);
+      MBR_CHECK(q.candidates.empty());  // serving is top-n only
     }
     // Resolve cache hits inline on the calling thread — a warm repeat
-    // query never touches the pool.
+    // query never touches the pool. Queries with exclusions or deadlines
+    // already blown skip the cache.
     for (size_t i = 0; i < queries.size(); ++i) {
-      const Query& q = queries[i];
+      const core::Query& q = queries[i];
+      if (q.expired()) {
+        results[i] = util::Status::DeadlineExceeded("query deadline expired");
+        ++expired_at_admission;
+        continue;
+      }
+      if (!q.exclude.empty()) {
+        misses.push_back(i);
+        continue;
+      }
       CacheKey key{q.user, q.topic, q.top_n, epoch};
       util::WallTimer timer;
-      if (CacheLookup(key, &results[i])) {
-        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<util::ScoredId> cached;
+      if (CacheLookup(key, &cached)) {
+        metrics_.cache_hits->Increment();
         RecordLatencySeconds(timer.ElapsedSeconds());
+        results[i] = core::Ranking{std::move(cached)};
       } else {
         misses.push_back(i);
       }
     }
   }
-  cache_misses_.fetch_add(misses.size(), std::memory_order_relaxed);
+  metrics_.deadline_exceeded->Increment(expired_at_admission);
+  metrics_.cache_misses->Increment(misses.size());
   if (misses.empty()) return results;
 
   // Fan the misses across the pool in contiguous chunks (several queries
@@ -148,11 +205,11 @@ std::vector<std::vector<util::ScoredId>> QueryEngine::RecommendMany(
         std::shared_lock<std::shared_mutex> lock(rebind_mu_);
         for (size_t m = begin; m < end; ++m) {
           const size_t i = misses[m];
-          const Query& q = queries[i];
+          const core::Query& q = queries[i];
           results[i] = ExecuteQuery(wid, q);
-          if (cache_ != nullptr) {
+          if (cache_ != nullptr && results[i].ok() && q.exclude.empty()) {
             cache_->Put(CacheKey{q.user, q.topic, q.top_n, epoch},
-                        results[i]);
+                        results[i].value().entries);
           }
         }
       }
@@ -175,7 +232,7 @@ uint32_t QueryEngine::num_topics() const {
 
 void QueryEngine::Invalidate() {
   epoch_.fetch_add(1, std::memory_order_acq_rel);
-  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.invalidations->Increment();
 }
 
 void QueryEngine::Rebind(const graph::LabeledGraph& g,
@@ -189,15 +246,15 @@ void QueryEngine::Rebind(const graph::LabeledGraph& g,
 
 EngineStats QueryEngine::Stats() const {
   EngineStats s;
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.queries = metrics_.queries->Value();
+  s.batches = metrics_.batches->Value();
+  s.cache_hits = metrics_.cache_hits->Value();
+  s.cache_misses = metrics_.cache_misses->Value();
+  s.invalidations = metrics_.invalidations->Value();
+  s.deadline_exceeded = metrics_.deadline_exceeded->Value();
   s.params_epoch = epoch_.load(std::memory_order_relaxed);
-  for (int b = 0; b < kLatencyBuckets; ++b) {
-    s.latency_log2_us[b] = latency_[b].load(std::memory_order_relaxed);
-  }
+  obs::Histogram::Snapshot snap = metrics_.latency_us->TakeSnapshot();
+  s.latency_log2_us = snap.buckets;
   return s;
 }
 

@@ -16,43 +16,52 @@
 //     unreachable in O(1) — stale entries are then evicted by ordinary LRU
 //     pressure. The dynamic-update path wires
 //     dynamic::DeltaGraph::SetChangeListener to Invalidate() so serving
-//     never returns results from before an edge change;
-//   * lightweight serving stats: queries served, batch count, cache
-//     hits/misses, invalidations, and a log2 per-query latency histogram.
+//     never returns results from before an edge change. Queries carrying
+//     an exclusion list bypass the cache entirely (the key space is
+//     (user, topic, top_n) only);
+//   * serving counters and the per-query log2 latency histogram live in an
+//     obs::Registry (EngineConfig::registry, or a private one), so the
+//     STATS projection, the log line, and Prometheus exposition all read
+//     the same source of truth.
+//
+// Requests are core::Query objects: deadline expiry is answered with
+// kDeadlineExceeded (checked at admission and again on the worker before
+// scoring), and exclusion lists are honored by the scorers' shared
+// RankingBuilder. Candidate-scoring mode is not served here (it exists for
+// the offline evaluation protocol): queries must have empty `candidates`.
 //
 // Epoch scheme: the epoch only ever grows. A scored result is inserted
 // under the epoch observed when its query was admitted; if an invalidation
 // races with the scoring, the insert lands under the old epoch and is
 // simply never looked up again — correctness never depends on the cache.
 
-#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "core/authority.h"
 #include "core/params.h"
+#include "core/recommender_iface.h"
 #include "core/scorer.h"
 #include "graph/labeled_graph.h"
 #include "landmark/approx.h"
 #include "landmark/index.h"
+#include "obs/metrics.h"
 #include "topics/similarity_matrix.h"
 #include "topics/topic.h"
 #include "util/lru_cache.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/top_k.h"
 
 namespace mbr::service {
 
-// One recommendation request.
-struct Query {
-  graph::NodeId user = 0;
-  topics::TopicId topic = 0;
-  uint32_t top_n = 10;
-};
+// The serving request is the core request object.
+using Query = core::Query;
 
 struct EngineConfig {
   // Worker threads: 0 = hardware concurrency.
@@ -66,28 +75,30 @@ struct EngineConfig {
   // engine; `approx.params` is overridden by `params`.
   const landmark::LandmarkIndex* landmarks = nullptr;
   landmark::ApproxConfig approx;
+  // Where the engine registers its counters/histogram. nullptr = the
+  // engine owns a private registry (hermetic stats in tests); `mbrec
+  // serve` passes &obs::Registry::Default() so one exposition covers the
+  // whole process. Must outlive the engine.
+  obs::Registry* registry = nullptr;
 };
 
-inline constexpr int kLatencyBuckets = 32;
+// The engine's latency histogram uses the obs floor-log2 bucketing (the
+// PR-2 convention: bucket b counts [2^b, 2^(b+1)) µs, bucket 0 also holds
+// sub-microsecond samples, 1 µs lands in bucket 0 and exactly 2^k µs in
+// bucket k).
+inline constexpr int kLatencyBuckets = obs::kHistogramBuckets;
 
-// Histogram bucket for a latency of `us` microseconds: floor(log2(us)),
-// clamped to the histogram — bucket b counts latencies in [2^b, 2^(b+1)) µs,
-// with bucket 0 additionally holding sub-microsecond samples. So 1 µs lands
-// in bucket 0, 2–3 µs in bucket 1, and exactly 2^k µs in bucket k. (The
-// previous `64 - clz` put a 1 µs sample in bucket 1, inflating every
-// reported percentile by ~2x.)
-inline int LatencyBucket(uint64_t us) {
-  if (us == 0) return 0;
-  return std::min(kLatencyBuckets - 1, 63 - __builtin_clzll(us));
-}
+inline int LatencyBucket(uint64_t us) { return obs::Log2Bucket(us); }
 
-// Snapshot of the engine's serving counters.
+// Snapshot of the engine's serving counters (a projection of the registry
+// series; see StatsSnapshot for the wire/log-line projection on top).
 struct EngineStats {
   uint64_t queries = 0;   // total queries admitted
   uint64_t batches = 0;   // RecommendMany calls
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;  // queries that ran a scorer
   uint64_t invalidations = 0;
+  uint64_t deadline_exceeded = 0;  // queries answered kDeadlineExceeded
   uint64_t params_epoch = 0;
   // latency_log2_us[b] counts queries with latency in [2^b, 2^(b+1)) µs
   // (bucket 0 also holds sub-microsecond samples); see LatencyBucket().
@@ -118,19 +129,23 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  // Blocking single query: the ranked top-n users for (user, topic),
-  // excluding the query user. Thread-safe; the scoring itself runs on a
-  // pool worker. Preconditions: user < num_nodes, topic < num_topics,
-  // top_n > 0.
-  std::vector<util::ScoredId> Recommend(graph::NodeId user,
-                                        topics::TopicId topic,
-                                        uint32_t top_n);
+  // Blocking single query. Thread-safe; cache hits resolve on the calling
+  // thread, misses score on a pool worker. Expired deadlines yield
+  // kDeadlineExceeded. Preconditions: user < num_nodes,
+  // topic < num_topics, top_n > 0, candidates empty.
+  util::Result<core::Ranking> Recommend(const core::Query& query);
 
   // Batched queries, fanned across the worker pool. results[i] always
   // answers queries[i] (input order is preserved regardless of which
   // worker served which query). Thread-safe.
-  std::vector<std::vector<util::ScoredId>> RecommendMany(
-      const std::vector<Query>& queries);
+  std::vector<util::Result<core::Ranking>> RecommendMany(
+      std::span<const core::Query> queries);
+
+  // Convenience over Recommend() for in-process callers with no deadline
+  // or exclusions (CLI, tests, benchmarks): the ranked entries, aborting
+  // on error.
+  std::vector<util::ScoredId> TopN(graph::NodeId user, topics::TopicId topic,
+                                   uint32_t top_n);
 
   // Drops all cached results in O(1) by bumping the params epoch. Wire
   // this to dynamic::DeltaGraph::SetChangeListener so edge churn can never
@@ -155,6 +170,10 @@ class QueryEngine {
   uint32_t num_nodes() const;
   uint32_t num_topics() const;
   bool cache_enabled() const { return cache_ != nullptr; }
+
+  // The registry holding the engine's series (the configured one, or the
+  // engine-owned private registry).
+  obs::Registry& registry() { return *registry_; }
 
   EngineStats Stats() const;
 
@@ -187,10 +206,22 @@ class QueryEngine {
     std::unique_ptr<landmark::ApproxRecommender> approx;
   };
 
+  // Registry-backed serving counters.
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* invalidations = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+
   void BuildWorkers();
   // Scores one query on worker `wid` (cache miss path) and records its
   // latency. Caller must hold rebind_mu_ shared.
-  std::vector<util::ScoredId> ExecuteQuery(uint32_t wid, const Query& q);
+  util::Result<core::Ranking> ExecuteQuery(uint32_t wid,
+                                           const core::Query& q);
   void RecordLatencySeconds(double seconds);
   bool CacheLookup(const CacheKey& key, std::vector<util::ScoredId>* out);
 
@@ -199,6 +230,10 @@ class QueryEngine {
   const topics::SimilarityMatrix* sim_;
   EngineConfig config_;
 
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  Metrics metrics_;
+
   // Queries hold this shared; Rebind holds it exclusive to swap scorers.
   // Mutable so const accessors (num_nodes) can take the shared side.
   mutable std::shared_mutex rebind_mu_;
@@ -206,12 +241,6 @@ class QueryEngine {
   std::unique_ptr<Cache> cache_;
 
   std::atomic<uint64_t> epoch_{0};
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> cache_misses_{0};
-  std::atomic<uint64_t> invalidations_{0};
-  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_{};
 
   // Declared last so its destructor joins the workers while the scorers
   // and cache above are still alive.

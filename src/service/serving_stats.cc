@@ -11,6 +11,7 @@ StatsSnapshot MakeStatsSnapshot(const EngineStats& s) {
   out.cache_hits = s.cache_hits;
   out.cache_misses = s.cache_misses;
   out.invalidations = s.invalidations;
+  out.deadline_exceeded = s.deadline_exceeded;
   out.params_epoch = s.params_epoch;
   out.p50_us = s.LatencyPercentileMicros(0.50);
   out.p90_us = s.LatencyPercentileMicros(0.90);
@@ -22,11 +23,12 @@ std::string FormatStatsLine(const StatsSnapshot& s) {
   char buf[256];
   std::snprintf(
       buf, sizeof(buf),
-      "queries=%llu hit=%.1f%% shed=%llu+%llu conns=%llu/%llu "
+      "queries=%llu hit=%.1f%% shed=%llu+%llu expired=%llu conns=%llu/%llu "
       "p50=%.0fus p90=%.0fus p99=%.0fus",
       static_cast<unsigned long long>(s.queries), 100.0 * s.HitRate(),
       static_cast<unsigned long long>(s.shed_overload),
       static_cast<unsigned long long>(s.shed_deadline),
+      static_cast<unsigned long long>(s.deadline_exceeded),
       static_cast<unsigned long long>(s.connections_open),
       static_cast<unsigned long long>(s.connections_accepted), s.p50_us,
       s.p90_us, s.p99_us);

@@ -22,6 +22,8 @@ struct StatsSnapshot {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t invalidations = 0;
+  // Queries the engine answered kDeadlineExceeded (admission or worker).
+  uint64_t deadline_exceeded = 0;
   uint64_t params_epoch = 0;
   // Admission control (network layer): requests refused with OVERLOADED,
   // and requests whose deadline expired before a dispatcher picked them up.
@@ -46,8 +48,10 @@ struct StatsSnapshot {
 StatsSnapshot MakeStatsSnapshot(const EngineStats& s);
 
 // The canonical one-line rendering, e.g.
-//   "queries=120 hit=41.7% shed=3+0 conns=2/17 p50=128us p90=512us p99=1024us"
-// (shed is overload+deadline, conns is open/accepted).
+//   "queries=120 hit=41.7% shed=3+0 expired=1 conns=2/17 p50=128us
+//    p90=512us p99=1024us"
+// (shed is overload+deadline at the network layer, expired is the engine's
+// own deadline-exceeded count, conns is open/accepted).
 std::string FormatStatsLine(const StatsSnapshot& s);
 
 }  // namespace mbr::service

@@ -82,7 +82,7 @@ TEST(NeighborhoodTest, PreferentialAttachment) {
   EXPECT_DOUBLE_EQ(rec.Score(1, 4), 1.0 * 2.0);
 }
 
-TEST(NeighborhoodTest, RecommendTopNConsistentWithScores) {
+TEST(NeighborhoodTest, TopNConsistentWithScores) {
   datagen::TwitterConfig c;
   c.num_nodes = 800;
   auto ds = datagen::GenerateTwitter(c);
@@ -90,7 +90,7 @@ TEST(NeighborhoodTest, RecommendTopNConsistentWithScores) {
        {NeighborhoodScore::kCommonNeighbors, NeighborhoodScore::kAdamicAdar,
         NeighborhoodScore::kJaccard}) {
     NeighborhoodRecommender rec(ds.graph, score);
-    auto top = rec.RecommendTopN(5, 0, 10);
+    auto top = rec.TopN(5, 0, 10);
     for (size_t i = 0; i < top.size(); ++i) {
       EXPECT_NEAR(top[i].score, rec.Score(5, top[i].id), 1e-12);
       if (i > 0) {
@@ -160,7 +160,7 @@ TEST(WtfSalsaTest, AuthorityFavorsCoFollowedAccounts) {
 TEST(WtfSalsaTest, NoFolloweesNoRecommendations) {
   LabeledGraph g = MakeFunnel();
   WtfSalsa wtf(g);
-  EXPECT_TRUE(wtf.RecommendTopN(6, 0, 5).empty());
+  EXPECT_TRUE(wtf.TopN(6, 0, 5).empty());
 }
 
 TEST(WtfSalsaTest, PersonalisedUnlikeTwitterRank) {
@@ -170,8 +170,8 @@ TEST(WtfSalsaTest, PersonalisedUnlikeTwitterRank) {
   WtfSalsa wtf(ds.graph);
   std::vector<NodeId> cands;
   for (NodeId v = 10; v < 30; ++v) cands.push_back(v);
-  auto s1 = wtf.ScoreCandidates(1, 0, cands);
-  auto s2 = wtf.ScoreCandidates(2, 0, cands);
+  auto s1 = wtf.CandidateScores(1, 0, cands);
+  auto s2 = wtf.CandidateScores(2, 0, cands);
   EXPECT_NE(s1, s2);  // different circles of trust
 }
 
@@ -180,7 +180,7 @@ TEST(WtfSalsaTest, WorksOnGeneratedGraph) {
   c.num_nodes = 2000;
   auto ds = datagen::GenerateTwitter(c);
   WtfSalsa wtf(ds.graph);
-  auto recs = wtf.RecommendTopN(7, 0, 10);
+  auto recs = wtf.TopN(7, 0, 10);
   EXPECT_FALSE(recs.empty());
   for (size_t i = 1; i < recs.size(); ++i) {
     EXPECT_GE(recs[i - 1].score, recs[i].score);

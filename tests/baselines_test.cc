@@ -66,7 +66,7 @@ TEST(KatzTest, MatchesOracleTopoScore) {
       g, auth, topics::TwitterSimilarity(), p, 0, 0, 4);
   std::vector<NodeId> all(g.num_nodes());
   std::iota(all.begin(), all.end(), 0);
-  auto scores = katz.ScoreCandidates(0, 0, all);
+  auto scores = katz.CandidateScores(0, 0, all);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     EXPECT_NEAR(scores[v], oracle.TopoBeta(v), 1e-12) << "v=" << v;
   }
@@ -76,8 +76,8 @@ TEST(KatzTest, TopicIsIgnored) {
   LabeledGraph g = RandomGraph(10, 3, 6);
   KatzRecommender katz(g, topics::TwitterSimilarity(), ExactParams());
   std::vector<NodeId> cands = {1, 2, 3};
-  EXPECT_EQ(katz.ScoreCandidates(0, 0, cands),
-            katz.ScoreCandidates(0, 7, cands));
+  EXPECT_EQ(katz.CandidateScores(0, 0, cands),
+            katz.CandidateScores(0, 7, cands));
 }
 
 TEST(KatzTest, ManyShortPathsBeatOneLongPath) {
@@ -92,14 +92,14 @@ TEST(KatzTest, ManyShortPathsBeatOneLongPath) {
   b.AddEdge(6, 7, Ts({0}));
   LabeledGraph g = std::move(b).Build();
   KatzRecommender katz(g, topics::TwitterSimilarity(), ExactParams());
-  auto s = katz.ScoreCandidates(0, 0, {4, 7});
+  auto s = katz.CandidateScores(0, 0, {4, 7});
   EXPECT_GT(s[0], s[1]);
 }
 
-TEST(KatzTest, RecommendTopNExcludesSelfAndRanksDescending) {
+TEST(KatzTest, TopNExcludesSelfAndRanksDescending) {
   LabeledGraph g = RandomGraph(30, 4, 7);
   KatzRecommender katz(g, topics::TwitterSimilarity(), ExactParams());
-  auto recs = katz.RecommendTopN(0, 0, 10);
+  auto recs = katz.TopN(0, 0, 10);
   ASSERT_FALSE(recs.empty());
   for (size_t i = 0; i < recs.size(); ++i) {
     EXPECT_NE(recs[i].id, 0u);
@@ -149,7 +149,7 @@ TEST(TwitterRankTest, PopularTopicalAccountRanksHigh) {
   TwitterRank tr(g);
   EXPECT_GT(tr.Score(0, 0), tr.Score(1, 0));
   // And node 0 should be (one of) the best on topic 0 overall.
-  auto top = tr.RecommendTopN(5, 0, 1);
+  auto top = tr.TopN(5, 0, 1);
   ASSERT_EQ(top.size(), 1u);
   EXPECT_EQ(top[0].id, 0u);
 }
@@ -158,8 +158,8 @@ TEST(TwitterRankTest, GlobalScoresIndependentOfQueryUser) {
   LabeledGraph g = RandomGraph(40, 4, 10);
   TwitterRank tr(g);
   std::vector<NodeId> cands = {3, 4, 5};
-  EXPECT_EQ(tr.ScoreCandidates(0, 2, cands),
-            tr.ScoreCandidates(17, 2, cands));
+  EXPECT_EQ(tr.CandidateScores(0, 2, cands),
+            tr.CandidateScores(17, 2, cands));
 }
 
 TEST(TwitterRankTest, TeleportDominatesWhenGammaNearOne) {
@@ -199,7 +199,7 @@ TEST(TwitterRankTest, WorksOnGeneratedDataset) {
   c.num_nodes = 800;
   datagen::GeneratedDataset ds = datagen::GenerateTwitter(c);
   TwitterRank tr(ds.graph);
-  auto top = tr.RecommendTopN(0, 0, 10);
+  auto top = tr.TopN(0, 0, 10);
   EXPECT_EQ(top.size(), 10u);
 }
 

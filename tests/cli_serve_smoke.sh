@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the network serving CLI:
-#   mbrec serve (ephemeral port) -> query-remote -> shutdown-remote -> drain.
+#   mbrec serve (ephemeral port) -> query-remote -> metrics -> shutdown-remote
+#   -> drain.
 # Run by ctest as `cli_serve_smoke` (label: cli_serve). $MBREC points at the
 # built binary; $1 is a graph snapshot produced by `mbrec save-graph`.
 set -u
@@ -8,7 +9,8 @@ set -u
 MBREC="${MBREC:?set MBREC to the mbrec binary}"
 SNAPSHOT="${1:?usage: cli_serve_smoke.sh <snapshot.bin>}"
 LOG="$(mktemp)"
-trap 'kill "$SERVE_PID" 2>/dev/null; rm -f "$LOG"' EXIT
+METRICS="$(mktemp)"
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -f "$LOG" "$METRICS"' EXIT
 
 "$MBREC" serve --graph "$SNAPSHOT" --port 0 --stats-interval-s 1 \
   >"$LOG" 2>&1 &
@@ -27,6 +29,25 @@ done
 
 "$MBREC" query-remote --port "$PORT" --user 7 --topic technology --top 5 \
   || { echo "query-remote failed"; cat "$LOG"; exit 1; }
+
+# v2 request knobs must round-trip against a live server.
+"$MBREC" query-remote --port "$PORT" --user 7 --topic technology --top 5 \
+  --deadline-ms 10000 --exclude 1,2,3 \
+  || { echo "query-remote with v2 fields failed"; cat "$LOG"; exit 1; }
+
+# The metrics op must return Prometheus text covering the whole request
+# path: engine counters, net counters, and at least one stage histogram.
+"$MBREC" metrics --port "$PORT" >"$METRICS" \
+  || { echo "metrics failed"; cat "$LOG"; exit 1; }
+for want in \
+  '^# TYPE mbr_engine_queries_total counter$' \
+  '^# TYPE mbr_net_requests_total counter$' \
+  '^# TYPE mbr_stage_latency_us histogram$' \
+  '^mbr_stage_latency_us_count{stage="landmark.bfs"} ' \
+  '^mbr_stage_latency_us_count{stage="scorer.explore"} [1-9]'; do
+  grep -q "$want" "$METRICS" \
+    || { echo "metrics output missing: $want"; cat "$METRICS"; exit 1; }
+done
 
 "$MBREC" shutdown-remote --port "$PORT" \
   || { echo "shutdown-remote failed"; cat "$LOG"; exit 1; }

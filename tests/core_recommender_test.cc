@@ -104,13 +104,13 @@ TEST(TrRecommenderTest, RankedDescending) {
   }
 }
 
-TEST(TrRecommenderTest, ScoreCandidatesMatchesRecommend) {
+TEST(TrRecommenderTest, CandidateScoresMatchesRecommend) {
   LabeledGraph g = MakeExample2();
   TrRecommender rec(g, topics::TwitterSimilarity(), TestParams());
   auto recs = rec.Recommend(0, 0, 10);
   std::vector<NodeId> cands;
   for (const auto& r : recs) cands.push_back(r.id);
-  auto scores = rec.ScoreCandidates(0, 0, cands);
+  auto scores = rec.CandidateScores(0, 0, cands);
   for (size_t i = 0; i < recs.size(); ++i) {
     EXPECT_NEAR(scores[i], recs[i].score, 1e-15);
   }
@@ -120,7 +120,7 @@ TEST(TrRecommenderTest, UnreachedCandidatesScoreZero) {
   LabeledGraph g = MakeExample2();
   TrRecommender rec(g, topics::TwitterSimilarity(), TestParams());
   // Node 5 follows others but nobody reaches it from 0.
-  auto scores = rec.ScoreCandidates(0, 0, {5, 6, 7});
+  auto scores = rec.CandidateScores(0, 0, {5, 6, 7});
   for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
 }
 
@@ -130,8 +130,8 @@ TEST(TrRecommenderTest, MultiTopicQueryIsWeightedSum) {
   TrRecommender rec(g, topics::TwitterSimilarity(), TestParams());
   TopicId tech = v.Id("technology"), big = v.Id("bigdata");
   auto q = rec.RecommendQuery(0, {{tech, 0.7}, {big, 0.3}}, 10);
-  auto st = rec.ScoreCandidates(0, tech, {3});
-  auto sb = rec.ScoreCandidates(0, big, {3});
+  auto st = rec.CandidateScores(0, tech, {3});
+  auto sb = rec.CandidateScores(0, big, {3});
   double expected = 0.7 * st[0] + 0.3 * sb[0];
   for (const auto& r : q) {
     if (r.id == 3) {

@@ -173,7 +173,7 @@ TEST(SimulatedClusterTest, LocalQueryLowerBoundsExactScores) {
     auto local = f.cluster.LocalQuery(u, 0);
     std::vector<NodeId> nodes;
     for (const auto& [v, s] : local) nodes.push_back(v);
-    auto exact_scores = exact.ScoreCandidates(u, 0, nodes);
+    auto exact_scores = exact.CandidateScores(u, 0, nodes);
     size_t i = 0;
     for (const auto& [v, s] : local) {
       EXPECT_LE(s, exact_scores[i] + 1e-12) << "node " << v;

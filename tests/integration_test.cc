@@ -61,7 +61,7 @@ TEST(IntegrationTest, FullPipelineEndToEnd) {
   icfg.top_n = 100;
   landmark::LandmarkIndex index(ds.graph, auth, sim, sel.landmarks, icfg);
   landmark::ApproxRecommender approx(ds.graph, auth, sim, index, {});
-  auto approx_recs = approx.RecommendTopN(query, tech, 10);
+  auto approx_recs = approx.TopN(query, tech, 10);
   ASSERT_FALSE(approx_recs.empty());
   std::vector<uint32_t> a, b;
   for (const auto& r : exact_recs) a.push_back(r.id);
@@ -99,7 +99,7 @@ TEST(IntegrationTest, FullPipelineEndToEnd) {
   auto idx2 = landmark::LandmarkIndex::LoadFrom(ipath, ds.graph.num_nodes());
   ASSERT_TRUE(idx2.ok());
   landmark::ApproxRecommender approx2(*g2, auth, sim, *idx2, {});
-  auto approx_recs2 = approx2.RecommendTopN(query, tech, 10);
+  auto approx_recs2 = approx2.TopN(query, tech, 10);
   ASSERT_EQ(approx_recs.size(), approx_recs2.size());
   for (size_t i = 0; i < approx_recs.size(); ++i) {
     EXPECT_EQ(approx_recs[i].id, approx_recs2[i].id);

@@ -132,8 +132,8 @@ TEST(ApproxTest, Proposition4ExactOnChainThroughLandmark) {
   ApproxRecommender approx(g, auth, Sim(), index, acfg);
 
   core::TrRecommender exact(g, Sim(), ExactParams(6));
-  auto approx_scores = approx.ScoreCandidates(0, 0, {1, 2});
-  auto exact_scores = exact.ScoreCandidates(0, 0, {1, 2});
+  auto approx_scores = approx.CandidateScores(0, 0, {1, 2});
+  auto exact_scores = exact.CandidateScores(0, 0, {1, 2});
   EXPECT_NEAR(approx_scores[0], exact_scores[0], 1e-15);  // λ itself
   EXPECT_NEAR(approx_scores[1], exact_scores[1], 1e-15);  // through λ
 }
@@ -154,8 +154,8 @@ TEST(ApproxTest, ExactOnDagWithFullStorage) {
   core::TrRecommender exact(g, Sim(), ExactParams(10));
 
   std::vector<NodeId> all = {1, 2, 3, 4, 5, 6, 7};
-  auto a = approx.ScoreCandidates(0, 0, all);
-  auto e = exact.ScoreCandidates(0, 0, all);
+  auto a = approx.CandidateScores(0, 0, all);
+  auto e = exact.CandidateScores(0, 0, all);
   for (size_t i = 0; i < all.size(); ++i) {
     EXPECT_NEAR(a[i], e[i], 1e-15) << "node " << all[i];
   }
@@ -179,8 +179,8 @@ TEST(ApproxTest, LowerBoundsExactScore) {
 
     std::vector<NodeId> all(g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
-    auto a = approx.ScoreCandidates(0, 0, all);
-    auto e = exact.ScoreCandidates(0, 0, all);
+    auto a = approx.CandidateScores(0, 0, all);
+    auto e = exact.CandidateScores(0, 0, all);
     for (NodeId v = 1; v < g.num_nodes(); ++v) {
       EXPECT_LE(a[v], e[v] + 1e-12)
           << "seed " << seed << " node " << v;
@@ -202,11 +202,11 @@ TEST(ApproxTest, LandmarksExtendReachBeyondQueryDepth) {
 
   LandmarkIndex with_lm(g, auth, Sim(), {3}, icfg);
   ApproxRecommender approx(g, auth, Sim(), with_lm, acfg);
-  EXPECT_GT(approx.ScoreCandidates(0, 0, {6})[0], 0.0);
+  EXPECT_GT(approx.CandidateScores(0, 0, {6})[0], 0.0);
 
   LandmarkIndex no_lm(g, auth, Sim(), {7}, icfg);  // useless landmark
   ApproxRecommender blind(g, auth, Sim(), no_lm, acfg);
-  EXPECT_DOUBLE_EQ(blind.ScoreCandidates(0, 0, {6})[0], 0.0);
+  EXPECT_DOUBLE_EQ(blind.CandidateScores(0, 0, {6})[0], 0.0);
 }
 
 TEST(ApproxTest, QueryStatsCountLandmarks) {
@@ -226,7 +226,7 @@ TEST(ApproxTest, QueryStatsCountLandmarks) {
   EXPECT_GT(stats.nodes_reached, 0u);
 }
 
-TEST(ApproxTest, RecommendTopNRanked) {
+TEST(ApproxTest, TopNRanked) {
   datagen::TwitterConfig c;
   c.num_nodes = 1000;
   datagen::GeneratedDataset ds = datagen::GenerateTwitter(c);
@@ -236,7 +236,7 @@ TEST(ApproxTest, RecommendTopNRanked) {
   LandmarkIndex index(ds.graph, auth, Sim(), {1, 2, 3, 4, 5}, icfg);
   ApproxConfig acfg;
   ApproxRecommender approx(ds.graph, auth, Sim(), index, acfg);
-  auto recs = approx.RecommendTopN(0, 0, 10);
+  auto recs = approx.TopN(0, 0, 10);
   for (size_t i = 1; i < recs.size(); ++i) {
     EXPECT_GE(recs[i - 1].score, recs[i].score);
   }
@@ -259,8 +259,8 @@ TEST(ApproxTest, PruningDisabledOvercounts) {
   unpruned_cfg.prune_at_landmarks = false;
   ApproxRecommender pruned(g, auth, Sim(), index, pruned_cfg);
   ApproxRecommender unpruned(g, auth, Sim(), index, unpruned_cfg);
-  double s_pruned = pruned.ScoreCandidates(0, 0, {6})[0];
-  double s_unpruned = unpruned.ScoreCandidates(0, 0, {6})[0];
+  double s_pruned = pruned.CandidateScores(0, 0, {6})[0];
+  double s_unpruned = unpruned.CandidateScores(0, 0, {6})[0];
   EXPECT_GT(s_unpruned, s_pruned);
 }
 
@@ -296,15 +296,15 @@ TEST(ApproxTest, DoubleCountAuditAgainstOracle) {
   ApproxRecommender pruned(g, auth, Sim(), index, pruned_cfg);
   ApproxRecommender unpruned(g, auth, Sim(), index, unpruned_cfg);
 
-  double s_pruned = pruned.ScoreCandidates(0, 0, {2})[0];
-  double s_unpruned = unpruned.ScoreCandidates(0, 0, {2})[0];
+  double s_pruned = pruned.CandidateScores(0, 0, {2})[0];
+  double s_unpruned = unpruned.CandidateScores(0, 0, {2})[0];
   EXPECT_NEAR(s_pruned, oracle.Sigma(2), 1e-14);
   EXPECT_NEAR(s_unpruned, 2.0 * oracle.Sigma(2), 1e-14);
   // The excess is exactly the through-landmark walk mass.
   EXPECT_NEAR(s_unpruned - s_pruned, oracle.Sigma(2), 1e-14);
   // The landmark itself is reached directly and never double-counted.
-  EXPECT_NEAR(pruned.ScoreCandidates(0, 0, {1})[0], oracle.Sigma(1), 1e-14);
-  EXPECT_NEAR(unpruned.ScoreCandidates(0, 0, {1})[0], oracle.Sigma(1),
+  EXPECT_NEAR(pruned.CandidateScores(0, 0, {1})[0], oracle.Sigma(1), 1e-14);
+  EXPECT_NEAR(unpruned.CandidateScores(0, 0, {1})[0], oracle.Sigma(1),
               1e-14);
 }
 

@@ -84,8 +84,8 @@ TEST(LandmarkIndexIoTest, LoadedIndexServesIdenticalQueries) {
   ApproxRecommender b(f.ds.graph, f.auth, topics::TwitterSimilarity(),
                       *loaded, acfg);
   for (NodeId u : {1u, 40u, 700u}) {
-    auto ra = a.RecommendTopN(u, 2, 10);
-    auto rb = b.RecommendTopN(u, 2, 10);
+    auto ra = a.TopN(u, 2, 10);
+    auto rb = b.TopN(u, 2, 10);
     ASSERT_EQ(ra.size(), rb.size());
     for (size_t i = 0; i < ra.size(); ++i) {
       EXPECT_EQ(ra[i].id, rb[i].id);

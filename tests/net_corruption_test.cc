@@ -132,6 +132,39 @@ class NetCorruptionTest : public ::testing::Test {
     return frame;
   }
 
+  // A v2 frame that actually uses the v2 tail: deadline + exclusion list.
+  std::vector<uint8_t> RichV2Frame() {
+    RecommendRequest req{2, 1, 5};
+    req.deadline_ms = 60'000;
+    req.exclude = {3, 4, 5};
+    std::vector<uint8_t> frame;
+    AppendFrame(MessageKind::kRecommend, 78, EncodeRecommend(req), &frame);
+    return frame;
+  }
+
+  void SweepTruncations(const std::vector<uint8_t>& frame) {
+    for (size_t keep = 0; keep < frame.size(); ++keep) {
+      SCOPED_TRACE("truncated to " + std::to_string(keep) + " bytes");
+      std::vector<uint8_t> reply;
+      if (!SendAndDrain({frame.data(), keep}, &reply)) break;
+      ExpectWellFormedReplies(reply);
+    }
+  }
+
+  void SweepBitFlips(const std::vector<uint8_t>& frame) {
+    for (size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        SCOPED_TRACE("flip byte " + std::to_string(byte) + " bit " +
+                     std::to_string(bit));
+        std::vector<uint8_t> mutated = frame;
+        mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+        std::vector<uint8_t> reply;
+        if (!SendAndDrain(mutated, &reply)) return;
+        ExpectWellFormedReplies(reply);
+      }
+    }
+  }
+
   std::unique_ptr<LabeledGraph> graph_;
   std::unique_ptr<core::AuthorityIndex> auth_;
   std::unique_ptr<service::QueryEngine> engine_;
@@ -165,6 +198,37 @@ TEST_F(NetCorruptionTest, EveryBitFlipYieldsErrorOrClose) {
       ExpectWellFormedReplies(reply);
     }
   }
+  ExpectServerStillAlive();
+}
+
+TEST_F(NetCorruptionTest, V2DeadlineExcludeFrameSurvivesCorruption) {
+  // The v2 tail (deadline_ms + exclude list) adds length-prefixed content
+  // whose counts can be corrupted independently of the CRC-protected
+  // payload; the whole frame gets the same truncation + bit-flip treatment
+  // as the v1-shaped frame above.
+  const std::vector<uint8_t> frame = RichV2Frame();
+  SweepTruncations(frame);
+  SweepBitFlips(frame);
+  ExpectServerStillAlive();
+}
+
+TEST_F(NetCorruptionTest, V1StampedFrameSurvivesCorruption) {
+  // A v1 client's frame (12-byte fixed payload, version 1 header) against
+  // the v2 server: corruption must never be misread as a v2 tail.
+  RecommendRequest req{1, 0, 5};
+  std::vector<uint8_t> frame;
+  AppendFrame(MessageKind::kRecommend, 79, EncodeRecommend(req, /*version=*/1),
+              &frame, /*version=*/1);
+  SweepTruncations(frame);
+  SweepBitFlips(frame);
+  ExpectServerStillAlive();
+}
+
+TEST_F(NetCorruptionTest, MetricsFrameSurvivesCorruption) {
+  std::vector<uint8_t> frame;
+  AppendFrame(MessageKind::kMetrics, 80, {}, &frame);
+  SweepTruncations(frame);
+  SweepBitFlips(frame);
   ExpectServerStillAlive();
 }
 

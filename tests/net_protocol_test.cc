@@ -36,7 +36,7 @@ TEST(NetProtocolTest, FrameRoundTrip) {
                                 h.payload_len);
   ASSERT_TRUE(VerifyPayloadCrc(h, body).ok());
   RecommendRequest back;
-  ASSERT_TRUE(DecodeRecommend(body, limits, &back).ok());
+  ASSERT_TRUE(DecodeRecommend(body, limits, h.version, &back).ok());
   EXPECT_EQ(back.user, 7u);
   EXPECT_EQ(back.topic, 3u);
   EXPECT_EQ(back.top_n, 10u);
@@ -86,22 +86,34 @@ TEST(NetProtocolTest, UnknownVersionStillParsesHeader) {
   // Version is surfaced, not rejected, so the server can send a typed
   // ERROR(UNSUPPORTED_VERSION) echoing the request id.
   std::vector<uint8_t> frame = Frame(MessageKind::kPing, 5, {});
-  uint16_t v2 = 2;
-  std::memcpy(frame.data() + 4, &v2, sizeof(v2));
+  uint16_t future = kProtocolVersion + 1;
+  std::memcpy(frame.data() + 4, &future, sizeof(future));
   FrameHeader h;
   WireLimits limits;
   ASSERT_EQ(ParseFrameHeader(frame, limits, &h), HeaderParse::kOk);
-  EXPECT_EQ(h.version, 2u);
+  EXPECT_EQ(h.version, kProtocolVersion + 1);
   EXPECT_EQ(h.request_id, 5u);
+}
+
+TEST(NetProtocolTest, AppendFrameStampsRequestedVersion) {
+  std::vector<uint8_t> frame;
+  AppendFrame(MessageKind::kPing, 5, {}, &frame, 1);
+  FrameHeader h;
+  WireLimits limits;
+  ASSERT_EQ(ParseFrameHeader(frame, limits, &h), HeaderParse::kOk);
+  EXPECT_EQ(h.version, 1u);
 }
 
 TEST(NetProtocolTest, RecommendRejectsZeroAndOversizedTopN) {
   WireLimits limits;
   RecommendRequest out;
-  EXPECT_FALSE(DecodeRecommend(EncodeRecommend({0, 0, 0}), limits, &out).ok());
+  EXPECT_FALSE(
+      DecodeRecommend(EncodeRecommend({0, 0, 0}), limits, kProtocolVersion,
+                      &out)
+          .ok());
   EXPECT_FALSE(
       DecodeRecommend(EncodeRecommend({0, 0, limits.max_list + 1}), limits,
-                      &out)
+                      kProtocolVersion, &out)
           .ok());
 }
 
@@ -110,27 +122,31 @@ TEST(NetProtocolTest, RecommendRejectsTrailingBytes) {
   std::vector<uint8_t> payload = EncodeRecommend({1, 1, 1});
   payload.push_back(0);
   RecommendRequest out;
-  EXPECT_FALSE(DecodeRecommend(payload, limits, &out).ok());
+  EXPECT_FALSE(
+      DecodeRecommend(payload, limits, kProtocolVersion, &out).ok());
 }
 
 TEST(NetProtocolTest, BatchRoundTripAndBounds) {
   WireLimits limits;
   std::vector<RecommendRequest> reqs = {{1, 0, 5}, {2, 1, 3}};
   std::vector<RecommendRequest> back;
-  ASSERT_TRUE(
-      DecodeRecommendBatch(EncodeRecommendBatch(reqs), limits, &back).ok());
+  ASSERT_TRUE(DecodeRecommendBatch(EncodeRecommendBatch(reqs), limits,
+                                   kProtocolVersion, &back)
+                  .ok());
   ASSERT_EQ(back.size(), 2u);
   EXPECT_EQ(back[1].user, 2u);
   EXPECT_EQ(back[1].top_n, 3u);
 
   // Empty batches and batches over the cap are rejected.
-  EXPECT_FALSE(DecodeRecommendBatch(EncodeRecommendBatch({}), limits, &back)
+  EXPECT_FALSE(DecodeRecommendBatch(EncodeRecommendBatch({}), limits,
+                                    kProtocolVersion, &back)
                    .ok());
   // A declared count far beyond the bytes present must fail before any
   // allocation: craft count=max_batch with a single query's bytes.
   std::vector<uint8_t> lying = EncodeRecommendBatch({{1, 0, 5}});
   std::memcpy(lying.data(), &limits.max_batch, sizeof(uint32_t));
-  EXPECT_FALSE(DecodeRecommendBatch(lying, limits, &back).ok());
+  EXPECT_FALSE(
+      DecodeRecommendBatch(lying, limits, kProtocolVersion, &back).ok());
 }
 
 TEST(NetProtocolTest, ResultRoundTripPreservesScores) {
@@ -165,16 +181,26 @@ TEST(NetProtocolTest, StatsRoundTrip) {
   s.cache_misses = 60;
   s.shed_overload = 3;
   s.connections_accepted = 17;
+  s.deadline_exceeded = 5;
   s.p99_us = 1024.0;
   service::StatsSnapshot back;
-  WireLimits limits;
-  (void)limits;
-  ASSERT_TRUE(DecodeStats(EncodeStats(s), &back).ok());
+  ASSERT_TRUE(DecodeStats(EncodeStats(s), kProtocolVersion, &back).ok());
   EXPECT_EQ(back.queries, 100u);
   EXPECT_EQ(back.shed_overload, 3u);
   EXPECT_EQ(back.connections_accepted, 17u);
   EXPECT_DOUBLE_EQ(back.p99_us, 1024.0);
   EXPECT_DOUBLE_EQ(back.HitRate(), 0.4);
+  EXPECT_EQ(back.deadline_exceeded, 5u);
+
+  // v1 layout omits deadline_exceeded but keeps every other field.
+  service::StatsSnapshot v1;
+  ASSERT_TRUE(DecodeStats(EncodeStats(s, 1), 1, &v1).ok());
+  EXPECT_EQ(v1.queries, 100u);
+  EXPECT_EQ(v1.deadline_exceeded, 0u);
+  EXPECT_DOUBLE_EQ(v1.p99_us, 1024.0);
+  // Cross-version decode must fail cleanly, not misalign.
+  EXPECT_FALSE(DecodeStats(EncodeStats(s, 1), 2, &v1).ok());
+  EXPECT_FALSE(DecodeStats(EncodeStats(s, 2), 1, &v1).ok());
 }
 
 TEST(NetProtocolTest, ErrorRoundTripAndStatusMapping) {
@@ -207,9 +233,108 @@ TEST(NetProtocolTest, PayloadReaderStopsAtTruncation) {
       EncodeRecommendBatch({{1, 0, 5}, {2, 1, 3}, {3, 2, 7}});
   std::vector<RecommendRequest> out;
   for (size_t n = 0; n < payload.size(); ++n) {
-    EXPECT_FALSE(
-        DecodeRecommendBatch({payload.data(), n}, limits, &out).ok())
+    EXPECT_FALSE(DecodeRecommendBatch({payload.data(), n}, limits,
+                                      kProtocolVersion, &out)
+                     .ok())
         << "prefix length " << n;
+  }
+}
+
+TEST(NetProtocolTest, V2RecommendCarriesDeadlineAndExclude) {
+  WireLimits limits;
+  RecommendRequest req;
+  req.user = 9;
+  req.topic = 2;
+  req.top_n = 4;
+  req.deadline_ms = 250;
+  req.exclude = {3, 14, 15};
+  RecommendRequest back;
+  ASSERT_TRUE(
+      DecodeRecommend(EncodeRecommend(req, 2), limits, 2, &back).ok());
+  EXPECT_EQ(back.user, 9u);
+  EXPECT_EQ(back.deadline_ms, 250u);
+  EXPECT_EQ(back.exclude, (std::vector<uint32_t>{3, 14, 15}));
+
+  // Encoding at v1 drops the v2 fields entirely.
+  std::vector<uint8_t> v1_payload = EncodeRecommend(req, 1);
+  EXPECT_EQ(v1_payload.size(), 12u);
+  ASSERT_TRUE(DecodeRecommend(v1_payload, limits, 1, &back).ok());
+  EXPECT_EQ(back.user, 9u);
+  EXPECT_EQ(back.deadline_ms, 0u);
+  EXPECT_TRUE(back.exclude.empty());
+}
+
+TEST(NetProtocolTest, V2RecommendRejectsOversizedExclude) {
+  WireLimits limits;
+  limits.max_exclude = 4;
+  RecommendRequest req;
+  req.user = 1;
+  req.topic = 0;
+  req.top_n = 5;
+  req.exclude = {1, 2, 3, 4, 5};
+  RecommendRequest back;
+  EXPECT_FALSE(
+      DecodeRecommend(EncodeRecommend(req, 2), limits, 2, &back).ok());
+  req.exclude = {1, 2, 3, 4};
+  EXPECT_TRUE(
+      DecodeRecommend(EncodeRecommend(req, 2), limits, 2, &back).ok());
+}
+
+TEST(NetProtocolTest, V2BatchRoundTripsPerQueryTails) {
+  WireLimits limits;
+  RecommendRequest a;
+  a.user = 1;
+  a.topic = 0;
+  a.top_n = 5;
+  a.exclude = {7};
+  RecommendRequest b;
+  b.user = 2;
+  b.topic = 1;
+  b.top_n = 3;
+  b.deadline_ms = 100;
+  std::vector<RecommendRequest> back;
+  ASSERT_TRUE(DecodeRecommendBatch(EncodeRecommendBatch({a, b}, 2), limits,
+                                   2, &back)
+                  .ok());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].exclude, std::vector<uint32_t>{7});
+  EXPECT_EQ(back[0].deadline_ms, 0u);
+  EXPECT_TRUE(back[1].exclude.empty());
+  EXPECT_EQ(back[1].deadline_ms, 100u);
+}
+
+TEST(NetProtocolTest, V2PayloadTruncationFailsCleanly) {
+  WireLimits limits;
+  RecommendRequest req;
+  req.user = 1;
+  req.topic = 0;
+  req.top_n = 5;
+  req.deadline_ms = 9;
+  req.exclude = {1, 2, 3};
+  std::vector<uint8_t> payload = EncodeRecommend(req, 2);
+  RecommendRequest out;
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeRecommend({payload.data(), n}, limits, 2, &out).ok())
+        << "prefix length " << n;
+  }
+}
+
+TEST(NetProtocolTest, MetricsResultRoundTrip) {
+  WireLimits limits;
+  const std::string text =
+      "# HELP mbr_engine_queries_total Queries.\n"
+      "# TYPE mbr_engine_queries_total counter\n"
+      "mbr_engine_queries_total 42\n";
+  std::string back;
+  ASSERT_TRUE(
+      DecodeMetricsResult(EncodeMetricsResult(text), limits, &back).ok());
+  EXPECT_EQ(back, text);
+
+  // Truncated payloads fail cleanly.
+  std::vector<uint8_t> payload = EncodeMetricsResult(text);
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(
+        DecodeMetricsResult({payload.data(), n}, limits, &back).ok());
   }
 }
 
@@ -218,6 +343,9 @@ TEST(NetProtocolTest, KindNamesAndClasses) {
   EXPECT_TRUE(IsRequestKind(MessageKind::kRecommend));
   EXPECT_FALSE(IsReplyKind(MessageKind::kRecommend));
   EXPECT_TRUE(IsReplyKind(MessageKind::kOverloaded));
+  EXPECT_STREQ(MessageKindName(MessageKind::kMetrics), "METRICS");
+  EXPECT_TRUE(IsRequestKind(MessageKind::kMetrics));
+  EXPECT_TRUE(IsReplyKind(MessageKind::kMetricsResult));
   EXPECT_FALSE(IsRequestKind(static_cast<MessageKind>(200)));
 }
 

@@ -84,7 +84,7 @@ TEST_F(NetServerTest, RemoteMatchesDirectEngineExactly) {
   for (uint32_t user : {0u, 3u, 17u}) {
     auto remote = client->Recommend(user, 0, 8);
     ASSERT_TRUE(remote.ok()) << remote.status().ToString();
-    RankedList direct = engine_->Recommend(user, 0, 8);
+    RankedList direct = engine_->TopN(user, 0, 8);
     ASSERT_EQ(remote->size(), direct.size()) << "user " << user;
     for (size_t i = 0; i < direct.size(); ++i) {
       EXPECT_EQ((*remote)[i].id, direct[i].id);
@@ -104,7 +104,7 @@ TEST_F(NetServerTest, BatchMatchesDirectAndPreservesOrder) {
   ASSERT_EQ(remote->size(), 3u);
   for (size_t q = 0; q < reqs.size(); ++q) {
     RankedList direct =
-        engine_->Recommend(reqs[q].user, reqs[q].topic, reqs[q].top_n);
+        engine_->TopN(reqs[q].user, reqs[q].topic, reqs[q].top_n);
     ASSERT_EQ((*remote)[q].size(), direct.size()) << "query " << q;
     for (size_t i = 0; i < direct.size(); ++i) {
       EXPECT_EQ((*remote)[q][i].id, direct[i].id);
@@ -205,6 +205,167 @@ TEST_F(NetServerTest, OverloadBurstShedsWithOverloadedReplies) {
   EXPECT_GE(stats->shed_overload, 1u);
 }
 
+TEST_F(NetServerTest, ExcludeListTravelsTheWire) {
+  StartServer({});
+  auto client = Dial();
+  ASSERT_TRUE(client.ok());
+  RankedList base = engine_->TopN(3, 0, 8);
+  ASSERT_GE(base.size(), 2u);
+
+  RecommendRequest req{3, 0, 8};
+  req.exclude = {base[0].id};
+  auto remote = client->Recommend(req);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  auto direct = engine_->Recommend(
+      core::Query::TopN(3, 0, 8).WithExclude({base[0].id}));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(remote->size(), direct.value().entries.size());
+  for (size_t i = 0; i < remote->size(); ++i) {
+    EXPECT_NE((*remote)[i].id, base[0].id);
+    EXPECT_EQ((*remote)[i].id, direct.value().entries[i].id);
+    EXPECT_EQ((*remote)[i].score, direct.value().entries[i].score);
+  }
+}
+
+TEST_F(NetServerTest, ClientDeadlineShedsQueuedRequests) {
+  ServerConfig cfg;
+  cfg.dispatch_threads = 1;
+  cfg.max_inflight = 64;           // roomy: isolate the deadline path
+  cfg.request_deadline_ms = 0;     // only the client-supplied deadline
+  StartServer(cfg);
+
+  auto busy = Dial();
+  ASSERT_TRUE(busy.ok());
+  auto prober = Dial();
+  ASSERT_TRUE(prober.ok());
+
+  // Distinct queries so the cache can't absorb the batch instantly.
+  std::vector<RecommendRequest> big;
+  for (uint32_t i = 0; i < 512; ++i) {
+    big.push_back({i % 32, 0, 1 + i / 32});
+  }
+
+  bool deadline_seen = false;
+  for (int round = 0; round < 50 && !deadline_seen; ++round) {
+    std::thread batch_thread([&busy, &big] {
+      auto r = busy->RecommendBatch(big);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    });
+    const uint64_t admitted = server_->counters().requests;
+    while (server_->counters().requests <= admitted) {
+      std::this_thread::yield();
+    }
+    // The single dispatcher is busy with the batch; a 1 ms deadline expires
+    // while this probe waits in the dispatch queue.
+    RecommendRequest probe{1, 0, 5};
+    probe.deadline_ms = 1;
+    auto r = prober->Recommend(probe);
+    if (!r.ok()) {
+      ASSERT_EQ(r.status().code(), util::StatusCode::kDeadlineExceeded)
+          << r.status().ToString();
+      deadline_seen = true;
+    }
+    batch_thread.join();
+  }
+  EXPECT_TRUE(deadline_seen) << "no deadline shed observed";
+
+  auto stats = prober->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->shed_deadline, 1u);
+}
+
+TEST_F(NetServerTest, MetricsOpReturnsPrometheusText) {
+  StartServer({});
+  auto client = Dial();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Recommend(1, 0, 5).ok());
+
+  auto text = client->Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // Engine and net families from the shared registry, with live values.
+  EXPECT_NE(text->find("# TYPE mbr_engine_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(text->find("mbr_engine_queries_total 1\n"), std::string::npos);
+  EXPECT_NE(text->find("# TYPE mbr_net_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text->find("# TYPE mbr_net_request_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text->find("mbr_net_request_latency_us_count{op=\"recommend\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(NetServerTest, V1ClientStillWorksAgainstV2Server) {
+  StartServer({});
+  ClientConfig cc;
+  cc.port = server_->port();
+  cc.protocol_version = 1;
+  auto v1 = Client::Connect(cc);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+
+  auto remote = v1->Recommend(3, 0, 8);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  RankedList direct = engine_->TopN(3, 0, 8);
+  ASSERT_EQ(remote->size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ((*remote)[i].id, direct[i].id);
+    EXPECT_EQ((*remote)[i].score, direct[i].score);
+  }
+
+  // The v1 STATS layout still decodes (deadline_exceeded defaults to 0).
+  // Two engine queries so far: the remote one and the direct oracle call.
+  auto stats = v1->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->queries, 2u);
+  EXPECT_EQ(stats->deadline_exceeded, 0u);
+
+  // METRICS is v2-only; the client refuses before touching the wire.
+  auto metrics = v1->Metrics();
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(NetServerTest, MetricsFrameFromV1PeerGetsUnknownKind) {
+  StartServer({});
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  std::vector<uint8_t> wire;
+  AppendFrame(MessageKind::kMetrics, 9, {}, &wire, /*version=*/1);
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+
+  std::vector<uint8_t> got;
+  uint8_t buf[4096];
+  WireLimits limits;
+  FrameHeader h;
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    ASSERT_GT(::poll(&p, 1, 5000), 0) << "no reply to v1 METRICS";
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    got.insert(got.end(), buf, buf + n);
+    if (ParseFrameHeader({got.data(), got.size()}, limits, &h) ==
+            HeaderParse::kOk &&
+        got.size() >= kFrameHeaderBytes + h.payload_len) {
+      break;
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(h.kind, MessageKind::kError);
+  ErrorReply err;
+  ASSERT_TRUE(
+      DecodeError({got.data() + kFrameHeaderBytes, h.payload_len}, limits,
+                  &err)
+          .ok());
+  EXPECT_EQ(err.code, WireError::kUnknownKind);
+}
+
 TEST_F(NetServerTest, ShutdownDrainsInFlightAndRefusesNewConnections) {
   StartServer({});
 
@@ -257,7 +418,7 @@ TEST_F(NetServerTest, ShutdownDrainsInFlightAndRefusesNewConnections) {
       EXPECT_EQ(h.kind, MessageKind::kResult);
       RankedList list;
       ASSERT_TRUE(DecodeResult(body, limits, &list).ok());
-      RankedList direct = engine_->Recommend(3, 0, 5);
+      RankedList direct = engine_->TopN(3, 0, 5);
       ASSERT_EQ(list.size(), direct.size());
       for (size_t i = 0; i < direct.size(); ++i) {
         EXPECT_EQ(list[i].id, direct[i].id);

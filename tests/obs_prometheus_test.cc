@@ -1,0 +1,195 @@
+// obs::RenderPrometheus: line-by-line grammar checks against the text
+// exposition format — every line must be a well-formed comment or sample,
+// families must be contiguous with exactly one HELP/TYPE header, histogram
+// buckets must be cumulative, and label values must be escaped.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace mbr::obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+// One parsed sample line: `name{labels} value` or `name value`.
+struct Sample {
+  std::string name;    // includes _bucket/_sum/_count suffixes
+  std::string labels;  // raw text between braces, "" when absent
+  std::string value;
+};
+
+bool ParseSample(const std::string& line, Sample* out) {
+  size_t space = line.rfind(' ');
+  if (space == std::string::npos || space + 1 >= line.size()) return false;
+  std::string series = line.substr(0, space);
+  out->value = line.substr(space + 1);
+  size_t brace = series.find('{');
+  if (brace == std::string::npos) {
+    if (series.find('}') != std::string::npos) return false;
+    out->name = series;
+    out->labels.clear();
+    return true;
+  }
+  if (series.back() != '}') return false;
+  out->name = series.substr(0, brace);
+  out->labels = series.substr(brace + 1, series.size() - brace - 2);
+  return !out->name.empty();
+}
+
+class RenderTest : public ::testing::Test {
+ protected:
+  Registry reg_;
+};
+
+TEST_F(RenderTest, EmptyRegistryRendersNothing) {
+  EXPECT_EQ(RenderPrometheus(reg_), "");
+}
+
+TEST_F(RenderTest, EveryLineParsesAndEndsWithNewline) {
+  reg_.GetCounter("t_req_total", "requests")->Increment(3);
+  reg_.GetGauge("t_depth", "queue depth")->Set(-4);
+  reg_.GetHistogram("t_lat_us", "latency", {{"op", "get"}})->Record(5);
+
+  std::string text = RenderPrometheus(reg_);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  for (const std::string& line : Lines(text)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      // `# HELP <name> <text>` / `# TYPE <name> <type>`: at least 4 tokens.
+      std::istringstream in(line);
+      std::string hash, kw, name, rest;
+      in >> hash >> kw >> name >> rest;
+      EXPECT_FALSE(name.empty()) << line;
+      EXPECT_FALSE(rest.empty()) << line;
+      if (kw == "TYPE") {
+        EXPECT_TRUE(rest == "counter" || rest == "gauge" ||
+                    rest == "histogram")
+            << line;
+      }
+      continue;
+    }
+    Sample s;
+    ASSERT_TRUE(ParseSample(line, &s)) << line;
+    // Values are rendered as plain integers here.
+    EXPECT_NE(s.value.find_first_of("0123456789"), std::string::npos) << line;
+  }
+}
+
+TEST_F(RenderTest, FamiliesAreContiguousWithOneHeaderAndNoDuplicateSeries) {
+  reg_.GetCounter("t_req_total", "h", {{"op", "get"}})->Increment();
+  reg_.GetGauge("t_depth", "h");
+  reg_.GetCounter("t_req_total", "h", {{"op", "put"}})->Increment(2);
+  reg_.GetHistogram("t_lat_us", "h", {{"op", "get"}});
+  reg_.GetHistogram("t_lat_us", "h", {{"op", "put"}});
+
+  std::string text = RenderPrometheus(reg_);
+  std::map<std::string, int> help_count, type_count;
+  std::set<std::string> seen_series;
+  std::set<std::string> closed_families;
+  std::string current;
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream in(line);
+      std::string hash, kw, name;
+      in >> hash >> kw >> name;
+      (kw == "HELP" ? help_count : type_count)[name]++;
+      if (name != current) {
+        if (!current.empty()) closed_families.insert(current);
+        ASSERT_EQ(closed_families.count(name), 0u)
+            << "family " << name << " is not contiguous";
+        current = name;
+      }
+      continue;
+    }
+    Sample s;
+    ASSERT_TRUE(ParseSample(line, &s)) << line;
+    EXPECT_TRUE(seen_series.insert(s.name + "{" + s.labels + "}").second)
+        << "duplicate series line: " << line;
+  }
+  for (const char* fam : {"t_req_total", "t_depth", "t_lat_us"}) {
+    EXPECT_EQ(help_count[fam], 1) << fam;
+    EXPECT_EQ(type_count[fam], 1) << fam;
+  }
+}
+
+TEST_F(RenderTest, HistogramBucketsAreCumulativeAndConsistent) {
+  Histogram* h = reg_.GetHistogram("t_lat_us", "h");
+  for (uint64_t v : {0u, 1u, 3u, 9u, 1000u, 1000u}) h->Record(v);
+
+  std::string text = RenderPrometheus(reg_);
+  std::vector<std::pair<std::string, uint64_t>> buckets;  // (le, cumulative)
+  uint64_t sum = 0, count = 0;
+  for (const std::string& line : Lines(text)) {
+    if (line[0] == '#') continue;
+    Sample s;
+    ASSERT_TRUE(ParseSample(line, &s)) << line;
+    uint64_t v = std::stoull(s.value);
+    if (s.name == "t_lat_us_bucket") {
+      // Label block is exactly le="...".
+      ASSERT_EQ(s.labels.rfind("le=\"", 0), 0u) << line;
+      ASSERT_EQ(s.labels.back(), '"') << line;
+      buckets.emplace_back(s.labels.substr(4, s.labels.size() - 5), v);
+    } else if (s.name == "t_lat_us_sum") {
+      sum = v;
+    } else if (s.name == "t_lat_us_count") {
+      count = v;
+    }
+  }
+  ASSERT_EQ(buckets.size(), static_cast<size_t>(kHistogramBuckets));
+  for (size_t b = 0; b + 1 < buckets.size(); ++b) {
+    EXPECT_LE(buckets[b].second, buckets[b + 1].second) << "b=" << b;
+    // Upper bound of bucket b is the largest integer it admits: 2^(b+1)-1.
+    EXPECT_EQ(buckets[b].first,
+              std::to_string((uint64_t{1} << (b + 1)) - 1));
+  }
+  EXPECT_EQ(buckets.back().first, "+Inf");
+  EXPECT_EQ(buckets.back().second, count);
+  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(sum, 0u + 1 + 3 + 9 + 1000 + 1000);
+  // Pin a few cumulative points: values {0,1} <= 1, {0,1,3} <= 3, etc.
+  EXPECT_EQ(buckets[0].second, 2u);   // le="1"
+  EXPECT_EQ(buckets[1].second, 3u);   // le="3"
+  EXPECT_EQ(buckets[3].second, 4u);   // le="15" admits 9
+  EXPECT_EQ(buckets[10].second, 6u);  // le="2047" admits 1000
+}
+
+TEST_F(RenderTest, LabelValuesAreEscaped) {
+  reg_.GetCounter("t_esc_total", "h", {{"path", "a\\b\"c\nd"}})->Increment();
+  std::string text = RenderPrometheus(reg_);
+  EXPECT_NE(text.find("t_esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos)
+      << text;
+  // The raw newline must not appear inside any line.
+  for (const std::string& line : Lines(text)) {
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+}
+
+TEST_F(RenderTest, ValuesReflectLiveHandles) {
+  Counter* c = reg_.GetCounter("t_req_total", "h");
+  std::string before = RenderPrometheus(reg_);
+  EXPECT_NE(before.find("t_req_total 0\n"), std::string::npos);
+  c->Increment(12);
+  std::string after = RenderPrometheus(reg_);
+  EXPECT_NE(after.find("t_req_total 12\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbr::obs

@@ -45,8 +45,8 @@ TEST(ServiceCacheTest, RepeatQueryHitsCache) {
   core::AuthorityIndex auth(g);
   QueryEngine engine(g, auth, topics::TwitterSimilarity(), CachedConfig());
 
-  auto first = engine.Recommend(0, kTopic, 5);
-  auto second = engine.Recommend(0, kTopic, 5);
+  auto first = engine.TopN(0, kTopic, 5);
+  auto second = engine.TopN(0, kTopic, 5);
   EXPECT_EQ(first, second);
   EngineStats s = engine.Stats();
   EXPECT_EQ(s.cache_misses, 1u);
@@ -57,10 +57,10 @@ TEST(ServiceCacheTest, DifferentTopNIsADifferentCacheEntry) {
   LabeledGraph g = BaseGraph();
   core::AuthorityIndex auth(g);
   QueryEngine engine(g, auth, topics::TwitterSimilarity(), CachedConfig());
-  engine.Recommend(0, kTopic, 5);
-  engine.Recommend(0, kTopic, 1);  // must not be served from the n=5 entry
+  engine.TopN(0, kTopic, 5);
+  engine.TopN(0, kTopic, 1);  // must not be served from the n=5 entry
   EXPECT_EQ(engine.Stats().cache_misses, 2u);
-  EXPECT_EQ(engine.Recommend(0, kTopic, 1).size(), 1u);
+  EXPECT_EQ(engine.TopN(0, kTopic, 1).size(), 1u);
 }
 
 TEST(ServiceCacheTest, DynamicInsertionInvalidatesAndNewEdgeIsServed) {
@@ -73,9 +73,9 @@ TEST(ServiceCacheTest, DynamicInsertionInvalidatesAndNewEdgeIsServed) {
   dynamic::DeltaGraph delta(&base);
   delta.SetChangeListener([&engine] { engine.Invalidate(); });
 
-  auto before = engine.Recommend(0, kTopic, 5);
+  auto before = engine.TopN(0, kTopic, 5);
   for (const auto& r : before) EXPECT_NE(r.id, 3u);  // 3 unreachable
-  engine.Recommend(0, kTopic, 5);
+  engine.TopN(0, kTopic, 5);
   ASSERT_EQ(engine.Stats().cache_hits, 1u);
   const uint64_t epoch_before = engine.params_epoch();
 
@@ -89,7 +89,7 @@ TEST(ServiceCacheTest, DynamicInsertionInvalidatesAndNewEdgeIsServed) {
   core::AuthorityIndex current_auth(current);
   engine.Rebind(current, current_auth);
 
-  auto after = engine.Recommend(0, kTopic, 5);
+  auto after = engine.TopN(0, kTopic, 5);
   EngineStats s = engine.Stats();
   // The repeat of a previously-cached query must MISS: its epoch changed.
   EXPECT_EQ(s.cache_hits, 1u);
@@ -102,9 +102,9 @@ TEST(ServiceCacheTest, InvalidateAloneForcesMissButSameResult) {
   LabeledGraph g = BaseGraph();
   core::AuthorityIndex auth(g);
   QueryEngine engine(g, auth, topics::TwitterSimilarity(), CachedConfig());
-  auto a = engine.Recommend(0, kTopic, 5);
+  auto a = engine.TopN(0, kTopic, 5);
   engine.Invalidate();
-  auto b = engine.Recommend(0, kTopic, 5);
+  auto b = engine.TopN(0, kTopic, 5);
   EXPECT_EQ(a, b);  // same graph, same params -> identical list
   EngineStats s = engine.Stats();
   EXPECT_EQ(s.cache_hits, 0u);

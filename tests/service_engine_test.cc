@@ -74,7 +74,7 @@ TEST_F(QueryEngineTest, EightThreadsMatchSequentialOracle) {
       got[th].reserve(kPerThread);
       for (int i = 0; i < kPerThread; ++i) {
         Query q = MakeQuery(static_cast<uint32_t>(th * kPerThread + i) % 90);
-        got[th].push_back(engine.Recommend(q.user, q.topic, q.top_n));
+        got[th].push_back(engine.TopN(q.user, q.topic, q.top_n));
       }
     });
   }
@@ -103,7 +103,8 @@ TEST_F(QueryEngineTest, RecommendManyPreservesInputOrder) {
   auto results = engine.RecommendMany(batch);
   ASSERT_EQ(results.size(), batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    ExpectMatchesOracle(batch[i], results[i]);
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    ExpectMatchesOracle(batch[i], results[i].value().entries);
   }
   EngineStats s = engine.Stats();
   EXPECT_EQ(s.batches, 1u);
@@ -145,8 +146,8 @@ TEST_F(QueryEngineTest, LandmarkModeServesApproximation) {
 
   for (uint32_t i = 0; i < 20; ++i) {
     Query q = MakeQuery(i);
-    auto got = engine.Recommend(q.user, q.topic, q.top_n);
-    auto want = reference.RecommendTopN(q.user, q.topic, q.top_n);
+    auto got = engine.TopN(q.user, q.topic, q.top_n);
+    auto want = reference.TopN(q.user, q.topic, q.top_n);
     ASSERT_EQ(got.size(), want.size());
     for (size_t r = 0; r < want.size(); ++r) {
       EXPECT_EQ(got[r].id, want[r].id);

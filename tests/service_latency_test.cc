@@ -72,7 +72,7 @@ TEST(LatencyPercentileTest, EngineHistogramCountsEveryQuery) {
   cfg.params.max_depth = 2;
   QueryEngine engine(ds.graph, auth, topics::TwitterSimilarity(), cfg);
   for (graph::NodeId u : {1u, 2u, 3u, 4u, 5u}) {
-    engine.Recommend(u, 0, 5);
+    engine.TopN(u, 0, 5);
   }
   EngineStats s = engine.Stats();
   uint64_t histogram_total = std::accumulate(

@@ -2,6 +2,8 @@
 // EngineStats, percentile plumbing, and the canonical log-line format that
 // `mbrec serve` prints and the STATS wire reply mirrors.
 
+#include <chrono>
+
 #include <gtest/gtest.h>
 
 #include "core/authority.h"
@@ -24,6 +26,7 @@ TEST(ServingStatsTest, SnapshotProjectsCountersAndPercentiles) {
   e.cache_hits = 50;
   e.cache_misses = 70;
   e.invalidations = 2;
+  e.deadline_exceeded = 6;
   e.params_epoch = 3;
   // 90 samples in bucket 5 ([32, 64) us), 10 in bucket 10 ([1024, 2048)).
   e.latency_log2_us[5] = 90;
@@ -35,6 +38,7 @@ TEST(ServingStatsTest, SnapshotProjectsCountersAndPercentiles) {
   EXPECT_EQ(s.cache_hits, 50u);
   EXPECT_EQ(s.cache_misses, 70u);
   EXPECT_EQ(s.invalidations, 2u);
+  EXPECT_EQ(s.deadline_exceeded, 6u);
   EXPECT_EQ(s.params_epoch, 3u);
   // Network-layer fields are the caller's job.
   EXPECT_EQ(s.shed_overload, 0u);
@@ -62,6 +66,7 @@ TEST(ServingStatsTest, FormatLineContainsEveryField) {
   s.cache_misses = 70;
   s.shed_overload = 3;
   s.shed_deadline = 1;
+  s.deadline_exceeded = 2;
   s.connections_accepted = 17;
   s.connections_open = 2;
   s.p50_us = 32.0;
@@ -71,6 +76,7 @@ TEST(ServingStatsTest, FormatLineContainsEveryField) {
   EXPECT_NE(line.find("queries=120"), std::string::npos) << line;
   EXPECT_NE(line.find("hit=41.7%"), std::string::npos) << line;
   EXPECT_NE(line.find("shed=3+1"), std::string::npos) << line;
+  EXPECT_NE(line.find("expired=2"), std::string::npos) << line;
   EXPECT_NE(line.find("conns=2/17"), std::string::npos) << line;
   EXPECT_NE(line.find("p50=32us"), std::string::npos) << line;
   EXPECT_NE(line.find("p90=64us"), std::string::npos) << line;
@@ -87,8 +93,8 @@ TEST(ServingStatsTest, LiveEngineRoundTrip) {
   ec.num_threads = 1;
   ec.cache_capacity = 16;
   QueryEngine engine(g, auth, topics::TwitterSimilarity(), ec);
-  engine.Recommend(0, 0, 5);
-  engine.Recommend(0, 0, 5);
+  engine.TopN(0, 0, 5);
+  engine.TopN(0, 0, 5);
 
   StatsSnapshot s = MakeStatsSnapshot(engine.Stats());
   EXPECT_EQ(s.queries, 2u);
@@ -97,6 +103,17 @@ TEST(ServingStatsTest, LiveEngineRoundTrip) {
   // The two queries landed somewhere in the histogram: p50 is a valid
   // bucket lower bound (>= 1 us by construction of the log2 buckets).
   EXPECT_GE(s.p50_us, 1.0);
+
+  // An already-expired deadline is rejected at admission and shows up in
+  // the snapshot (and therefore in the STATS reply and the serve log line).
+  core::Query q =
+      core::Query::TopN(0, 0, 5).WithDeadline(std::chrono::milliseconds(-1));
+  auto r = engine.Recommend(q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDeadlineExceeded);
+  s = MakeStatsSnapshot(engine.Stats());
+  EXPECT_EQ(s.deadline_exceeded, 1u);
+  EXPECT_NE(FormatStatsLine(s).find("expired=1"), std::string::npos);
 }
 
 }  // namespace

@@ -2,12 +2,12 @@
 # Repo-wide check runner:
 #   1. tier-1: full build + full ctest suite   (build/)
 #   2. ASan:   serde + net suites              (build-asan/)
-#   3. TSan:   service + net suites            (build-tsan/)
+#   3. TSan:   obs + service + net suites      (build-tsan/)
 #
 # The sanitizer passes reuse the persistent build-asan/ and build-tsan/
 # trees (configured here on first run) and only build/run the labeled
 # suites they exist to harden: byte-level parsers under ASan, the
-# concurrent engine + epoll server under TSan.
+# metrics registry + concurrent engine + epoll server under TSan.
 #
 # Usage: tools/check.sh [tier1|asan|tsan|all]   (default: all)
 set -e
@@ -33,11 +33,11 @@ run_sanitized() {  # $1=sanitizer $2=build-dir $3=label-regex
 case "$MODE" in
   tier1) run_tier1 ;;
   asan)  run_sanitized address "$REPO/build-asan" 'serde|net' ;;
-  tsan)  run_sanitized thread "$REPO/build-tsan" 'service|net' ;;
+  tsan)  run_sanitized thread "$REPO/build-tsan" 'obs|service|net' ;;
   all)
     run_tier1
     run_sanitized address "$REPO/build-asan" 'serde|net'
-    run_sanitized thread "$REPO/build-tsan" 'service|net'
+    run_sanitized thread "$REPO/build-tsan" 'obs|service|net'
     ;;
   *) echo "usage: tools/check.sh [tier1|asan|tsan|all]" >&2; exit 2 ;;
 esac

@@ -20,7 +20,9 @@
 //                   [--max-connections K] [--deadline-ms D] [--drain-ms G]
 //                   [--stats-interval-s S] [--vocab twitter|dblp]
 //   mbrec query-remote    --port P --user U --topic technology [--host H]
-//                   [--top 10] [--timeout-ms T] [--vocab twitter|dblp]
+//                   [--top 10] [--timeout-ms T] [--deadline-ms D]
+//                   [--exclude id,id,...] [--vocab twitter|dblp]
+//   mbrec metrics   --port P [--host H] [--timeout-ms T]
 //   mbrec shutdown-remote --port P [--host H] [--timeout-ms T]
 //
 // Binary graphs (.bin) round-trip exactly; .edges files use the
@@ -29,7 +31,8 @@
 // warm-starts a QueryEngine replica from a snapshot (plus an optional
 // landmark index) and serves one query through it. `serve` runs the same
 // warm-started replica behind the epoll network front end (src/net/) until
-// SIGINT/SIGTERM or a SHUTDOWN frame drains it; `query-remote` and
+// SIGINT/SIGTERM or a SHUTDOWN frame drains it; `query-remote`,
+// `metrics` (Prometheus text exposition of the server registry) and
 // `shutdown-remote` talk to a running server over the wire protocol.
 
 #include <atomic>
@@ -55,6 +58,9 @@
 #include "graph/snapshot.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/span.h"
 #include "service/serving_stats.h"
 #include "service/warm_start.h"
 #include "tools/args.h"
@@ -265,7 +271,7 @@ int CmdRecommend(const Args& args) {
     rec = std::make_unique<core::TrRecommender>(g, sim);
   }
 
-  auto results = rec->RecommendTopN(user, topic, top);
+  auto results = rec->TopN(user, topic, static_cast<uint32_t>(top));
   std::printf("%s recommendations for user %u on '%s':\n",
               rec->name().c_str(), user, vocab.Name(topic).c_str());
   for (size_t i = 0; i < results.size(); ++i) {
@@ -378,7 +384,7 @@ int CmdLoad(const Args& args) {
   }
   uint32_t top = static_cast<uint32_t>(args.GetInt("top", 10));
 
-  auto results = rep.engine->Recommend(user, topic, top);
+  auto results = rep.engine->TopN(user, topic, top);
   std::printf("recommendations for user %u on '%s':\n", user,
               topic_name.c_str());
   for (size_t i = 0; i < results.size(); ++i) {
@@ -430,6 +436,17 @@ int CmdServe(const Args& args) {
 
   service::EngineConfig ecfg;
   ecfg.cache_capacity = static_cast<size_t>(args.GetInt("cache", 4096));
+  // One process-wide registry for engine + network series, so the METRICS
+  // wire op (and `mbrec metrics`) exposes everything in one scrape. The
+  // stage-latency series normally appear on first execution of their span
+  // sites; register the request-path stages up front so a scrape of an
+  // idle replica already shows the whole family.
+  ecfg.registry = &obs::Registry::Default();
+  for (const char* stage :
+       {"scorer.explore", "landmark.bfs", "landmark.combine",
+        "engine.execute"}) {
+    obs::StageHistogram(stage);
+  }
   int64_t threads = args.GetInt("threads", 0);
   if (threads > 0) ecfg.num_threads = static_cast<uint32_t>(threads);
   auto replica = service::WarmStart(Require(args, "graph"),
@@ -450,6 +467,7 @@ int CmdServe(const Args& args) {
   scfg.request_deadline_ms =
       static_cast<uint32_t>(args.GetInt("deadline-ms", 1000));
   scfg.drain_grace_ms = static_cast<uint32_t>(args.GetInt("drain-ms", 5000));
+  scfg.registry = &obs::Registry::Default();
 
   net::Server server(*rep.engine, scfg);
   util::Status st = server.Start();
@@ -470,11 +488,23 @@ int CmdServe(const Args& args) {
   std::fflush(stdout);
 
   // Periodic operator log line; same snapshot the STATS wire reply uses.
+  // Slow-query entries (queries over the obs::SlowQueryLog threshold, with
+  // per-stage breakdown) surface here as they are captured.
   const int64_t interval_s = args.GetInt("stats-interval-s", 10);
   auto last_line = std::chrono::steady_clock::now();
+  size_t slow_seen = 0;
   while (server.running()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     auto now = std::chrono::steady_clock::now();
+    std::vector<obs::SlowQueryEntry> slow =
+        obs::SlowQueryLog::Default().Entries();
+    for (size_t i = slow_seen; i < slow.size(); ++i) {
+      std::printf("%s\n", slow[i].Format().c_str());
+    }
+    if (slow.size() != slow_seen) {
+      slow_seen = slow.size();
+      std::fflush(stdout);
+    }
     if (interval_s > 0 && now - last_line >= std::chrono::seconds(interval_s)) {
       std::printf("%s\n", service::FormatStatsLine(server.StatsNow()).c_str());
       std::fflush(stdout);
@@ -511,13 +541,30 @@ int CmdQueryRemote(const Args& args) {
   uint32_t user = static_cast<uint32_t>(args.GetInt("user", 0));
   uint32_t top = static_cast<uint32_t>(args.GetInt("top", 10));
 
+  net::RecommendRequest req;
+  req.user = user;
+  req.topic = topic;
+  req.top_n = top;
+  req.deadline_ms = static_cast<uint32_t>(args.GetInt("deadline-ms", 0));
+  std::string exclude = args.Get("exclude");
+  for (size_t pos = 0; pos < exclude.size();) {
+    size_t comma = exclude.find(',', pos);
+    if (comma == std::string::npos) comma = exclude.size();
+    if (comma > pos) {
+      req.exclude.push_back(static_cast<uint32_t>(
+          std::strtoul(exclude.substr(pos, comma - pos).c_str(), nullptr,
+                       10)));
+    }
+    pos = comma + 1;
+  }
+
   auto client = RemoteConnect(args);
   if (!client.ok()) {
     std::fprintf(stderr, "connect failed: %s\n",
                  client.status().ToString().c_str());
     return 1;
   }
-  auto results = client->Recommend(user, topic, top);
+  auto results = client->Recommend(req);
   if (!results.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  results.status().ToString().c_str());
@@ -530,6 +577,23 @@ int CmdQueryRemote(const Args& args) {
                 (*results)[i].score);
   }
   if (results->empty()) std::printf("  (no reachable candidates)\n");
+  return 0;
+}
+
+int CmdMetrics(const Args& args) {
+  auto client = RemoteConnect(args);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  auto text = client->Metrics();
+  if (!text.ok()) {
+    std::fprintf(stderr, "metrics failed: %s\n",
+                 text.status().ToString().c_str());
+    return 1;
+  }
+  std::fwrite(text->data(), 1, text->size(), stdout);
   return 0;
 }
 
@@ -575,7 +639,9 @@ const std::vector<Command>& Commands() {
         "max-inflight", "max-connections", "deadline-ms", "drain-ms",
         "stats-interval-s"}},
       {"query-remote", CmdQueryRemote,
-       {"host", "port", "vocab", "user", "topic", "top", "timeout-ms"}},
+       {"host", "port", "vocab", "user", "topic", "top", "timeout-ms",
+        "deadline-ms", "exclude"}},
+      {"metrics", CmdMetrics, {"host", "port", "timeout-ms"}},
       {"shutdown-remote", CmdShutdownRemote, {"host", "port", "timeout-ms"}},
   };
   return kCommands;
