@@ -89,6 +89,10 @@ struct Query {
 // A ranked (or, in scoring mode, candidate-ordered) answer.
 struct Ranking {
   std::vector<util::ScoredId> entries;
+  // Graph epoch this ranking was computed under. Stamped by serving layers
+  // that version their graph (service::QueryEngine); 0 for offline
+  // recommenders, which have no epoch notion.
+  uint64_t graph_epoch = 0;
 };
 
 // Accumulates a Ranking for a top-n Query, applying the shared exclusion

@@ -82,6 +82,21 @@ bool DeltaGraph::RemoveEdge(NodeId u, NodeId v) {
   return false;
 }
 
+bool DeltaGraph::RelabelEdge(NodeId u, NodeId v, TopicSet labels) {
+  MBR_CHECK(u < num_nodes() && v < num_nodes());
+  if (!HasEdge(u, v)) return false;
+  // Remove + re-add with the listener suppressed: all degree counters,
+  // tombstones, and the change log evolve exactly as for the two primitive
+  // mutations, and the listener observes one logical change.
+  std::function<void()> listener = std::move(on_change_);
+  on_change_ = nullptr;
+  MBR_CHECK(RemoveEdge(u, v));
+  MBR_CHECK(AddEdge(u, v, labels));
+  on_change_ = std::move(listener);
+  if (on_change_) on_change_();
+  return true;
+}
+
 bool DeltaGraph::HasEdge(NodeId u, NodeId v) const {
   if (IsAdded(u, v)) return true;
   return base_->HasEdge(u, v) && !IsRemoved(u, v);

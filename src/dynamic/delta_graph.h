@@ -44,6 +44,12 @@ class DeltaGraph {
   // edge is not currently present.
   bool RemoveEdge(graph::NodeId u, graph::NodeId v);
 
+  // Replaces the labels of the live edge u -> v (the wire RELABEL op).
+  // Returns false if the edge is not currently present. Implemented as a
+  // listener-suppressed RemoveEdge + AddEdge so every degree counter and
+  // the change log stay consistent; the change listener fires once.
+  bool RelabelEdge(graph::NodeId u, graph::NodeId v, topics::TopicSet labels);
+
   bool HasEdge(graph::NodeId u, graph::NodeId v) const;
 
   // Labels of the live edge u -> v (empty set if absent).

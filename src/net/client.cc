@@ -214,6 +214,12 @@ util::Result<RankedList> Client::Recommend(uint32_t user, uint32_t topic,
 }
 
 util::Result<RankedList> Client::Recommend(const RecommendRequest& req) {
+  auto reply = RecommendEx(req);
+  if (!reply.ok()) return reply.status();
+  return std::move(reply.value().entries);
+}
+
+util::Result<ResultReply> Client::RecommendEx(const RecommendRequest& req) {
   auto reply = RoundTrip(MessageKind::kRecommend,
                          EncodeRecommend(req, config_.protocol_version));
   if (!reply.ok()) return reply.status();
@@ -222,12 +228,26 @@ util::Result<RankedList> Client::Recommend(const RecommendRequest& req) {
         std::string("unexpected reply kind ") +
         MessageKindName(reply->header.kind));
   }
-  RankedList list;
-  MBR_RETURN_IF_ERROR(DecodeResult(reply->payload, config_.limits, &list));
-  return list;
+  ResultReply out;
+  MBR_RETURN_IF_ERROR(DecodeResult(reply->payload, config_.limits,
+                                   config_.protocol_version, &out.entries,
+                                   &out.graph_epoch));
+  return out;
 }
 
 util::Result<std::vector<RankedList>> Client::RecommendBatch(
+    const std::vector<RecommendRequest>& queries) {
+  auto replies = RecommendBatchEx(queries);
+  if (!replies.ok()) return replies.status();
+  std::vector<RankedList> lists;
+  lists.reserve(replies->size());
+  for (ResultReply& r : replies.value()) {
+    lists.push_back(std::move(r.entries));
+  }
+  return lists;
+}
+
+util::Result<std::vector<ResultReply>> Client::RecommendBatchEx(
     const std::vector<RecommendRequest>& queries) {
   auto reply = RoundTrip(
       MessageKind::kRecommendBatch,
@@ -239,14 +259,58 @@ util::Result<std::vector<RankedList>> Client::RecommendBatch(
         MessageKindName(reply->header.kind));
   }
   std::vector<RankedList> lists;
-  MBR_RETURN_IF_ERROR(
-      DecodeResultBatch(reply->payload, config_.limits, &lists));
+  std::vector<uint64_t> epochs;
+  MBR_RETURN_IF_ERROR(DecodeResultBatch(reply->payload, config_.limits,
+                                        config_.protocol_version, &lists,
+                                        &epochs));
   if (lists.size() != queries.size()) {
     return util::Status::Internal(
         "server answered " + std::to_string(lists.size()) + " lists for " +
         std::to_string(queries.size()) + " queries");
   }
-  return lists;
+  std::vector<ResultReply> out(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    out[i].entries = std::move(lists[i]);
+    out[i].graph_epoch = epochs[i];
+  }
+  return out;
+}
+
+util::Result<MutateAck> Client::Mutate(
+    MessageKind kind, const std::vector<MutationRecord>& records) {
+  if (!IsMutationKind(kind)) {
+    return util::Status::InvalidArgument("not a mutation kind");
+  }
+  if (config_.protocol_version < 3) {
+    return util::Status::FailedPrecondition(
+        "mutation ops require protocol v3; this client speaks v" +
+        std::to_string(config_.protocol_version));
+  }
+  auto reply = RoundTrip(kind, EncodeMutation(kind, records));
+  if (!reply.ok()) return reply.status();
+  if (reply->header.kind != MessageKind::kMutateAck) {
+    return util::Status::Internal(
+        std::string("unexpected reply kind ") +
+        MessageKindName(reply->header.kind));
+  }
+  MutateAck ack;
+  MBR_RETURN_IF_ERROR(DecodeMutateAck(reply->payload, &ack));
+  return ack;
+}
+
+util::Result<MutateAck> Client::Follow(
+    const std::vector<MutationRecord>& records) {
+  return Mutate(MessageKind::kFollow, records);
+}
+
+util::Result<MutateAck> Client::Unfollow(
+    const std::vector<MutationRecord>& records) {
+  return Mutate(MessageKind::kUnfollow, records);
+}
+
+util::Result<MutateAck> Client::Relabel(
+    const std::vector<MutationRecord>& records) {
+  return Mutate(MessageKind::kRelabel, records);
 }
 
 util::Result<service::StatsSnapshot> Client::Stats() {

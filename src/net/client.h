@@ -52,9 +52,24 @@ class Client {
   // Full request form: deadline_ms and exclude travel on the wire when the
   // client speaks v2 (they are silently dropped at v1).
   util::Result<RankedList> Recommend(const RecommendRequest& req);
+  // Like Recommend, but also surfaces the graph epoch the ranking was
+  // computed under (v3 field; 0 when the client speaks v1/v2).
+  util::Result<ResultReply> RecommendEx(const RecommendRequest& req);
   // Order-preserving batched variant (one RECOMMEND_BATCH frame).
   util::Result<std::vector<RankedList>> RecommendBatch(
       const std::vector<RecommendRequest>& queries);
+  // Epoch-carrying batched variant.
+  util::Result<std::vector<ResultReply>> RecommendBatchEx(
+      const std::vector<RecommendRequest>& queries);
+  // One mutation batch (v3+ only; kind selects FOLLOW/UNFOLLOW/RELABEL).
+  // The ack counts applied vs rejected records and carries the graph epoch
+  // after the batch.
+  util::Result<MutateAck> Mutate(MessageKind kind,
+                                 const std::vector<MutationRecord>& records);
+  util::Result<MutateAck> Follow(const std::vector<MutationRecord>& records);
+  util::Result<MutateAck> Unfollow(
+      const std::vector<MutationRecord>& records);
+  util::Result<MutateAck> Relabel(const std::vector<MutationRecord>& records);
   util::Result<service::StatsSnapshot> Stats();
   // Prometheus text exposition of the server's registry (v2+ only).
   util::Result<std::string> Metrics();

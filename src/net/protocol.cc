@@ -18,6 +18,12 @@ const char* MessageKindName(MessageKind kind) {
       return "SHUTDOWN";
     case MessageKind::kMetrics:
       return "METRICS";
+    case MessageKind::kFollow:
+      return "FOLLOW";
+    case MessageKind::kUnfollow:
+      return "UNFOLLOW";
+    case MessageKind::kRelabel:
+      return "RELABEL";
     case MessageKind::kPong:
       return "PONG";
     case MessageKind::kResult:
@@ -34,6 +40,8 @@ const char* MessageKindName(MessageKind kind) {
       return "OVERLOADED";
     case MessageKind::kMetricsResult:
       return "METRICS_RESULT";
+    case MessageKind::kMutateAck:
+      return "MUTATE_ACK";
   }
   return "UNKNOWN";
 }
@@ -46,6 +54,9 @@ bool IsRequestKind(MessageKind kind) {
     case MessageKind::kStats:
     case MessageKind::kShutdown:
     case MessageKind::kMetrics:
+    case MessageKind::kFollow:
+    case MessageKind::kUnfollow:
+    case MessageKind::kRelabel:
       return true;
     default:
       return false;
@@ -62,10 +73,16 @@ bool IsReplyKind(MessageKind kind) {
     case MessageKind::kError:
     case MessageKind::kOverloaded:
     case MessageKind::kMetricsResult:
+    case MessageKind::kMutateAck:
       return true;
     default:
       return false;
   }
+}
+
+bool IsMutationKind(MessageKind kind) {
+  return kind == MessageKind::kFollow || kind == MessageKind::kUnfollow ||
+         kind == MessageKind::kRelabel;
 }
 
 const char* WireErrorName(WireError e) {
@@ -315,29 +332,41 @@ util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
   return r.ExpectEnd();
 }
 
-std::vector<uint8_t> EncodeResult(const RankedList& list) {
+std::vector<uint8_t> EncodeResult(const RankedList& list, uint64_t graph_epoch,
+                                  uint16_t version) {
   PayloadWriter w;
+  if (version >= 3) w.PutU64(graph_epoch);
   PutList(list, &w);
   return w.Take();
 }
 
 util::Status DecodeResult(std::span<const uint8_t> payload,
-                          const WireLimits& limits, RankedList* out) {
+                          const WireLimits& limits, uint16_t version,
+                          RankedList* out, uint64_t* graph_epoch) {
   PayloadReader r(payload);
+  uint64_t epoch = 0;
+  if (version >= 3) MBR_RETURN_IF_ERROR(r.ReadU64(&epoch));
+  if (graph_epoch != nullptr) *graph_epoch = epoch;
   MBR_RETURN_IF_ERROR(ReadList(&r, limits, out));
   return r.ExpectEnd();
 }
 
-std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists) {
+std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists,
+                                       std::span<const uint64_t> epochs,
+                                       uint16_t version) {
   PayloadWriter w;
   w.PutU32(static_cast<uint32_t>(lists.size()));
-  for (const RankedList& l : lists) PutList(l, &w);
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (version >= 3) w.PutU64(epochs.empty() ? 0 : epochs[i]);
+    PutList(lists[i], &w);
+  }
   return w.Take();
 }
 
 util::Status DecodeResultBatch(std::span<const uint8_t> payload,
-                               const WireLimits& limits,
-                               std::vector<RankedList>* out) {
+                               const WireLimits& limits, uint16_t version,
+                               std::vector<RankedList>* out,
+                               std::vector<uint64_t>* epochs) {
   PayloadReader r(payload);
   uint32_t n = 0;
   MBR_RETURN_IF_ERROR(r.ReadU32(&n));
@@ -347,15 +376,83 @@ util::Status DecodeResultBatch(std::span<const uint8_t> payload,
                                          " exceeds bound " +
                                          std::to_string(limits.max_batch));
   }
-  // Each list costs at least its 4-byte length prefix.
-  if (n > r.remaining() / 4) {
+  // Each list costs at least its 4-byte length prefix (plus the 8-byte
+  // epoch at v3).
+  const size_t per_list_min = version >= 3 ? 12 : 4;
+  if (n > r.remaining() / per_list_min) {
     return util::Status::InvalidArgument(
         "result batch length exceeds remaining payload bytes");
   }
   out->resize(n);
+  if (epochs != nullptr) epochs->assign(n, 0);
   for (uint32_t i = 0; i < n; ++i) {
+    if (version >= 3) {
+      uint64_t e = 0;
+      MBR_RETURN_IF_ERROR(r.ReadU64(&e));
+      if (epochs != nullptr) (*epochs)[i] = e;
+    }
     MBR_RETURN_IF_ERROR(ReadList(&r, limits, &(*out)[i]));
   }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeMutation(
+    MessageKind kind, const std::vector<MutationRecord>& records) {
+  const bool has_labels = kind != MessageKind::kUnfollow;
+  PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(records.size()));
+  for (const MutationRecord& rec : records) {
+    w.PutU32(rec.src);
+    w.PutU32(rec.dst);
+    if (has_labels) w.PutU64(rec.labels);
+  }
+  return w.Take();
+}
+
+util::Status DecodeMutation(std::span<const uint8_t> payload,
+                            const WireLimits& limits, MessageKind kind,
+                            std::vector<MutationRecord>* out) {
+  if (!IsMutationKind(kind)) {
+    return util::Status::InvalidArgument("not a mutation kind");
+  }
+  const bool has_labels = kind != MessageKind::kUnfollow;
+  const size_t rec_bytes = has_labels ? 16 : 8;
+  PayloadReader r(payload);
+  uint32_t n = 0;
+  MBR_RETURN_IF_ERROR(r.ReadU32(&n));
+  if (n == 0 || n > limits.max_mutations) {
+    return util::Status::InvalidArgument(
+        "mutation count must be in [1, " +
+        std::to_string(limits.max_mutations) + "], got " + std::to_string(n));
+  }
+  if (n > r.remaining() / rec_bytes) {
+    return util::Status::InvalidArgument(
+        "mutation count exceeds remaining payload bytes");
+  }
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MutationRecord& rec = (*out)[i];
+    MBR_RETURN_IF_ERROR(r.ReadU32(&rec.src));
+    MBR_RETURN_IF_ERROR(r.ReadU32(&rec.dst));
+    rec.labels = 0;
+    if (has_labels) MBR_RETURN_IF_ERROR(r.ReadU64(&rec.labels));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeMutateAck(const MutateAck& ack) {
+  PayloadWriter w;
+  w.PutU32(ack.applied);
+  w.PutU32(ack.rejected);
+  w.PutU64(ack.graph_epoch);
+  return w.Take();
+}
+
+util::Status DecodeMutateAck(std::span<const uint8_t> payload, MutateAck* out) {
+  PayloadReader r(payload);
+  MBR_RETURN_IF_ERROR(r.ReadU32(&out->applied));
+  MBR_RETURN_IF_ERROR(r.ReadU32(&out->rejected));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->graph_epoch));
   return r.ExpectEnd();
 }
 

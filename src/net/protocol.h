@@ -30,10 +30,17 @@
 //   v1 — initial protocol (PR 3): RECOMMEND = user/topic/top_n.
 //   v2 — RECOMMEND/RECOMMEND_BATCH gain deadline_ms + exclude list, STATS
 //        gains deadline_exceeded, new METRICS op (Prometheus exposition).
+//   v3 — live graph mutation: new FOLLOW/UNFOLLOW/RELABEL ops answered by
+//        MUTATE_ACK (applied/rejected counts + the graph epoch after the
+//        batch), and RESULT/RESULT_BATCH carry the graph epoch each ranking
+//        was computed under (per-list in the batch: two queries of one
+//        batch may legitimately observe different epochs).
 // Servers accept any version in [kMinProtocolVersion, kProtocolVersion],
 // decode payloads by the frame's declared version, and echo that version
-// on the reply — a v1 client keeps working against a v2 server. Versions
-// outside the window get ERROR (UNSUPPORTED_VERSION) naming both.
+// on the reply — a v1 client keeps working against a v3 server. Versions
+// outside the window get ERROR (UNSUPPORTED_VERSION) naming both; ops
+// newer than the frame's version (METRICS below v2, mutations below v3)
+// get ERROR (UNKNOWN_KIND).
 
 #include <cstdint>
 #include <cstring>
@@ -49,7 +56,7 @@ namespace mbr::net {
 
 // "MBW1" when the little-endian u32 is viewed as bytes.
 inline constexpr uint32_t kFrameMagic = 0x3157424DU;
-inline constexpr uint16_t kProtocolVersion = 2;
+inline constexpr uint16_t kProtocolVersion = 3;
 // Oldest version still decoded; replies are encoded with the request's
 // version so old clients never see fields they don't know.
 inline constexpr uint16_t kMinProtocolVersion = 1;
@@ -63,6 +70,12 @@ enum class MessageKind : uint16_t {
   kStats = 4,
   kShutdown = 5,
   kMetrics = 6,  // v2+: Prometheus text exposition of the server registry
+  // v3+: live graph mutations; each frame is one ordered batch of records,
+  // answered with MUTATE_ACK after the batch has been applied (or ERROR if
+  // the payload is malformed — a malformed frame never mutates the graph).
+  kFollow = 7,
+  kUnfollow = 8,
+  kRelabel = 9,
   // Replies.
   kPong = 64,
   kResult = 65,
@@ -72,11 +85,14 @@ enum class MessageKind : uint16_t {
   kError = 69,
   kOverloaded = 70,
   kMetricsResult = 71,  // v2+
+  kMutateAck = 72,      // v3+
 };
 
 const char* MessageKindName(MessageKind kind);
 bool IsRequestKind(MessageKind kind);
 bool IsReplyKind(MessageKind kind);
+// FOLLOW / UNFOLLOW / RELABEL.
+bool IsMutationKind(MessageKind kind);
 
 // Decode-side bounds. Both peers use the same limits so a reply the server
 // is willing to send is a reply the client is willing to parse.
@@ -86,6 +102,7 @@ struct WireLimits {
   uint32_t max_list = 4096;               // entries per ranked list / top_n
   uint32_t max_error_msg = 1024;          // bytes of ERROR message text
   uint32_t max_exclude = 4096;            // v2: ids per exclusion list
+  uint32_t max_mutations = 4096;          // v3: records per mutation frame
 };
 
 struct FrameHeader {
@@ -191,6 +208,13 @@ inline constexpr size_t kResultEntryBytes = 12;
 
 using RankedList = std::vector<util::ScoredId>;
 
+// A decoded RESULT: the ranked list plus the graph epoch it was computed
+// under (v3 field; 0 when decoded at v1/v2).
+struct ResultReply {
+  RankedList entries;
+  uint64_t graph_epoch = 0;
+};
+
 // Error codes carried in ERROR replies; a superset mapping of
 // util::StatusCode plus protocol-specific conditions.
 enum class WireError : uint32_t {
@@ -226,14 +250,53 @@ util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
                                   const WireLimits& limits, uint16_t version,
                                   std::vector<RecommendRequest>* out);
 
-std::vector<uint8_t> EncodeResult(const RankedList& list);
+// RESULT / RESULT_BATCH are version-gated: v3 prepends the graph epoch the
+// ranking was computed under (per-list in the batch). Encoding at v1/v2
+// drops the epoch; decoding fills 0 for it.
+std::vector<uint8_t> EncodeResult(const RankedList& list,
+                                  uint64_t graph_epoch = 0,
+                                  uint16_t version = kProtocolVersion);
 util::Status DecodeResult(std::span<const uint8_t> payload,
-                          const WireLimits& limits, RankedList* out);
+                          const WireLimits& limits, uint16_t version,
+                          RankedList* out, uint64_t* graph_epoch = nullptr);
 
-std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists);
+// `epochs` must be empty (all zero) or parallel to `lists`.
+std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists,
+                                       std::span<const uint64_t> epochs = {},
+                                       uint16_t version = kProtocolVersion);
 util::Status DecodeResultBatch(std::span<const uint8_t> payload,
-                               const WireLimits& limits,
-                               std::vector<RankedList>* out);
+                               const WireLimits& limits, uint16_t version,
+                               std::vector<RankedList>* out,
+                               std::vector<uint64_t>* epochs = nullptr);
+
+// ---------------------------------------------------------------------------
+// v3 mutation payloads.
+//
+// FOLLOW / RELABEL record: src:u32 dst:u32 labels:u64 (TopicSet bits).
+// UNFOLLOW record:         src:u32 dst:u32 (labels omitted on the wire).
+// Frame payload: count:u32 then `count` records; count must be in
+// [1, max_mutations] and match the bytes present.
+
+struct MutationRecord {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  uint64_t labels = 0;  // ignored for UNFOLLOW
+};
+
+struct MutateAck {
+  uint32_t applied = 0;
+  uint32_t rejected = 0;
+  uint64_t graph_epoch = 0;  // engine epoch after the batch
+};
+
+std::vector<uint8_t> EncodeMutation(MessageKind kind,
+                                    const std::vector<MutationRecord>& records);
+util::Status DecodeMutation(std::span<const uint8_t> payload,
+                            const WireLimits& limits, MessageKind kind,
+                            std::vector<MutationRecord>* out);
+
+std::vector<uint8_t> EncodeMutateAck(const MutateAck& ack);
+util::Status DecodeMutateAck(std::span<const uint8_t> payload, MutateAck* out);
 
 // STATS is version-gated: v2 appends deadline_exceeded.
 std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s,

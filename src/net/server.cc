@@ -58,6 +58,10 @@ Server::Server(service::QueryEngine& engine, const ServerConfig& config)
       "mbr_net_request_latency_us",
       "Dispatcher latency per request in microseconds, by op.",
       {{"op", "recommend_batch"}});
+  metrics_.mutate_latency_us = registry_->GetHistogram(
+      "mbr_net_request_latency_us",
+      "Dispatcher latency per request in microseconds, by op.",
+      {{"op", "mutate"}});
 }
 
 Server::~Server() {
@@ -368,6 +372,18 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
       FlushWrites(conn);
       BeginDrain();
       return;
+    case MessageKind::kFollow:
+    case MessageKind::kUnfollow:
+    case MessageKind::kRelabel:
+      // v3+ ops; same gating shape as METRICS so a v1/v2 peer that never
+      // learned these kinds sees the same error it would for any unknown
+      // kind.
+      if (h.version < 3) {
+        QueueError(conn, h.request_id, h.version, WireError::kUnknownKind,
+                   "mutation ops require protocol v3");
+        return;
+      }
+      break;  // work requests, handled below
     case MessageKind::kRecommend:
     case MessageKind::kRecommendBatch:
       break;  // work requests, handled below
@@ -393,6 +409,59 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
   req.request_id = h.request_id;
   req.version = h.version;
   req.kind = h.kind;
+  if (IsMutationKind(h.kind)) {
+    // Decode fully BEFORE touching the applier: a malformed mutation frame
+    // is answered with BAD_FRAME and can never bump the graph epoch.
+    std::vector<MutationRecord> records;
+    if (util::Status st =
+            DecodeMutation(frame.payload, config_.limits, h.kind, &records);
+        !st.ok()) {
+      QueueError(conn, h.request_id, h.version, WireError::kBadFrame,
+                 st.message());
+      return;
+    }
+    if (config_.applier == nullptr) {
+      QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
+                 "server is read-only (mutations disabled)");
+      return;
+    }
+    const service::MutationOp op =
+        h.kind == MessageKind::kFollow     ? service::MutationOp::kFollow
+        : h.kind == MessageKind::kUnfollow ? service::MutationOp::kUnfollow
+                                           : service::MutationOp::kRelabel;
+    req.mutations.reserve(records.size());
+    for (const MutationRecord& rec : records) {
+      service::Mutation m;
+      m.op = op;
+      m.src = rec.src;
+      m.dst = rec.dst;
+      m.labels = topics::TopicSet(rec.labels);
+      req.mutations.push_back(m);
+    }
+    if (config_.request_deadline_ms > 0) {
+      req.has_deadline = true;
+      req.deadline = Clock::now() +
+                     std::chrono::milliseconds(config_.request_deadline_ms);
+    }
+    uint32_t cur_inflight = inflight_.load(std::memory_order_relaxed);
+    if (cur_inflight >= config_.max_inflight) {
+      metrics_.shed_overload->Increment();
+      if (!conn->QueueReply(MessageKind::kOverloaded, h.request_id, {},
+                            h.version)) {
+        CloseConnection(conn->fd());
+      }
+      return;
+    }
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.requests->Increment();
+    conn->add_inflight();
+    {
+      std::lock_guard<std::mutex> lock(dispatch_mu_);
+      dispatch_queue_.push_back(std::move(req));
+    }
+    dispatch_cv_.notify_one();
+    return;
+  }
   std::vector<RecommendRequest> decoded;
   if (h.kind == MessageKind::kRecommend) {
     RecommendRequest r;
@@ -414,10 +483,13 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
     }
   }
   // A reply the client's own frame cap would reject must never be
-  // produced: bound the worst-case result payload up front.
+  // produced: bound the worst-case result payload up front. At v3 every
+  // list additionally carries its 8-byte graph epoch.
+  const size_t per_list_overhead = h.version >= 3 ? 12 : 4;
   size_t reply_bytes = 4;  // list-count prefix
   for (const RecommendRequest& r : decoded) {
-    reply_bytes += 4 + static_cast<size_t>(r.top_n) * kResultEntryBytes;
+    reply_bytes +=
+        per_list_overhead + static_cast<size_t>(r.top_n) * kResultEntryBytes;
   }
   if (reply_bytes > config_.limits.max_payload_bytes) {
     QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
@@ -618,6 +690,19 @@ void Server::DispatchLoop() {
                        "deadline expired before execution"});
       AppendFrame(MessageKind::kError, req.request_id, payload, &frame,
                   req.version);
+    } else if (IsMutationKind(req.kind)) {
+      util::WallTimer timer;
+      const service::MutationOutcome outcome =
+          config_.applier->Apply(req.mutations);
+      MutateAck ack;
+      ack.applied = outcome.applied;
+      ack.rejected = outcome.rejected;
+      ack.graph_epoch = outcome.graph_epoch;
+      std::vector<uint8_t> payload = EncodeMutateAck(ack);
+      AppendFrame(MessageKind::kMutateAck, req.request_id, payload, &frame,
+                  req.version);
+      metrics_.mutate_latency_us->Record(
+          static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
     } else {
       util::WallTimer timer;
       std::vector<util::Result<core::Ranking>> results =
@@ -642,16 +727,21 @@ void Server::DispatchLoop() {
                     req.version);
       } else if (req.kind == MessageKind::kRecommend) {
         std::vector<uint8_t> payload =
-            EncodeResult(results.front().value().entries);
+            EncodeResult(results.front().value().entries,
+                         results.front().value().graph_epoch, req.version);
         AppendFrame(MessageKind::kResult, req.request_id, payload, &frame,
                     req.version);
       } else {
         std::vector<RankedList> lists;
+        std::vector<uint64_t> epochs;
         lists.reserve(results.size());
+        epochs.reserve(results.size());
         for (util::Result<core::Ranking>& r : results) {
+          epochs.push_back(r.value().graph_epoch);
           lists.push_back(std::move(r.value().entries));
         }
-        std::vector<uint8_t> payload = EncodeResultBatch(lists);
+        std::vector<uint8_t> payload =
+            EncodeResultBatch(lists, epochs, req.version);
         AppendFrame(MessageKind::kResultBatch, req.request_id, payload,
                     &frame, req.version);
       }

@@ -47,6 +47,7 @@
 #include "net/connection.h"
 #include "net/protocol.h"
 #include "obs/metrics.h"
+#include "service/mutation.h"
 #include "service/query_engine.h"
 #include "service/serving_stats.h"
 #include "util/status.h"
@@ -69,6 +70,11 @@ struct ServerConfig {
   // op renders. nullptr = the engine's registry, so one exposition covers
   // engine + network counters by default. Must outlive the server.
   obs::Registry* registry = nullptr;
+  // v3 mutation ops (FOLLOW/UNFOLLOW/RELABEL) apply through this. nullptr
+  // = read-only serving: well-formed mutation frames are answered with
+  // ERROR(INVALID_ARGUMENT) and never touch the graph. Must outlive the
+  // server.
+  service::MutationApplier* applier = nullptr;
 };
 
 // Snapshot of the server's registry-backed counters (see also
@@ -125,6 +131,7 @@ class Server {
     uint16_t version = kProtocolVersion;
     MessageKind kind = MessageKind::kRecommend;
     std::vector<service::Query> queries;
+    std::vector<service::Mutation> mutations;  // mutation kinds only
     Clock::time_point deadline{};
     bool has_deadline = false;
   };
@@ -165,6 +172,7 @@ class Server {
     obs::Counter* bytes_written = nullptr;
     obs::Histogram* recommend_latency_us = nullptr;
     obs::Histogram* batch_latency_us = nullptr;
+    obs::Histogram* mutate_latency_us = nullptr;
   };
 
   service::QueryEngine* engine_;

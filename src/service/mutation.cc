@@ -1,0 +1,119 @@
+#include "service/mutation.h"
+
+#include "service/landmark_repair.h"
+
+namespace mbr::service {
+
+namespace {
+
+// Labels must be non-empty and inside the graph's topic vocabulary.
+bool ValidLabels(topics::TopicSet labels, int num_topics) {
+  if (labels.empty()) return false;
+  if (num_topics >= 64) return true;
+  return (labels.bits() >> num_topics) == 0;
+}
+
+}  // namespace
+
+const char* MutationOpName(MutationOp op) {
+  switch (op) {
+    case MutationOp::kFollow:
+      return "follow";
+    case MutationOp::kUnfollow:
+      return "unfollow";
+    case MutationOp::kRelabel:
+      return "relabel";
+  }
+  return "unknown";
+}
+
+MutationApplier::MutationApplier(const graph::LabeledGraph& base,
+                                 const core::AuthorityIndex& base_authority,
+                                 QueryEngine& engine)
+    : engine_(&engine),
+      delta_(&base),
+      // The warm-start generation is caller-owned: hold it with no-op
+      // deleters so generation handling is uniform from the first batch.
+      cur_graph_(&base, [](const graph::LabeledGraph*) {}),
+      cur_authority_(&base_authority, [](const core::AuthorityIndex*) {}) {
+  obs::Registry& reg = engine.registry();
+  applied_total_ = reg.GetCounter("mbr_mutation_applied_total",
+                                  "Mutation records applied to the graph.");
+  rejected_total_ = reg.GetCounter(
+      "mbr_mutation_rejected_total",
+      "Mutation records rejected by per-record validation.");
+  batches_total_ = reg.GetCounter(
+      "mbr_mutation_batches_total",
+      "Mutation batches that applied at least one record (epoch bumps).");
+}
+
+bool MutationApplier::ApplyOne(const Mutation& m) {
+  const graph::NodeId n = delta_.num_nodes();
+  if (m.src >= n || m.dst >= n || m.src == m.dst) return false;
+  const int num_topics = delta_.base().num_topics();
+  switch (m.op) {
+    case MutationOp::kFollow:
+      return ValidLabels(m.labels, num_topics) &&
+             delta_.AddEdge(m.src, m.dst, m.labels);
+    case MutationOp::kUnfollow:
+      return delta_.RemoveEdge(m.src, m.dst);
+    case MutationOp::kRelabel:
+      return ValidLabels(m.labels, num_topics) &&
+             delta_.RelabelEdge(m.src, m.dst, m.labels);
+  }
+  return false;
+}
+
+MutationOutcome MutationApplier::Apply(std::span<const Mutation> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MutationOutcome out;
+  std::vector<graph::NodeId> touched;
+  touched.reserve(batch.size() * 2);
+  for (const Mutation& m : batch) {
+    if (ApplyOne(m)) {
+      ++out.applied;
+      touched.push_back(m.src);
+      touched.push_back(m.dst);
+    } else {
+      ++out.rejected;
+    }
+  }
+  applied_total_->Increment(out.applied);
+  rejected_total_->Increment(out.rejected);
+  if (out.applied > 0) {
+    batches_total_->Increment();
+    ++batches_applied_;
+    auto g = std::make_shared<graph::LabeledGraph>(delta_.Materialize());
+    auto auth = std::make_shared<core::AuthorityIndex>(*g);
+    // Rebind blocks until in-flight queries drain, then bumps the epoch;
+    // only after it returns is it safe to drop the previous generation
+    // (which happens below when cur_graph_/cur_authority_ are reassigned).
+    engine_->Rebind(*g, *auth);
+    cur_graph_ = std::move(g);
+    cur_authority_ = std::move(auth);
+    if (repairer_ != nullptr) {
+      repairer_->OnBatchApplied(cur_graph_, cur_authority_, touched);
+    }
+  }
+  out.graph_epoch = engine_->params_epoch();
+  return out;
+}
+
+uint64_t MutationApplier::batches_applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_applied_;
+}
+
+std::shared_ptr<const graph::LabeledGraph> MutationApplier::current_graph()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cur_graph_;
+}
+
+std::shared_ptr<const core::AuthorityIndex>
+MutationApplier::current_authority() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cur_authority_;
+}
+
+}  // namespace mbr::service

@@ -1,0 +1,116 @@
+#ifndef MBR_SERVICE_MUTATION_H_
+#define MBR_SERVICE_MUTATION_H_
+
+// Live graph mutation for the serving path (ROADMAP item 2, paper §6).
+//
+// A MutationApplier owns a persistent dynamic::DeltaGraph over the
+// warm-start base graph and turns wire FOLLOW/UNFOLLOW/RELABEL batches
+// into serving-replica updates:
+//
+//   Apply(batch)  — validate + apply each record to the delta, and if
+//                   anything applied: Materialize() a new graph
+//                   generation, rebuild the authority index, and
+//                   QueryEngine::Rebind() onto it. Rebind bumps the
+//                   engine epoch, so the graph epoch advances exactly
+//                   once per applied batch and every cached result keyed
+//                   on the old epoch becomes unreachable.
+//
+// Graph generations are held as shared_ptrs: the previous generation is
+// released only after Rebind() has drained the queries that might still
+// be scoring against it, and the optional LandmarkRepairer keeps its own
+// reference to the generation it repairs against, so a generation can
+// never be freed under a reader.
+//
+// Per-record rejection (out-of-range ids, self-loops, duplicate follows,
+// unfollowing an absent edge, empty/out-of-vocabulary label sets) is not
+// an error: the batch answer counts applied vs rejected, mirroring the
+// MUTATE_ACK wire payload. A batch where nothing applied does not bump
+// the epoch.
+//
+// Thread-safety: Apply() serializes on an internal mutex — concurrent
+// wire mutators are applied in some total order, each batch atomically
+// with respect to queries (which only ever see fully materialized
+// generations via Rebind's exclusive lock).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/authority.h"
+#include "dynamic/delta_graph.h"
+#include "graph/labeled_graph.h"
+#include "obs/metrics.h"
+#include "service/query_engine.h"
+#include "topics/topic.h"
+
+namespace mbr::service {
+
+class LandmarkRepairer;
+
+enum class MutationOp : uint8_t { kFollow, kUnfollow, kRelabel };
+
+const char* MutationOpName(MutationOp op);
+
+struct Mutation {
+  MutationOp op = MutationOp::kFollow;
+  graph::NodeId src = 0;
+  graph::NodeId dst = 0;
+  topics::TopicSet labels;  // ignored for kUnfollow
+};
+
+struct MutationOutcome {
+  uint32_t applied = 0;
+  uint32_t rejected = 0;
+  uint64_t graph_epoch = 0;  // engine epoch after the batch
+};
+
+class MutationApplier {
+ public:
+  // `base` and `base_authority` are the generation the engine is currently
+  // bound to (warm start); both must outlive the applier. Counters are
+  // registered in the engine's registry.
+  MutationApplier(const graph::LabeledGraph& base,
+                  const core::AuthorityIndex& base_authority,
+                  QueryEngine& engine);
+
+  MutationApplier(const MutationApplier&) = delete;
+  MutationApplier& operator=(const MutationApplier&) = delete;
+
+  // Optional: notify a repairer after every applied batch. Install before
+  // serving traffic; the repairer must outlive the applier (or be stopped
+  // first).
+  void SetRepairer(LandmarkRepairer* repairer) { repairer_ = repairer; }
+
+  // Applies one ordered batch. Never throws on bad records — they count
+  // as rejected. Thread-safe.
+  MutationOutcome Apply(std::span<const Mutation> batch);
+
+  uint64_t batches_applied() const;
+
+  // The live generation (for tests and the churn bench). The returned
+  // pointers stay valid even across later batches.
+  std::shared_ptr<const graph::LabeledGraph> current_graph() const;
+  std::shared_ptr<const core::AuthorityIndex> current_authority() const;
+
+ private:
+  bool ApplyOne(const Mutation& m);
+
+  QueryEngine* engine_;
+  LandmarkRepairer* repairer_ = nullptr;
+
+  mutable std::mutex mu_;
+  dynamic::DeltaGraph delta_;
+  std::shared_ptr<const graph::LabeledGraph> cur_graph_;
+  std::shared_ptr<const core::AuthorityIndex> cur_authority_;
+  uint64_t batches_applied_ = 0;
+
+  obs::Counter* applied_total_ = nullptr;
+  obs::Counter* rejected_total_ = nullptr;
+  obs::Counter* batches_total_ = nullptr;
+};
+
+}  // namespace mbr::service
+
+#endif  // MBR_SERVICE_MUTATION_H_

@@ -100,6 +100,7 @@ util::Result<core::Ranking> QueryEngine::ExecuteQuery(uint32_t wid,
                         q.user, q.topic, q.top_n);
   util::Result<core::Ranking> out = [&]() -> util::Result<core::Ranking> {
     MBR_SPAN("engine.execute");
+    if (stale_probe_) stale_probe_();
     Worker& w = workers_[wid];
     if (w.approx != nullptr) {
       return w.approx->Recommend(q);
@@ -144,7 +145,6 @@ std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
       util::Result<core::Ranking>(util::Status::Internal("unanswered")));
   if (queries.empty()) return results;
 
-  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
   std::vector<size_t> misses;
   misses.reserve(queries.size());
   uint64_t expired_at_admission = 0;
@@ -153,6 +153,10 @@ std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
     // under the exclusive lock. Released before the latch wait below so a
     // concurrent Rebind can never deadlock against in-flight batches.
     std::shared_lock<std::shared_mutex> lock(rebind_mu_);
+    // The epoch is read under the same lock hold that reads the graph, so
+    // (graph, epoch) is a consistent pair: a hit under `epoch` was cached
+    // by a query that scored the same graph generation.
+    const uint64_t epoch = epoch_.load(std::memory_order_acquire);
     for (const core::Query& q : queries) {
       MBR_CHECK(q.user < g_->num_nodes());
       MBR_CHECK(q.topic < g_->num_topics());
@@ -179,7 +183,10 @@ std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
       if (CacheLookup(key, &cached)) {
         metrics_.cache_hits->Increment();
         RecordLatencySeconds(timer.ElapsedSeconds());
-        results[i] = core::Ranking{std::move(cached)};
+        core::Ranking rk;
+        rk.entries = std::move(cached);
+        rk.graph_epoch = epoch;
+        results[i] = std::move(rk);
       } else {
         misses.push_back(i);
       }
@@ -199,17 +206,26 @@ std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t begin = c * chunk;
     const size_t end = std::min(begin + chunk, misses.size());
-    pool_.Submit([this, &queries, &results, &misses, begin, end, epoch,
+    pool_.Submit([this, &queries, &results, &misses, begin, end,
                   &done](uint32_t wid) {
       {
         std::shared_lock<std::shared_mutex> lock(rebind_mu_);
+        // The scoring epoch is re-read under THIS lock hold — not carried
+        // over from admission — so the stamp (and the cache key) always
+        // names the graph generation the scorer actually ran against. If a
+        // Rebind slipped between admission and here, the entry lands under
+        // the new epoch and honestly claims it.
+        const uint64_t scoring_epoch = epoch_.load(std::memory_order_acquire);
         for (size_t m = begin; m < end; ++m) {
           const size_t i = misses[m];
           const core::Query& q = queries[i];
           results[i] = ExecuteQuery(wid, q);
-          if (cache_ != nullptr && results[i].ok() && q.exclude.empty()) {
-            cache_->Put(CacheKey{q.user, q.topic, q.top_n, epoch},
-                        results[i].value().entries);
+          if (results[i].ok()) {
+            results[i].value().graph_epoch = scoring_epoch;
+            if (cache_ != nullptr && q.exclude.empty()) {
+              cache_->Put(CacheKey{q.user, q.topic, q.top_n, scoring_epoch},
+                          results[i].value().entries);
+            }
           }
         }
       }
@@ -242,6 +258,16 @@ void QueryEngine::Rebind(const graph::LabeledGraph& g,
   authority_ = &authority;
   BuildWorkers();
   Invalidate();
+}
+
+void QueryEngine::RunExclusive(const std::function<void()>& fn) {
+  std::unique_lock<std::shared_mutex> lock(rebind_mu_);
+  fn();
+  Invalidate();
+}
+
+void QueryEngine::SetStaleProbe(std::function<void()> probe) {
+  stale_probe_ = std::move(probe);
 }
 
 EngineStats QueryEngine::Stats() const {

@@ -30,14 +30,21 @@
 // RankingBuilder. Candidate-scoring mode is not served here (it exists for
 // the offline evaluation protocol): queries must have empty `candidates`.
 //
-// Epoch scheme: the epoch only ever grows. A scored result is inserted
-// under the epoch observed when its query was admitted; if an invalidation
-// races with the scoring, the insert lands under the old epoch and is
-// simply never looked up again — correctness never depends on the cache.
+// Epoch scheme: the epoch only ever grows, and doubles as the *graph
+// epoch* surfaced on every Ranking (bumped once per Rebind / applied
+// mutation batch by the live-mutation path, see service::MutationApplier).
+// Epochs are observed under the rebind lock, so a query sees one
+// consistent (graph, epoch) pair end-to-end: a scored result is stamped
+// with — and cached under — the epoch read under the same shared-lock hold
+// that scored it, and a cache hit is stamped with the lookup epoch, which
+// by key equality is exactly the epoch its entry was computed at. A reply
+// can therefore never claim a newer epoch than the graph its ranking was
+// computed against — correctness never depends on the cache.
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <span>
@@ -160,6 +167,19 @@ class QueryEngine {
   void Rebind(const graph::LabeledGraph& g,
               const core::AuthorityIndex& authority);
 
+  // Runs `fn` while holding the rebind lock exclusively (no query in
+  // flight), then bumps the epoch. The in-place landmark repair path uses
+  // this to refresh one landmark's stored lists without queries observing
+  // a half-written list.
+  void RunExclusive(const std::function<void()>& fn);
+
+  // Installs a hook invoked once per scored (cache-miss) query, under the
+  // shared rebind lock. The landmark repairer uses it to count queries
+  // answered while some landmark list was stale
+  // (mbr_repair_stale_reads_total). Not thread-safe against in-flight
+  // queries: install before serving traffic.
+  void SetStaleProbe(std::function<void()> probe);
+
   uint64_t params_epoch() const {
     return epoch_.load(std::memory_order_relaxed);
   }
@@ -229,6 +249,7 @@ class QueryEngine {
   const core::AuthorityIndex* authority_;
   const topics::SimilarityMatrix* sim_;
   EngineConfig config_;
+  std::function<void()> stale_probe_;
 
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_ = nullptr;

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for live mutation over the wire (ISSUE 6):
+#   mbrec serve --mutable 1 (ephemeral port) -> query-remote (epoch 0)
+#   -> mutate follow (epoch bumps to 1) -> mutate again (duplicate, rejected,
+#   epoch stays) -> unfollow -> query-remote sees the new epoch -> metrics
+#   exposes the mutation counters -> shutdown-remote -> drain.
+# Run by ctest as `cli_mutate_smoke` (labels: cli_serve dynamic). $MBREC
+# points at the built binary; $1 is a graph snapshot from `mbrec save-graph`.
+set -u
+
+MBREC="${MBREC:?set MBREC to the mbrec binary}"
+SNAPSHOT="${1:?usage: cli_mutate_smoke.sh <snapshot.bin>}"
+LOG="$(mktemp)"
+OUT="$(mktemp)"
+METRICS="$(mktemp)"
+TMP_GRAPH=""
+TMP_SNAP=""
+SERVE_PID=""
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -f "$LOG" "$OUT" "$METRICS" "$TMP_GRAPH" "$TMP_SNAP"' EXIT
+
+# Label-filtered runs (tools/check.sh sanitizer matrices select this test
+# via -L dynamic) skip the cli_save_graph dependency, so build the
+# snapshot ourselves when it is not already there.
+if [ ! -f "$SNAPSHOT" ]; then
+  TMP_GRAPH="$(mktemp)" && TMP_SNAP="$(mktemp)"
+  "$MBREC" generate --dataset twitter --nodes 1500 --out "$TMP_GRAPH" \
+    || { echo "generate failed"; exit 1; }
+  "$MBREC" save-graph --graph "$TMP_GRAPH" --out "$TMP_SNAP" \
+    || { echo "save-graph failed"; exit 1; }
+  SNAPSHOT="$TMP_SNAP"
+fi
+
+"$MBREC" serve --graph "$SNAPSHOT" --port 0 --mutable 1 \
+  --stats-interval-s 0 >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 150); do
+  PORT="$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "server died:"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "server never announced its port:"; cat "$LOG"; exit 1; }
+
+grep -q '^mutations: enabled' "$LOG" \
+  || { echo "server did not announce the mutation path:"; cat "$LOG"; exit 1; }
+
+# Before any mutation the replica serves graph epoch 0.
+"$MBREC" query-remote --port "$PORT" --user 7 --topic technology --top 5 \
+  >"$OUT" || { echo "query-remote failed"; cat "$LOG"; exit 1; }
+grep -q '(graph epoch 0)' "$OUT" \
+  || { echo "expected graph epoch 0 before mutations:"; cat "$OUT"; exit 1; }
+
+# A fresh FOLLOW applies and bumps the epoch to 1.
+"$MBREC" mutate --port "$PORT" --op follow --src 7 --dst 11 \
+  --topics technology,entertainment >"$OUT" \
+  || { echo "mutate follow failed"; cat "$OUT"; cat "$LOG"; exit 1; }
+grep -q 'applied=1 rejected=0 graph_epoch=1' "$OUT" \
+  || { echo "unexpected follow ack:"; cat "$OUT"; exit 1; }
+
+# The duplicate FOLLOW is rejected: exit code 1, epoch unchanged.
+if "$MBREC" mutate --port "$PORT" --op follow --src 7 --dst 11 \
+  --topics technology >"$OUT"; then
+  echo "duplicate follow should exit nonzero"; cat "$OUT"; exit 1
+fi
+grep -q 'applied=0 rejected=1 graph_epoch=1' "$OUT" \
+  || { echo "duplicate follow must not bump the epoch:"; cat "$OUT"; exit 1; }
+
+# RELABEL then UNFOLLOW the same edge; each applied batch bumps once.
+"$MBREC" mutate --port "$PORT" --op relabel --src 7 --dst 11 \
+  --topics sports >"$OUT" \
+  || { echo "mutate relabel failed"; cat "$OUT"; cat "$LOG"; exit 1; }
+grep -q 'applied=1 rejected=0 graph_epoch=2' "$OUT" \
+  || { echo "unexpected relabel ack:"; cat "$OUT"; exit 1; }
+"$MBREC" mutate --port "$PORT" --op unfollow --src 7 --dst 11 >"$OUT" \
+  || { echo "mutate unfollow failed"; cat "$OUT"; cat "$LOG"; exit 1; }
+grep -q 'applied=1 rejected=0 graph_epoch=3' "$OUT" \
+  || { echo "unexpected unfollow ack:"; cat "$OUT"; exit 1; }
+
+# Reads observe the post-mutation epoch.
+"$MBREC" query-remote --port "$PORT" --user 7 --topic technology --top 5 \
+  >"$OUT" || { echo "query-remote after mutations failed"; cat "$LOG"; exit 1; }
+grep -q '(graph epoch 3)' "$OUT" \
+  || { echo "expected graph epoch 3 after three applied batches:"; cat "$OUT"; exit 1; }
+
+# The scrape covers the mutation counters with the values the acks implied.
+"$MBREC" metrics --port "$PORT" >"$METRICS" \
+  || { echo "metrics failed"; cat "$LOG"; exit 1; }
+for want in \
+  '^mbr_mutation_applied_total 3$' \
+  '^mbr_mutation_rejected_total 1$' \
+  '^mbr_mutation_batches_total 3$'; do
+  grep -q "$want" "$METRICS" \
+    || { echo "metrics output missing: $want"; cat "$METRICS"; exit 1; }
+done
+
+"$MBREC" shutdown-remote --port "$PORT" \
+  || { echo "shutdown-remote failed"; cat "$LOG"; exit 1; }
+
+for _ in $(seq 1 150); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "server failed to drain after shutdown-remote:"; cat "$LOG"; exit 1
+fi
+wait "$SERVE_PID"
+RC=$?
+[ "$RC" -eq 0 ] || { echo "server exited with $RC:"; cat "$LOG"; exit 1; }
+
+grep -q '^drained: queries=' "$LOG" \
+  || { echo "missing final stats line:"; cat "$LOG"; exit 1; }
+echo "mutate smoke OK (port $PORT)"

@@ -21,6 +21,7 @@
 #include "graph/labeled_graph.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "service/mutation.h"
 #include "service/query_engine.h"
 #include "topics/similarity_matrix.h"
 
@@ -165,9 +166,24 @@ class NetCorruptionTest : public ::testing::Test {
     }
   }
 
+  // Swaps the read-only server for one with a live MutationApplier, so
+  // the mutation-op sweeps run against the real apply path.
+  void RestartMutable() {
+    server_->RequestStop();
+    server_->Wait();
+    applier_ = std::make_unique<service::MutationApplier>(*graph_, *auth_,
+                                                          *engine_);
+    ServerConfig cfg;
+    cfg.max_connections = 4096;
+    cfg.applier = applier_.get();
+    server_ = std::make_unique<Server>(*engine_, cfg);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
   std::unique_ptr<LabeledGraph> graph_;
   std::unique_ptr<core::AuthorityIndex> auth_;
   std::unique_ptr<service::QueryEngine> engine_;
+  std::unique_ptr<service::MutationApplier> applier_;
   std::unique_ptr<Server> server_;
 };
 
@@ -249,6 +265,114 @@ TEST_F(NetCorruptionTest, RandomGarbageIsSurvivable) {
     if (!SendAndDrain(junk, &reply)) break;
     ExpectWellFormedReplies(reply);
   }
+  ExpectServerStillAlive();
+}
+
+// ---------- Mutation ops (ISSUE 6 satellite) ----------
+//
+// Same hostile-bytes treatment for the v3 write path, with one extra
+// invariant: a malformed mutation frame must NEVER bump the graph epoch.
+// The server enforces this by fully decoding the batch before the applier
+// is touched, so a frame that fails CRC, bounds, or record validation
+// leaves the serving replica exactly as it was.
+
+TEST_F(NetCorruptionTest, TruncatedFollowNeverPartiallyApplies) {
+  RestartMutable();
+  // Records that WOULD apply if the frame arrived intact (1->3 and 2->5
+  // are absent from the chain graph): every truncation must leave the
+  // epoch at 0, proving no prefix of a mutation batch is ever applied.
+  std::vector<MutationRecord> records = {{1, 3, 0x1}, {2, 5, 0x2}};
+  std::vector<uint8_t> frame;
+  AppendFrame(MessageKind::kFollow, 90,
+              EncodeMutation(MessageKind::kFollow, records), &frame);
+  ASSERT_EQ(engine_->params_epoch(), 0u);
+  for (size_t keep = 0; keep + 1 < frame.size(); ++keep) {
+    SCOPED_TRACE("truncated to " + std::to_string(keep) + " bytes");
+    std::vector<uint8_t> reply;
+    if (!SendAndDrain({frame.data(), keep}, &reply)) break;
+    ExpectWellFormedReplies(reply);
+    ASSERT_EQ(engine_->params_epoch(), 0u)
+        << "a truncated FOLLOW frame mutated the serving replica";
+  }
+  ExpectServerStillAlive();
+  // Sanity: the intact frame does apply — the sweep was exercising a
+  // genuinely applyable batch, not one the server would reject anyway.
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(SendAndDrain(frame, &reply));
+  ExpectWellFormedReplies(reply);
+  EXPECT_EQ(engine_->params_epoch(), 1u);
+  EXPECT_TRUE(graph_ != nullptr);
+}
+
+TEST_F(NetCorruptionTest, BitFlippedFollowNeverBumpsEpoch) {
+  RestartMutable();
+  // Records the applier always rejects (self-loop, out-of-range dst): a
+  // header flip that leaves the frame decodable therefore applies nothing,
+  // and any payload flip fails the CRC before decode — so the epoch must
+  // stay 0 across the whole sweep.
+  std::vector<MutationRecord> records = {{3, 3, 0x1}, {2, 100, 0x2}};
+  std::vector<uint8_t> frame;
+  AppendFrame(MessageKind::kFollow, 91,
+              EncodeMutation(MessageKind::kFollow, records), &frame);
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      // kFollow (7) with bit 1 of the kind field (byte 6) flipped is
+      // kShutdown (5): a well-formed frame that legitimately drains the
+      // server. Every other flip must leave it serving.
+      if (byte == 6 && bit == 1) continue;
+      SCOPED_TRACE("flip byte " + std::to_string(byte) + " bit " +
+                   std::to_string(bit));
+      std::vector<uint8_t> mutated = frame;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      std::vector<uint8_t> reply;
+      if (!SendAndDrain(mutated, &reply)) return;
+      ExpectWellFormedReplies(reply);
+      ASSERT_EQ(engine_->params_epoch(), 0u)
+          << "a corrupted FOLLOW frame mutated the serving replica";
+    }
+  }
+  ExpectServerStillAlive();
+}
+
+TEST_F(NetCorruptionTest, UnfollowAndRelabelTruncationsAreClean) {
+  RestartMutable();
+  std::vector<MutationRecord> unfollow = {{0, 1, 0}};
+  std::vector<MutationRecord> relabel = {{0, 1, 0x3}};
+  for (const auto& [kind, records] :
+       {std::pair{MessageKind::kUnfollow, unfollow},
+        std::pair{MessageKind::kRelabel, relabel}}) {
+    std::vector<uint8_t> frame;
+    AppendFrame(kind, 92, EncodeMutation(kind, records), &frame);
+    for (size_t keep = 0; keep + 1 < frame.size(); ++keep) {
+      SCOPED_TRACE(std::string(MessageKindName(kind)) + " truncated to " +
+                   std::to_string(keep) + " bytes");
+      std::vector<uint8_t> reply;
+      if (!SendAndDrain({frame.data(), keep}, &reply)) return;
+      ExpectWellFormedReplies(reply);
+      ASSERT_EQ(engine_->params_epoch(), 0u);
+    }
+  }
+  ExpectServerStillAlive();
+}
+
+TEST_F(NetCorruptionTest, MutationOnReadOnlyServerIsRefusedNotFatal) {
+  // No RestartMutable(): the default fixture server has no applier. A
+  // well-formed FOLLOW must come back as a clean error, not a crash, and
+  // the epoch must not move.
+  std::vector<MutationRecord> records = {{1, 3, 0x1}};
+  std::vector<uint8_t> frame;
+  AppendFrame(MessageKind::kFollow, 93,
+              EncodeMutation(MessageKind::kFollow, records), &frame);
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(SendAndDrain(frame, &reply));
+  ExpectWellFormedReplies(reply);
+  ASSERT_GE(reply.size(), kFrameHeaderBytes);
+  FrameHeader h;
+  WireLimits limits;
+  ASSERT_EQ(ParseFrameHeader({reply.data(), reply.size()}, limits, &h),
+            HeaderParse::kOk);
+  EXPECT_EQ(h.kind, MessageKind::kError);
+  EXPECT_EQ(engine_->params_epoch(), 0u);
   ExpectServerStillAlive();
 }
 

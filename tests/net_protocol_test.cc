@@ -153,15 +153,20 @@ TEST(NetProtocolTest, ResultRoundTripPreservesScores) {
   WireLimits limits;
   RankedList list = {{11, 0.5}, {22, 0.25}, {33, 1e-9}};
   RankedList back;
-  ASSERT_TRUE(DecodeResult(EncodeResult(list), limits, &back).ok());
+  uint64_t epoch = 99;
+  ASSERT_TRUE(DecodeResult(EncodeResult(list), limits, kProtocolVersion,
+                           &back, &epoch)
+                  .ok());
   ASSERT_EQ(back.size(), 3u);
   EXPECT_EQ(back[0].id, 11u);
   EXPECT_DOUBLE_EQ(back[2].score, 1e-9);
+  EXPECT_EQ(epoch, 0u);  // default epoch
 
   std::vector<RankedList> lists = {list, {}, {{1, 1.0}}};
   std::vector<RankedList> lists_back;
-  ASSERT_TRUE(
-      DecodeResultBatch(EncodeResultBatch(lists), limits, &lists_back).ok());
+  ASSERT_TRUE(DecodeResultBatch(EncodeResultBatch(lists), limits,
+                                kProtocolVersion, &lists_back)
+                  .ok());
   ASSERT_EQ(lists_back.size(), 3u);
   EXPECT_TRUE(lists_back[1].empty());
   EXPECT_EQ(lists_back[2][0].id, 1u);
@@ -172,6 +177,92 @@ TEST(NetProtocolTest, ResultEntryBytesMatchesEncoding) {
   RankedList two = {{1, 1.0}, {2, 2.0}};
   EXPECT_EQ(EncodeResult(two).size() - EncodeResult(one).size(),
             kResultEntryBytes);
+}
+
+TEST(NetProtocolTest, V3ResultCarriesGraphEpoch) {
+  WireLimits limits;
+  RankedList list = {{11, 0.5}, {22, 0.25}};
+  RankedList back;
+  uint64_t epoch = 0;
+  ASSERT_TRUE(
+      DecodeResult(EncodeResult(list, 7, 3), limits, 3, &back, &epoch).ok());
+  EXPECT_EQ(epoch, 7u);
+  ASSERT_EQ(back.size(), 2u);
+
+  // v2 encoding drops the epoch — the payload is 8 bytes shorter and
+  // decodes to epoch 0.
+  EXPECT_EQ(EncodeResult(list, 7, 3).size() - EncodeResult(list, 7, 2).size(),
+            8u);
+  ASSERT_TRUE(
+      DecodeResult(EncodeResult(list, 7, 2), limits, 2, &back, &epoch).ok());
+  EXPECT_EQ(epoch, 0u);
+  // Cross-version decode must fail cleanly, not misalign.
+  RankedList junk;
+  EXPECT_FALSE(DecodeResult(EncodeResult(list, 7, 3), limits, 2, &junk).ok());
+
+  // Batch: per-list epochs round-trip.
+  std::vector<RankedList> lists = {list, {}};
+  std::vector<uint64_t> epochs = {4, 9};
+  std::vector<RankedList> lists_back;
+  std::vector<uint64_t> epochs_back;
+  ASSERT_TRUE(DecodeResultBatch(EncodeResultBatch(lists, epochs, 3), limits,
+                                3, &lists_back, &epochs_back)
+                  .ok());
+  ASSERT_EQ(lists_back.size(), 2u);
+  EXPECT_EQ(epochs_back, (std::vector<uint64_t>{4, 9}));
+}
+
+TEST(NetProtocolTest, MutationRoundTripAndBounds) {
+  WireLimits limits;
+  std::vector<MutationRecord> recs = {{1, 2, 0x5}, {3, 4, 0x1}};
+  std::vector<MutationRecord> back;
+  ASSERT_TRUE(
+      DecodeMutation(EncodeMutation(MessageKind::kFollow, recs), limits,
+                     MessageKind::kFollow, &back)
+          .ok());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].src, 1u);
+  EXPECT_EQ(back[0].dst, 2u);
+  EXPECT_EQ(back[0].labels, 0x5u);
+
+  // UNFOLLOW records omit labels on the wire.
+  std::vector<uint8_t> unfollow =
+      EncodeMutation(MessageKind::kUnfollow, recs);
+  EXPECT_EQ(unfollow.size(), 4u + 2 * 8u);
+  ASSERT_TRUE(
+      DecodeMutation(unfollow, limits, MessageKind::kUnfollow, &back).ok());
+  EXPECT_EQ(back[1].src, 3u);
+  EXPECT_EQ(back[1].labels, 0u);
+
+  // Empty batches, oversized batches, and lying counts are rejected.
+  EXPECT_FALSE(DecodeMutation(EncodeMutation(MessageKind::kFollow, {}),
+                              limits, MessageKind::kFollow, &back)
+                   .ok());
+  std::vector<uint8_t> lying = EncodeMutation(MessageKind::kFollow, recs);
+  std::memcpy(lying.data(), &limits.max_mutations, sizeof(uint32_t));
+  EXPECT_FALSE(
+      DecodeMutation(lying, limits, MessageKind::kFollow, &back).ok());
+  // Every strict prefix fails cleanly.
+  std::vector<uint8_t> payload = EncodeMutation(MessageKind::kRelabel, recs);
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeMutation({payload.data(), n}, limits,
+                                MessageKind::kRelabel, &back)
+                     .ok())
+        << "prefix length " << n;
+  }
+}
+
+TEST(NetProtocolTest, MutateAckRoundTrip) {
+  MutateAck ack{3, 1, 42};
+  MutateAck back;
+  ASSERT_TRUE(DecodeMutateAck(EncodeMutateAck(ack), &back).ok());
+  EXPECT_EQ(back.applied, 3u);
+  EXPECT_EQ(back.rejected, 1u);
+  EXPECT_EQ(back.graph_epoch, 42u);
+  std::vector<uint8_t> payload = EncodeMutateAck(ack);
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeMutateAck({payload.data(), n}, &back).ok());
+  }
 }
 
 TEST(NetProtocolTest, StatsRoundTrip) {
@@ -347,6 +438,12 @@ TEST(NetProtocolTest, KindNamesAndClasses) {
   EXPECT_TRUE(IsRequestKind(MessageKind::kMetrics));
   EXPECT_TRUE(IsReplyKind(MessageKind::kMetricsResult));
   EXPECT_FALSE(IsRequestKind(static_cast<MessageKind>(200)));
+  EXPECT_STREQ(MessageKindName(MessageKind::kFollow), "FOLLOW");
+  EXPECT_STREQ(MessageKindName(MessageKind::kMutateAck), "MUTATE_ACK");
+  EXPECT_TRUE(IsRequestKind(MessageKind::kUnfollow));
+  EXPECT_TRUE(IsReplyKind(MessageKind::kMutateAck));
+  EXPECT_TRUE(IsMutationKind(MessageKind::kRelabel));
+  EXPECT_FALSE(IsMutationKind(MessageKind::kRecommend));
 }
 
 }  // namespace

@@ -417,7 +417,7 @@ TEST_F(NetServerTest, ShutdownDrainsInFlightAndRefusesNewConnections) {
     if (h.request_id == 1) {
       EXPECT_EQ(h.kind, MessageKind::kResult);
       RankedList list;
-      ASSERT_TRUE(DecodeResult(body, limits, &list).ok());
+      ASSERT_TRUE(DecodeResult(body, limits, h.version, &list).ok());
       RankedList direct = engine_->TopN(3, 0, 5);
       ASSERT_EQ(list.size(), direct.size());
       for (size_t i = 0; i < direct.size(); ++i) {

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "core/authority.h"
 #include "dynamic/delta_graph.h"
 #include "graph/labeled_graph.h"
@@ -123,6 +127,107 @@ TEST(ServiceCacheTest, RemovalAlsoFiresTheListener) {
   // No-op mutations must not fire.
   EXPECT_FALSE(delta.RemoveEdge(1, 2));
   EXPECT_EQ(engine.Stats().invalidations, 1u);
+}
+
+// ---------- Epoch-claim integrity (ISSUE 6 satellite regression) ----------
+//
+// A reply's graph_epoch is a claim: "this ranking was computed against the
+// graph at that epoch". The bug class under test: the engine reads its
+// epoch once at admission, a Rebind lands before the worker scores, and
+// the result (computed on the NEW graph) is cached under — or stamped
+// with — the OLD epoch, so a later cache hit serves a ranking whose claim
+// and content disagree. The fix reads the scoring epoch under the same
+// shared-lock hold that scores, and cache hits stamp the lookup epoch
+// (key equality makes it the insert epoch).
+
+TEST(ServiceCacheTest, EpochClaimMatchesGraphAcrossRebind) {
+  LabeledGraph base = BaseGraph();
+  core::AuthorityIndex auth(base);
+  QueryEngine engine(base, auth, topics::TwitterSimilarity(),
+                     CachedConfig());
+
+  auto r0 = engine.Recommend(core::Query::TopN(0, kTopic, 5));
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0.value().graph_epoch, 0u);
+
+  // A cache hit claims the epoch its entry was computed at.
+  auto r0_hit = engine.Recommend(core::Query::TopN(0, kTopic, 5));
+  ASSERT_TRUE(r0_hit.ok());
+  EXPECT_EQ(r0_hit.value().graph_epoch, 0u);
+  ASSERT_EQ(engine.Stats().cache_hits, 1u);
+
+  // Rebind to a graph where node 3 is reachable: epoch moves, and the
+  // repeat query must both miss and carry the new epoch.
+  dynamic::DeltaGraph delta(&base);
+  ASSERT_TRUE(delta.AddEdge(1, 3, TopicSet::Single(kTopic)));
+  LabeledGraph current = delta.Materialize();
+  core::AuthorityIndex current_auth(current);
+  engine.Rebind(current, current_auth);
+  const uint64_t e1 = engine.params_epoch();
+  EXPECT_GT(e1, 0u);
+
+  auto r1 = engine.Recommend(core::Query::TopN(0, kTopic, 5));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().graph_epoch, e1);
+  bool found = false;
+  for (const auto& e : r1.value().entries) found = found || e.id == 3u;
+  EXPECT_TRUE(found) << "epoch " << e1 << " ranking must reflect epoch-"
+                     << e1 << " graph";
+
+  // And the hit on the new entry claims the new epoch, not the old one.
+  auto r1_hit = engine.Recommend(core::Query::TopN(0, kTopic, 5));
+  ASSERT_TRUE(r1_hit.ok());
+  EXPECT_EQ(r1_hit.value().graph_epoch, e1);
+}
+
+TEST(ServiceCacheTest, HammeredRebindsNeverYieldMismatchedEpochClaim) {
+  // Readers race a rebinder that alternates between two graphs whose
+  // rankings differ detectably (node 3 reachable iff generation is odd).
+  // Every reply must satisfy: epoch parity determines ranking content.
+  // Cache on, so hits, misses, and rebinds interleave freely.
+  LabeledGraph base = BaseGraph();
+  core::AuthorityIndex base_auth(base);
+  dynamic::DeltaGraph delta(&base);
+  ASSERT_TRUE(delta.AddEdge(1, 3, TopicSet::Single(kTopic)));
+  LabeledGraph with_edge = delta.Materialize();
+  core::AuthorityIndex with_edge_auth(with_edge);
+
+  EngineConfig ec = CachedConfig();
+  ec.num_threads = 2;
+  QueryEngine engine(base, base_auth, topics::TwitterSimilarity(), ec);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&engine, &stop, &violations] {
+      uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto res = engine.Recommend(core::Query::TopN(0, kTopic, 5));
+        if (!res.ok()) continue;
+        const core::Ranking& rk = res.value();
+        // Epochs never run backwards within one reader.
+        if (rk.graph_epoch < last_epoch) violations.fetch_add(1);
+        last_epoch = rk.graph_epoch;
+        bool has3 = false;
+        for (const auto& e : rk.entries) has3 = has3 || e.id == 3u;
+        // Even epochs are the base graph (3 unreachable), odd epochs the
+        // with-edge graph — the claim must match the content.
+        if (has3 != (rk.graph_epoch % 2 == 1)) violations.fetch_add(1);
+      }
+    });
+  }
+  for (int round = 0; round < 60; ++round) {
+    if (round % 2 == 0) {
+      engine.Rebind(with_edge, with_edge_auth);
+    } else {
+      engine.Rebind(base, base_auth);
+    }
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u)
+      << "a reply claimed an epoch whose graph does not match its ranking";
 }
 
 }  // namespace

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Repo-wide check runner:
 #   1. tier-1: full build + full ctest suite   (build/)
-#   2. ASan:   serde + net suites              (build-asan/)
-#   3. TSan:   obs + service + net suites      (build-tsan/)
+#   2. ASan:   serde + net + dynamic suites    (build-asan/)
+#   3. TSan:   obs + service + net + dynamic   (build-tsan/)
 #
 # The sanitizer passes reuse the persistent build-asan/ and build-tsan/
 # trees (configured here on first run) and only build/run the labeled
 # suites they exist to harden: byte-level parsers under ASan, the
-# metrics registry + concurrent engine + epoll server under TSan.
+# metrics registry + concurrent engine + epoll server under TSan. The
+# `dynamic` label (mutation path, delta graph, landmark repair) runs under
+# both: ASan for the mutation wire parsing, TSan for mutators racing
+# readers and the background repair thread.
 #
 # Usage: tools/check.sh [tier1|asan|tsan|all]   (default: all)
 set -e
@@ -32,12 +35,12 @@ run_sanitized() {  # $1=sanitizer $2=build-dir $3=label-regex
 
 case "$MODE" in
   tier1) run_tier1 ;;
-  asan)  run_sanitized address "$REPO/build-asan" 'serde|net' ;;
-  tsan)  run_sanitized thread "$REPO/build-tsan" 'obs|service|net' ;;
+  asan)  run_sanitized address "$REPO/build-asan" 'serde|net|dynamic' ;;
+  tsan)  run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic' ;;
   all)
     run_tier1
-    run_sanitized address "$REPO/build-asan" 'serde|net'
-    run_sanitized thread "$REPO/build-tsan" 'obs|service|net'
+    run_sanitized address "$REPO/build-asan" 'serde|net|dynamic'
+    run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic'
     ;;
   *) echo "usage: tools/check.sh [tier1|asan|tsan|all]" >&2; exit 2 ;;
 esac

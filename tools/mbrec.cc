@@ -19,9 +19,13 @@
 //                   [--port P] [--threads N] [--cache C] [--max-inflight M]
 //                   [--max-connections K] [--deadline-ms D] [--drain-ms G]
 //                   [--stats-interval-s S] [--vocab twitter|dblp]
+//                   [--mutable 1] [--repair touched|all]
 //   mbrec query-remote    --port P --user U --topic technology [--host H]
 //                   [--top 10] [--timeout-ms T] [--deadline-ms D]
 //                   [--exclude id,id,...] [--vocab twitter|dblp]
+//   mbrec mutate    --port P --op follow|unfollow|relabel --src U --dst V
+//                   [--topics t1,t2,...] [--host H] [--timeout-ms T]
+//                   [--vocab twitter|dblp]
 //   mbrec metrics   --port P [--host H] [--timeout-ms T]
 //   mbrec shutdown-remote --port P [--host H] [--timeout-ms T]
 //
@@ -34,6 +38,13 @@
 // SIGINT/SIGTERM or a SHUTDOWN frame drains it; `query-remote`,
 // `metrics` (Prometheus text exposition of the server registry) and
 // `shutdown-remote` talk to a running server over the wire protocol.
+// `serve --mutable 1` additionally accepts FOLLOW/UNFOLLOW/RELABEL frames
+// (protocol v3): each applied batch materializes a new graph generation,
+// rebinds the engine and bumps the graph epoch; with a landmark index
+// loaded, a background LandmarkRepairer lazily refreshes stale landmark
+// lists (--repair touched|all). `mutate` sends one mutation record to a
+// mutable server and prints the applied/rejected counts and the resulting
+// graph epoch.
 
 #include <atomic>
 #include <chrono>
@@ -61,6 +72,8 @@
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/span.h"
+#include "service/landmark_repair.h"
+#include "service/mutation.h"
 #include "service/serving_stats.h"
 #include "service/warm_start.h"
 #include "tools/args.h"
@@ -458,6 +471,37 @@ int CmdServe(const Args& args) {
   }
   service::ServingReplica& rep = **replica;
 
+  // --mutable 1 turns on the protocol-v3 mutation path: an applier that
+  // materializes a new graph generation per applied batch, plus (when a
+  // landmark index is loaded) a background repairer that lazily refreshes
+  // stale landmark lists. Declared before the server so the server (which
+  // holds the applier pointer) is torn down first, and the repair thread
+  // is stopped before the engine and index it repairs.
+  const bool mutable_serving = args.GetInt("mutable", 0) != 0;
+  std::unique_ptr<service::MutationApplier> applier;
+  std::unique_ptr<service::LandmarkRepairer> repairer;
+  if (mutable_serving) {
+    applier = std::make_unique<service::MutationApplier>(
+        rep.graph, *rep.authority, *rep.engine);
+    if (rep.landmarks != nullptr) {
+      std::string repair_mode = args.Get("repair", "touched");
+      if (repair_mode != "touched" && repair_mode != "all") {
+        std::fprintf(stderr, "unknown --repair mode '%s' (touched|all)\n",
+                     repair_mode.c_str());
+        return 2;
+      }
+      service::RepairConfig rcfg;
+      rcfg.mode = repair_mode == "all" ? service::RepairConfig::Mode::kAll
+                                       : service::RepairConfig::Mode::kTouched;
+      repairer = std::make_unique<service::LandmarkRepairer>(
+          *rep.landmarks, *rep.engine, sim, applier->current_graph(),
+          applier->current_authority(), rcfg);
+      applier->SetRepairer(repairer.get());
+      rep.engine->SetStaleProbe(repairer->MakeStaleProbe());
+      repairer->Start();
+    }
+  }
+
   net::ServerConfig scfg;
   scfg.host = args.Get("host", "127.0.0.1");
   scfg.port = static_cast<uint16_t>(args.GetInt("port", 0));
@@ -468,6 +512,7 @@ int CmdServe(const Args& args) {
       static_cast<uint32_t>(args.GetInt("deadline-ms", 1000));
   scfg.drain_grace_ms = static_cast<uint32_t>(args.GetInt("drain-ms", 5000));
   scfg.registry = &obs::Registry::Default();
+  scfg.applier = applier.get();
 
   net::Server server(*rep.engine, scfg);
   util::Status st = server.Start();
@@ -484,6 +529,14 @@ int CmdServe(const Args& args) {
               static_cast<unsigned long long>(rep.graph.num_edges()),
               rep.landmarks != nullptr ? "landmark-approximate" : "exact",
               rep.engine->num_workers());
+  if (mutable_serving) {
+    std::printf("mutations: enabled (%s)\n",
+                repairer != nullptr
+                    ? (args.Get("repair", "touched") == "all"
+                           ? "landmark repair: all"
+                           : "landmark repair: touched")
+                    : "no landmark index, repair off");
+  }
   std::printf("listening on %s:%u\n", scfg.host.c_str(), server.port());
   std::fflush(stdout);
 
@@ -564,20 +617,84 @@ int CmdQueryRemote(const Args& args) {
                  client.status().ToString().c_str());
     return 1;
   }
-  auto results = client->Recommend(req);
+  auto results = client->RecommendEx(req);
   if (!results.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  results.status().ToString().c_str());
     return 1;
   }
-  std::printf("remote recommendations for user %u on '%s':\n", user,
-              topic_name.c_str());
-  for (size_t i = 0; i < results->size(); ++i) {
-    std::printf("  %2zu. user %-8u score %.4e\n", i + 1, (*results)[i].id,
-                (*results)[i].score);
+  std::printf("remote recommendations for user %u on '%s' (graph epoch "
+              "%llu):\n",
+              user, topic_name.c_str(),
+              static_cast<unsigned long long>(results->graph_epoch));
+  for (size_t i = 0; i < results->entries.size(); ++i) {
+    std::printf("  %2zu. user %-8u score %.4e\n", i + 1,
+                results->entries[i].id, results->entries[i].score);
   }
-  if (results->empty()) std::printf("  (no reachable candidates)\n");
+  if (results->entries.empty()) std::printf("  (no reachable candidates)\n");
   return 0;
+}
+
+int CmdMutate(const Args& args) {
+  std::string op = Require(args, "op");
+  net::MessageKind kind;
+  if (op == "follow") {
+    kind = net::MessageKind::kFollow;
+  } else if (op == "unfollow") {
+    kind = net::MessageKind::kUnfollow;
+  } else if (op == "relabel") {
+    kind = net::MessageKind::kRelabel;
+  } else {
+    std::fprintf(stderr, "unknown --op '%s' (follow|unfollow|relabel)\n",
+                 op.c_str());
+    return 2;
+  }
+
+  net::MutationRecord record;
+  record.src = static_cast<uint32_t>(args.GetInt("src", 0));
+  record.dst = static_cast<uint32_t>(args.GetInt("dst", 0));
+  // FOLLOW/RELABEL carry an edge label set; the server rejects empty or
+  // out-of-vocabulary sets, so resolve names eagerly and fail fast here.
+  const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
+  std::string topic_list = args.Get("topics");
+  for (size_t pos = 0; pos < topic_list.size();) {
+    size_t comma = topic_list.find(',', pos);
+    if (comma == std::string::npos) comma = topic_list.size();
+    if (comma > pos) {
+      std::string name = topic_list.substr(pos, comma - pos);
+      topics::TopicId id = vocab.Id(name);
+      if (id == topics::kInvalidTopic) {
+        std::fprintf(stderr, "unknown topic '%s'\n", name.c_str());
+        return 2;
+      }
+      record.labels |= uint64_t{1} << id;
+    }
+    pos = comma + 1;
+  }
+  if (kind != net::MessageKind::kUnfollow && record.labels == 0) {
+    std::fprintf(stderr, "--topics is required for %s\n", op.c_str());
+    return 2;
+  }
+
+  auto client = RemoteConnect(args);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  auto ack = client->Mutate(kind, {record});
+  if (!ack.ok()) {
+    std::fprintf(stderr, "mutate failed: %s\n",
+                 ack.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s %u -> %u: applied=%u rejected=%u graph_epoch=%llu\n",
+              op.c_str(), record.src, record.dst, ack->applied,
+              ack->rejected,
+              static_cast<unsigned long long>(ack->graph_epoch));
+  // A fully rejected record is an operator error (duplicate follow, absent
+  // edge, bad ids) — reflect it in the exit code.
+  return ack->applied > 0 ? 0 : 1;
 }
 
 int CmdMetrics(const Args& args) {
@@ -637,10 +754,13 @@ const std::vector<Command>& Commands() {
       {"serve", CmdServe,
        {"graph", "vocab", "index", "host", "port", "threads", "cache",
         "max-inflight", "max-connections", "deadline-ms", "drain-ms",
-        "stats-interval-s"}},
+        "stats-interval-s", "mutable", "repair"}},
       {"query-remote", CmdQueryRemote,
        {"host", "port", "vocab", "user", "topic", "top", "timeout-ms",
         "deadline-ms", "exclude"}},
+      {"mutate", CmdMutate,
+       {"host", "port", "vocab", "op", "src", "dst", "topics",
+        "timeout-ms"}},
       {"metrics", CmdMetrics, {"host", "port", "timeout-ms"}},
       {"shutdown-remote", CmdShutdownRemote, {"host", "port", "timeout-ms"}},
   };
