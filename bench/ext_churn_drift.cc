@@ -76,8 +76,8 @@ void MeasureDrift(service::QueryEngine& live, service::QueryEngine& ref,
   double recall_sum = 0.0, tau_sum = 0.0;
   int scored = 0;
   for (const Probe& p : probes) {
-    auto live_list = live.TopN(p.user, p.topic, 10);
-    auto ref_list = ref.TopN(p.user, p.topic, 10);
+    auto live_list = live.TopN(p.user, p.topic, 10).value();
+    auto ref_list = ref.TopN(p.user, p.topic, 10).value();
     if (live_list.empty() && ref_list.empty()) continue;
     std::vector<uint32_t> live_ids, ref_ids;
     for (const auto& e : live_list) live_ids.push_back(e.id);

@@ -12,7 +12,8 @@ KatzRecommender::KatzRecommender(const graph::LabeledGraph& g,
 util::Result<core::Ranking> KatzRecommender::Recommend(
     const core::Query& q) const {
   MBR_RETURN_IF_ERROR(CheckDeadline(q));
-  core::ExplorationResult res = scorer_.Explore(q.user, topics::TopicSet());
+  const core::ExplorationResult& res =
+      scorer_.Explore(q.user, topics::TopicSet());
   MBR_RETURN_IF_ERROR(CheckDeadline(q));
   if (q.scoring_mode()) {
     core::Ranking r;

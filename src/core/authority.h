@@ -44,6 +44,13 @@ class AuthorityIndex {
     return authority_[static_cast<size_t>(u) * num_topics_ + t];
   }
 
+  // Row pointer auth(u, ·): row[t] == Authority(u, t). Lets the scoring
+  // inner loop hoist the row computation out of its per-topic loop.
+  const double* AuthorityRow(graph::NodeId u) const {
+    MBR_DCHECK(u < total_followers_.size());
+    return &authority_[static_cast<size_t>(u) * num_topics_];
+  }
+
   int num_topics() const { return num_topics_; }
 
  private:

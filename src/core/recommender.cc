@@ -33,7 +33,7 @@ std::vector<util::ScoredId> TrRecommender::RecommendQuery(
   MBR_CHECK(!query.empty());
   topics::TopicSet topics_needed;
   for (const WeightedTopic& wt : query) topics_needed.Add(wt.topic);
-  ExplorationResult res = scorer_.Explore(u, topics_needed);
+  const ExplorationResult& res = scorer_.Explore(u, topics_needed);
 
   util::TopK topk(n);
   for (graph::NodeId v : res.reached()) {
@@ -50,7 +50,7 @@ std::vector<util::ScoredId> TrRecommender::RecommendQuery(
 
 util::Result<Ranking> TrRecommender::Recommend(const Query& q) const {
   MBR_RETURN_IF_ERROR(CheckDeadline(q));
-  ExplorationResult res =
+  const ExplorationResult& res =
       scorer_.Explore(q.user, topics::TopicSet::Single(q.topic));
   MBR_RETURN_IF_ERROR(CheckDeadline(q));
   Ranking r;

@@ -55,15 +55,60 @@ class ExploreGuard {
   std::atomic<bool>& flag_;
 };
 
+// max_{x in labels} srow[x] — MaxSim against a precomputed similarity row.
+// The max over a set is order-independent, so this is bit-identical to
+// SimilarityMatrix::MaxSim without the per-label triangular-index math.
+inline double RowMaxSim(const double* srow, topics::TopicSet labels) {
+  double best = 0.0;
+  for (topics::TopicId x : labels) {
+    const double s = srow[x];
+    if (s > best) best = s;
+  }
+  return best;
+}
+
+// Compile-time weight policies, one per ScoreVariant. Each reproduces
+// EdgeTopicWeight's arithmetic bit-for-bit (`ab` is β·α multiplied in the
+// same order; `srow` is the query topic's similarity row, `arow` the
+// target node's authority row), but is inlined into the edge loop with no
+// per-edge switch and no per-topic row recomputation.
+struct FullWeight {  // Tr: edge similarity x authority
+  static double Weight(const double* srow, const double* arow, double ab,
+                       topics::TopicSet labels, topics::TopicId t) {
+    return ab * RowMaxSim(srow, labels) * arow[t];
+  }
+};
+
+struct NoAuthWeight {  // Tr−auth: edge similarity only
+  static double Weight(const double* srow, const double* /*arow*/, double ab,
+                       topics::TopicSet labels, topics::TopicId /*t*/) {
+    return ab * RowMaxSim(srow, labels);
+  }
+};
+
+struct NoSimWeight {  // Tr−sim: authority only (similarity term = 1)
+  static double Weight(const double* /*srow*/, const double* arow, double ab,
+                       topics::TopicSet /*labels*/, topics::TopicId t) {
+    return ab * arow[t];
+  }
+};
+
 }  // namespace
 
 Scorer::Scorer(const graph::LabeledGraph& g, const AuthorityIndex& authority,
-               const topics::SimilarityMatrix& sim, const ScoreParams& params)
+               const topics::SimilarityMatrix& sim, const ScoreParams& params,
+               util::QueryArena* arena)
     : g_(g), authority_(authority), sim_(sim), params_(params) {
   MBR_CHECK(sim.num_topics() >= g.num_topics());
   MBR_CHECK(authority.num_topics() == g.num_topics());
   MBR_CHECK(params.beta > 0.0 && params.beta < 1.0);
   MBR_CHECK(params.alpha > 0.0 && params.alpha <= 1.0);
+  if (arena != nullptr) {
+    arena_ = arena;
+  } else {
+    owned_arena_ = std::make_unique<util::QueryArena>();
+    arena_ = owned_arena_.get();
+  }
 }
 
 double Scorer::EdgeTopicWeight(topics::TopicSet labels, graph::NodeId v,
@@ -80,104 +125,210 @@ double Scorer::EdgeTopicWeight(topics::TopicSet labels, graph::NodeId v,
       s = 1.0;
       break;
     default:
-      s = 0.0;
+      // An unknown variant must never silently zero every score.
+      MBR_CHECK(false && "unknown ScoreVariant");
+      __builtin_unreachable();
   }
   return params_.beta * params_.alpha * s * authority_.Authority(v, t);
 }
 
-ExplorationResult Scorer::Explore(graph::NodeId source,
-                                  topics::TopicSet query_topics,
-                                  const std::vector<bool>* pruned) const {
+void Scorer::EnsureScratch(size_t qn) const {
+  const graph::NodeId n = g_.num_nodes();
+  const size_t want_qn = std::max<size_t>(qn, 1);
+  if (scratch_nodes_ == n && want_qn <= scratch_qn_) return;
+
+  scratch_nodes_ = n;
+  scratch_qn_ = std::max(want_qn, scratch_qn_);
+  arena_->Reset();
+  delta_b_ = arena_->AllocSpan<double>(n);
+  delta_ab_ = arena_->AllocSpan<double>(n);
+  next_b_ = arena_->AllocSpan<double>(n);
+  next_ab_ = arena_->AllocSpan<double>(n);
+  const size_t sig = static_cast<size_t>(n) * scratch_qn_;
+  delta_sigma_ = arena_->AllocSpan<double>(sig);
+  next_sigma_ = arena_->AllocSpan<double>(sig);
+  in_next_ = arena_->AllocSpan<uint8_t>(n);
+  frontier_buf_ = arena_->AllocSpan<graph::NodeId>(n);
+  next_buf_ = arena_->AllocSpan<graph::NodeId>(n);
+  new_buf_ = arena_->AllocSpan<graph::NodeId>(n);
+  qt_ = arena_->AllocSpan<topics::TopicId>(topics::kMaxTopics);
+  wrow_ = arena_->AllocSpan<double>(topics::kMaxTopics);
+  srow_ = arena_->AllocSpan<double>(static_cast<size_t>(topics::kMaxTopics) *
+                                    topics::kMaxTopics);
+
+  // Establish the all-zero invariant once; queries restore the entries
+  // they touch, so this O(n) fill never reruns in steady state.
+  std::fill(delta_b_.begin(), delta_b_.end(), 0.0);
+  std::fill(delta_ab_.begin(), delta_ab_.end(), 0.0);
+  std::fill(next_b_.begin(), next_b_.end(), 0.0);
+  std::fill(next_ab_.begin(), next_ab_.end(), 0.0);
+  std::fill(delta_sigma_.begin(), delta_sigma_.end(), 0.0);
+  std::fill(next_sigma_.begin(), next_sigma_.end(), 0.0);
+  std::fill(in_next_.begin(), in_next_.end(), 0);
+}
+
+const ExplorationResult& Scorer::Explore(graph::NodeId source,
+                                         topics::TopicSet query_topics,
+                                         const std::vector<bool>* pruned)
+    const {
   MBR_CHECK(source < g_.num_nodes());
   ExploreGuard guard(exploring_);
   MBR_SPAN("scorer.explore");
+  const int nt = g_.num_topics();
+
+  // Dense query-topic list (usually 1 topic at query time, all topics in
+  // landmark pre-processing). Sigma scratch rows are packed with stride
+  // qt_[0..qn).
+  EnsureScratch(static_cast<size_t>(query_topics.size()));
+  size_t qn = 0;
+  for (topics::TopicId t : query_topics) {
+    MBR_CHECK(t < nt);
+    qt_[qn++] = t;
+  }
+  // Similarity rows for the query topics (qn x nt doubles — negligible next
+  // to the exploration itself).
+  for (size_t qi = 0; qi < qn; ++qi) {
+    double* row = srow_.data() + qi * static_cast<size_t>(nt);
+    for (int x = 0; x < nt; ++x) {
+      row[x] = sim_.Sim(static_cast<topics::TopicId>(x), qt_[qi]);
+    }
+  }
+
+  switch (params_.variant) {
+    case ScoreVariant::kFull:
+      return ExploreImpl<FullWeight>(source, qn, pruned);
+    case ScoreVariant::kNoAuth:
+      return ExploreImpl<NoAuthWeight>(source, qn, pruned);
+    case ScoreVariant::kNoSim:
+      return ExploreImpl<NoSimWeight>(source, qn, pruned);
+  }
+  MBR_CHECK(false && "unknown ScoreVariant");
+  __builtin_unreachable();
+}
+
+template <typename WeightPolicy>
+const ExplorationResult& Scorer::ExploreImpl(
+    graph::NodeId source, size_t qn, const std::vector<bool>* pruned) const {
   const ScorerMetrics& metrics = ScorerMetrics::Get();
   const int nt = g_.num_topics();
   const double beta = params_.beta;
   const double alphabeta = params_.alpha * params_.beta;
+  // EdgeTopicWeight multiplies β·α in this order; keep it so the policy
+  // kernels are bit-identical to the reference arithmetic.
+  const double ab = params_.beta * params_.alpha;
 
-  // Dense query-topic list (usually 1 topic at query time, all topics in
-  // landmark pre-processing). Sigma scratch rows are packed with stride
-  // qt.size().
-  std::vector<topics::TopicId> qt;
-  for (topics::TopicId t : query_topics) {
-    MBR_CHECK(t < nt);
-    qt.push_back(t);
-  }
-  const size_t qn = qt.size();
+  ExplorationResult& result = result_;
+  result.Reset(g_.num_nodes(), nt);
 
-  ExplorationResult result(g_.num_nodes(), nt);
+  double* const delta_b = delta_b_.data();
+  double* const delta_ab = delta_ab_.data();
+  double* const next_b = next_b_.data();
+  double* const next_ab = next_ab_.data();
+  double* const delta_sigma = delta_sigma_.data();
+  double* const next_sigma = next_sigma_.data();
+  uint8_t* const in_next = in_next_.data();
+  const topics::TopicId* const qt = qt_.data();
+  double* const wrow = wrow_.data();
+  const double* const srow = srow_.data();
+  const size_t nts = static_cast<size_t>(nt);
 
-  // Grow scratch lazily; all entries are zero between calls (touched
-  // entries are restored below), so queries cost O(vicinity) not O(n).
-  const graph::NodeId n = g_.num_nodes();
-  Scratch& s = scratch_;
-  if (s.delta_b.size() < n) {
-    s.delta_b.assign(n, 0.0);
-    s.delta_ab.assign(n, 0.0);
-    s.next_b.assign(n, 0.0);
-    s.next_ab.assign(n, 0.0);
-    s.in_next.assign(n, false);
-  }
-  if (s.delta_sigma.size() < static_cast<size_t>(n) * qn) {
-    s.delta_sigma.assign(static_cast<size_t>(n) * qn, 0.0);
-    s.next_sigma.assign(static_cast<size_t>(n) * qn, 0.0);
-  }
+  graph::NodeId* frontier = frontier_buf_.data();
+  graph::NodeId* next_frontier = next_buf_.data();
+  graph::NodeId* new_frontier = new_buf_.data();
+  size_t frontier_n = 0;
 
-  std::vector<graph::NodeId> frontier = {source};
-  s.delta_b[source] = 1.0;
-  s.delta_ab[source] = 1.0;
+  frontier[frontier_n++] = source;
+  delta_b[source] = 1.0;
+  delta_ab[source] = 1.0;
   // delta_sigma[source] stays 0: σ(u,u)=0 initially (walks of length 0
   // carry no topical mass).
 
   uint32_t depth = 0;
-  while (depth < params_.max_depth && !frontier.empty()) {
-    metrics.frontier_size->Record(frontier.size());
-    std::vector<graph::NodeId> next_frontier;
+  while (depth < params_.max_depth && frontier_n > 0) {
+    metrics.frontier_size->Record(frontier_n);
+    size_t next_n = 0;
     double added_mass = 0.0;
 
-    for (graph::NodeId u : frontier) {
-      const double db = s.delta_b[u];
-      const double dab = s.delta_ab[u];
-      const double* dsig = s.delta_sigma.data() + static_cast<size_t>(u) * qn;
+    if (qn == 1) {
+      // Single-topic fast path — the serving case. One sigma cell per
+      // node, no per-topic loops.
+      const topics::TopicId t0 = qt[0];
+      for (size_t fi = 0; fi < frontier_n; ++fi) {
+        const graph::NodeId u = frontier[fi];
+        const double db = delta_b[u];
+        const double dab = delta_ab[u];
+        const double dsig0 = delta_sigma[u];
 
-      auto nbrs = g_.OutNeighbors(u);
-      auto labs = g_.OutEdgeLabels(u);
-      for (size_t i = 0; i < nbrs.size(); ++i) {
-        const graph::NodeId v = nbrs[i];
-        if (!s.in_next[v]) {
-          s.in_next[v] = true;
-          next_frontier.push_back(v);
+        auto nbrs = g_.OutNeighbors(u);
+        auto labs = g_.OutEdgeLabels(u);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          const graph::NodeId v = nbrs[i];
+          if (!in_next[v]) {
+            in_next[v] = 1;
+            next_frontier[next_n++] = v;
+          }
+          next_b[v] += beta * db;
+          next_ab[v] += alphabeta * dab;
+          const double w = WeightPolicy::Weight(
+              srow, authority_.AuthorityRow(v), ab, labs[i], t0);
+          next_sigma[v] += beta * dsig0 + dab * w;
         }
-        s.next_b[v] += beta * db;
-        s.next_ab[v] += alphabeta * dab;
-        double* nsig = s.next_sigma.data() + static_cast<size_t>(v) * qn;
-        for (size_t qi = 0; qi < qn; ++qi) {
-          double w = EdgeTopicWeight(labs[i], v, qt[qi]);
-          nsig[qi] += beta * dsig[qi] + dab * w;
+      }
+    } else {
+      for (size_t fi = 0; fi < frontier_n; ++fi) {
+        const graph::NodeId u = frontier[fi];
+        const double db = delta_b[u];
+        const double dab = delta_ab[u];
+        const double* dsig = delta_sigma + static_cast<size_t>(u) * qn;
+
+        auto nbrs = g_.OutNeighbors(u);
+        auto labs = g_.OutEdgeLabels(u);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          const graph::NodeId v = nbrs[i];
+          if (!in_next[v]) {
+            in_next[v] = 1;
+            next_frontier[next_n++] = v;
+          }
+          next_b[v] += beta * db;
+          next_ab[v] += alphabeta * dab;
+          // Batched sigma kernel: materialise the per-edge weight row,
+          // then accumulate the packed per-topic rows — two flat loops the
+          // compiler can vectorise, in place of a per-(edge, topic)
+          // switch.
+          const topics::TopicSet elab = labs[i];
+          const double* const arow = authority_.AuthorityRow(v);
+          for (size_t qi = 0; qi < qn; ++qi) {
+            wrow[qi] =
+                WeightPolicy::Weight(srow + qi * nts, arow, ab, elab, qt[qi]);
+          }
+          double* nsig = next_sigma + static_cast<size_t>(v) * qn;
+          for (size_t qi = 0; qi < qn; ++qi) {
+            nsig[qi] += beta * dsig[qi] + dab * wrow[qi];
+          }
         }
       }
     }
 
     // Clear the consumed deltas.
-    for (graph::NodeId u : frontier) {
-      s.delta_b[u] = 0.0;
-      s.delta_ab[u] = 0.0;
-      double* dsig = s.delta_sigma.data() + static_cast<size_t>(u) * qn;
+    for (size_t fi = 0; fi < frontier_n; ++fi) {
+      const graph::NodeId u = frontier[fi];
+      delta_b[u] = 0.0;
+      delta_ab[u] = 0.0;
+      double* dsig = delta_sigma + static_cast<size_t>(u) * qn;
       for (size_t qi = 0; qi < qn; ++qi) dsig[qi] = 0.0;
     }
 
     // Commit the new walk length: accumulate totals, move next -> delta,
     // prune below-epsilon frontier entries and landmark-pruned nodes.
-    std::vector<graph::NodeId> new_frontier;
-    new_frontier.reserve(next_frontier.size());
-    for (graph::NodeId v : next_frontier) {
-      s.in_next[v] = false;
+    size_t new_n = 0;
+    for (size_t ni = 0; ni < next_n; ++ni) {
+      const graph::NodeId v = next_frontier[ni];
+      in_next[v] = 0;
       uint32_t slot = result.SlotFor(v);
-      result.topo_beta_[slot] += s.next_b[v];
-      result.topo_alphabeta_[slot] += s.next_ab[v];
+      result.topo_beta_[slot] += next_b[v];
+      result.topo_alphabeta_[slot] += next_ab[v];
       double* rsig = &result.sigma_[static_cast<size_t>(slot) * nt];
-      double* nsig = s.next_sigma.data() + static_cast<size_t>(v) * qn;
+      double* nsig = next_sigma + static_cast<size_t>(v) * qn;
       double node_mass = 0.0;
       for (size_t qi = 0; qi < qn; ++qi) {
         rsig[qt[qi]] += nsig[qi];
@@ -188,24 +339,25 @@ ExplorationResult Scorer::Explore(graph::NodeId source,
       bool expand = true;
       if (pruned != nullptr && (*pruned)[v]) expand = false;
       if (params_.frontier_epsilon > 0.0 &&
-          s.next_b[v] < params_.frontier_epsilon &&
-          s.next_ab[v] < params_.frontier_epsilon &&
+          next_b[v] < params_.frontier_epsilon &&
+          next_ab[v] < params_.frontier_epsilon &&
           node_mass < params_.frontier_epsilon) {
         expand = false;
       }
       if (expand) {
-        s.delta_b[v] = s.next_b[v];
-        s.delta_ab[v] = s.next_ab[v];
-        double* dsig = s.delta_sigma.data() + static_cast<size_t>(v) * qn;
+        delta_b[v] = next_b[v];
+        delta_ab[v] = next_ab[v];
+        double* dsig = delta_sigma + static_cast<size_t>(v) * qn;
         for (size_t qi = 0; qi < qn; ++qi) dsig[qi] = nsig[qi];
-        new_frontier.push_back(v);
+        new_frontier[new_n++] = v;
       }
-      s.next_b[v] = 0.0;
-      s.next_ab[v] = 0.0;
+      next_b[v] = 0.0;
+      next_ab[v] = 0.0;
       for (size_t qi = 0; qi < qn; ++qi) nsig[qi] = 0.0;
     }
 
-    frontier = std::move(new_frontier);
+    std::swap(frontier, new_frontier);
+    frontier_n = new_n;
     ++depth;
     result.iterations_run_ = depth;
 
@@ -221,14 +373,15 @@ ExplorationResult Scorer::Explore(graph::NodeId source,
       }
     }
   }
-  if (frontier.empty()) {
+  if (frontier_n == 0) {
     result.converged_ = true;
   } else {
     // Restore the invariant: zero the deltas the aborted frontier left.
-    for (graph::NodeId u : frontier) {
-      s.delta_b[u] = 0.0;
-      s.delta_ab[u] = 0.0;
-      double* dsig = s.delta_sigma.data() + static_cast<size_t>(u) * qn;
+    for (size_t fi = 0; fi < frontier_n; ++fi) {
+      const graph::NodeId u = frontier[fi];
+      delta_b[u] = 0.0;
+      delta_ab[u] = 0.0;
+      double* dsig = delta_sigma + static_cast<size_t>(u) * qn;
       for (size_t qi = 0; qi < qn; ++qi) dsig[qi] = 0.0;
     }
   }

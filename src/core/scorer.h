@@ -21,9 +21,19 @@
 // (converged exploration), landmark pre-processing (Algorithm 1 proper),
 // and the query-side shallow BFS of Algorithm 2 (with optional pruning at
 // landmark nodes so paths through a landmark are not double-counted, §5.4).
+//
+// Hot-path layout (DESIGN.md §6.6): the per-query working set — frontier
+// triple-buffer, per-node delta rows, packed per-topic sigma rows — lives
+// in typed spans carved from a util::QueryArena, and the scorer variant
+// (Tr / Tr−auth / Tr−sim) is a compile-time weight policy, so the inner
+// edge loop carries no switch and the per-topic accumulation is a flat
+// autovectorizable kernel. In steady state Explore() performs zero heap
+// allocations and returns a reference to a reused ExplorationResult.
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/authority.h"
@@ -31,6 +41,7 @@
 #include "graph/labeled_graph.h"
 #include "topics/similarity_matrix.h"
 #include "topics/topic.h"
+#include "util/arena.h"
 
 namespace mbr::core {
 
@@ -40,6 +51,7 @@ class ExplorationResult {
  public:
   static constexpr uint32_t kNoSlot = 0xffffffff;
 
+  ExplorationResult() = default;
   ExplorationResult(graph::NodeId num_nodes, int num_topics)
       : num_topics_(num_topics), slot_(num_nodes, kNoSlot) {}
 
@@ -74,6 +86,23 @@ class ExplorationResult {
  private:
   friend class Scorer;
 
+  // Restores the empty state in O(|previously reached|), keeping every
+  // buffer's capacity: after warmup a reused result never allocates.
+  void Reset(graph::NodeId num_nodes, int num_topics) {
+    if (slot_.size() != num_nodes) {
+      slot_.assign(num_nodes, kNoSlot);
+    } else {
+      for (graph::NodeId v : reached_) slot_[v] = kNoSlot;
+    }
+    reached_.clear();
+    sigma_.clear();
+    topo_beta_.clear();
+    topo_alphabeta_.clear();
+    num_topics_ = num_topics;
+    iterations_run_ = 0;
+    converged_ = false;
+  }
+
   uint32_t SlotFor(graph::NodeId v) {
     if (slot_[v] == kNoSlot) {
       slot_[v] = static_cast<uint32_t>(reached_.size());
@@ -85,7 +114,7 @@ class ExplorationResult {
     return slot_[v];
   }
 
-  int num_topics_;
+  int num_topics_ = 0;
   std::vector<uint32_t> slot_;
   std::vector<graph::NodeId> reached_;
   std::vector<double> sigma_;  // reached x num_topics
@@ -96,52 +125,89 @@ class ExplorationResult {
 };
 
 // Thread-affinity contract: a Scorer is SINGLE-CALLER. Explore() reuses
-// internal scratch buffers so repeated queries cost O(|vicinity|), not
-// O(|graph|) — which means two overlapping Explore() calls on the same
-// instance would corrupt each other's state. Create one Scorer per worker
-// thread (landmark::LandmarkIndex and service::QueryEngine both do this);
-// overlapping calls on one instance are a programmer error and abort via a
-// reentrancy check. The referenced graph / authority / similarity objects
-// are only read, so any number of scorers may share them.
+// internal scratch buffers AND returns a reference to a reused result —
+// repeated queries cost O(|vicinity|), not O(|graph|) — which means two
+// overlapping Explore() calls on the same instance would corrupt each
+// other's state, and a returned reference is invalidated by the next
+// Explore() (copy-construct an ExplorationResult to keep one). Create one
+// Scorer per worker thread (landmark::LandmarkIndex and
+// service::QueryEngine both do this); overlapping calls on one instance
+// are a programmer error and abort via a reentrancy check. The referenced
+// graph / authority / similarity objects are only read, so any number of
+// scorers may share them.
 class Scorer {
  public:
   // All references must outlive the scorer. The similarity matrix must
-  // cover the graph's topic vocabulary.
+  // cover the graph's topic vocabulary. `arena` (optional) supplies the
+  // scratch storage: pass a per-worker arena to keep the warm working set
+  // alive across scorer rebuilds (service::QueryEngine::BuildWorkers); the
+  // arena must outlive the scorer and must not be shared with another live
+  // scorer. When null, the scorer owns a private arena.
   Scorer(const graph::LabeledGraph& g, const AuthorityIndex& authority,
-         const topics::SimilarityMatrix& sim, const ScoreParams& params);
+         const topics::SimilarityMatrix& sim, const ScoreParams& params,
+         util::QueryArena* arena = nullptr);
 
   // Runs Algorithm 1 from `source` for all topics in `query_topics`,
   // exploring at most params.max_depth hops or until the added score mass
   // falls below params.tolerance. If `pruned` is non-null, nodes for which
   // (*pruned)[v] is true have their scores computed but are not expanded
-  // (Algorithm 2's landmark pruning).
-  ExplorationResult Explore(graph::NodeId source,
-                            topics::TopicSet query_topics,
-                            const std::vector<bool>* pruned = nullptr) const;
+  // (Algorithm 2's landmark pruning). The returned reference is owned by
+  // the scorer and valid until the next Explore() call.
+  const ExplorationResult& Explore(
+      graph::NodeId source, topics::TopicSet query_topics,
+      const std::vector<bool>* pruned = nullptr) const;
 
   const ScoreParams& params() const { return params_; }
 
   // The per-edge topical weight ω_{u→v}(t) = βα · s(u→v,t) · auth(v,t),
   // honouring the configured ablation variant. `labels` are the edge's
-  // labels. Exposed for tests.
+  // labels. Exposed for tests; the hot loop uses the compile-time policy
+  // equivalents instead (see scorer.cc).
   double EdgeTopicWeight(topics::TopicSet labels, graph::NodeId v,
                          topics::TopicId t) const;
 
  private:
-  // Reusable per-query buffers; every touched entry is restored to zero
-  // before Explore returns, so a fresh call never sees stale state.
-  struct Scratch {
-    std::vector<double> delta_sigma;  // >= n * |query topics|, stride packed
-    std::vector<double> next_sigma;
-    std::vector<double> delta_b, delta_ab, next_b, next_ab;  // n each
-    std::vector<bool> in_next;                               // n
-  };
+  // One weight-policy instantiation per ScoreVariant; Explore() dispatches
+  // once per query so the inner loop is branch-free on the variant.
+  template <typename WeightPolicy>
+  const ExplorationResult& ExploreImpl(graph::NodeId source, size_t qn,
+                                       const std::vector<bool>* pruned) const;
+
+  // (Re)carves the arena-backed scratch spans when the needed capacity
+  // grows (first query, or a wider topic set than ever seen). All spans
+  // are zero-filled afterwards; between queries every touched entry is
+  // restored to zero, so a fresh call never sees stale state.
+  void EnsureScratch(size_t qn) const;
 
   const graph::LabeledGraph& g_;
   const AuthorityIndex& authority_;
   const topics::SimilarityMatrix& sim_;
   ScoreParams params_;
-  mutable Scratch scratch_;
+
+  std::unique_ptr<util::QueryArena> owned_arena_;
+  util::QueryArena* arena_;  // owned_arena_.get() or the caller's
+
+  // Arena-backed scratch. delta/next rows are n wide; sigma rows are
+  // packed n x scratch_qn_ (stride = the query's topic count).
+  mutable std::span<double> delta_b_, delta_ab_, next_b_, next_ab_;
+  mutable std::span<double> delta_sigma_, next_sigma_;
+  mutable std::span<uint8_t> in_next_;
+  // Frontier triple-buffer: current, next (deduped), and surviving-after-
+  // pruning; each holds at most n node ids.
+  mutable std::span<graph::NodeId> frontier_buf_, next_buf_, new_buf_;
+  // Dense query-topic list and the per-edge weight row of the batched
+  // sigma kernel (both kMaxTopics wide).
+  mutable std::span<topics::TopicId> qt_;
+  mutable std::span<double> wrow_;
+  // Per-query similarity rows: srow_[qi * num_topics + x] = Sim(x, qt[qi]).
+  // Turns MaxSim's per-label triangular-index math into a flat load inside
+  // the edge loop (kMaxTopics^2 doubles, filled per Explore).
+  mutable std::span<double> srow_;
+  mutable size_t scratch_nodes_ = 0;  // 0 = scratch not yet carved
+  mutable size_t scratch_qn_ = 0;
+
+  // Reused across queries; handed out by const reference.
+  mutable ExplorationResult result_;
   // Reentrancy guard enforcing the single-caller contract above.
   mutable std::atomic<bool> exploring_{false};
 };

@@ -32,7 +32,8 @@ ApproxRecommender::ApproxRecommender(const graph::LabeledGraph& g,
                                      const core::AuthorityIndex& authority,
                                      const topics::SimilarityMatrix& sim,
                                      const LandmarkIndex& index,
-                                     const ApproxConfig& config)
+                                     const ApproxConfig& config,
+                                     util::QueryArena* arena)
     : g_(g),
       index_(index),
       config_([&] {
@@ -40,21 +41,21 @@ ApproxRecommender::ApproxRecommender(const graph::LabeledGraph& g,
         c.params.max_depth = config.query_depth;
         return c;
       }()),
-      scorer_(g, authority, sim, config_.params) {}
+      scorer_(g, authority, sim, config_.params, arena) {}
 
-std::unordered_map<graph::NodeId, double> ApproxRecommender::ApproximateScores(
+const util::FlatMap<graph::NodeId, double>& ApproxRecommender::ScoresFlat(
     graph::NodeId u, topics::TopicId t, QueryStats* stats) const {
   util::WallTimer timer;
   const std::vector<bool>* pruned =
       config_.prune_at_landmarks ? &index_.landmark_mask() : nullptr;
-  core::ExplorationResult res = [&] {
+  const core::ExplorationResult& res = [&]() -> decltype(auto) {
     MBR_SPAN("landmark.bfs");
     return scorer_.Explore(u, topics::TopicSet::Single(t), pruned);
   }();
 
   MBR_SPAN("landmark.combine");
-  std::unordered_map<graph::NodeId, double> scores;
-  scores.reserve(res.reached().size() * 2);
+  util::FlatMap<graph::NodeId, double>& scores = scores_;
+  scores.Clear();
   uint32_t landmarks_met = 0;
 
   for (graph::NodeId v : res.reached()) {
@@ -81,17 +82,27 @@ std::unordered_map<graph::NodeId, double> ApproxRecommender::ApproximateScores(
   return scores;
 }
 
+std::unordered_map<graph::NodeId, double> ApproxRecommender::ApproximateScores(
+    graph::NodeId u, topics::TopicId t, QueryStats* stats) const {
+  const util::FlatMap<graph::NodeId, double>& flat = ScoresFlat(u, t, stats);
+  std::unordered_map<graph::NodeId, double> out;
+  out.reserve(flat.size() * 2);
+  for (const auto& [v, s] : flat) out.emplace(v, s);
+  return out;
+}
+
 util::Result<core::Ranking> ApproxRecommender::Recommend(
     const core::Query& q) const {
   MBR_RETURN_IF_ERROR(CheckDeadline(q));
-  auto scores = ApproximateScores(q.user, q.topic);
+  const util::FlatMap<graph::NodeId, double>& scores =
+      ScoresFlat(q.user, q.topic);
   MBR_RETURN_IF_ERROR(CheckDeadline(q));
   if (q.scoring_mode()) {
     core::Ranking r;
     r.entries.reserve(q.candidates.size());
     for (graph::NodeId v : q.candidates) {
-      auto it = scores.find(v);
-      r.entries.push_back({v, it == scores.end() ? 0.0 : it->second});
+      const double* s = scores.Find(v);
+      r.entries.push_back({v, s == nullptr ? 0.0 : *s});
     }
     return r;
   }
@@ -106,14 +117,14 @@ std::vector<util::ScoredId> ApproxRecommender::RecommendQuery(
     graph::NodeId u, const std::vector<core::WeightedTopic>& query,
     size_t n) const {
   MBR_CHECK(!query.empty());
-  std::unordered_map<graph::NodeId, double> combined;
+  combined_.Clear();
   for (const core::WeightedTopic& wt : query) {
-    for (const auto& [v, s] : ApproximateScores(u, wt.topic)) {
-      combined[v] += wt.weight * s;
+    for (const auto& [v, s] : ScoresFlat(u, wt.topic)) {
+      combined_[v] += wt.weight * s;
     }
   }
   util::TopK topk(n);
-  for (const auto& [v, s] : combined) {
+  for (const auto& [v, s] : combined_) {
     if (s > 0.0) topk.Offer(v, s);
   }
   return topk.Take();

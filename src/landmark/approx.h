@@ -24,6 +24,12 @@
 // Algorithm 2 is designed to avoid. Production serving should keep pruning
 // on; tests/landmark_approx_test.cc pins both behaviours against the
 // brute-force oracle.
+//
+// Hot path (DESIGN.md §6.6): score accumulation runs in a reused
+// util::FlatMap, the exploration scratch lives in the (optionally
+// per-worker) util::QueryArena, and ScoresFlat() hands the table out by
+// reference — zero heap allocations per warm query. ApproximateScores()
+// is the offline-friendly copy of the same table.
 
 #include <string>
 #include <unordered_map>
@@ -36,6 +42,8 @@
 #include "core/scorer.h"
 #include "landmark/index.h"
 #include "topics/similarity_matrix.h"
+#include "util/arena.h"
+#include "util/flat_map.h"
 
 namespace mbr::landmark {
 
@@ -58,21 +66,24 @@ struct QueryStats {
   double seconds = 0.0;
 };
 
-// Thread affinity: an ApproxRecommender owns a core::Scorer and inherits
-// its single-caller contract — create one instance per serving thread
-// (service::QueryEngine does). The landmark index and graph are shared
-// read-only.
+// Thread affinity: an ApproxRecommender owns a core::Scorer and reused
+// score tables and inherits the scorer's single-caller contract — create
+// one instance per serving thread (service::QueryEngine does). The
+// landmark index and graph are shared read-only.
 class ApproxRecommender : public core::Recommender {
  public:
-  // All references must outlive the recommender.
+  // All references must outlive the recommender. `arena` (optional) is
+  // handed to the internal Scorer — pass the per-worker arena so scratch
+  // survives engine rebinds; nullptr lets the scorer own one.
   ApproxRecommender(const graph::LabeledGraph& g,
                     const core::AuthorityIndex& authority,
                     const topics::SimilarityMatrix& sim,
-                    const LandmarkIndex& index, const ApproxConfig& config);
+                    const LandmarkIndex& index, const ApproxConfig& config,
+                    util::QueryArena* arena = nullptr);
 
   std::string name() const override { return "Tr-landmark"; }
 
-  // One ApproximateScores() table, then lookups (scoring mode) or a ranked
+  // One ScoresFlat() table, then lookups (scoring mode) or a ranked
   // top-n with exclusions.
   util::Result<core::Ranking> Recommend(const core::Query& q) const override;
 
@@ -84,6 +95,13 @@ class ApproxRecommender : public core::Recommender {
 
   // Full approximate score table for (u, t): node -> σ̃ (direct + landmark
   // contributions). Stats for the run are written to *stats if non-null.
+  // The returned reference is owned by the recommender and valid until the
+  // next query on this instance (single-caller, like the scorer).
+  const util::FlatMap<graph::NodeId, double>& ScoresFlat(
+      graph::NodeId u, topics::TopicId t, QueryStats* stats = nullptr) const;
+
+  // Offline-friendly copy of ScoresFlat() for callers that keep or merge
+  // tables (evaluation harness, distributed simulation, tests).
   std::unordered_map<graph::NodeId, double> ApproximateScores(
       graph::NodeId u, topics::TopicId t, QueryStats* stats = nullptr) const;
 
@@ -92,6 +110,10 @@ class ApproxRecommender : public core::Recommender {
   const LandmarkIndex& index_;
   ApproxConfig config_;
   core::Scorer scorer_;
+  // Reused per-query score tables (cleared, never shrunk): direct +
+  // composed scores, and the multi-topic combination of RecommendQuery.
+  mutable util::FlatMap<graph::NodeId, double> scores_;
+  mutable util::FlatMap<graph::NodeId, double> combined_;
 };
 
 }  // namespace mbr::landmark

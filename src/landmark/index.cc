@@ -21,7 +21,7 @@ void ComputeLandmarkLists(core::Scorer* scorer, graph::NodeId lm,
                           int num_topics, uint32_t top_n,
                           topics::TopicSet all_topics,
                           std::vector<StoredRec>* lists) {
-  core::ExplorationResult res = scorer->Explore(lm, all_topics);
+  const core::ExplorationResult& res = scorer->Explore(lm, all_topics);
   for (int t = 0; t < num_topics; ++t) {
     util::TopK topk(top_n);
     for (graph::NodeId v : res.reached()) {

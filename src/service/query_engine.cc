@@ -50,6 +50,9 @@ QueryEngine::QueryEngine(const graph::LabeledGraph& g,
   metrics_.invalidations = registry_->GetCounter(
       "mbr_engine_invalidations_total",
       "Cache invalidations (params-epoch bumps).");
+  metrics_.cache_purged = registry_->GetCounter(
+      "mbr_engine_cache_purged_total",
+      "Dead-epoch result-cache entries swept out on invalidation.");
   metrics_.deadline_exceeded = registry_->GetCounter(
       "mbr_engine_deadline_exceeded_total",
       "Queries answered kDeadlineExceeded by the engine.");
@@ -60,21 +63,30 @@ QueryEngine::QueryEngine(const graph::LabeledGraph& g,
     cache_ = std::make_unique<Cache>(config_.cache_capacity,
                                      std::max(1u, config_.cache_shards));
   }
+  arenas_.reserve(pool_.num_workers());
+  for (uint32_t i = 0; i < pool_.num_workers(); ++i) {
+    arenas_.push_back(std::make_unique<util::QueryArena>());
+  }
   BuildWorkers();
 }
 
 void QueryEngine::BuildWorkers() {
   workers_.clear();
   workers_.resize(pool_.num_workers());
-  for (Worker& w : workers_) {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = workers_[i];
+    // Each worker's scorer borrows the worker's long-lived arena: Rebind()
+    // replaces the scorer but the warmed scratch block carries over, so the
+    // first query after a rebind still runs allocation-free.
+    util::QueryArena* arena = arenas_[i].get();
     if (config_.landmarks != nullptr) {
       landmark::ApproxConfig ac = config_.approx;
       ac.params = config_.params;
       w.approx = std::make_unique<landmark::ApproxRecommender>(
-          *g_, *authority_, *sim_, *config_.landmarks, ac);
+          *g_, *authority_, *sim_, *config_.landmarks, ac, arena);
     } else {
       w.scorer = std::make_unique<core::Scorer>(*g_, *authority_, *sim_,
-                                                config_.params);
+                                                config_.params, arena);
     }
   }
 }
@@ -108,7 +120,7 @@ util::Result<core::Ranking> QueryEngine::ExecuteQuery(uint32_t wid,
     if (q.expired()) {
       return util::Status::DeadlineExceeded("query deadline expired");
     }
-    core::ExplorationResult res =
+    const core::ExplorationResult& res =
         w.scorer->Explore(q.user, topics::TopicSet::Single(q.topic));
     core::RankingBuilder builder(q);
     for (graph::NodeId v : res.reached()) {
@@ -128,11 +140,10 @@ util::Result<core::Ranking> QueryEngine::Recommend(const core::Query& query) {
   return std::move(results.front());
 }
 
-std::vector<util::ScoredId> QueryEngine::TopN(graph::NodeId user,
-                                              topics::TopicId topic,
-                                              uint32_t top_n) {
+util::Result<std::vector<util::ScoredId>> QueryEngine::TopN(
+    graph::NodeId user, topics::TopicId topic, uint32_t top_n) {
   util::Result<core::Ranking> r = Recommend(Query::TopN(user, topic, top_n));
-  MBR_CHECK(r.ok());
+  if (!r.ok()) return r.status();
   return std::move(r.value().entries);
 }
 
@@ -247,8 +258,22 @@ uint32_t QueryEngine::num_topics() const {
 }
 
 void QueryEngine::Invalidate() {
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t new_epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   metrics_.invalidations->Increment();
+  if (cache_ != nullptr) {
+    // Entries keyed to epochs below `new_epoch` can never be hit again
+    // (lookups always use the current epoch), but without this sweep they
+    // would sit in the LRU lists until evicted by pressure, silently
+    // shrinking the cache's effective capacity after every rebind. The
+    // sweep is best-effort against a racing Put() that read the old epoch
+    // under a shared-lock hold — that straggler is unreachable too and the
+    // next invalidation's sweep collects it.
+    size_t purged =
+        cache_->EraseIf([new_epoch](const CacheKey& k) {
+          return k.epoch < new_epoch;
+        });
+    metrics_.cache_purged->Increment(purged);
+  }
 }
 
 void QueryEngine::Rebind(const graph::LabeledGraph& g,

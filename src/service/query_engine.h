@@ -60,6 +60,7 @@
 #include "obs/metrics.h"
 #include "topics/similarity_matrix.h"
 #include "topics/topic.h"
+#include "util/arena.h"
 #include "util/lru_cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -149,14 +150,19 @@ class QueryEngine {
       std::span<const core::Query> queries);
 
   // Convenience over Recommend() for in-process callers with no deadline
-  // or exclusions (CLI, tests, benchmarks): the ranked entries, aborting
-  // on error.
-  std::vector<util::ScoredId> TopN(graph::NodeId user, topics::TopicId topic,
-                                   uint32_t top_n);
+  // or exclusions (CLI, tests, benchmarks): the ranked entries, or the
+  // error Recommend() reported (deadline expiry, admission failures).
+  // Recoverable serving errors propagate — they never abort the process.
+  util::Result<std::vector<util::ScoredId>> TopN(graph::NodeId user,
+                                                 topics::TopicId topic,
+                                                 uint32_t top_n);
 
-  // Drops all cached results in O(1) by bumping the params epoch. Wire
-  // this to dynamic::DeltaGraph::SetChangeListener so edge churn can never
-  // serve stale lists.
+  // Drops all cached results in O(1) by bumping the params epoch, then
+  // sweeps entries keyed to dead epochs out of the cache so they stop
+  // occupying capacity (they are unreachable by key equality the moment
+  // the epoch moves). Wire this to
+  // dynamic::DeltaGraph::SetChangeListener so edge churn can never serve
+  // stale lists.
   void Invalidate();
 
   // Points the engine at a new graph snapshot (e.g. a materialised
@@ -233,6 +239,7 @@ class QueryEngine {
     obs::Counter* cache_hits = nullptr;
     obs::Counter* cache_misses = nullptr;
     obs::Counter* invalidations = nullptr;
+    obs::Counter* cache_purged = nullptr;
     obs::Counter* deadline_exceeded = nullptr;
     obs::Histogram* latency_us = nullptr;
   };
@@ -258,6 +265,11 @@ class QueryEngine {
   // Queries hold this shared; Rebind holds it exclusive to swap scorers.
   // Mutable so const accessors (num_nodes) can take the shared side.
   mutable std::shared_mutex rebind_mu_;
+  // Per-worker query arenas (DESIGN.md §6.6). Created once in the
+  // constructor and handed to each worker's scorer, so the warmed scratch
+  // survives Rebind() scorer swaps. Declared before workers_ so the
+  // scorers (which hold raw arena pointers) destruct first.
+  std::vector<std::unique_ptr<util::QueryArena>> arenas_;
   std::vector<Worker> workers_;
   std::unique_ptr<Cache> cache_;
 

@@ -1,0 +1,187 @@
+#ifndef MBR_UTIL_FLAT_MAP_H_
+#define MBR_UTIL_FLAT_MAP_H_
+
+// Open-addressing hash map for the scoring hot path.
+//
+// std::unordered_map allocates one node per entry and chases a pointer per
+// lookup; the per-query score accumulation (landmark::ApproxRecommender)
+// pays that on every reached node. FlatMap is the standard serving-side
+// replacement: power-of-two capacity, linear probing over two flat arrays
+// (entries + occupancy bytes), CRC32 hardware hashing where the ISA has it
+// and a Fibonacci multiply otherwise. There is no erase, hence no
+// tombstones — growth rehashes into a clean table — and Clear() keeps
+// capacity, so a warm map costs zero heap allocations per query.
+//
+// Iteration order is slot order: deterministic for a fixed insertion
+// sequence and capacity. Ranked outputs must not depend on it (util::TopK's
+// score-desc/id-asc total order already guarantees that).
+//
+// Keys and values must be trivially copyable (NodeId -> double in the hot
+// path); the map is not thread-safe.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+#include "util/logging.h"
+
+namespace mbr::util {
+
+// Mixes an integral key into a table index. CRC32C instruction when
+// compiled for an ISA that has it, otherwise a Fibonacci (golden-ratio)
+// multiply — both spread sequential NodeIds, the common key shape, across
+// the whole table.
+inline uint64_t HashScatter64(uint64_t x) {
+#if defined(__SSE4_2__)
+  // CRC32C of both halves, re-spread with the golden ratio so the high
+  // bits (used by the mask) are mixed too.
+  uint32_t c = _mm_crc32_u32(0x9e3779b9u, static_cast<uint32_t>(x));
+  c = _mm_crc32_u32(c, static_cast<uint32_t>(x >> 32));
+  return static_cast<uint64_t>(c) * 0x9e3779b97f4a7c15ULL;
+#else
+  x *= 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return x;
+#endif
+}
+
+template <typename Key, typename Value>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<Key> &&
+                    std::is_trivially_copyable_v<Value>,
+                "FlatMap stores entries in flat arrays: trivial types only");
+  static_assert(std::is_integral_v<Key> || std::is_enum_v<Key>,
+                "FlatMap hashes integral keys");
+
+ public:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  FlatMap() = default;
+  explicit FlatMap(size_t expected_entries) { Reserve(expected_entries); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return entries_.size(); }
+
+  // Drops all entries, keeping capacity (one memset over the occupancy
+  // bytes — no heap traffic).
+  void Clear() {
+    if (!used_.empty()) std::memset(used_.data(), 0, used_.size());
+    size_ = 0;
+  }
+
+  // Ensures capacity for `n` entries without rehashing mid-accumulation.
+  void Reserve(size_t n) {
+    size_t want = kMinCapacity;
+    while (want * kMaxLoadNum < n * kMaxLoadDen) want <<= 1;
+    if (want > entries_.size()) Rehash(want);
+  }
+
+  // Insert-or-find: returns the value slot for `key`, default-initialised
+  // on first insertion. The accumulation idiom is `map[v] += delta`.
+  Value& operator[](const Key& key) {
+    if ((size_ + 1) * kMaxLoadDen > entries_.size() * kMaxLoadNum) {
+      Rehash(entries_.empty() ? kMinCapacity : entries_.size() * 2);
+    }
+    size_t i = Probe(key);
+    if (!used_[i]) {
+      used_[i] = 1;
+      entries_[i].key = key;
+      entries_[i].value = Value{};
+      ++size_;
+    }
+    return entries_[i].value;
+  }
+
+  // Pointer to the value for `key`, or nullptr when absent.
+  const Value* Find(const Key& key) const {
+    if (entries_.empty()) return nullptr;
+    size_t i = Probe(key);
+    return used_[i] ? &entries_[i].value : nullptr;
+  }
+  Value* Find(const Key& key) {
+    return const_cast<Value*>(std::as_const(*this).Find(key));
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  // Const iteration over occupied slots, in slot order.
+  class const_iterator {
+   public:
+    const_iterator(const FlatMap* m, size_t i) : m_(m), i_(i) { Skip(); }
+    std::pair<const Key&, const Value&> operator*() const {
+      return {m_->entries_[i_].key, m_->entries_[i_].value};
+    }
+    const_iterator& operator++() {
+      ++i_;
+      Skip();
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+
+   private:
+    void Skip() {
+      while (i_ < m_->entries_.size() && !m_->used_[i_]) ++i_;
+    }
+    const FlatMap* m_;
+    size_t i_;
+  };
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, entries_.size()}; }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+  // Max load factor 7/8: linear probe chains stay short while the table
+  // stays dense enough to be cache-friendly.
+  static constexpr size_t kMaxLoadNum = 7;
+  static constexpr size_t kMaxLoadDen = 8;
+
+  // Index of `key`'s slot: its entry if present, else the empty slot where
+  // it would be inserted. Preconditions: capacity > 0 and not full.
+  size_t Probe(const Key& key) const {
+    const size_t mask = entries_.size() - 1;
+    size_t i = HashScatter64(static_cast<uint64_t>(key)) & mask;
+    while (used_[i] && entries_[i].key != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Rehash(size_t new_capacity) {
+    MBR_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Entry> old_entries = std::move(entries_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    entries_.assign(new_capacity, Entry{});
+    used_.assign(new_capacity, 0);
+    const size_t mask = new_capacity - 1;
+    for (size_t j = 0; j < old_entries.size(); ++j) {
+      if (!old_used[j]) continue;
+      size_t i =
+          HashScatter64(static_cast<uint64_t>(old_entries[j].key)) & mask;
+      while (used_[i]) i = (i + 1) & mask;
+      used_[i] = 1;
+      entries_[i] = old_entries[j];
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<uint8_t> used_;
+  size_t size_ = 0;
+};
+
+}  // namespace mbr::util
+
+#endif  // MBR_UTIL_FLAT_MAP_H_

@@ -31,8 +31,9 @@ class ShardedLruCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
+    uint64_t insertions = 0;  // Put() calls that created a new entry
+    uint64_t updates = 0;     // Put() calls that overwrote an existing entry
+    uint64_t evictions = 0;   // LRU evictions (EraseIf removals not counted)
   };
 
   // `capacity` is the total entry budget across all shards (at least one
@@ -77,6 +78,7 @@ class ShardedLruCache {
     if (it != sh.map.end()) {
       it->second->second = std::move(value);
       sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+      ++sh.stats.updates;
       return;
     }
     sh.lru.emplace_front(key, std::move(value));
@@ -95,6 +97,29 @@ class ShardedLruCache {
       sh->map.clear();
       sh->lru.clear();
     }
+  }
+
+  // Removes every entry whose key satisfies `pred`; returns how many were
+  // removed. One per-shard sweep under that shard's lock — the epoch-bump
+  // path uses this to purge entries keyed to dead epochs, which ordinary
+  // LRU pressure would otherwise keep resident (they can never be hit
+  // again, but they still count against capacity).
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t erased = 0;
+    for (auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      for (auto it = sh->lru.begin(); it != sh->lru.end();) {
+        if (pred(it->first)) {
+          sh->map.erase(it->first);
+          it = sh->lru.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
   }
 
   size_t size() const {
@@ -121,6 +146,7 @@ class ShardedLruCache {
       out.hits += sh->stats.hits;
       out.misses += sh->stats.misses;
       out.insertions += sh->stats.insertions;
+      out.updates += sh->stats.updates;
       out.evictions += sh->stats.evictions;
     }
     return out;

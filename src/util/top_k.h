@@ -68,6 +68,24 @@ class TopK {
     return out;
   }
 
+  // Allocation-free Take(): writes the ranked entries into *out (capacity
+  // reused) and resets the accumulator for the next query, keeping the
+  // heap's own capacity. The serving hot path pairs one persistent TopK
+  // with one persistent output vector so a warm ranked query never touches
+  // the heap.
+  void TakeInto(std::vector<ScoredId>* out) {
+    out->assign(heap_.begin(), heap_.end());
+    heap_.clear();
+    std::sort(out->begin(), out->end(), RankedBefore);
+  }
+
+  // Drops accumulated entries (capacity kept) and retargets to `k`.
+  void Reset(size_t k) {
+    MBR_CHECK(k > 0);
+    k_ = k;
+    heap_.clear();
+  }
+
  private:
   // Min-heap on the ranked order: the root is the entry that would be
   // evicted first.

@@ -258,7 +258,7 @@ TEST_F(DynamicServingDifferentialTest,
       auto remote = client->RecommendEx({user, topic, kTopN});
       ASSERT_TRUE(remote.ok()) << remote.status().ToString();
       EXPECT_EQ(remote->graph_epoch, shadow.epoch());
-      net::RankedList expect = reference.TopN(user, topic, kTopN);
+      net::RankedList expect = reference.TopN(user, topic, kTopN).value();
       ASSERT_EQ(CanonicalBytes(remote->entries), CanonicalBytes(expect))
           << "checkpoint " << checkpoints_run << " (after " << total_sent
           << " mutations), probe user=" << user
@@ -389,8 +389,8 @@ TEST(LandmarkRepairDifferentialTest, AllModeQuiesceIsByteIdenticalToFresh) {
         static_cast<uint32_t>(probe_rng.UniformU64(fx.base_->num_nodes()));
     const TopicId topic = static_cast<TopicId>(
         probe_rng.UniformU64(static_cast<uint64_t>(fx.base_->num_topics())));
-    net::RankedList live = fx.engine_->TopN(user, topic, 10);
-    net::RankedList ref = reference.TopN(user, topic, 10);
+    net::RankedList live = fx.engine_->TopN(user, topic, 10).value();
+    net::RankedList ref = reference.TopN(user, topic, 10).value();
     ASSERT_EQ(CanonicalBytes(live), CanonicalBytes(ref))
         << "user " << user << " topic " << static_cast<int>(topic);
   }
@@ -425,8 +425,8 @@ TEST(LandmarkRepairDifferentialTest, TouchedModeDriftStaysBoundedAfterQuiesce) {
         static_cast<uint32_t>(probe_rng.UniformU64(fx.base_->num_nodes()));
     const TopicId topic = static_cast<TopicId>(
         probe_rng.UniformU64(static_cast<uint64_t>(fx.base_->num_topics())));
-    net::RankedList live = fx.engine_->TopN(user, topic, 10);
-    net::RankedList ref = reference.TopN(user, topic, 10);
+    net::RankedList live = fx.engine_->TopN(user, topic, 10).value();
+    net::RankedList ref = reference.TopN(user, topic, 10).value();
     if (ref.empty() && live.empty()) continue;
     std::vector<uint32_t> live_ids, ref_ids;
     for (const auto& e : live) live_ids.push_back(e.id);

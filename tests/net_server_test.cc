@@ -84,7 +84,7 @@ TEST_F(NetServerTest, RemoteMatchesDirectEngineExactly) {
   for (uint32_t user : {0u, 3u, 17u}) {
     auto remote = client->Recommend(user, 0, 8);
     ASSERT_TRUE(remote.ok()) << remote.status().ToString();
-    RankedList direct = engine_->TopN(user, 0, 8);
+    RankedList direct = engine_->TopN(user, 0, 8).value();
     ASSERT_EQ(remote->size(), direct.size()) << "user " << user;
     for (size_t i = 0; i < direct.size(); ++i) {
       EXPECT_EQ((*remote)[i].id, direct[i].id);
@@ -104,7 +104,7 @@ TEST_F(NetServerTest, BatchMatchesDirectAndPreservesOrder) {
   ASSERT_EQ(remote->size(), 3u);
   for (size_t q = 0; q < reqs.size(); ++q) {
     RankedList direct =
-        engine_->TopN(reqs[q].user, reqs[q].topic, reqs[q].top_n);
+        engine_->TopN(reqs[q].user, reqs[q].topic, reqs[q].top_n).value();
     ASSERT_EQ((*remote)[q].size(), direct.size()) << "query " << q;
     for (size_t i = 0; i < direct.size(); ++i) {
       EXPECT_EQ((*remote)[q][i].id, direct[i].id);
@@ -209,7 +209,7 @@ TEST_F(NetServerTest, ExcludeListTravelsTheWire) {
   StartServer({});
   auto client = Dial();
   ASSERT_TRUE(client.ok());
-  RankedList base = engine_->TopN(3, 0, 8);
+  RankedList base = engine_->TopN(3, 0, 8).value();
   ASSERT_GE(base.size(), 2u);
 
   RecommendRequest req{3, 0, 8};
@@ -304,7 +304,7 @@ TEST_F(NetServerTest, V1ClientStillWorksAgainstV2Server) {
 
   auto remote = v1->Recommend(3, 0, 8);
   ASSERT_TRUE(remote.ok()) << remote.status().ToString();
-  RankedList direct = engine_->TopN(3, 0, 8);
+  RankedList direct = engine_->TopN(3, 0, 8).value();
   ASSERT_EQ(remote->size(), direct.size());
   for (size_t i = 0; i < direct.size(); ++i) {
     EXPECT_EQ((*remote)[i].id, direct[i].id);
@@ -418,7 +418,7 @@ TEST_F(NetServerTest, ShutdownDrainsInFlightAndRefusesNewConnections) {
       EXPECT_EQ(h.kind, MessageKind::kResult);
       RankedList list;
       ASSERT_TRUE(DecodeResult(body, limits, h.version, &list).ok());
-      RankedList direct = engine_->TopN(3, 0, 5);
+      RankedList direct = engine_->TopN(3, 0, 5).value();
       ASSERT_EQ(list.size(), direct.size());
       for (size_t i = 0; i < direct.size(); ++i) {
         EXPECT_EQ(list[i].id, direct[i].id);

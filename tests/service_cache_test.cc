@@ -49,8 +49,8 @@ TEST(ServiceCacheTest, RepeatQueryHitsCache) {
   core::AuthorityIndex auth(g);
   QueryEngine engine(g, auth, topics::TwitterSimilarity(), CachedConfig());
 
-  auto first = engine.TopN(0, kTopic, 5);
-  auto second = engine.TopN(0, kTopic, 5);
+  auto first = engine.TopN(0, kTopic, 5).value();
+  auto second = engine.TopN(0, kTopic, 5).value();
   EXPECT_EQ(first, second);
   EngineStats s = engine.Stats();
   EXPECT_EQ(s.cache_misses, 1u);
@@ -64,7 +64,7 @@ TEST(ServiceCacheTest, DifferentTopNIsADifferentCacheEntry) {
   engine.TopN(0, kTopic, 5);
   engine.TopN(0, kTopic, 1);  // must not be served from the n=5 entry
   EXPECT_EQ(engine.Stats().cache_misses, 2u);
-  EXPECT_EQ(engine.TopN(0, kTopic, 1).size(), 1u);
+  EXPECT_EQ(engine.TopN(0, kTopic, 1).value().size(), 1u);
 }
 
 TEST(ServiceCacheTest, DynamicInsertionInvalidatesAndNewEdgeIsServed) {
@@ -77,7 +77,7 @@ TEST(ServiceCacheTest, DynamicInsertionInvalidatesAndNewEdgeIsServed) {
   dynamic::DeltaGraph delta(&base);
   delta.SetChangeListener([&engine] { engine.Invalidate(); });
 
-  auto before = engine.TopN(0, kTopic, 5);
+  auto before = engine.TopN(0, kTopic, 5).value();
   for (const auto& r : before) EXPECT_NE(r.id, 3u);  // 3 unreachable
   engine.TopN(0, kTopic, 5);
   ASSERT_EQ(engine.Stats().cache_hits, 1u);
@@ -93,7 +93,7 @@ TEST(ServiceCacheTest, DynamicInsertionInvalidatesAndNewEdgeIsServed) {
   core::AuthorityIndex current_auth(current);
   engine.Rebind(current, current_auth);
 
-  auto after = engine.TopN(0, kTopic, 5);
+  auto after = engine.TopN(0, kTopic, 5).value();
   EngineStats s = engine.Stats();
   // The repeat of a previously-cached query must MISS: its epoch changed.
   EXPECT_EQ(s.cache_hits, 1u);
@@ -106,13 +106,55 @@ TEST(ServiceCacheTest, InvalidateAloneForcesMissButSameResult) {
   LabeledGraph g = BaseGraph();
   core::AuthorityIndex auth(g);
   QueryEngine engine(g, auth, topics::TwitterSimilarity(), CachedConfig());
-  auto a = engine.TopN(0, kTopic, 5);
+  auto a = engine.TopN(0, kTopic, 5).value();
   engine.Invalidate();
-  auto b = engine.TopN(0, kTopic, 5);
+  auto b = engine.TopN(0, kTopic, 5).value();
   EXPECT_EQ(a, b);  // same graph, same params -> identical list
   EngineStats s = engine.Stats();
   EXPECT_EQ(s.cache_hits, 0u);
   EXPECT_EQ(s.cache_misses, 2u);
+}
+
+// Dead-epoch purge regression (ISSUE 7 satellite). Before the fix,
+// Invalidate() only bumped the epoch: entries keyed under dead epochs were
+// unreachable yet still occupied LRU capacity until ordinary eviction got
+// to them. Invalidate() now sweeps them out eagerly; the purge is observable
+// through the engine's mbr_engine_cache_purged_total counter.
+TEST(ServiceCacheTest, InvalidatePurgesDeadEpochEntries) {
+  LabeledGraph g = BaseGraph();
+  core::AuthorityIndex auth(g);
+  QueryEngine engine(g, auth, topics::TwitterSimilarity(), CachedConfig());
+  obs::Counter* purged = engine.registry().GetCounter(
+      "mbr_engine_cache_purged_total", "");
+
+  // Populate 6 distinct entries under the current epoch.
+  for (NodeId u = 0; u < 3; ++u) {
+    engine.TopN(u, kTopic, 5);
+    engine.TopN(u, kTopic, 2);
+  }
+  ASSERT_EQ(engine.Stats().cache_misses, 6u);
+  ASSERT_EQ(purged->Value(), 0u);
+
+  // The epoch bump must evict all 6 now-unreachable entries at once.
+  engine.Invalidate();
+  EXPECT_EQ(purged->Value(), 6u);
+
+  // Entries cached after the bump are live: a second invalidation purges
+  // exactly those, never double-counting the already-swept generation.
+  engine.TopN(0, kTopic, 5);
+  engine.TopN(1, kTopic, 5);
+  engine.Invalidate();
+  EXPECT_EQ(purged->Value(), 8u);
+
+  // An invalidation with an empty cache purges nothing.
+  engine.Invalidate();
+  EXPECT_EQ(purged->Value(), 8u);
+
+  // The cache still serves normally after the sweeps.
+  auto a = engine.TopN(0, kTopic, 5).value();
+  auto b = engine.TopN(0, kTopic, 5).value();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(engine.Stats().cache_hits, 1u);
 }
 
 TEST(ServiceCacheTest, RemovalAlsoFiresTheListener) {

@@ -74,7 +74,7 @@ TEST_F(QueryEngineTest, EightThreadsMatchSequentialOracle) {
       got[th].reserve(kPerThread);
       for (int i = 0; i < kPerThread; ++i) {
         Query q = MakeQuery(static_cast<uint32_t>(th * kPerThread + i) % 90);
-        got[th].push_back(engine.TopN(q.user, q.topic, q.top_n));
+        got[th].push_back(engine.TopN(q.user, q.topic, q.top_n).value());
       }
     });
   }
@@ -146,7 +146,7 @@ TEST_F(QueryEngineTest, LandmarkModeServesApproximation) {
 
   for (uint32_t i = 0; i < 20; ++i) {
     Query q = MakeQuery(i);
-    auto got = engine.TopN(q.user, q.topic, q.top_n);
+    auto got = engine.TopN(q.user, q.topic, q.top_n).value();
     auto want = reference.TopN(q.user, q.topic, q.top_n);
     ASSERT_EQ(got.size(), want.size());
     for (size_t r = 0; r < want.size(); ++r) {

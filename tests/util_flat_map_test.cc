@@ -1,0 +1,156 @@
+// Property tests for util::FlatMap: behaviour must match
+// std::unordered_map on random insert/accumulate/lookup workloads, across
+// growth, and Clear() must keep capacity (the zero-allocation reuse
+// contract of the query hot path).
+
+#include "util/flat_map.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mbr::util {
+namespace {
+
+TEST(FlatMapTest, EmptyMap) {
+  FlatMap<uint32_t, double> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Find(42), nullptr);
+  EXPECT_FALSE(m.Contains(42));
+  int seen = 0;
+  for (const auto& kv : m) {
+    (void)kv;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(FlatMapTest, InsertFindAndOverwrite) {
+  FlatMap<uint32_t, double> m;
+  m[7] = 1.5;
+  m[9] = -2.0;
+  ASSERT_NE(m.Find(7), nullptr);
+  EXPECT_EQ(*m.Find(7), 1.5);
+  EXPECT_EQ(*m.Find(9), -2.0);
+  EXPECT_EQ(m.size(), 2u);
+
+  m[7] = 3.25;  // overwrite, not a new entry
+  EXPECT_EQ(*m.Find(7), 3.25);
+  EXPECT_EQ(m.size(), 2u);
+
+  // operator[] default-initialises missing entries, like std::unordered_map.
+  EXPECT_EQ(m[1000], 0.0);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(FlatMapTest, MatchesUnorderedMapOnRandomAccumulation) {
+  Rng rng(123);
+  FlatMap<uint32_t, double> flat;
+  std::unordered_map<uint32_t, double> ref;
+  // Heavy key reuse: the score-accumulation workload of the landmark path.
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t key = static_cast<uint32_t>(rng.UniformU64(3000));
+    double val = static_cast<double>(rng.UniformU64(1 << 20)) / 1024.0;
+    flat[key] += val;
+    ref[key] += val;
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const double* got = flat.Find(k);
+    ASSERT_NE(got, nullptr) << "key " << k;
+    EXPECT_EQ(*got, v) << "key " << k;  // same adds in same order: bitwise
+  }
+  // Iteration covers exactly the reference keys, each once.
+  std::unordered_map<uint32_t, double> seen;
+  for (const auto& [k, v] : flat) {
+    EXPECT_TRUE(seen.emplace(k, v).second) << "duplicate key " << k;
+  }
+  EXPECT_EQ(seen.size(), ref.size());
+  for (const auto& [k, v] : seen) {
+    EXPECT_EQ(ref.at(k), v);
+  }
+}
+
+TEST(FlatMapTest, GrowthFromEmptyAcrossRehashes) {
+  FlatMap<uint64_t, uint64_t> m;
+  constexpr uint64_t kN = 10000;  // forces many doublings from 16 slots
+  for (uint64_t i = 0; i < kN; ++i) {
+    m[i * 2654435761u] = i;
+  }
+  EXPECT_EQ(m.size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    const uint64_t* v = m.Find(i * 2654435761u);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(m.Contains(1));  // odd key never inserted
+}
+
+TEST(FlatMapTest, ClearKeepsCapacityAndReusesCleanly) {
+  FlatMap<uint32_t, double> m;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    m[static_cast<uint32_t>(rng.UniformU64(100000))] += 1.0;
+  }
+  const size_t cap = m.capacity();
+  ASSERT_GT(cap, 0u);
+
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), cap);  // storage retained for the next query
+  EXPECT_EQ(m.Find(1), nullptr);
+
+  // Refill below the previous high-water mark: capacity must not move and
+  // the contents must be exactly the new entries.
+  std::unordered_map<uint32_t, double> ref;
+  for (int i = 0; i < 3000; ++i) {
+    uint32_t key = static_cast<uint32_t>(rng.UniformU64(100000));
+    m[key] += 2.5;
+    ref[key] += 2.5;
+  }
+  EXPECT_EQ(m.capacity(), cap);
+  ASSERT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const double* got = m.Find(k);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(FlatMapTest, ReserveAvoidsLaterRehash) {
+  FlatMap<uint32_t, uint32_t> m;
+  m.Reserve(1000);
+  const size_t cap = m.capacity();
+  ASSERT_GE(cap, 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) m[i] = i + 1;
+  EXPECT_EQ(m.capacity(), cap);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(m.Find(i), nullptr);
+    EXPECT_EQ(*m.Find(i), i + 1);
+  }
+}
+
+TEST(FlatMapTest, AdversarialKeysSharingLowBits) {
+  // Keys differing only above the capacity mask probe the same cluster
+  // unless the hash scatters; the map must stay correct either way.
+  FlatMap<uint64_t, int> m;
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 512; ++i) keys.push_back(i << 32);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    m[keys[i]] = static_cast<int>(i);
+  }
+  ASSERT_EQ(m.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int* v = m.Find(keys[i]);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace mbr::util

@@ -107,5 +107,64 @@ TEST(LruCacheTest, ConcurrentReadersAndWritersStayConsistent) {
   EXPECT_EQ(s.hits + s.misses, kThreads * kGetsPerThread);
 }
 
+TEST(LruCacheTest, PutOverwriteCountsAsUpdateNotInsertion) {
+  ShardedLruCache<int, int> cache(/*capacity=*/8, /*num_shards=*/1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // overwrite
+  cache.Put(1, 12);  // overwrite again
+
+  int out = 0;
+  ASSERT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out, 12);
+  EXPECT_EQ(cache.size(), 2u);
+
+  auto s = cache.stats();
+  EXPECT_EQ(s.insertions, 2u);  // distinct keys only
+  EXPECT_EQ(s.updates, 2u);     // the two overwrites of key 1
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(LruCacheTest, EraseIfRemovesMatchingEntriesAcrossShards) {
+  ShardedLruCache<int, int> cache(/*capacity=*/128, /*num_shards=*/4);
+  for (int k = 0; k < 64; ++k) cache.Put(k, k);
+  ASSERT_EQ(cache.size(), 64u);
+
+  size_t erased = cache.EraseIf([](int k) { return k % 2 == 0; });
+  EXPECT_EQ(erased, 32u);
+  EXPECT_EQ(cache.size(), 32u);
+  for (int k = 0; k < 64; ++k) {
+    int out = 0;
+    EXPECT_EQ(cache.Get(k, &out), k % 2 != 0) << "key " << k;
+  }
+
+  // Erasing everything leaves an empty, still-usable cache.
+  EXPECT_EQ(cache.EraseIf([](int) { return true; }), 32u);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Put(7, 70);
+  int out = 0;
+  ASSERT_TRUE(cache.Get(7, &out));
+  EXPECT_EQ(out, 70);
+}
+
+TEST(LruCacheTest, EraseIfPreservesLruOrderOfSurvivors) {
+  ShardedLruCache<int, int> cache(/*capacity=*/4, /*num_shards=*/1);
+  for (int k = 0; k < 4; ++k) cache.Put(k, k);
+  // Touch 0 so it becomes most-recent; 1 is now least-recent.
+  int out = 0;
+  ASSERT_TRUE(cache.Get(0, &out));
+  ASSERT_EQ(cache.EraseIf([](int k) { return k == 2; }), 1u);
+
+  // Survivors oldest-to-newest: 1, 3, 0. The first insert refills the freed
+  // slot; the second evicts the least-recent survivor (1), never 3 or 0.
+  cache.Put(10, 100);
+  cache.Put(11, 110);
+  EXPECT_FALSE(cache.Get(1, &out));
+  EXPECT_TRUE(cache.Get(3, &out));
+  EXPECT_TRUE(cache.Get(0, &out));
+  EXPECT_TRUE(cache.Get(10, &out));
+  EXPECT_TRUE(cache.Get(11, &out));
+}
+
 }  // namespace
 }  // namespace mbr::util

@@ -1,18 +1,28 @@
 #!/usr/bin/env bash
 # Repo-wide check runner:
-#   1. tier-1: full build + full ctest suite   (build/)
-#   2. ASan:   serde + net + dynamic suites    (build-asan/)
-#   3. TSan:   obs + service + net + dynamic   (build-tsan/)
+#   1. tier-1: full build + full ctest suite       (build/)
+#   2. ASan:   serde + net + dynamic + hotpath     (build-asan/)
+#   3. TSan:   obs + service + net + dynamic       (build-tsan/)
+#   4. UBSan:  core + landmark + service           (build-ubsan/)
+#   5. bench-smoke: micro_benchmarks --smoke       (build/)
 #
-# The sanitizer passes reuse the persistent build-asan/ and build-tsan/
-# trees (configured here on first run) and only build/run the labeled
-# suites they exist to harden: byte-level parsers under ASan, the
-# metrics registry + concurrent engine + epoll server under TSan. The
-# `dynamic` label (mutation path, delta graph, landmark repair) runs under
-# both: ASan for the mutation wire parsing, TSan for mutators racing
-# readers and the background repair thread.
+# The sanitizer passes reuse the persistent build-asan/, build-tsan/ and
+# build-ubsan/ trees (configured here on first run) and only build/run the
+# labeled suites they exist to harden: byte-level parsers under ASan, the
+# metrics registry + concurrent engine + epoll server under TSan, the
+# floating-point scoring kernels + landmark composition + serving arithmetic
+# under UBSan. The `dynamic` label (mutation path, delta graph, landmark
+# repair) runs under both ASan and TSan: ASan for the mutation wire parsing,
+# TSan for mutators racing readers and the background repair thread. The
+# `hotpath` label (arena/flat-map scratch reuse, scorer differential suite)
+# runs under ASan so a buffer carved too small or a stale span surfaces as a
+# hard error rather than a wrong score.
 #
-# Usage: tools/check.sh [tier1|asan|tsan|all]   (default: all)
+# bench-smoke runs the allocation-counting smoke gate of the zero-allocation
+# hot path (DESIGN.md §6.6): a warm exact query and a warm landmark query
+# must report 0 heap allocations, else the step fails.
+#
+# Usage: tools/check.sh [tier1|asan|tsan|ubsan|bench-smoke|all] (default: all)
 set -e
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -33,15 +43,29 @@ run_sanitized() {  # $1=sanitizer $2=build-dir $3=label-regex
   (cd "$2" && ctest -L "$3" --output-on-failure -j "$JOBS")
 }
 
+run_bench_smoke() {
+  echo "==> bench-smoke: micro_benchmarks --smoke (zero-allocation gate)"
+  cmake -B "$REPO/build" -S "$REPO" >/dev/null
+  cmake --build "$REPO/build" -j "$JOBS" --target micro_benchmarks
+  "$REPO/build/bench/micro_benchmarks" --smoke
+}
+
 case "$MODE" in
   tier1) run_tier1 ;;
-  asan)  run_sanitized address "$REPO/build-asan" 'serde|net|dynamic' ;;
+  asan)  run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath' ;;
   tsan)  run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic' ;;
+  ubsan) run_sanitized undefined "$REPO/build-ubsan" 'core|landmark|service' ;;
+  bench-smoke) run_bench_smoke ;;
   all)
     run_tier1
-    run_sanitized address "$REPO/build-asan" 'serde|net|dynamic'
+    run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath'
     run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic'
+    run_sanitized undefined "$REPO/build-ubsan" 'core|landmark|service'
+    run_bench_smoke
     ;;
-  *) echo "usage: tools/check.sh [tier1|asan|tsan|all]" >&2; exit 2 ;;
+  *)
+    echo "usage: tools/check.sh [tier1|asan|tsan|ubsan|bench-smoke|all]" >&2
+    exit 2
+    ;;
 esac
 echo "==> check.sh: $MODE OK"

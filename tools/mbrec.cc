@@ -397,7 +397,13 @@ int CmdLoad(const Args& args) {
   }
   uint32_t top = static_cast<uint32_t>(args.GetInt("top", 10));
 
-  auto results = rep.engine->TopN(user, topic, top);
+  auto top_r = rep.engine->TopN(user, topic, top);
+  if (!top_r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 top_r.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<util::ScoredId>& results = *top_r;
   std::printf("recommendations for user %u on '%s':\n", user,
               topic_name.c_str());
   for (size_t i = 0; i < results.size(); ++i) {
