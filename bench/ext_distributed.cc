@@ -29,7 +29,7 @@ namespace {
 using namespace mbr;
 
 std::vector<uint32_t> TopIds(
-    const std::unordered_map<graph::NodeId, double>& scores,
+    const util::FlatMap<graph::NodeId, double>& scores,
     graph::NodeId self, uint32_t k) {
   util::TopK topk(k);
   for (const auto& [v, s] : scores) {
@@ -102,8 +102,8 @@ int main() {
       for (const auto& r : topk.Take()) exact_ids.push_back(r.id);
 
       distributed::QueryCost cost;
-      auto global_scores = cluster.Query(u, t, &cost);
-      auto local_scores = cluster.LocalQuery(u, t);
+      const auto& global_scores = cluster.Query(u, t, &cost);
+      const auto& local_scores = cluster.LocalQuery(u, t);
       msgs += static_cast<double>(cost.edge_messages);
       fetches += static_cast<double>(cost.landmark_fetches);
       parts += static_cast<double>(cost.partitions_touched);

@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
   const topics::TopicId tech = topics::TwitterVocabulary().Id("technology");
   for (graph::NodeId user : {11u, 2048u % num_nodes, 4777u % num_nodes}) {
     distributed::QueryCost cost;
-    auto global = cluster.Query(user, tech, &cost);
-    auto local = cluster.LocalQuery(user, tech);
+    const auto& global = cluster.Query(user, tech, &cost);
+    const auto& local = cluster.LocalQuery(user, tech);
     std::printf(
         "\nuser %u (home worker %u): full query scored %zu accounts, cost "
         "%llu adjacency messages + %llu landmark pulls (%llu entries), "

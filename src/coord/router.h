@@ -1,0 +1,174 @@
+#ifndef MBR_COORD_ROUTER_H_
+#define MBR_COORD_ROUTER_H_
+
+// The coordinator/router tier (DESIGN.md §6.7): one process that makes N
+// `mbrec serve --shard <i>` processes look like a single recommender.
+//
+// Clients speak the ordinary v1–v4 protocol to the router (RECOMMEND,
+// RECOMMEND_BATCH, STATS, METRICS, PING, SHUTDOWN); the router
+// scatter-gathers over the shard fleet through a pooled net::Client set
+// and merges shard answers so the routed reply is **byte-identical** to
+// what a single-node QueryEngine over the full graph would produce:
+//
+//   * landmark mode: the user's home shard answers RECOMMEND_PARTIAL with
+//     the decomposed exploration records (reached order preserved) plus
+//     the inline stored lists of its own landmarks; lists of landmarks
+//     homed elsewhere are gathered via LANDMARK_FETCH. The router then
+//     replays the exact ScoresFlat combine loop — same per-key addition
+//     order, same landmark::ComposeViaLandmark expression (one inline
+//     definition shared with approx.cc, so compiler contraction cannot
+//     diverge) — and ranks through the same core::RankingBuilder /
+//     util::TopK total order (score desc, id asc). Only landmark
+//     contributions ever cross shard boundaries (Prop. 4).
+//   * exact mode: exploration never leaves the home shard's halo
+//     (halo_depth >= max_depth - 1), so the router simply forwards the
+//     RECOMMEND to the home shard and relays the reply.
+//
+// Partial-result policy: each shard call gets a deadline derived from the
+// client deadline (min with shard_timeout_ms). A shard that is down,
+// overloaded, or times out degrades the reply to a *partial* merge — the
+// v4 trailer carries partial=1 and the answered/total shard counts, and
+// mbr_coord_partial_total is bumped — rather than failing or hanging the
+// client. Errors a single-node server would return for the same query
+// (DEADLINE_EXCEEDED, INVALID_ARGUMENT) are relayed as ERROR unchanged.
+// Mutations are rejected: the partitioned tier serves read-only.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coord/shard_plan.h"
+#include "net/client.h"
+#include "net/client_pool.h"
+#include "net/connection.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "service/serving_stats.h"
+#include "util/status.h"
+
+namespace mbr::coord {
+
+struct RouterConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral (see Router::port())
+  uint32_t max_connections = 64;
+  // Per-shard round-trip budget. The wire deadline sent to a shard is
+  // min(client deadline_ms, shard_timeout_ms); the transport backstop is
+  // shard_timeout_ms so a hung shard can never hang the client.
+  uint32_t shard_timeout_ms = 2000;
+  // true: RECOMMEND_PARTIAL + LANDMARK_FETCH merge (landmark engines on
+  // the shards). false: forward RECOMMEND to the home shard (exact
+  // engines; needs plan halo_depth >= max_depth - 1).
+  bool landmark_mode = true;
+  net::WireLimits limits;
+  // Template for the per-shard client connections (timeouts, reconnect
+  // backoff). host/port/protocol_version are overwritten per shard.
+  net::ClientConfig shard_client;
+  // mbr_coord_* series registry. nullptr = router-owned private registry.
+  obs::Registry* registry = nullptr;
+  // Idle pooled connections kept per shard.
+  size_t pool_idle = 4;
+};
+
+class Router {
+ public:
+  // Endpoints are taken from `plan` (after any SetEndpoint overrides).
+  Router(const ShardPlan& plan, const RouterConfig& config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Binds, listens, and spawns the accept loop.
+  util::Status Start();
+  // The bound port (useful with config.port == 0). Valid after Start().
+  uint16_t port() const { return port_; }
+  // Initiates shutdown: stop accepting, wake connection threads. Idempotent.
+  void RequestStop();
+  // Blocks until the accept loop and every connection thread have exited.
+  void Wait();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // The coordinator STATS rollup: sum of the shard snapshots (counters
+  // summed, percentile floors maxed) plus shards_total/shards_up.
+  service::StatsSnapshot RollupStats();
+
+  obs::Registry& registry() { return *registry_; }
+
+ private:
+  // One routed RECOMMEND: the merged ranked list, the home shard's graph
+  // epoch, and the coordinator trailer. A non-OK result is relayed to the
+  // client as ERROR (the same statuses a single-node server would send).
+  struct Routed {
+    net::RankedList entries;
+    uint64_t graph_epoch = 0;
+    net::CoordTrailer coord;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  // Returns false when the connection must close (fatal framing error or
+  // SHUTDOWN).
+  bool HandleClientFrame(net::Connection* conn,
+                         const net::Connection::Frame& frame);
+  bool QueueError(net::Connection* conn, uint64_t request_id,
+                  uint16_t version, net::WireError code,
+                  const std::string& message);
+
+  util::Result<Routed> RouteOne(const net::RecommendRequest& req);
+  util::Result<Routed> RouteLandmark(const net::RecommendRequest& req,
+                                     uint32_t home);
+  util::Result<Routed> RouteExact(const net::RecommendRequest& req,
+                                  uint32_t home);
+  // Runs `fn(client)` against `shard` through the pool, recording shard
+  // latency and errors; the connection returns to the pool only on success.
+  template <typename Fn>
+  auto CallShard(uint32_t shard, Fn&& fn)
+      -> decltype(fn(std::declval<net::Client&>()));
+  // min(client deadline, shard_timeout_ms); 0 only if both are unset.
+  uint32_t ShardDeadlineMs(uint32_t client_deadline_ms) const;
+  // Is this shard-RPC failure an infrastructure loss (down / shed /
+  // conn-loss / the shard_timeout_ms backstop) — degrade to a partial
+  // merge — or an error a single-node server would also have returned for
+  // this query (relay as ERROR)? A deadline expiry counts as loss only
+  // when the client itself set no deadline (the expired budget was purely
+  // the router's backstop).
+  bool IsShardLoss(const util::Status& status,
+                   uint32_t client_deadline_ms) const;
+
+  struct Metrics {
+    obs::Counter* requests = nullptr;          // client RECOMMENDs routed
+    obs::Counter* fanout = nullptr;            // shard RPCs issued
+    obs::Counter* partial = nullptr;           // replies degraded to partial
+    obs::Counter* shard_errors = nullptr;      // failed shard RPCs
+    obs::Counter* landmark_fetches = nullptr;  // LANDMARK_FETCH RPCs
+    obs::Histogram* shard_latency_us = nullptr;
+  };
+
+  ShardPlan plan_;
+  RouterConfig config_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  Metrics metrics_;
+  std::unique_ptr<net::ClientPool> pool_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint32_t> open_connections_{0};
+
+  std::thread accept_thread_;
+  std::mutex threads_mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace mbr::coord
+
+#endif  // MBR_COORD_ROUTER_H_

@@ -1,0 +1,172 @@
+#include "coord/shard_plan.h"
+
+#include "util/serde.h"
+
+namespace mbr::coord {
+
+namespace {
+
+// Section ids of the kShardPlan container.
+constexpr uint32_t kSecHeader = 1;     // counts, strategy, halo, stats
+constexpr uint32_t kSecAssignment = 2; // part_of array
+constexpr uint32_t kSecEndpoints = 3;  // per-shard host bytes + port
+
+constexpr uint32_t kNumStrategies =
+    static_cast<uint32_t>(
+        distributed::PartitionStrategy::kCommunityPopularity) +
+    1;
+
+}  // namespace
+
+ShardPlan::ShardPlan(distributed::Partitioning partitioning,
+                     distributed::PartitionStrategy strategy,
+                     uint32_t halo_depth, uint32_t num_topics,
+                     std::vector<ShardEndpoint> endpoints)
+    : partitioning_(std::move(partitioning)),
+      strategy_(strategy),
+      halo_depth_(halo_depth),
+      num_topics_(num_topics),
+      endpoints_(std::move(endpoints)) {
+  MBR_CHECK(partitioning_.num_partitions > 0);
+  MBR_CHECK(endpoints_.size() == partitioning_.num_partitions);
+}
+
+std::vector<bool> ShardPlan::OwnedMask(uint32_t shard) const {
+  std::vector<bool> owned(partitioning_.part_of.size(), false);
+  for (size_t v = 0; v < partitioning_.part_of.size(); ++v) {
+    owned[v] = partitioning_.part_of[v] == shard;
+  }
+  return owned;
+}
+
+void ShardPlan::SetEndpoint(uint32_t shard, ShardEndpoint ep) {
+  MBR_CHECK(shard < endpoints_.size());
+  endpoints_[shard] = std::move(ep);
+}
+
+util::serde::Writer ShardPlan::BuildContainer() const {
+  util::serde::Writer w(util::serde::ArtifactKind::kShardPlan,
+                        kFormatVersion);
+  w.BeginSection(kSecHeader);
+  w.PutU32(partitioning_.num_partitions);
+  w.PutU64(partitioning_.part_of.size());
+  w.PutU32(num_topics_);
+  w.PutU32(static_cast<uint32_t>(strategy_));
+  w.PutU32(halo_depth_);
+  w.PutDouble(partitioning_.edge_cut);
+  w.PutDouble(partitioning_.balance);
+  w.EndSection();
+
+  w.BeginSection(kSecAssignment);
+  w.PutPodArray(partitioning_.part_of);
+  w.EndSection();
+
+  w.BeginSection(kSecEndpoints);
+  for (const ShardEndpoint& ep : endpoints_) {
+    w.PutPodArray(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(ep.host.data()), ep.host.size()));
+    w.PutU32(ep.port);
+  }
+  w.EndSection();
+  return w;
+}
+
+std::vector<uint8_t> ShardPlan::Serialize() const {
+  return BuildContainer().buffer();
+}
+
+util::Status ShardPlan::SaveTo(const std::string& path) const {
+  return BuildContainer().WriteToFile(path);
+}
+
+util::Result<ShardPlan> ShardPlan::LoadFrom(const std::string& path) {
+  auto reader = util::serde::Reader::FromFile(
+      path, util::serde::ArtifactKind::kShardPlan);
+  if (!reader.ok()) return reader.status();
+  return FromReader(std::move(*reader));
+}
+
+util::Result<ShardPlan> ShardPlan::LoadFromBuffer(
+    std::span<const uint8_t> data) {
+  auto reader = util::serde::Reader::FromBuffer(
+      data, util::serde::ArtifactKind::kShardPlan);
+  if (!reader.ok()) return reader.status();
+  return FromReader(std::move(*reader));
+}
+
+util::Result<ShardPlan> ShardPlan::FromReader(util::serde::Reader r) {
+  if (r.version() != kFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported shard plan format version " +
+        std::to_string(r.version()));
+  }
+  ShardPlan plan;
+
+  MBR_RETURN_IF_ERROR(r.EnterSection(kSecHeader));
+  uint32_t num_shards = 0;
+  uint64_t num_nodes = 0;
+  uint32_t strategy_raw = 0;
+  MBR_RETURN_IF_ERROR(r.ReadU32(&num_shards));
+  MBR_RETURN_IF_ERROR(r.ReadU64(&num_nodes));
+  MBR_RETURN_IF_ERROR(r.ReadU32(&plan.num_topics_));
+  MBR_RETURN_IF_ERROR(r.ReadU32(&strategy_raw));
+  MBR_RETURN_IF_ERROR(r.ReadU32(&plan.halo_depth_));
+  MBR_RETURN_IF_ERROR(r.ReadDouble(&plan.partitioning_.edge_cut));
+  MBR_RETURN_IF_ERROR(r.ReadDouble(&plan.partitioning_.balance));
+  MBR_RETURN_IF_ERROR(r.ExitSection());
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    return util::Status::InvalidArgument(
+        "shard count " + std::to_string(num_shards) +
+        " outside [1, " + std::to_string(kMaxShards) + "]");
+  }
+  if (num_nodes > kMaxNodes) {
+    return util::Status::InvalidArgument("node count " +
+                                         std::to_string(num_nodes) +
+                                         " exceeds bound");
+  }
+  if (strategy_raw >= kNumStrategies) {
+    return util::Status::InvalidArgument("unknown partition strategy " +
+                                         std::to_string(strategy_raw));
+  }
+  plan.strategy_ = static_cast<distributed::PartitionStrategy>(strategy_raw);
+  plan.partitioning_.num_partitions = num_shards;
+
+  MBR_RETURN_IF_ERROR(r.EnterSection(kSecAssignment));
+  MBR_RETURN_IF_ERROR(
+      r.ReadPodArray(&plan.partitioning_.part_of, num_nodes));
+  MBR_RETURN_IF_ERROR(r.ExitSection());
+  if (plan.partitioning_.part_of.size() != num_nodes) {
+    return util::Status::InvalidArgument(
+        "assignment length does not match declared node count");
+  }
+  for (uint32_t p : plan.partitioning_.part_of) {
+    if (p >= num_shards) {
+      return util::Status::InvalidArgument(
+          "assignment names shard " + std::to_string(p) + " of " +
+          std::to_string(num_shards));
+    }
+  }
+
+  MBR_RETURN_IF_ERROR(r.EnterSection(kSecEndpoints));
+  plan.endpoints_.resize(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    std::vector<uint8_t> host;
+    MBR_RETURN_IF_ERROR(r.ReadPodArray(&host, kMaxHostBytes));
+    if (host.empty()) {
+      return util::Status::InvalidArgument("empty endpoint host");
+    }
+    plan.endpoints_[i].host.assign(
+        reinterpret_cast<const char*>(host.data()), host.size());
+    MBR_RETURN_IF_ERROR(r.ReadU32(&plan.endpoints_[i].port));
+    if (plan.endpoints_[i].port > 65535) {
+      return util::Status::InvalidArgument(
+          "endpoint port " + std::to_string(plan.endpoints_[i].port) +
+          " outside [0, 65535]");
+    }
+  }
+  MBR_RETURN_IF_ERROR(r.ExitSection());
+  MBR_RETURN_IF_ERROR(r.ExpectEnd());
+  return plan;
+}
+
+}  // namespace mbr::coord

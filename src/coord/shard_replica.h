@@ -1,0 +1,73 @@
+#ifndef MBR_COORD_SHARD_REPLICA_H_
+#define MBR_COORD_SHARD_REPLICA_H_
+
+// Per-shard warm-start state of a partitioned deployment (DESIGN.md §6.7).
+//
+// A shard serves queries whose user it owns under the plan. To make the
+// shard-local exploration byte-identical to single-node, the shard keeps a
+// *halo subgraph*: the full node-id universe, but out-adjacency only for
+// nodes within `plan.halo_depth()` out-hops of an owned node. A depth-d
+// exploration from an owned user expands the out-edges of nodes at depth
+// < d, so halo_depth = d - 1 guarantees every edge the single-node scorer
+// would traverse exists in the halo — CSR adjacency is sorted by neighbor
+// id on both graphs, so OutNeighbors() of any halo-interior node is the
+// identical span of ids and labels. Extra reachable edges (the halo is an
+// over-approximation for multi-shard owners) are never traversed and
+// cannot perturb scores.
+//
+// Authority is global by definition (follower counts over the FULL graph,
+// §3.2), so the shard's AuthorityIndex is built from the full graph, not
+// the halo. The landmark index keeps the global landmark set and mask
+// (pruned exploration must stop at the same nodes everywhere) but stores
+// the inverted lists of locally-homed landmarks only — Restricted() copies
+// kept lists verbatim, so a shard's list is bit-identical to single-node.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coord/shard_plan.h"
+#include "core/authority.h"
+#include "graph/labeled_graph.h"
+#include "landmark/index.h"
+#include "service/query_engine.h"
+#include "topics/similarity_matrix.h"
+#include "util/status.h"
+
+namespace mbr::coord {
+
+// The halo subgraph of `shard`: same num_nodes/num_topics/node labels as
+// `full`, out-edges of every node within `halo_depth` out-hops of an
+// owned node (owned nodes themselves are depth 0).
+graph::LabeledGraph BuildHaloSubgraph(const graph::LabeledGraph& full,
+                                      const ShardPlan& plan, uint32_t shard,
+                                      uint32_t halo_depth);
+
+// Everything one `mbrec serve --shard <i>` process holds. Heap state is
+// owned through unique_ptrs so the context can be moved after the engine
+// has captured references into it.
+struct ShardContext {
+  uint32_t shard = 0;
+  uint32_t shards_total = 1;
+  std::vector<bool> owned;  // full node universe
+  std::unique_ptr<graph::LabeledGraph> subgraph;
+  std::unique_ptr<core::AuthorityIndex> authority;  // from the FULL graph
+  // Restricted landmark index (null for exact-mode shards).
+  std::unique_ptr<landmark::LandmarkIndex> index;
+  std::unique_ptr<service::QueryEngine> engine;
+};
+
+// Builds a shard's serving state from the full graph and the plan.
+// `global_index` may be null (exact-mode shard: the engine runs converged
+// scoring over the halo, which needs halo_depth >= params.max_depth - 1).
+// `sim` must outlive the returned context (the engine keeps a pointer);
+// `full` and `global_index` are only read during the build.
+util::Result<std::unique_ptr<ShardContext>> BuildShardContext(
+    const graph::LabeledGraph& full, const topics::SimilarityMatrix& sim,
+    const ShardPlan& plan, uint32_t shard,
+    const landmark::LandmarkIndex* global_index,
+    service::EngineConfig engine_config);
+
+}  // namespace mbr::coord
+
+#endif  // MBR_COORD_SHARD_REPLICA_H_

@@ -66,7 +66,7 @@ SimulatedCluster::SimulatedCluster(const graph::LabeledGraph& g,
   }
 }
 
-std::unordered_map<NodeId, double> SimulatedCluster::Query(
+const util::FlatMap<NodeId, double>& SimulatedCluster::Query(
     NodeId u, topics::TopicId t, QueryCost* cost) const {
   if (cost != nullptr) {
     *cost = QueryCost();
@@ -108,12 +108,12 @@ std::unordered_map<NodeId, double> SimulatedCluster::Query(
     }
     cost->partitions_touched = static_cast<uint32_t>(touched.size());
   }
-  return global_approx_->ApproximateScores(u, t);
+  return global_approx_->ScoresFlat(u, t);
 }
 
-std::unordered_map<NodeId, double> SimulatedCluster::LocalQuery(
+const util::FlatMap<NodeId, double>& SimulatedCluster::LocalQuery(
     NodeId u, topics::TopicId t) const {
-  return shards_[partitioning_.part_of[u]]->approx->ApproximateScores(u, t);
+  return shards_[partitioning_.part_of[u]]->approx->ScoresFlat(u, t);
 }
 
 }  // namespace mbr::distributed

@@ -18,7 +18,6 @@
 // cost. The bench compares both across partitioners.
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/authority.h"
@@ -27,6 +26,7 @@
 #include "landmark/approx.h"
 #include "landmark/index.h"
 #include "topics/similarity_matrix.h"
+#include "util/flat_map.h"
 
 namespace mbr::distributed {
 
@@ -49,14 +49,19 @@ class SimulatedCluster {
                    const landmark::ApproxConfig& config = {});
 
   // Full-fidelity distributed query: identical scores to the single-node
-  // ApproxRecommender, plus the network cost it would have incurred.
-  std::unordered_map<graph::NodeId, double> Query(graph::NodeId u,
-                                                  topics::TopicId t,
-                                                  QueryCost* cost) const;
+  // ApproxRecommender, plus the network cost it would have incurred. The
+  // returned table is owned by the underlying recommender and valid until
+  // the next Query() on this cluster (same single-caller contract as
+  // ApproxRecommender::ScoresFlat — no per-query heap allocation).
+  const util::FlatMap<graph::NodeId, double>& Query(graph::NodeId u,
+                                                    topics::TopicId t,
+                                                    QueryCost* cost) const;
 
   // Partition-local query: exploration cannot cross partitions and only
-  // local landmarks contribute. Zero network cost by construction.
-  std::unordered_map<graph::NodeId, double> LocalQuery(
+  // local landmarks contribute. Zero network cost by construction. The
+  // returned table is owned by u's shard and valid until the next
+  // LocalQuery() routed to that shard.
+  const util::FlatMap<graph::NodeId, double>& LocalQuery(
       graph::NodeId u, topics::TopicId t) const;
 
   uint32_t PartitionOf(graph::NodeId u) const {

@@ -1,5 +1,6 @@
 #include "landmark/approx.h"
 
+#include "landmark/compose.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/timer.h"
@@ -68,7 +69,7 @@ const util::FlatMap<graph::NodeId, double>& ApproxRecommender::ScoresFlat(
     for (const StoredRec& rec : index_.Recommendations(v, t)) {
       if (rec.node == u) continue;
       scores[rec.node] +=
-          sigma_ul * rec.topo_beta + topo_ab_ul * rec.sigma;
+          ComposeViaLandmark(sigma_ul, topo_ab_ul, rec.sigma, rec.topo_beta);
     }
   }
 
@@ -89,6 +90,39 @@ std::unordered_map<graph::NodeId, double> ApproxRecommender::ApproximateScores(
   out.reserve(flat.size() * 2);
   for (const auto& [v, s] : flat) out.emplace(v, s);
   return out;
+}
+
+util::Status ApproxRecommender::ExploreDecomposed(
+    const core::Query& q, std::vector<DecomposedRecord>* out) const {
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+  const graph::NodeId u = q.user;
+  const topics::TopicId t = q.topic;
+  const std::vector<bool>* pruned =
+      config_.prune_at_landmarks ? &index_.landmark_mask() : nullptr;
+  const core::ExplorationResult& res = [&]() -> decltype(auto) {
+    MBR_SPAN("landmark.bfs");
+    return scorer_.Explore(u, topics::TopicSet::Single(t), pruned);
+  }();
+  MBR_RETURN_IF_ERROR(CheckDeadline(q));
+
+  out->clear();
+  out->reserve(res.reached().size());
+  uint32_t landmarks_met = 0;
+  for (graph::NodeId v : res.reached()) {
+    if (v == u) continue;  // both combine-loop terms skip the query user
+    DecomposedRecord rec;
+    rec.node = v;
+    rec.sigma = res.Sigma(v, t);
+    rec.is_landmark = index_.IsLandmark(v);
+    if (rec.is_landmark) {
+      rec.topo_alphabeta = res.TopoAlphaBeta(v);
+      ++landmarks_met;
+    }
+    out->push_back(rec);
+  }
+  LandmarksConsultedHistogram()->Record(landmarks_met);
+  NodesReachedHistogram()->Record(res.reached().size());
+  return util::Status::Ok();
 }
 
 util::Result<core::Ranking> ApproxRecommender::Recommend(

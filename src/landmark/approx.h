@@ -66,6 +66,17 @@ struct QueryStats {
   double seconds = 0.0;
 };
 
+// One node of the decomposed exploration (coordinator tier, DESIGN.md
+// §6.7): the exact per-node quantities the combine loop consumes, in
+// first-reached order, so a remote merger can replay the ScoresFlat()
+// accumulation addition-for-addition.
+struct DecomposedRecord {
+  graph::NodeId node = 0;
+  bool is_landmark = false;
+  double sigma = 0.0;           // σ(u, node, t)
+  double topo_alphabeta = 0.0;  // topo_αβ(u, node); 0 for non-landmarks
+};
+
 // Thread affinity: an ApproxRecommender owns a core::Scorer and reused
 // score tables and inherits the scorer's single-caller contract — create
 // one instance per serving thread (service::QueryEngine does). The
@@ -104,6 +115,16 @@ class ApproxRecommender : public core::Recommender {
   // tables (evaluation harness, distributed simulation, tests).
   std::unordered_map<graph::NodeId, double> ApproximateScores(
       graph::NodeId u, topics::TopicId t, QueryStats* stats = nullptr) const;
+
+  // The home shard's half of the coordinator split: runs the same pruned
+  // exploration as ScoresFlat(q.user, q.topic) but exports the ordered
+  // per-node records instead of the merged table — the landmark list
+  // compositions are left to the caller (the router fills them in from
+  // shard-homed lists, see net::PartialReply). Honours q's deadline like
+  // Recommend(). The query user itself is never emitted (the combine loop
+  // skips it on both its terms).
+  util::Status ExploreDecomposed(const core::Query& q,
+                                 std::vector<DecomposedRecord>* out) const;
 
  private:
   const graph::LabeledGraph& g_;

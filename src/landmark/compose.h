@@ -1,0 +1,24 @@
+#ifndef MBR_LANDMARK_COMPOSE_H_
+#define MBR_LANDMARK_COMPOSE_H_
+
+// Proposition 4's single-landmark contribution:
+//
+//   σ̃_λ(u, v, t) = σ(u, λ, t) · topo_β(λ, v) + topo_{αβ}(u, λ) · σ(λ, v, t)
+//
+// Factored into one shared inline helper because the expression is
+// evaluated in two places that must agree bit-for-bit: the single-node
+// combine loop (landmark/approx.cc) and the coordinator's scatter-gather
+// merge (coord/router.cc), whose replies are pinned byte-identical by
+// tests/coord_differential_test.cc. One definition means one compiler
+// contraction choice, so the two translation units cannot drift.
+
+namespace mbr::landmark {
+
+inline double ComposeViaLandmark(double sigma_ul, double topo_ab_ul,
+                                 double rec_sigma, double rec_topo_beta) {
+  return sigma_ul * rec_topo_beta + topo_ab_ul * rec_sigma;
+}
+
+}  // namespace mbr::landmark
+
+#endif  // MBR_LANDMARK_COMPOSE_H_

@@ -7,9 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
+#include <thread>
 
 namespace mbr::net {
 
@@ -89,7 +92,46 @@ util::Status RecvExactly(int fd, uint8_t* out, size_t size,
 
 }  // namespace
 
+uint32_t BackoffDelayMs(const ClientConfig& config, uint32_t attempt) {
+  // Exponential doubling from the initial delay, saturating at the cap
+  // (the loop breaks on reaching it, so large attempt numbers can't
+  // overflow the doubling).
+  uint64_t base = config.backoff_initial_ms;
+  for (uint32_t i = 0; i < attempt && base < config.backoff_max_ms; ++i) {
+    base *= 2;
+  }
+  base = std::min<uint64_t>(base, config.backoff_max_ms);
+  if (config.backoff_jitter_ms > 0) {
+    // splitmix64-style mix of (seed, attempt): deterministic, spread.
+    uint64_t x = config.backoff_seed + 0x9e3779b97f4a7c15ULL * (attempt + 1);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    base += x % config.backoff_jitter_ms;
+  }
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(base, std::numeric_limits<uint32_t>::max()));
+}
+
 util::Result<Client> Client::Connect(const ClientConfig& config) {
+  const uint32_t attempts = std::max<uint32_t>(1, config.connect_attempts);
+  util::Status last = util::Status::Unavailable("no connect attempt made");
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffDelayMs(config, attempt - 1)));
+    }
+    auto client = ConnectOnce(config);
+    if (client.ok()) return client;
+    last = client.status();
+    // Only kUnavailable (refused/reset) is retryable; a bad address or a
+    // connect timeout will not improve with repetition.
+    if (last.code() != util::StatusCode::kUnavailable) return last;
+  }
+  return last;
+}
+
+util::Result<Client> Client::ConnectOnce(const ClientConfig& config) {
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return util::Status::IoError(Errno("socket"));
 
@@ -231,7 +273,7 @@ util::Result<ResultReply> Client::RecommendEx(const RecommendRequest& req) {
   ResultReply out;
   MBR_RETURN_IF_ERROR(DecodeResult(reply->payload, config_.limits,
                                    config_.protocol_version, &out.entries,
-                                   &out.graph_epoch));
+                                   &out.graph_epoch, &out.coord));
   return out;
 }
 
@@ -260,9 +302,10 @@ util::Result<std::vector<ResultReply>> Client::RecommendBatchEx(
   }
   std::vector<RankedList> lists;
   std::vector<uint64_t> epochs;
+  CoordTrailer coord;
   MBR_RETURN_IF_ERROR(DecodeResultBatch(reply->payload, config_.limits,
                                         config_.protocol_version, &lists,
-                                        &epochs));
+                                        &epochs, &coord));
   if (lists.size() != queries.size()) {
     return util::Status::Internal(
         "server answered " + std::to_string(lists.size()) + " lists for " +
@@ -272,7 +315,53 @@ util::Result<std::vector<ResultReply>> Client::RecommendBatchEx(
   for (size_t i = 0; i < lists.size(); ++i) {
     out[i].entries = std::move(lists[i]);
     out[i].graph_epoch = epochs[i];
+    out[i].coord = coord;  // per-frame trailer (see EncodeResultBatch)
   }
+  return out;
+}
+
+util::Result<PartialReply> Client::RecommendPartial(
+    const RecommendRequest& req) {
+  if (config_.protocol_version < 4) {
+    return util::Status::FailedPrecondition(
+        "RECOMMEND_PARTIAL requires protocol v4; this client speaks v" +
+        std::to_string(config_.protocol_version));
+  }
+  auto reply = RoundTrip(MessageKind::kRecommendPartial,
+                         EncodeRecommend(req, config_.protocol_version));
+  if (!reply.ok()) return reply.status();
+  if (reply->header.kind != MessageKind::kPartialResult) {
+    return util::Status::Internal(
+        std::string("unexpected reply kind ") +
+        MessageKindName(reply->header.kind));
+  }
+  PartialReply out;
+  MBR_RETURN_IF_ERROR(
+      DecodePartialReply(reply->payload, config_.limits, &out));
+  return out;
+}
+
+util::Result<LandmarkVectorsReply> Client::FetchLandmarks(
+    uint32_t topic, const std::vector<uint32_t>& landmarks) {
+  if (config_.protocol_version < 4) {
+    return util::Status::FailedPrecondition(
+        "LANDMARK_FETCH requires protocol v4; this client speaks v" +
+        std::to_string(config_.protocol_version));
+  }
+  LandmarkFetchRequest req;
+  req.topic = topic;
+  req.landmarks = landmarks;
+  auto reply =
+      RoundTrip(MessageKind::kLandmarkFetch, EncodeLandmarkFetch(req));
+  if (!reply.ok()) return reply.status();
+  if (reply->header.kind != MessageKind::kLandmarkVectors) {
+    return util::Status::Internal(
+        std::string("unexpected reply kind ") +
+        MessageKindName(reply->header.kind));
+  }
+  LandmarkVectorsReply out;
+  MBR_RETURN_IF_ERROR(
+      DecodeLandmarkVectors(reply->payload, config_.limits, &out));
   return out;
 }
 

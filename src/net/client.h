@@ -33,7 +33,25 @@ struct ClientConfig {
   // wire, no METRICS op); the server echoes whichever version we send.
   uint16_t protocol_version = kProtocolVersion;
   WireLimits limits;
+
+  // Connect retry policy: up to `connect_attempts` tries, re-attempted only
+  // on kUnavailable (refused/reset — the cases where a restarting server
+  // will come back). Other failures (bad address, timeout) surface
+  // immediately. Between attempt k and k+1 the client sleeps
+  // BackoffDelayMs(config, k): exponential doubling from
+  // backoff_initial_ms capped at backoff_max_ms, plus a deterministic
+  // jitter in [0, backoff_jitter_ms) derived from backoff_seed — bounded,
+  // reproducible, and unit-testable (tests/net_client_retry_test.cc).
+  uint32_t connect_attempts = 1;  // total attempts; 1 = no retry
+  uint32_t backoff_initial_ms = 50;
+  uint32_t backoff_max_ms = 2000;
+  uint32_t backoff_jitter_ms = 0;
+  uint64_t backoff_seed = 0x9e3779b97f4a7c15ULL;
 };
+
+// The delay slept after failed attempt `attempt` (0-based). Pure function
+// of the config — the schedule can be asserted exactly in tests.
+uint32_t BackoffDelayMs(const ClientConfig& config, uint32_t attempt);
 
 class Client {
  public:
@@ -53,7 +71,8 @@ class Client {
   // client speaks v2 (they are silently dropped at v1).
   util::Result<RankedList> Recommend(const RecommendRequest& req);
   // Like Recommend, but also surfaces the graph epoch the ranking was
-  // computed under (v3 field; 0 when the client speaks v1/v2).
+  // computed under (v3 field; 0 when the client speaks v1/v2) and the
+  // coordinator trailer (v4 field; defaults when speaking v1-v3).
   util::Result<ResultReply> RecommendEx(const RecommendRequest& req);
   // Order-preserving batched variant (one RECOMMEND_BATCH frame).
   util::Result<std::vector<RankedList>> RecommendBatch(
@@ -70,6 +89,14 @@ class Client {
   util::Result<MutateAck> Unfollow(
       const std::vector<MutationRecord>& records);
   util::Result<MutateAck> Relabel(const std::vector<MutationRecord>& records);
+  // Shard-scoped half of a coordinator query (v4+ only): the decomposed
+  // exploration records for req.user plus the inline stored lists of the
+  // landmarks homed on the answering shard.
+  util::Result<PartialReply> RecommendPartial(const RecommendRequest& req);
+  // Stored lists of the given landmarks for one topic (v4+ only). The
+  // answering shard returns lists only for landmarks it homes.
+  util::Result<LandmarkVectorsReply> FetchLandmarks(
+      uint32_t topic, const std::vector<uint32_t>& landmarks);
   util::Result<service::StatsSnapshot> Stats();
   // Prometheus text exposition of the server's registry (v2+ only).
   util::Result<std::string> Metrics();
@@ -84,6 +111,9 @@ class Client {
   };
 
   Client(int fd, const ClientConfig& config) : fd_(fd), config_(config) {}
+
+  // One TCP connect attempt (no retry).
+  static util::Result<Client> ConnectOnce(const ClientConfig& config);
 
   util::Result<Reply> RoundTrip(MessageKind kind,
                                 std::span<const uint8_t> payload);

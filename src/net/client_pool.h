@@ -1,0 +1,61 @@
+#ifndef MBR_NET_CLIENT_POOL_H_
+#define MBR_NET_CLIENT_POOL_H_
+
+// A small per-endpoint connection pool over net::Client.
+//
+// Client is deliberately single-request (one connection, one in-flight
+// round trip); the router fans one client query out to every shard from
+// whichever front-end thread owns it, so it needs a connection per
+// (shard, concurrent request). The pool keeps an idle stack per endpoint:
+// Checkout() pops an idle connection or dials a new one; Return() pushes
+// it back for reuse. A caller whose round trip failed drops the client
+// instead of returning it (the connection state is unknown after an I/O
+// error), so broken connections never get back into the pool — the next
+// Checkout redials, with Client's bounded backoff handling a restarting
+// shard.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/client.h"
+#include "util/status.h"
+
+namespace mbr::net {
+
+class ClientPool {
+ public:
+  // One ClientConfig per endpoint (host/port/timeouts/backoff). `max_idle`
+  // bounds the idle connections kept per endpoint; extra returns close.
+  ClientPool(std::vector<ClientConfig> endpoints, size_t max_idle = 4);
+
+  size_t num_endpoints() const { return endpoints_.size(); }
+  const ClientConfig& endpoint(size_t i) const { return endpoints_[i]; }
+
+  // An idle pooled connection to endpoint `i`, or a freshly dialed one.
+  // Connect failures surface as the Client::Connect status (kUnavailable
+  // after the configured retries for a down shard).
+  util::Result<std::unique_ptr<Client>> Checkout(size_t i);
+
+  // Returns a healthy connection for reuse. Only call after a successful
+  // round trip; on failure simply destroy the client instead.
+  void Return(size_t i, std::unique_ptr<Client> client);
+
+  // Drops all idle connections (e.g. after an endpoint table rewrite).
+  void Clear();
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::vector<std::unique_ptr<Client>> idle;
+  };
+
+  std::vector<ClientConfig> endpoints_;
+  size_t max_idle_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace mbr::net
+
+#endif  // MBR_NET_CLIENT_POOL_H_

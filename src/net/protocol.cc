@@ -24,6 +24,10 @@ const char* MessageKindName(MessageKind kind) {
       return "UNFOLLOW";
     case MessageKind::kRelabel:
       return "RELABEL";
+    case MessageKind::kRecommendPartial:
+      return "RECOMMEND_PARTIAL";
+    case MessageKind::kLandmarkFetch:
+      return "LANDMARK_FETCH";
     case MessageKind::kPong:
       return "PONG";
     case MessageKind::kResult:
@@ -42,6 +46,10 @@ const char* MessageKindName(MessageKind kind) {
       return "METRICS_RESULT";
     case MessageKind::kMutateAck:
       return "MUTATE_ACK";
+    case MessageKind::kPartialResult:
+      return "PARTIAL_RESULT";
+    case MessageKind::kLandmarkVectors:
+      return "LANDMARK_VECTORS";
   }
   return "UNKNOWN";
 }
@@ -57,6 +65,8 @@ bool IsRequestKind(MessageKind kind) {
     case MessageKind::kFollow:
     case MessageKind::kUnfollow:
     case MessageKind::kRelabel:
+    case MessageKind::kRecommendPartial:
+    case MessageKind::kLandmarkFetch:
       return true;
     default:
       return false;
@@ -74,6 +84,8 @@ bool IsReplyKind(MessageKind kind) {
     case MessageKind::kOverloaded:
     case MessageKind::kMetricsResult:
     case MessageKind::kMutateAck:
+    case MessageKind::kPartialResult:
+    case MessageKind::kLandmarkVectors:
       return true;
     default:
       return false;
@@ -333,32 +345,52 @@ util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
 }
 
 std::vector<uint8_t> EncodeResult(const RankedList& list, uint64_t graph_epoch,
-                                  uint16_t version) {
+                                  uint16_t version,
+                                  const CoordTrailer& coord) {
   PayloadWriter w;
   if (version >= 3) w.PutU64(graph_epoch);
   PutList(list, &w);
+  if (version >= 4) {
+    w.PutU8(coord.partial);
+    w.PutU16(coord.shards_answered);
+    w.PutU16(coord.shards_total);
+  }
   return w.Take();
 }
 
 util::Status DecodeResult(std::span<const uint8_t> payload,
                           const WireLimits& limits, uint16_t version,
-                          RankedList* out, uint64_t* graph_epoch) {
+                          RankedList* out, uint64_t* graph_epoch,
+                          CoordTrailer* coord) {
   PayloadReader r(payload);
   uint64_t epoch = 0;
   if (version >= 3) MBR_RETURN_IF_ERROR(r.ReadU64(&epoch));
   if (graph_epoch != nullptr) *graph_epoch = epoch;
   MBR_RETURN_IF_ERROR(ReadList(&r, limits, out));
+  CoordTrailer c;
+  if (version >= 4) {
+    MBR_RETURN_IF_ERROR(r.ReadU8(&c.partial));
+    MBR_RETURN_IF_ERROR(r.ReadU16(&c.shards_answered));
+    MBR_RETURN_IF_ERROR(r.ReadU16(&c.shards_total));
+  }
+  if (coord != nullptr) *coord = c;
   return r.ExpectEnd();
 }
 
 std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists,
                                        std::span<const uint64_t> epochs,
-                                       uint16_t version) {
+                                       uint16_t version,
+                                       const CoordTrailer& coord) {
   PayloadWriter w;
   w.PutU32(static_cast<uint32_t>(lists.size()));
   for (size_t i = 0; i < lists.size(); ++i) {
     if (version >= 3) w.PutU64(epochs.empty() ? 0 : epochs[i]);
     PutList(lists[i], &w);
+  }
+  if (version >= 4) {
+    w.PutU8(coord.partial);
+    w.PutU16(coord.shards_answered);
+    w.PutU16(coord.shards_total);
   }
   return w.Take();
 }
@@ -366,7 +398,8 @@ std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists,
 util::Status DecodeResultBatch(std::span<const uint8_t> payload,
                                const WireLimits& limits, uint16_t version,
                                std::vector<RankedList>* out,
-                               std::vector<uint64_t>* epochs) {
+                               std::vector<uint64_t>* epochs,
+                               CoordTrailer* coord) {
   PayloadReader r(payload);
   uint32_t n = 0;
   MBR_RETURN_IF_ERROR(r.ReadU32(&n));
@@ -392,6 +425,187 @@ util::Status DecodeResultBatch(std::span<const uint8_t> payload,
       if (epochs != nullptr) (*epochs)[i] = e;
     }
     MBR_RETURN_IF_ERROR(ReadList(&r, limits, &(*out)[i]));
+  }
+  CoordTrailer c;
+  if (version >= 4) {
+    MBR_RETURN_IF_ERROR(r.ReadU8(&c.partial));
+    MBR_RETURN_IF_ERROR(r.ReadU16(&c.shards_answered));
+    MBR_RETURN_IF_ERROR(r.ReadU16(&c.shards_total));
+  }
+  if (coord != nullptr) *coord = c;
+  return r.ExpectEnd();
+}
+
+namespace {
+
+// Wire sizes of the v4 shard payload pieces: a non-landmark record is
+// node:u32 + flags:u8 + sigma:f64, a landmark record appends topo_αβ:f64,
+// a landmark-list entry is node:u32 + sigma:f64 + topo_β:f64.
+constexpr size_t kPartialRecordMinBytes = 13;
+constexpr size_t kLandmarkEntryBytes = 20;
+
+void PutLandmarkList(const LandmarkList& list, PayloadWriter* w) {
+  w->PutU32(list.landmark);
+  w->PutU32(static_cast<uint32_t>(list.entries.size()));
+  for (const LandmarkEntry& e : list.entries) {
+    w->PutU32(e.node);
+    w->PutDouble(e.sigma);
+    w->PutDouble(e.topo_beta);
+  }
+}
+
+util::Status ReadLandmarkList(PayloadReader* r, const WireLimits& limits,
+                              LandmarkList* out) {
+  MBR_RETURN_IF_ERROR(r->ReadU32(&out->landmark));
+  uint32_t n = 0;
+  MBR_RETURN_IF_ERROR(r->ReadU32(&n));
+  if (n > limits.max_list) {
+    return util::Status::InvalidArgument(
+        "landmark list length " + std::to_string(n) + " exceeds bound " +
+        std::to_string(limits.max_list));
+  }
+  if (n > r->remaining() / kLandmarkEntryBytes) {
+    return util::Status::InvalidArgument(
+        "landmark list length exceeds remaining payload bytes");
+  }
+  out->entries.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    LandmarkEntry& e = out->entries[i];
+    MBR_RETURN_IF_ERROR(r->ReadU32(&e.node));
+    MBR_RETURN_IF_ERROR(r->ReadDouble(&e.sigma));
+    MBR_RETURN_IF_ERROR(r->ReadDouble(&e.topo_beta));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodePartialReply(const PartialReply& reply) {
+  PayloadWriter w;
+  w.PutU64(reply.graph_epoch);
+  w.PutU32(static_cast<uint32_t>(reply.records.size()));
+  for (const PartialRecord& rec : reply.records) {
+    w.PutU32(rec.node);
+    w.PutU8(rec.flags);
+    w.PutDouble(rec.sigma);
+    if (rec.flags & kPartialFlagLandmark) w.PutDouble(rec.topo_alphabeta);
+  }
+  w.PutU32(static_cast<uint32_t>(reply.lists.size()));
+  for (const LandmarkList& list : reply.lists) PutLandmarkList(list, &w);
+  return w.Take();
+}
+
+util::Status DecodePartialReply(std::span<const uint8_t> payload,
+                                const WireLimits& limits, PartialReply* out) {
+  PayloadReader r(payload);
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->graph_epoch));
+  uint32_t n = 0;
+  MBR_RETURN_IF_ERROR(r.ReadU32(&n));
+  if (n > limits.max_partial) {
+    return util::Status::InvalidArgument(
+        "partial record count " + std::to_string(n) + " exceeds bound " +
+        std::to_string(limits.max_partial));
+  }
+  if (n > r.remaining() / kPartialRecordMinBytes) {
+    return util::Status::InvalidArgument(
+        "partial record count exceeds remaining payload bytes");
+  }
+  out->records.resize(n);
+  uint32_t inline_lists = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    PartialRecord& rec = out->records[i];
+    MBR_RETURN_IF_ERROR(r.ReadU32(&rec.node));
+    MBR_RETURN_IF_ERROR(r.ReadU8(&rec.flags));
+    if (rec.flags &
+        ~static_cast<uint8_t>(kPartialFlagLandmark | kPartialFlagInline)) {
+      return util::Status::InvalidArgument("unknown partial record flags");
+    }
+    if ((rec.flags & kPartialFlagInline) &&
+        !(rec.flags & kPartialFlagLandmark)) {
+      return util::Status::InvalidArgument(
+          "inline flag on a non-landmark partial record");
+    }
+    MBR_RETURN_IF_ERROR(r.ReadDouble(&rec.sigma));
+    rec.topo_alphabeta = 0.0;
+    if (rec.flags & kPartialFlagLandmark) {
+      MBR_RETURN_IF_ERROR(r.ReadDouble(&rec.topo_alphabeta));
+    }
+    if (rec.flags & kPartialFlagInline) ++inline_lists;
+  }
+  uint32_t lists = 0;
+  MBR_RETURN_IF_ERROR(r.ReadU32(&lists));
+  if (lists != inline_lists) {
+    return util::Status::InvalidArgument(
+        "inline list count " + std::to_string(lists) +
+        " does not match flagged records (" + std::to_string(inline_lists) +
+        ")");
+  }
+  out->lists.resize(lists);
+  for (uint32_t i = 0; i < lists; ++i) {
+    MBR_RETURN_IF_ERROR(ReadLandmarkList(&r, limits, &out->lists[i]));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeLandmarkFetch(const LandmarkFetchRequest& req) {
+  PayloadWriter w;
+  w.PutU32(req.topic);
+  w.PutU32(static_cast<uint32_t>(req.landmarks.size()));
+  for (uint32_t id : req.landmarks) w.PutU32(id);
+  return w.Take();
+}
+
+util::Status DecodeLandmarkFetch(std::span<const uint8_t> payload,
+                                 const WireLimits& limits,
+                                 LandmarkFetchRequest* out) {
+  PayloadReader r(payload);
+  MBR_RETURN_IF_ERROR(r.ReadU32(&out->topic));
+  uint32_t n = 0;
+  MBR_RETURN_IF_ERROR(r.ReadU32(&n));
+  if (n == 0 || n > limits.max_list) {
+    return util::Status::InvalidArgument(
+        "landmark fetch count must be in [1, " +
+        std::to_string(limits.max_list) + "], got " + std::to_string(n));
+  }
+  if (n > r.remaining() / 4) {
+    return util::Status::InvalidArgument(
+        "landmark fetch count exceeds remaining payload bytes");
+  }
+  out->landmarks.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MBR_RETURN_IF_ERROR(r.ReadU32(&out->landmarks[i]));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeLandmarkVectors(const LandmarkVectorsReply& reply) {
+  PayloadWriter w;
+  w.PutU64(reply.graph_epoch);
+  w.PutU32(static_cast<uint32_t>(reply.lists.size()));
+  for (const LandmarkList& list : reply.lists) PutLandmarkList(list, &w);
+  return w.Take();
+}
+
+util::Status DecodeLandmarkVectors(std::span<const uint8_t> payload,
+                                   const WireLimits& limits,
+                                   LandmarkVectorsReply* out) {
+  PayloadReader r(payload);
+  MBR_RETURN_IF_ERROR(r.ReadU64(&out->graph_epoch));
+  uint32_t n = 0;
+  MBR_RETURN_IF_ERROR(r.ReadU32(&n));
+  if (n > limits.max_list) {
+    return util::Status::InvalidArgument(
+        "landmark vectors count " + std::to_string(n) + " exceeds bound " +
+        std::to_string(limits.max_list));
+  }
+  // Each list costs at least its 8-byte id+length prefix.
+  if (n > r.remaining() / 8) {
+    return util::Status::InvalidArgument(
+        "landmark vectors count exceeds remaining payload bytes");
+  }
+  out->lists.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MBR_RETURN_IF_ERROR(ReadLandmarkList(&r, limits, &out->lists[i]));
   }
   return r.ExpectEnd();
 }
@@ -473,6 +687,10 @@ std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s,
   w.PutDouble(s.p50_us);
   w.PutDouble(s.p90_us);
   w.PutDouble(s.p99_us);
+  if (version >= 4) {
+    w.PutU32(s.shards_total);
+    w.PutU32(s.shards_up);
+  }
   return w.Take();
 }
 
@@ -496,6 +714,12 @@ util::Status DecodeStats(std::span<const uint8_t> payload, uint16_t version,
   MBR_RETURN_IF_ERROR(r.ReadDouble(&out->p50_us));
   MBR_RETURN_IF_ERROR(r.ReadDouble(&out->p90_us));
   MBR_RETURN_IF_ERROR(r.ReadDouble(&out->p99_us));
+  out->shards_total = 0;
+  out->shards_up = 0;
+  if (version >= 4) {
+    MBR_RETURN_IF_ERROR(r.ReadU32(&out->shards_total));
+    MBR_RETURN_IF_ERROR(r.ReadU32(&out->shards_up));
+  }
   return r.ExpectEnd();
 }
 

@@ -35,12 +35,21 @@
 //        batch), and RESULT/RESULT_BATCH carry the graph epoch each ranking
 //        was computed under (per-list in the batch: two queries of one
 //        batch may legitimately observe different epochs).
+//   v4 — partitioned serving (DESIGN.md §6.7): shard-scoped
+//        RECOMMEND_PARTIAL answered by PARTIAL_RESULT (the home shard's
+//        exploration records plus the stored lists of locally-homed
+//        landmarks, per Prop. 4's decomposition), LANDMARK_FETCH answered
+//        by LANDMARK_VECTORS (stored lists by landmark id, so only
+//        landmark contributions cross shard boundaries), RESULT/
+//        RESULT_BATCH gain a coordinator trailer (partial flag +
+//        shards answered/total), and STATS gains the coordinator rollup
+//        (shards_total/shards_up).
 // Servers accept any version in [kMinProtocolVersion, kProtocolVersion],
 // decode payloads by the frame's declared version, and echo that version
-// on the reply — a v1 client keeps working against a v3 server. Versions
+// on the reply — a v1 client keeps working against a v4 server. Versions
 // outside the window get ERROR (UNSUPPORTED_VERSION) naming both; ops
-// newer than the frame's version (METRICS below v2, mutations below v3)
-// get ERROR (UNKNOWN_KIND).
+// newer than the frame's version (METRICS below v2, mutations below v3,
+// shard ops below v4) get ERROR (UNKNOWN_KIND).
 
 #include <cstdint>
 #include <cstring>
@@ -56,7 +65,7 @@ namespace mbr::net {
 
 // "MBW1" when the little-endian u32 is viewed as bytes.
 inline constexpr uint32_t kFrameMagic = 0x3157424DU;
-inline constexpr uint16_t kProtocolVersion = 3;
+inline constexpr uint16_t kProtocolVersion = 4;
 // Oldest version still decoded; replies are encoded with the request's
 // version so old clients never see fields they don't know.
 inline constexpr uint16_t kMinProtocolVersion = 1;
@@ -76,6 +85,13 @@ enum class MessageKind : uint16_t {
   kFollow = 7,
   kUnfollow = 8,
   kRelabel = 9,
+  // v4+: shard-scoped ops used by the coordinator tier (src/coord). A
+  // RECOMMEND_PARTIAL carries an ordinary RECOMMEND payload and asks the
+  // user's home shard for the Prop.-4 decomposition of the query instead
+  // of a merged ranking; LANDMARK_FETCH asks a shard for the stored lists
+  // of landmarks it homes.
+  kRecommendPartial = 10,
+  kLandmarkFetch = 11,
   // Replies.
   kPong = 64,
   kResult = 65,
@@ -86,6 +102,8 @@ enum class MessageKind : uint16_t {
   kOverloaded = 70,
   kMetricsResult = 71,  // v2+
   kMutateAck = 72,      // v3+
+  kPartialResult = 73,     // v4+
+  kLandmarkVectors = 74,   // v4+
 };
 
 const char* MessageKindName(MessageKind kind);
@@ -103,6 +121,7 @@ struct WireLimits {
   uint32_t max_error_msg = 1024;          // bytes of ERROR message text
   uint32_t max_exclude = 4096;            // v2: ids per exclusion list
   uint32_t max_mutations = 4096;          // v3: records per mutation frame
+  uint32_t max_partial = 1u << 16;        // v4: records per PARTIAL_RESULT
 };
 
 struct FrameHeader {
@@ -140,6 +159,7 @@ util::Status VerifyPayloadCrc(const FrameHeader& header,
 
 class PayloadWriter {
  public:
+  void PutU8(uint8_t v) { PutPod(v); }
   void PutU16(uint16_t v) { PutPod(v); }
   void PutU32(uint32_t v) { PutPod(v); }
   void PutU64(uint64_t v) { PutPod(v); }
@@ -161,6 +181,7 @@ class PayloadReader {
  public:
   explicit PayloadReader(std::span<const uint8_t> data) : data_(data) {}
 
+  util::Status ReadU8(uint8_t* out) { return ReadPod(out); }
   util::Status ReadU16(uint16_t* out) { return ReadPod(out); }
   util::Status ReadU32(uint32_t* out) { return ReadPod(out); }
   util::Status ReadU64(uint64_t* out) { return ReadPod(out); }
@@ -208,11 +229,25 @@ inline constexpr size_t kResultEntryBytes = 12;
 
 using RankedList = std::vector<util::ScoredId>;
 
+// v4 coordinator trailer on RESULT / RESULT_BATCH: whether the reply was
+// degraded to a partial merge (a shard was down/overloaded/late) and how
+// many shards answered. The defaults describe a single-node reply, which
+// is exactly what a plain server stamps when a v4 client asks it directly.
+struct CoordTrailer {
+  uint8_t partial = 0;
+  uint16_t shards_answered = 1;
+  uint16_t shards_total = 1;
+};
+// Wire size of the trailer (partial:u8 + answered:u16 + total:u16).
+inline constexpr size_t kCoordTrailerBytes = 5;
+
 // A decoded RESULT: the ranked list plus the graph epoch it was computed
-// under (v3 field; 0 when decoded at v1/v2).
+// under (v3 field; 0 when decoded at v1/v2) and the coordinator trailer
+// (v4 field; defaults when decoded at v1–v3).
 struct ResultReply {
   RankedList entries;
   uint64_t graph_epoch = 0;
+  CoordTrailer coord;
 };
 
 // Error codes carried in ERROR replies; a superset mapping of
@@ -251,23 +286,97 @@ util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
                                   std::vector<RecommendRequest>* out);
 
 // RESULT / RESULT_BATCH are version-gated: v3 prepends the graph epoch the
-// ranking was computed under (per-list in the batch). Encoding at v1/v2
-// drops the epoch; decoding fills 0 for it.
+// ranking was computed under (per-list in the batch), v4 appends the
+// coordinator trailer after the list(s). Encoding at v1/v2 drops the
+// epoch; decoding fills 0 for it (and defaults for the trailer below v4).
 std::vector<uint8_t> EncodeResult(const RankedList& list,
                                   uint64_t graph_epoch = 0,
-                                  uint16_t version = kProtocolVersion);
+                                  uint16_t version = kProtocolVersion,
+                                  const CoordTrailer& coord = {});
 util::Status DecodeResult(std::span<const uint8_t> payload,
                           const WireLimits& limits, uint16_t version,
-                          RankedList* out, uint64_t* graph_epoch = nullptr);
+                          RankedList* out, uint64_t* graph_epoch = nullptr,
+                          CoordTrailer* coord = nullptr);
 
-// `epochs` must be empty (all zero) or parallel to `lists`.
+// `epochs` must be empty (all zero) or parallel to `lists`. The trailer is
+// per-frame: one batch that was partially merged marks the whole frame.
 std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists,
                                        std::span<const uint64_t> epochs = {},
-                                       uint16_t version = kProtocolVersion);
+                                       uint16_t version = kProtocolVersion,
+                                       const CoordTrailer& coord = {});
 util::Status DecodeResultBatch(std::span<const uint8_t> payload,
                                const WireLimits& limits, uint16_t version,
                                std::vector<RankedList>* out,
-                               std::vector<uint64_t>* epochs = nullptr);
+                               std::vector<uint64_t>* epochs = nullptr,
+                               CoordTrailer* coord = nullptr);
+
+// ---------------------------------------------------------------------------
+// v4 shard payloads (coordinator tier, DESIGN.md §6.7).
+//
+// A RECOMMEND_PARTIAL request reuses the RECOMMEND payload (user / topic /
+// top_n / deadline / exclude; the shard only interprets user, topic and
+// deadline — ranking policy stays on the router). The PARTIAL_RESULT reply
+// is the home shard's half of Prop. 4: every node reached by the pruned
+// depth-limited exploration, in first-reached order, with its σ(u,v,t)
+// (and topo_αβ(u,v) when v is a landmark), plus the stored recommendation
+// lists of the landmarks met that this shard homes, inlined in record
+// order. Landmarks met but homed elsewhere carry no list — the router
+// fetches those via LANDMARK_FETCH from their home shards. Replaying the
+// records (and lists) in wire order reproduces the single-node combine
+// loop addition-for-addition, which is what makes routed replies
+// byte-identical to single-node ones.
+
+// PartialRecord.flags bits.
+inline constexpr uint8_t kPartialFlagLandmark = 1;  // node is a landmark
+inline constexpr uint8_t kPartialFlagInline = 2;    // its list is inlined
+
+struct PartialRecord {
+  uint32_t node = 0;
+  uint8_t flags = 0;
+  double sigma = 0.0;          // σ(u, node, t)
+  double topo_alphabeta = 0.0; // topo_αβ(u, node); only sent for landmarks
+};
+
+// One stored landmark list: entries mirror landmark::StoredRec order.
+struct LandmarkEntry {
+  uint32_t node = 0;
+  double sigma = 0.0;      // σ(λ, node, t)
+  double topo_beta = 0.0;  // topo_β(λ, node)
+};
+struct LandmarkList {
+  uint32_t landmark = 0;
+  std::vector<LandmarkEntry> entries;
+};
+
+struct PartialReply {
+  uint64_t graph_epoch = 0;
+  std::vector<PartialRecord> records;  // first-reached order
+  std::vector<LandmarkList> lists;     // inline lists, record order
+};
+
+struct LandmarkFetchRequest {
+  uint32_t topic = 0;
+  std::vector<uint32_t> landmarks;
+};
+
+struct LandmarkVectorsReply {
+  uint64_t graph_epoch = 0;
+  std::vector<LandmarkList> lists;  // requested-id order
+};
+
+std::vector<uint8_t> EncodePartialReply(const PartialReply& reply);
+util::Status DecodePartialReply(std::span<const uint8_t> payload,
+                                const WireLimits& limits, PartialReply* out);
+
+std::vector<uint8_t> EncodeLandmarkFetch(const LandmarkFetchRequest& req);
+util::Status DecodeLandmarkFetch(std::span<const uint8_t> payload,
+                                 const WireLimits& limits,
+                                 LandmarkFetchRequest* out);
+
+std::vector<uint8_t> EncodeLandmarkVectors(const LandmarkVectorsReply& reply);
+util::Status DecodeLandmarkVectors(std::span<const uint8_t> payload,
+                                   const WireLimits& limits,
+                                   LandmarkVectorsReply* out);
 
 // ---------------------------------------------------------------------------
 // v3 mutation payloads.
@@ -298,7 +407,8 @@ util::Status DecodeMutation(std::span<const uint8_t> payload,
 std::vector<uint8_t> EncodeMutateAck(const MutateAck& ack);
 util::Status DecodeMutateAck(std::span<const uint8_t> payload, MutateAck* out);
 
-// STATS is version-gated: v2 appends deadline_exceeded.
+// STATS is version-gated: v2 appends deadline_exceeded, v4 appends the
+// coordinator rollup (shards_total / shards_up).
 std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s,
                                  uint16_t version = kProtocolVersion);
 util::Status DecodeStats(std::span<const uint8_t> payload, uint16_t version,

@@ -62,6 +62,10 @@ Server::Server(service::QueryEngine& engine, const ServerConfig& config)
       "mbr_net_request_latency_us",
       "Dispatcher latency per request in microseconds, by op.",
       {{"op", "mutate"}});
+  metrics_.partial_latency_us = registry_->GetHistogram(
+      "mbr_net_request_latency_us",
+      "Dispatcher latency per request in microseconds, by op.",
+      {{"op", "recommend_partial"}});
 }
 
 Server::~Server() {
@@ -144,6 +148,10 @@ void Server::Wait() {
 
 service::StatsSnapshot Server::StatsNow() const {
   service::StatsSnapshot s = service::MakeStatsSnapshot(engine_->Stats());
+  // A leaf server is its own one-shard "deployment"; the router overwrites
+  // these with the real rollup in its STATS path.
+  s.shards_total = 1;
+  s.shards_up = 1;
   s.shed_overload = metrics_.shed_overload->Value();
   s.shed_deadline = metrics_.shed_deadline->Value();
   s.connections_accepted = metrics_.accepted->Value();
@@ -384,6 +392,83 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
         return;
       }
       break;  // work requests, handled below
+    case MessageKind::kRecommendPartial:
+      // v4+ shard op; only a shard-configured server knows which users it
+      // homes and which stored lists to inline.
+      if (h.version < 4) {
+        QueueError(conn, h.request_id, h.version, WireError::kUnknownKind,
+                   "shard ops require protocol v4");
+        return;
+      }
+      if (config_.shard_owned == nullptr || config_.shard_index == nullptr) {
+        QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
+                   "RECOMMEND_PARTIAL requires a shard-configured server");
+        return;
+      }
+      break;  // work request, handled below
+    case MessageKind::kLandmarkFetch: {
+      // v4+ shard op, answered inline on the event loop: shard serving is
+      // read-only, so the restricted index and the epoch are stable and
+      // the reply is a straight copy of stored lists.
+      if (h.version < 4) {
+        QueueError(conn, h.request_id, h.version, WireError::kUnknownKind,
+                   "shard ops require protocol v4");
+        return;
+      }
+      if (config_.shard_owned == nullptr || config_.shard_index == nullptr) {
+        QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
+                   "LANDMARK_FETCH requires a shard-configured server");
+        return;
+      }
+      LandmarkFetchRequest fetch;
+      if (util::Status st =
+              DecodeLandmarkFetch(frame.payload, config_.limits, &fetch);
+          !st.ok()) {
+        QueueError(conn, h.request_id, h.version, WireError::kBadFrame,
+                   st.message());
+        return;
+      }
+      if (fetch.topic >= engine_->num_topics()) {
+        QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
+                   "topic " + std::to_string(fetch.topic) + " out of range");
+        return;
+      }
+      LandmarkVectorsReply vectors;
+      vectors.graph_epoch = engine_->params_epoch();
+      for (uint32_t lm : fetch.landmarks) {
+        if (lm >= config_.shard_owned->size() ||
+            !config_.shard_index->IsLandmark(lm)) {
+          QueueError(conn, h.request_id, h.version,
+                     WireError::kInvalidArgument,
+                     "node " + std::to_string(lm) + " is not a landmark");
+          return;
+        }
+        // Landmarks homed elsewhere are silently skipped: the reply names
+        // each list, so the router sees exactly which it got.
+        if (!(*config_.shard_owned)[lm]) continue;
+        LandmarkList list;
+        list.landmark = lm;
+        const std::vector<landmark::StoredRec>& stored =
+            config_.shard_index->Recommendations(
+                lm, static_cast<topics::TopicId>(fetch.topic));
+        list.entries.reserve(stored.size());
+        for (const landmark::StoredRec& rec : stored) {
+          list.entries.push_back({rec.node, rec.sigma, rec.topo_beta});
+        }
+        vectors.lists.push_back(std::move(list));
+      }
+      std::vector<uint8_t> payload = EncodeLandmarkVectors(vectors);
+      if (payload.size() > config_.limits.max_payload_bytes) {
+        QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
+                   "landmark vectors reply would exceed the frame cap");
+        return;
+      }
+      if (!conn->QueueReply(MessageKind::kLandmarkVectors, h.request_id,
+                            payload, h.version)) {
+        CloseConnection(conn->fd());
+      }
+      return;
+    }
     case MessageKind::kRecommend:
     case MessageKind::kRecommendBatch:
       break;  // work requests, handled below
@@ -463,7 +548,8 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
     return;
   }
   std::vector<RecommendRequest> decoded;
-  if (h.kind == MessageKind::kRecommend) {
+  if (h.kind == MessageKind::kRecommend ||
+      h.kind == MessageKind::kRecommendPartial) {
     RecommendRequest r;
     if (util::Status st =
             DecodeRecommend(frame.payload, config_.limits, h.version, &r);
@@ -484,19 +570,24 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
   }
   // A reply the client's own frame cap would reject must never be
   // produced: bound the worst-case result payload up front. At v3 every
-  // list additionally carries its 8-byte graph epoch.
-  const size_t per_list_overhead = h.version >= 3 ? 12 : 4;
-  size_t reply_bytes = 4;  // list-count prefix
-  for (const RecommendRequest& r : decoded) {
-    reply_bytes +=
-        per_list_overhead + static_cast<size_t>(r.top_n) * kResultEntryBytes;
-  }
-  if (reply_bytes > config_.limits.max_payload_bytes) {
-    QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
-               "reply would exceed the " +
-                   std::to_string(config_.limits.max_payload_bytes) +
-                   "-byte frame payload cap");
-    return;
+  // list additionally carries its 8-byte graph epoch; at v4 the frame
+  // carries one coordinator trailer. A PARTIAL reply's size depends on
+  // the exploration, not top_n — it is bounded after execution instead.
+  if (h.kind != MessageKind::kRecommendPartial) {
+    const size_t per_list_overhead = h.version >= 3 ? 12 : 4;
+    size_t reply_bytes = 4;  // list-count prefix
+    if (h.version >= 4) reply_bytes += kCoordTrailerBytes;
+    for (const RecommendRequest& r : decoded) {
+      reply_bytes += per_list_overhead +
+                     static_cast<size_t>(r.top_n) * kResultEntryBytes;
+    }
+    if (reply_bytes > config_.limits.max_payload_bytes) {
+      QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
+                 "reply would exceed the " +
+                     std::to_string(config_.limits.max_payload_bytes) +
+                     "-byte frame payload cap");
+      return;
+    }
   }
   const uint32_t num_nodes = engine_->num_nodes();
   const uint32_t num_topics = engine_->num_topics();
@@ -530,6 +621,15 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
     q.exclude = std::move(r.exclude);
     if (req.has_deadline) q.deadline = req.deadline;
     req.queries.push_back(std::move(q));
+  }
+  // A partial exploration only makes sense on the user's home shard — the
+  // halo guarantees byte-identity for owned users and nothing else.
+  if (h.kind == MessageKind::kRecommendPartial &&
+      !(*config_.shard_owned)[req.queries.front().user]) {
+    QueueError(conn, h.request_id, h.version, WireError::kInvalidArgument,
+               "user " + std::to_string(req.queries.front().user) +
+                   " is not homed on shard " + std::to_string(config_.shard));
+    return;
   }
 
   // Admission control: bounded in-flight, explicit shed beyond it.
@@ -702,6 +802,76 @@ void Server::DispatchLoop() {
       AppendFrame(MessageKind::kMutateAck, req.request_id, payload, &frame,
                   req.version);
       metrics_.mutate_latency_us->Record(
+          static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
+    } else if (req.kind == MessageKind::kRecommendPartial) {
+      util::WallTimer timer;
+      const service::Query& q = req.queries.front();
+      util::Result<service::QueryEngine::PartialExploration> partial =
+          engine_->ExplorePartial(q);
+      if (!partial.ok()) {
+        const util::StatusCode code = partial.status().code();
+        const WireError wire =
+            code == util::StatusCode::kDeadlineExceeded
+                ? WireError::kDeadlineExceeded
+                : code == util::StatusCode::kInvalidArgument
+                      ? WireError::kInvalidArgument
+                      : WireError::kInternal;
+        std::vector<uint8_t> payload =
+            EncodeError({wire, partial.status().message()});
+        AppendFrame(MessageKind::kError, req.request_id, payload, &frame,
+                    req.version);
+      } else {
+        PartialReply reply;
+        reply.graph_epoch = partial->graph_epoch;
+        reply.records.reserve(partial->records.size());
+        for (const landmark::DecomposedRecord& dr : partial->records) {
+          PartialRecord pr;
+          pr.node = dr.node;
+          pr.sigma = dr.sigma;
+          if (dr.is_landmark) {
+            pr.flags |= kPartialFlagLandmark;
+            pr.topo_alphabeta = dr.topo_alphabeta;
+            if ((*config_.shard_owned)[dr.node]) {
+              // Locally-homed landmark: ship its stored list inline so the
+              // router's common case needs no second round trip.
+              pr.flags |= kPartialFlagInline;
+              LandmarkList list;
+              list.landmark = dr.node;
+              const std::vector<landmark::StoredRec>& stored =
+                  config_.shard_index->Recommendations(dr.node, q.topic);
+              list.entries.reserve(stored.size());
+              for (const landmark::StoredRec& rec : stored) {
+                list.entries.push_back({rec.node, rec.sigma, rec.topo_beta});
+              }
+              reply.lists.push_back(std::move(list));
+            }
+          }
+          reply.records.push_back(pr);
+        }
+        if (reply.records.size() > config_.limits.max_partial) {
+          std::vector<uint8_t> payload = EncodeError(
+              {WireError::kInvalidArgument,
+               "exploration reached " + std::to_string(reply.records.size()) +
+                   " nodes, over the " +
+                   std::to_string(config_.limits.max_partial) +
+                   "-record partial cap"});
+          AppendFrame(MessageKind::kError, req.request_id, payload, &frame,
+                      req.version);
+        } else {
+          std::vector<uint8_t> payload = EncodePartialReply(reply);
+          if (payload.size() > config_.limits.max_payload_bytes) {
+            payload = EncodeError(
+                {WireError::kInvalidArgument,
+                 "partial reply would exceed the frame payload cap"});
+            AppendFrame(MessageKind::kError, req.request_id, payload, &frame,
+                        req.version);
+          } else {
+            AppendFrame(MessageKind::kPartialResult, req.request_id, payload,
+                        &frame, req.version);
+          }
+        }
+      }
+      metrics_.partial_latency_us->Record(
           static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
     } else {
       util::WallTimer timer;

@@ -75,6 +75,20 @@ struct ServerConfig {
   // ERROR(INVALID_ARGUMENT) and never touch the graph. Must outlive the
   // server.
   service::MutationApplier* applier = nullptr;
+  // Shard serving (coordinator tier, DESIGN.md §6.7). When `shard_owned`
+  // and `shard_index` are both set the server answers the v4 shard ops:
+  // RECOMMEND_PARTIAL for users it owns (decomposed exploration records
+  // plus the inline stored lists of locally-homed landmarks) and
+  // LANDMARK_FETCH for the stored lists of landmarks it homes.
+  // `shard_index` is the per-shard restricted index the engine serves
+  // from; both must outlive the server. Shard serving is read-only
+  // (`applier` must stay null), so the index and epoch are stable and the
+  // fetch path needs no locking. Null = single-node serving; shard ops
+  // answer ERROR(INVALID_ARGUMENT).
+  const std::vector<bool>* shard_owned = nullptr;
+  const landmark::LandmarkIndex* shard_index = nullptr;
+  uint32_t shard = 0;
+  uint32_t shards_total = 1;
 };
 
 // Snapshot of the server's registry-backed counters (see also
@@ -173,6 +187,7 @@ class Server {
     obs::Histogram* recommend_latency_us = nullptr;
     obs::Histogram* batch_latency_us = nullptr;
     obs::Histogram* mutate_latency_us = nullptr;
+    obs::Histogram* partial_latency_us = nullptr;
   };
 
   service::QueryEngine* engine_;

@@ -247,6 +247,47 @@ std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
   return results;
 }
 
+util::Result<QueryEngine::PartialExploration> QueryEngine::ExplorePartial(
+    const core::Query& q) {
+  metrics_.queries->Increment();
+  metrics_.cache_misses->Increment();  // always scored, never cached
+  util::Result<PartialExploration> result(
+      util::Status::Internal("unanswered"));
+  std::latch done(1);
+  pool_.Submit([this, &q, &result, &done](uint32_t wid) {
+    {
+      std::shared_lock<std::shared_mutex> lock(rebind_mu_);
+      result = [&]() -> util::Result<PartialExploration> {
+        if (!(q.user < g_->num_nodes()) || !(q.topic < g_->num_topics())) {
+          return util::Status::InvalidArgument("query out of graph bounds");
+        }
+        Worker& w = workers_[wid];
+        if (w.approx == nullptr) {
+          return util::Status::InvalidArgument(
+              "partial exploration requires a landmark engine");
+        }
+        util::WallTimer timer;
+        PartialExploration p;
+        // Same lock hold as the exploration: the epoch names the graph
+        // generation the records were computed against.
+        p.graph_epoch = epoch_.load(std::memory_order_acquire);
+        util::Status st = w.approx->ExploreDecomposed(q, &p.records);
+        RecordLatencySeconds(timer.ElapsedSeconds());
+        if (!st.ok()) {
+          if (st.code() == util::StatusCode::kDeadlineExceeded) {
+            metrics_.deadline_exceeded->Increment();
+          }
+          return st;
+        }
+        return p;
+      }();
+    }
+    done.count_down();
+  });
+  done.wait();
+  return result;
+}
+
 uint32_t QueryEngine::num_nodes() const {
   std::shared_lock<std::shared_mutex> lock(rebind_mu_);
   return g_->num_nodes();

@@ -149,6 +149,19 @@ class QueryEngine {
   std::vector<util::Result<core::Ranking>> RecommendMany(
       std::span<const core::Query> queries);
 
+  // The home shard's half of a coordinator query (DESIGN.md §6.7): the
+  // pruned decomposed exploration of Algorithm 2, run on a pool worker
+  // under the rebind lock and stamped with the epoch observed under the
+  // same hold. Only landmark engines serve it (exact engines answer
+  // kInvalidArgument); out-of-bounds queries answer kInvalidArgument
+  // rather than aborting, since the op arrives over the wire. Bypasses
+  // the result cache — partial records are merged remotely. Thread-safe.
+  struct PartialExploration {
+    uint64_t graph_epoch = 0;
+    std::vector<landmark::DecomposedRecord> records;
+  };
+  util::Result<PartialExploration> ExplorePartial(const core::Query& q);
+
   // Convenience over Recommend() for in-process callers with no deadline
   // or exclusions (CLI, tests, benchmarks): the ranked entries, or the
   // error Recommend() reported (deadline expiry, admission failures).

@@ -36,6 +36,11 @@ struct StatsSnapshot {
   double p50_us = 0.0;
   double p90_us = 0.0;
   double p99_us = 0.0;
+  // Coordinator rollup (protocol v4): a coord::Router answers STATS with
+  // the sum of its shards' snapshots plus these; single-node replicas
+  // leave them zero.
+  uint32_t shards_total = 0;
+  uint32_t shards_up = 0;
 
   double HitRate() const {
     uint64_t total = cache_hits + cache_misses;

@@ -57,6 +57,7 @@ inline constexpr uint64_t kContainerMagic = 0x3144524553524d42ULL;
 enum class ArtifactKind : uint32_t {
   kLandmarkIndex = 1,
   kGraphSnapshot = 2,
+  kShardPlan = 3,
 };
 
 // Builds a container in memory: header, then sections in call order. Usage:

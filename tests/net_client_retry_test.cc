@@ -1,0 +1,108 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace mbr::net {
+namespace {
+
+ClientConfig Config(uint32_t initial, uint32_t max, uint32_t jitter = 0,
+                    uint64_t seed = 1) {
+  ClientConfig c;
+  c.backoff_initial_ms = initial;
+  c.backoff_max_ms = max;
+  c.backoff_jitter_ms = jitter;
+  c.backoff_seed = seed;
+  return c;
+}
+
+TEST(BackoffScheduleTest, DoublesFromInitial) {
+  ClientConfig c = Config(50, 100000);
+  EXPECT_EQ(BackoffDelayMs(c, 0), 50u);
+  EXPECT_EQ(BackoffDelayMs(c, 1), 100u);
+  EXPECT_EQ(BackoffDelayMs(c, 2), 200u);
+  EXPECT_EQ(BackoffDelayMs(c, 3), 400u);
+  EXPECT_EQ(BackoffDelayMs(c, 4), 800u);
+}
+
+TEST(BackoffScheduleTest, SaturatesAtMax) {
+  ClientConfig c = Config(50, 2000);
+  EXPECT_EQ(BackoffDelayMs(c, 5), 1600u);
+  EXPECT_EQ(BackoffDelayMs(c, 6), 2000u);  // 3200 capped
+  EXPECT_EQ(BackoffDelayMs(c, 7), 2000u);
+  EXPECT_EQ(BackoffDelayMs(c, 1000), 2000u);  // huge attempt: no overflow
+}
+
+TEST(BackoffScheduleTest, MaxBelowInitialClampsToMax) {
+  ClientConfig c = Config(500, 100);
+  EXPECT_EQ(BackoffDelayMs(c, 0), 100u);
+  EXPECT_EQ(BackoffDelayMs(c, 3), 100u);
+}
+
+TEST(BackoffScheduleTest, JitterIsBoundedAndDeterministic) {
+  ClientConfig c = Config(100, 10000, /*jitter=*/50, /*seed=*/42);
+  for (uint32_t attempt = 0; attempt < 8; ++attempt) {
+    const uint32_t base = BackoffDelayMs(Config(100, 10000), attempt);
+    const uint32_t jittered = BackoffDelayMs(c, attempt);
+    EXPECT_GE(jittered, base) << "attempt " << attempt;
+    EXPECT_LT(jittered, base + 50) << "attempt " << attempt;
+    // Deterministic: same config -> same delay.
+    EXPECT_EQ(jittered, BackoffDelayMs(c, attempt));
+  }
+}
+
+TEST(BackoffScheduleTest, JitterVariesAcrossAttemptsAndSeeds) {
+  ClientConfig c = Config(100, 100, /*jitter=*/1000, /*seed=*/7);
+  std::set<uint32_t> delays;
+  for (uint32_t attempt = 0; attempt < 16; ++attempt) {
+    delays.insert(BackoffDelayMs(c, attempt));
+  }
+  // With the base pinned at 100, distinct delays mean the jitter actually
+  // decorrelates attempts (prevents synchronized reconnect stampedes).
+  EXPECT_GT(delays.size(), 8u);
+
+  ClientConfig other = Config(100, 100, /*jitter=*/1000, /*seed=*/8);
+  bool any_differ = false;
+  for (uint32_t attempt = 0; attempt < 16; ++attempt) {
+    any_differ |= BackoffDelayMs(c, attempt) != BackoffDelayMs(other, attempt);
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(ClientRetryTest, RetriesRefusedConnectionThenGivesUp) {
+  // Port 1 on loopback: connect is refused immediately (kUnavailable), so
+  // the retry loop runs all attempts, sleeping the (tiny) schedule.
+  ClientConfig c = Config(/*initial=*/1, /*max=*/2);
+  c.host = "127.0.0.1";
+  c.port = 1;
+  c.connect_attempts = 3;
+  c.connect_timeout_ms = 500;
+  const auto start = std::chrono::steady_clock::now();
+  auto client = Client::Connect(c);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), util::StatusCode::kUnavailable);
+  // Two retry sleeps (1ms + 2ms) must have happened; allow generous slack.
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(3));
+}
+
+TEST(ClientRetryTest, NonRetryableErrorFailsFast) {
+  ClientConfig c = Config(/*initial=*/1000, /*max=*/1000);
+  c.host = "not an address";
+  c.port = 1;
+  c.connect_attempts = 5;
+  const auto start = std::chrono::steady_clock::now();
+  auto client = Client::Connect(c);
+  ASSERT_FALSE(client.ok());
+  EXPECT_NE(client.status().code(), util::StatusCode::kUnavailable);
+  // No 1-second backoff sleeps: the bad address is not retried.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(900));
+}
+
+}  // namespace
+}  // namespace mbr::net

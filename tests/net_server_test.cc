@@ -247,11 +247,14 @@ TEST_F(NetServerTest, ClientDeadlineShedsQueuedRequests) {
 
   bool deadline_seen = false;
   for (int round = 0; round < 50 && !deadline_seen; ++round) {
+    // Snapshot before spawning: if the batch lands (and is counted) before
+    // the snapshot, `requests <= admitted` holds forever and the wait below
+    // never exits — an easy reordering on a single hardware thread.
+    const uint64_t admitted = server_->counters().requests;
     std::thread batch_thread([&busy, &big] {
       auto r = busy->RecommendBatch(big);
       EXPECT_TRUE(r.ok()) << r.status().ToString();
     });
-    const uint64_t admitted = server_->counters().requests;
     while (server_->counters().requests <= admitted) {
       std::this_thread::yield();
     }

@@ -1,10 +1,10 @@
 // Corruption-injection harness for the persistence layer (the tentpole
-// guarantee of the serde work): for BOTH artifact kinds — landmark index
-// and graph snapshot — every single-bit flip at every byte offset and
-// every possible truncation must come back as a non-OK util::Status or a
-// fully valid object. Never a crash, never UB, never an allocation beyond
-// what the (small) input could justify. Run under MBR_SANITIZE=address to
-// make "never UB" machine-checked.
+// guarantee of the serde work): for EVERY artifact kind — landmark index,
+// graph snapshot, and shard plan — every single-bit flip at every byte
+// offset and every possible truncation must come back as a non-OK
+// util::Status or a fully valid object. Never a crash, never UB, never an
+// allocation beyond what the (small) input could justify. Run under
+// MBR_SANITIZE=address to make "never UB" machine-checked.
 
 #include <cstdint>
 #include <span>
@@ -12,7 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include "coord/shard_plan.h"
 #include "core/authority.h"
+#include "distributed/partition.h"
 #include "graph/labeled_graph.h"
 #include "graph/snapshot.h"
 #include "landmark/index.h"
@@ -147,6 +149,62 @@ TEST(SerdeCorruptionTest, LandmarkIndexSurvivesEveryTruncation) {
   for (size_t len = 0; len < golden.size(); ++len) {
     auto r = landmark::LandmarkIndex::LoadFromBuffer(
         std::span<const uint8_t>(golden.data(), len), g.num_nodes());
+    EXPECT_FALSE(r.ok()) << "truncation at " << len << " loaded";
+  }
+}
+
+std::vector<uint8_t> GoldenPlanBytes(const LabeledGraph& g) {
+  distributed::PartitionConfig pcfg;
+  pcfg.num_partitions = 3;
+  distributed::Partitioning p = PartitionGraph(
+      g, distributed::PartitionStrategy::kCommunity, pcfg);
+  std::vector<coord::ShardEndpoint> eps(3);
+  for (uint32_t s = 0; s < 3; ++s) eps[s].port = 9000 + s;
+  coord::ShardPlan plan(std::move(p),
+                        distributed::PartitionStrategy::kCommunity,
+                        /*halo_depth=*/1, g.num_topics(), std::move(eps));
+  return plan.Serialize();
+}
+
+void CheckLoadedPlan(const coord::ShardPlan& plan) {
+  ASSERT_LE(plan.num_shards(), coord::ShardPlan::kMaxShards);
+  ASSERT_EQ(plan.partitioning().part_of.size(), plan.num_nodes());
+  ASSERT_EQ(plan.endpoints().size(), plan.num_shards());
+  for (uint32_t v = 0; v < plan.num_nodes(); ++v) {
+    ASSERT_LT(plan.ShardOf(v), plan.num_shards());
+  }
+}
+
+TEST(SerdeCorruptionTest, ShardPlanSurvivesEveryBitFlip) {
+  LabeledGraph g = GoldenGraph();
+  const std::vector<uint8_t> golden = GoldenPlanBytes(g);
+  ASSERT_FALSE(golden.empty());
+  ASSERT_TRUE(coord::ShardPlan::LoadFromBuffer(golden).ok());
+
+  std::vector<uint8_t> corrupt = golden;
+  size_t loaded_ok = 0;
+  for (size_t i = 0; i < corrupt.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      corrupt[i] ^= static_cast<uint8_t>(1u << bit);
+      auto r = coord::ShardPlan::LoadFromBuffer(corrupt);
+      if (r.ok()) {
+        ++loaded_ok;
+        CheckLoadedPlan(*r);
+      }
+      corrupt[i] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+  // Header fields and each section's CRC cover every byte: no single-bit
+  // flip may load.
+  EXPECT_EQ(loaded_ok, 0u);
+}
+
+TEST(SerdeCorruptionTest, ShardPlanSurvivesEveryTruncation) {
+  LabeledGraph g = GoldenGraph();
+  const std::vector<uint8_t> golden = GoldenPlanBytes(g);
+  for (size_t len = 0; len < golden.size(); ++len) {
+    auto r = coord::ShardPlan::LoadFromBuffer(
+        std::span<const uint8_t>(golden.data(), len));
     EXPECT_FALSE(r.ok()) << "truncation at " << len << " loaded";
   }
 }

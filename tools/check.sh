@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Repo-wide check runner:
 #   1. tier-1: full build + full ctest suite       (build/)
-#   2. ASan:   serde + net + dynamic + hotpath     (build-asan/)
-#   3. TSan:   obs + service + net + dynamic       (build-tsan/)
+#   2. ASan:   serde + net + dynamic + hotpath + coord  (build-asan/)
+#   3. TSan:   obs + service + net + dynamic + coord    (build-tsan/)
 #   4. UBSan:  core + landmark + service           (build-ubsan/)
 #   5. bench-smoke: micro_benchmarks --smoke       (build/)
 #
@@ -16,7 +16,10 @@
 # TSan for mutators racing readers and the background repair thread. The
 # `hotpath` label (arena/flat-map scratch reuse, scorer differential suite)
 # runs under ASan so a buffer carved too small or a stale span surfaces as a
-# hard error rather than a wrong score.
+# hard error rather than a wrong score. The `coord` label (shard plan serde,
+# router scatter-gather, reconnect backoff) runs under both ASan (wire and
+# artifact parsing) and TSan (router accept/connection threads against the
+# shard servers).
 #
 # bench-smoke runs the allocation-counting smoke gate of the zero-allocation
 # hot path (DESIGN.md §6.6): a warm exact query and a warm landmark query
@@ -52,14 +55,14 @@ run_bench_smoke() {
 
 case "$MODE" in
   tier1) run_tier1 ;;
-  asan)  run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath' ;;
-  tsan)  run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic' ;;
+  asan)  run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath|coord' ;;
+  tsan)  run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic|coord' ;;
   ubsan) run_sanitized undefined "$REPO/build-ubsan" 'core|landmark|service' ;;
   bench-smoke) run_bench_smoke ;;
   all)
     run_tier1
-    run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath'
-    run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic'
+    run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath|coord'
+    run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic|coord'
     run_sanitized undefined "$REPO/build-ubsan" 'core|landmark|service'
     run_bench_smoke
     ;;

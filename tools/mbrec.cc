@@ -28,6 +28,18 @@
 //                   [--vocab twitter|dblp]
 //   mbrec metrics   --port P [--host H] [--timeout-ms T]
 //   mbrec shutdown-remote --port P [--host H] [--timeout-ms T]
+//   mbrec shard-plan --graph graph.bin --shards N --out plan.bin
+//                   [--strategy Hash|BFS-Chunks|Community-LPA|
+//                    Community-PopBal] [--halo-depth D]
+//                   [--endpoints h:p,h:p,...]
+//   mbrec serve     --plan plan.bin --shard I --graph snapshot.bin
+//                   [--index index.bin] [--port P] ... (shard replica:
+//                   warm-starts only shard I's halo subgraph + locally
+//                   homed landmark lists; read-only, v4 shard ops)
+//   mbrec route     --plan plan.bin [--endpoints h:p,...] [--port P]
+//                   [--mode landmark|exact] [--timeout-ms T] (coordinator:
+//                   clients speak ordinary v1-v4 to it; replies are
+//                   byte-identical to single-node serving)
 //
 // Binary graphs (.bin) round-trip exactly; .edges files use the
 // human-readable labeled edge-list format. `save-graph` converts any
@@ -67,6 +79,9 @@
 #include "graph/edgelist.h"
 #include "graph/labeled_graph.h"
 #include "graph/snapshot.h"
+#include "coord/router.h"
+#include "coord/shard_plan.h"
+#include "coord/shard_replica.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/metrics.h"
@@ -450,7 +465,306 @@ void ServeSignalHandler(int) {
   if (server != nullptr) server->RequestStop();
 }
 
+// ---- Partitioned serving (src/coord/): shard-plan / serve --shard / route.
+
+bool ParsePartitionStrategy(const std::string& name,
+                            distributed::PartitionStrategy* out) {
+  for (auto s : {distributed::PartitionStrategy::kHash,
+                 distributed::PartitionStrategy::kBfsChunks,
+                 distributed::PartitionStrategy::kCommunity,
+                 distributed::PartitionStrategy::kCommunityPopularity}) {
+    if (name == distributed::PartitionStrategyName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+// "host:port,host:port,..." -> endpoint list; empty items are an error.
+util::Result<std::vector<coord::ShardEndpoint>> ParseEndpoints(
+    const std::string& list) {
+  std::vector<coord::ShardEndpoint> eps;
+  for (size_t pos = 0; pos < list.size();) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string item = list.substr(pos, comma - pos);
+    size_t colon = item.rfind(':');
+    if (item.empty() || colon == std::string::npos || colon == 0) {
+      return util::Status::InvalidArgument("bad endpoint '" + item +
+                                           "' (want host:port)");
+    }
+    coord::ShardEndpoint ep;
+    ep.host = item.substr(0, colon);
+    ep.port = static_cast<uint32_t>(
+        std::strtoul(item.c_str() + colon + 1, nullptr, 10));
+    if (ep.port > 65535) {
+      return util::Status::InvalidArgument("bad port in '" + item + "'");
+    }
+    eps.push_back(std::move(ep));
+    pos = comma + 1;
+  }
+  return eps;
+}
+
+int CmdShardPlan(const Args& args) {
+  const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
+  graph::LabeledGraph g = LoadGraph(Require(args, "graph"), vocab);
+  std::string out = Require(args, "out");
+  uint32_t shards = static_cast<uint32_t>(args.GetInt("shards", 2));
+
+  distributed::PartitionStrategy strategy =
+      distributed::PartitionStrategy::kHash;
+  std::string name = args.Get("strategy", "Hash");
+  if (!ParsePartitionStrategy(name, &strategy)) {
+    std::fprintf(stderr,
+                 "unknown strategy '%s' (Hash|BFS-Chunks|Community-LPA|"
+                 "Community-PopBal)\n",
+                 name.c_str());
+    return 2;
+  }
+
+  distributed::PartitionConfig pcfg;
+  pcfg.num_partitions = shards;
+  distributed::Partitioning partitioning = PartitionGraph(g, strategy, pcfg);
+
+  // Endpoints: either one host:port per shard, or 127.0.0.1:0 placeholders
+  // (shards bind ephemeral ports; `mbrec route --endpoints` overrides).
+  std::vector<coord::ShardEndpoint> endpoints(shards);
+  std::string ep_list = args.Get("endpoints");
+  if (!ep_list.empty()) {
+    auto parsed = ParseEndpoints(ep_list);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().message().c_str());
+      return 2;
+    }
+    if (parsed->size() != shards) {
+      std::fprintf(stderr, "--endpoints lists %zu entries for %u shards\n",
+                   parsed->size(), shards);
+      return 2;
+    }
+    endpoints = std::move(*parsed);
+  }
+
+  // halo_depth = query_depth - 1 covers the landmark exploration (depth-d
+  // explorations expand out-edges of nodes at depth < d).
+  uint32_t halo_depth =
+      static_cast<uint32_t>(args.GetInt("halo-depth", 1));
+  coord::ShardPlan plan(std::move(partitioning), strategy, halo_depth,
+                        g.num_topics(), std::move(endpoints));
+  util::Status st = plan.SaveTo(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "shard plan: %u shards over %llu nodes (%s, halo depth %u, edge cut "
+      "%.1f%%, balance %.2f) -> %s\n",
+      plan.num_shards(), static_cast<unsigned long long>(plan.num_nodes()),
+      distributed::PartitionStrategyName(plan.strategy()), plan.halo_depth(),
+      plan.partitioning().edge_cut * 100, plan.partitioning().balance,
+      out.c_str());
+  return 0;
+}
+
+// `mbrec serve --plan P --shard i`: warm-start only shard i's slice (halo
+// subgraph + locally-homed landmark lists) and serve the v4 shard ops.
+int CmdServeShard(const Args& args) {
+  const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
+  const auto& sim = SimFor(args.Get("vocab", "twitter"));
+  if (args.GetInt("mutable", 0) != 0) {
+    std::fprintf(stderr, "--mutable is not supported with --plan "
+                         "(shard serving is read-only)\n");
+    return 2;
+  }
+  auto plan = coord::ShardPlan::LoadFrom(Require(args, "plan"));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "cannot load plan: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  int64_t shard_arg = args.GetInt("shard", -1);
+  if (shard_arg < 0 || shard_arg >= plan->num_shards()) {
+    std::fprintf(stderr, "--shard must be in [0, %u)\n", plan->num_shards());
+    return 2;
+  }
+  const uint32_t shard = static_cast<uint32_t>(shard_arg);
+
+  graph::LabeledGraph g = LoadGraph(Require(args, "graph"), vocab);
+  std::unique_ptr<landmark::LandmarkIndex> index;
+  std::string index_path = args.Get("index");
+  if (!index_path.empty()) {
+    auto loaded = landmark::LandmarkIndex::LoadFrom(index_path,
+                                                    g.num_nodes());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load index: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    index = std::make_unique<landmark::LandmarkIndex>(std::move(*loaded));
+  }
+
+  service::EngineConfig ecfg;
+  ecfg.cache_capacity = static_cast<size_t>(args.GetInt("cache", 4096));
+  ecfg.registry = &obs::Registry::Default();
+  int64_t threads = args.GetInt("threads", 0);
+  if (threads > 0) ecfg.num_threads = static_cast<uint32_t>(threads);
+
+  auto ctx = coord::BuildShardContext(g, sim, *plan, shard, index.get(),
+                                      ecfg);
+  if (!ctx.ok()) {
+    std::fprintf(stderr, "shard warm start failed: %s\n",
+                 ctx.status().ToString().c_str());
+    return 1;
+  }
+  coord::ShardContext& sc = **ctx;
+
+  net::ServerConfig scfg;
+  scfg.host = args.Get("host", "127.0.0.1");
+  // Port priority: --port flag, then the plan's endpoint table.
+  int64_t port = args.GetInt("port", -1);
+  scfg.port = port >= 0 ? static_cast<uint16_t>(port)
+                        : static_cast<uint16_t>(
+                              plan->endpoints()[shard].port);
+  scfg.max_connections =
+      static_cast<uint32_t>(args.GetInt("max-connections", 256));
+  scfg.max_inflight = static_cast<uint32_t>(args.GetInt("max-inflight", 64));
+  scfg.request_deadline_ms =
+      static_cast<uint32_t>(args.GetInt("deadline-ms", 1000));
+  scfg.drain_grace_ms = static_cast<uint32_t>(args.GetInt("drain-ms", 5000));
+  scfg.registry = &obs::Registry::Default();
+  scfg.shard_owned = &sc.owned;
+  scfg.shard_index = sc.index.get();
+  scfg.shard = shard;
+  scfg.shards_total = plan->num_shards();
+
+  net::Server server(*sc.engine, scfg);
+  util::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  g_serve_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+
+  size_t owned_count = 0;
+  for (bool b : sc.owned) owned_count += b ? 1 : 0;
+  std::printf(
+      "shard %u/%u: %zu owned of %u nodes, halo graph %llu edges (%s "
+      "scoring)\n",
+      shard, plan->num_shards(), owned_count, g.num_nodes(),
+      static_cast<unsigned long long>(sc.subgraph->num_edges()),
+      sc.index != nullptr ? "landmark-approximate" : "exact");
+  std::printf("listening on %s:%u\n", scfg.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  const int64_t interval_s = args.GetInt("stats-interval-s", 10);
+  auto last_line = std::chrono::steady_clock::now();
+  while (server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    auto now = std::chrono::steady_clock::now();
+    if (interval_s > 0 && now - last_line >= std::chrono::seconds(interval_s)) {
+      std::printf("%s\n", service::FormatStatsLine(server.StatsNow()).c_str());
+      std::fflush(stdout);
+      last_line = now;
+    }
+  }
+  server.Wait();
+  g_serve_server.store(nullptr, std::memory_order_release);
+  std::printf("drained: %s\n",
+              service::FormatStatsLine(server.StatsNow()).c_str());
+  return 0;
+}
+
+std::atomic<coord::Router*> g_route_router{nullptr};
+
+void RouteSignalHandler(int) {
+  coord::Router* router = g_route_router.load(std::memory_order_acquire);
+  if (router != nullptr) router->RequestStop();
+}
+
+int CmdRoute(const Args& args) {
+  auto plan = coord::ShardPlan::LoadFrom(Require(args, "plan"));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "cannot load plan: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  // Plans usually carry 127.0.0.1:0 placeholders (shards bind ephemeral
+  // ports); --endpoints supplies the live addresses.
+  std::string ep_list = args.Get("endpoints");
+  if (!ep_list.empty()) {
+    auto parsed = ParseEndpoints(ep_list);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().message().c_str());
+      return 2;
+    }
+    if (parsed->size() != plan->num_shards()) {
+      std::fprintf(stderr, "--endpoints lists %zu entries for %u shards\n",
+                   parsed->size(), plan->num_shards());
+      return 2;
+    }
+    for (uint32_t s = 0; s < plan->num_shards(); ++s) {
+      plan->SetEndpoint(s, (*parsed)[s]);
+    }
+  }
+
+  std::string mode = args.Get("mode", "landmark");
+  if (mode != "landmark" && mode != "exact") {
+    std::fprintf(stderr, "unknown --mode '%s' (landmark|exact)\n",
+                 mode.c_str());
+    return 2;
+  }
+
+  coord::RouterConfig rcfg;
+  rcfg.host = args.Get("host", "127.0.0.1");
+  rcfg.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  rcfg.max_connections =
+      static_cast<uint32_t>(args.GetInt("max-connections", 64));
+  rcfg.shard_timeout_ms =
+      static_cast<uint32_t>(args.GetInt("timeout-ms", 2000));
+  rcfg.landmark_mode = mode == "landmark";
+  rcfg.registry = &obs::Registry::Default();
+
+  coord::Router router(*plan, rcfg);
+  util::Status st = router.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot start router: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  g_route_router.store(&router, std::memory_order_release);
+  std::signal(SIGINT, RouteSignalHandler);
+  std::signal(SIGTERM, RouteSignalHandler);
+
+  std::printf("routing %u shards (%s merge)\n", plan->num_shards(),
+              mode.c_str());
+  std::printf("listening on %s:%u\n", rcfg.host.c_str(), router.port());
+  std::fflush(stdout);
+
+  const int64_t interval_s = args.GetInt("stats-interval-s", 10);
+  auto last_line = std::chrono::steady_clock::now();
+  while (router.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    auto now = std::chrono::steady_clock::now();
+    if (interval_s > 0 && now - last_line >= std::chrono::seconds(interval_s)) {
+      service::StatsSnapshot s = router.RollupStats();
+      std::printf("%s shards_up=%u/%u\n",
+                  service::FormatStatsLine(s).c_str(), s.shards_up,
+                  s.shards_total);
+      std::fflush(stdout);
+      last_line = now;
+    }
+  }
+  router.Wait();
+  g_route_router.store(nullptr, std::memory_order_release);
+  std::printf("router stopped\n");
+  return 0;
+}
+
 int CmdServe(const Args& args) {
+  if (!args.Get("plan").empty()) return CmdServeShard(args);
   const auto& sim = SimFor(args.Get("vocab", "twitter"));
 
   service::EngineConfig ecfg;
@@ -760,7 +1074,13 @@ const std::vector<Command>& Commands() {
       {"serve", CmdServe,
        {"graph", "vocab", "index", "host", "port", "threads", "cache",
         "max-inflight", "max-connections", "deadline-ms", "drain-ms",
-        "stats-interval-s", "mutable", "repair"}},
+        "stats-interval-s", "mutable", "repair", "plan", "shard"}},
+      {"shard-plan", CmdShardPlan,
+       {"graph", "vocab", "shards", "strategy", "halo-depth", "endpoints",
+        "out"}},
+      {"route", CmdRoute,
+       {"plan", "endpoints", "host", "port", "mode", "timeout-ms",
+        "max-connections", "stats-interval-s"}},
       {"query-remote", CmdQueryRemote,
        {"host", "port", "vocab", "user", "topic", "top", "timeout-ms",
         "deadline-ms", "exclude"}},
