@@ -81,7 +81,7 @@ Router::Router(const ShardPlan& plan, const RouterConfig& config)
     net::ClientConfig c = config_.shard_client;
     c.host = plan_.endpoints()[s].host;
     c.port = static_cast<uint16_t>(plan_.endpoints()[s].port);
-    c.protocol_version = net::kProtocolVersion;  // shards always speak v4
+    c.protocol_version = net::kProtocolVersion;  // shards always speak v5
     c.request_timeout_ms = config_.shard_timeout_ms;
     endpoints.push_back(std::move(c));
   }
@@ -312,7 +312,8 @@ bool Router::HandleClientFrame(net::Connection* conn,
   }
   // Same admission checks a single-node server applies: bounds against the
   // plan's universe, worst-case reply size against the frame cap.
-  const size_t per_list_overhead = h.version >= 3 ? 12 : 4;
+  const size_t per_list_overhead =
+      h.version >= 5 ? 13 : h.version >= 3 ? 12 : 4;
   size_t reply_bytes =
       4 + (h.version >= 4 ? net::kCoordTrailerBytes : 0);
   for (const net::RecommendRequest& r : decoded) {
@@ -357,17 +358,21 @@ bool Router::HandleClientFrame(net::Connection* conn,
 
   if (h.kind == net::MessageKind::kRecommend) {
     Routed& one = routed.front();
-    std::vector<uint8_t> payload = net::EncodeResult(
-        one.entries, one.graph_epoch, h.version, one.coord);
+    std::vector<uint8_t> payload =
+        net::EncodeResult(one.entries, one.graph_epoch, h.version, one.coord,
+                          one.served_tier);
     return conn->QueueReply(net::MessageKind::kResult, h.request_id, payload,
                             h.version);
   }
   std::vector<net::RankedList> lists;
   std::vector<uint64_t> epochs;
+  std::vector<uint8_t> tiers;
   lists.reserve(routed.size());
   epochs.reserve(routed.size());
+  tiers.reserve(routed.size());
   // Per-frame trailer: one partially-merged query marks the whole batch,
-  // and the frame reports the worst shard coverage seen.
+  // and the frame reports the worst shard coverage seen. Tiers stay
+  // per-list (like epochs): each query names the tier that served it.
   net::CoordTrailer coord;
   coord.shards_total = static_cast<uint16_t>(plan_.num_shards());
   coord.shards_answered = coord.shards_total;
@@ -376,10 +381,11 @@ bool Router::HandleClientFrame(net::Connection* conn,
     coord.shards_answered =
         std::min(coord.shards_answered, one.coord.shards_answered);
     epochs.push_back(one.graph_epoch);
+    tiers.push_back(one.served_tier);
     lists.push_back(std::move(one.entries));
   }
   std::vector<uint8_t> payload =
-      net::EncodeResultBatch(lists, epochs, h.version, coord);
+      net::EncodeResultBatch(lists, epochs, h.version, coord, tiers);
   return conn->QueueReply(net::MessageKind::kResultBatch, h.request_id,
                           payload, h.version);
 }
@@ -445,6 +451,10 @@ util::Result<Router::Routed> Router::RouteExact(
       CallShard(home, [&](net::Client& c) { return c.RecommendEx(sreq); });
   if (!reply.ok()) {
     if (IsShardLoss(reply.status(), req.deadline_ms)) {
+      if (!config_.degrade_partial) {
+        return util::Status::Unavailable("home shard " + std::to_string(home) +
+                                         " lost: " + reply.status().message());
+      }
       // Home shard down/overloaded: degrade, never hang or fail the client.
       metrics_.partial->Increment();
       out.coord.partial = 1;
@@ -455,6 +465,7 @@ util::Result<Router::Routed> Router::RouteExact(
   }
   out.entries = std::move(reply->entries);
   out.graph_epoch = reply->graph_epoch;
+  out.served_tier = reply->served_tier;  // max over {home} = the home's tier
   out.coord.shards_answered = 1;
   return out;
 }
@@ -469,6 +480,11 @@ util::Result<Router::Routed> Router::RouteLandmark(
       home, [&](net::Client& c) { return c.RecommendPartial(sreq); });
   if (!partial.ok()) {
     if (IsShardLoss(partial.status(), req.deadline_ms)) {
+      if (!config_.degrade_partial) {
+        return util::Status::Unavailable("home shard " + std::to_string(home) +
+                                         " lost: " +
+                                         partial.status().message());
+      }
       metrics_.partial->Increment();
       out.coord.partial = 1;
       out.coord.shards_answered = 0;
@@ -478,6 +494,9 @@ util::Result<Router::Routed> Router::RouteLandmark(
   }
   net::PartialReply preply = std::move(*partial);
   out.graph_epoch = preply.graph_epoch;
+  // The merged ranking is the landmark approximation by construction, so
+  // the routed tier is kApprox regardless of how relaxed the shards were.
+  out.served_tier = static_cast<uint8_t>(core::Tier::kApprox);
 
   // Gather the stored lists of landmarks homed off the home shard, one
   // LANDMARK_FETCH per distinct home. A failed fetch degrades those
@@ -500,7 +519,14 @@ util::Result<Router::Routed> Router::RouteLandmark(
     auto vectors = CallShard(s, [&](net::Client& c) {
       return c.FetchLandmarks(req.topic, want[s]);
     });
-    if (!vectors.ok()) continue;
+    if (!vectors.ok()) {
+      if (!config_.degrade_partial) {
+        return util::Status::Unavailable("landmark shard " +
+                                         std::to_string(s) + " lost: " +
+                                         vectors.status().message());
+      }
+      continue;
+    }
     ++answered;
     fetched.push_back(std::move(*vectors));
   }
@@ -547,6 +573,10 @@ util::Result<Router::Routed> Router::RouteLandmark(
 
   out.coord.shards_answered = answered;
   if (answered < contacted || missing_list) {
+    if (!config_.degrade_partial) {
+      return util::Status::Unavailable(
+          "landmark merge incomplete with degrade off");
+    }
     metrics_.partial->Increment();
     out.coord.partial = 1;
   }
@@ -570,6 +600,10 @@ service::StatsSnapshot Router::RollupStats() {
     s.shed_deadline += snap->shed_deadline;
     s.connections_accepted += snap->connections_accepted;
     s.connections_open += snap->connections_open;
+    s.tier_exact += snap->tier_exact;
+    s.tier_approx += snap->tier_approx;
+    s.tier_stale += snap->tier_stale;
+    s.degraded += snap->degraded;
     s.params_epoch = std::max(s.params_epoch, snap->params_epoch);
     // Percentile floors: the fleet's p99 is at least the worst shard's.
     s.p50_us = std::max(s.p50_us, snap->p50_us);

@@ -29,9 +29,19 @@
 // overloaded, or times out degrades the reply to a *partial* merge — the
 // v4 trailer carries partial=1 and the answered/total shard counts, and
 // mbr_coord_partial_total is bumped — rather than failing or hanging the
-// client. Errors a single-node server would return for the same query
+// client (`degrade_partial = false` turns that loss into an ERROR
+// instead, for deployments that prefer failing fast over partial
+// answers). Errors a single-node server would return for the same query
 // (DEADLINE_EXCEEDED, INVALID_ARGUMENT) are relayed as ERROR unchanged.
 // Mutations are rejected: the partitioned tier serves read-only.
+//
+// Tier merge (protocol v5): every shard reply names the degradation-
+// ladder tier that served it, and the routed reply carries the *max*
+// (most degraded) tier over the shard replies that fed it — a pressured
+// shard degrades the whole routed answer, composing with (but orthogonal
+// to) the v4 partial trailer. In landmark mode the merged ranking is the
+// landmark approximation by construction, so the routed tier is at least
+// kApprox.
 
 #include <atomic>
 #include <cstdint>
@@ -64,6 +74,10 @@ struct RouterConfig {
   // the shards). false: forward RECOMMEND to the home shard (exact
   // engines; needs plan halo_depth >= max_depth - 1).
   bool landmark_mode = true;
+  // true (default): a lost shard (down / shed / timed out) degrades the
+  // reply to a partial merge. false: it becomes an ERROR (UNAVAILABLE) —
+  // the `mbrec route --degrade off` policy.
+  bool degrade_partial = true;
   net::WireLimits limits;
   // Template for the per-shard client connections (timeouts, reconnect
   // backoff). host/port/protocol_version are overwritten per shard.
@@ -102,11 +116,13 @@ class Router {
 
  private:
   // One routed RECOMMEND: the merged ranked list, the home shard's graph
-  // epoch, and the coordinator trailer. A non-OK result is relayed to the
-  // client as ERROR (the same statuses a single-node server would send).
+  // epoch, the max served tier over contributing shard replies, and the
+  // coordinator trailer. A non-OK result is relayed to the client as
+  // ERROR (the same statuses a single-node server would send).
   struct Routed {
     net::RankedList entries;
     uint64_t graph_epoch = 0;
+    uint8_t served_tier = 0;
     net::CoordTrailer coord;
   };
 

@@ -26,6 +26,30 @@
 
 namespace mbr::core {
 
+// Serving tiers, ordered by degradation (lower = higher fidelity). The
+// serving engine's degradation ladder (DESIGN.md §6.8) walks down this
+// order under pressure; offline recommenders always produce the tier that
+// names their algorithm (core::Scorer → kExact, landmark approximation →
+// kApprox). The numeric values are the wire encoding (protocol v5
+// `served_tier` byte) — do not reorder.
+enum class Tier : uint8_t {
+  kExact = 0,   // converged exact Tr scoring
+  kApprox = 1,  // landmark approximation (Algorithm 2)
+  kStale = 2,   // dead-epoch cached result (last resort before shedding)
+};
+
+inline const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kExact:
+      return "exact";
+    case Tier::kApprox:
+      return "approx";
+    case Tier::kStale:
+      return "stale";
+  }
+  return "unknown";
+}
+
 // A single recommendation request.
 //
 // Two modes, selected by `candidates`:
@@ -42,6 +66,11 @@ struct Query {
   std::vector<graph::NodeId> exclude;
   std::vector<graph::NodeId> candidates;
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  // The most degraded tier the caller accepts (default: anything). A
+  // latency-tolerant caller pins `WithMinTier(Tier::kExact)` to opt out of
+  // the degradation ladder entirely; the serving engine never serves a
+  // tier numerically above this. Offline recommenders ignore it.
+  Tier min_tier = Tier::kStale;
 
   static Query TopN(graph::NodeId user, topics::TopicId topic,
                     uint32_t top_n) {
@@ -71,6 +100,11 @@ struct Query {
     return std::move(*this);
   }
 
+  Query&& WithMinTier(Tier t) && {
+    min_tier = t;
+    return std::move(*this);
+  }
+
   bool scoring_mode() const { return !candidates.empty(); }
 
   bool expired() const {
@@ -86,13 +120,12 @@ struct Query {
   }
 };
 
-// A ranked (or, in scoring mode, candidate-ordered) answer.
+// A ranked (or, in scoring mode, candidate-ordered) answer: a pure ranked
+// list. Serving metadata (graph epoch, serving tier, cache provenance)
+// lives in service::ServeMeta — offline recommenders have no epoch or
+// tier notion, so the list is all they produce.
 struct Ranking {
   std::vector<util::ScoredId> entries;
-  // Graph epoch this ranking was computed under. Stamped by serving layers
-  // that version their graph (service::QueryEngine); 0 for offline
-  // recommenders, which have no epoch notion.
-  uint64_t graph_epoch = 0;
 };
 
 // Accumulates a Ranking for a top-n Query, applying the shared exclusion

@@ -273,7 +273,8 @@ util::Result<ResultReply> Client::RecommendEx(const RecommendRequest& req) {
   ResultReply out;
   MBR_RETURN_IF_ERROR(DecodeResult(reply->payload, config_.limits,
                                    config_.protocol_version, &out.entries,
-                                   &out.graph_epoch, &out.coord));
+                                   &out.graph_epoch, &out.coord,
+                                   &out.served_tier));
   return out;
 }
 
@@ -302,10 +303,11 @@ util::Result<std::vector<ResultReply>> Client::RecommendBatchEx(
   }
   std::vector<RankedList> lists;
   std::vector<uint64_t> epochs;
+  std::vector<uint8_t> tiers;
   CoordTrailer coord;
   MBR_RETURN_IF_ERROR(DecodeResultBatch(reply->payload, config_.limits,
                                         config_.protocol_version, &lists,
-                                        &epochs, &coord));
+                                        &epochs, &coord, &tiers));
   if (lists.size() != queries.size()) {
     return util::Status::Internal(
         "server answered " + std::to_string(lists.size()) + " lists for " +
@@ -315,6 +317,7 @@ util::Result<std::vector<ResultReply>> Client::RecommendBatchEx(
   for (size_t i = 0; i < lists.size(); ++i) {
     out[i].entries = std::move(lists[i]);
     out[i].graph_epoch = epochs[i];
+    out[i].served_tier = tiers[i];
     out[i].coord = coord;  // per-frame trailer (see EncodeResultBatch)
   }
   return out;

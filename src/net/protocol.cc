@@ -344,11 +344,31 @@ util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
   return r.ExpectEnd();
 }
 
+namespace {
+
+// v5 served_tier byte: read + range-check (core::Tier has 3 values; an
+// out-of-range byte is a corrupt or hostile frame, not a future tier —
+// new tiers mean a new protocol version).
+util::Status ReadServedTier(PayloadReader* r, uint8_t* out) {
+  uint8_t t = 0;
+  MBR_RETURN_IF_ERROR(r->ReadU8(&t));
+  if (t > kMaxServedTier) {
+    return util::Status::InvalidArgument("served_tier byte " +
+                                         std::to_string(t) +
+                                         " out of range");
+  }
+  if (out != nullptr) *out = t;
+  return util::Status::Ok();
+}
+
+}  // namespace
+
 std::vector<uint8_t> EncodeResult(const RankedList& list, uint64_t graph_epoch,
-                                  uint16_t version,
-                                  const CoordTrailer& coord) {
+                                  uint16_t version, const CoordTrailer& coord,
+                                  uint8_t served_tier) {
   PayloadWriter w;
   if (version >= 3) w.PutU64(graph_epoch);
+  if (version >= 5) w.PutU8(served_tier);
   PutList(list, &w);
   if (version >= 4) {
     w.PutU8(coord.partial);
@@ -361,11 +381,14 @@ std::vector<uint8_t> EncodeResult(const RankedList& list, uint64_t graph_epoch,
 util::Status DecodeResult(std::span<const uint8_t> payload,
                           const WireLimits& limits, uint16_t version,
                           RankedList* out, uint64_t* graph_epoch,
-                          CoordTrailer* coord) {
+                          CoordTrailer* coord, uint8_t* served_tier) {
   PayloadReader r(payload);
   uint64_t epoch = 0;
   if (version >= 3) MBR_RETURN_IF_ERROR(r.ReadU64(&epoch));
   if (graph_epoch != nullptr) *graph_epoch = epoch;
+  uint8_t tier = 0;
+  if (version >= 5) MBR_RETURN_IF_ERROR(ReadServedTier(&r, &tier));
+  if (served_tier != nullptr) *served_tier = tier;
   MBR_RETURN_IF_ERROR(ReadList(&r, limits, out));
   CoordTrailer c;
   if (version >= 4) {
@@ -380,11 +403,13 @@ util::Status DecodeResult(std::span<const uint8_t> payload,
 std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists,
                                        std::span<const uint64_t> epochs,
                                        uint16_t version,
-                                       const CoordTrailer& coord) {
+                                       const CoordTrailer& coord,
+                                       std::span<const uint8_t> tiers) {
   PayloadWriter w;
   w.PutU32(static_cast<uint32_t>(lists.size()));
   for (size_t i = 0; i < lists.size(); ++i) {
     if (version >= 3) w.PutU64(epochs.empty() ? 0 : epochs[i]);
+    if (version >= 5) w.PutU8(tiers.empty() ? 0 : tiers[i]);
     PutList(lists[i], &w);
   }
   if (version >= 4) {
@@ -399,7 +424,8 @@ util::Status DecodeResultBatch(std::span<const uint8_t> payload,
                                const WireLimits& limits, uint16_t version,
                                std::vector<RankedList>* out,
                                std::vector<uint64_t>* epochs,
-                               CoordTrailer* coord) {
+                               CoordTrailer* coord,
+                               std::vector<uint8_t>* tiers) {
   PayloadReader r(payload);
   uint32_t n = 0;
   MBR_RETURN_IF_ERROR(r.ReadU32(&n));
@@ -410,19 +436,25 @@ util::Status DecodeResultBatch(std::span<const uint8_t> payload,
                                          std::to_string(limits.max_batch));
   }
   // Each list costs at least its 4-byte length prefix (plus the 8-byte
-  // epoch at v3).
-  const size_t per_list_min = version >= 3 ? 12 : 4;
+  // epoch at v3 and the tier byte at v5).
+  const size_t per_list_min = version >= 5 ? 13 : version >= 3 ? 12 : 4;
   if (n > r.remaining() / per_list_min) {
     return util::Status::InvalidArgument(
         "result batch length exceeds remaining payload bytes");
   }
   out->resize(n);
   if (epochs != nullptr) epochs->assign(n, 0);
+  if (tiers != nullptr) tiers->assign(n, 0);
   for (uint32_t i = 0; i < n; ++i) {
     if (version >= 3) {
       uint64_t e = 0;
       MBR_RETURN_IF_ERROR(r.ReadU64(&e));
       if (epochs != nullptr) (*epochs)[i] = e;
+    }
+    if (version >= 5) {
+      uint8_t t = 0;
+      MBR_RETURN_IF_ERROR(ReadServedTier(&r, &t));
+      if (tiers != nullptr) (*tiers)[i] = t;
     }
     MBR_RETURN_IF_ERROR(ReadList(&r, limits, &(*out)[i]));
   }
@@ -691,6 +723,12 @@ std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s,
     w.PutU32(s.shards_total);
     w.PutU32(s.shards_up);
   }
+  if (version >= 5) {
+    w.PutU64(s.tier_exact);
+    w.PutU64(s.tier_approx);
+    w.PutU64(s.tier_stale);
+    w.PutU64(s.degraded);
+  }
   return w.Take();
 }
 
@@ -719,6 +757,16 @@ util::Status DecodeStats(std::span<const uint8_t> payload, uint16_t version,
   if (version >= 4) {
     MBR_RETURN_IF_ERROR(r.ReadU32(&out->shards_total));
     MBR_RETURN_IF_ERROR(r.ReadU32(&out->shards_up));
+  }
+  out->tier_exact = 0;
+  out->tier_approx = 0;
+  out->tier_stale = 0;
+  out->degraded = 0;
+  if (version >= 5) {
+    MBR_RETURN_IF_ERROR(r.ReadU64(&out->tier_exact));
+    MBR_RETURN_IF_ERROR(r.ReadU64(&out->tier_approx));
+    MBR_RETURN_IF_ERROR(r.ReadU64(&out->tier_stale));
+    MBR_RETURN_IF_ERROR(r.ReadU64(&out->degraded));
   }
   return r.ExpectEnd();
 }

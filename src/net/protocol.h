@@ -44,9 +44,14 @@
 //        RESULT_BATCH gain a coordinator trailer (partial flag +
 //        shards answered/total), and STATS gains the coordinator rollup
 //        (shards_total/shards_up).
+//   v5 — degradation ladder (DESIGN.md §6.8): RESULT/RESULT_BATCH carry a
+//        served_tier byte right after the graph epoch (per-list in the
+//        batch — queries of one batch may serve at different tiers), and
+//        STATS appends the per-tier serving counters
+//        (tier_exact/tier_approx/tier_stale/degraded).
 // Servers accept any version in [kMinProtocolVersion, kProtocolVersion],
 // decode payloads by the frame's declared version, and echo that version
-// on the reply — a v1 client keeps working against a v4 server. Versions
+// on the reply — a v1 client keeps working against a v5 server. Versions
 // outside the window get ERROR (UNSUPPORTED_VERSION) naming both; ops
 // newer than the frame's version (METRICS below v2, mutations below v3,
 // shard ops below v4) get ERROR (UNKNOWN_KIND).
@@ -65,7 +70,7 @@ namespace mbr::net {
 
 // "MBW1" when the little-endian u32 is viewed as bytes.
 inline constexpr uint32_t kFrameMagic = 0x3157424DU;
-inline constexpr uint16_t kProtocolVersion = 4;
+inline constexpr uint16_t kProtocolVersion = 5;
 // Oldest version still decoded; replies are encoded with the request's
 // version so old clients never see fields they don't know.
 inline constexpr uint16_t kMinProtocolVersion = 1;
@@ -242,13 +247,20 @@ struct CoordTrailer {
 inline constexpr size_t kCoordTrailerBytes = 5;
 
 // A decoded RESULT: the ranked list plus the graph epoch it was computed
-// under (v3 field; 0 when decoded at v1/v2) and the coordinator trailer
-// (v4 field; defaults when decoded at v1–v3).
+// under (v3 field; 0 when decoded at v1/v2), the degradation-ladder tier
+// that served it (v5 field, core::Tier numeric; 0 = exact when decoded
+// below v5), and the coordinator trailer (v4 field; defaults when decoded
+// at v1–v3).
 struct ResultReply {
   RankedList entries;
   uint64_t graph_epoch = 0;
+  uint8_t served_tier = 0;
   CoordTrailer coord;
 };
+
+// Highest core::Tier numeric value a v5 served_tier byte may carry;
+// decoders reject anything above it.
+inline constexpr uint8_t kMaxServedTier = 2;
 
 // Error codes carried in ERROR replies; a superset mapping of
 // util::StatusCode plus protocol-specific conditions.
@@ -287,28 +299,35 @@ util::Status DecodeRecommendBatch(std::span<const uint8_t> payload,
 
 // RESULT / RESULT_BATCH are version-gated: v3 prepends the graph epoch the
 // ranking was computed under (per-list in the batch), v4 appends the
-// coordinator trailer after the list(s). Encoding at v1/v2 drops the
-// epoch; decoding fills 0 for it (and defaults for the trailer below v4).
+// coordinator trailer after the list(s), v5 inserts the served_tier byte
+// between the epoch and the list (per-list in the batch). Encoding at
+// v1/v2 drops the epoch (and below v5 the tier); decoding fills 0 for
+// them (and defaults for the trailer below v4).
 std::vector<uint8_t> EncodeResult(const RankedList& list,
                                   uint64_t graph_epoch = 0,
                                   uint16_t version = kProtocolVersion,
-                                  const CoordTrailer& coord = {});
+                                  const CoordTrailer& coord = {},
+                                  uint8_t served_tier = 0);
 util::Status DecodeResult(std::span<const uint8_t> payload,
                           const WireLimits& limits, uint16_t version,
                           RankedList* out, uint64_t* graph_epoch = nullptr,
-                          CoordTrailer* coord = nullptr);
+                          CoordTrailer* coord = nullptr,
+                          uint8_t* served_tier = nullptr);
 
-// `epochs` must be empty (all zero) or parallel to `lists`. The trailer is
-// per-frame: one batch that was partially merged marks the whole frame.
+// `epochs` / `tiers` must be empty (all zero) or parallel to `lists`. The
+// trailer is per-frame: one batch that was partially merged marks the
+// whole frame.
 std::vector<uint8_t> EncodeResultBatch(const std::vector<RankedList>& lists,
                                        std::span<const uint64_t> epochs = {},
                                        uint16_t version = kProtocolVersion,
-                                       const CoordTrailer& coord = {});
+                                       const CoordTrailer& coord = {},
+                                       std::span<const uint8_t> tiers = {});
 util::Status DecodeResultBatch(std::span<const uint8_t> payload,
                                const WireLimits& limits, uint16_t version,
                                std::vector<RankedList>* out,
                                std::vector<uint64_t>* epochs = nullptr,
-                               CoordTrailer* coord = nullptr);
+                               CoordTrailer* coord = nullptr,
+                               std::vector<uint8_t>* tiers = nullptr);
 
 // ---------------------------------------------------------------------------
 // v4 shard payloads (coordinator tier, DESIGN.md §6.7).
@@ -408,7 +427,8 @@ std::vector<uint8_t> EncodeMutateAck(const MutateAck& ack);
 util::Status DecodeMutateAck(std::span<const uint8_t> payload, MutateAck* out);
 
 // STATS is version-gated: v2 appends deadline_exceeded, v4 appends the
-// coordinator rollup (shards_total / shards_up).
+// coordinator rollup (shards_total / shards_up), v5 appends the per-tier
+// serving counters (tier_exact / tier_approx / tier_stale / degraded).
 std::vector<uint8_t> EncodeStats(const service::StatsSnapshot& s,
                                  uint16_t version = kProtocolVersion);
 util::Status DecodeStats(std::span<const uint8_t> payload, uint16_t version,

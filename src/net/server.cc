@@ -574,7 +574,9 @@ void Server::HandleFrame(Connection* conn, const Connection::Frame& frame) {
   // carries one coordinator trailer. A PARTIAL reply's size depends on
   // the exploration, not top_n — it is bounded after execution instead.
   if (h.kind != MessageKind::kRecommendPartial) {
-    const size_t per_list_overhead = h.version >= 3 ? 12 : 4;
+    // v3 adds the 8-byte per-list epoch, v5 the per-list tier byte.
+    const size_t per_list_overhead =
+        h.version >= 5 ? 13 : h.version >= 3 ? 12 : 4;
     size_t reply_bytes = 4;  // list-count prefix
     if (h.version >= 4) reply_bytes += kCoordTrailerBytes;
     for (const RecommendRequest& r : decoded) {
@@ -875,13 +877,13 @@ void Server::DispatchLoop() {
           static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
     } else {
       util::WallTimer timer;
-      std::vector<util::Result<core::Ranking>> results =
+      std::vector<util::Result<service::Response>> results =
           engine_->RecommendMany(req.queries);
       // RESULT/RESULT_BATCH have no per-item error channel; the whole
       // request shares one deadline, so the first failure speaks for the
       // batch.
-      const util::Result<core::Ranking>* failed = nullptr;
-      for (const util::Result<core::Ranking>& r : results) {
+      const util::Result<service::Response>* failed = nullptr;
+      for (const util::Result<service::Response>& r : results) {
         if (!r.ok()) {
           failed = &r;
           break;
@@ -896,22 +898,26 @@ void Server::DispatchLoop() {
         AppendFrame(MessageKind::kError, req.request_id, payload, &frame,
                     req.version);
       } else if (req.kind == MessageKind::kRecommend) {
-        std::vector<uint8_t> payload =
-            EncodeResult(results.front().value().entries,
-                         results.front().value().graph_epoch, req.version);
+        const service::Response& resp = results.front().value();
+        std::vector<uint8_t> payload = EncodeResult(
+            resp.ranking.entries, resp.meta.graph_epoch, req.version, {},
+            static_cast<uint8_t>(resp.meta.served_tier));
         AppendFrame(MessageKind::kResult, req.request_id, payload, &frame,
                     req.version);
       } else {
         std::vector<RankedList> lists;
         std::vector<uint64_t> epochs;
+        std::vector<uint8_t> tiers;
         lists.reserve(results.size());
         epochs.reserve(results.size());
-        for (util::Result<core::Ranking>& r : results) {
-          epochs.push_back(r.value().graph_epoch);
-          lists.push_back(std::move(r.value().entries));
+        tiers.reserve(results.size());
+        for (util::Result<service::Response>& r : results) {
+          epochs.push_back(r.value().meta.graph_epoch);
+          tiers.push_back(static_cast<uint8_t>(r.value().meta.served_tier));
+          lists.push_back(std::move(r.value().ranking.entries));
         }
         std::vector<uint8_t> payload =
-            EncodeResultBatch(lists, epochs, req.version);
+            EncodeResultBatch(lists, epochs, req.version, {}, tiers);
         AppendFrame(MessageKind::kResultBatch, req.request_id, payload,
                     &frame, req.version);
       }

@@ -21,6 +21,10 @@ std::string SlowQueryEntry::Format() const {
                 " total=%" PRIu64 "us",
                 user, topic, top_n, total_micros);
   std::string out = head;
+  if (tier != nullptr) {
+    out += " tier=";
+    out += tier;
+  }
   for (const StageTiming& s : stages) {
     char part[96];
     std::snprintf(part, sizeof(part), " %s=%" PRIu64 "us", s.stage, s.micros);
@@ -91,6 +95,12 @@ QueryTrace::~QueryTrace() {
 void QueryTrace::AppendStage(const char* stage, uint64_t micros) {
   if (t_active_entry != nullptr) {
     t_active_entry->stages.push_back({stage, micros});
+  }
+}
+
+void QueryTrace::SetServedTier(const char* tier) {
+  if (t_active_entry != nullptr) {
+    t_active_entry->tier = tier;
   }
 }
 

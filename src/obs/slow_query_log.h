@@ -30,9 +30,15 @@ struct SlowQueryEntry {
   uint64_t topic = 0;
   uint64_t top_n = 0;
   uint64_t total_micros = 0;
+  // Degradation-ladder tier that served the query ("exact", "approx",
+  // "stale"); nullptr when the traced path never stamped one. A literal,
+  // like StageTiming::stage. Makes a degraded burst diagnosable: a slow
+  // window whose entries all say tier=approx was pressure, not regression.
+  const char* tier = nullptr;
   std::vector<StageTiming> stages;
 
-  // "slow-query user=7 topic=3 top_n=10 total=15632us scorer.explore=15000us"
+  // "slow-query user=7 topic=3 top_n=10 total=15632us tier=exact
+  //  scorer.explore=15000us"
   std::string Format() const;
 };
 
@@ -78,6 +84,10 @@ class QueryTrace {
   // Called by SpanTimer when a span closes inside an active trace.
   // No-op when no trace is active on this thread.
   static void AppendStage(const char* stage, uint64_t micros);
+
+  // Records the serving tier on the active trace (a string literal, e.g.
+  // core::TierName()). No-op when no trace is active on this thread.
+  static void SetServedTier(const char* tier);
 
  private:
   SlowQueryLog* log_;

@@ -1,0 +1,122 @@
+#ifndef MBR_SERVICE_PRESSURE_H_
+#define MBR_SERVICE_PRESSURE_H_
+
+// Lock-free serving-pressure monitor driving the degradation ladder
+// (DESIGN.md §6.8).
+//
+// Two signals, both cheap enough to consult on every query:
+//   * inflight watermarks — queries currently inside the engine, tracked
+//     by Begin()/End(). Crossing `approx_at` caps the ladder at the
+//     landmark approximation; crossing `stale_at` caps it at stale cache
+//     hits (the last tier before the server's admission control sheds).
+//   * recent-p99 — a ring of the last kWindow per-query latencies plus an
+//     incrementally-maintained count of samples over `p99_target_us`.
+//     When more than 1% of the window is over target (i.e. the windowed
+//     p99 exceeds the target), the ladder degrades one extra step.
+//
+// Everything is relaxed atomics: the monitor tolerates torn views (a
+// query may see a watermark a beat late) because the ladder is a policy,
+// not a correctness boundary — tier choice never affects result
+// integrity, only fidelity. The over-target counter stays exact under
+// races because ring slots are replaced with exchange(): every displaced
+// sample is decremented by exactly one writer.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/recommender_iface.h"
+
+namespace mbr::service {
+
+struct PressureConfig {
+  // Inflight watermark at which the ladder caps at kApprox.
+  // kNeverDegrade disables the watermark; 0 means "always".
+  uint32_t approx_at = kNeverDegrade;
+  // Inflight watermark at which the ladder caps at kStale.
+  uint32_t stale_at = kNeverDegrade;
+  // Recent-p99 latency target in µs; 0 disables the latency signal.
+  uint64_t p99_target_us = 0;
+
+  static constexpr uint32_t kNeverDegrade = UINT32_MAX;
+};
+
+class PressureMonitor {
+ public:
+  // Latency window: power of two so the ring index is a mask.
+  static constexpr uint32_t kWindow = 256;
+
+  explicit PressureMonitor(const PressureConfig& config) : config_(config) {}
+
+  PressureMonitor(const PressureMonitor&) = delete;
+  PressureMonitor& operator=(const PressureMonitor&) = delete;
+
+  // One query entered the engine / left it (with its latency). Thread-safe.
+  void Begin() { inflight_.fetch_add(1, std::memory_order_relaxed); }
+  void End(uint64_t latency_us) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    Observe(latency_us);
+  }
+
+  // Records a latency sample without the inflight bookkeeping (cache hits
+  // resolved on the calling thread still inform the p99 signal).
+  void Observe(uint64_t latency_us) {
+    if (config_.p99_target_us == 0) return;
+    const uint32_t i =
+        samples_written_.fetch_add(1, std::memory_order_relaxed) &
+        (kWindow - 1);
+    // Encode "occupied" in bit 63 so an empty slot (0) is distinguishable
+    // from a genuine 0µs sample without a separate occupancy array.
+    const uint64_t enc = latency_us | kOccupied;
+    const uint64_t old = ring_[i].exchange(enc, std::memory_order_relaxed);
+    const bool was_over =
+        (old & kOccupied) != 0 && (old & ~kOccupied) > config_.p99_target_us;
+    const bool is_over = latency_us > config_.p99_target_us;
+    if (is_over && !was_over) over_target_.fetch_add(1, std::memory_order_relaxed);
+    if (was_over && !is_over) over_target_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // The most faithful tier currently allowed by pressure. Thread-safe.
+  core::Tier AllowedTier() const {
+    const uint32_t inflight = inflight_.load(std::memory_order_relaxed);
+    int tier = 0;
+    if (inflight >= config_.stale_at) {
+      tier = 2;
+    } else if (inflight >= config_.approx_at) {
+      tier = 1;
+    }
+    if (RecentP99OverTarget() && tier < 2) ++tier;
+    return static_cast<core::Tier>(tier);
+  }
+
+  // True when the windowed p99 of observed latencies exceeds the target:
+  // strictly more than 1% of the (filled part of the) window is over it.
+  bool RecentP99OverTarget() const {
+    if (config_.p99_target_us == 0) return false;
+    const uint64_t written = samples_written_.load(std::memory_order_relaxed);
+    const uint64_t filled = written < kWindow ? written : kWindow;
+    if (filled == 0) return false;
+    const int64_t over = over_target_.load(std::memory_order_relaxed);
+    return over * 100 > static_cast<int64_t>(filled);
+  }
+
+  uint32_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  int64_t samples_over_target() const {
+    return over_target_.load(std::memory_order_relaxed);
+  }
+  const PressureConfig& config() const { return config_; }
+
+ private:
+  static constexpr uint64_t kOccupied = 1ULL << 63;
+
+  PressureConfig config_;
+  std::atomic<uint32_t> inflight_{0};
+  std::atomic<uint32_t> samples_written_{0};
+  std::atomic<int64_t> over_target_{0};
+  std::atomic<uint64_t> ring_[kWindow] = {};
+};
+
+}  // namespace mbr::service
+
+#endif  // MBR_SERVICE_PRESSURE_H_

@@ -1,6 +1,7 @@
 #include "service/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <latch>
 
 #include "obs/slow_query_log.h"
@@ -8,6 +9,12 @@
 #include "util/timer.h"
 
 namespace mbr::service {
+
+namespace {
+
+inline uint8_t TierV(core::Tier t) { return static_cast<uint8_t>(t); }
+
+}  // namespace
 
 double EngineStats::LatencyPercentileMicros(double p) const {
   uint64_t total = 0;
@@ -32,7 +39,16 @@ QueryEngine::QueryEngine(const graph::LabeledGraph& g,
       authority_(&authority),
       sim_(&sim),
       config_(config),
+      monitor_(config.degrade.pressure),
       pool_(config.num_threads) {
+  // The ladder needs the approx tier as its middle rung; without a
+  // landmark index it silently stays off (single exact tier).
+  degrade_enabled_ = config_.degrade.enabled && config_.landmarks != nullptr;
+  has_approx_ = config_.landmarks != nullptr;
+  // A landmark engine without the ladder serves approx only (the
+  // pre-ladder behaviour); with it, exact is the unpressured tier.
+  has_exact_ = config_.landmarks == nullptr || degrade_enabled_;
+  base_tier_ = has_exact_ ? core::Tier::kExact : core::Tier::kApprox;
   if (config_.registry != nullptr) {
     registry_ = config_.registry;
   } else {
@@ -56,6 +72,15 @@ QueryEngine::QueryEngine(const graph::LabeledGraph& g,
   metrics_.deadline_exceeded = registry_->GetCounter(
       "mbr_engine_deadline_exceeded_total",
       "Queries answered kDeadlineExceeded by the engine.");
+  for (int t = 0; t < 3; ++t) {
+    metrics_.tier_served[t] = registry_->GetCounter(
+        "mbr_engine_tier_served_total",
+        "Replies served, by degradation-ladder tier.",
+        {{"tier", core::TierName(static_cast<core::Tier>(t))}});
+  }
+  metrics_.degraded = registry_->GetCounter(
+      "mbr_engine_degraded_total",
+      "Replies served below the engine's best tier.");
   metrics_.latency_us = registry_->GetHistogram(
       "mbr_engine_latency_us",
       "Per-query engine latency in microseconds (hits and misses).");
@@ -77,16 +102,21 @@ void QueryEngine::BuildWorkers() {
     Worker& w = workers_[i];
     // Each worker's scorer borrows the worker's long-lived arena: Rebind()
     // replaces the scorer but the warmed scratch block carries over, so the
-    // first query after a rebind still runs allocation-free.
+    // first query after a rebind still runs allocation-free. With the
+    // ladder on, the approx recommender's internal scorer shares the same
+    // arena — workers are single-caller, so the scratch is never live in
+    // both at once.
     util::QueryArena* arena = arenas_[i].get();
-    if (config_.landmarks != nullptr) {
+    if (has_approx_) {
       landmark::ApproxConfig ac = config_.approx;
       ac.params = config_.params;
       w.approx = std::make_unique<landmark::ApproxRecommender>(
           *g_, *authority_, *sim_, *config_.landmarks, ac, arena);
-    } else {
-      w.scorer = std::make_unique<core::Scorer>(*g_, *authority_, *sim_,
-                                                config_.params, arena);
+    }
+    if (has_exact_) {
+      w.scorer = std::make_unique<core::Scorer>(
+          *g_, *authority_, *sim_, config_.params,
+          has_approx_ ? nullptr : arena);
     }
   }
 }
@@ -95,14 +125,55 @@ void QueryEngine::RecordLatencySeconds(double seconds) {
   metrics_.latency_us->Record(static_cast<uint64_t>(seconds * 1e6));
 }
 
-bool QueryEngine::CacheLookup(const CacheKey& key,
-                              std::vector<util::ScoredId>* out) {
+void QueryEngine::CountServed(core::Tier tier) {
+  metrics_.tier_served[TierV(tier)]->Increment();
+  if (TierV(tier) > TierV(base_tier_)) metrics_.degraded->Increment();
+}
+
+bool QueryEngine::CacheLookup(const CacheKey& key, CachedList* out) {
   if (cache_ == nullptr) return false;
   return cache_->Get(key, out);
 }
 
-util::Result<core::Ranking> QueryEngine::ExecuteQuery(uint32_t wid,
-                                                      const core::Query& q) {
+bool QueryEngine::StaleLookup(const core::Query& q, uint64_t epoch,
+                              CachedList* out, uint32_t* age) {
+  if (cache_ == nullptr) return false;
+  const uint32_t keep = config_.degrade.stale_keep_epochs;
+  for (uint32_t a = 1; a <= keep && a <= epoch; ++a) {
+    if (CacheLookup(CacheKey{q.user, q.topic, q.top_n, epoch - a}, out)) {
+      *age = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+core::Tier QueryEngine::ChooseScoredTier(const core::Query& q) const {
+  core::Tier allowed = base_tier_;
+  if (degrade_enabled_) {
+    const core::Tier pressured = monitor_.AllowedTier();
+    if (TierV(pressured) > TierV(allowed)) allowed = pressured;
+  }
+  // The caller's floor: never serve a tier more degraded than min_tier.
+  if (TierV(allowed) > TierV(q.min_tier)) allowed = q.min_tier;
+  // Clamp to the recommenders actually built. A "stale" verdict landing
+  // here means the stale probe missed — serve the cheapest scored tier.
+  if (allowed == core::Tier::kStale) {
+    allowed = has_approx_ ? core::Tier::kApprox : core::Tier::kExact;
+  }
+  if (allowed == core::Tier::kApprox && !has_approx_) {
+    allowed = core::Tier::kExact;
+  }
+  if (allowed == core::Tier::kExact && !has_exact_) {
+    // min_tier = kExact on an exact-less engine is rejected at admission,
+    // so serving approx here never violates the caller's floor.
+    allowed = core::Tier::kApprox;
+  }
+  return allowed;
+}
+
+util::Result<Response> QueryEngine::ExecuteQuery(uint32_t wid,
+                                                const core::Query& q) {
   util::WallTimer timer;
   // Trace the scored path: spans opened below (and inside the scorers)
   // attach their timings, and the whole breakdown lands in the slow-query
@@ -110,12 +181,19 @@ util::Result<core::Ranking> QueryEngine::ExecuteQuery(uint32_t wid,
   obs::QueryTrace trace(obs::Enabled() ? &obs::SlowQueryLog::Default()
                                        : nullptr,
                         q.user, q.topic, q.top_n);
-  util::Result<core::Ranking> out = [&]() -> util::Result<core::Ranking> {
+  const core::Tier tier = ChooseScoredTier(q);
+  obs::QueryTrace::SetServedTier(core::TierName(tier));
+  util::Result<Response> out = [&]() -> util::Result<Response> {
     MBR_SPAN("engine.execute");
     if (stale_probe_) stale_probe_();
     Worker& w = workers_[wid];
-    if (w.approx != nullptr) {
-      return w.approx->Recommend(q);
+    Response resp;
+    resp.meta.served_tier = tier;
+    if (tier == core::Tier::kApprox) {
+      util::Result<core::Ranking> r = w.approx->Recommend(q);
+      if (!r.ok()) return r.status();
+      resp.ranking = std::move(r.value());
+      return resp;
     }
     if (q.expired()) {
       return util::Status::DeadlineExceeded("query deadline expired");
@@ -126,34 +204,36 @@ util::Result<core::Ranking> QueryEngine::ExecuteQuery(uint32_t wid,
     for (graph::NodeId v : res.reached()) {
       builder.Offer(v, res.Sigma(v, q.topic));
     }
-    return builder.Take();
+    resp.ranking = builder.Take();
+    return resp;
   }();
   RecordLatencySeconds(timer.ElapsedSeconds());
   if (!out.ok() && out.status().code() == util::StatusCode::kDeadlineExceeded) {
     metrics_.deadline_exceeded->Increment();
   }
+  if (out.ok()) CountServed(out.value().meta.served_tier);
   return out;
 }
 
-util::Result<core::Ranking> QueryEngine::Recommend(const core::Query& query) {
+util::Result<Response> QueryEngine::Recommend(const core::Query& query) {
   auto results = RecommendMany(std::span<const core::Query>(&query, 1));
   return std::move(results.front());
 }
 
 util::Result<std::vector<util::ScoredId>> QueryEngine::TopN(
     graph::NodeId user, topics::TopicId topic, uint32_t top_n) {
-  util::Result<core::Ranking> r = Recommend(Query::TopN(user, topic, top_n));
+  util::Result<Response> r = Recommend(Query::TopN(user, topic, top_n));
   if (!r.ok()) return r.status();
-  return std::move(r.value().entries);
+  return std::move(r.value().ranking.entries);
 }
 
-std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
+std::vector<util::Result<Response>> QueryEngine::RecommendMany(
     std::span<const core::Query> queries) {
   metrics_.batches->Increment();
   metrics_.queries->Increment(queries.size());
-  std::vector<util::Result<core::Ranking>> results(
+  std::vector<util::Result<Response>> results(
       queries.size(),
-      util::Result<core::Ranking>(util::Status::Internal("unanswered")));
+      util::Result<Response>(util::Status::Internal("unanswered")));
   if (queries.empty()) return results;
 
   std::vector<size_t> misses;
@@ -179,6 +259,20 @@ std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
     // already blown skip the cache.
     for (size_t i = 0; i < queries.size(); ++i) {
       const core::Query& q = queries[i];
+      if (q.min_tier == core::Tier::kExact) {
+        // Pinning exact is a contract, not a preference: it must be
+        // rejected up front when the engine can never honour it.
+        if (!has_exact_) {
+          results[i] = util::Status::InvalidArgument(
+              "min_tier=exact on an engine with no exact tier");
+          continue;
+        }
+        if (q.expired()) {
+          results[i] = util::Status::InvalidArgument(
+              "min_tier=exact with no deadline headroom");
+          continue;
+        }
+      }
       if (q.expired()) {
         results[i] = util::Status::DeadlineExceeded("query deadline expired");
         ++expired_at_admission;
@@ -188,24 +282,59 @@ std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
         misses.push_back(i);
         continue;
       }
-      CacheKey key{q.user, q.topic, q.top_n, epoch};
       util::WallTimer timer;
-      std::vector<util::ScoredId> cached;
-      if (CacheLookup(key, &cached)) {
+      CachedList cached;
+      if (CacheLookup(CacheKey{q.user, q.topic, q.top_n, epoch}, &cached)) {
         metrics_.cache_hits->Increment();
-        RecordLatencySeconds(timer.ElapsedSeconds());
-        core::Ranking rk;
-        rk.entries = std::move(cached);
-        rk.graph_epoch = epoch;
-        results[i] = std::move(rk);
-      } else {
-        misses.push_back(i);
+        const double seconds = timer.ElapsedSeconds();
+        RecordLatencySeconds(seconds);
+        monitor_.Observe(static_cast<uint64_t>(seconds * 1e6));
+        Response resp;
+        resp.ranking.entries = std::move(cached.entries);
+        resp.meta.served_tier = cached.tier;
+        resp.meta.cache_hit = true;
+        resp.meta.graph_epoch = epoch;
+        CountServed(cached.tier);
+        results[i] = std::move(resp);
+        continue;
       }
+      // Stale tier: at the deepest watermark, a dead-epoch entry beats
+      // scoring at all — serve it (honestly stamped with its old epoch)
+      // instead of queueing work.
+      if (degrade_enabled_ && TierV(q.min_tier) >= TierV(core::Tier::kStale) &&
+          monitor_.AllowedTier() == core::Tier::kStale) {
+        uint32_t age = 0;
+        if (StaleLookup(q, epoch, &cached, &age)) {
+          metrics_.cache_hits->Increment();
+          const double seconds = timer.ElapsedSeconds();
+          RecordLatencySeconds(seconds);
+          monitor_.Observe(static_cast<uint64_t>(seconds * 1e6));
+          Response resp;
+          resp.ranking.entries = std::move(cached.entries);
+          resp.meta.served_tier = core::Tier::kStale;
+          resp.meta.cache_hit = true;
+          resp.meta.graph_epoch = epoch - age;
+          resp.meta.stale_age_epochs = age;
+          CountServed(core::Tier::kStale);
+          results[i] = std::move(resp);
+          continue;
+        }
+      }
+      misses.push_back(i);
     }
   }
   metrics_.deadline_exceeded->Increment(expired_at_admission);
   metrics_.cache_misses->Increment(misses.size());
   if (misses.empty()) return results;
+
+  // Pressure accounting: every miss is inflight from admission until its
+  // worker finishes it, so queue depth (not just active scoring) drives
+  // the watermarks. The admission timestamp makes the observed latency
+  // include queue wait.
+  const auto admitted = std::chrono::steady_clock::now();
+  if (degrade_enabled_) {
+    for (size_t m = 0; m < misses.size(); ++m) monitor_.Begin();
+  }
 
   // Fan the misses across the pool in contiguous chunks (several queries
   // per task keeps queue overhead negligible for large batches).
@@ -217,7 +346,7 @@ std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t begin = c * chunk;
     const size_t end = std::min(begin + chunk, misses.size());
-    pool_.Submit([this, &queries, &results, &misses, begin, end,
+    pool_.Submit([this, &queries, &results, &misses, begin, end, admitted,
                   &done](uint32_t wid) {
       {
         std::shared_lock<std::shared_mutex> lock(rebind_mu_);
@@ -231,11 +360,19 @@ std::vector<util::Result<core::Ranking>> QueryEngine::RecommendMany(
           const size_t i = misses[m];
           const core::Query& q = queries[i];
           results[i] = ExecuteQuery(wid, q);
+          if (degrade_enabled_) {
+            const auto waited = std::chrono::steady_clock::now() - admitted;
+            monitor_.End(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(waited)
+                    .count()));
+          }
           if (results[i].ok()) {
-            results[i].value().graph_epoch = scoring_epoch;
+            Response& resp = results[i].value();
+            resp.meta.graph_epoch = scoring_epoch;
             if (cache_ != nullptr && q.exclude.empty()) {
-              cache_->Put(CacheKey{q.user, q.topic, q.top_n, scoring_epoch},
-                          results[i].value().entries);
+              cache_->Put(
+                  CacheKey{q.user, q.topic, q.top_n, scoring_epoch},
+                  CachedList{resp.ranking.entries, resp.meta.served_tier});
             }
           }
         }
@@ -302,17 +439,23 @@ void QueryEngine::Invalidate() {
   const uint64_t new_epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   metrics_.invalidations->Increment();
   if (cache_ != nullptr) {
-    // Entries keyed to epochs below `new_epoch` can never be hit again
-    // (lookups always use the current epoch), but without this sweep they
-    // would sit in the LRU lists until evicted by pressure, silently
-    // shrinking the cache's effective capacity after every rebind. The
-    // sweep is best-effort against a racing Put() that read the old epoch
-    // under a shared-lock hold — that straggler is unreachable too and the
-    // next invalidation's sweep collects it.
-    size_t purged =
-        cache_->EraseIf([new_epoch](const CacheKey& k) {
-          return k.epoch < new_epoch;
-        });
+    // Entries keyed to epochs below `new_epoch` can never be hit by a
+    // fresh lookup again (those always use the current epoch). Without
+    // the ladder they are swept immediately so they stop occupying LRU
+    // capacity; with it, the newest `stale_keep_epochs` dead generations
+    // are retained as the stale tier's inventory and only older ones go.
+    // The sweep is best-effort against a racing Put() that read the old
+    // epoch under a shared-lock hold — that straggler is unreachable (or
+    // merely stale-served) too and the next invalidation's sweep collects
+    // it.
+    const uint64_t keep = degrade_enabled_
+                              ? config_.degrade.stale_keep_epochs
+                              : 0;
+    const uint64_t purge_below =
+        new_epoch > keep ? new_epoch - keep : 0;
+    size_t purged = cache_->EraseIf([purge_below](const CacheKey& k) {
+      return k.epoch < purge_below;
+    });
     metrics_.cache_purged->Increment(purged);
   }
 }
@@ -345,6 +488,8 @@ EngineStats QueryEngine::Stats() const {
   s.invalidations = metrics_.invalidations->Value();
   s.deadline_exceeded = metrics_.deadline_exceeded->Value();
   s.params_epoch = epoch_.load(std::memory_order_relaxed);
+  for (int t = 0; t < 3; ++t) s.tier_served[t] = metrics_.tier_served[t]->Value();
+  s.degraded = metrics_.degraded->Value();
   obs::Histogram::Snapshot snap = metrics_.latency_us->TakeSnapshot();
   s.latency_log2_us = snap.buckets;
   return s;

@@ -31,7 +31,7 @@
 // the offline evaluation protocol): queries must have empty `candidates`.
 //
 // Epoch scheme: the epoch only ever grows, and doubles as the *graph
-// epoch* surfaced on every Ranking (bumped once per Rebind / applied
+// epoch* surfaced on every reply (bumped once per Rebind / applied
 // mutation batch by the live-mutation path, see service::MutationApplier).
 // Epochs are observed under the rebind lock, so a query sees one
 // consistent (graph, epoch) pair end-to-end: a scored result is stamped
@@ -40,6 +40,17 @@
 // by key equality is exactly the epoch its entry was computed at. A reply
 // can therefore never claim a newer epoch than the graph its ranking was
 // computed against — correctness never depends on the cache.
+//
+// Degradation ladder (DESIGN.md §6.8): with `EngineConfig::degrade`
+// enabled (and a landmark index configured), every worker owns BOTH an
+// exact scorer and the landmark approximation, and a
+// service::PressureMonitor picks the serving tier per query:
+// exact → approx at the first inflight watermark (or when the recent p99
+// is over target), and at the second watermark dead-epoch cache entries —
+// which Invalidate() then *retains* for `stale_keep_epochs` generations
+// instead of purging — become a last-resort stale tier before the network
+// layer sheds. Every reply says which tier served it (ServeMeta);
+// `core::Query::min_tier` caps how far an individual query may degrade.
 
 #include <array>
 #include <atomic>
@@ -58,6 +69,8 @@
 #include "landmark/approx.h"
 #include "landmark/index.h"
 #include "obs/metrics.h"
+#include "service/pressure.h"
+#include "service/response.h"
 #include "topics/similarity_matrix.h"
 #include "topics/topic.h"
 #include "util/arena.h"
@@ -71,6 +84,21 @@ namespace mbr::service {
 // The serving request is the core request object.
 using Query = core::Query;
 
+// Degradation-ladder policy (DESIGN.md §6.8). Off by default: a plain
+// engine keeps today's single-tier behaviour (exact, or approx when a
+// landmark index is configured) and purges dead-epoch cache entries
+// eagerly.
+struct DegradeConfig {
+  // Enables the ladder. Requires EngineConfig::landmarks (the approx tier
+  // is the ladder's middle rung); ignored without one.
+  bool enabled = false;
+  // Watermarks + recent-p99 target driving tier choice.
+  PressureConfig pressure;
+  // How many dead epochs of cached results Invalidate() retains as the
+  // stale tier's inventory (0 = keep none, stale tier never hits).
+  uint32_t stale_keep_epochs = 4;
+};
+
 struct EngineConfig {
   // Worker threads: 0 = hardware concurrency.
   uint32_t num_threads = 0;
@@ -83,6 +111,10 @@ struct EngineConfig {
   // engine; `approx.params` is overridden by `params`.
   const landmark::LandmarkIndex* landmarks = nullptr;
   landmark::ApproxConfig approx;
+  // Degradation ladder. With `degrade.enabled` and a landmark index, the
+  // engine serves exact when unpressured and walks the ladder under load
+  // (each worker then owns both recommenders).
+  DegradeConfig degrade;
   // Where the engine registers its counters/histogram. nullptr = the
   // engine owns a private registry (hermetic stats in tests); `mbrec
   // serve` passes &obs::Registry::Default() so one exposition covers the
@@ -108,6 +140,11 @@ struct EngineStats {
   uint64_t invalidations = 0;
   uint64_t deadline_exceeded = 0;  // queries answered kDeadlineExceeded
   uint64_t params_epoch = 0;
+  // Per-tier serving counters (mbr_engine_tier_served_total{tier=…}),
+  // indexed by core::Tier's numeric value, plus the count of queries
+  // served below the engine's best tier (mbr_engine_degraded_total).
+  std::array<uint64_t, 3> tier_served{};
+  uint64_t degraded = 0;
   // latency_log2_us[b] counts queries with latency in [2^b, 2^(b+1)) µs
   // (bucket 0 also holds sub-microsecond samples); see LatencyBucket().
   // Cache hits and scored queries both land here (hits in the lowest
@@ -139,14 +176,16 @@ class QueryEngine {
 
   // Blocking single query. Thread-safe; cache hits resolve on the calling
   // thread, misses score on a pool worker. Expired deadlines yield
-  // kDeadlineExceeded. Preconditions: user < num_nodes,
+  // kDeadlineExceeded; `min_tier = kExact` with an already-blown deadline
+  // (a demand the ladder can never honour) or on an engine with no exact
+  // tier yields kInvalidArgument. Preconditions: user < num_nodes,
   // topic < num_topics, top_n > 0, candidates empty.
-  util::Result<core::Ranking> Recommend(const core::Query& query);
+  util::Result<Response> Recommend(const core::Query& query);
 
   // Batched queries, fanned across the worker pool. results[i] always
   // answers queries[i] (input order is preserved regardless of which
   // worker served which query). Thread-safe.
-  std::vector<util::Result<core::Ranking>> RecommendMany(
+  std::vector<util::Result<Response>> RecommendMany(
       std::span<const core::Query> queries);
 
   // The home shard's half of a coordinator query (DESIGN.md §6.7): the
@@ -172,10 +211,12 @@ class QueryEngine {
 
   // Drops all cached results in O(1) by bumping the params epoch, then
   // sweeps entries keyed to dead epochs out of the cache so they stop
-  // occupying capacity (they are unreachable by key equality the moment
-  // the epoch moves). Wire this to
+  // occupying capacity (they are unreachable by fresh-lookup key equality
+  // the moment the epoch moves). With the degradation ladder enabled the
+  // sweep retains the newest `stale_keep_epochs` dead generations — the
+  // stale tier's inventory — and only purges older ones. Wire this to
   // dynamic::DeltaGraph::SetChangeListener so edge churn can never serve
-  // stale lists.
+  // stale lists as fresh.
   void Invalidate();
 
   // Points the engine at a new graph snapshot (e.g. a materialised
@@ -209,6 +250,13 @@ class QueryEngine {
   uint32_t num_nodes() const;
   uint32_t num_topics() const;
   bool cache_enabled() const { return cache_ != nullptr; }
+  // The best tier this engine can serve (kExact, or kApprox for a
+  // landmark-only engine without the ladder).
+  core::Tier base_tier() const { return base_tier_; }
+  bool degrade_enabled() const { return degrade_enabled_; }
+  // The ladder's pressure signal (watermark state, recent p99). Valid for
+  // the engine's lifetime; read-only observers are thread-safe.
+  const PressureMonitor& pressure() const { return monitor_; }
 
   // The registry holding the engine's series (the configured one, or the
   // engine-owned private registry).
@@ -235,11 +283,16 @@ class QueryEngine {
       return static_cast<size_t>(h);
     }
   };
-  using Cache =
-      util::ShardedLruCache<CacheKey, std::vector<util::ScoredId>,
-                            CacheKeyHash>;
+  // Cached value: the ranked list plus the tier that computed it, so a
+  // hit's reply can name its true provenance.
+  struct CachedList {
+    std::vector<util::ScoredId> entries;
+    core::Tier tier = core::Tier::kExact;
+  };
+  using Cache = util::ShardedLruCache<CacheKey, CachedList, CacheKeyHash>;
 
-  // Per-worker scoring state; indexed by the pool's worker id.
+  // Per-worker scoring state; indexed by the pool's worker id. With the
+  // ladder enabled both recommenders exist; otherwise exactly one does.
   struct Worker {
     std::unique_ptr<core::Scorer> scorer;
     std::unique_ptr<landmark::ApproxRecommender> approx;
@@ -254,22 +307,41 @@ class QueryEngine {
     obs::Counter* invalidations = nullptr;
     obs::Counter* cache_purged = nullptr;
     obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* tier_served[3] = {nullptr, nullptr, nullptr};
+    obs::Counter* degraded = nullptr;
     obs::Histogram* latency_us = nullptr;
   };
 
   void BuildWorkers();
-  // Scores one query on worker `wid` (cache miss path) and records its
-  // latency. Caller must hold rebind_mu_ shared.
-  util::Result<core::Ranking> ExecuteQuery(uint32_t wid,
-                                           const core::Query& q);
+  // Scores one query on worker `wid` (cache miss path) at the tier the
+  // ladder currently allows, records its latency, and stamps the tier.
+  // Caller must hold rebind_mu_ shared.
+  util::Result<Response> ExecuteQuery(uint32_t wid, const core::Query& q);
+  // The tier a scored (miss-path) query serves at right now: pressure
+  // capped by q.min_tier, clamped to the recommenders actually built.
+  // Never returns kStale (stale is resolved at admission, not scored).
+  core::Tier ChooseScoredTier(const core::Query& q) const;
+  // Counts one served reply in the per-tier/degraded series.
+  void CountServed(core::Tier tier);
   void RecordLatencySeconds(double seconds);
-  bool CacheLookup(const CacheKey& key, std::vector<util::ScoredId>* out);
+  bool CacheLookup(const CacheKey& key, CachedList* out);
+  // Probes dead-epoch cache keys (newest first) for the stale tier.
+  // Returns true and fills *out / *age on a hit.
+  bool StaleLookup(const core::Query& q, uint64_t epoch, CachedList* out,
+                   uint32_t* age);
 
   const graph::LabeledGraph* g_;
   const core::AuthorityIndex* authority_;
   const topics::SimilarityMatrix* sim_;
   EngineConfig config_;
   std::function<void()> stale_probe_;
+
+  // Ladder state, derived from config in the constructor.
+  bool degrade_enabled_ = false;
+  core::Tier base_tier_ = core::Tier::kExact;
+  bool has_exact_ = true;
+  bool has_approx_ = false;
+  PressureMonitor monitor_;
 
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_ = nullptr;

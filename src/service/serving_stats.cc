@@ -16,22 +16,29 @@ StatsSnapshot MakeStatsSnapshot(const EngineStats& s) {
   out.p50_us = s.LatencyPercentileMicros(0.50);
   out.p90_us = s.LatencyPercentileMicros(0.90);
   out.p99_us = s.LatencyPercentileMicros(0.99);
+  out.tier_exact = s.tier_served[0];
+  out.tier_approx = s.tier_served[1];
+  out.tier_stale = s.tier_served[2];
+  out.degraded = s.degraded;
   return out;
 }
 
 std::string FormatStatsLine(const StatsSnapshot& s) {
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof(buf),
       "queries=%llu hit=%.1f%% shed=%llu+%llu expired=%llu conns=%llu/%llu "
-      "p50=%.0fus p90=%.0fus p99=%.0fus",
+      "p50=%.0fus p90=%.0fus p99=%.0fus tiers=%llu/%llu/%llu degraded=%llu",
       static_cast<unsigned long long>(s.queries), 100.0 * s.HitRate(),
       static_cast<unsigned long long>(s.shed_overload),
       static_cast<unsigned long long>(s.shed_deadline),
       static_cast<unsigned long long>(s.deadline_exceeded),
       static_cast<unsigned long long>(s.connections_open),
       static_cast<unsigned long long>(s.connections_accepted), s.p50_us,
-      s.p90_us, s.p99_us);
+      s.p90_us, s.p99_us, static_cast<unsigned long long>(s.tier_exact),
+      static_cast<unsigned long long>(s.tier_approx),
+      static_cast<unsigned long long>(s.tier_stale),
+      static_cast<unsigned long long>(s.degraded));
   return buf;
 }
 

@@ -41,6 +41,13 @@ struct StatsSnapshot {
   // leave them zero.
   uint32_t shards_total = 0;
   uint32_t shards_up = 0;
+  // Degradation ladder (protocol v5): replies served per tier, indexed by
+  // core::Tier's numeric value, and replies served below the engine's
+  // best tier.
+  uint64_t tier_exact = 0;
+  uint64_t tier_approx = 0;
+  uint64_t tier_stale = 0;
+  uint64_t degraded = 0;
 
   double HitRate() const {
     uint64_t total = cache_hits + cache_misses;
@@ -54,9 +61,10 @@ StatsSnapshot MakeStatsSnapshot(const EngineStats& s);
 
 // The canonical one-line rendering, e.g.
 //   "queries=120 hit=41.7% shed=3+0 expired=1 conns=2/17 p50=128us
-//    p90=512us p99=1024us"
+//    p90=512us p99=1024us tiers=100/15/5 degraded=20"
 // (shed is overload+deadline at the network layer, expired is the engine's
-// own deadline-exceeded count, conns is open/accepted).
+// own deadline-exceeded count, conns is open/accepted, tiers is
+// exact/approx/stale).
 std::string FormatStatsLine(const StatsSnapshot& s);
 
 }  // namespace mbr::service

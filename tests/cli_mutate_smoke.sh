@@ -49,7 +49,7 @@ grep -q '^mutations: enabled' "$LOG" \
 # Before any mutation the replica serves graph epoch 0.
 "$MBREC" query-remote --port "$PORT" --user 7 --topic technology --top 5 \
   >"$OUT" || { echo "query-remote failed"; cat "$LOG"; exit 1; }
-grep -q '(graph epoch 0)' "$OUT" \
+grep -q '(graph epoch 0, exact tier)' "$OUT" \
   || { echo "expected graph epoch 0 before mutations:"; cat "$OUT"; exit 1; }
 
 # A fresh FOLLOW applies and bumps the epoch to 1.
@@ -81,7 +81,7 @@ grep -q 'applied=1 rejected=0 graph_epoch=3' "$OUT" \
 # Reads observe the post-mutation epoch.
 "$MBREC" query-remote --port "$PORT" --user 7 --topic technology --top 5 \
   >"$OUT" || { echo "query-remote after mutations failed"; cat "$LOG"; exit 1; }
-grep -q '(graph epoch 3)' "$OUT" \
+grep -q '(graph epoch 3, exact tier)' "$OUT" \
   || { echo "expected graph epoch 3 after three applied batches:"; cat "$OUT"; exit 1; }
 
 # The scrape covers the mutation counters with the values the acks implied.

@@ -114,8 +114,14 @@ struct Stack {
   }
 };
 
+// `ladder_shard` (when not UINT32_MAX) gives that one shard a degradation
+// ladder pinned at the approx rung (approx_at = 0), so its replies carry
+// served_tier = 1 deterministically — the tier-merge tests' pressured
+// shard. `degrade_partial` feeds RouterConfig::degrade_partial.
 std::unique_ptr<Stack> MakeStack(uint32_t shards, PartitionStrategy strategy,
-                                 bool landmark_mode, uint32_t halo_depth) {
+                                 bool landmark_mode, uint32_t halo_depth,
+                                 uint32_t ladder_shard = UINT32_MAX,
+                                 bool degrade_partial = true) {
   const Corpus& c = SharedCorpus();
   distributed::PartitionConfig pcfg;
   pcfg.num_partitions = shards;
@@ -126,10 +132,16 @@ std::unique_ptr<Stack> MakeStack(uint32_t shards, PartitionStrategy strategy,
                           c.graph->num_topics(), std::move(eps));
 
   for (uint32_t s = 0; s < shards; ++s) {
+    service::EngineConfig ec = c.EngineConfigFor(landmark_mode);
+    const landmark::LandmarkIndex* idx =
+        landmark_mode ? c.index.get() : nullptr;
+    if (s == ladder_shard) {
+      idx = c.index.get();  // the ladder's middle rung needs landmarks
+      ec.degrade.enabled = true;
+      ec.degrade.pressure.approx_at = 0;  // pinned at the approx rung
+    }
     auto ctx = BuildShardContext(
-        *c.graph, topics::TwitterSimilarity(), stack->plan, s,
-        landmark_mode ? c.index.get() : nullptr,
-        c.EngineConfigFor(landmark_mode));
+        *c.graph, topics::TwitterSimilarity(), stack->plan, s, idx, ec);
     EXPECT_TRUE(ctx.ok()) << ctx.status().ToString();
     if (!ctx.ok()) return nullptr;
     stack->contexts.push_back(std::move(*ctx));
@@ -151,6 +163,7 @@ std::unique_ptr<Stack> MakeStack(uint32_t shards, PartitionStrategy strategy,
   RouterConfig rcfg;
   rcfg.port = 0;
   rcfg.landmark_mode = landmark_mode;
+  rcfg.degrade_partial = degrade_partial;
   rcfg.shard_timeout_ms = 5000;
   stack->router = std::make_unique<Router>(stack->plan, rcfg);
   EXPECT_TRUE(stack->router->Start().ok());
@@ -214,7 +227,7 @@ void ExpectRoutedMatchesReference(net::Client& client,
   auto expect = reference.Recommend(ToQuery(req));
   ASSERT_TRUE(expect.ok()) << context << ": " << expect.status().ToString();
   ASSERT_EQ(CanonicalBytes(routed->entries),
-            CanonicalBytes(expect->entries))
+            CanonicalBytes(expect->ranking.entries))
       << context << ": routed reply diverged from single-node, user="
       << req.user << " topic=" << req.topic;
 }
@@ -283,7 +296,7 @@ TEST(CoordDifferentialTest, BatchRoutedPreservesOrderAndBytes) {
     ASSERT_TRUE(expect.ok());
     EXPECT_EQ((*routed)[i].coord.partial, 0u) << "batch slot " << i;
     ASSERT_EQ(CanonicalBytes((*routed)[i].entries),
-              CanonicalBytes(expect->entries))
+              CanonicalBytes(expect->ranking.entries))
         << "batch slot " << i << " user=" << batch[i].user;
   }
 }
@@ -348,6 +361,96 @@ TEST(CoordPartialPolicyTest, KilledShardDegradesToPartialNeverFails) {
   obs::Counter* shard_errors = stack->router->registry().GetCounter(
       "mbr_coord_shard_errors_total", "");
   EXPECT_GE(shard_errors->Value(), 1u);
+}
+
+TEST(CoordPartialPolicyTest, DegradeOffTurnsShardLossIntoError) {
+  // `mbrec route --degrade off`: a lost shard is an ERROR, not a silent
+  // partial merge. Exact mode so the surviving shard needs nothing from
+  // the dead one.
+  const uint32_t halo = Params().max_depth - 1;
+  auto stack = MakeStack(/*shards=*/2, PartitionStrategy::kCommunity,
+                         /*landmark_mode=*/false, halo,
+                         /*ladder_shard=*/UINT32_MAX,
+                         /*degrade_partial=*/false);
+  ASSERT_NE(stack, nullptr);
+  auto client = Dial(*stack);
+  ASSERT_TRUE(client.ok());
+
+  stack->servers[1]->RequestStop();
+  stack->servers[1]->Wait();
+
+  uint32_t victim = 0;
+  while (stack->plan.ShardOf(victim) != 1) ++victim;
+  auto lost = client->RecommendEx({victim, /*topic=*/0, /*top_n=*/10});
+  ASSERT_FALSE(lost.ok()) << "degrade off must fail, not partially merge";
+
+  // The live shard's queries are untouched by the policy.
+  uint32_t survivor = 0;
+  while (stack->plan.ShardOf(survivor) != 0) ++survivor;
+  auto alive = client->RecommendEx({survivor, /*topic=*/0, /*top_n=*/10});
+  ASSERT_TRUE(alive.ok()) << alive.status().ToString();
+  EXPECT_EQ(alive->coord.partial, 0u);
+}
+
+// ---- Protocol v5 tier merge through the router. ----
+
+TEST(CoordTierMergeTest, RoutedTierIsMaxOverContributingShards) {
+  // Exact-mode router over one healthy exact shard (0) and one shard
+  // pinned at the approx rung (1): the routed reply's tier must be the
+  // home shard's tier — 0 or 1 depending on where the user lives — and a
+  // batch mixing both homes must carry per-list tiers.
+  const uint32_t halo = Params().max_depth - 1;
+  auto stack = MakeStack(/*shards=*/2, PartitionStrategy::kCommunity,
+                         /*landmark_mode=*/false, halo,
+                         /*ladder_shard=*/1);
+  ASSERT_NE(stack, nullptr);
+  auto client = Dial(*stack);
+  ASSERT_TRUE(client.ok());
+
+  uint32_t on_exact = 0;
+  while (stack->plan.ShardOf(on_exact) != 0) ++on_exact;
+  uint32_t on_ladder = 0;
+  while (stack->plan.ShardOf(on_ladder) != 1) ++on_ladder;
+
+  auto exact = client->RecommendEx({on_exact, /*topic=*/0, /*top_n=*/5});
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(exact->served_tier, 0u);
+  EXPECT_EQ(exact->coord.partial, 0u);
+
+  auto degraded = client->RecommendEx({on_ladder, /*topic=*/0, /*top_n=*/5});
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded->served_tier, 1u)
+      << "the throttled shard's tier must survive the merge";
+  EXPECT_EQ(degraded->coord.partial, 0u)
+      << "tier degradation composes with, not through, the partial trailer";
+
+  std::vector<net::RecommendRequest> batch = {
+      {on_exact, 0, 5}, {on_ladder, 0, 5}, {on_exact, 1, 5}};
+  auto replies = client->RecommendBatchEx(batch);
+  ASSERT_TRUE(replies.ok()) << replies.status().ToString();
+  ASSERT_EQ(replies->size(), 3u);
+  EXPECT_EQ((*replies)[0].served_tier, 0u);
+  EXPECT_EQ((*replies)[1].served_tier, 1u);
+  EXPECT_EQ((*replies)[2].served_tier, 0u);
+
+  // The rollup sums the shards' per-tier counters: both tiers appear.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->tier_exact, 3u);
+  EXPECT_GE(stats->tier_approx, 2u);
+  EXPECT_GE(stats->degraded, 2u);
+}
+
+TEST(CoordTierMergeTest, LandmarkRoutedTierIsAtLeastApprox) {
+  auto stack = MakeStack(/*shards=*/2, PartitionStrategy::kHash,
+                         /*landmark_mode=*/true, /*halo_depth=*/1);
+  ASSERT_NE(stack, nullptr);
+  auto client = Dial(*stack);
+  ASSERT_TRUE(client.ok());
+  auto r = client->RecommendEx({/*user=*/3, /*topic=*/0, /*top_n=*/5});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The merged ranking is the landmark approximation by construction.
+  EXPECT_EQ(r->served_tier, 1u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "net/protocol.h"
@@ -444,6 +445,201 @@ TEST(NetProtocolTest, KindNamesAndClasses) {
   EXPECT_TRUE(IsReplyKind(MessageKind::kMutateAck));
   EXPECT_TRUE(IsMutationKind(MessageKind::kRelabel));
   EXPECT_FALSE(IsMutationKind(MessageKind::kRecommend));
+}
+
+// ---- Protocol v5: the served_tier byte (degradation ladder). ----
+
+TEST(NetProtocolTest, V5ResultCarriesServedTier) {
+  WireLimits limits;
+  RankedList list = {{11, 0.5}, {22, 0.25}};
+  CoordTrailer trailer;
+  trailer.partial = 1;
+  trailer.shards_answered = 3;
+  trailer.shards_total = 4;
+
+  RankedList back;
+  uint64_t epoch = 0;
+  CoordTrailer tback;
+  uint8_t tier = 0;
+  ASSERT_TRUE(DecodeResult(EncodeResult(list, 7, 5, trailer, 2), limits, 5,
+                           &back, &epoch, &tback, &tier)
+                  .ok());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(epoch, 7u);
+  EXPECT_EQ(tier, 2u);  // stale
+  EXPECT_EQ(tback.partial, 1u);
+  EXPECT_EQ(tback.shards_answered, 3u);
+
+  // A v5 encode defaults the tier to 0 (exact) when the caller omits it.
+  ASSERT_TRUE(
+      DecodeResult(EncodeResult(list, 7, 5), limits, 5, &back, &epoch,
+                   nullptr, &tier)
+          .ok());
+  EXPECT_EQ(tier, 0u);
+}
+
+TEST(NetProtocolTest, V5InteropPinsV1ThroughV4Layouts) {
+  WireLimits limits;
+  RankedList list = {{11, 0.5}, {22, 0.25}};
+  const size_t n = list.size();
+
+  // Layout pins: [epoch u64 (v3+)][served_tier u8 (v5+)][count u32 +
+  // 12B/entry][coord trailer (v4+)]. A v5 reply is exactly one byte
+  // longer than v4; the pre-v5 layouts are frozen.
+  const std::vector<uint8_t> v1 = EncodeResult(list, 7, 1);
+  const std::vector<uint8_t> v2 = EncodeResult(list, 7, 2);
+  const std::vector<uint8_t> v3 = EncodeResult(list, 7, 3);
+  const std::vector<uint8_t> v4 = EncodeResult(list, 7, 4);
+  const std::vector<uint8_t> v5 = EncodeResult(list, 7, 5, {}, 1);
+  EXPECT_EQ(v1.size(), 4 + n * kResultEntryBytes);
+  EXPECT_EQ(v2, v1);  // v2 changed requests only, not RESULT
+  EXPECT_EQ(v3.size(), 8 + 4 + n * kResultEntryBytes);
+  EXPECT_EQ(v4.size(), v3.size() + kCoordTrailerBytes);
+  EXPECT_EQ(v5.size(), v4.size() + 1);
+
+  // Byte-level compatibility: v5 is the v4 layout with one byte spliced
+  // in after the epoch.
+  EXPECT_TRUE(std::equal(v4.begin(), v4.begin() + 8, v5.begin()));
+  EXPECT_EQ(v5[8], 1u);  // the served_tier byte
+  EXPECT_TRUE(std::equal(v4.begin() + 8, v4.end(), v5.begin() + 9));
+
+  // Every historical version still decodes its own bytes.
+  for (uint16_t v = 1; v <= 4; ++v) {
+    RankedList back;
+    uint64_t epoch = 0;
+    uint8_t tier = 77;
+    ASSERT_TRUE(DecodeResult(EncodeResult(list, 7, v), limits, v, &back,
+                             &epoch, nullptr, &tier)
+                    .ok())
+        << "version " << v;
+    ASSERT_EQ(back.size(), 2u) << "version " << v;
+    EXPECT_EQ(tier, 0u) << "pre-v5 decode must default the tier";
+  }
+  // Cross-version decode fails cleanly, not misaligned.
+  RankedList junk;
+  EXPECT_FALSE(DecodeResult(v5, limits, 4, &junk).ok());
+  EXPECT_FALSE(DecodeResult(v4, limits, 5, &junk).ok());
+}
+
+TEST(NetProtocolTest, V5ServedTierOutOfRangeIsRejected) {
+  WireLimits limits;
+  RankedList list = {{11, 0.5}};
+  std::vector<uint8_t> payload = EncodeResult(list, 7, 5, {}, 2);
+  payload[8] = 3;  // one past kMaxServedTier
+  RankedList back;
+  util::Status st = DecodeResult(payload, limits, 5, &back);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
+  payload[8] = 255;
+  EXPECT_FALSE(DecodeResult(payload, limits, 5, &back).ok());
+}
+
+TEST(NetProtocolTest, V5BatchCarriesPerListTiers) {
+  WireLimits limits;
+  std::vector<RankedList> lists = {{{11, 0.5}}, {}, {{1, 1.0}, {2, 2.0}}};
+  std::vector<uint64_t> epochs = {4, 9, 4};
+  std::vector<uint8_t> tiers = {0, 2, 1};
+
+  std::vector<RankedList> lists_back;
+  std::vector<uint64_t> epochs_back;
+  std::vector<uint8_t> tiers_back;
+  ASSERT_TRUE(DecodeResultBatch(EncodeResultBatch(lists, epochs, 5, {}, tiers),
+                                limits, 5, &lists_back, &epochs_back, nullptr,
+                                &tiers_back)
+                  .ok());
+  ASSERT_EQ(lists_back.size(), 3u);
+  EXPECT_EQ(epochs_back, epochs);
+  EXPECT_EQ(tiers_back, tiers);
+
+  // Omitted tiers encode as 0; pre-v5 decodes report all-zero tiers.
+  ASSERT_TRUE(DecodeResultBatch(EncodeResultBatch(lists, epochs, 5), limits,
+                                5, &lists_back, nullptr, nullptr, &tiers_back)
+                  .ok());
+  EXPECT_EQ(tiers_back, (std::vector<uint8_t>{0, 0, 0}));
+  ASSERT_TRUE(DecodeResultBatch(EncodeResultBatch(lists, epochs, 4), limits,
+                                4, &lists_back, nullptr, nullptr, &tiers_back)
+                  .ok());
+  EXPECT_EQ(tiers_back, (std::vector<uint8_t>{0, 0, 0}));
+
+  // A batch with one out-of-range tier byte fails as a whole.
+  const std::vector<uint8_t> bad_tiers = {0, 3, 1};
+  std::vector<uint8_t> bad =
+      EncodeResultBatch(lists, epochs, 5, {}, bad_tiers);
+  EXPECT_FALSE(DecodeResultBatch(bad, limits, 5, &lists_back).ok());
+}
+
+TEST(NetProtocolTest, V5StatsCarriesTierCounters) {
+  service::StatsSnapshot s;
+  s.queries = 10;
+  s.tier_exact = 6;
+  s.tier_approx = 3;
+  s.tier_stale = 1;
+  s.degraded = 4;
+  service::StatsSnapshot back;
+  ASSERT_TRUE(DecodeStats(EncodeStats(s, 5), 5, &back).ok());
+  EXPECT_EQ(back.tier_exact, 6u);
+  EXPECT_EQ(back.tier_approx, 3u);
+  EXPECT_EQ(back.tier_stale, 1u);
+  EXPECT_EQ(back.degraded, 4u);
+
+  // The v4 layout has no tier fields; decoding it must zero them.
+  service::StatsSnapshot v4;
+  v4.tier_exact = 99;
+  ASSERT_TRUE(DecodeStats(EncodeStats(s, 4), 4, &v4).ok());
+  EXPECT_EQ(v4.queries, 10u);
+  EXPECT_EQ(v4.tier_exact, 0u);
+  EXPECT_EQ(v4.degraded, 0u);
+  // Cross-version decode must fail cleanly, not misalign.
+  EXPECT_FALSE(DecodeStats(EncodeStats(s, 4), 5, &v4).ok());
+  EXPECT_FALSE(DecodeStats(EncodeStats(s, 5), 4, &v4).ok());
+}
+
+// Hostile-bytes sweep over the v5 RESULT codecs: every single-byte
+// truncation and every single-bit flip of a valid payload must either
+// decode to in-range values or fail with a clean Status — never crash,
+// and never hand back a served_tier outside the enum.
+TEST(NetProtocolTest, V5ResultSurvivesTruncationAndBitFlips) {
+  WireLimits limits;
+  std::vector<RankedList> lists = {{{11, 0.5}, {22, 0.25}}, {{1, 1.0}}};
+  CoordTrailer trailer;
+  trailer.shards_total = 2;
+  trailer.shards_answered = 2;
+  const std::vector<uint8_t> single =
+      EncodeResult(lists[0], 7, 5, trailer, 1);
+  const std::vector<uint64_t> sweep_epochs = {7, 8};
+  const std::vector<uint8_t> sweep_tiers = {1, 2};
+  const std::vector<uint8_t> batch =
+      EncodeResultBatch(lists, sweep_epochs, 5, trailer, sweep_tiers);
+
+  for (size_t keep = 0; keep < single.size(); ++keep) {
+    RankedList back;
+    std::vector<uint8_t> cut(single.begin(), single.begin() + keep);
+    EXPECT_FALSE(DecodeResult(cut, limits, 5, &back).ok())
+        << "truncated to " << keep << " bytes";
+  }
+  for (size_t keep = 0; keep < batch.size(); ++keep) {
+    std::vector<RankedList> back;
+    std::vector<uint8_t> cut(batch.begin(), batch.begin() + keep);
+    EXPECT_FALSE(DecodeResultBatch(cut, limits, 5, &back).ok())
+        << "batch truncated to " << keep << " bytes";
+  }
+  for (size_t byte = 0; byte < batch.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> flipped = batch;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      std::vector<RankedList> back;
+      std::vector<uint8_t> tiers;
+      util::Status st =
+          DecodeResultBatch(flipped, limits, 5, &back, nullptr, nullptr,
+                            &tiers);
+      if (st.ok()) {
+        for (uint8_t t : tiers) {
+          EXPECT_LE(t, kMaxServedTier)
+              << "flip byte " << byte << " bit " << bit;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -18,6 +18,8 @@
 
 #include "core/authority.h"
 #include "graph/labeled_graph.h"
+#include "landmark/index.h"
+#include "landmark/selection.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "service/query_engine.h"
@@ -219,11 +221,11 @@ TEST_F(NetServerTest, ExcludeListTravelsTheWire) {
   auto direct = engine_->Recommend(
       core::Query::TopN(3, 0, 8).WithExclude({base[0].id}));
   ASSERT_TRUE(direct.ok());
-  ASSERT_EQ(remote->size(), direct.value().entries.size());
+  ASSERT_EQ(remote->size(), direct.value().ranking.entries.size());
   for (size_t i = 0; i < remote->size(); ++i) {
     EXPECT_NE((*remote)[i].id, base[0].id);
-    EXPECT_EQ((*remote)[i].id, direct.value().entries[i].id);
-    EXPECT_EQ((*remote)[i].score, direct.value().entries[i].score);
+    EXPECT_EQ((*remote)[i].id, direct.value().ranking.entries[i].id);
+    EXPECT_EQ((*remote)[i].score, direct.value().ranking.entries[i].score);
   }
 }
 
@@ -479,6 +481,74 @@ TEST_F(NetServerTest, ConnectionCapRefusesExtraClients) {
     EXPECT_FALSE(c->Ping().ok());
   }
   EXPECT_GE(server_->counters().refused, 1u);
+}
+
+// ---- Protocol v5 over a live server: the served_tier byte. ----
+
+TEST_F(NetServerTest, ServedTierTravelsTheWireAndV4PeersStillDecode) {
+  StartServer({});  // exact engine: every reply is tier 0
+  auto client = Dial();
+  ASSERT_TRUE(client.ok());
+  auto one = client->RecommendEx({3, 0, 8});
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  EXPECT_EQ(one->served_tier, 0u);
+
+  std::vector<RecommendRequest> reqs = {{5, 0, 4}, {0, 1, 6}};
+  auto batch = client->RecommendBatchEx(reqs);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  for (const ResultReply& r : *batch) EXPECT_EQ(r.served_tier, 0u);
+
+  // A v4 peer gets the frozen v4 layout (no tier byte) and still decodes
+  // byte-identical entries.
+  ClientConfig cc;
+  cc.port = server_->port();
+  cc.protocol_version = 4;
+  auto v4 = Client::Connect(cc);
+  ASSERT_TRUE(v4.ok()) << v4.status().ToString();
+  auto old = v4->RecommendEx({3, 0, 8});
+  ASSERT_TRUE(old.ok()) << old.status().ToString();
+  EXPECT_EQ(old->served_tier, 0u);
+  ASSERT_EQ(old->entries.size(), one->entries.size());
+  for (size_t i = 0; i < old->entries.size(); ++i) {
+    EXPECT_EQ(old->entries[i].id, one->entries[i].id);
+    EXPECT_EQ(old->entries[i].score, one->entries[i].score);
+  }
+}
+
+TEST_F(NetServerTest, LadderEngineStampsItsTierOnWireReplies) {
+  // A ladder engine pinned at the approx rung (approx_at = 0): every wire
+  // reply must say kApprox, and the v5 STATS projection must count it.
+  graph_ = std::make_unique<LabeledGraph>(TestGraph());
+  auth_ = std::make_unique<core::AuthorityIndex>(*graph_);
+  landmark::SelectionConfig scfg;
+  scfg.num_landmarks = 6;
+  auto sel = SelectLandmarks(*graph_, landmark::SelectionStrategy::kFollow,
+                             scfg);
+  landmark::LandmarkIndexConfig icfg;
+  icfg.top_n = 16;
+  landmark::LandmarkIndex index(*graph_, *auth_, topics::TwitterSimilarity(),
+                                sel.landmarks, icfg);
+  service::EngineConfig ec;
+  ec.num_threads = 1;
+  ec.landmarks = &index;
+  ec.degrade.enabled = true;
+  ec.degrade.pressure.approx_at = 0;
+  engine_ = std::make_unique<service::QueryEngine>(
+      *graph_, *auth_, topics::TwitterSimilarity(), ec);
+  server_ = std::make_unique<Server>(*engine_, ServerConfig{});
+  ASSERT_TRUE(server_->Start().ok());
+
+  auto client = Dial();
+  ASSERT_TRUE(client.ok());
+  auto reply = client->RecommendEx({3, 0, 8});
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->served_tier, 1u);  // kApprox
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->tier_approx, 1u);
+  EXPECT_EQ(stats->tier_exact, 0u);
+  EXPECT_EQ(stats->degraded, 1u);
 }
 
 }  // namespace

@@ -190,12 +190,12 @@ TEST(ServiceCacheTest, EpochClaimMatchesGraphAcrossRebind) {
 
   auto r0 = engine.Recommend(core::Query::TopN(0, kTopic, 5));
   ASSERT_TRUE(r0.ok());
-  EXPECT_EQ(r0.value().graph_epoch, 0u);
+  EXPECT_EQ(r0.value().meta.graph_epoch, 0u);
 
   // A cache hit claims the epoch its entry was computed at.
   auto r0_hit = engine.Recommend(core::Query::TopN(0, kTopic, 5));
   ASSERT_TRUE(r0_hit.ok());
-  EXPECT_EQ(r0_hit.value().graph_epoch, 0u);
+  EXPECT_EQ(r0_hit.value().meta.graph_epoch, 0u);
   ASSERT_EQ(engine.Stats().cache_hits, 1u);
 
   // Rebind to a graph where node 3 is reachable: epoch moves, and the
@@ -210,16 +210,16 @@ TEST(ServiceCacheTest, EpochClaimMatchesGraphAcrossRebind) {
 
   auto r1 = engine.Recommend(core::Query::TopN(0, kTopic, 5));
   ASSERT_TRUE(r1.ok());
-  EXPECT_EQ(r1.value().graph_epoch, e1);
+  EXPECT_EQ(r1.value().meta.graph_epoch, e1);
   bool found = false;
-  for (const auto& e : r1.value().entries) found = found || e.id == 3u;
+  for (const auto& e : r1.value().ranking.entries) found = found || e.id == 3u;
   EXPECT_TRUE(found) << "epoch " << e1 << " ranking must reflect epoch-"
                      << e1 << " graph";
 
   // And the hit on the new entry claims the new epoch, not the old one.
   auto r1_hit = engine.Recommend(core::Query::TopN(0, kTopic, 5));
   ASSERT_TRUE(r1_hit.ok());
-  EXPECT_EQ(r1_hit.value().graph_epoch, e1);
+  EXPECT_EQ(r1_hit.value().meta.graph_epoch, e1);
 }
 
 TEST(ServiceCacheTest, HammeredRebindsNeverYieldMismatchedEpochClaim) {
@@ -247,15 +247,15 @@ TEST(ServiceCacheTest, HammeredRebindsNeverYieldMismatchedEpochClaim) {
       while (!stop.load(std::memory_order_relaxed)) {
         auto res = engine.Recommend(core::Query::TopN(0, kTopic, 5));
         if (!res.ok()) continue;
-        const core::Ranking& rk = res.value();
+        const service::Response& rk = res.value();
         // Epochs never run backwards within one reader.
-        if (rk.graph_epoch < last_epoch) violations.fetch_add(1);
-        last_epoch = rk.graph_epoch;
+        if (rk.meta.graph_epoch < last_epoch) violations.fetch_add(1);
+        last_epoch = rk.meta.graph_epoch;
         bool has3 = false;
-        for (const auto& e : rk.entries) has3 = has3 || e.id == 3u;
+        for (const auto& e : rk.ranking.entries) has3 = has3 || e.id == 3u;
         // Even epochs are the base graph (3 unreachable), odd epochs the
         // with-edge graph — the claim must match the content.
-        if (has3 != (rk.graph_epoch % 2 == 1)) violations.fetch_add(1);
+        if (has3 != (rk.meta.graph_epoch % 2 == 1)) violations.fetch_add(1);
       }
     });
   }

@@ -104,7 +104,7 @@ TEST_F(QueryEngineTest, RecommendManyPreservesInputOrder) {
   ASSERT_EQ(results.size(), batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
-    ExpectMatchesOracle(batch[i], results[i].value().entries);
+    ExpectMatchesOracle(batch[i], results[i].value().ranking.entries);
   }
   EngineStats s = engine.Stats();
   EXPECT_EQ(s.batches, 1u);

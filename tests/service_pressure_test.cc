@@ -1,0 +1,157 @@
+// service::PressureMonitor: the degradation ladder's pressure signal
+// (DESIGN.md §6.8). Unit coverage of the inflight watermarks and the
+// recent-p99 window, plus a multi-threaded hammer meant to run under
+// MBR_SANITIZE=thread: concurrent Begin/End/Observe/AllowedTier must be
+// race-free, the inflight count must return to zero, and the over-target
+// counter must stay exact (every displaced ring sample is decremented by
+// exactly one writer).
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/pressure.h"
+
+namespace mbr::service {
+namespace {
+
+using core::Tier;
+
+TEST(PressureMonitorTest, DefaultConfigNeverDegrades) {
+  PressureMonitor m{PressureConfig{}};
+  EXPECT_EQ(m.AllowedTier(), Tier::kExact);
+  for (int i = 0; i < 1000; ++i) m.Begin();
+  // kNeverDegrade watermarks and no p99 target: still exact.
+  EXPECT_EQ(m.AllowedTier(), Tier::kExact);
+  for (int i = 0; i < 1000; ++i) m.End(1'000'000);
+  EXPECT_EQ(m.inflight(), 0u);
+  EXPECT_EQ(m.AllowedTier(), Tier::kExact);
+}
+
+TEST(PressureMonitorTest, InflightWatermarksStepTheLadder) {
+  PressureConfig cfg;
+  cfg.approx_at = 2;
+  cfg.stale_at = 4;
+  PressureMonitor m{cfg};
+
+  EXPECT_EQ(m.AllowedTier(), Tier::kExact);
+  m.Begin();
+  EXPECT_EQ(m.AllowedTier(), Tier::kExact);  // 1 < approx_at
+  m.Begin();
+  EXPECT_EQ(m.AllowedTier(), Tier::kApprox);  // 2 >= approx_at
+  m.Begin();
+  EXPECT_EQ(m.AllowedTier(), Tier::kApprox);
+  m.Begin();
+  EXPECT_EQ(m.AllowedTier(), Tier::kStale);  // 4 >= stale_at
+  m.End(10);
+  EXPECT_EQ(m.AllowedTier(), Tier::kApprox);
+  m.End(10);
+  m.End(10);
+  EXPECT_EQ(m.AllowedTier(), Tier::kExact);
+  m.End(10);
+  EXPECT_EQ(m.inflight(), 0u);
+}
+
+TEST(PressureMonitorTest, ZeroWatermarkMeansAlways) {
+  PressureConfig cfg;
+  cfg.approx_at = 0;
+  PressureMonitor m{cfg};
+  EXPECT_EQ(m.AllowedTier(), Tier::kApprox);  // inflight 0 >= 0
+}
+
+TEST(PressureMonitorTest, RecentP99DegradesOneExtraStep) {
+  PressureConfig cfg;
+  cfg.p99_target_us = 100;
+  PressureMonitor m{cfg};
+
+  // A full window under target: the signal stays quiet.
+  for (uint32_t i = 0; i < PressureMonitor::kWindow; ++i) m.Observe(50);
+  EXPECT_FALSE(m.RecentP99OverTarget());
+  EXPECT_EQ(m.AllowedTier(), Tier::kExact);
+
+  // More than 1% of the window over target: p99 > target, one step down.
+  for (int i = 0; i < 8; ++i) m.Observe(5000);
+  EXPECT_TRUE(m.RecentP99OverTarget());
+  EXPECT_EQ(m.AllowedTier(), Tier::kApprox);
+
+  // Fresh under-target samples displace the slow ones and recover.
+  for (uint32_t i = 0; i < PressureMonitor::kWindow; ++i) m.Observe(50);
+  EXPECT_FALSE(m.RecentP99OverTarget());
+  EXPECT_EQ(m.samples_over_target(), 0);
+  EXPECT_EQ(m.AllowedTier(), Tier::kExact);
+}
+
+TEST(PressureMonitorTest, P99SignalNeverDegradesPastStale) {
+  PressureConfig cfg;
+  cfg.stale_at = 0;  // watermark already caps at stale
+  cfg.p99_target_us = 1;
+  PressureMonitor m{cfg};
+  for (uint32_t i = 0; i < PressureMonitor::kWindow; ++i) m.Observe(1000);
+  EXPECT_TRUE(m.RecentP99OverTarget());
+  EXPECT_EQ(m.AllowedTier(), Tier::kStale);  // clamped, not past 2
+}
+
+TEST(PressureMonitorTest, NoTargetDisablesTheLatencySignal) {
+  PressureMonitor m{PressureConfig{}};  // p99_target_us = 0
+  for (uint32_t i = 0; i < 4 * PressureMonitor::kWindow; ++i) {
+    m.Observe(1'000'000);
+  }
+  EXPECT_FALSE(m.RecentP99OverTarget());
+  EXPECT_EQ(m.samples_over_target(), 0);
+}
+
+TEST(PressureMonitorTest, PartialWindowUsesFilledDenominator) {
+  PressureConfig cfg;
+  cfg.p99_target_us = 100;
+  PressureMonitor m{cfg};
+  // 2 of 4 samples over target: 50% > 1%, over.
+  m.Observe(10);
+  m.Observe(10);
+  m.Observe(500);
+  m.Observe(500);
+  EXPECT_TRUE(m.RecentP99OverTarget());
+}
+
+// The TSan hammer: writers race Begin/End/Observe against readers calling
+// AllowedTier/RecentP99OverTarget. The monitor is policy, not correctness
+// — but its bookkeeping must be exact when the dust settles.
+TEST(PressureMonitorTest, ConcurrentHammerKeepsCountsExact) {
+  PressureConfig cfg;
+  cfg.approx_at = 8;
+  cfg.stale_at = 16;
+  cfg.p99_target_us = 100;
+  PressureMonitor m{cfg};
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kIters; ++i) {
+        m.Begin();
+        // Mix of over- and under-target samples, different per thread.
+        m.End(static_cast<uint64_t>((i * 37 + t * 11) % 200));
+        if (i % 3 == 0) m.Observe(static_cast<uint64_t>(i % 150));
+        (void)m.AllowedTier();
+        (void)m.RecentP99OverTarget();
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(m.inflight(), 0u);
+  // The over-target count is bounded by the window (exactness under
+  // displacement races is the property the exchange() encoding buys).
+  EXPECT_GE(m.samples_over_target(), 0);
+  EXPECT_LE(m.samples_over_target(),
+            static_cast<int64_t>(PressureMonitor::kWindow));
+}
+
+}  // namespace
+}  // namespace mbr::service

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Repo-wide check runner:
 #   1. tier-1: full build + full ctest suite       (build/)
-#   2. ASan:   serde + net + dynamic + hotpath + coord  (build-asan/)
-#   3. TSan:   obs + service + net + dynamic + coord    (build-tsan/)
+#   2. ASan:   serde + net + dynamic + hotpath + coord + slo  (build-asan/)
+#   3. TSan:   obs + service + net + dynamic + coord + slo    (build-tsan/)
 #   4. UBSan:  core + landmark + service           (build-ubsan/)
-#   5. bench-smoke: micro_benchmarks --smoke       (build/)
+#   5. bench-smoke: micro_benchmarks --smoke + ext_slo_ladder --smoke (build/)
 #
 # The sanitizer passes reuse the persistent build-asan/, build-tsan/ and
 # build-ubsan/ trees (configured here on first run) and only build/run the
@@ -19,11 +19,16 @@
 # hard error rather than a wrong score. The `coord` label (shard plan serde,
 # router scatter-gather, reconnect backoff) runs under both ASan (wire and
 # artifact parsing) and TSan (router accept/connection threads against the
-# shard servers).
+# shard servers). The `slo` label (pressure monitor, degradation ladder)
+# runs under both ASan (stale-cache retention and tier bookkeeping) and TSan
+# (the lock-free PressureMonitor hammered from concurrent writers/readers).
 #
 # bench-smoke runs the allocation-counting smoke gate of the zero-allocation
 # hot path (DESIGN.md §6.6): a warm exact query and a warm landmark query
-# must report 0 heap allocations, else the step fails.
+# must report 0 heap allocations, else the step fails. It then runs the SLO
+# ladder harness (DESIGN.md §6.8) in --smoke form: a tiny ramp that still
+# exercises calibration, the exact-tier byte-identity probes (a mismatch
+# fails the binary), and the BENCH_slo.json writer.
 #
 # Usage: tools/check.sh [tier1|asan|tsan|ubsan|bench-smoke|all] (default: all)
 set -e
@@ -51,18 +56,21 @@ run_bench_smoke() {
   cmake -B "$REPO/build" -S "$REPO" >/dev/null
   cmake --build "$REPO/build" -j "$JOBS" --target micro_benchmarks
   "$REPO/build/bench/micro_benchmarks" --smoke
+  echo "==> bench-smoke: ext_slo_ladder --smoke (degradation ladder gate)"
+  cmake --build "$REPO/build" -j "$JOBS" --target ext_slo_ladder
+  (cd "$REPO/build/bench" && ./ext_slo_ladder --smoke)
 }
 
 case "$MODE" in
   tier1) run_tier1 ;;
-  asan)  run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath|coord' ;;
-  tsan)  run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic|coord' ;;
+  asan)  run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath|coord|slo' ;;
+  tsan)  run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic|coord|slo' ;;
   ubsan) run_sanitized undefined "$REPO/build-ubsan" 'core|landmark|service' ;;
   bench-smoke) run_bench_smoke ;;
   all)
     run_tier1
-    run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath|coord'
-    run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic|coord'
+    run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath|coord|slo'
+    run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic|coord|slo'
     run_sanitized undefined "$REPO/build-ubsan" 'core|landmark|service'
     run_bench_smoke
     ;;

@@ -20,6 +20,8 @@
 //                   [--max-connections K] [--deadline-ms D] [--drain-ms G]
 //                   [--stats-interval-s S] [--vocab twitter|dblp]
 //                   [--mutable 1] [--repair touched|all]
+//                   [--degrade off|ladder] [--p99-target-us U]
+//                   [--stale-epochs E]
 //   mbrec query-remote    --port P --user U --topic technology [--host H]
 //                   [--top 10] [--timeout-ms T] [--deadline-ms D]
 //                   [--exclude id,id,...] [--vocab twitter|dblp]
@@ -37,9 +39,11 @@
 //                   warm-starts only shard I's halo subgraph + locally
 //                   homed landmark lists; read-only, v4 shard ops)
 //   mbrec route     --plan plan.bin [--endpoints h:p,...] [--port P]
-//                   [--mode landmark|exact] [--timeout-ms T] (coordinator:
-//                   clients speak ordinary v1-v4 to it; replies are
-//                   byte-identical to single-node serving)
+//                   [--mode landmark|exact] [--degrade partial|off]
+//                   [--timeout-ms T] (coordinator: clients speak ordinary
+//                   v1-v5 to it; replies are byte-identical to single-node
+//                   serving; --degrade off turns shard loss into an ERROR
+//                   instead of a partial merge)
 //
 // Binary graphs (.bin) round-trip exactly; .edges files use the
 // human-readable labeled edge-list format. `save-graph` converts any
@@ -568,8 +572,35 @@ int CmdShardPlan(const Args& args) {
   return 0;
 }
 
+// `--degrade ladder` serving knobs, shared by single-node and shard
+// serving. The pressure watermarks derive from the server admission cap
+// (--max-inflight): degrade to the landmark approximation at half the
+// cap, to stale cache hits at three quarters; admission control sheds at
+// the cap itself. --p99-target-us adds the recent-latency signal,
+// --stale-epochs bounds how many dead cache generations remain servable.
+// Returns 0, or 2 on a bad flag value (usage error).
+int ApplyDegradeFlags(const Args& args, service::EngineConfig* ecfg) {
+  const std::string degrade = args.Get("degrade", "off");
+  if (degrade != "off" && degrade != "ladder") {
+    std::fprintf(stderr, "unknown --degrade '%s' (off|ladder)\n",
+                 degrade.c_str());
+    return 2;
+  }
+  if (degrade == "off") return 0;
+  const uint32_t cap =
+      static_cast<uint32_t>(args.GetInt("max-inflight", 64));
+  ecfg->degrade.enabled = true;
+  ecfg->degrade.pressure.approx_at = cap / 2;
+  ecfg->degrade.pressure.stale_at = cap - cap / 4;
+  ecfg->degrade.pressure.p99_target_us =
+      static_cast<uint64_t>(args.GetInt("p99-target-us", 0));
+  ecfg->degrade.stale_keep_epochs =
+      static_cast<uint32_t>(args.GetInt("stale-epochs", 4));
+  return 0;
+}
+
 // `mbrec serve --plan P --shard i`: warm-start only shard i's slice (halo
-// subgraph + locally-homed landmark lists) and serve the v4 shard ops.
+// subgraph + locally-homed landmark lists) and serve the v5 shard ops.
 int CmdServeShard(const Args& args) {
   const auto& vocab = VocabFor(args.Get("vocab", "twitter"));
   const auto& sim = SimFor(args.Get("vocab", "twitter"));
@@ -610,6 +641,7 @@ int CmdServeShard(const Args& args) {
   ecfg.registry = &obs::Registry::Default();
   int64_t threads = args.GetInt("threads", 0);
   if (threads > 0) ecfg.num_threads = static_cast<uint32_t>(threads);
+  if (int rc = ApplyDegradeFlags(args, &ecfg); rc != 0) return rc;
 
   auto ctx = coord::BuildShardContext(g, sim, *plan, shard, index.get(),
                                       ecfg);
@@ -717,6 +749,12 @@ int CmdRoute(const Args& args) {
                  mode.c_str());
     return 2;
   }
+  std::string degrade = args.Get("degrade", "partial");
+  if (degrade != "partial" && degrade != "off") {
+    std::fprintf(stderr, "unknown --degrade '%s' (partial|off)\n",
+                 degrade.c_str());
+    return 2;
+  }
 
   coord::RouterConfig rcfg;
   rcfg.host = args.Get("host", "127.0.0.1");
@@ -726,6 +764,7 @@ int CmdRoute(const Args& args) {
   rcfg.shard_timeout_ms =
       static_cast<uint32_t>(args.GetInt("timeout-ms", 2000));
   rcfg.landmark_mode = mode == "landmark";
+  rcfg.degrade_partial = degrade == "partial";
   rcfg.registry = &obs::Registry::Default();
 
   coord::Router router(*plan, rcfg);
@@ -738,8 +777,9 @@ int CmdRoute(const Args& args) {
   std::signal(SIGINT, RouteSignalHandler);
   std::signal(SIGTERM, RouteSignalHandler);
 
-  std::printf("routing %u shards (%s merge)\n", plan->num_shards(),
-              mode.c_str());
+  std::printf("routing %u shards (%s merge, shard loss -> %s)\n",
+              plan->num_shards(), mode.c_str(),
+              rcfg.degrade_partial ? "partial" : "error");
   std::printf("listening on %s:%u\n", rcfg.host.c_str(), router.port());
   std::fflush(stdout);
 
@@ -782,6 +822,7 @@ int CmdServe(const Args& args) {
   }
   int64_t threads = args.GetInt("threads", 0);
   if (threads > 0) ecfg.num_threads = static_cast<uint32_t>(threads);
+  if (int rc = ApplyDegradeFlags(args, &ecfg); rc != 0) return rc;
   auto replica = service::WarmStart(Require(args, "graph"),
                                     args.Get("index"), sim, ecfg);
   if (!replica.ok()) {
@@ -849,6 +890,14 @@ int CmdServe(const Args& args) {
               static_cast<unsigned long long>(rep.graph.num_edges()),
               rep.landmarks != nullptr ? "landmark-approximate" : "exact",
               rep.engine->num_workers());
+  if (rep.engine->degrade_enabled()) {
+    const service::PressureConfig& p = rep.engine->pressure().config();
+    std::printf("degradation ladder: approx at %u inflight, stale at %u, "
+                "p99 target %lluus, stale window %u epochs\n",
+                p.approx_at, p.stale_at,
+                static_cast<unsigned long long>(p.p99_target_us),
+                ecfg.degrade.stale_keep_epochs);
+  }
   if (mutable_serving) {
     std::printf("mutations: enabled (%s)\n",
                 repairer != nullptr
@@ -944,9 +993,11 @@ int CmdQueryRemote(const Args& args) {
     return 1;
   }
   std::printf("remote recommendations for user %u on '%s' (graph epoch "
-              "%llu):\n",
+              "%llu, %s tier):\n",
               user, topic_name.c_str(),
-              static_cast<unsigned long long>(results->graph_epoch));
+              static_cast<unsigned long long>(results->graph_epoch),
+              core::TierName(static_cast<core::Tier>(
+                  std::min<uint8_t>(results->served_tier, 2))));
   for (size_t i = 0; i < results->entries.size(); ++i) {
     std::printf("  %2zu. user %-8u score %.4e\n", i + 1,
                 results->entries[i].id, results->entries[i].score);
@@ -1074,13 +1125,14 @@ const std::vector<Command>& Commands() {
       {"serve", CmdServe,
        {"graph", "vocab", "index", "host", "port", "threads", "cache",
         "max-inflight", "max-connections", "deadline-ms", "drain-ms",
-        "stats-interval-s", "mutable", "repair", "plan", "shard"}},
+        "stats-interval-s", "mutable", "repair", "plan", "shard",
+        "degrade", "p99-target-us", "stale-epochs"}},
       {"shard-plan", CmdShardPlan,
        {"graph", "vocab", "shards", "strategy", "halo-depth", "endpoints",
         "out"}},
       {"route", CmdRoute,
-       {"plan", "endpoints", "host", "port", "mode", "timeout-ms",
-        "max-connections", "stats-interval-s"}},
+       {"plan", "endpoints", "host", "port", "mode", "degrade",
+        "timeout-ms", "max-connections", "stats-interval-s"}},
       {"query-remote", CmdQueryRemote,
        {"host", "port", "vocab", "user", "topic", "top", "timeout-ms",
         "deadline-ms", "exclude"}},
