@@ -10,6 +10,11 @@
 // exact ranking on the *current* graph and (a) a stale landmark index built
 // before any churn vs (b) a freshly rebuilt index — quantifying how fast
 // stored landmark recommendations rot and what a rebuild buys back.
+//
+// Output: the human-readable tables on stdout plus
+// BENCH_dynamic_updates.json (machine-readable drift + refresh-policy
+// curves, same convention as BENCH_churn_drift.json) in the working
+// directory.
 
 #include <cstdio>
 
@@ -56,6 +61,61 @@ std::vector<uint32_t> ExactTop(const core::Scorer& scorer, graph::NodeId u,
   return ids;
 }
 
+// One cumulative-churn checkpoint of the staleness study.
+struct RoundSample {
+  double cumulative_churn = 0.0;
+  double tau_stale = 0.0;
+  double tau_fresh = 0.0;
+  double max_staleness_err = 0.0;
+  double stored_list_tau = 0.0;
+};
+
+// One round of the fixed-budget refresh-policy comparison.
+struct PolicySample {
+  double cumulative_churn = 0.0;
+  double drift_none = 0.0;
+  double drift_round_robin = 0.0;
+  double drift_most_churned = 0.0;
+};
+
+void WriteJson(const std::vector<RoundSample>& curve,
+               const std::vector<PolicySample>& policies, uint32_t num_nodes,
+               uint32_t num_landmarks, uint32_t refresh_budget) {
+  FILE* f = std::fopen("BENCH_dynamic_updates.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_dynamic_updates.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ext_dynamic_updates\",\n");
+  std::fprintf(f, "  \"num_nodes\": %u,\n  \"num_landmarks\": %u,\n",
+               num_nodes, num_landmarks);
+  std::fprintf(f, "  \"checkpoints\": [\n");
+  for (size_t i = 0; i < curve.size(); ++i) {
+    const RoundSample& s = curve[i];
+    std::fprintf(f,
+                 "    {\"cumulative_churn\": %.4f, \"tau_stale\": %.6f, "
+                 "\"tau_fresh\": %.6f, \"max_staleness_err\": %.6f, "
+                 "\"stored_list_tau\": %.6f}%s\n",
+                 s.cumulative_churn, s.tau_stale, s.tau_fresh,
+                 s.max_staleness_err, s.stored_list_tau,
+                 i + 1 < curve.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"refresh_budget_per_round\": %u,\n", refresh_budget);
+  std::fprintf(f, "  \"refresh_policies\": [\n");
+  for (size_t i = 0; i < policies.size(); ++i) {
+    const PolicySample& p = policies[i];
+    std::fprintf(f,
+                 "    {\"cumulative_churn\": %.4f, \"none\": %.6f, "
+                 "\"round_robin\": %.6f, \"most_churned\": %.6f}%s\n",
+                 p.cumulative_churn, p.drift_none, p.drift_round_robin,
+                 p.drift_most_churned, i + 1 < policies.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_dynamic_updates.json\n");
+}
+
 }  // namespace
 
 int main() {
@@ -94,6 +154,7 @@ int main() {
   util::TablePrinter stored_drift(
       {"cumulative churn", "stored-list tau (stale vs fresh)"});
 
+  std::vector<RoundSample> curve;
   double cumulative = 0.0;
   for (int round = 0; round <= 4; ++round) {
     if (round > 0) {
@@ -177,6 +238,7 @@ int main() {
                util::TablePrinter::Num(tau_fresh, 3),
                util::TablePrinter::Num(max_err, 3)});
     stored_drift.AddRow({pct, util::TablePrinter::Num(list_tau, 3)});
+    curve.push_back({cumulative, tau_stale, tau_fresh, max_err, list_tau});
   }
   tp.Print("Approximation quality vs cumulative churn");
   stored_drift.Print("Stored landmark-list drift vs cumulative churn");
@@ -190,8 +252,9 @@ int main() {
   // ---- Refresh policies: with a fixed budget of 10 landmark recomputes
   // per round (10% of the index), which selection rule keeps the stored
   // lists freshest?
+  std::vector<PolicySample> policy_curve;
+  const uint32_t budget = 10;
   {
-    const uint32_t budget = 10;
     auto make_index = [&]() {
       return landmark::LandmarkIndex(ds.graph, auth0, sim, sel.landmarks,
                                      icfg);
@@ -235,6 +298,7 @@ int main() {
                                           sel.landmarks, icfg);
       std::vector<std::string> row = {
           util::TablePrinter::Num(cum * 100, 0) + "%"};
+      std::vector<double> drifts;
       for (auto& refresher : refreshers) {
         refresher.RefreshRound(current, fresh_auth, sim, round_changes);
         // Stored-list drift vs the fresh index (sampled).
@@ -257,8 +321,10 @@ int main() {
           }
         }
         row.push_back(util::TablePrinter::Num(drift / lists, 3));
+        drifts.push_back(drift / lists);
       }
       rp.AddRow(std::move(row));
+      policy_curve.push_back({cum, drifts[0], drifts[1], drifts[2]});
     }
     rp.Print(
         "Stored-list drift under a 10-landmark/round refresh budget "
@@ -269,5 +335,7 @@ int main() {
         "drift lowest; None degrades steadily — the §6 'updating "
         "strategies' question, answered\n");
   }
+  WriteJson(curve, policy_curve, ds.graph.num_nodes(), scfg.num_landmarks,
+            budget);
   return 0;
 }

@@ -5,6 +5,31 @@
 
 namespace mbr::core {
 
+namespace {
+
+// auth(u, t) for one (count, mass, log-max) cell. Every construction path
+// funnels through this expression, so two indexes built from the same
+// counters agree bit-for-bit (IEEE division/multiplication/log are
+// deterministic; the build is compiled without -ffast-math).
+inline double AuthorityCell(uint32_t count, uint64_t label_mass,
+                            double log_max_t) {
+  if (count == 0 || label_mass == 0 || log_max_t == 0.0) return 0.0;
+  double local =
+      static_cast<double>(count) / static_cast<double>(label_mass);
+  double global = std::log(1.0 + count) / log_max_t;
+  return local * global;
+}
+
+}  // namespace
+
+void AuthorityIndex::FillAuthorityRow(const uint32_t* row, int nt,
+                                      const double* log_max,
+                                      uint64_t label_mass, double* out) {
+  for (int t = 0; t < nt; ++t) {
+    out[t] = AuthorityCell(row[t], label_mass, log_max[t]);
+  }
+}
+
 AuthorityIndex::AuthorityIndex(const graph::LabeledGraph& g) {
   num_topics_ = g.num_topics();
   const graph::NodeId n = g.num_nodes();
@@ -12,6 +37,7 @@ AuthorityIndex::AuthorityIndex(const graph::LabeledGraph& g) {
   total_followers_.resize(n);
   followers_on_topic_.assign(static_cast<size_t>(n) * nt, 0);
   max_followers_on_topic_.assign(nt, 0);
+  label_mass_.assign(n, 0);
 
   for (graph::NodeId u = 0; u < n; ++u) {
     total_followers_[u] = g.InDegree(u);
@@ -36,13 +62,57 @@ AuthorityIndex::AuthorityIndex(const graph::LabeledGraph& g) {
     // over all in-edges of u.
     uint64_t label_mass = 0;
     for (int t = 0; t < nt; ++t) label_mass += row[t];
-    if (label_mass == 0) continue;  // auth(u, .) = 0
-    double* out = &authority_[static_cast<size_t>(u) * nt];
-    for (int t = 0; t < nt; ++t) {
-      if (row[t] == 0 || log_max[t] == 0.0) continue;
-      double local = static_cast<double>(row[t]) / static_cast<double>(label_mass);
-      double global = std::log(1.0 + row[t]) / log_max[t];
-      out[t] = local * global;
+    label_mass_[u] = label_mass;
+    FillAuthorityRow(row, nt, log_max.data(),
+                     label_mass, &authority_[static_cast<size_t>(u) * nt]);
+  }
+}
+
+AuthorityIndex::AuthorityIndex(const AuthorityIndex& prev,
+                               const AuthorityCounters& counters,
+                               std::span<const graph::NodeId> touched) {
+  num_topics_ = prev.num_topics_;
+  const int nt = num_topics_;
+  const size_t n = prev.total_followers_.size();
+  MBR_CHECK(counters.num_topics == nt);
+  MBR_CHECK(counters.followers_on_topic.size() == n * nt);
+  MBR_CHECK(counters.in_degree.size() == n);
+  MBR_CHECK(counters.max_followers.size() == static_cast<size_t>(nt));
+
+  total_followers_ = prev.total_followers_;
+  followers_on_topic_ = prev.followers_on_topic_;
+  label_mass_ = prev.label_mass_;
+  authority_ = prev.authority_;
+  max_followers_on_topic_.assign(counters.max_followers.begin(),
+                                 counters.max_followers.end());
+
+  std::vector<double> log_max(nt);
+  for (int t = 0; t < nt; ++t) {
+    log_max[t] = std::log(1.0 + max_followers_on_topic_[t]);
+  }
+
+  // Touched rows: adopt the counters and re-derive the whole row.
+  for (graph::NodeId u : touched) {
+    MBR_CHECK(u < n);
+    const size_t off = static_cast<size_t>(u) * nt;
+    const uint32_t* row = &counters.followers_on_topic[off];
+    std::copy(row, row + nt, &followers_on_topic_[off]);
+    total_followers_[u] = counters.in_degree[u];
+    uint64_t label_mass = 0;
+    for (int t = 0; t < nt; ++t) label_mass += row[t];
+    label_mass_[u] = label_mass;
+    FillAuthorityRow(row, nt, log_max.data(), label_mass, &authority_[off]);
+  }
+
+  // Topics whose max moved change the `global` factor of *every* node:
+  // re-derive those columns (touched rows get the same value again).
+  for (int t = 0; t < nt; ++t) {
+    if (prev.max_followers_on_topic_[t] == max_followers_on_topic_[t]) {
+      continue;
+    }
+    for (size_t u = 0; u < n; ++u) {
+      authority_[u * nt + t] = AuthorityCell(followers_on_topic_[u * nt + t],
+                                             label_mass_[u], log_max[t]);
     }
   }
 }

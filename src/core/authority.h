@@ -15,6 +15,7 @@
 // one pass; the paper notes the max_v term can be cached and refreshed
 // periodically — here the index is simply rebuilt per graph version.
 
+#include <span>
 #include <vector>
 
 #include "graph/labeled_graph.h"
@@ -22,9 +23,33 @@
 
 namespace mbr::core {
 
+// Borrowed view of externally maintained follower counters — the
+// construction seam that lets an AuthorityIndex be snapshotted from
+// dynamic::IncrementalAuthority in O(touched × topics) instead of a full
+// graph scan (DESIGN.md §6.9). `max_followers` must be *exact* for the
+// snapshot to be byte-identical to a from-scratch build; with the paper's
+// deferred periodic refresh it is an upper bound and the resulting
+// authority values are bounded above by the true ones.
+struct AuthorityCounters {
+  int num_topics = 0;
+  std::span<const uint32_t> followers_on_topic;  // n x T, |Γu(t)|
+  std::span<const uint32_t> in_degree;           // n, |followers of u|
+  std::span<const uint32_t> max_followers;       // T, max_v |Γv(t)|
+};
+
 class AuthorityIndex {
  public:
   explicit AuthorityIndex(const graph::LabeledGraph& g);
+
+  // Incremental snapshot: copies `prev` and re-derives only the rows of
+  // `touched` nodes (from `counters`) plus the columns of topics whose
+  // max_followers changed — both through the same arithmetic as the full
+  // ctor, so identical counters yield bit-identical authority values.
+  // Requirements: counters cover the same node/topic universe as prev,
+  // and every node whose counters changed since `prev` was built appears
+  // in `touched` (duplicates/unsorted are fine).
+  AuthorityIndex(const AuthorityIndex& prev, const AuthorityCounters& counters,
+                 std::span<const graph::NodeId> touched);
 
   // |Γu(t)|: followers of u on topic t.
   uint32_t FollowersOnTopic(graph::NodeId u, topics::TopicId t) const {
@@ -54,10 +79,18 @@ class AuthorityIndex {
   int num_topics() const { return num_topics_; }
 
  private:
+  // Fills authority_[u * nt .. u * nt + nt) from one counter row. Both
+  // construction paths funnel through this helper so incremental snapshots
+  // stay bit-identical to full rebuilds.
+  static void FillAuthorityRow(const uint32_t* row, int nt,
+                               const double* log_max, uint64_t label_mass,
+                               double* out);
+
   int num_topics_ = 0;
   std::vector<uint32_t> total_followers_;       // |Γu|
   std::vector<uint32_t> followers_on_topic_;    // n x T
   std::vector<uint32_t> max_followers_on_topic_;
+  std::vector<uint64_t> label_mass_;            // Σ_t |Γu(t)| per node
   std::vector<double> authority_;               // n x T, precomputed
 };
 

@@ -98,7 +98,7 @@ struct NoSimWeight {  // Tr−sim: authority only (similarity term = 1)
 Scorer::Scorer(const graph::LabeledGraph& g, const AuthorityIndex& authority,
                const topics::SimilarityMatrix& sim, const ScoreParams& params,
                util::QueryArena* arena)
-    : g_(g), authority_(authority), sim_(sim), params_(params) {
+    : g_(&g), authority_(&authority), sim_(sim), params_(params) {
   MBR_CHECK(sim.num_topics() >= g.num_topics());
   MBR_CHECK(authority.num_topics() == g.num_topics());
   MBR_CHECK(params.beta > 0.0 && params.beta < 1.0);
@@ -109,6 +109,17 @@ Scorer::Scorer(const graph::LabeledGraph& g, const AuthorityIndex& authority,
     owned_arena_ = std::make_unique<util::QueryArena>();
     arena_ = owned_arena_.get();
   }
+}
+
+void Scorer::Rebind(const graph::LabeledGraph& g,
+                    const AuthorityIndex& authority) {
+  MBR_CHECK(!exploring_.load(std::memory_order_acquire) &&
+            "Rebind must not race an in-flight Explore");
+  MBR_CHECK(g.num_nodes() == g_->num_nodes());
+  MBR_CHECK(g.num_topics() == g_->num_topics());
+  MBR_CHECK(authority.num_topics() == g.num_topics());
+  g_ = &g;
+  authority_ = &authority;
 }
 
 double Scorer::EdgeTopicWeight(topics::TopicSet labels, graph::NodeId v,
@@ -129,11 +140,11 @@ double Scorer::EdgeTopicWeight(topics::TopicSet labels, graph::NodeId v,
       MBR_CHECK(false && "unknown ScoreVariant");
       __builtin_unreachable();
   }
-  return params_.beta * params_.alpha * s * authority_.Authority(v, t);
+  return params_.beta * params_.alpha * s * authority_->Authority(v, t);
 }
 
 void Scorer::EnsureScratch(size_t qn) const {
-  const graph::NodeId n = g_.num_nodes();
+  const graph::NodeId n = g_->num_nodes();
   const size_t want_qn = std::max<size_t>(qn, 1);
   if (scratch_nodes_ == n && want_qn <= scratch_qn_) return;
 
@@ -171,10 +182,10 @@ const ExplorationResult& Scorer::Explore(graph::NodeId source,
                                          topics::TopicSet query_topics,
                                          const std::vector<bool>* pruned)
     const {
-  MBR_CHECK(source < g_.num_nodes());
+  MBR_CHECK(source < g_->num_nodes());
   ExploreGuard guard(exploring_);
   MBR_SPAN("scorer.explore");
-  const int nt = g_.num_topics();
+  const int nt = g_->num_topics();
 
   // Dense query-topic list (usually 1 topic at query time, all topics in
   // landmark pre-processing). Sigma scratch rows are packed with stride
@@ -210,7 +221,7 @@ template <typename WeightPolicy>
 const ExplorationResult& Scorer::ExploreImpl(
     graph::NodeId source, size_t qn, const std::vector<bool>* pruned) const {
   const ScorerMetrics& metrics = ScorerMetrics::Get();
-  const int nt = g_.num_topics();
+  const int nt = g_->num_topics();
   const double beta = params_.beta;
   const double alphabeta = params_.alpha * params_.beta;
   // EdgeTopicWeight multiplies β·α in this order; keep it so the policy
@@ -218,7 +229,7 @@ const ExplorationResult& Scorer::ExploreImpl(
   const double ab = params_.beta * params_.alpha;
 
   ExplorationResult& result = result_;
-  result.Reset(g_.num_nodes(), nt);
+  result.Reset(g_->num_nodes(), nt);
 
   double* const delta_b = delta_b_.data();
   double* const delta_ab = delta_ab_.data();
@@ -259,8 +270,8 @@ const ExplorationResult& Scorer::ExploreImpl(
         const double dab = delta_ab[u];
         const double dsig0 = delta_sigma[u];
 
-        auto nbrs = g_.OutNeighbors(u);
-        auto labs = g_.OutEdgeLabels(u);
+        auto nbrs = g_->OutNeighbors(u);
+        auto labs = g_->OutEdgeLabels(u);
         for (size_t i = 0; i < nbrs.size(); ++i) {
           const graph::NodeId v = nbrs[i];
           if (!in_next[v]) {
@@ -270,7 +281,7 @@ const ExplorationResult& Scorer::ExploreImpl(
           next_b[v] += beta * db;
           next_ab[v] += alphabeta * dab;
           const double w = WeightPolicy::Weight(
-              srow, authority_.AuthorityRow(v), ab, labs[i], t0);
+              srow, authority_->AuthorityRow(v), ab, labs[i], t0);
           next_sigma[v] += beta * dsig0 + dab * w;
         }
       }
@@ -281,8 +292,8 @@ const ExplorationResult& Scorer::ExploreImpl(
         const double dab = delta_ab[u];
         const double* dsig = delta_sigma + static_cast<size_t>(u) * qn;
 
-        auto nbrs = g_.OutNeighbors(u);
-        auto labs = g_.OutEdgeLabels(u);
+        auto nbrs = g_->OutNeighbors(u);
+        auto labs = g_->OutEdgeLabels(u);
         for (size_t i = 0; i < nbrs.size(); ++i) {
           const graph::NodeId v = nbrs[i];
           if (!in_next[v]) {
@@ -296,7 +307,7 @@ const ExplorationResult& Scorer::ExploreImpl(
           // compiler can vectorise, in place of a per-(edge, topic)
           // switch.
           const topics::TopicSet elab = labs[i];
-          const double* const arow = authority_.AuthorityRow(v);
+          const double* const arow = authority_->AuthorityRow(v);
           for (size_t qi = 0; qi < qn; ++qi) {
             wrow[qi] =
                 WeightPolicy::Weight(srow + qi * nts, arow, ab, elab, qt[qi]);

@@ -157,6 +157,14 @@ class Scorer {
       graph::NodeId source, topics::TopicSet query_topics,
       const std::vector<bool>* pruned = nullptr) const;
 
+  // Re-points the scorer at a new graph generation without discarding the
+  // warmed arena scratch (the O(Δ) rebind path, DESIGN.md §6.9). The new
+  // graph must keep the old node-id and topic universe — the scratch spans
+  // are carved per num_nodes — and the authority index must match it. Must
+  // not race an in-flight Explore() (the engine calls this under its
+  // exclusive rebind lock).
+  void Rebind(const graph::LabeledGraph& g, const AuthorityIndex& authority);
+
   const ScoreParams& params() const { return params_; }
 
   // The per-edge topical weight ω_{u→v}(t) = βα · s(u→v,t) · auth(v,t),
@@ -179,8 +187,10 @@ class Scorer {
   // restored to zero, so a fresh call never sees stale state.
   void EnsureScratch(size_t qn) const;
 
-  const graph::LabeledGraph& g_;
-  const AuthorityIndex& authority_;
+  // Pointers (not references) so Rebind() can swap generations in place;
+  // never null, and only read.
+  const graph::LabeledGraph* g_;
+  const AuthorityIndex* authority_;
   const topics::SimilarityMatrix& sim_;
   ScoreParams params_;
 

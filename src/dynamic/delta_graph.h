@@ -11,6 +11,7 @@
 // churn has been applied (the paper's "re-computed periodically" model).
 
 #include <functional>
+#include <span>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -74,6 +75,17 @@ class DeltaGraph {
   // carried over from the base).
   graph::LabeledGraph Materialize() const;
 
+  // O(Δ) materialization (DESIGN.md §6.9): a new generation built from
+  // `prev` by replacing only the adjacency rows of `touched` nodes
+  // (duplicates/unsorted ids are fine) and block-copying everything else.
+  // Byte-identical to Materialize() provided `prev` already reflects every
+  // mutation applied to this overlay except those touching `touched` —
+  // i.e. prev is the previous generation and `touched` covers the src and
+  // dst of every edge change applied since it was materialized.
+  graph::LabeledGraph MaterializeFrom(
+      const graph::LabeledGraph& prev,
+      std::span<const graph::NodeId> touched) const;
+
   // Applied change log (in application order; useful for incremental
   // index maintenance and tests).
   const std::vector<EdgeChange>& additions() const { return additions_; }
@@ -102,6 +114,11 @@ class DeltaGraph {
   uint64_t num_edges_;
   // Per-node overlay adjacency (sorted by dst) and a global tombstone set.
   std::vector<std::vector<std::pair<graph::NodeId, topics::TopicSet>>> added_;
+  // Reverse overlay: added_in_[v] lists (src, labels) of overlay edges into
+  // v, sorted by src — the in-row counterpart MaterializeFrom merges
+  // against the base in-adjacency.
+  std::vector<std::vector<std::pair<graph::NodeId, topics::TopicSet>>>
+      added_in_;
   std::unordered_set<uint64_t> removed_;
   std::vector<uint32_t> in_degree_delta_pos_;  // added in-edges per node
   std::vector<uint32_t> in_degree_delta_neg_;  // removed in-edges per node

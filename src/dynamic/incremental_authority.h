@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/authority.h"
 #include "graph/labeled_graph.h"
 #include "topics/topic.h"
 
@@ -45,6 +46,25 @@ class IncrementalAuthority {
   // Recomputes the per-topic maxima exactly (the paper's periodic refresh).
   void RefreshMax();
 
+  // Targeted exact repair: rescans only the *dirty* topics — those where a
+  // removal hit a row that held the stored max, so the bound may now
+  // overestimate (adds keep the max exact). Afterwards every stored max is
+  // exact again, at O(n) per dirty topic instead of RefreshMax()'s O(n·T).
+  // Returns the number of topics rescanned.
+  int RefreshDirtyMax();
+
+  // Topics whose stored max is currently an unverified upper bound. 0
+  // means every max is exact and a snapshot taken now is byte-identical
+  // to a from-scratch AuthorityIndex.
+  int dirty_topic_count() const { return dirty_count_; }
+
+  // Borrowed view of the counters for core::AuthorityIndex's incremental
+  // snapshot ctor. Valid until the next mutation of this object.
+  core::AuthorityCounters Counters() const {
+    return core::AuthorityCounters{
+        num_topics_, followers_on_topic_, in_degree_, max_followers_};
+  }
+
   // Edge changes applied since the last RefreshMax() / construction.
   uint64_t updates_since_refresh() const { return updates_since_refresh_; }
   int num_topics() const { return num_topics_; }
@@ -53,7 +73,10 @@ class IncrementalAuthority {
   int num_topics_ = 0;
   std::vector<uint32_t> followers_on_topic_;  // n x T
   std::vector<uint64_t> label_mass_;          // Σ_t |Γv(t)| per node
+  std::vector<uint32_t> in_degree_;           // |Γv| per node
   std::vector<uint32_t> max_followers_;       // per topic (upper bound)
+  std::vector<uint8_t> max_dirty_;            // per topic: bound unverified
+  int dirty_count_ = 0;
   uint64_t updates_since_refresh_ = 0;
 };
 

@@ -117,6 +117,73 @@ LabeledGraph LabeledGraph::WithoutEdges(
   return std::move(b).Build();
 }
 
+namespace {
+
+// Splices patched rows into one CSR direction: offsets/ids/labels for
+// every node either copied from prev or replaced by its patch. Patches
+// must be sorted by node, unique, each row sorted by neighbor id.
+void SpliceDirection(NodeId num_nodes, const std::vector<uint64_t>& prev_off,
+                     const std::vector<NodeId>& prev_ids,
+                     const std::vector<topics::TopicSet>& prev_lab,
+                     std::span<const LabeledGraph::RowPatch> patches,
+                     std::vector<uint64_t>* off, std::vector<NodeId>* ids,
+                     std::vector<topics::TopicSet>* lab) {
+  int64_t delta = 0;
+  for (size_t p = 0; p < patches.size(); ++p) {
+    const LabeledGraph::RowPatch& rp = patches[p];
+    MBR_CHECK(rp.node < num_nodes);
+    MBR_CHECK(rp.nbrs.size() == rp.labs.size());
+    MBR_DCHECK(p == 0 || patches[p - 1].node < rp.node);
+    MBR_DCHECK(std::is_sorted(rp.nbrs.begin(), rp.nbrs.end()));
+    MBR_DCHECK(std::adjacent_find(rp.nbrs.begin(), rp.nbrs.end()) ==
+               rp.nbrs.end());
+    delta += static_cast<int64_t>(rp.nbrs.size()) -
+             static_cast<int64_t>(prev_off[rp.node + 1] - prev_off[rp.node]);
+  }
+  const uint64_t m = static_cast<uint64_t>(
+      static_cast<int64_t>(prev_ids.size()) + delta);
+  off->assign(num_nodes + 1, 0);
+  ids->resize(m);
+  lab->resize(m);
+  uint64_t w = 0;
+  size_t p = 0;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    (*off)[u] = w;
+    if (p < patches.size() && patches[p].node == u) {
+      const LabeledGraph::RowPatch& rp = patches[p++];
+      std::copy(rp.nbrs.begin(), rp.nbrs.end(), ids->begin() + w);
+      std::copy(rp.labs.begin(), rp.labs.end(), lab->begin() + w);
+      w += rp.nbrs.size();
+    } else {
+      const uint64_t b = prev_off[u], e = prev_off[u + 1];
+      std::copy(prev_ids.begin() + b, prev_ids.begin() + e, ids->begin() + w);
+      std::copy(prev_lab.begin() + b, prev_lab.begin() + e, lab->begin() + w);
+      w += e - b;
+    }
+  }
+  (*off)[num_nodes] = w;
+  MBR_CHECK(w == m);
+}
+
+}  // namespace
+
+LabeledGraph LabeledGraph::PatchAdjacency(
+    const LabeledGraph& prev, std::span<const RowPatch> out_patches,
+    std::span<const RowPatch> in_patches) {
+  LabeledGraph g;
+  g.num_nodes_ = prev.num_nodes_;
+  g.num_topics_ = prev.num_topics_;
+  g.node_labels_ = prev.node_labels_;
+  SpliceDirection(prev.num_nodes_, prev.out_off_, prev.out_dst_,
+                  prev.out_lab_, out_patches, &g.out_off_, &g.out_dst_,
+                  &g.out_lab_);
+  SpliceDirection(prev.num_nodes_, prev.in_off_, prev.in_src_, prev.in_lab_,
+                  in_patches, &g.in_off_, &g.in_src_, &g.in_lab_);
+  // Both directions must describe the same edge set.
+  MBR_CHECK(g.out_dst_.size() == g.in_src_.size());
+  return g;
+}
+
 util::Status LabeledGraph::SaveTo(const std::string& path) const {
   return Snapshot::Save(*this, path);
 }

@@ -118,6 +118,28 @@ class LabeledGraph {
   LabeledGraph WithoutEdges(
       const std::vector<std::pair<NodeId, NodeId>>& removed) const;
 
+  // One replacement adjacency row for PatchAdjacency: `nbrs` sorted
+  // ascending with no duplicates, `labs` parallel to it.
+  struct RowPatch {
+    NodeId node = 0;
+    std::vector<NodeId> nbrs;
+    std::vector<topics::TopicSet> labs;
+  };
+
+  // The incremental-materialization seam (DESIGN.md §6.9): a copy of
+  // `prev` where the out-rows listed in `out_patches` and the in-rows in
+  // `in_patches` are replaced wholesale and every other row is copied from
+  // `prev`'s arrays unchanged. Patches must be sorted by node with no
+  // duplicate nodes, and the two directions must describe the same edge
+  // set (total edge counts are checked). Node labels are carried over.
+  // The result is byte-identical to rebuilding the full graph through
+  // GraphBuilder with the same live edge set, because builder output is
+  // exactly "rows sorted by node, out-rows sorted by dst, in-rows sorted
+  // by src" — the representation this splices into.
+  static LabeledGraph PatchAdjacency(const LabeledGraph& prev,
+                                     std::span<const RowPatch> out_patches,
+                                     std::span<const RowPatch> in_patches);
+
   // ---- Binary serialisation (delegates to graph::Snapshot, the versioned
   // and checksummed serde container; see graph/snapshot.h).
   util::Status SaveTo(const std::string& path) const;

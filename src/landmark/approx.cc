@@ -35,8 +35,7 @@ ApproxRecommender::ApproxRecommender(const graph::LabeledGraph& g,
                                      const LandmarkIndex& index,
                                      const ApproxConfig& config,
                                      util::QueryArena* arena)
-    : g_(g),
-      index_(index),
+    : index_(index),
       config_([&] {
         ApproxConfig c = config;
         c.params.max_depth = config.query_depth;

@@ -116,6 +116,15 @@ class ApproxRecommender : public core::Recommender {
   std::unordered_map<graph::NodeId, double> ApproximateScores(
       graph::NodeId u, topics::TopicId t, QueryStats* stats = nullptr) const;
 
+  // Re-points the internal scorer at a new graph generation, keeping the
+  // warmed arena scratch (same contract as core::Scorer::Rebind: node/topic
+  // universe unchanged, no query in flight). The landmark index is shared
+  // and repaired in place, so it is not rebound here.
+  void Rebind(const graph::LabeledGraph& g,
+              const core::AuthorityIndex& authority) {
+    scorer_.Rebind(g, authority);
+  }
+
   // The home shard's half of the coordinator split: runs the same pruned
   // exploration as ScoresFlat(q.user, q.topic) but exports the ordered
   // per-node records instead of the merged table — the landmark list
@@ -127,7 +136,6 @@ class ApproxRecommender : public core::Recommender {
                                  std::vector<DecomposedRecord>* out) const;
 
  private:
-  const graph::LabeledGraph& g_;
   const LandmarkIndex& index_;
   ApproxConfig config_;
   core::Scorer scorer_;

@@ -61,11 +61,11 @@ void LandmarkRepairer::Stop() {
   running_ = false;
 }
 
-std::function<void()> LandmarkRepairer::MakeStaleProbe() {
+std::function<bool()> LandmarkRepairer::MakeStaleProbe() {
   return [this] {
-    if (stale_count_.load(std::memory_order_relaxed) > 0) {
-      stale_reads_->Increment();
-    }
+    if (stale_count_.load(std::memory_order_relaxed) == 0) return false;
+    stale_reads_->Increment();
+    return true;
   };
 }
 

@@ -99,8 +99,9 @@ class LandmarkRepairer {
   uint64_t repairs_done() const;
 
   // Probe for QueryEngine::SetStaleProbe: counts queries scored while any
-  // landmark list is stale.
-  std::function<void()> MakeStaleProbe();
+  // landmark list is stale and reports that staleness to the engine, which
+  // downgrades approx-tier replies to kStale until the repairs land.
+  std::function<bool()> MakeStaleProbe();
 
  private:
   void MarkSlotLocked(uint32_t slot);

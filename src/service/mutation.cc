@@ -29,9 +29,12 @@ const char* MutationOpName(MutationOp op) {
 
 MutationApplier::MutationApplier(const graph::LabeledGraph& base,
                                  const core::AuthorityIndex& base_authority,
-                                 QueryEngine& engine)
+                                 QueryEngine& engine,
+                                 const MutationConfig& config)
     : engine_(&engine),
+      config_(config),
       delta_(&base),
+      inc_auth_(base),
       // The warm-start generation is caller-owned: hold it with no-op
       // deleters so generation handling is uniform from the first batch.
       cur_graph_(&base, [](const graph::LabeledGraph*) {}),
@@ -45,27 +48,56 @@ MutationApplier::MutationApplier(const graph::LabeledGraph& base,
   batches_total_ = reg.GetCounter(
       "mbr_mutation_batches_total",
       "Mutation batches that applied at least one record (epoch bumps).");
+  authority_refreshes_ = reg.GetCounter(
+      "mbr_authority_refresh_topics_total",
+      "Per-topic authority max rescans (targeted dirty repairs plus full "
+      "periodic refreshes).");
+  authority_drift_ = reg.GetCounter(
+      "mbr_authority_drift_topics_total",
+      "Topic maxima snapshotted as unverified upper bounds (deferred "
+      "refresh), summed over applied batches.");
 }
 
 bool MutationApplier::ApplyOne(const Mutation& m) {
   const graph::NodeId n = delta_.num_nodes();
   if (m.src >= n || m.dst >= n || m.src == m.dst) return false;
   const int num_topics = delta_.base().num_topics();
+  const bool incremental =
+      config_.pipeline == MutationConfig::Pipeline::kIncremental;
   switch (m.op) {
-    case MutationOp::kFollow:
-      return ValidLabels(m.labels, num_topics) &&
-             delta_.AddEdge(m.src, m.dst, m.labels);
-    case MutationOp::kUnfollow:
-      return delta_.RemoveEdge(m.src, m.dst);
-    case MutationOp::kRelabel:
-      return ValidLabels(m.labels, num_topics) &&
-             delta_.RelabelEdge(m.src, m.dst, m.labels);
+    case MutationOp::kFollow: {
+      if (!ValidLabels(m.labels, num_topics) ||
+          !delta_.AddEdge(m.src, m.dst, m.labels)) {
+        return false;
+      }
+      if (incremental) inc_auth_.OnEdgeAdded(m.src, m.dst, m.labels);
+      return true;
+    }
+    case MutationOp::kUnfollow: {
+      // The live labels must be captured before the removal erases them.
+      const topics::TopicSet old = delta_.EdgeLabels(m.src, m.dst);
+      if (!delta_.RemoveEdge(m.src, m.dst)) return false;
+      if (incremental) inc_auth_.OnEdgeRemoved(m.src, m.dst, old);
+      return true;
+    }
+    case MutationOp::kRelabel: {
+      if (!ValidLabels(m.labels, num_topics)) return false;
+      const topics::TopicSet old = delta_.EdgeLabels(m.src, m.dst);
+      if (!delta_.RelabelEdge(m.src, m.dst, m.labels)) return false;
+      if (incremental) {
+        // Mirror the delta's listener-suppressed remove + re-add so the
+        // counters replay the exact op order.
+        inc_auth_.OnEdgeRemoved(m.src, m.dst, old);
+        inc_auth_.OnEdgeAdded(m.src, m.dst, m.labels);
+      }
+      return true;
+    }
   }
   return false;
 }
 
 MutationOutcome MutationApplier::Apply(std::span<const Mutation> batch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> apply_lock(apply_mu_);
   MutationOutcome out;
   std::vector<graph::NodeId> touched;
   touched.reserve(batch.size() * 2);
@@ -82,17 +114,54 @@ MutationOutcome MutationApplier::Apply(std::span<const Mutation> batch) {
   rejected_total_->Increment(out.rejected);
   if (out.applied > 0) {
     batches_total_->Increment();
-    ++batches_applied_;
-    auto g = std::make_shared<graph::LabeledGraph>(delta_.Materialize());
-    auto auth = std::make_shared<core::AuthorityIndex>(*g);
+    // Snapshot the previous generation under the narrow lock, then build
+    // the next one without holding it — readers of current_graph() /
+    // current_authority() never wait on materialization or the rebind
+    // drain. prev_* keeps the old generation alive until Rebind returns.
+    std::shared_ptr<const graph::LabeledGraph> prev_graph;
+    std::shared_ptr<const core::AuthorityIndex> prev_auth;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      prev_graph = cur_graph_;
+      prev_auth = cur_authority_;
+    }
+    std::shared_ptr<const graph::LabeledGraph> g;
+    std::shared_ptr<const core::AuthorityIndex> auth;
+    if (config_.pipeline == MutationConfig::Pipeline::kIncremental) {
+      g = std::make_shared<graph::LabeledGraph>(
+          delta_.MaterializeFrom(*prev_graph, touched));
+      if (config_.authority_refresh_batches <= 1) {
+        // Exact maxima every batch: targeted O(n)-per-dirty-topic repair
+        // keeps the snapshot byte-identical to a from-scratch index.
+        authority_refreshes_->Increment(inc_auth_.RefreshDirtyMax());
+      } else if (++batches_since_refresh_ >=
+                 config_.authority_refresh_batches) {
+        inc_auth_.RefreshMax();
+        batches_since_refresh_ = 0;
+        authority_refreshes_->Increment(inc_auth_.num_topics());
+      } else {
+        // Deferred mode: stored maxima may overestimate, which shrinks
+        // the global factor — served authority is bounded above by the
+        // true values until the next refresh. Count the drifting topics.
+        authority_drift_->Increment(inc_auth_.dirty_topic_count());
+      }
+      auth = std::make_shared<core::AuthorityIndex>(
+          *prev_auth, inc_auth_.Counters(), touched);
+    } else {
+      g = std::make_shared<graph::LabeledGraph>(delta_.Materialize());
+      auth = std::make_shared<core::AuthorityIndex>(*g);
+    }
     // Rebind blocks until in-flight queries drain, then bumps the epoch;
-    // only after it returns is it safe to drop the previous generation
-    // (which happens below when cur_graph_/cur_authority_ are reassigned).
+    // only after it returns is it safe to drop the previous generation.
     engine_->Rebind(*g, *auth);
-    cur_graph_ = std::move(g);
-    cur_authority_ = std::move(auth);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cur_graph_ = g;
+      cur_authority_ = auth;
+      ++batches_applied_;
+    }
     if (repairer_ != nullptr) {
-      repairer_->OnBatchApplied(cur_graph_, cur_authority_, touched);
+      repairer_->OnBatchApplied(std::move(g), std::move(auth), touched);
     }
   }
   out.graph_epoch = engine_->params_epoch();
@@ -102,6 +171,11 @@ MutationOutcome MutationApplier::Apply(std::span<const Mutation> batch) {
 uint64_t MutationApplier::batches_applied() const {
   std::lock_guard<std::mutex> lock(mu_);
   return batches_applied_;
+}
+
+int MutationApplier::authority_drift_topics() const {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  return inc_auth_.dirty_topic_count();
 }
 
 std::shared_ptr<const graph::LabeledGraph> MutationApplier::current_graph()

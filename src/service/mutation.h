@@ -3,17 +3,32 @@
 
 // Live graph mutation for the serving path (ROADMAP item 2, paper §6).
 //
-// A MutationApplier owns a persistent dynamic::DeltaGraph over the
-// warm-start base graph and turns wire FOLLOW/UNFOLLOW/RELABEL batches
-// into serving-replica updates:
+// A MutationApplier owns a persistent dynamic::DeltaGraph plus a
+// persistent dynamic::IncrementalAuthority over the warm-start base graph
+// and turns wire FOLLOW/UNFOLLOW/RELABEL batches into serving-replica
+// updates:
 //
-//   Apply(batch)  — validate + apply each record to the delta, and if
-//                   anything applied: Materialize() a new graph
-//                   generation, rebuild the authority index, and
-//                   QueryEngine::Rebind() onto it. Rebind bumps the
+//   Apply(batch)  — validate + apply each record to the delta (and, on the
+//                   incremental pipeline, feed the authority counters in
+//                   true op order), and if anything applied: produce a new
+//                   graph generation, a matching authority index, and
+//                   QueryEngine::Rebind() onto them. Rebind bumps the
 //                   engine epoch, so the graph epoch advances exactly
 //                   once per applied batch and every cached result keyed
 //                   on the old epoch becomes unreachable.
+//
+// Pipelines (DESIGN.md §6.9). The default kIncremental path costs O(Δ)
+// per batch: DeltaGraph::MaterializeFrom patches only the touched
+// adjacency rows of the previous generation, and the authority index is
+// snapshotted from the incremental counters (touched rows + changed-max
+// columns) instead of rescanned from the graph. With the default
+// authority-refresh period of 1 the per-topic maxima are repaired exactly
+// every batch (dirty-topic rescan) and serving output is byte-identical
+// to kFullRebuild — pinned by tests/dynamic_serving_differential_test.cc.
+// A refresh period n > 1 is the paper's "re-computed periodically" mode:
+// between refreshes the stored maxima are upper bounds, so served
+// authority is bounded above by the true values, and the drift is counted
+// in mbr_authority_drift_topics_total.
 //
 // Graph generations are held as shared_ptrs: the previous generation is
 // released only after Rebind() has drained the queries that might still
@@ -27,10 +42,13 @@
 // MUTATE_ACK wire payload. A batch where nothing applied does not bump
 // the epoch.
 //
-// Thread-safety: Apply() serializes on an internal mutex — concurrent
-// wire mutators are applied in some total order, each batch atomically
-// with respect to queries (which only ever see fully materialized
-// generations via Rebind's exclusive lock).
+// Thread-safety: Apply() serializes on `apply_mu_` — concurrent wire
+// mutators are applied in some total order, each batch atomically with
+// respect to queries (which only ever see fully materialized generations
+// via Rebind's exclusive lock). The published generation pointers are
+// guarded by the separate narrow `mu_`, which is never held across
+// materialization or Rebind — current_graph()/current_authority() readers
+// get an answer immediately even while a batch is draining the engine.
 
 #include <cstdint>
 #include <memory>
@@ -40,6 +58,7 @@
 
 #include "core/authority.h"
 #include "dynamic/delta_graph.h"
+#include "dynamic/incremental_authority.h"
 #include "graph/labeled_graph.h"
 #include "obs/metrics.h"
 #include "service/query_engine.h"
@@ -66,6 +85,25 @@ struct MutationOutcome {
   uint64_t graph_epoch = 0;  // engine epoch after the batch
 };
 
+// How Apply() turns an applied batch into the next serving generation.
+struct MutationConfig {
+  enum class Pipeline : uint8_t {
+    // Full DeltaGraph::Materialize + AuthorityIndex graph rescan per
+    // batch — O(graph). Kept runnable for differential tests and the
+    // apply-latency bench baseline.
+    kFullRebuild,
+    // O(Δ) path: MaterializeFrom + counter-snapshot authority.
+    kIncremental,
+  };
+  Pipeline pipeline = Pipeline::kIncremental;
+  // Period, in applied batches, of the *exact* per-topic max refresh (the
+  // paper's "re-computed periodically"). 1 = repair dirty maxima every
+  // batch (byte-identical serving, the default); n > 1 = defer, serving
+  // bounded-above authority between refreshes. Only meaningful on the
+  // incremental pipeline. Surfaced as `mbrec serve --authority-refresh`.
+  uint32_t authority_refresh_batches = 1;
+};
+
 class MutationApplier {
  public:
   // `base` and `base_authority` are the generation the engine is currently
@@ -73,7 +111,7 @@ class MutationApplier {
   // registered in the engine's registry.
   MutationApplier(const graph::LabeledGraph& base,
                   const core::AuthorityIndex& base_authority,
-                  QueryEngine& engine);
+                  QueryEngine& engine, const MutationConfig& config = {});
 
   MutationApplier(const MutationApplier&) = delete;
   MutationApplier& operator=(const MutationApplier&) = delete;
@@ -89,8 +127,16 @@ class MutationApplier {
 
   uint64_t batches_applied() const;
 
+  const MutationConfig& config() const { return config_; }
+
+  // Topics whose stored authority max is currently an unverified upper
+  // bound (0 whenever serving is exact; can be non-zero only with an
+  // authority-refresh period > 1).
+  int authority_drift_topics() const;
+
   // The live generation (for tests and the churn bench). The returned
-  // pointers stay valid even across later batches.
+  // pointers stay valid even across later batches. Never blocks on an
+  // in-progress Apply()'s materialization or rebind.
   std::shared_ptr<const graph::LabeledGraph> current_graph() const;
   std::shared_ptr<const core::AuthorityIndex> current_authority() const;
 
@@ -99,9 +145,19 @@ class MutationApplier {
 
   QueryEngine* engine_;
   LandmarkRepairer* repairer_ = nullptr;
+  MutationConfig config_;
 
-  mutable std::mutex mu_;
+  // Serializes Apply() end-to-end. Ordered before mu_ (Apply takes
+  // apply_mu_ then briefly mu_; nothing takes them in the other order).
+  mutable std::mutex apply_mu_;
+  // Guarded by apply_mu_: the delta overlay, the incremental counters,
+  // and the refresh cadence.
   dynamic::DeltaGraph delta_;
+  dynamic::IncrementalAuthority inc_auth_;
+  uint32_t batches_since_refresh_ = 0;
+
+  // Narrow state lock: published generation + batch count only.
+  mutable std::mutex mu_;
   std::shared_ptr<const graph::LabeledGraph> cur_graph_;
   std::shared_ptr<const core::AuthorityIndex> cur_authority_;
   uint64_t batches_applied_ = 0;
@@ -109,6 +165,8 @@ class MutationApplier {
   obs::Counter* applied_total_ = nullptr;
   obs::Counter* rejected_total_ = nullptr;
   obs::Counter* batches_total_ = nullptr;
+  obs::Counter* authority_refreshes_ = nullptr;
+  obs::Counter* authority_drift_ = nullptr;
 };
 
 }  // namespace mbr::service

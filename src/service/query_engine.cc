@@ -185,7 +185,7 @@ util::Result<Response> QueryEngine::ExecuteQuery(uint32_t wid,
   obs::QueryTrace::SetServedTier(core::TierName(tier));
   util::Result<Response> out = [&]() -> util::Result<Response> {
     MBR_SPAN("engine.execute");
-    if (stale_probe_) stale_probe_();
+    const bool repair_stale = stale_probe_ && stale_probe_();
     Worker& w = workers_[wid];
     Response resp;
     resp.meta.served_tier = tier;
@@ -193,6 +193,10 @@ util::Result<Response> QueryEngine::ExecuteQuery(uint32_t wid,
       util::Result<core::Ranking> r = w.approx->Recommend(q);
       if (!r.ok()) return r.status();
       resp.ranking = std::move(r.value());
+      // The composition above may have consulted a marked-but-unrepaired
+      // landmark list, so answer honestly at the stale tier. Exact-tier
+      // scoring never reads stored lists and keeps its tier.
+      if (repair_stale) resp.meta.served_tier = core::Tier::kStale;
       return resp;
     }
     if (q.expired()) {
@@ -463,9 +467,25 @@ void QueryEngine::Invalidate() {
 void QueryEngine::Rebind(const graph::LabeledGraph& g,
                          const core::AuthorityIndex& authority) {
   std::unique_lock<std::shared_mutex> lock(rebind_mu_);
+  // Delta-aware fast path (DESIGN.md §6.9): when the node/topic universe is
+  // unchanged — every mutation batch, since DeltaGraph materialization
+  // preserves it — the workers' recommenders are re-pointed in place and
+  // their warmed arena scratch (carved per num_nodes) stays valid, so the
+  // first query after the rebind is still allocation-free. Only a
+  // universe-changing swap (tests binding an unrelated graph) pays the full
+  // worker reconstruction.
+  const bool same_universe = g.num_nodes() == g_->num_nodes() &&
+                             g.num_topics() == g_->num_topics();
   g_ = &g;
   authority_ = &authority;
-  BuildWorkers();
+  if (same_universe) {
+    for (Worker& w : workers_) {
+      if (w.scorer != nullptr) w.scorer->Rebind(g, authority);
+      if (w.approx != nullptr) w.approx->Rebind(g, authority);
+    }
+  } else {
+    BuildWorkers();
+  }
   Invalidate();
 }
 
@@ -475,7 +495,7 @@ void QueryEngine::RunExclusive(const std::function<void()>& fn) {
   Invalidate();
 }
 
-void QueryEngine::SetStaleProbe(std::function<void()> probe) {
+void QueryEngine::SetStaleProbe(std::function<bool()> probe) {
   stale_probe_ = std::move(probe);
 }
 

@@ -234,11 +234,14 @@ class QueryEngine {
   void RunExclusive(const std::function<void()>& fn);
 
   // Installs a hook invoked once per scored (cache-miss) query, under the
-  // shared rebind lock. The landmark repairer uses it to count queries
-  // answered while some landmark list was stale
-  // (mbr_repair_stale_reads_total). Not thread-safe against in-flight
-  // queries: install before serving traffic.
-  void SetStaleProbe(std::function<void()> probe);
+  // shared rebind lock. It returns whether any landmark list is currently
+  // marked-but-unrepaired; the landmark repairer's probe also counts such
+  // queries (mbr_repair_stale_reads_total). An approx-tier query scored
+  // while the probe reports staleness may have composed an outdated
+  // stored list, so its reply is stamped served_tier = kStale. Not
+  // thread-safe against in-flight queries: install before serving
+  // traffic.
+  void SetStaleProbe(std::function<bool()> probe);
 
   uint64_t params_epoch() const {
     return epoch_.load(std::memory_order_relaxed);
@@ -319,7 +322,9 @@ class QueryEngine {
   util::Result<Response> ExecuteQuery(uint32_t wid, const core::Query& q);
   // The tier a scored (miss-path) query serves at right now: pressure
   // capped by q.min_tier, clamped to the recommenders actually built.
-  // Never returns kStale (stale is resolved at admission, not scored).
+  // Never returns kStale (admission resolves the ladder's stale tier;
+  // ExecuteQuery may still downgrade an approx reply to kStale when the
+  // stale probe reports unrepaired landmark lists).
   core::Tier ChooseScoredTier(const core::Query& q) const;
   // Counts one served reply in the per-tier/degraded series.
   void CountServed(core::Tier tier);
@@ -334,7 +339,7 @@ class QueryEngine {
   const core::AuthorityIndex* authority_;
   const topics::SimilarityMatrix* sim_;
   EngineConfig config_;
-  std::function<void()> stale_probe_;
+  std::function<bool()> stale_probe_;
 
   // Ladder state, derived from config in the constructor.
   bool degrade_enabled_ = false;

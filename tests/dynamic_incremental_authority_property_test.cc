@@ -1,0 +1,399 @@
+// Property test for the O(Δ) mutation pipeline's math (ISSUE 10): under
+// random FOLLOW/UNFOLLOW/RELABEL interleavings chunked into batches,
+//
+//   1. DeltaGraph::MaterializeFrom(prev, touched) must be byte-equal to a
+//      full Materialize() at every batch boundary, with `prev` itself
+//      produced incrementally (errors would compound down the chain);
+//   2. an AuthorityIndex snapshotted from IncrementalAuthority counters
+//      (after a targeted RefreshDirtyMax) must be bit-identical to a
+//      from-scratch AuthorityIndex over the materialized graph — and the
+//      chain of snapshots must stay bit-identical batch after batch;
+//   3. a *deferred* IncrementalAuthority (never refreshed) must serve
+//      authority bounded above by the true values — the paper's periodic
+//      max-recomputation argument — and become bit-exact after
+//      RefreshMax().
+//
+// Failures shrink by drop-one-op delta debugging before reporting, like
+// dynamic_delta_property_test, so a broken invariant surfaces as a
+// minimal reproducer trace.
+
+#include "dynamic/incremental_authority.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/authority.h"
+#include "dynamic/delta_graph.h"
+#include "graph/labeled_graph.h"
+#include "topics/topic.h"
+#include "util/rng.h"
+
+namespace mbr::dynamic {
+namespace {
+
+using graph::GraphBuilder;
+using graph::LabeledGraph;
+using graph::NodeId;
+using topics::TopicSet;
+
+constexpr NodeId kNodes = 24;
+constexpr int kTopics = 6;
+constexpr size_t kBatchLen = 16;
+
+enum class OpKind : uint8_t { kFollow, kUnfollow, kRelabel };
+
+struct Op {
+  OpKind kind;
+  NodeId src;
+  NodeId dst;
+  uint64_t labels;  // ignored for kUnfollow
+};
+
+const char* OpName(OpKind k) {
+  switch (k) {
+    case OpKind::kFollow: return "FOLLOW";
+    case OpKind::kUnfollow: return "UNFOLLOW";
+    case OpKind::kRelabel: return "RELABEL";
+  }
+  return "?";
+}
+
+std::string TraceToString(const std::vector<Op>& ops) {
+  std::ostringstream os;
+  for (const Op& op : ops) {
+    os << OpName(op.kind) << " " << op.src << "->" << op.dst;
+    if (op.kind != OpKind::kUnfollow) os << " labels=0x" << std::hex
+                                         << op.labels << std::dec;
+    os << "\n";
+  }
+  return os.str();
+}
+
+using EdgeMap = std::map<std::pair<NodeId, NodeId>, TopicSet>;
+
+LabeledGraph SeedBase(uint64_t seed, EdgeMap* model) {
+  util::Rng rng(seed);
+  GraphBuilder b(kNodes, kTopics);
+  for (NodeId u = 0; u < kNodes; ++u) {
+    b.SetNodeLabels(u, TopicSet(1 + rng.UniformU64((1u << kTopics) - 1)));
+  }
+  for (int i = 0; i < 60; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformU64(kNodes));
+    NodeId v = static_cast<NodeId>(rng.UniformU64(kNodes));
+    if (u == v || model->count({u, v})) continue;
+    TopicSet labels(1 + rng.UniformU64((1u << kTopics) - 1));
+    b.AddEdge(u, v, labels);
+    (*model)[{u, v}] = labels;
+  }
+  return std::move(b).Build();
+}
+
+// Byte-level equality of two graphs over the same universe: both CSR
+// directions, edge labels, node labels.
+std::optional<std::string> DiffGraphs(const LabeledGraph& got,
+                                      const LabeledGraph& want) {
+  if (got.num_edges() != want.num_edges()) return "num_edges mismatch";
+  for (NodeId u = 0; u < kNodes; ++u) {
+    if (got.NodeLabels(u) != want.NodeLabels(u)) {
+      return "NodeLabels(" + std::to_string(u) + ") mismatch";
+    }
+    auto gn = got.OutNeighbors(u), wn = want.OutNeighbors(u);
+    auto gl = got.OutEdgeLabels(u), wl = want.OutEdgeLabels(u);
+    if (gn.size() != wn.size()) {
+      return "out row " + std::to_string(u) + " size mismatch";
+    }
+    for (size_t i = 0; i < gn.size(); ++i) {
+      if (gn[i] != wn[i] || gl[i] != wl[i]) {
+        return "out row " + std::to_string(u) + " slot " + std::to_string(i);
+      }
+    }
+    auto gin = got.InNeighbors(u), win = want.InNeighbors(u);
+    auto gil = got.InEdgeLabels(u), wil = want.InEdgeLabels(u);
+    if (gin.size() != win.size()) {
+      return "in row " + std::to_string(u) + " size mismatch";
+    }
+    for (size_t i = 0; i < gin.size(); ++i) {
+      if (gin[i] != win[i] || gil[i] != wil[i]) {
+        return "in row " + std::to_string(u) + " slot " + std::to_string(i);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// Bitwise equality of two authority indexes (values AND counters).
+std::optional<std::string> DiffAuthority(const core::AuthorityIndex& got,
+                                         const core::AuthorityIndex& want) {
+  for (NodeId v = 0; v < kNodes; ++v) {
+    for (int t = 0; t < kTopics; ++t) {
+      const auto tid = static_cast<topics::TopicId>(t);
+      if (got.FollowersOnTopic(v, tid) != want.FollowersOnTopic(v, tid)) {
+        return "FollowersOnTopic(" + std::to_string(v) + "," +
+               std::to_string(t) + ")";
+      }
+      // Bitwise, not approximate: the snapshot ctor must reproduce the
+      // full ctor's arithmetic exactly.
+      if (got.Authority(v, tid) != want.Authority(v, tid)) {
+        return "Authority(" + std::to_string(v) + "," + std::to_string(t) +
+               ") " + std::to_string(got.Authority(v, tid)) + " != " +
+               std::to_string(want.Authority(v, tid));
+      }
+    }
+  }
+  for (int t = 0; t < kTopics; ++t) {
+    const auto tid = static_cast<topics::TopicId>(t);
+    if (got.MaxFollowersOnTopic(tid) != want.MaxFollowersOnTopic(tid)) {
+      return "MaxFollowersOnTopic(" + std::to_string(t) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+// Runs one trace through the full incremental pipeline, checking the
+// three properties at every batch boundary (and the deferred-refresh
+// bound at the end). Returns std::nullopt on success.
+std::optional<std::string> RunTrace(const LabeledGraph& base,
+                                    const std::vector<Op>& ops) {
+  DeltaGraph d(&base);
+  IncrementalAuthority exact(base);     // RefreshDirtyMax at batch ends
+  IncrementalAuthority deferred(base);  // never refreshed until the end
+
+  LabeledGraph prev = d.Materialize();  // generation 0 == base, canonical
+  core::AuthorityIndex prev_auth(prev);
+  std::vector<NodeId> touched;
+
+  auto batch_boundary = [&](size_t opi) -> std::optional<std::string> {
+    if (touched.empty()) return std::nullopt;
+    const std::string where = "batch ending at op " + std::to_string(opi) +
+                              ": ";
+    // Property 1: patched materialization == full materialization, with
+    // prev itself an incremental product.
+    LabeledGraph got = d.MaterializeFrom(prev, touched);
+    LabeledGraph want = d.Materialize();
+    if (auto diff = DiffGraphs(got, want)) {
+      return where + "MaterializeFrom != Materialize: " + *diff;
+    }
+    // Property 2: counter-snapshot authority == from-scratch authority,
+    // bit for bit, after targeted dirty-max repair.
+    exact.RefreshDirtyMax();
+    core::AuthorityIndex truth(want);
+    core::AuthorityIndex snap(prev_auth, exact.Counters(), touched);
+    if (auto diff = DiffAuthority(snap, truth)) {
+      return where + "snapshot authority != from-scratch: " + *diff;
+    }
+    prev = std::move(got);
+    prev_auth = std::move(snap);
+    touched.clear();
+    return std::nullopt;
+  };
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    bool applied = false;
+    switch (op.kind) {
+      case OpKind::kFollow:
+        applied = d.AddEdge(op.src, op.dst, TopicSet(op.labels));
+        if (applied) {
+          exact.OnEdgeAdded(op.src, op.dst, TopicSet(op.labels));
+          deferred.OnEdgeAdded(op.src, op.dst, TopicSet(op.labels));
+        }
+        break;
+      case OpKind::kUnfollow: {
+        const TopicSet old = d.EdgeLabels(op.src, op.dst);
+        applied = d.RemoveEdge(op.src, op.dst);
+        if (applied) {
+          exact.OnEdgeRemoved(op.src, op.dst, old);
+          deferred.OnEdgeRemoved(op.src, op.dst, old);
+        }
+        break;
+      }
+      case OpKind::kRelabel: {
+        const TopicSet old = d.EdgeLabels(op.src, op.dst);
+        applied = d.RelabelEdge(op.src, op.dst, TopicSet(op.labels));
+        if (applied) {
+          // True op order: the overlay relabels as remove + re-add.
+          exact.OnEdgeRemoved(op.src, op.dst, old);
+          exact.OnEdgeAdded(op.src, op.dst, TopicSet(op.labels));
+          deferred.OnEdgeRemoved(op.src, op.dst, old);
+          deferred.OnEdgeAdded(op.src, op.dst, TopicSet(op.labels));
+        }
+        break;
+      }
+    }
+    if (applied) {
+      touched.push_back(op.src);
+      touched.push_back(op.dst);
+    }
+    if ((i + 1) % kBatchLen == 0) {
+      if (auto failure = batch_boundary(i)) return failure;
+    }
+  }
+  if (auto failure = batch_boundary(ops.size())) return failure;
+
+  // Property 3: deferred maxima are upper bounds, so deferred authority is
+  // bounded above by the truth; RefreshMax() makes it bit-exact.
+  LabeledGraph final_graph = d.Materialize();
+  core::AuthorityIndex truth(final_graph);
+  for (int t = 0; t < kTopics; ++t) {
+    const auto tid = static_cast<topics::TopicId>(t);
+    if (deferred.MaxFollowersOnTopic(tid) < truth.MaxFollowersOnTopic(tid)) {
+      return "deferred max for topic " + std::to_string(t) +
+             " underestimates the truth";
+    }
+  }
+  for (NodeId v = 0; v < kNodes; ++v) {
+    for (int t = 0; t < kTopics; ++t) {
+      const auto tid = static_cast<topics::TopicId>(t);
+      if (deferred.Authority(v, tid) >
+          truth.Authority(v, tid) + 1e-12) {
+        return "deferred authority(" + std::to_string(v) + "," +
+               std::to_string(t) + ") exceeds the truth";
+      }
+    }
+  }
+  deferred.RefreshMax();
+  for (NodeId v = 0; v < kNodes; ++v) {
+    for (int t = 0; t < kTopics; ++t) {
+      const auto tid = static_cast<topics::TopicId>(t);
+      if (deferred.Authority(v, tid) != truth.Authority(v, tid)) {
+        return "post-RefreshMax authority(" + std::to_string(v) + "," +
+               std::to_string(t) + ") not bit-identical";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// Drop-one-op shrinking: repeatedly remove any op whose removal keeps the
+// trace failing, until no single removal does.
+std::vector<Op> Shrink(const LabeledGraph& base, std::vector<Op> ops) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      std::vector<Op> candidate = ops;
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+      if (RunTrace(base, candidate).has_value()) {
+        ops = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+std::vector<Op> RandomTrace(util::Rng* rng, size_t len) {
+  std::vector<Op> ops;
+  ops.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    Op op;
+    uint64_t roll = rng->UniformU64(10);
+    op.kind = roll < 4   ? OpKind::kFollow
+              : roll < 7 ? OpKind::kUnfollow
+                         : OpKind::kRelabel;
+    op.src = static_cast<NodeId>(rng->UniformU64(kNodes));
+    // Small node space on purpose: removals of max-holding rows (dirty
+    // maxima), re-adds of tombstoned base edges, and rows patched twice
+    // across consecutive batches are all common.
+    op.dst = static_cast<NodeId>(rng->UniformU64(kNodes));
+    op.labels = 1 + rng->UniformU64((1u << kTopics) - 1);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+TEST(IncrementalAuthorityPropertyTest, RandomInterleavingsMatchFromScratch) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    EdgeMap base_model;
+    LabeledGraph base = SeedBase(seed, &base_model);
+    util::Rng rng(seed * 6121);
+    std::vector<Op> ops = RandomTrace(&rng, 300);
+    auto failure = RunTrace(base, ops);
+    if (failure.has_value()) {
+      std::vector<Op> minimal = Shrink(base, ops);
+      auto refailure = RunTrace(base, minimal);
+      FAIL() << "seed " << seed << ": " << *failure << "\nminimal trace ("
+             << minimal.size() << " ops):\n"
+             << TraceToString(minimal) << "shrunk failure: "
+             << refailure.value_or("(no longer fails?)");
+    }
+  }
+}
+
+// Per-op targeted repair: after every single applied mutation a
+// RefreshDirtyMax() must restore exact maxima (dirty count drops to zero
+// and each stored max equals the from-scratch value).
+TEST(IncrementalAuthorityPropertyTest, DirtyMaxRepairIsExactEveryStep) {
+  EdgeMap base_model;
+  LabeledGraph base = SeedBase(7, &base_model);
+  DeltaGraph d(&base);
+  IncrementalAuthority inc(base);
+  util::Rng rng(4231);
+  std::vector<Op> ops = RandomTrace(&rng, 80);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    const TopicSet old = d.EdgeLabels(op.src, op.dst);
+    bool applied = false;
+    switch (op.kind) {
+      case OpKind::kFollow:
+        applied = d.AddEdge(op.src, op.dst, TopicSet(op.labels));
+        if (applied) inc.OnEdgeAdded(op.src, op.dst, TopicSet(op.labels));
+        break;
+      case OpKind::kUnfollow:
+        applied = d.RemoveEdge(op.src, op.dst);
+        if (applied) inc.OnEdgeRemoved(op.src, op.dst, old);
+        break;
+      case OpKind::kRelabel:
+        applied = d.RelabelEdge(op.src, op.dst, TopicSet(op.labels));
+        if (applied) {
+          inc.OnEdgeRemoved(op.src, op.dst, old);
+          inc.OnEdgeAdded(op.src, op.dst, TopicSet(op.labels));
+        }
+        break;
+    }
+    inc.RefreshDirtyMax();
+    ASSERT_EQ(inc.dirty_topic_count(), 0) << "op " << i;
+    core::AuthorityIndex truth(d.Materialize());
+    for (int t = 0; t < kTopics; ++t) {
+      const auto tid = static_cast<topics::TopicId>(t);
+      ASSERT_EQ(inc.MaxFollowersOnTopic(tid), truth.MaxFollowersOnTopic(tid))
+          << "op " << i << " topic " << t;
+    }
+  }
+}
+
+// An add that reaches the stored bound proves the bound tight again: the
+// dirty flag must clear without any rescan.
+TEST(IncrementalAuthorityPropertyTest, AddReachingBoundClearsDirtyFlag) {
+  GraphBuilder b(4, 2);
+  for (NodeId u = 0; u < 4; ++u) b.SetNodeLabels(u, TopicSet(0x1));
+  b.AddEdge(1, 0, TopicSet(0x1));
+  b.AddEdge(2, 0, TopicSet(0x1));  // node 0: 2 followers on topic 0 (max)
+  b.AddEdge(2, 3, TopicSet(0x1));  // node 3: 1 follower
+  LabeledGraph g = std::move(b).Build();
+  IncrementalAuthority inc(g);
+  ASSERT_EQ(inc.MaxFollowersOnTopic(0), 2u);
+  ASSERT_EQ(inc.dirty_topic_count(), 0);
+
+  // Remove from the max-holding row: bound now unverified.
+  inc.OnEdgeRemoved(1, 0, TopicSet(0x1));
+  EXPECT_EQ(inc.dirty_topic_count(), 1);
+  EXPECT_EQ(inc.MaxFollowersOnTopic(0), 2u);  // upper bound kept
+
+  // Another row climbs to the stored bound: tightness proven, no rescan.
+  inc.OnEdgeAdded(1, 3, TopicSet(0x1));
+  EXPECT_EQ(inc.dirty_topic_count(), 0);
+  EXPECT_EQ(inc.MaxFollowersOnTopic(0), 2u);
+  EXPECT_EQ(inc.RefreshDirtyMax(), 0);  // nothing left to rescan
+}
+
+}  // namespace
+}  // namespace mbr::dynamic

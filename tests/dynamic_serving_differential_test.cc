@@ -274,6 +274,106 @@ TEST_F(DynamicServingDifferentialTest,
   EXPECT_EQ(engine_->params_epoch(), shadow.epoch());
 }
 
+// ---------- pipeline mode toggle (ISSUE 10 tentpole oracle) ----------
+
+// Two appliers replay the same trace — one on kFullRebuild, one on the
+// O(Δ) kIncremental pipeline — and their engines must serve byte-identical
+// rankings at every checkpoint: the incremental pipeline is an
+// optimization, never a semantics change. (The wire oracle above already
+// runs kIncremental, the default, against a from-scratch shadow; this
+// test pins the two in-binary pipelines directly against each other.)
+TEST(MutationPipelineParityTest, IncrementalAndFullRebuildServeSameBytes) {
+  datagen::TwitterConfig cfg;
+  cfg.num_nodes = 150;
+  auto ds = datagen::GenerateTwitter(cfg);
+  core::AuthorityIndex auth(ds.graph);
+
+  EngineConfig ec;
+  ec.num_threads = 1;
+  ec.cache_capacity = 0;
+  ec.params = OracleParams();
+  QueryEngine full_engine(ds.graph, auth, topics::TwitterSimilarity(), ec);
+  QueryEngine inc_engine(ds.graph, auth, topics::TwitterSimilarity(), ec);
+
+  MutationConfig full_cfg;
+  full_cfg.pipeline = MutationConfig::Pipeline::kFullRebuild;
+  MutationApplier full(ds.graph, auth, full_engine, full_cfg);
+  MutationConfig inc_cfg;
+  inc_cfg.pipeline = MutationConfig::Pipeline::kIncremental;
+  MutationApplier inc(ds.graph, auth, inc_engine, inc_cfg);
+
+  util::Rng rng(31337);
+  util::Rng probe_rng = rng.Fork(2);
+  const uint32_t n = ds.graph.num_nodes();
+  const int num_topics = ds.graph.num_topics();
+  for (int b = 1; b <= 60; ++b) {
+    std::vector<TraceOp> ops = MakeBatch(&rng, n, num_topics, 25);
+    std::vector<Mutation> batch;
+    for (const TraceOp& op : ops) {
+      batch.push_back({op.op, op.src, op.dst, TopicSet(op.labels)});
+    }
+    MutationOutcome fo = full.Apply(batch);
+    MutationOutcome io = inc.Apply(batch);
+    ASSERT_EQ(fo.applied, io.applied) << "batch " << b;
+    ASSERT_EQ(fo.rejected, io.rejected) << "batch " << b;
+    // Default refresh period 1: dirty maxima repaired every batch, so the
+    // incremental authority never drifts.
+    ASSERT_EQ(inc.authority_drift_topics(), 0) << "batch " << b;
+
+    if (b % 10 != 0) continue;
+    for (int p = 0; p < 12; ++p) {
+      const uint32_t user = static_cast<uint32_t>(probe_rng.UniformU64(n));
+      const TopicId topic = static_cast<TopicId>(
+          probe_rng.UniformU64(static_cast<uint64_t>(num_topics)));
+      net::RankedList want = full_engine.TopN(user, topic, 10).value();
+      net::RankedList got = inc_engine.TopN(user, topic, 10).value();
+      ASSERT_EQ(CanonicalBytes(got), CanonicalBytes(want))
+          << "batch " << b << " user " << user << " topic "
+          << static_cast<int>(topic)
+          << ": incremental pipeline diverged from full rebuild";
+    }
+  }
+  EXPECT_GT(full.batches_applied(), 0u);
+  EXPECT_EQ(full.batches_applied(), inc.batches_applied());
+}
+
+// The --authority-refresh knob: a deferred period leaves dirty topics
+// observable between refreshes (the paper's periodic mode), while the
+// default period repairs them every batch.
+TEST(MutationPipelineParityTest, DeferredRefreshExposesDriftTopics) {
+  datagen::TwitterConfig cfg;
+  cfg.num_nodes = 150;
+  auto ds = datagen::GenerateTwitter(cfg);
+  core::AuthorityIndex auth(ds.graph);
+
+  EngineConfig ec;
+  ec.num_threads = 1;
+  ec.cache_capacity = 0;
+  ec.params = OracleParams();
+  QueryEngine engine(ds.graph, auth, topics::TwitterSimilarity(), ec);
+  MutationConfig mcfg;
+  mcfg.authority_refresh_batches = 1u << 20;  // effectively never refresh
+  MutationApplier applier(ds.graph, auth, engine, mcfg);
+
+  util::Rng rng(4242);
+  const uint32_t n = ds.graph.num_nodes();
+  const int num_topics = ds.graph.num_topics();
+  int drift_seen = 0;
+  for (int b = 0; b < 80 && drift_seen == 0; ++b) {
+    std::vector<TraceOp> ops = MakeBatch(&rng, n, num_topics, 25);
+    std::vector<Mutation> batch;
+    for (const TraceOp& op : ops) {
+      batch.push_back({op.op, op.src, op.dst, TopicSet(op.labels)});
+    }
+    applier.Apply(batch);
+    drift_seen = applier.authority_drift_topics();
+  }
+  // A 2000-op unfollow-heavy trace must eventually remove a follower from
+  // some max-holding row, leaving that topic's stored max an unverified
+  // upper bound until the (deferred) refresh.
+  EXPECT_GT(drift_seen, 0);
+}
+
 // ---------- landmark drift under lazy repair (in-process) ----------
 
 class LandmarkChurnFixture {

@@ -19,6 +19,8 @@
 #include "landmark/approx.h"
 #include "landmark/index.h"
 #include "landmark/selection.h"
+#include "service/landmark_repair.h"
+#include "service/mutation.h"
 #include "service/query_engine.h"
 #include "topics/similarity_matrix.h"
 
@@ -281,6 +283,54 @@ TEST_F(LadderTest, MinTierExactWithBlownDeadlineIsInvalidArgument) {
       core::Query::TopN(1, 0, 5).WithDeadline(std::chrono::milliseconds(-5)));
   ASSERT_FALSE(plain.ok());
   EXPECT_EQ(plain.status().code(), util::StatusCode::kDeadlineExceeded);
+}
+
+// Stale-tier repair stamping: a query that consults landmark lists while
+// some slot is marked-but-unrepaired must answer at kStale, not pretend
+// the approximation is current; an inline Quiesce() restores kApprox.
+TEST_F(LadderTest, UnrepairedLandmarksStampStaleTier) {
+  EngineConfig ec;
+  ec.num_threads = 1;
+  ec.cache_capacity = 64;
+  ec.landmarks = index_.get();
+  QueryEngine engine(ds_.graph, *auth_, topics::TwitterSimilarity(), ec);
+  ASSERT_EQ(engine.base_tier(), Tier::kApprox);
+
+  MutationApplier applier(ds_.graph, *auth_, engine);
+  RepairConfig rcfg;
+  rcfg.mode = RepairConfig::Mode::kAll;
+  LandmarkRepairer repairer(*index_, engine, topics::TwitterSimilarity(),
+                            applier.current_graph(),
+                            applier.current_authority(), rcfg);
+  applier.SetRepairer(&repairer);
+  engine.SetStaleProbe(repairer.MakeStaleProbe());
+  // No Start(): the marks stay unrepaired until the explicit Quiesce().
+
+  // Apply one follow the base graph does not already have.
+  MutationOutcome out;
+  for (graph::NodeId dst = 1; dst < ds_.graph.num_nodes(); ++dst) {
+    Mutation m;
+    m.op = MutationOp::kFollow;
+    m.src = 0;
+    m.dst = dst;
+    m.labels = topics::TopicSet::Single(0);
+    out = applier.Apply(std::span<const Mutation>(&m, 1));
+    if (out.applied == 1) break;
+  }
+  ASSERT_EQ(out.applied, 1u);
+  ASSERT_GT(repairer.stale_count(), 0u);
+
+  core::Query q = Q(3);
+  auto stale = engine.Recommend(q);
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_EQ(stale.value().meta.served_tier, Tier::kStale);
+
+  repairer.Quiesce();  // no thread running: repairs inline, deterministic
+  EXPECT_EQ(repairer.stale_count(), 0u);
+  auto fresh = engine.Recommend(q);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh.value().meta.served_tier, Tier::kApprox);
+  EXPECT_FALSE(fresh.value().meta.cache_hit);  // repair bumped the epoch
 }
 
 TEST_F(LadderTest, MinTierExactOnPlainExactEngineIsFine) {

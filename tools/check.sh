@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Repo-wide check runner:
 #   1. tier-1: full build + full ctest suite       (build/)
-#   2. ASan:   serde + net + dynamic + hotpath + coord + slo  (build-asan/)
-#   3. TSan:   obs + service + net + dynamic + coord + slo    (build-tsan/)
+#   2. ASan:   serde + net + dynamic + hotpath + coord + slo
+#              + incremental                         (build-asan/)
+#   3. TSan:   obs + service + net + dynamic + coord + slo
+#              + incremental                         (build-tsan/)
 #   4. UBSan:  core + landmark + service           (build-ubsan/)
-#   5. bench-smoke: micro_benchmarks --smoke + ext_slo_ladder --smoke (build/)
+#   5. bench-smoke: micro_benchmarks --smoke + ext_slo_ladder --smoke
+#                   + ext_mutation_apply --smoke     (build/)
 #
 # The sanitizer passes reuse the persistent build-asan/, build-tsan/ and
 # build-ubsan/ trees (configured here on first run) and only build/run the
@@ -22,6 +25,10 @@
 # shard servers). The `slo` label (pressure monitor, degradation ladder)
 # runs under both ASan (stale-cache retention and tier bookkeeping) and TSan
 # (the lock-free PressureMonitor hammered from concurrent writers/readers).
+# The `incremental` label (O(Δ) mutation pipeline: row-patched
+# materialization, counter-snapshot authority, delta-aware rebind) runs
+# under both ASan (spliced CSR rows, spans into previous generations) and
+# TSan (the apply/rebind lock split against concurrent generation readers).
 #
 # bench-smoke runs the allocation-counting smoke gate of the zero-allocation
 # hot path (DESIGN.md §6.6): a warm exact query and a warm landmark query
@@ -59,18 +66,21 @@ run_bench_smoke() {
   echo "==> bench-smoke: ext_slo_ladder --smoke (degradation ladder gate)"
   cmake --build "$REPO/build" -j "$JOBS" --target ext_slo_ladder
   (cd "$REPO/build/bench" && ./ext_slo_ladder --smoke)
+  echo "==> bench-smoke: ext_mutation_apply --smoke (O(Δ) apply pipeline)"
+  cmake --build "$REPO/build" -j "$JOBS" --target ext_mutation_apply
+  (cd "$REPO/build/bench" && ./ext_mutation_apply --smoke)
 }
 
 case "$MODE" in
   tier1) run_tier1 ;;
-  asan)  run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath|coord|slo' ;;
-  tsan)  run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic|coord|slo' ;;
+  asan)  run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath|coord|slo|incremental' ;;
+  tsan)  run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic|coord|slo|incremental' ;;
   ubsan) run_sanitized undefined "$REPO/build-ubsan" 'core|landmark|service' ;;
   bench-smoke) run_bench_smoke ;;
   all)
     run_tier1
-    run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath|coord|slo'
-    run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic|coord|slo'
+    run_sanitized address "$REPO/build-asan" 'serde|net|dynamic|hotpath|coord|slo|incremental'
+    run_sanitized thread "$REPO/build-tsan" 'obs|service|net|dynamic|coord|slo|incremental'
     run_sanitized undefined "$REPO/build-ubsan" 'core|landmark|service'
     run_bench_smoke
     ;;

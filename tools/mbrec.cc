@@ -20,6 +20,7 @@
 //                   [--max-connections K] [--deadline-ms D] [--drain-ms G]
 //                   [--stats-interval-s S] [--vocab twitter|dblp]
 //                   [--mutable 1] [--repair touched|all]
+//                   [--authority-refresh N]
 //                   [--degrade off|ladder] [--p99-target-us U]
 //                   [--stale-epochs E]
 //   mbrec query-remote    --port P --user U --topic technology [--host H]
@@ -842,8 +843,21 @@ int CmdServe(const Args& args) {
   std::unique_ptr<service::MutationApplier> applier;
   std::unique_ptr<service::LandmarkRepairer> repairer;
   if (mutable_serving) {
+    // --authority-refresh N: exact per-topic max refresh every N applied
+    // batches (paper's periodic recomputation). 1 (default) repairs dirty
+    // maxima each batch, so serving stays byte-identical to a full
+    // rebuild; larger N trades bounded-above authority drift for less
+    // rescan work (tracked by mbr_authority_drift_topics_total).
+    const int64_t refresh = args.GetInt("authority-refresh", 1);
+    if (refresh < 1) {
+      std::fprintf(stderr, "--authority-refresh must be >= 1 (got %lld)\n",
+                   static_cast<long long>(refresh));
+      return 2;
+    }
+    service::MutationConfig mcfg;
+    mcfg.authority_refresh_batches = static_cast<uint32_t>(refresh);
     applier = std::make_unique<service::MutationApplier>(
-        rep.graph, *rep.authority, *rep.engine);
+        rep.graph, *rep.authority, *rep.engine, mcfg);
     if (rep.landmarks != nullptr) {
       std::string repair_mode = args.Get("repair", "touched");
       if (repair_mode != "touched" && repair_mode != "all") {
@@ -1125,8 +1139,8 @@ const std::vector<Command>& Commands() {
       {"serve", CmdServe,
        {"graph", "vocab", "index", "host", "port", "threads", "cache",
         "max-inflight", "max-connections", "deadline-ms", "drain-ms",
-        "stats-interval-s", "mutable", "repair", "plan", "shard",
-        "degrade", "p99-target-us", "stale-epochs"}},
+        "stats-interval-s", "mutable", "repair", "authority-refresh",
+        "plan", "shard", "degrade", "p99-target-us", "stale-epochs"}},
       {"shard-plan", CmdShardPlan,
        {"graph", "vocab", "shards", "strategy", "halo-depth", "endpoints",
         "out"}},
